@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: tagless SAg versus tagged PAs (§3.1 discusses the
+ * difference — "the SAg is 'tagless' and may alias branch histories").
+ * Compares prediction accuracy and the pattern-history estimator on
+ * both, since the pattern method is the one that depends on clean
+ * per-branch histories.
+ */
+
+#include "bench/bench_util.hh"
+#include "confidence/pattern.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Ablation", "tagless SAg vs tagged PAs per-address "
+                       "histories");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"application", "acc SAg", "acc PAs",
+                     "pattern sens SAg", "pattern sens PAs",
+                     "pattern pvn SAg", "pattern pvn PAs"});
+
+    std::vector<QuadrantCounts> sag_runs, pas_runs;
+    RunningStat sag_acc, pas_acc;
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        QuadrantCounts q[2];
+        double acc[2];
+        int i = 0;
+        for (const auto kind :
+             {PredictorKind::SAg, PredictorKind::PAs}) {
+            auto pred = makePredictor(kind);
+            PatternEstimator pattern;
+            Pipeline pipe(prog, *pred, cfg.pipeline);
+            pipe.attachEstimator(&pattern);
+            ConfidenceCollector collector(1);
+            pipe.setSink([&collector](const BranchEvent &ev) {
+                collector.onEvent(ev);
+            });
+            const PipelineStats s = pipe.run();
+            q[i] = collector.committed(0);
+            acc[i] = s.committedAccuracy();
+            ++i;
+        }
+        sag_runs.push_back(q[0]);
+        pas_runs.push_back(q[1]);
+        sag_acc.add(acc[0]);
+        pas_acc.add(acc[1]);
+        table.addRow({spec.name, TextTable::pct(acc[0], 1),
+                      TextTable::pct(acc[1], 1),
+                      TextTable::pct(q[0].sens(), 1),
+                      TextTable::pct(q[1].sens(), 1),
+                      TextTable::pct(q[0].pvn(), 1),
+                      TextTable::pct(q[1].pvn(), 1)});
+    }
+
+    const QuadrantFractions sag_mean = aggregateQuadrants(sag_runs);
+    const QuadrantFractions pas_mean = aggregateQuadrants(pas_runs);
+    table.addRow({"mean", TextTable::pct(sag_acc.mean(), 1),
+                  TextTable::pct(pas_acc.mean(), 1),
+                  TextTable::pct(sag_mean.sens(), 1),
+                  TextTable::pct(pas_mean.sens(), 1),
+                  TextTable::pct(sag_mean.pvn(), 1),
+                  TextTable::pct(pas_mean.pvn(), 1)});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("With our workloads' small static branch footprints "
+                "the 2048-entry SAg\nrarely aliases, so the two are "
+                "close; the tagged PAs pays instead with\ncold "
+                "histories after capacity evictions. At SPEC-scale "
+                "footprints the\ntagless SAg's aliasing becomes the "
+                "liability the paper notes.\n");
+    return 0;
+}

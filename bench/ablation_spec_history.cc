@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation called out in DESIGN.md: speculative versus non-speculative
+ * global-history update for gshare. The paper (§3.1) uses speculative
+ * update for gshare/McFarling and notes that non-speculative update
+ * "will slightly increase the branch misprediction rate, since
+ * information from recent branches is not immediately available".
+ * The effect only exists with in-flight branches, so it is measured
+ * in the pipeline model.
+ */
+
+#include "bench/bench_util.hh"
+#include "bpred/gshare.hh"
+#include "pipeline/pipeline.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Ablation", "speculative vs non-speculative gshare history "
+                       "update");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"application", "acc speculative",
+                     "acc non-speculative", "delta"});
+    RunningStat delta;
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        double acc[2];
+        int i = 0;
+        for (const bool speculative : {true, false}) {
+            GshareConfig gcfg;
+            gcfg.speculativeHistory = speculative;
+            GsharePredictor pred(gcfg);
+            Pipeline pipe(prog, pred, cfg.pipeline);
+            acc[i++] = pipe.run().committedAccuracy();
+        }
+        table.addRow({spec.name, TextTable::pct(acc[0], 2),
+                      TextTable::pct(acc[1], 2),
+                      TextTable::pct(acc[0] - acc[1], 2)});
+        delta.add(acc[0] - acc[1]);
+    }
+    table.addRow({"mean", "-", "-", TextTable::pct(delta.mean(), 2)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Positive deltas confirm the paper's §3.1 remark: "
+                "speculative update makes\nrecent branch outcomes "
+                "visible to in-flight successors.\n");
+    return 0;
+}

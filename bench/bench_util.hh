@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches. Every bench regenerates
+ * one table or figure of the paper and prints it in a comparable
+ * format; these helpers standardise configuration and formatting.
+ */
+
+#ifndef CONFSIM_BENCH_BENCH_UTIL_HH
+#define CONFSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/level_sweep.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Workload scale used by all experiment benches. */
+constexpr unsigned BENCH_SCALE = 2;
+
+/** Experiment configuration shared by the benches. */
+inline ExperimentConfig
+benchConfig()
+{
+    ExperimentConfig cfg;
+    cfg.workload.scale = BENCH_SCALE;
+    return cfg;
+}
+
+/** Print a bench banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+    std::printf("Klauser/Grunwald/Manne/Pleszkun, \"Confidence "
+                "Estimation for Speculation\nControl\", CU-CS-854-98 "
+                "(ISCA 1998). Workload scale %u.\n", BENCH_SCALE);
+    std::printf("================================================"
+                "============================\n\n");
+}
+
+/**
+ * Run one pipeline per workload with several JRS configurations
+ * attached simultaneously, recording the raw MDC level of every
+ * committed branch per configuration. One simulation pass therefore
+ * yields quadrants for *every* threshold of every configuration.
+ *
+ * @param kind underlying predictor family.
+ * @param jrs_configs JRS table geometries to probe.
+ * @param cfg experiment knobs.
+ * @return [config][workload] level histograms.
+ */
+inline std::vector<std::vector<LevelSweep>>
+runJrsLevelSweeps(PredictorKind kind,
+                  const std::vector<JrsConfig> &jrs_configs,
+                  const ExperimentConfig &cfg)
+{
+    std::vector<std::vector<LevelSweep>> sweeps(
+            jrs_configs.size(),
+            std::vector<LevelSweep>(standardWorkloads().size(),
+                                    LevelSweep(16)));
+
+    for (std::size_t w = 0; w < standardWorkloads().size(); ++w) {
+        const Program prog =
+            standardWorkloads()[w].factory(cfg.workload);
+        auto pred = makePredictor(kind);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+
+        std::vector<std::unique_ptr<JrsEstimator>> estimators;
+        for (const auto &jrs_cfg : jrs_configs) {
+            estimators.push_back(
+                    std::make_unique<JrsEstimator>(jrs_cfg));
+            JrsEstimator *jrs = estimators.back().get();
+            pipe.attachEstimator(jrs);
+            pipe.attachLevelReader(
+                    [jrs](Addr pc, const BpInfo &info) {
+                        return jrs->readCounter(pc, info);
+                    });
+        }
+
+        pipe.setSink([&sweeps, w](const BranchEvent &ev) {
+            if (!ev.willCommit)
+                return;
+            for (std::size_t c = 0; c < sweeps.size(); ++c)
+                sweeps[c][w].record(ev.levels[c], ev.correct);
+        });
+        pipe.run();
+    }
+    return sweeps;
+}
+
+/**
+ * Aggregate one threshold across workloads the paper's way: extract
+ * per-workload quadrants at the threshold, normalise, average.
+ * @param ge true for "level >= threshold", false for "level > t".
+ */
+inline QuadrantFractions
+aggregateAtThreshold(const std::vector<LevelSweep> &per_workload,
+                     unsigned threshold, bool ge = true)
+{
+    std::vector<QuadrantCounts> runs;
+    runs.reserve(per_workload.size());
+    for (const auto &sweep : per_workload)
+        runs.push_back(ge ? sweep.atThresholdGe(threshold)
+                          : sweep.atThresholdGt(threshold));
+    return aggregateQuadrants(runs);
+}
+
+/** Format the four standard metrics of a quadrant table as cells. */
+inline std::vector<std::string>
+metricCells(double sens, double spec, double pvp, double pvn)
+{
+    return {TextTable::pct(sens), TextTable::pct(spec),
+            TextTable::pct(pvp), TextTable::pct(pvn)};
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Committed versus all-branches estimator metrics. §3.1 motivates the
+ * pipeline-level methodology: "when the processor is executing a
+ * conditional branch, it does not know if a branch will commit or
+ * not, so it is important to understand how all branches are
+ * predicted and estimated. It may be that some pattern arises in the
+ * uncommitted branches that would impact confidence estimation."
+ * This bench quantifies that difference for every standard estimator.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+QuadrantFractions
+aggregateAll(const std::vector<WorkloadResult> &results,
+             std::size_t index)
+{
+    std::vector<QuadrantCounts> runs;
+    for (const auto &r : results)
+        runs.push_back(r.quadrantsAll[index]);
+    return aggregateQuadrants(runs);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("§3.1", "estimator metrics over committed vs all "
+                   "(incl. wrong-path) branches, gshare");
+
+    const ExperimentConfig cfg = benchConfig();
+    const std::vector<WorkloadResult> results =
+        runStandardSuite(PredictorKind::Gshare, cfg);
+
+    TextTable table({"estimator", "view", "accuracy", "sens", "spec",
+                     "pvp", "pvn"});
+    for (std::size_t e = 0; e < NUM_STANDARD_ESTIMATORS; ++e) {
+        const QuadrantFractions committed =
+            aggregateEstimator(results, e);
+        const QuadrantFractions all = aggregateAll(results, e);
+        table.addRow({standardEstimatorNames()[e], "committed",
+                      TextTable::pct(committed.accuracy(), 1),
+                      TextTable::pct(committed.sens(), 1),
+                      TextTable::pct(committed.spec(), 1),
+                      TextTable::pct(committed.pvp(), 1),
+                      TextTable::pct(committed.pvn(), 1)});
+        table.addRow({"", "all branches",
+                      TextTable::pct(all.accuracy(), 1),
+                      TextTable::pct(all.sens(), 1),
+                      TextTable::pct(all.spec(), 1),
+                      TextTable::pct(all.pvp(), 1),
+                      TextTable::pct(all.pvn(), 1)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Wrong-path branches mispredict far more often (their state "
+        "is corrupted and\ntheir history belongs to another path), so "
+        "the all-branches accuracy sits\nseveral points below the "
+        "committed accuracy and every estimator's PVN rises\n— a "
+        "speculation controller acting at fetch time operates in "
+        "this all-branch\nregime, which is why the paper insists on "
+        "pipeline-level measurement.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Figure 1: parametric curves showing how SENS, SPEC and
+ * prediction accuracy p determine PVP and PVN. Each curve holds two
+ * parameters fixed and sweeps the third; decile points are printed as
+ * (PVP, PVN) pairs, matching the markers in the paper's plot.
+ */
+
+#include "bench/bench_util.hh"
+#include "metrics/analytic.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+void
+printCurve(const char *label, SweepParam sweep, double sens,
+           double spec, double accuracy)
+{
+    std::printf("%s\n", label);
+    std::printf("  %-8s %-8s %-8s\n", "varied", "PVP", "PVN");
+    const auto points =
+        parametricCurve(sweep, sens, spec, accuracy, 0.0, 1.0, 10);
+    for (const auto &pt : points) {
+        std::printf("  %-8s %-8s %-8s\n",
+                    TextTable::pct(pt.varied).c_str(),
+                    TextTable::pct(pt.pvp, 1).c_str(),
+                    TextTable::pct(pt.pvn, 1).c_str());
+    }
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Figure 1", "parametric PVP/PVN model (analytic)");
+
+    // The five parameter combinations called out in the figure text.
+    printCurve("vary SPEC  [SENS=70%, p=70%]", SweepParam::Spec, 0.70,
+               0.0, 0.70);
+    printCurve("vary SPEC  [SENS=70%, p=90%]", SweepParam::Spec, 0.70,
+               0.0, 0.90);
+    printCurve("vary SENS  [SPEC=70%, p=70%]", SweepParam::Sens, 0.0,
+               0.70, 0.70);
+    printCurve("vary SENS  [SPEC=70%, p=90%]", SweepParam::Sens, 0.0,
+               0.70, 0.90);
+    printCurve("vary SENS  [SPEC=99%, p=90%]", SweepParam::Sens, 0.0,
+               0.99, 0.90);
+
+    // §1.1 worked diagnostic-test example as a cross-check.
+    std::printf("ELISA example (SENS=97.7%%, SPEC=92.6%%, prevalence "
+                "0.01%%): PVP = %.6f\n(paper: 0.001319)\n",
+                diagnosticPvp(0.977, 0.926, 0.0001));
+    return 0;
+}

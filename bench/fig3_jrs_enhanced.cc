@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Figure 3: the paper's enhanced JRS estimator (prediction
+ * direction folded into the MDC index) versus the original, on the
+ * gshare predictor. Each threshold 1..16 is one point of the PVP/PVN
+ * trade-off curve; all thresholds come from a single simulation pass
+ * per variant.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Figure 3", "JRS base vs enhanced (prediction-indexed) on "
+                       "gshare");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    JrsConfig base = cfg.jrs;
+    base.enhanced = false;
+    JrsConfig enhanced = cfg.jrs;
+    enhanced.enhanced = true;
+
+    const auto sweeps =
+        runJrsLevelSweeps(PredictorKind::Gshare, {base, enhanced}, cfg);
+
+    TextTable table({"threshold", "base PVP", "base PVN", "enh PVP",
+                     "enh PVN", "enh SPEC"});
+    for (unsigned thr = 1; thr <= 16; ++thr) {
+        const QuadrantFractions b = aggregateAtThreshold(sweeps[0], thr);
+        const QuadrantFractions e = aggregateAtThreshold(sweeps[1], thr);
+        table.addRow({TextTable::count(thr),
+                      TextTable::pct(b.pvp(), 1),
+                      TextTable::pct(b.pvn(), 1),
+                      TextTable::pct(e.pvp(), 1),
+                      TextTable::pct(e.pvn(), 1),
+                      TextTable::pct(e.spec(), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Quantify the difference at the paper's operating point.
+    const QuadrantFractions b15 = aggregateAtThreshold(sweeps[0], 15);
+    const QuadrantFractions e15 = aggregateAtThreshold(sweeps[1], 15);
+    std::printf("At threshold 15: enhanced PVN %s vs base %s.\n"
+                "The paper reports a noticeable gain on SPECint95; "
+                "with our synthetic\nworkloads' small static branch "
+                "footprint, MDC aliasing between branches\nwith "
+                "conflicting predictions is rare, so the enhancement "
+                "is neutral here\n(divergence documented in "
+                "EXPERIMENTS.md).\n",
+                TextTable::pct(e15.pvn(), 1).c_str(),
+                TextTable::pct(b15.pvn(), 1).c_str());
+    std::printf("Threshold 16 is unreachable for a 4-bit MDC: PVN "
+                "equals the misprediction\nrate (%s measured).\n",
+                TextTable::pct(1.0
+                                   - aggregateAtThreshold(sweeps[1], 16)
+                                         .accuracy(),
+                               1)
+                        .c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Figure 4: PVP/PVN of the (enhanced) JRS estimator on the
+ * gshare predictor as the hardware configuration varies — one curve
+ * per MDC table size, one point per threshold. The right-most point
+ * (threshold 16) is unreachable for 4-bit counters, so everything is
+ * low confidence and PVN equals the misprediction rate.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Figure 4", "JRS configuration sweep on gshare "
+                       "(table size x threshold)");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    const std::size_t sizes[] = {512, 1024, 2048, 4096, 8192};
+    std::vector<JrsConfig> configs;
+    for (const std::size_t size : sizes) {
+        JrsConfig jrs = cfg.jrs;
+        jrs.tableEntries = size;
+        configs.push_back(jrs);
+    }
+
+    const auto sweeps =
+        runJrsLevelSweeps(PredictorKind::Gshare, configs, cfg);
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::printf("MDC entries = %zu (4-bit counters)\n",
+                    configs[c].tableEntries);
+        TextTable table({"thr", "sens", "spec", "pvp", "pvn"});
+        for (unsigned thr = 1; thr <= 16; ++thr) {
+            const QuadrantFractions f =
+                aggregateAtThreshold(sweeps[c], thr);
+            auto cells = metricCells(f.sens(), f.spec(), f.pvp(),
+                                     f.pvn());
+            cells.insert(cells.begin(), TextTable::count(thr));
+            table.addRow(cells);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Paper shape: raising the threshold marks more "
+                "branches low confidence —\nSPEC rises, PVN falls "
+                "(more correct predictions land in LC); lowering it\n"
+                "raises SENS but lowers PVP. Larger tables reduce "
+                "destructive aliasing and\nshift the whole curve up.\n");
+    return 0;
+}

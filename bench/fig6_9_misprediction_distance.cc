@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Figures 6-9: misprediction rate versus distance to the
+ * previous misprediction, with precise (oracle, at-fetch) and
+ * perceived (resolution-time) distance definitions, for all branches
+ * and committed-only branches, under gshare (Figs. 6/8) and McFarling
+ * (Figs. 7/9).
+ */
+
+#include "bench/bench_util.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+void
+printProfiles(const char *title, const DistanceCollector &dist)
+{
+    std::printf("%s\n", title);
+    TextTable table({"distance", "precise/all", "precise/comm",
+                     "perceived/all", "perceived/comm"});
+    for (unsigned d = 1; d <= 15; ++d) {
+        table.addRow({TextTable::count(d),
+                      TextTable::pct(dist.preciseAll.rateAt(d), 1),
+                      TextTable::pct(dist.preciseCommitted.rateAt(d),
+                                     1),
+                      TextTable::pct(dist.perceivedAll.rateAt(d), 1),
+                      TextTable::pct(
+                              dist.perceivedCommitted.rateAt(d), 1)});
+    }
+    table.addRow({"average",
+                  TextTable::pct(dist.preciseAll.averageRate(), 1),
+                  TextTable::pct(dist.preciseCommitted.averageRate(),
+                                 1),
+                  TextTable::pct(dist.perceivedAll.averageRate(), 1),
+                  TextTable::pct(dist.perceivedCommitted.averageRate(),
+                                 1)});
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Figures 6-9", "misprediction clustering: rate vs distance "
+                          "to previous misprediction");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    for (const auto kind :
+         {PredictorKind::Gshare, PredictorKind::McFarling}) {
+        DistanceCollector dist(64);
+        for (const auto &spec : standardWorkloads()) {
+            const Program prog = spec.factory(cfg.workload);
+            auto pred = makePredictor(kind);
+            Pipeline pipe(prog, *pred, cfg.pipeline);
+            pipe.setSink([&dist](const BranchEvent &ev) {
+                dist.onEvent(ev);
+            });
+            pipe.run();
+        }
+        printProfiles(kind == PredictorKind::Gshare
+                              ? "gshare (Figs. 6 and 8)"
+                              : "McFarling (Figs. 7 and 9)",
+                      dist);
+    }
+
+    std::printf(
+        "Paper shape: branches immediately after a misprediction "
+        "mispredict far more\noften than average (clustering); with "
+        "perceived (resolution-time) distances\nthe clustering is "
+        "skewed toward larger distances because detection lags\nthe "
+        "actual misprediction by the branch resolution latency.\n\n"
+        "Note: the committed-only precise and perceived columns "
+        "coincide by\nconstruction — between a mispredicted committed "
+        "branch's fetch and its\ndetection the pipeline fetches only "
+        "wrong-path instructions, so no committed\nbranch can fall "
+        "between the two reset points. The detection skew lives in\n"
+        "the all-branches view, as in the paper's Figs. 8/9.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: raw throughput of the predictors,
+ * confidence estimators, the functional interpreter and the full
+ * pipeline model. These characterise the simulator itself rather than
+ * a paper artifact.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/branch_predictor.hh"
+#include "common/random.hh"
+#include "confidence/jrs.hh"
+#include "confidence/pattern.hh"
+#include "confidence/sat_counters.hh"
+#include "pipeline/pipeline.hh"
+#include "uarch/machine.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+void
+BM_PredictorPredictUpdate(benchmark::State &state)
+{
+    const auto kind = static_cast<PredictorKind>(state.range(0));
+    auto pred = makePredictor(kind);
+    Rng rng(1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (i++ % 512) * 4;
+        const BpInfo info = pred->predict(pc);
+        pred->update(pc, rng.chance(0.7), info);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(predictorKindName(kind));
+}
+BENCHMARK(BM_PredictorPredictUpdate)
+        ->Arg(static_cast<int>(PredictorKind::Bimodal))
+        ->Arg(static_cast<int>(PredictorKind::Gshare))
+        ->Arg(static_cast<int>(PredictorKind::McFarling))
+        ->Arg(static_cast<int>(PredictorKind::SAg));
+
+void
+BM_JrsEstimateUpdate(benchmark::State &state)
+{
+    JrsEstimator jrs;
+    Rng rng(2);
+    BpInfo info;
+    info.globalHistoryBits = 12;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (i % 512) * 4;
+        info.globalHistory = i & 0xfff;
+        info.predTaken = (i & 1) != 0;
+        benchmark::DoNotOptimize(jrs.estimate(pc, info));
+        jrs.update(pc, info.predTaken, rng.chance(0.9), info);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JrsEstimateUpdate);
+
+void
+BM_PatternClassifier(benchmark::State &state)
+{
+    std::uint64_t h = 0x12345;
+    for (auto _ : state) {
+        h = h * 6364136223846793005ull + 1;
+        benchmark::DoNotOptimize(
+                PatternEstimator::isConfidentPattern(h, 13));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternClassifier);
+
+void
+BM_MachineSteps(benchmark::State &state)
+{
+    const Program prog = makeWorkload("compress");
+    Machine machine(prog);
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        if (machine.halted())
+            machine.reset();
+        machine.step();
+        ++steps;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_MachineSteps);
+
+void
+BM_PipelineRun(benchmark::State &state)
+{
+    const Program prog = makeWorkload("compress");
+    for (auto _ : state) {
+        auto pred = makePredictor(PredictorKind::Gshare);
+        Pipeline pipe(prog, *pred);
+        const PipelineStats s = pipe.run();
+        benchmark::DoNotOptimize(s.cycles);
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(s.allInsts));
+    }
+}
+BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+} // namespace confsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Predictor-capacity sweep: vary the gshare table from 64 to 8192
+ * counters (history bits matched to the index width) and watch both
+ * the prediction accuracy and the attached JRS estimator's metrics.
+ * This turns the paper's closing observation — "as prediction accuracy
+ * increases, the PVN decreases in every confidence estimator we
+ * examined, in a large part because there are fewer incorrectly
+ * predicted branches to discover" — into a controlled, single-knob
+ * experiment.
+ */
+
+#include "bench/bench_util.hh"
+#include "bpred/gshare.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Capacity sweep", "gshare size vs accuracy vs JRS "
+                             "PVN/SPEC");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"gshare entries", "accuracy", "JRS sens",
+                     "JRS spec", "JRS pvp", "JRS pvn"});
+
+    for (const std::size_t entries :
+         {64ul, 256ul, 1024ul, 4096ul, 8192ul}) {
+        std::vector<QuadrantCounts> runs;
+        double accuracy = 0.0;
+        for (const auto &spec : standardWorkloads()) {
+            const Program prog = spec.factory(cfg.workload);
+            GshareConfig gcfg;
+            gcfg.tableEntries = entries;
+            gcfg.historyBits = floorLog2(entries);
+            GsharePredictor pred(gcfg);
+            JrsEstimator jrs(cfg.jrs);
+            Pipeline pipe(prog, pred, cfg.pipeline);
+            pipe.attachEstimator(&jrs);
+            ConfidenceCollector collector(1);
+            pipe.setSink([&collector](const BranchEvent &ev) {
+                collector.onEvent(ev);
+            });
+            const PipelineStats s = pipe.run();
+            runs.push_back(collector.committed(0));
+            accuracy += s.committedAccuracy();
+        }
+        accuracy /= static_cast<double>(standardWorkloads().size());
+        const QuadrantFractions f = aggregateQuadrants(runs);
+        table.addRow({TextTable::count(entries),
+                      TextTable::pct(accuracy, 1),
+                      TextTable::pct(f.sens(), 1),
+                      TextTable::pct(f.spec(), 1),
+                      TextTable::pct(f.pvp(), 1),
+                      TextTable::pct(f.pvn(), 1)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("As the predictor improves, the PVN falls and the "
+                "PVP rises — there are\nfewer mispredictions left to "
+                "find, and they get harder to find (§5). The\npaper "
+                "argues confidence estimation stays useful anyway, "
+                "because what\nremains is exactly the expensive "
+                "residue speculation control targets.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Diagnostic-test (ROC-style) trade-off curves: SENS versus SPEC of
+ * the three threshold-tunable estimators (JRS, distance, static) as
+ * their thresholds sweep, on gshare. In the §1.1 screening-test
+ * framing these are the estimators' operating-characteristic curves;
+ * an estimator dominates another when its curve lies outside it.
+ */
+
+#include "bench/bench_util.hh"
+#include "harness/collectors.hh"
+#include "harness/static_tuner.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("ROC curves", "SENS/SPEC operating characteristics of the "
+                         "tunable estimators (gshare)");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    // --- JRS: all thresholds from one pass (MDC levels). ---
+    const auto jrs_sweeps =
+        runJrsLevelSweeps(PredictorKind::Gshare, {cfg.jrs}, cfg);
+
+    // --- Distance: perceived fetch distance per committed branch. ---
+    std::vector<LevelSweep> dist_sweeps;
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        auto pred = makePredictor(PredictorKind::Gshare);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+        LevelSweep sweep(64);
+        pipe.setSink([&sweep](const BranchEvent &ev) {
+            if (ev.willCommit)
+                sweep.record(static_cast<unsigned>(std::min<
+                                     std::uint64_t>(
+                                     ev.perceivedDistAll - 1, 60)),
+                             ev.correct);
+        });
+        pipe.run();
+        dist_sweeps.push_back(std::move(sweep));
+    }
+
+    // --- Static: accuracy-threshold sweep via the tuner. ---
+    std::vector<StaticTuner> tuners;
+    for (const auto &spec : standardWorkloads()) {
+        WorkloadConfig wl = cfg.workload;
+        const Program prog = spec.factory(wl);
+        tuners.push_back(
+                buildStaticTuner(prog, PredictorKind::Gshare));
+    }
+    auto static_at = [&tuners](double threshold) {
+        std::vector<QuadrantCounts> runs;
+        for (const auto &tuner : tuners)
+            runs.push_back(tuner.quadrantsAt(threshold));
+        return aggregateQuadrants(runs);
+    };
+
+    std::printf("JRS (4096 x 4-bit, enhanced), thresholds 1..16:\n");
+    TextTable jrs_table({"thr", "sens", "spec"});
+    for (unsigned thr = 1; thr <= 16; ++thr) {
+        const QuadrantFractions f =
+            aggregateAtThreshold(jrs_sweeps[0], thr);
+        jrs_table.addRow({TextTable::count(thr),
+                          TextTable::pct(f.sens(), 1),
+                          TextTable::pct(f.spec(), 1)});
+    }
+    std::printf("%s\n", jrs_table.render().c_str());
+
+    std::printf("Distance (single counter), thresholds >0..>15:\n");
+    TextTable dist_table({"thr", "sens", "spec"});
+    for (unsigned thr = 0; thr <= 15; ++thr) {
+        const QuadrantFractions f =
+            aggregateAtThreshold(dist_sweeps, thr, false);
+        dist_table.addRow({"> " + std::to_string(thr),
+                           TextTable::pct(f.sens(), 1),
+                           TextTable::pct(f.spec(), 1)});
+    }
+    std::printf("%s\n", dist_table.render().c_str());
+
+    std::printf("Static (self-profiled), accuracy thresholds:\n");
+    TextTable static_table({"thr", "sens", "spec"});
+    for (const double thr :
+         {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99}) {
+        const QuadrantFractions f = static_at(thr);
+        static_table.addRow({TextTable::pct(thr),
+                             TextTable::pct(f.sens(), 1),
+                             TextTable::pct(f.spec(), 1)});
+    }
+    std::printf("%s\n", static_table.render().c_str());
+
+    std::printf("Reading: at matched SPEC, the estimator with the "
+                "higher SENS dominates.\nJRS's table dominates the "
+                "single-counter distance estimator across the\n"
+                "curve — the hardware cost buys operating points, not "
+                "a different shape.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates the §4.1 side experiment: do confidence *mis-estimations*
+ * cluster the way branch mispredictions do? The paper reports only
+ * slight clustering over larger distances (≈45% mis-estimation rate
+ * right after a mis-estimation, decaying to ≈33% beyond distance 8),
+ * which is what justifies treating consecutive low-confidence events
+ * as near-independent Bernoulli trials for boosting (§4.2).
+ */
+
+#include "bench/bench_util.hh"
+#include "confidence/jrs.hh"
+#include "confidence/sat_counters.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+void
+runConfig(const char *label, PredictorKind kind,
+          ConfidenceEstimator *make_estimator(const ExperimentConfig &),
+          const ExperimentConfig &cfg)
+{
+    MisestimationCollector collector(1, 16);
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        auto pred = makePredictor(kind);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+        ConfidenceEstimator *est = make_estimator(cfg);
+        pipe.attachEstimator(est);
+        pipe.setSink([&collector](const BranchEvent &ev) {
+            collector.onEvent(ev);
+        });
+        pipe.run();
+        delete est;
+    }
+
+    const DistanceProfile &p = collector.profile(0);
+    std::printf("%s\n", label);
+    TextTable table({"distance since mis-estimation",
+                     "mis-estimation rate"});
+    for (unsigned d = 1; d <= 10; ++d)
+        table.addRow({TextTable::count(d),
+                      TextTable::pct(p.rateAt(d), 1)});
+    table.addRow({">= 16 (tail)", TextTable::pct(p.rateAt(16), 1)});
+    table.addRow({"average", TextTable::pct(p.averageRate(), 1)});
+    std::printf("%s\n", table.render().c_str());
+}
+
+ConfidenceEstimator *
+makeJrs(const ExperimentConfig &cfg)
+{
+    return new JrsEstimator(cfg.jrs);
+}
+
+ConfidenceEstimator *
+makeSatCnt(const ExperimentConfig &)
+{
+    return new SatCountersEstimator(SatCountersVariant::BothStrong);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("§4.1", "clustering of confidence mis-estimations");
+
+    const ExperimentConfig cfg = benchConfig();
+    runConfig("JRS on gshare", PredictorKind::Gshare, &makeJrs, cfg);
+    runConfig("JRS on McFarling", PredictorKind::McFarling, &makeJrs,
+              cfg);
+    runConfig("Saturating counters (BothStrong) on McFarling",
+              PredictorKind::McFarling, &makeSatCnt, cfg);
+
+    std::printf(
+        "Paper shape: mis-estimations cluster only slightly, and only "
+        "over larger\ndistances — the rate decays gently from its "
+        "value right after a\nmis-estimation toward the long-distance "
+        "tail, so consecutive low-confidence\nestimates behave "
+        "approximately like independent Bernoulli trials.\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Regenerates §4.2: boosting the PVN by requiring N consecutive
+ * low-confidence estimates. Because mis-estimations are only weakly
+ * clustered (§4.1), consecutive LC estimates are approximately
+ * independent, so the probability that at least one of N LC branches
+ * is mispredicted follows 1 - (1 - PVN)^N. The bench measures both
+ * the per-branch boosted estimator and the pipeline-state probability
+ * the paper actually reasons about, and compares them to the
+ * Bernoulli model.
+ */
+
+#include <deque>
+
+#include "bench/bench_util.hh"
+#include "confidence/boosting.hh"
+#include "confidence/jrs.hh"
+#include "harness/collectors.hh"
+#include "metrics/analytic.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+/** Pipeline-state measurement: over the committed stream, group each
+ *  run of consecutive LC estimates into windows of N and count windows
+ *  containing at least one misprediction. */
+class WindowPvn
+{
+  public:
+    explicit WindowPvn(unsigned n) : degree(n) {}
+
+    void
+    onBranch(bool low_confidence, bool mispredicted)
+    {
+        if (!low_confidence) {
+            window.clear();
+            return;
+        }
+        window.push_back(mispredicted);
+        if (window.size() == degree) {
+            ++windows;
+            for (const bool miss : window)
+                if (miss) {
+                    ++hit_windows;
+                    break;
+                }
+            window.clear();
+        }
+    }
+
+    double
+    pvn() const
+    {
+        return windows == 0
+            ? 0.0
+            : static_cast<double>(hit_windows)
+                / static_cast<double>(windows);
+    }
+
+  private:
+    unsigned degree;
+    std::deque<bool> window;
+    std::uint64_t windows = 0;
+    std::uint64_t hit_windows = 0;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("§4.2", "boosting PVN with consecutive low-confidence "
+                   "events (JRS on gshare)");
+
+    const ExperimentConfig cfg = benchConfig();
+    constexpr unsigned MAX_DEGREE = 4;
+
+    // Attach: plain JRS (bit 0) + boosted wrappers of degree 2..4
+    // (each with its own JRS table so updates stay independent), and
+    // window measurements driven off the plain JRS bit.
+    std::vector<QuadrantCounts> plain_runs;
+    std::vector<std::vector<QuadrantCounts>> boosted_runs(
+            MAX_DEGREE + 1);
+    std::vector<WindowPvn> windows;
+    for (unsigned n = 1; n <= MAX_DEGREE; ++n)
+        windows.emplace_back(n);
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        auto pred = makePredictor(PredictorKind::Gshare);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+
+        JrsEstimator plain(cfg.jrs);
+        pipe.attachEstimator(&plain);
+        std::vector<std::unique_ptr<BoostingEstimator>> boosted;
+        for (unsigned n = 2; n <= MAX_DEGREE; ++n) {
+            boosted.push_back(std::make_unique<BoostingEstimator>(
+                    std::make_unique<JrsEstimator>(cfg.jrs), n));
+            pipe.attachEstimator(boosted.back().get());
+        }
+
+        ConfidenceCollector collector(MAX_DEGREE);
+        pipe.setSink([&](const BranchEvent &ev) {
+            collector.onEvent(ev);
+            if (ev.willCommit) {
+                const bool low = !ev.estimate(0);
+                for (auto &w : windows)
+                    w.onBranch(low, !ev.correct);
+            }
+        });
+        pipe.run();
+
+        plain_runs.push_back(collector.committed(0));
+        for (unsigned n = 2; n <= MAX_DEGREE; ++n)
+            boosted_runs[n].push_back(collector.committed(n - 1));
+    }
+
+    const QuadrantFractions base = aggregateQuadrants(plain_runs);
+    const double pvn1 = base.pvn();
+
+    TextTable table({"N (consecutive LC)", "Bernoulli model",
+                     "window-measured", "boosted estimator PVN",
+                     "boosted SPEC"});
+    for (unsigned n = 1; n <= MAX_DEGREE; ++n) {
+        std::string est_pvn = "-", est_spec = "-";
+        if (n == 1) {
+            est_pvn = TextTable::pct(base.pvn(), 1);
+            est_spec = TextTable::pct(base.spec(), 1);
+        } else {
+            const QuadrantFractions f =
+                aggregateQuadrants(boosted_runs[n]);
+            est_pvn = TextTable::pct(f.pvn(), 1);
+            est_spec = TextTable::pct(f.spec(), 1);
+        }
+        table.addRow({TextTable::count(n),
+                      TextTable::pct(boostedPvn(pvn1, n), 1),
+                      TextTable::pct(windows[n - 1].pvn(), 1),
+                      est_pvn, est_spec});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf(
+        "Paper shape: with PVN_1 around 30%%, two consecutive LC "
+        "events reach ≈50%%\n(1-(1-PVN)^2). Boosting describes the "
+        "pipeline state, not one branch: the\nwindow-measured "
+        "probability tracks the Bernoulli model because §4.1 showed\n"
+        "mis-estimations are nearly unclustered.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Table 1: program characteristics — committed instruction
+ * and conditional-branch counts, branch prediction accuracy under
+ * gshare / McFarling / SAg, and the committed-versus-all-instructions
+ * speculation ratio (measured with the gshare predictor, as in the
+ * paper).
+ */
+
+#include "bench/bench_util.hh"
+#include "harness/trace_run.hh"
+#include "pipeline/pipeline.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Table 1", "program characteristics, committed vs all "
+                      "instructions");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"application", "inst(M)", "cond.br(M)",
+                     "acc gshare", "acc McF.", "acc SAg",
+                     "all inst(M)", "ratio all/comm"});
+
+    RunningStat ratio_stat;
+    double total_inst = 0.0, total_br = 0.0;
+    RunningStat acc_g, acc_m, acc_s;
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+
+        double acc[3] = {};
+        int idx = 0;
+        for (const auto kind :
+             {PredictorKind::Gshare, PredictorKind::McFarling,
+              PredictorKind::SAg}) {
+            auto pred = makePredictor(kind);
+            acc[idx++] = runTrace(prog, *pred).accuracy();
+        }
+
+        auto pred = makePredictor(PredictorKind::Gshare);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+        const PipelineStats s = pipe.run();
+
+        const double m = 1e-6;
+        table.addRow({spec.name,
+                      TextTable::num(s.committedInsts * m, 2),
+                      TextTable::num(s.committedCondBranches * m, 3),
+                      TextTable::pct(acc[0], 1),
+                      TextTable::pct(acc[1], 1),
+                      TextTable::pct(acc[2], 1),
+                      TextTable::num(s.allInsts * m, 2),
+                      TextTable::num(s.ratioAllToCommitted(), 2)});
+        ratio_stat.add(s.ratioAllToCommitted());
+        total_inst += s.committedInsts * m;
+        total_br += s.committedCondBranches * m;
+        acc_g.add(acc[0]);
+        acc_m.add(acc[1]);
+        acc_s.add(acc[2]);
+    }
+
+    table.addRow({"mean",
+                  TextTable::num(total_inst / 8.0, 2),
+                  TextTable::num(total_br / 8.0, 3),
+                  TextTable::pct(acc_g.mean(), 1),
+                  TextTable::pct(acc_m.mean(), 1),
+                  TextTable::pct(acc_s.mean(), 1), "-",
+                  TextTable::num(ratio_stat.mean(), 2)});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper shape: processors issue 20-100%% more "
+                "instructions than commit\n(ratio 1.2-2.0); go is the "
+                "least predictable benchmark, m88ksim among\nthe most "
+                "predictable. Absolute counts differ (synthetic "
+                "workload analogs).\n");
+    return 0;
+}

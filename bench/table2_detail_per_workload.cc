@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-application companion to Table 2 (the paper defers these
+ * detailed tables to its tech report [5]): SENS/SPEC/PVP/PVN of every
+ * standard estimator on every workload, for each of the three branch
+ * predictors, over committed branches.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Table 2 detail", "per-application estimator metrics "
+                             "(tech-report companion)");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    for (const auto kind :
+         {PredictorKind::Gshare, PredictorKind::McFarling,
+          PredictorKind::SAg}) {
+        std::printf("=== %s predictor ===\n\n",
+                    predictorKindName(kind));
+        const std::vector<WorkloadResult> results =
+            runStandardSuite(kind, cfg);
+
+        for (std::size_t e = 0; e < NUM_STANDARD_ESTIMATORS; ++e) {
+            std::printf("%s\n", standardEstimatorNames()[e].c_str());
+            TextTable table({"application", "accuracy", "sens",
+                             "spec", "pvp", "pvn"});
+            for (const auto &r : results) {
+                const QuadrantCounts &q = r.quadrants[e];
+                auto cells = metricCells(q.sens(), q.spec(), q.pvp(),
+                                         q.pvn());
+                cells.insert(cells.begin(),
+                             TextTable::pct(q.accuracy(), 1));
+                cells.insert(cells.begin(), r.workload);
+                table.addRow(cells);
+            }
+            const QuadrantFractions mean =
+                aggregateEstimator(results, e);
+            auto mean_cells = metricCells(mean.sens(), mean.spec(),
+                                          mean.pvp(), mean.pvn());
+            mean_cells.insert(mean_cells.begin(), "-");
+            mean_cells.insert(mean_cells.begin(), "Mean");
+            table.addRow(mean_cells);
+            std::printf("%s\n", table.render().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Table 2: the four confidence estimators (JRS thr>=15,
+ * saturating counters, history pattern, static thr>90%) compared on
+ * all three branch predictors, reporting the across-workload mean of
+ * SENS / SPEC / PVP / PVN over committed branches, aggregated the
+ * paper's way (averages of normalised quadrants).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Table 2", "confidence estimators x branch predictors "
+                      "(mean of 8 workloads)");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    for (const auto kind :
+         {PredictorKind::Gshare, PredictorKind::McFarling,
+          PredictorKind::SAg}) {
+        std::printf("--- %s predictor ---\n", predictorKindName(kind));
+        const std::vector<WorkloadResult> results =
+            runStandardSuite(kind, cfg);
+
+        double accuracy = 0.0;
+        for (const auto &r : results)
+            accuracy += r.pipe.committedAccuracy();
+        accuracy /= static_cast<double>(results.size());
+
+        TextTable table({"Confidence Estimator", "sens", "spec",
+                         "pvp", "pvn"});
+        const struct
+        {
+            std::size_t index;
+            const char *label;
+        } rows[] = {
+            {EST_JRS, "JRS, Threshold >= 15"},
+            {EST_SATCNT, "Saturating Counters"},
+            {EST_PATTERN, "History Pattern"},
+            {EST_STATIC, "Static, Threshold > 90%"},
+        };
+        for (const auto &row : rows) {
+            const QuadrantFractions f =
+                aggregateEstimator(results, row.index);
+            auto cells = metricCells(f.sens(), f.spec(), f.pvp(),
+                                     f.pvn());
+            cells.insert(cells.begin(), row.label);
+            table.addRow(cells);
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("mean committed prediction accuracy: %s\n\n",
+                    TextTable::pct(accuracy, 1).c_str());
+    }
+
+    std::printf(
+        "Paper shape (gshare): JRS has the best PVP (~98%%) and high "
+        "SPEC (~96%%);\nsaturating counters trade PVP for the best "
+        "PVN; the history pattern method\nhas very low SENS on global-"
+        "history predictors but recovers on SAg, where\nits cost "
+        "advantage makes it competitive. PVN drops as the predictor "
+        "improves.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Table 3: the two saturating-counters variants on the
+ * McFarling predictor — "Both Strong" (HC only when both component
+ * counters are saturated) versus "Either Strong" (LC only when both
+ * are weak) — per application and as the mean.
+ */
+
+#include "bench/bench_util.hh"
+#include "confidence/sat_counters.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    banner("Table 3", "Both-Strong vs Either-Strong saturating "
+                      "counters on McFarling");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"application", "BS sens", "BS spec", "BS pvp",
+                     "BS pvn", "ES sens", "ES spec", "ES pvp",
+                     "ES pvn"});
+
+    std::vector<QuadrantCounts> both_runs, either_runs;
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        auto pred = makePredictor(PredictorKind::McFarling);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+
+        SatCountersEstimator both(SatCountersVariant::BothStrong);
+        SatCountersEstimator either(SatCountersVariant::EitherStrong);
+        pipe.attachEstimator(&both);
+        pipe.attachEstimator(&either);
+
+        ConfidenceCollector collector(2);
+        pipe.setSink([&collector](const BranchEvent &ev) {
+            collector.onEvent(ev);
+        });
+        pipe.run();
+
+        const QuadrantCounts &bq = collector.committed(0);
+        const QuadrantCounts &eq = collector.committed(1);
+        both_runs.push_back(bq);
+        either_runs.push_back(eq);
+
+        std::vector<std::string> cells = {spec.name};
+        for (const auto *q : {&bq, &eq}) {
+            for (const std::string &cell :
+                 metricCells(q->sens(), q->spec(), q->pvp(),
+                             q->pvn()))
+                cells.push_back(cell);
+        }
+        table.addRow(cells);
+    }
+
+    const QuadrantFractions bm = aggregateQuadrants(both_runs);
+    const QuadrantFractions em = aggregateQuadrants(either_runs);
+    std::vector<std::string> mean_cells = {"Mean"};
+    for (const auto *f :
+         std::initializer_list<const QuadrantFractions *>{&bm, &em}) {
+        for (const std::string &cell :
+             metricCells(f->sens(), f->spec(), f->pvp(), f->pvn()))
+            mean_cells.push_back(cell);
+    }
+    table.addRow(mean_cells);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper shape: Both-Strong is the stricter test — "
+                "fewer branches marked HC,\nso higher SPEC and PVP; "
+                "Either-Strong marks almost everything HC, so its\n"
+                "SENS is near 100%% and its small low-confidence set "
+                "is concentrated on real\nmispredictions (higher "
+                "PVN). Pick by application: PVP-hungry designs "
+                "(bandwidth\nmultithreading) want Either-Strong, "
+                "SPEC/PVN-hungry ones (gating, eager\nexecution) "
+                "want Both-Strong.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Regenerates Table 4: the misprediction-distance confidence estimator
+ * (a single global counter — "a JRS estimator with one MDC register")
+ * at thresholds >1 .. >7, against JRS, saturating counters and static
+ * on gshare and McFarling, plus the history-pattern estimator on SAg.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+#include "confidence/distance.hh"
+#include "harness/collectors.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+/** Per-predictor data: standard estimator quadrants plus a distance
+ *  level sweep, one entry per workload. */
+struct PredictorData
+{
+    std::vector<WorkloadResult> standard;
+    std::vector<LevelSweep> distance;
+};
+
+PredictorData
+collect(PredictorKind kind, const ExperimentConfig &cfg)
+{
+    PredictorData data;
+    data.standard = runStandardSuite(kind, cfg);
+
+    for (const auto &spec : standardWorkloads()) {
+        const Program prog = spec.factory(cfg.workload);
+        auto pred = makePredictor(kind);
+        Pipeline pipe(prog, *pred, cfg.pipeline);
+
+        // The paper's distance estimator counts branches *fetched*
+        // since the last *resolved* misprediction — exactly the
+        // pipeline's perceived distance (minus the branch itself).
+        LevelSweep sweep(64);
+        pipe.setSink([&sweep](const BranchEvent &ev) {
+            if (!ev.willCommit)
+                return;
+            const std::uint64_t level =
+                std::min<std::uint64_t>(ev.perceivedDistAll - 1, 60);
+            sweep.record(static_cast<unsigned>(level), ev.correct);
+        });
+        pipe.run();
+        data.distance.push_back(std::move(sweep));
+    }
+    return data;
+}
+
+void
+addEstimatorRow(TextTable &table, const char *name,
+                const char *threshold, const char *predictor,
+                const QuadrantFractions &f)
+{
+    std::vector<std::string> cells = {name, threshold, predictor};
+    for (const std::string &cell :
+         metricCells(f.sens(), f.spec(), f.pvp(), f.pvn()))
+        cells.push_back(cell);
+    table.addRow(cells);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Table 4", "misprediction distance as a confidence "
+                      "estimator");
+
+    const ExperimentConfig cfg = benchConfig();
+
+    TextTable table({"Confidence Estimator", "Threshold",
+                     "Branch Predictor", "sens", "spec", "pvp",
+                     "pvn"});
+
+    for (const auto kind :
+         {PredictorKind::Gshare, PredictorKind::McFarling}) {
+        const char *pname = predictorKindName(kind);
+        const PredictorData data = collect(kind, cfg);
+
+        addEstimatorRow(table, "JRS", ">= 15", pname,
+                        aggregateEstimator(data.standard, EST_JRS));
+        addEstimatorRow(table, "Satur. Cntrs", "N.A.", pname,
+                        aggregateEstimator(data.standard,
+                                           EST_SATCNT));
+        addEstimatorRow(table, "Static", "> 90%", pname,
+                        aggregateEstimator(data.standard,
+                                           EST_STATIC));
+        for (unsigned thr = 1; thr <= 7; ++thr) {
+            const QuadrantFractions f =
+                aggregateAtThreshold(data.distance, thr, false);
+            addEstimatorRow(table, "Distance",
+                            (std::string("> ")
+                             + std::to_string(thr))
+                                    .c_str(),
+                            pname, f);
+        }
+    }
+
+    // SAg history-pattern reference row.
+    {
+        const std::vector<WorkloadResult> sag =
+            runStandardSuite(PredictorKind::SAg, cfg);
+        addEstimatorRow(table, "Hist. Pattern", "N.A.", "sag",
+                        aggregateEstimator(sag, EST_PATTERN));
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper shape: raising the distance threshold trades SENS for "
+        "SPEC; the\ndistance estimator approaches the table-based "
+        "estimators' utility at a tiny\nfraction of their cost, "
+        "because mispredictions cluster (Figs. 6-9).\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Example: using confidence estimation to control eager (dual-path)
+ * execution (§2.2). A low-confidence branch is worth forking: if it
+ * turns out mispredicted (probability = PVN), the fork rescued the
+ * whole misprediction penalty. The example compares forking on the
+ * JRS signal against forking on *every* branch and forking on none,
+ * across the workload suite.
+ *
+ *   ./examples/eager_execution
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "metrics/analytic.hh"
+#include "speccontrol/eager.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    std::printf("Eager execution guided by JRS confidence (gshare "
+                "predictor)\n\n");
+
+    ExperimentConfig cfg;
+    const std::vector<WorkloadResult> results =
+        runStandardSuite(PredictorKind::Gshare, cfg);
+
+    TextTable table({"application", "policy", "fork rate",
+                     "fork yield", "net cycles saved",
+                     "est. speedup"});
+
+    for (const auto &r : results) {
+        const QuadrantCounts &q = r.quadrants[EST_JRS];
+
+        // Policy A: fork on low confidence (the paper's proposal).
+        const EagerEstimate conf = evaluateEagerExecution(q, r.pipe);
+
+        // Policy B: fork on every branch (all LC) — maximal coverage,
+        // maximal waste.
+        QuadrantCounts all_lc;
+        all_lc.clc = q.chc + q.clc;
+        all_lc.ilc = q.ihc + q.ilc;
+        const EagerEstimate always =
+            evaluateEagerExecution(all_lc, r.pipe);
+
+        table.addRow({r.workload, "confidence",
+                      TextTable::pct(conf.forkRate, 1),
+                      TextTable::pct(conf.forkYield, 1),
+                      TextTable::num(conf.netSavedCycles, 0),
+                      TextTable::num(conf.estimatedSpeedup, 3)});
+        table.addRow({"", "fork-always",
+                      TextTable::pct(always.forkRate, 1),
+                      TextTable::pct(always.forkYield, 1),
+                      TextTable::num(always.netSavedCycles, 0),
+                      TextTable::num(always.estimatedSpeedup, 3)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Confidence-guided forking concentrates the fork "
+                "budget where PVN is high;\nforking every branch "
+                "drowns the savings in fetch-bandwidth overhead.\n"
+                "Boosting note: two consecutive LC estimates with PVN "
+                "30%% imply a combined\n1-(1-0.3)^2 = %.0f%%%% chance "
+                "the pipeline holds a misprediction (§4.2).\n",
+                100.0 * boostedPvn(0.3, 2));
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Example: confidence-driven pipeline gating for power conservation
+ * (the paper's companion application [11], Manne et al.).
+ *
+ * Fetch is stalled whenever N or more in-flight branches carry a
+ * low-confidence estimate — the instructions that would have been
+ * fetched are exactly the ones least likely to commit. The example
+ * sweeps the gating threshold and prints the energy-relevant metric
+ * (wrong-path instructions eliminated) against the performance cost.
+ *
+ *   ./examples/pipeline_gating [workload]     (default: go)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "speccontrol/gating.hh"
+#include "workloads/workload.hh"
+
+using namespace confsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "go";
+
+    const WorkloadSpec *spec = nullptr;
+    for (const auto &s : standardWorkloads())
+        if (s.name == workload)
+            spec = &s;
+    if (spec == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    ExperimentConfig cfg;
+    std::printf("Pipeline gating on '%s' (gshare + enhanced JRS)\n\n",
+                workload.c_str());
+
+    TextTable table({"gate threshold", "wrong-path insts",
+                     "reduction", "cycles", "slowdown",
+                     "gated cycles"});
+
+    GatingResult baseline_run = runGatingExperiment(
+            *spec, PredictorKind::Gshare, cfg, 1);
+    table.addRow({"off",
+                  TextTable::count(baseline_run.baselineWrongPath()),
+                  "-",
+                  TextTable::count(baseline_run.baseline.cycles),
+                  "1.000", "0"});
+
+    for (const unsigned threshold : {1u, 2u, 3u, 4u}) {
+        const GatingResult r = runGatingExperiment(
+                *spec, PredictorKind::Gshare, cfg, threshold);
+        table.addRow({TextTable::count(threshold),
+                      TextTable::count(r.gatedWrongPath()),
+                      TextTable::pct(r.extraWorkReduction(), 1),
+                      TextTable::count(r.gated.cycles),
+                      TextTable::num(r.slowdown(), 3),
+                      TextTable::count(r.gated.gatedCycles)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Tighter gates (threshold 1) eliminate the most "
+                "wasted work but stall fetch\nmost often; the paper's "
+                "power work picks the knee of this curve.\n");
+    return 0;
+}

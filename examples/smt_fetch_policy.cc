@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: confidence-directed SMT fetch (§2.2). Four hardware
+ * threads share one fetch port; the low-confidence policy grants the
+ * port to the thread whose in-flight branches look most trustworthy,
+ * so fetch bandwidth is not spent on instructions that will be
+ * squashed.
+ *
+ *   ./examples/smt_fetch_policy
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "speccontrol/smt.hh"
+#include "workloads/workload.hh"
+
+using namespace confsim;
+
+int
+main()
+{
+    std::printf("SMT fetch policies: 4 threads "
+                "(compress, go, m88ksim, vortex), 1 fetch port\n\n");
+
+    TextTable table({"policy", "cycles", "aggregate IPC",
+                     "wasted work", "per-thread committed"});
+
+    for (const auto policy :
+         {FetchPolicy::RoundRobin, FetchPolicy::FewestInFlight,
+          FetchPolicy::LowConfidence}) {
+        SmtConfig cfg;
+        cfg.policy = policy;
+        cfg.fetchThreadsPerCycle = 1;
+
+        SmtSimulator sim(cfg);
+        sim.addThread(standardWorkloads()[0]); // compress
+        sim.addThread(standardWorkloads()[3]); // go
+        sim.addThread(standardWorkloads()[4]); // m88ksim
+        sim.addThread(standardWorkloads()[6]); // vortex
+        const SmtStats s = sim.run();
+
+        std::string per_thread;
+        for (std::size_t t = 0; t < s.perThreadCommitted.size(); ++t) {
+            per_thread += TextTable::count(s.perThreadCommitted[t]);
+            if (t + 1 < s.perThreadCommitted.size())
+                per_thread += "/";
+        }
+        table.addRow({fetchPolicyName(policy),
+                      TextTable::count(s.cycles),
+                      TextTable::num(s.throughput(), 3),
+                      TextTable::pct(s.wastedWorkFraction(), 1),
+                      per_thread});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The low-confidence policy is the paper's SMT "
+                "application: a thread whose\npending branches are "
+                "low confidence is probably fetching instructions "
+                "that\nwill never commit, so the port is better "
+                "granted to another thread.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "bpred/bimodal.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+BimodalPredictor::BimodalPredictor(const BimodalConfig &config)
+    : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.tableEntries))
+        fatal("bimodal table size must be a power of two");
+    // Initialise to weakly taken: the customary neutral power-on state.
+    table.assign(cfg.tableEntries,
+                 SatCounter(cfg.counterBits,
+                            (1u << cfg.counterBits) / 2));
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (cfg.tableEntries - 1);
+}
+
+const SatCounter &
+BimodalPredictor::counterAt(Addr pc) const
+{
+    return table[index(pc)];
+}
+
+BpInfo
+BimodalPredictor::predict(Addr pc)
+{
+    const SatCounter &ctr = table[index(pc)];
+    BpInfo info;
+    info.predTaken = ctr.taken();
+    info.counterValue = ctr.read();
+    info.counterMax = ctr.max();
+    return info;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    (void)info;
+    table[index(pc)].update(taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &ctr : table)
+        ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);
+}
+
+} // namespace confsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Smith-style bimodal predictor: a table of 2-bit saturating counters
+ * indexed by branch address. Serves standalone and as the PC-indexed
+ * component of the McFarling combining predictor.
+ */
+
+#ifndef CONFSIM_BPRED_BIMODAL_HH
+#define CONFSIM_BPRED_BIMODAL_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for BimodalPredictor. */
+struct BimodalConfig
+{
+    std::size_t tableEntries = 4096; ///< power-of-two counter count
+    unsigned counterBits = 2;        ///< counter width
+};
+
+/**
+ * PC-indexed table of saturating counters.
+ */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param config table geometry. */
+    explicit BimodalPredictor(const BimodalConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override { return "bimodal"; }
+    void reset() override;
+
+    /** Direct counter access for the combining predictor. */
+    const SatCounter &counterAt(Addr pc) const;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    BimodalConfig cfg;
+    std::vector<SatCounter> table;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_BIMODAL_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Abstract branch-predictor interface.
+ *
+ * The interface is designed around the needs of the paper's experiments:
+ *
+ *  - predict() returns a BpInfo that, besides the direction, exposes the
+ *    *internal state* the prediction was derived from (counter values,
+ *    component strengths, history registers). Confidence estimators such
+ *    as the saturating-counters and pattern-history methods read that
+ *    state instead of keeping their own tables — exactly the "reuse
+ *    existing branch prediction state" idea of the paper.
+ *
+ *  - Global-history predictors update their history *speculatively* at
+ *    predict() time with the predicted direction (as in the paper's
+ *    speculative gshare/McFarling) and repair it in update() when the
+ *    prediction turns out wrong. SAg updates history non-speculatively
+ *    in update() only.
+ */
+
+#ifndef CONFSIM_BPRED_BRANCH_PREDICTOR_HH
+#define CONFSIM_BPRED_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/**
+ * A prediction plus the predictor-internal state it was based on.
+ * Fields that do not apply to a given predictor keep their defaults.
+ */
+struct BpInfo
+{
+    bool predTaken = false;      ///< predicted direction
+
+    /// Direction-counter state backing this prediction (selected
+    /// component for McFarling).
+    unsigned counterValue = 0;
+    unsigned counterMax = 3;
+
+    /// Pre-prediction global history (gshare/McFarling); used for
+    /// confidence-table indexing and misprediction repair.
+    std::uint64_t globalHistory = 0;
+    unsigned globalHistoryBits = 0;
+
+    /// Per-branch (local) history for SAg-style predictors.
+    std::uint64_t localHistory = 0;
+    unsigned localHistoryBits = 0;
+
+    /// McFarling component state: is each component counter saturated?
+    bool bimodalStrong = false;
+    bool gshareStrong = false;
+    /// Per-component predicted directions (combining predictors).
+    bool bimodalPredTaken = false;
+    bool gsharePredTaken = false;
+    /// Which component the meta-predictor selected (true = gshare).
+    bool metaChoseGshare = false;
+    /// True for predictors that actually have component state.
+    bool hasComponents = false;
+};
+
+/**
+ * Interface shared by every direction predictor.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the direction of the conditional branch at @p pc.
+     * Speculative-history predictors shift the predicted direction into
+     * their global history as a side effect.
+     */
+    virtual BpInfo predict(Addr pc) = 0;
+
+    /**
+     * Train the predictor with the resolved outcome of a branch
+     * previously predicted via predict().
+     *
+     * On a misprediction, speculative-history predictors restore their
+     * global history from @p info and insert the actual outcome,
+     * squashing any younger speculative bits (which belong to wrong-path
+     * branches that are being squashed anyway).
+     *
+     * @param pc branch address.
+     * @param taken resolved direction.
+     * @param info the BpInfo returned by the corresponding predict().
+     */
+    virtual void update(Addr pc, bool taken, const BpInfo &info) = 0;
+
+    /** Human-readable predictor name, e.g. "gshare". */
+    virtual std::string name() const = 0;
+
+    /** Restore the power-on state. */
+    virtual void reset() = 0;
+};
+
+/** Identifier of a concrete predictor family. */
+enum class PredictorKind
+{
+    Bimodal,
+    Gshare,
+    McFarling,
+    SAg,
+    Gselect, ///< concatenated index (McFarling TN-36 baseline)
+    GAg,     ///< history-only index (degenerate gselect)
+    PAs,     ///< tagged per-address two-level (Yeh & Patt)
+};
+
+/** @return human-readable name of a predictor kind. */
+const char *predictorKindName(PredictorKind kind);
+
+/**
+ * Construct one of the paper's predictor configurations.
+ * @param kind which predictor family.
+ * @return freshly constructed predictor with paper-default geometry
+ *         (gshare: 4096 counters / 12-bit history; McFarling: 4096-entry
+ *         components; SAg: 2048-entry BHT, 13-bit histories, 8192 PHT).
+ */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind);
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_BRANCH_PREDICTOR_HH

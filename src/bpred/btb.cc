@@ -1,0 +1,80 @@
+#include "bpred/btb.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+Btb::Btb(const BtbConfig &config)
+    : cfg(config)
+{
+    if (cfg.ways == 0)
+        fatal("BTB associativity must be nonzero");
+    if (cfg.entries % cfg.ways != 0)
+        fatal("BTB entries must be divisible by ways");
+    sets = cfg.entries / cfg.ways;
+    if (!isPowerOfTwo(sets))
+        fatal("BTB set count must be a power of two");
+    entries.assign(cfg.entries, Entry{});
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return (pc >> 2) & (sets - 1);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    ++lookupCount;
+    ++useClock;
+    Entry *base = &entries[setOf(pc) * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == pc) {
+            e.lastUse = useClock;
+            return e.target;
+        }
+    }
+    ++missCount;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++useClock;
+    Entry *base = &entries[setOf(pc) * cfg.ways];
+    Entry *victim = base;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = useClock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = useClock;
+}
+
+void
+Btb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    lookupCount = 0;
+    missCount = 0;
+    useClock = 0;
+}
+
+} // namespace confsim

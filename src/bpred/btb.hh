@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch target buffer: a tagged, set-associative cache from branch
+ * address to target address. The pipeline's fetch engine needs the
+ * target of a taken-predicted branch *in the fetch cycle*; a BTB miss
+ * costs a fetch bubble until decode produces the target. Optional in
+ * the pipeline model (the paper's simulator treats fetch redirection
+ * as free; the BTB is our opt-in realism ablation).
+ */
+
+#ifndef CONFSIM_BPRED_BTB_HH
+#define CONFSIM_BPRED_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** Geometry of a Btb. */
+struct BtbConfig
+{
+    std::size_t entries = 512; ///< total entries (power of two)
+    unsigned ways = 4;         ///< associativity
+};
+
+/**
+ * Tagged target cache with true-LRU replacement.
+ */
+class Btb
+{
+  public:
+    /** @param config geometry; entries must divide evenly by ways. */
+    explicit Btb(const BtbConfig &config = {});
+
+    /**
+     * Look up the target for the branch at @p pc, updating LRU state.
+     * @return the cached target, or nullopt on miss.
+     */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Install or refresh the target mapping for @p pc. */
+    void update(Addr pc, Addr target);
+
+    /** Invalidate all entries and clear statistics. */
+    void reset();
+
+    /** Lookups since reset. */
+    std::uint64_t lookups() const { return lookupCount; }
+
+    /** Lookup misses since reset. */
+    std::uint64_t misses() const { return missCount; }
+
+    /** Miss ratio; 0 when no lookups. */
+    double
+    missRate() const
+    {
+        return lookupCount == 0
+            ? 0.0
+            : static_cast<double>(missCount)
+                / static_cast<double>(lookupCount);
+    }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setOf(Addr pc) const;
+
+    BtbConfig cfg;
+    std::size_t sets;
+    std::vector<Entry> entries;
+    std::uint64_t lookupCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_BTB_HH

@@ -1,0 +1,56 @@
+#include "bpred/branch_predictor.hh"
+
+#include "bpred/bimodal.hh"
+#include "bpred/gselect.hh"
+#include "bpred/gshare.hh"
+#include "bpred/mcfarling.hh"
+#include "bpred/pas.hh"
+#include "bpred/sag.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+const char *
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal: return "bimodal";
+      case PredictorKind::Gshare: return "gshare";
+      case PredictorKind::McFarling: return "mcfarling";
+      case PredictorKind::SAg: return "sag";
+      case PredictorKind::Gselect: return "gselect";
+      case PredictorKind::GAg: return "gag";
+      case PredictorKind::PAs: return "pas";
+    }
+    return "???";
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>();
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+      case PredictorKind::McFarling:
+        return std::make_unique<McFarlingPredictor>();
+      case PredictorKind::SAg:
+        return std::make_unique<SAgPredictor>();
+      case PredictorKind::Gselect:
+        return std::make_unique<GselectPredictor>();
+      case PredictorKind::GAg:
+        {
+            GselectConfig cfg;
+            cfg.addrBits = 0;
+            cfg.historyBits = 12;
+            return std::make_unique<GselectPredictor>(cfg);
+        }
+      case PredictorKind::PAs:
+        return std::make_unique<PAsPredictor>();
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace confsim

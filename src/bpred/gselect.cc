@@ -1,0 +1,74 @@
+#include "bpred/gselect.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+GselectPredictor::GselectPredictor(const GselectConfig &config)
+    : cfg(config),
+      ghr(config.historyBits == 0 ? 1 : config.historyBits)
+{
+    if (cfg.addrBits + cfg.historyBits == 0
+        || cfg.addrBits + cfg.historyBits > 24) {
+        fatal("gselect index width must be in [1, 24]");
+    }
+    table.assign(std::size_t{1} << (cfg.addrBits + cfg.historyBits),
+                 SatCounter(cfg.counterBits,
+                            (1u << cfg.counterBits) / 2));
+}
+
+std::size_t
+GselectPredictor::index(Addr pc, std::uint64_t hist) const
+{
+    const std::uint64_t addr_part =
+        (pc >> 2) & lowBitMask(cfg.addrBits);
+    const std::uint64_t hist_part = hist & lowBitMask(cfg.historyBits);
+    return (addr_part << cfg.historyBits) | hist_part;
+}
+
+BpInfo
+GselectPredictor::predict(Addr pc)
+{
+    const std::uint64_t hist = ghr.value();
+    const SatCounter &ctr = table[index(pc, hist)];
+    BpInfo info;
+    info.predTaken = ctr.taken();
+    info.counterValue = ctr.read();
+    info.counterMax = ctr.max();
+    info.globalHistory = hist;
+    info.globalHistoryBits = cfg.historyBits;
+    if (cfg.speculativeHistory && cfg.historyBits > 0)
+        ghr.shiftIn(info.predTaken);
+    return info;
+}
+
+void
+GselectPredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    table[index(pc, info.globalHistory)].update(taken);
+    if (cfg.historyBits == 0)
+        return;
+    if (!cfg.speculativeHistory) {
+        ghr.shiftIn(taken);
+    } else if (info.predTaken != taken) {
+        ghr.restore((info.globalHistory << 1) | (taken ? 1 : 0));
+    }
+}
+
+std::string
+GselectPredictor::name() const
+{
+    return cfg.addrBits == 0 ? "gag" : "gselect";
+}
+
+void
+GselectPredictor::reset()
+{
+    for (auto &ctr : table)
+        ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);
+    ghr.clear();
+}
+
+} // namespace confsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * gselect predictor (McFarling 1993): concatenate low branch-address
+ * bits with global-history bits to index the counter table — the
+ * classic alternative to gshare's xor that McFarling's TN-36 compares
+ * against. Also provides GAg (history-only indexing) as the
+ * degenerate addrBits = 0 case.
+ */
+
+#ifndef CONFSIM_BPRED_GSELECT_HH
+#define CONFSIM_BPRED_GSELECT_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for GselectPredictor. */
+struct GselectConfig
+{
+    unsigned addrBits = 6;    ///< low PC bits in the index
+    unsigned historyBits = 6; ///< global-history bits in the index
+    unsigned counterBits = 2; ///< counter width
+    /** Speculative history update with repair (as gshare). */
+    bool speculativeHistory = true;
+};
+
+/**
+ * Concatenation-indexed two-level predictor. The table has
+ * 2^(addrBits + historyBits) counters.
+ */
+class GselectPredictor : public BranchPredictor
+{
+  public:
+    /** @param config index split; addrBits + historyBits <= 24. */
+    explicit GselectPredictor(const GselectConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Current (possibly speculative) global history. */
+    std::uint64_t history() const { return ghr.value(); }
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t hist) const;
+
+    GselectConfig cfg;
+    std::vector<SatCounter> table;
+    HistoryRegister ghr;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_GSELECT_HH

@@ -1,0 +1,77 @@
+#include "bpred/gshare.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+GsharePredictor::GsharePredictor(const GshareConfig &config)
+    : cfg(config), ghr(config.historyBits)
+{
+    if (!isPowerOfTwo(cfg.tableEntries))
+        fatal("gshare table size must be a power of two");
+    table.assign(cfg.tableEntries,
+                 SatCounter(cfg.counterBits,
+                            (1u << cfg.counterBits) / 2));
+}
+
+std::size_t
+GsharePredictor::index(Addr pc, std::uint64_t hist) const
+{
+    return ((pc >> 2) ^ hist) & (cfg.tableEntries - 1);
+}
+
+BpInfo
+GsharePredictor::predict(Addr pc)
+{
+    BpInfo info = predictWithHistory(pc, ghr.value());
+    // Speculative history update: shift in the *predicted* direction.
+    if (cfg.speculativeHistory)
+        ghr.shiftIn(info.predTaken);
+    return info;
+}
+
+BpInfo
+GsharePredictor::predictWithHistory(Addr pc, std::uint64_t hist) const
+{
+    const SatCounter &ctr = table[index(pc, hist)];
+    BpInfo info;
+    info.predTaken = ctr.taken();
+    info.counterValue = ctr.read();
+    info.counterMax = ctr.max();
+    info.globalHistory = hist;
+    info.globalHistoryBits = cfg.historyBits;
+    return info;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    updateWithHistory(pc, info.globalHistory, taken);
+    if (!cfg.speculativeHistory) {
+        // Non-speculative mode: history advances only at resolution.
+        ghr.shiftIn(taken);
+    } else if (info.predTaken != taken) {
+        // Misprediction: younger speculative history bits belong to
+        // squashed wrong-path branches. Rebuild the history as
+        // (pre-branch history, actual outcome).
+        ghr.restore((info.globalHistory << 1) | (taken ? 1 : 0));
+    }
+}
+
+void
+GsharePredictor::updateWithHistory(Addr pc, std::uint64_t hist, bool taken)
+{
+    table[index(pc, hist)].update(taken);
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &ctr : table)
+        ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);
+    ghr.clear();
+}
+
+} // namespace confsim

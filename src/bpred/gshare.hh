@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gshare predictor (McFarling 1993): a table of 2-bit counters indexed
+ * by the xor of the branch address and the global history register.
+ * History is updated *speculatively* with the predicted direction and
+ * repaired on misprediction, matching the paper's "speculative gshare".
+ */
+
+#ifndef CONFSIM_BPRED_GSHARE_HH
+#define CONFSIM_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for GsharePredictor. */
+struct GshareConfig
+{
+    std::size_t tableEntries = 4096; ///< power-of-two counter count
+    unsigned historyBits = 12;       ///< global history length
+    unsigned counterBits = 2;        ///< counter width
+    /** Shift the *predicted* outcome into the history at predict()
+     *  (repaired on misprediction); false = update history only at
+     *  resolution with the actual outcome (the ablation of §3.1). */
+    bool speculativeHistory = true;
+};
+
+/**
+ * Global-history xor-indexed predictor with speculative history update.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /** @param config table/history geometry. */
+    explicit GsharePredictor(const GshareConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override { return "gshare"; }
+    void reset() override;
+
+    /** Current (speculative) global history value. */
+    std::uint64_t history() const { return ghr.value(); }
+
+    /**
+     * Component-mode prediction for the combining predictor: compute the
+     * prediction without touching the history register (the combiner
+     * owns a shared history).
+     */
+    BpInfo predictWithHistory(Addr pc, std::uint64_t hist) const;
+
+    /** Component-mode update with an explicit history value. */
+    void updateWithHistory(Addr pc, std::uint64_t hist, bool taken);
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t hist) const;
+
+    GshareConfig cfg;
+    std::vector<SatCounter> table;
+    HistoryRegister ghr;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_GSHARE_HH

@@ -1,0 +1,107 @@
+#include "bpred/mcfarling.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+McFarlingPredictor::McFarlingPredictor(const McFarlingConfig &config)
+    : cfg(config), ghr(config.historyBits)
+{
+    if (!isPowerOfTwo(cfg.gshareEntries)
+        || !isPowerOfTwo(cfg.bimodalEntries)
+        || !isPowerOfTwo(cfg.metaEntries)) {
+        fatal("McFarling table sizes must be powers of two");
+    }
+    const unsigned mid = (1u << cfg.counterBits) / 2;
+    gshareTable.assign(cfg.gshareEntries, SatCounter(cfg.counterBits, mid));
+    bimodalTable.assign(cfg.bimodalEntries,
+                        SatCounter(cfg.counterBits, mid));
+    metaTable.assign(cfg.metaEntries, SatCounter(cfg.counterBits, mid));
+}
+
+std::size_t
+McFarlingPredictor::gshareIndex(Addr pc, std::uint64_t hist) const
+{
+    return ((pc >> 2) ^ hist) & (cfg.gshareEntries - 1);
+}
+
+std::size_t
+McFarlingPredictor::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.bimodalEntries - 1);
+}
+
+std::size_t
+McFarlingPredictor::metaIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.metaEntries - 1);
+}
+
+BpInfo
+McFarlingPredictor::predict(Addr pc)
+{
+    const std::uint64_t hist = ghr.value();
+    const SatCounter &gctr = gshareTable[gshareIndex(pc, hist)];
+    const SatCounter &bctr = bimodalTable[bimodalIndex(pc)];
+    const SatCounter &meta = metaTable[metaIndex(pc)];
+
+    BpInfo info;
+    info.hasComponents = true;
+    info.metaChoseGshare = meta.taken();
+    info.gshareStrong = gctr.isStrong();
+    info.bimodalStrong = bctr.isStrong();
+    info.gsharePredTaken = gctr.taken();
+    info.bimodalPredTaken = bctr.taken();
+    info.globalHistory = hist;
+    info.globalHistoryBits = cfg.historyBits;
+
+    const SatCounter &chosen = info.metaChoseGshare ? gctr : bctr;
+    info.predTaken = chosen.taken();
+    info.counterValue = chosen.read();
+    info.counterMax = chosen.max();
+
+    // Speculative shared-history update with the predicted direction.
+    ghr.shiftIn(info.predTaken);
+    return info;
+}
+
+void
+McFarlingPredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    SatCounter &gctr = gshareTable[gshareIndex(pc, info.globalHistory)];
+    SatCounter &bctr = bimodalTable[bimodalIndex(pc)];
+    SatCounter &meta = metaTable[metaIndex(pc)];
+
+    const bool gshare_correct = gctr.taken() == taken;
+    const bool bimodal_correct = bctr.taken() == taken;
+
+    // Meta predictor trains toward the component that was right, only
+    // when the components disagreed.
+    if (gshare_correct != bimodal_correct)
+        meta.update(gshare_correct);
+
+    gctr.update(taken);
+    bctr.update(taken);
+
+    if (info.predTaken != taken) {
+        // Repair the speculative history: drop squashed younger bits.
+        ghr.restore((info.globalHistory << 1) | (taken ? 1 : 0));
+    }
+}
+
+void
+McFarlingPredictor::reset()
+{
+    const unsigned mid = (1u << cfg.counterBits) / 2;
+    for (auto &c : gshareTable)
+        c = SatCounter(cfg.counterBits, mid);
+    for (auto &c : bimodalTable)
+        c = SatCounter(cfg.counterBits, mid);
+    for (auto &c : metaTable)
+        c = SatCounter(cfg.counterBits, mid);
+    ghr.clear();
+}
+
+} // namespace confsim

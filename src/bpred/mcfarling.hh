@@ -1,0 +1,63 @@
+/**
+ * @file
+ * McFarling combining predictor (DEC WRL TN-36, 1993): a gshare
+ * component and a PC-indexed bimodal component, arbitrated by a meta
+ * predictor of 2-bit counters. The global history is shared and updated
+ * speculatively, as in the paper's "speculative McFarling".
+ */
+
+#ifndef CONFSIM_BPRED_MCFARLING_HH
+#define CONFSIM_BPRED_MCFARLING_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for McFarlingPredictor. */
+struct McFarlingConfig
+{
+    std::size_t gshareEntries = 4096;  ///< gshare counter count
+    std::size_t bimodalEntries = 4096; ///< bimodal counter count
+    std::size_t metaEntries = 4096;    ///< meta counter count
+    unsigned historyBits = 12;         ///< shared global history bits
+    unsigned counterBits = 2;          ///< width of all counters
+};
+
+/**
+ * Combining predictor exposing component saturation state so the
+ * "Both Strong" / "Either Strong" confidence estimators can read it.
+ */
+class McFarlingPredictor : public BranchPredictor
+{
+  public:
+    /** @param config component geometry. */
+    explicit McFarlingPredictor(const McFarlingConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override { return "mcfarling"; }
+    void reset() override;
+
+    /** Current (speculative) global history value. */
+    std::uint64_t history() const { return ghr.value(); }
+
+  private:
+    std::size_t gshareIndex(Addr pc, std::uint64_t hist) const;
+    std::size_t bimodalIndex(Addr pc) const;
+    std::size_t metaIndex(Addr pc) const;
+
+    McFarlingConfig cfg;
+    std::vector<SatCounter> gshareTable;
+    std::vector<SatCounter> bimodalTable;
+    std::vector<SatCounter> metaTable;
+    HistoryRegister ghr;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_MCFARLING_HH

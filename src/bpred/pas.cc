@@ -1,0 +1,125 @@
+#include "bpred/pas.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+PAsPredictor::PAsPredictor(const PAsConfig &config)
+    : cfg(config)
+{
+    if (cfg.ways == 0)
+        fatal("PAs associativity must be nonzero");
+    if (cfg.historyEntries % cfg.ways != 0)
+        fatal("PAs history entries must be divisible by ways");
+    sets = cfg.historyEntries / cfg.ways;
+    if (!isPowerOfTwo(sets) || !isPowerOfTwo(cfg.phtEntries))
+        fatal("PAs table sizes must be powers of two");
+    if (cfg.historyBits == 0 || cfg.historyBits > 63)
+        fatal("PAs history length must be in [1, 63]");
+    historyMask = lowBitMask(cfg.historyBits);
+    entries.assign(cfg.historyEntries, Entry{});
+    pht.assign(cfg.phtEntries,
+               SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2));
+}
+
+std::size_t
+PAsPredictor::setOf(Addr pc) const
+{
+    return (pc >> 2) & (sets - 1);
+}
+
+PAsPredictor::Entry *
+PAsPredictor::find(Addr pc)
+{
+    Entry *base = &entries[setOf(pc) * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w)
+        if (base[w].valid && base[w].tag == pc)
+            return &base[w];
+    return nullptr;
+}
+
+const PAsPredictor::Entry *
+PAsPredictor::find(Addr pc) const
+{
+    const Entry *base = &entries[setOf(pc) * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w)
+        if (base[w].valid && base[w].tag == pc)
+            return &base[w];
+    return nullptr;
+}
+
+PAsPredictor::Entry &
+PAsPredictor::findOrAllocate(Addr pc)
+{
+    if (Entry *hit = find(pc)) {
+        hit->lastUse = ++useClock;
+        return *hit;
+    }
+    Entry *base = &entries[setOf(pc) * cfg.ways];
+    Entry *victim = base;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->history = 0;
+    victim->lastUse = ++useClock;
+    return *victim;
+}
+
+std::size_t
+PAsPredictor::phtIndex(std::uint64_t history) const
+{
+    return history & (cfg.phtEntries - 1);
+}
+
+bool
+PAsPredictor::tracks(Addr pc) const
+{
+    return find(pc) != nullptr;
+}
+
+BpInfo
+PAsPredictor::predict(Addr pc)
+{
+    const Entry *entry = find(pc);
+    const std::uint64_t history = entry ? entry->history : 0;
+    const SatCounter &ctr = pht[phtIndex(history)];
+
+    BpInfo info;
+    info.predTaken = ctr.taken();
+    info.counterValue = ctr.read();
+    info.counterMax = ctr.max();
+    info.localHistory = history;
+    info.localHistoryBits = cfg.historyBits;
+    return info;
+}
+
+void
+PAsPredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    pht[phtIndex(info.localHistory)].update(taken);
+    Entry &entry = findOrAllocate(pc);
+    entry.history =
+        ((entry.history << 1) | (taken ? 1 : 0)) & historyMask;
+}
+
+void
+PAsPredictor::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    for (auto &ctr : pht)
+        ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);
+    useClock = 0;
+}
+
+} // namespace confsim

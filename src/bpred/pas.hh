@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PAs two-level predictor (Yeh & Patt): per-address branch histories
+ * kept in a *tagged*, BTB-like structure, feeding a shared pattern
+ * table. The paper contrasts this with SAg: "The SAg model is similar
+ * to the PAs, which is usually implemented with a branch target
+ * buffer, but the SAg is 'tagless' and may alias branch histories."
+ * PAs trades capacity misses (untracked branches fall back to an
+ * empty history) for alias-free histories.
+ *
+ * Like SAg, history is updated non-speculatively at resolution.
+ */
+
+#ifndef CONFSIM_BPRED_PAS_HH
+#define CONFSIM_BPRED_PAS_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for PAsPredictor. */
+struct PAsConfig
+{
+    std::size_t historyEntries = 2048; ///< tagged history slots
+    unsigned ways = 4;                 ///< associativity
+    unsigned historyBits = 13;         ///< per-branch history length
+    std::size_t phtEntries = 8192;     ///< shared pattern counters
+    unsigned counterBits = 2;          ///< counter width
+};
+
+/**
+ * Tagged per-address two-level predictor.
+ */
+class PAsPredictor : public BranchPredictor
+{
+  public:
+    /** @param config table geometry. */
+    explicit PAsPredictor(const PAsConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override { return "pas"; }
+    void reset() override;
+
+    /** True when the branch at @p pc currently holds a history slot. */
+    bool tracks(Addr pc) const;
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        std::uint64_t history = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setOf(Addr pc) const;
+    Entry *find(Addr pc);
+    const Entry *find(Addr pc) const;
+    Entry &findOrAllocate(Addr pc);
+    std::size_t phtIndex(std::uint64_t history) const;
+
+    PAsConfig cfg;
+    std::size_t sets;
+    std::uint64_t historyMask;
+    std::vector<Entry> entries;
+    std::vector<SatCounter> pht;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_PAS_HH

@@ -1,0 +1,66 @@
+#include "bpred/sag.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+SAgPredictor::SAgPredictor(const SAgConfig &config)
+    : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.bhtEntries) || !isPowerOfTwo(cfg.phtEntries))
+        fatal("SAg table sizes must be powers of two");
+    bht.assign(cfg.bhtEntries, HistoryRegister(cfg.historyBits));
+    pht.assign(cfg.phtEntries,
+               SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2));
+}
+
+std::size_t
+SAgPredictor::bhtIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.bhtEntries - 1);
+}
+
+std::size_t
+SAgPredictor::phtIndex(std::uint64_t hist) const
+{
+    return hist & (cfg.phtEntries - 1);
+}
+
+BpInfo
+SAgPredictor::predict(Addr pc)
+{
+    const HistoryRegister &hist = bht[bhtIndex(pc)];
+    const SatCounter &ctr = pht[phtIndex(hist.value())];
+
+    BpInfo info;
+    info.predTaken = ctr.taken();
+    info.counterValue = ctr.read();
+    info.counterMax = ctr.max();
+    info.localHistory = hist.value();
+    info.localHistoryBits = cfg.historyBits;
+    // Non-speculative: history is not touched here.
+    return info;
+}
+
+void
+SAgPredictor::update(Addr pc, bool taken, const BpInfo &info)
+{
+    // Train the PHT entry that produced this prediction: use the local
+    // history captured at predict() time (older in-flight branches may
+    // already have shifted the live register by resolve time).
+    pht[phtIndex(info.localHistory)].update(taken);
+    bht[bhtIndex(pc)].shiftIn(taken);
+}
+
+void
+SAgPredictor::reset()
+{
+    for (auto &h : bht)
+        h.clear();
+    for (auto &c : pht)
+        c = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);
+}
+
+} // namespace confsim

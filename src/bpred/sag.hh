@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SAg two-level predictor (Yeh & Patt): a tagless per-branch history
+ * table (BHT) feeding a single global pattern history table (PHT) of
+ * 2-bit counters. As in the paper, the SAg history is updated
+ * *non-speculatively* — only in update(), with the resolved outcome —
+ * because rolling back per-branch histories on a squash is impractical
+ * in hardware.
+ */
+
+#ifndef CONFSIM_BPRED_SAG_HH
+#define CONFSIM_BPRED_SAG_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/** Configuration for SAgPredictor (paper defaults). */
+struct SAgConfig
+{
+    std::size_t bhtEntries = 2048; ///< per-branch history registers
+    unsigned historyBits = 13;     ///< length of each history register
+    std::size_t phtEntries = 8192; ///< pattern-table counters
+    unsigned counterBits = 2;      ///< counter width
+};
+
+/**
+ * Tagless two-level per-address predictor. The BpInfo carries the local
+ * history pattern so the pattern-history confidence estimator (Lick et
+ * al.) can classify it.
+ */
+class SAgPredictor : public BranchPredictor
+{
+  public:
+    /** @param config table geometry. */
+    explicit SAgPredictor(const SAgConfig &config = {});
+
+    BpInfo predict(Addr pc) override;
+    void update(Addr pc, bool taken, const BpInfo &info) override;
+    std::string name() const override { return "sag"; }
+    void reset() override;
+
+  private:
+    std::size_t bhtIndex(Addr pc) const;
+    std::size_t phtIndex(std::uint64_t hist) const;
+
+    SAgConfig cfg;
+    std::vector<HistoryRegister> bht;
+    std::vector<SatCounter> pht;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_SAG_HH

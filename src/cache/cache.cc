@@ -1,0 +1,88 @@
+#include "cache/cache.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (cfg.associativity == 0)
+        fatal("cache associativity must be nonzero");
+    if (cfg.sizeBytes % (cfg.lineBytes * cfg.associativity) != 0)
+        fatal("cache size must be divisible by line size * ways");
+
+    sets = cfg.sizeBytes / (cfg.lineBytes * cfg.associativity);
+    if (!isPowerOfTwo(sets))
+        fatal("cache set count must be a power of two");
+    lineShift = floorLog2(cfg.lineBytes);
+    lines.assign(sets * cfg.associativity, Line{});
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr >> lineShift) / sets;
+}
+
+std::size_t
+Cache::setOf(Addr addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+Cycle
+Cache::access(Addr addr)
+{
+    ++accessCount;
+    ++useClock;
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines[setOf(addr) * cfg.associativity];
+
+    Line *victim = base;
+    for (unsigned w = 0; w < cfg.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            return cfg.hitLatency;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++missCount;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return cfg.hitLatency + cfg.missLatency;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines[setOf(addr) * cfg.associativity];
+    for (unsigned w = 0; w < cfg.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    accessCount = 0;
+    missCount = 0;
+    useClock = 0;
+}
+
+} // namespace confsim

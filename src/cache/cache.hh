@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative cache timing model with LRU replacement. Used by the
+ * pipeline as the L1 instruction and data caches of the paper's
+ * methodology (64 kB D / 128 kB I, 2-cycle access). This is a timing
+ * filter only — data flows through the functional interpreter — so the
+ * model tracks tags, not contents.
+ */
+
+#ifndef CONFSIM_CACHE_CACHE_HH
+#define CONFSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** Geometry and latency configuration of a Cache. */
+struct CacheConfig
+{
+    std::string name = "cache";  ///< label for statistics output
+    std::size_t sizeBytes = 64 * 1024; ///< total capacity
+    std::size_t lineBytes = 32;  ///< block size
+    unsigned associativity = 2;  ///< ways per set
+    Cycle hitLatency = 2;        ///< cycles for a hit
+    Cycle missLatency = 12;      ///< additional cycles for a miss
+};
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement.
+ */
+class Cache
+{
+  public:
+    /** @param config geometry; size/line/assoc must divide evenly. */
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the block containing @p addr, updating LRU state and
+     * allocating on miss.
+     * @return access latency in cycles (hit or miss path).
+     */
+    Cycle access(Addr addr);
+
+    /**
+     * Probe without side effects.
+     * @return true when the block containing @p addr is resident.
+     */
+    bool contains(Addr addr) const;
+
+    /** Invalidate every line. */
+    void reset();
+
+    /** Total accesses since reset. */
+    std::uint64_t accesses() const { return accessCount; }
+
+    /** Total misses since reset. */
+    std::uint64_t misses() const { return missCount; }
+
+    /** Miss ratio; 0 when no accesses. */
+    double
+    missRate() const
+    {
+        return accessCount == 0
+            ? 0.0
+            : static_cast<double>(missCount)
+                / static_cast<double>(accessCount);
+    }
+
+    /** Configuration this cache was built with. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+        bool valid = false;
+    };
+
+    std::uint64_t tagOf(Addr addr) const;
+    std::size_t setOf(Addr addr) const;
+
+    CacheConfig cfg;
+    std::size_t sets;
+    unsigned lineShift;
+    std::vector<Line> lines; ///< sets * associativity, set-major
+    std::uint64_t accessCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CACHE_CACHE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by table-indexed structures.
+ */
+
+#ifndef CONFSIM_COMMON_BIT_UTILS_HH
+#define CONFSIM_COMMON_BIT_UTILS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** @return true iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ * @param v value to take the logarithm of; must be a power of two.
+ * @return floor(log2(v)).
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr std::uint64_t
+lowBitMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+/**
+ * Fold the bits of an address into @p bits bits by xor-ing successive
+ * chunks, discarding the low @p shift alignment bits first.
+ */
+inline std::uint64_t
+foldAddress(Addr addr, unsigned bits, unsigned shift = 2)
+{
+    std::uint64_t v = addr >> shift;
+    std::uint64_t result = 0;
+    while (v != 0) {
+        result ^= v & lowBitMask(bits);
+        v >>= bits;
+    }
+    return result;
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_BIT_UTILS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Branch-history shift register with speculative update and repair.
+ *
+ * Speculative global-history predictors (gshare, McFarling) shift the
+ * *predicted* outcome into the history at prediction time and must restore
+ * the pre-branch history when a misprediction squashes younger branches.
+ * We support that by letting callers snapshot the register value.
+ */
+
+#ifndef CONFSIM_COMMON_HISTORY_REGISTER_HH
+#define CONFSIM_COMMON_HISTORY_REGISTER_HH
+
+#include <cstdint>
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+/**
+ * A fixed-width shift register of branch outcomes, newest bit in the
+ * least-significant position.
+ */
+class HistoryRegister
+{
+  public:
+    /** @param bits history length in bits (1..63). */
+    explicit HistoryRegister(unsigned bits)
+        : widthBits(bits), mask(lowBitMask(bits)), bitsValue(0)
+    {
+        if (bits == 0 || bits > 63)
+            fatal("HistoryRegister width must be in [1, 63]");
+    }
+
+    /** Shift in one outcome (true = taken). */
+    void
+    shiftIn(bool taken)
+    {
+        bitsValue = ((bitsValue << 1) | (taken ? 1 : 0)) & mask;
+    }
+
+    /** Current packed history value. */
+    std::uint64_t value() const { return bitsValue; }
+
+    /** Restore a previously captured value (misprediction repair). */
+    void restore(std::uint64_t v) { bitsValue = v & mask; }
+
+    /** History length in bits. */
+    unsigned width() const { return widthBits; }
+
+    /** Clear all history bits. */
+    void clear() { bitsValue = 0; }
+
+  private:
+    unsigned widthBits;
+    std::uint64_t mask;
+    std::uint64_t bitsValue;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_HISTORY_REGISTER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic tradition.
+ *
+ * fatal() is for user error (bad configuration); panic() is for internal
+ * invariant violations that should never happen regardless of input.
+ */
+
+#ifndef CONFSIM_COMMON_LOGGING_HH
+#define CONFSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace confsim
+{
+
+/**
+ * Abort the process for an internal error. Use for simulator bugs.
+ * @param msg description of the violated invariant.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit the process for a user/configuration error.
+ * @param msg description of the bad input.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/**
+ * Print a non-fatal warning about questionable behaviour.
+ * @param msg description of the condition.
+ */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_LOGGING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by the
+ * synthetic workload generators. Deliberately not std::mt19937 so that
+ * streams are reproducible across standard-library implementations.
+ */
+
+#ifndef CONFSIM_COMMON_RANDOM_HH
+#define CONFSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace confsim
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * algorithm), seeded via splitmix64 for full state diffusion.
+ */
+class Rng
+{
+  public:
+    /** @param seed any 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @param bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free reduction is fine here; slight
+        // modulo bias is irrelevant for workload synthesis.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_RANDOM_HH

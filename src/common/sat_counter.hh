@@ -1,0 +1,101 @@
+/**
+ * @file
+ * N-bit saturating counter, the workhorse state element of branch
+ * predictors and of the JRS miss-distance counter (MDC) tables.
+ */
+
+#ifndef CONFSIM_COMMON_SAT_COUNTER_HH
+#define CONFSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+/**
+ * An unsigned saturating counter with a configurable bit width.
+ *
+ * For a 2-bit branch-direction counter the conventional encoding is
+ * 0 = strongly not-taken, 1 = weakly not-taken, 2 = weakly taken,
+ * 3 = strongly taken; taken() and isWeak() implement that reading.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits counter width in bits (1..16).
+     * @param initial initial counter value (clamped to the maximum).
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal((1u << bits) - 1),
+          value(initial > maxVal ? maxVal : initial)
+    {
+        if (bits == 0 || bits > 16)
+            fatal("SatCounter width must be in [1, 16]");
+    }
+
+    /** Increment, saturating at the maximum value. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Reset the counter to zero (JRS "resetting counter" semantics). */
+    void reset() { value = 0; }
+
+    /** Set the counter to its maximum value. */
+    void saturate() { value = maxVal; }
+
+    /** Current raw counter value. */
+    unsigned read() const { return value; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+    /** Direction reading: counters in the upper half predict taken. */
+    bool taken() const { return value > maxVal / 2; }
+
+    /**
+     * Hysteresis reading: the two transitional middle states of the
+     * classic 2-bit FSM are "weak"; the saturated extremes are "strong".
+     * Generalised to n bits as "neither 0 nor max".
+     */
+    bool isWeak() const { return value != 0 && value != maxVal; }
+
+    /** True when fully saturated in either direction. */
+    bool isStrong() const { return !isWeak(); }
+
+    /**
+     * Move the counter toward the given outcome (standard bimodal
+     * update rule).
+     * @param outcome_taken the resolved branch direction.
+     */
+    void
+    update(bool outcome_taken)
+    {
+        if (outcome_taken)
+            increment();
+        else
+            decrement();
+    }
+
+  private:
+    unsigned maxVal;
+    unsigned value;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,97 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace confsim
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        runningMean = x;
+        m2 = 0.0;
+        minVal = x;
+        maxVal = x;
+        return;
+    }
+    const double delta = x - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (x - runningMean);
+    if (x < minVal)
+        minVal = x;
+    if (x > maxVal)
+        maxVal = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    n = 0;
+    total = 0.0;
+    runningMean = 0.0;
+    m2 = 0.0;
+    minVal = 0.0;
+    maxVal = 0.0;
+}
+
+Histogram::Histogram(std::size_t num_buckets)
+    : counts(num_buckets, 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t x)
+{
+    ++totalCount;
+    if (x < counts.size())
+        ++counts[x];
+    else
+        ++overflowCount;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    return i < counts.size() ? counts[i] : 0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    overflowCount = 0;
+    totalCount = 0;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        const double clamped = v > 1e-12 ? v : 1e-12;
+        log_sum += std::log(clamped);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace confsim

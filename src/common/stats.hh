@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight statistics accumulators: running scalar statistics,
+ * ratio counters, and bounded histograms. These back every measurement
+ * the experiment harness reports.
+ */
+
+#ifndef CONFSIM_COMMON_STATS_HH
+#define CONFSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * Accumulates count/sum/min/max/mean/variance of a stream of samples
+ * using Welford's online algorithm.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n == 0 ? 0.0 : runningMean; }
+
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return n == 0 ? 0.0 : minVal; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return n == 0 ? 0.0 : maxVal; }
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minVal = 0.0;
+    double maxVal = 0.0;
+};
+
+/**
+ * A hit/total ratio counter with a safe quotient.
+ */
+class RatioStat
+{
+  public:
+    /** Record one event; @p hit says whether it counts as a numerator. */
+    void
+    record(bool hit)
+    {
+        ++totalCount;
+        if (hit)
+            ++hitCount;
+    }
+
+    /** Numerator. */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** Denominator. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** hits/total; 0 when no events recorded. */
+    double
+    ratio() const
+    {
+        return totalCount == 0
+            ? 0.0
+            : static_cast<double>(hitCount)
+                / static_cast<double>(totalCount);
+    }
+
+    /** Discard all events. */
+    void
+    reset()
+    {
+        hitCount = 0;
+        totalCount = 0;
+    }
+
+  private:
+    std::uint64_t hitCount = 0;
+    std::uint64_t totalCount = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, buckets); samples at or beyond the last
+ * bucket accumulate in an overflow bin. Used for misprediction-distance
+ * distributions (Figs. 6-9).
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of unit-width buckets before overflow. */
+    explicit Histogram(std::size_t num_buckets);
+
+    /** Add one sample at integer position @p x. */
+    void add(std::uint64_t x);
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Count of samples >= the bucket range. */
+    std::uint64_t overflow() const { return overflowCount; }
+
+    /** Total samples. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** Number of unit buckets. */
+    std::size_t size() const { return counts.size(); }
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflowCount = 0;
+    std::uint64_t totalCount = 0;
+};
+
+/**
+ * Geometric mean over a set of strictly positive values; values <= 0 are
+ * clamped to a tiny epsilon so a single zero does not zero the mean
+ * (matches common benchmarking practice).
+ */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_STATS_HH

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+TextTable::TextTable(std::vector<std::string> column_headers)
+    : headers(std::move(column_headers))
+{
+    if (headers.empty())
+        fatal("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size())
+        fatal("TextTable row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    emit_row(headers);
+    std::size_t rule_len = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(rule_len, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    emit_row(headers);
+    for (const auto &row : rows)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::count(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return buf;
+}
+
+} // namespace confsim

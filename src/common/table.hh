@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table renderer and CSV writer used by the benchmark
+ * harness to print paper-style tables and figure series.
+ */
+
+#ifndef CONFSIM_COMMON_TABLE_HH
+#define CONFSIM_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; helpers format
+ * percentages and counts the way the paper's tables do.
+ */
+class TextTable
+{
+  public:
+    /** @param column_headers header cell for each column. */
+    explicit TextTable(std::vector<std::string> column_headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header separator. */
+    std::string render() const;
+
+    /** Render as comma-separated values (header + rows). */
+    std::string renderCsv() const;
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Format a fraction as a paper-style percentage, e.g. "96%". */
+    static std::string pct(double fraction, int decimals = 0);
+
+    /** Format a double with fixed decimals. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format an integer count. */
+    static std::string count(std::uint64_t value);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ConfSim module.
+ */
+
+#ifndef CONFSIM_COMMON_TYPES_HH
+#define CONFSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace confsim
+{
+
+/** Program address (instruction or data). */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Monotone instruction sequence number (fetch order, incl. wrong path). */
+using SeqNum = std::uint64_t;
+
+/** Machine word of the mini-ISA. */
+using Word = std::int64_t;
+
+/** Unsigned machine word of the mini-ISA. */
+using UWord = std::uint64_t;
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_TYPES_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Boosting composite estimator (§4.2). Confidence mis-estimations are
+ * only weakly clustered, so consecutive low-confidence estimates are
+ * approximately independent Bernoulli trials: if one LC estimate is an
+ * actual misprediction with probability PVN, then among N consecutive
+ * LC estimates *at least one* is a misprediction with probability
+ * 1 - (1 - PVN)^N.
+ *
+ * The boosted signal therefore describes the *pipeline state* ("the
+ * instructions beyond this point are unlikely to commit"), not any
+ * single branch — which is exactly what SMT fetch gating and pipeline
+ * gating consume. This wrapper emits low confidence only once the
+ * underlying estimator has produced N consecutive low-confidence
+ * estimates.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_BOOSTING_HH
+#define CONFSIM_CONFIDENCE_BOOSTING_HH
+
+#include <memory>
+
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** Which confidence class a BoostingEstimator accumulates. */
+enum class BoostMode
+{
+    /** Require N consecutive LC estimates before signalling LC —
+     *  boosts the PVN (SMT gating, eager execution, power). */
+    LowConfidence,
+    /** Require N consecutive HC estimates before signalling HC —
+     *  boosts the PVP (bandwidth multithreading, §4.2 last note). */
+    HighConfidence,
+};
+
+/**
+ * Wraps another estimator and requires @p n consecutive estimates of
+ * the boosted class before emitting that class itself.
+ */
+class BoostingEstimator : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param base underlying estimator (owned).
+     * @param n number of consecutive estimates required; n = 1
+     *        degenerates to the base estimator.
+     * @param boost_mode which class is accumulated (default: LC).
+     */
+    BoostingEstimator(std::unique_ptr<ConfidenceEstimator> base,
+                      unsigned n,
+                      BoostMode boost_mode = BoostMode::LowConfidence)
+        : inner(std::move(base)), required(n == 0 ? 1 : n),
+          mode(boost_mode)
+    {
+    }
+
+    bool
+    estimate(Addr pc, const BpInfo &info) override
+    {
+        const bool base_high = inner->estimate(pc, info);
+        const bool accumulated = mode == BoostMode::LowConfidence
+            ? !base_high : base_high;
+        if (!accumulated) {
+            consecutive = 0;
+            // Outside a run, emit the non-boosted class.
+            return mode == BoostMode::LowConfidence;
+        }
+        ++consecutive;
+        const bool fire = consecutive >= required;
+        // The boosted class is emitted only once the run is long
+        // enough; shorter runs stay conservative.
+        return mode == BoostMode::LowConfidence ? !fire : fire;
+    }
+
+    void
+    update(Addr pc, bool taken, bool correct, const BpInfo &info) override
+    {
+        inner->update(pc, taken, correct, info);
+    }
+
+    std::string
+    name() const override
+    {
+        const char *tag =
+            mode == BoostMode::LowConfidence ? "boost" : "boost-hc";
+        return tag + std::to_string(required) + "(" + inner->name()
+            + ")";
+    }
+
+    void
+    reset() override
+    {
+        inner->reset();
+        consecutive = 0;
+    }
+
+    /** Boosting degree N. */
+    unsigned degree() const { return required; }
+
+    /** Accumulated confidence class. */
+    BoostMode boostMode() const { return mode; }
+
+    /** Access to the wrapped estimator. */
+    ConfidenceEstimator &base() { return *inner; }
+
+  private:
+    std::unique_ptr<ConfidenceEstimator> inner;
+    unsigned required;
+    BoostMode mode;
+    unsigned consecutive = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_BOOSTING_HH

@@ -1,0 +1,110 @@
+#include "confidence/cir.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+CirEstimator::CirEstimator(const CirConfig &config)
+    : cfg(config)
+{
+    if (cfg.cirBits == 0 || cfg.cirBits > 63)
+        fatal("CIR length must be in [1, 63]");
+    if (cfg.perAddress && !isPowerOfTwo(cfg.cirTableEntries))
+        fatal("CIR table size must be a power of two");
+    if (cfg.mode == CirMode::PatternTable
+        && !isPowerOfTwo(cfg.tableEntries)) {
+        fatal("CIR pattern table size must be a power of two");
+    }
+
+    const std::size_t num_cirs =
+        cfg.perAddress ? cfg.cirTableEntries : 1;
+    cirs.assign(num_cirs, HistoryRegister(cfg.cirBits));
+    if (cfg.mode == CirMode::PatternTable)
+        table.assign(cfg.tableEntries,
+                     SatCounter(cfg.counterBits, 0));
+}
+
+std::size_t
+CirEstimator::cirIndex(Addr pc) const
+{
+    if (!cfg.perAddress)
+        return 0;
+    return (pc >> 2) & (cfg.cirTableEntries - 1);
+}
+
+std::size_t
+CirEstimator::tableIndex(Addr pc) const
+{
+    const std::uint64_t cir = cirs[cirIndex(pc)].value();
+    return ((pc >> 2) ^ cir) & (cfg.tableEntries - 1);
+}
+
+std::uint64_t
+CirEstimator::cirValue(Addr pc) const
+{
+    return cirs[cirIndex(pc)].value();
+}
+
+unsigned
+CirEstimator::cirOnes(Addr pc) const
+{
+    std::uint64_t v = cirValue(pc);
+    unsigned ones = 0;
+    while (v) {
+        v &= v - 1;
+        ++ones;
+    }
+    return ones;
+}
+
+bool
+CirEstimator::estimate(Addr pc, const BpInfo &info)
+{
+    (void)info;
+    switch (cfg.mode) {
+      case CirMode::OnesCount:
+        return cirOnes(pc) >= cfg.onesThreshold;
+      case CirMode::PatternTable:
+        return table[tableIndex(pc)].read() >= cfg.counterThreshold;
+    }
+    return false;
+}
+
+void
+CirEstimator::update(Addr pc, bool taken, bool correct,
+                     const BpInfo &info)
+{
+    (void)taken;
+    (void)info;
+    if (cfg.mode == CirMode::PatternTable) {
+        // Train the entry that produced this estimate *before*
+        // shifting the CIR (resetting-counter semantics, as in JRS).
+        SatCounter &ctr = table[tableIndex(pc)];
+        if (correct)
+            ctr.increment();
+        else
+            ctr.reset();
+    }
+    cirs[cirIndex(pc)].shiftIn(correct);
+}
+
+std::string
+CirEstimator::name() const
+{
+    std::string base = cfg.mode == CirMode::OnesCount
+        ? "cir-ones" : "cir-table";
+    return base + (cfg.perAddress ? "-pa" : "-g");
+}
+
+void
+CirEstimator::reset()
+{
+    for (auto &cir : cirs)
+        cir.clear();
+    for (auto &ctr : table)
+        ctr = SatCounter(cfg.counterBits, 0);
+}
+
+} // namespace confsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Correct/incorrect-register (CIR) confidence estimators, after
+ * Jacobsen, Rotenberg & Smith (MICRO-29, 1996) — the design space the
+ * paper's §4.1 contrasts the distance estimator against.
+ *
+ * A CIR is a shift register of recent prediction *correctness* bits
+ * (1 = the prediction was right). Two classic reductions of the CIR to
+ * a confidence bit are implemented:
+ *
+ *  - **Ones counting**: high confidence when at least K of the last N
+ *    predictions (mapping to this CIR) were correct.
+ *  - **Pattern table**: the CIR value (optionally xor-ed with the
+ *    branch address) indexes a table of resetting counters, learning
+ *    which correctness patterns precede mispredictions.
+ *
+ * The CIR itself may be global (one register, like the distance
+ *  estimator) or per-address (a tagless table of CIRs, like SAg).
+ */
+
+#ifndef CONFSIM_CONFIDENCE_CIR_HH
+#define CONFSIM_CONFIDENCE_CIR_HH
+
+#include <vector>
+
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** How a CirEstimator reduces the register to a confidence bit. */
+enum class CirMode
+{
+    OnesCount,    ///< HC iff popcount(CIR) >= onesThreshold
+    PatternTable, ///< HC iff table[pc ^ CIR] >= counterThreshold
+};
+
+/** Configuration of CirEstimator. */
+struct CirConfig
+{
+    CirMode mode = CirMode::OnesCount;
+    unsigned cirBits = 8;          ///< correctness-history length
+    bool perAddress = false;       ///< per-branch CIRs vs one global
+    std::size_t cirTableEntries = 1024; ///< CIR count when perAddress
+    unsigned onesThreshold = 8;    ///< OnesCount: required correct bits
+    std::size_t tableEntries = 4096; ///< PatternTable: counter count
+    unsigned counterBits = 2;      ///< PatternTable: counter width
+    unsigned counterThreshold = 3; ///< PatternTable: HC when >= this
+};
+
+/**
+ * Confidence from recent prediction-correctness history.
+ */
+class CirEstimator : public ConfidenceEstimator
+{
+  public:
+    /** @param config register/table geometry and mode. */
+    explicit CirEstimator(const CirConfig &config = {});
+
+    bool estimate(Addr pc, const BpInfo &info) override;
+    void update(Addr pc, bool taken, bool correct,
+                const BpInfo &info) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Current CIR value for the branch at @p pc (tests/sweeps). */
+    std::uint64_t cirValue(Addr pc) const;
+
+    /** Number of correct bits in the CIR for @p pc. */
+    unsigned cirOnes(Addr pc) const;
+
+    /** Active configuration. */
+    const CirConfig &config() const { return cfg; }
+
+  private:
+    std::size_t cirIndex(Addr pc) const;
+    std::size_t tableIndex(Addr pc) const;
+
+    CirConfig cfg;
+    std::vector<HistoryRegister> cirs; ///< size 1 when global
+    std::vector<SatCounter> table;     ///< PatternTable mode only
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_CIR_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Abstract confidence-estimator interface (§2 of the paper).
+ *
+ * A confidence estimator corroborates a branch predictor: for every
+ * prediction it assigns "high confidence" (the prediction is probably
+ * right) or "low confidence" (probably wrong). Estimators see the
+ * predictor-internal state through BpInfo, which is how the inexpensive
+ * estimators (saturating counters, pattern history) avoid dedicated
+ * tables.
+ *
+ * Protocol per branch:
+ *   1. info = predictor->predict(pc)
+ *   2. high = estimator->estimate(pc, info)
+ *   3. ... branch resolves with outcome `taken` ...
+ *   4. estimator->update(pc, taken, correct, info)
+ *
+ * In the pipeline model, update() is invoked only for branches that
+ * actually resolve (committed-path branches); squashed wrong-path
+ * branches produce estimates but never train the estimator.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_ESTIMATOR_HH
+#define CONFSIM_CONFIDENCE_ESTIMATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "bpred/branch_predictor.hh"
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/**
+ * Interface shared by every confidence estimator.
+ */
+class ConfidenceEstimator
+{
+  public:
+    virtual ~ConfidenceEstimator() = default;
+
+    /**
+     * Classify the prediction described by @p info for the branch at
+     * @p pc.
+     * @return true for "high confidence", false for "low confidence".
+     */
+    virtual bool estimate(Addr pc, const BpInfo &info) = 0;
+
+    /**
+     * Train with a resolved branch.
+     * @param pc branch address.
+     * @param taken resolved direction.
+     * @param correct whether the prediction in @p info was right.
+     * @param info the BpInfo from the corresponding predict().
+     */
+    virtual void update(Addr pc, bool taken, bool correct,
+                        const BpInfo &info) = 0;
+
+    /** Human-readable estimator name. */
+    virtual std::string name() const = 0;
+
+    /** Restore the power-on state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Baseline estimator that assigns the same confidence to every branch.
+ * estimate() == `value`. Useful as a degenerate reference: "always
+ * high" has SENS = PVP-at-accuracy = p; "always low" has SPEC = 1 and
+ * PVN = misprediction rate.
+ */
+class ConstantEstimator : public ConfidenceEstimator
+{
+  public:
+    /** @param high_confidence the constant estimate to emit. */
+    explicit ConstantEstimator(bool high_confidence)
+        : constant(high_confidence)
+    {
+    }
+
+    bool
+    estimate(Addr, const BpInfo &) override
+    {
+        return constant;
+    }
+
+    void update(Addr, bool, bool, const BpInfo &) override {}
+
+    std::string
+    name() const override
+    {
+        return constant ? "always-high" : "always-low";
+    }
+
+    void reset() override {}
+
+  private:
+    bool constant;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_ESTIMATOR_HH

@@ -1,0 +1,68 @@
+#include "confidence/jrs.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+JrsEstimator::JrsEstimator(const JrsConfig &config)
+    : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.tableEntries))
+        fatal("JRS table size must be a power of two");
+    table.assign(cfg.tableEntries, SatCounter(cfg.counterBits, 0));
+}
+
+std::size_t
+JrsEstimator::index(Addr pc, const BpInfo &info) const
+{
+    // Use the history register the underlying predictor actually has:
+    // global history for gshare/McFarling, the per-branch history for
+    // SAg (the paper's structural-match observation, §3.5).
+    const std::uint64_t hist = info.globalHistoryBits > 0
+        ? info.globalHistory : info.localHistory;
+    std::uint64_t idx = (pc >> 2) ^ hist;
+    if (cfg.enhanced)
+        idx = (idx << 1) | (info.predTaken ? 1 : 0);
+    return idx & (cfg.tableEntries - 1);
+}
+
+unsigned
+JrsEstimator::readCounter(Addr pc, const BpInfo &info) const
+{
+    return table[index(pc, info)].read();
+}
+
+bool
+JrsEstimator::estimate(Addr pc, const BpInfo &info)
+{
+    return readCounter(pc, info) >= cfg.threshold;
+}
+
+void
+JrsEstimator::update(Addr pc, bool taken, bool correct,
+                     const BpInfo &info)
+{
+    (void)taken;
+    SatCounter &ctr = table[index(pc, info)];
+    if (correct)
+        ctr.increment();
+    else
+        ctr.reset();
+}
+
+std::string
+JrsEstimator::name() const
+{
+    return cfg.enhanced ? "jrs-enhanced" : "jrs";
+}
+
+void
+JrsEstimator::reset()
+{
+    for (auto &ctr : table)
+        ctr = SatCounter(cfg.counterBits, 0);
+}
+
+} // namespace confsim

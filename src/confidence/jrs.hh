@@ -1,0 +1,77 @@
+/**
+ * @file
+ * JRS resetting-counter confidence estimator (Jacobsen, Rotenberg &
+ * Smith, MICRO-29 1996), plus the paper's *enhanced* variant (§3.2.1).
+ *
+ * A gshare-like table of miss distance counters (MDCs) is indexed by
+ * (branch address xor history). Each correctly predicted branch
+ * increments its MDC (saturating); a misprediction resets it to zero.
+ * A branch is "high confidence" when its MDC is at or above a
+ * threshold — i.e. when enough consecutive correct predictions have
+ * mapped there since the last miss, exploiting misprediction
+ * clustering.
+ *
+ * The enhanced variant additionally folds the *predicted direction*
+ * into the index, separating the taken/not-taken streams of a branch.
+ * In hardware this costs reading both candidate MDC entries and
+ * late-selecting with the completed prediction.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_JRS_HH
+#define CONFSIM_CONFIDENCE_JRS_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** Configuration for JrsEstimator (paper defaults). */
+struct JrsConfig
+{
+    std::size_t tableEntries = 4096; ///< MDC count (power of two)
+    unsigned counterBits = 4;        ///< MDC width
+    unsigned threshold = 15;         ///< HC when counter >= threshold
+    bool enhanced = true;            ///< fold prediction into the index
+};
+
+/**
+ * Table of resetting miss-distance counters.
+ */
+class JrsEstimator : public ConfidenceEstimator
+{
+  public:
+    /** @param config table geometry and threshold. */
+    explicit JrsEstimator(const JrsConfig &config = {});
+
+    bool estimate(Addr pc, const BpInfo &info) override;
+    void update(Addr pc, bool taken, bool correct,
+                const BpInfo &info) override;
+    std::string name() const override;
+    void reset() override;
+
+    /**
+     * Raw MDC value this prediction maps to, for threshold-sweep
+     * harnesses that evaluate every threshold in one simulation pass
+     * (the table state is threshold-independent).
+     */
+    unsigned readCounter(Addr pc, const BpInfo &info) const;
+
+    /** Active threshold. */
+    unsigned threshold() const { return cfg.threshold; }
+
+    /** Table configuration. */
+    const JrsConfig &config() const { return cfg; }
+
+  private:
+    std::size_t index(Addr pc, const BpInfo &info) const;
+
+    JrsConfig cfg;
+    std::vector<SatCounter> table;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_JRS_HH

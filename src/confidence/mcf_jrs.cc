@@ -1,0 +1,122 @@
+#include "confidence/mcf_jrs.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+const char *
+mcfJrsCombineName(McfJrsCombine rule)
+{
+    switch (rule) {
+      case McfJrsCombine::Selected: return "selected";
+      case McfJrsCombine::BothAbove: return "both";
+      case McfJrsCombine::EitherAbove: return "either";
+    }
+    return "???";
+}
+
+McfJrsEstimator::McfJrsEstimator(const McfJrsConfig &config)
+    : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.gshareEntries)
+        || !isPowerOfTwo(cfg.bimodalEntries)) {
+        fatal("McfJrs table sizes must be powers of two");
+    }
+    gshareTable.assign(cfg.gshareEntries,
+                       SatCounter(cfg.counterBits, 0));
+    bimodalTable.assign(cfg.bimodalEntries,
+                        SatCounter(cfg.counterBits, 0));
+}
+
+std::size_t
+McfJrsEstimator::gshareIndex(Addr pc, const BpInfo &info) const
+{
+    return ((pc >> 2) ^ info.globalHistory) & (cfg.gshareEntries - 1);
+}
+
+std::size_t
+McfJrsEstimator::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.bimodalEntries - 1);
+}
+
+unsigned
+McfJrsEstimator::readGshareCounter(Addr pc, const BpInfo &info) const
+{
+    return gshareTable[gshareIndex(pc, info)].read();
+}
+
+unsigned
+McfJrsEstimator::readBimodalCounter(Addr pc) const
+{
+    return bimodalTable[bimodalIndex(pc)].read();
+}
+
+bool
+McfJrsEstimator::estimate(Addr pc, const BpInfo &info)
+{
+    const bool g_high =
+        readGshareCounter(pc, info) >= cfg.threshold;
+    const bool b_high = readBimodalCounter(pc) >= cfg.threshold;
+
+    if (!info.hasComponents)
+        return g_high;
+
+    switch (cfg.combine) {
+      case McfJrsCombine::Selected:
+        return info.metaChoseGshare ? g_high : b_high;
+      case McfJrsCombine::BothAbove:
+        return g_high && b_high;
+      case McfJrsCombine::EitherAbove:
+        return g_high || b_high;
+    }
+    return g_high;
+}
+
+void
+McfJrsEstimator::update(Addr pc, bool taken, bool correct,
+                        const BpInfo &info)
+{
+    SatCounter &gctr = gshareTable[gshareIndex(pc, info)];
+    SatCounter &bctr = bimodalTable[bimodalIndex(pc)];
+
+    if (!info.hasComponents) {
+        // Single-component predictor: behave like plain JRS.
+        if (correct)
+            gctr.increment();
+        else
+            gctr.reset();
+        return;
+    }
+
+    // Each component MDC tracks *its own component's* miss distance,
+    // so a component that keeps being outvoted still accumulates an
+    // honest confidence record.
+    if (info.gsharePredTaken == taken)
+        gctr.increment();
+    else
+        gctr.reset();
+    if (info.bimodalPredTaken == taken)
+        bctr.increment();
+    else
+        bctr.reset();
+}
+
+std::string
+McfJrsEstimator::name() const
+{
+    return std::string("mcf-jrs-") + mcfJrsCombineName(cfg.combine);
+}
+
+void
+McfJrsEstimator::reset()
+{
+    for (auto &ctr : gshareTable)
+        ctr = SatCounter(cfg.counterBits, 0);
+    for (auto &ctr : bimodalTable)
+        ctr = SatCounter(cfg.counterBits, 0);
+}
+
+} // namespace confsim

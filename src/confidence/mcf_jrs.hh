@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Component-structured JRS estimator for the McFarling combining
+ * predictor — the paper's §5 future-work item ("a confidence estimator
+ * similar to the JRS mechanism designed to better exploit the
+ * structure of the McFarling two-level branch predictor").
+ *
+ * Rationale (§3.5): an estimator works best when its indexing mimics
+ * the predictor it corroborates. Plain JRS indexes one MDC table with
+ * pc ^ global-history, which matches gshare but not the combiner's
+ * bimodal component. This estimator keeps one miss-distance-counter
+ * table per component, each indexed exactly like its component
+ * (pc ^ history for the gshare side, pc for the bimodal side), trains
+ * each with its *own component's* correctness, and reduces the two
+ * counters with a configurable rule.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_MCF_JRS_HH
+#define CONFSIM_CONFIDENCE_MCF_JRS_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** How the two component MDC readings combine into one estimate. */
+enum class McfJrsCombine
+{
+    Selected,   ///< trust the MDC of the meta-chosen component
+    BothAbove,  ///< HC only when both MDCs reach the threshold
+    EitherAbove, ///< HC when either MDC reaches the threshold
+};
+
+/** @return human-readable combine-rule name. */
+const char *mcfJrsCombineName(McfJrsCombine rule);
+
+/** Configuration of McfJrsEstimator. */
+struct McfJrsConfig
+{
+    std::size_t gshareEntries = 4096;  ///< history-indexed MDC count
+    std::size_t bimodalEntries = 4096; ///< pc-indexed MDC count
+    unsigned counterBits = 4;          ///< MDC width
+    unsigned threshold = 15;           ///< HC when counter >= this
+    McfJrsCombine combine = McfJrsCombine::Selected;
+};
+
+/**
+ * Two component-aligned MDC tables with per-component training.
+ * Requires a combining predictor's BpInfo (hasComponents); falls back
+ * to the history-indexed table alone otherwise.
+ */
+class McfJrsEstimator : public ConfidenceEstimator
+{
+  public:
+    /** @param config table geometry and combine rule. */
+    explicit McfJrsEstimator(const McfJrsConfig &config = {});
+
+    bool estimate(Addr pc, const BpInfo &info) override;
+    void update(Addr pc, bool taken, bool correct,
+                const BpInfo &info) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Raw history-indexed MDC value (sweeps/tests). */
+    unsigned readGshareCounter(Addr pc, const BpInfo &info) const;
+
+    /** Raw pc-indexed MDC value (sweeps/tests). */
+    unsigned readBimodalCounter(Addr pc) const;
+
+    /** Active configuration. */
+    const McfJrsConfig &config() const { return cfg; }
+
+  private:
+    std::size_t gshareIndex(Addr pc, const BpInfo &info) const;
+    std::size_t bimodalIndex(Addr pc) const;
+
+    McfJrsConfig cfg;
+    std::vector<SatCounter> gshareTable;
+    std::vector<SatCounter> bimodalTable;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_MCF_JRS_HH

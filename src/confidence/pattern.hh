@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pattern-history confidence estimator (Lick et al., for dual-path
+ * execution). A small fixed set of branch-history patterns empirically
+ * leads to correct predictions in per-address (PAs/SAg) predictors;
+ * a branch whose current history matches one of those patterns is high
+ * confidence, everything else is low confidence.
+ *
+ * The confident patterns, per the paper: always taken, almost always
+ * taken (exactly one not-taken bit), always not-taken, almost always
+ * not-taken (exactly one taken bit), and strictly alternating
+ * taken/not-taken.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_PATTERN_HH
+#define CONFSIM_CONFIDENCE_PATTERN_HH
+
+#include <cstdint>
+
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/**
+ * Stateless pattern classifier over the predictor's history register:
+ * local history when the predictor has one (SAg), otherwise the global
+ * history (gshare/McFarling — where, as the paper found, no dominant
+ * patterns exist and the estimator fares poorly).
+ */
+class PatternEstimator : public ConfidenceEstimator
+{
+  public:
+    PatternEstimator() = default;
+
+    bool estimate(Addr pc, const BpInfo &info) override;
+
+    void
+    update(Addr, bool, bool, const BpInfo &) override
+    {
+        // Stateless: the predictor maintains the history itself.
+    }
+
+    std::string name() const override { return "pattern"; }
+    void reset() override {}
+
+    /**
+     * Core classifier, exposed for tests.
+     * @param history packed history bits.
+     * @param bits history width; must be >= 2 for a meaningful match.
+     * @return true when the pattern is one of the confident set.
+     */
+    static bool isConfidentPattern(std::uint64_t history, unsigned bits);
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_PATTERN_HH

@@ -1,0 +1,44 @@
+#include "confidence/sat_counters.hh"
+
+namespace confsim
+{
+
+const char *
+satCountersVariantName(SatCountersVariant variant)
+{
+    switch (variant) {
+      case SatCountersVariant::Selected: return "selected";
+      case SatCountersVariant::BothStrong: return "both-strong";
+      case SatCountersVariant::EitherStrong: return "either-strong";
+    }
+    return "???";
+}
+
+bool
+SatCountersEstimator::estimate(Addr pc, const BpInfo &info)
+{
+    (void)pc;
+    const bool selected_strong =
+        info.counterValue == 0 || info.counterValue == info.counterMax;
+
+    if (!info.hasComponents)
+        return selected_strong;
+
+    switch (policy) {
+      case SatCountersVariant::Selected:
+        return selected_strong;
+      case SatCountersVariant::BothStrong:
+        return info.bimodalStrong && info.gshareStrong;
+      case SatCountersVariant::EitherStrong:
+        return info.bimodalStrong || info.gshareStrong;
+    }
+    return selected_strong;
+}
+
+std::string
+SatCountersEstimator::name() const
+{
+    return std::string("satcnt-") + satCountersVariantName(policy);
+}
+
+} // namespace confsim

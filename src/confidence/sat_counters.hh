@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating-counters confidence estimator (after Smith 1981): reuse
+ * the hysteresis state of the predictor's own direction counters. A
+ * branch whose counter is saturated ("strong") is high confidence; a
+ * transitional ("weak") counter is low confidence. Costs no extra
+ * hardware at all.
+ *
+ * For the McFarling combining predictor, both component counters are
+ * visible and two variants exist (§3.3.1):
+ *  - BothStrong:  HC only when *both* components are strong.
+ *  - EitherStrong: LC only when *both* components are weak.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_SAT_COUNTERS_HH
+#define CONFSIM_CONFIDENCE_SAT_COUNTERS_HH
+
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** Component-combination policy for combining predictors. */
+enum class SatCountersVariant
+{
+    Selected,     ///< use only the selected/only counter's strength
+    BothStrong,   ///< HC iff both component counters strong
+    EitherStrong, ///< HC iff at least one component counter strong
+};
+
+/** @return human-readable variant name. */
+const char *satCountersVariantName(SatCountersVariant variant);
+
+/**
+ * Stateless estimator reading predictor counter saturation from BpInfo.
+ */
+class SatCountersEstimator : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param variant component policy; Selected applies to
+     *        single-component predictors (gshare, bimodal, SAg), the
+     *        other two to McFarling.
+     */
+    explicit SatCountersEstimator(
+            SatCountersVariant variant = SatCountersVariant::Selected)
+        : policy(variant)
+    {
+    }
+
+    bool estimate(Addr pc, const BpInfo &info) override;
+
+    void
+    update(Addr, bool, bool, const BpInfo &) override
+    {
+        // The predictor trains its own counters; nothing to do here.
+    }
+
+    std::string name() const override;
+    void reset() override {}
+
+    /** Active component policy. */
+    SatCountersVariant variant() const { return policy; }
+
+  private:
+    SatCountersVariant policy;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_SAT_COUNTERS_HH

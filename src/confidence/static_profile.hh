@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Static (profile-based) confidence estimator. A profiling pass runs
+ * the program against the *same* branch predictor and records each
+ * branch site's prediction accuracy; at estimation time, sites with
+ * accuracy at or above a threshold (90% in the paper) are statically
+ * high confidence. As the paper notes (§3, footnote 1), the profile
+ * cannot come from a simple edge profile — it requires simulating the
+ * predictor, because confidence depends on predictor state.
+ *
+ * The paper evaluates the self-profiled best case (train and test on
+ * the same input); ProfileTable supports that directly and also lets a
+ * caller train on a different input for cross-input studies.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_STATIC_PROFILE_HH
+#define CONFSIM_CONFIDENCE_STATIC_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/**
+ * Per-branch-site prediction accuracy collected during a profiling run.
+ */
+class ProfileTable
+{
+  public:
+    /** Record one predicted branch at @p pc. */
+    void
+    record(Addr pc, bool correct)
+    {
+        Entry &e = entries[pc];
+        ++e.total;
+        if (correct)
+            ++e.correct;
+    }
+
+    /**
+     * Accuracy of the branch site at @p pc.
+     * @return correct/total, or 0 for never-seen sites (unseen branches
+     *         are conservatively low confidence).
+     */
+    double
+    accuracy(Addr pc) const
+    {
+        auto it = entries.find(pc);
+        if (it == entries.end() || it->second.total == 0)
+            return 0.0;
+        return static_cast<double>(it->second.correct)
+            / static_cast<double>(it->second.total);
+    }
+
+    /** Number of distinct branch sites profiled. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Drop all profile data. */
+    void clear() { entries.clear(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t correct = 0;
+        std::uint64_t total = 0;
+    };
+
+    std::unordered_map<Addr, Entry> entries;
+};
+
+/**
+ * Thresholded static estimator over a ProfileTable.
+ */
+class StaticEstimator : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param profile accuracy table from a profiling run (borrowed; the
+     *        caller keeps it alive).
+     * @param threshold sites with accuracy >= threshold are HC.
+     */
+    StaticEstimator(const ProfileTable &profile, double threshold = 0.9)
+        : table(&profile), minAccuracy(threshold)
+    {
+    }
+
+    bool
+    estimate(Addr pc, const BpInfo &) override
+    {
+        return table->accuracy(pc) >= minAccuracy;
+    }
+
+    void
+    update(Addr, bool, bool, const BpInfo &) override
+    {
+        // Static: decided entirely by the offline profile.
+    }
+
+    std::string name() const override { return "static"; }
+    void reset() override {}
+
+    /** Active accuracy threshold. */
+    double threshold() const { return minAccuracy; }
+
+  private:
+    const ProfileTable *table;
+    double minAccuracy;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_STATIC_PROFILE_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Reusable BranchEvent collectors. A bench composes the collectors it
+ * needs into one sink; each collector aggregates a different view of
+ * the branch stream (confidence quadrants, level sweeps, distance
+ * profiles, mis-estimation clustering).
+ */
+
+#ifndef CONFSIM_HARNESS_COLLECTORS_HH
+#define CONFSIM_HARNESS_COLLECTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/distance_profile.hh"
+#include "harness/level_sweep.hh"
+#include "metrics/quadrant.hh"
+#include "pipeline/pipeline.hh"
+
+namespace confsim
+{
+
+/**
+ * Quadrant counts per attached estimator, split into committed-only
+ * (what the paper reports) and all-branch views.
+ */
+class ConfidenceCollector
+{
+  public:
+    /** @param num_estimators number of estimator bits in the events. */
+    explicit ConfidenceCollector(std::size_t num_estimators)
+        : committedQ(num_estimators), allQ(num_estimators)
+    {
+    }
+
+    /** Feed one branch event. */
+    void
+    onEvent(const BranchEvent &ev)
+    {
+        for (std::size_t i = 0; i < committedQ.size(); ++i) {
+            const bool high = ev.estimate(static_cast<unsigned>(i));
+            allQ[i].record(ev.correct, high);
+            if (ev.willCommit)
+                committedQ[i].record(ev.correct, high);
+        }
+    }
+
+    /** Committed-branch quadrants of estimator @p i. */
+    const QuadrantCounts &
+    committed(std::size_t i) const
+    {
+        return committedQ[i];
+    }
+
+    /** All-branch quadrants of estimator @p i. */
+    const QuadrantCounts &all(std::size_t i) const { return allQ[i]; }
+
+  private:
+    std::vector<QuadrantCounts> committedQ;
+    std::vector<QuadrantCounts> allQ;
+};
+
+/**
+ * Level sweeps per attached level reader (committed branches only,
+ * matching the paper's reporting).
+ */
+class LevelCollector
+{
+  public:
+    /**
+     * @param num_readers number of level readers in the events.
+     * @param max_level clamp for recorded levels.
+     */
+    LevelCollector(std::size_t num_readers, unsigned max_level)
+        : sweeps(num_readers, LevelSweep(max_level))
+    {
+    }
+
+    /** Feed one branch event. */
+    void
+    onEvent(const BranchEvent &ev)
+    {
+        if (!ev.willCommit)
+            return;
+        for (std::size_t j = 0; j < sweeps.size(); ++j)
+            sweeps[j].record(ev.levels[j], ev.correct);
+    }
+
+    /** Sweep histogram of reader @p j. */
+    const LevelSweep &sweep(std::size_t j) const { return sweeps[j]; }
+
+    /** Mutable access for merging across workloads. */
+    LevelSweep &sweep(std::size_t j) { return sweeps[j]; }
+
+  private:
+    std::vector<LevelSweep> sweeps;
+};
+
+/**
+ * The four misprediction-distance profiles of Figures 6-9.
+ */
+class DistanceCollector
+{
+  public:
+    /** @param buckets distance buckets per profile. */
+    explicit DistanceCollector(std::size_t buckets = 64)
+        : preciseAll(buckets), preciseCommitted(buckets),
+          perceivedAll(buckets), perceivedCommitted(buckets)
+    {
+    }
+
+    /** Feed one branch event. */
+    void
+    onEvent(const BranchEvent &ev)
+    {
+        preciseAll.record(ev.preciseDistAll, !ev.correct);
+        perceivedAll.record(ev.perceivedDistAll, !ev.correct);
+        if (ev.willCommit) {
+            preciseCommitted.record(ev.preciseDistCommitted,
+                                    !ev.correct);
+            perceivedCommitted.record(ev.perceivedDistCommitted,
+                                      !ev.correct);
+        }
+    }
+
+    DistanceProfile preciseAll;       ///< Figs. 6/7 "all branches"
+    DistanceProfile preciseCommitted; ///< Figs. 6/7 "committed"
+    DistanceProfile perceivedAll;     ///< Figs. 8/9 "all branches"
+    DistanceProfile perceivedCommitted; ///< Figs. 8/9 "committed"
+};
+
+/**
+ * §4.1 second experiment: do confidence *mis-estimations* cluster?
+ * Tracks, over the committed stream, the mis-estimation rate as a
+ * function of distance since the last mis-estimation, per estimator.
+ * (A mis-estimation is HC-but-incorrect or LC-but-correct.)
+ */
+class MisestimationCollector
+{
+  public:
+    /**
+     * @param num_estimators estimator bits in the events.
+     * @param buckets distance buckets.
+     */
+    MisestimationCollector(std::size_t num_estimators,
+                           std::size_t buckets = 32)
+        : profiles(num_estimators, DistanceProfile(buckets)),
+          distances(num_estimators, 0)
+    {
+    }
+
+    /** Feed one branch event (committed stream only). */
+    void
+    onEvent(const BranchEvent &ev)
+    {
+        if (!ev.willCommit)
+            return;
+        for (std::size_t i = 0; i < profiles.size(); ++i) {
+            const bool high = ev.estimate(static_cast<unsigned>(i));
+            const bool misestimated = high != ev.correct;
+            profiles[i].record(distances[i] + 1, misestimated);
+            if (misestimated)
+                distances[i] = 0;
+            else
+                ++distances[i];
+        }
+    }
+
+    /** Mis-estimation-rate profile of estimator @p i. */
+    const DistanceProfile &
+    profile(std::size_t i) const
+    {
+        return profiles[i];
+    }
+
+  private:
+    std::vector<DistanceProfile> profiles;
+    std::vector<std::uint64_t> distances;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_COLLECTORS_HH

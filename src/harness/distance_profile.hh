@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Misprediction-rate-versus-distance profiles for Figures 6-9: for each
+ * branch distance d since the last (actual or detected) misprediction,
+ * track how often branches at that distance are themselves mispredicted.
+ * If mispredictions were unclustered the rate would be flat; the paper
+ * (and our reproduction) shows it is strongly elevated at small d.
+ */
+
+#ifndef CONFSIM_HARNESS_DISTANCE_PROFILE_HH
+#define CONFSIM_HARNESS_DISTANCE_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * Per-distance misprediction-rate accumulator. Distances at or beyond
+ * the bucket count accumulate in a tail bucket.
+ */
+class DistanceProfile
+{
+  public:
+    /** @param buckets number of distinct distances tracked (1-based). */
+    explicit DistanceProfile(std::size_t buckets = 64)
+        : totals(buckets + 1, 0), misses(buckets + 1, 0)
+    {
+    }
+
+    /** Record a branch at distance @p d with outcome @p mispredicted. */
+    void
+    record(std::uint64_t d, bool mispredicted)
+    {
+        const std::size_t bucket =
+            d < totals.size() ? static_cast<std::size_t>(d)
+                              : totals.size() - 1;
+        ++totals[bucket];
+        if (mispredicted)
+            ++misses[bucket];
+        ++grandTotal;
+        if (mispredicted)
+            ++grandMisses;
+    }
+
+    /** Misprediction rate at distance @p d; 0 when unobserved. */
+    double
+    rateAt(std::uint64_t d) const
+    {
+        const std::size_t bucket =
+            d < totals.size() ? static_cast<std::size_t>(d)
+                              : totals.size() - 1;
+        return totals[bucket] == 0
+            ? 0.0
+            : static_cast<double>(misses[bucket])
+                / static_cast<double>(totals[bucket]);
+    }
+
+    /** Branch count observed at distance @p d. */
+    std::uint64_t
+    countAt(std::uint64_t d) const
+    {
+        const std::size_t bucket =
+            d < totals.size() ? static_cast<std::size_t>(d)
+                              : totals.size() - 1;
+        return totals[bucket];
+    }
+
+    /** Overall misprediction rate (the flat line of Figs. 6-9). */
+    double
+    averageRate() const
+    {
+        return grandTotal == 0
+            ? 0.0
+            : static_cast<double>(grandMisses)
+                / static_cast<double>(grandTotal);
+    }
+
+    /** Total branches recorded. */
+    std::uint64_t total() const { return grandTotal; }
+
+    /** Number of distinct tracked distances (excluding the tail). */
+    std::size_t buckets() const { return totals.size() - 1; }
+
+    /** Merge another profile with identical geometry. */
+    DistanceProfile &
+    operator+=(const DistanceProfile &other)
+    {
+        const std::size_t n =
+            std::min(totals.size(), other.totals.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            totals[i] += other.totals[i];
+            misses[i] += other.misses[i];
+        }
+        grandTotal += other.grandTotal;
+        grandMisses += other.grandMisses;
+        return *this;
+    }
+
+  private:
+    std::vector<std::uint64_t> totals;
+    std::vector<std::uint64_t> misses;
+    std::uint64_t grandTotal = 0;
+    std::uint64_t grandMisses = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_DISTANCE_PROFILE_HH

@@ -1,0 +1,95 @@
+#include "harness/experiment.hh"
+
+#include "harness/collectors.hh"
+
+namespace confsim
+{
+
+const std::vector<std::string> &
+standardEstimatorNames()
+{
+    static const std::vector<std::string> names = {
+        "JRS",
+        "Satur. Cntrs",
+        "Hist. Pattern",
+        "Static",
+        "Distance",
+    };
+    return names;
+}
+
+StandardBundle::StandardBundle(PredictorKind kind, const Program &prog,
+                               const ExperimentConfig &cfg)
+{
+    // Self-profiling pass with a fresh predictor of the same kind (the
+    // static method needs a predictor simulation, not an edge profile).
+    auto profiling_pred = makePredictor(kind);
+    profileTable = buildProfile(prog, *profiling_pred);
+
+    jrsEst = std::make_unique<JrsEstimator>(cfg.jrs);
+    satcntEst = std::make_unique<SatCountersEstimator>(
+            kind == PredictorKind::McFarling
+                ? SatCountersVariant::BothStrong
+                : SatCountersVariant::Selected);
+    patternEst = std::make_unique<PatternEstimator>();
+    staticEst = std::make_unique<StaticEstimator>(profileTable,
+                                                  cfg.staticThreshold);
+    distanceEst =
+        std::make_unique<DistanceEstimator>(cfg.distanceThreshold);
+}
+
+std::vector<ConfidenceEstimator *>
+StandardBundle::estimators()
+{
+    return {jrsEst.get(), satcntEst.get(), patternEst.get(),
+            staticEst.get(), distanceEst.get()};
+}
+
+WorkloadResult
+runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
+                      const ExperimentConfig &cfg)
+{
+    const Program prog = spec.factory(cfg.workload);
+    StandardBundle bundle(kind, prog, cfg);
+    auto pred = makePredictor(kind);
+
+    Pipeline pipe(prog, *pred, cfg.pipeline);
+    for (auto *estimator : bundle.estimators())
+        pipe.attachEstimator(estimator);
+
+    ConfidenceCollector collector(NUM_STANDARD_ESTIMATORS);
+    pipe.setSink([&collector](const BranchEvent &ev) {
+        collector.onEvent(ev);
+    });
+
+    WorkloadResult result;
+    result.workload = spec.name;
+    result.pipe = pipe.run();
+    for (std::size_t i = 0; i < NUM_STANDARD_ESTIMATORS; ++i) {
+        result.quadrants.push_back(collector.committed(i));
+        result.quadrantsAll.push_back(collector.all(i));
+    }
+    return result;
+}
+
+std::vector<WorkloadResult>
+runStandardSuite(PredictorKind kind, const ExperimentConfig &cfg)
+{
+    std::vector<WorkloadResult> results;
+    for (const auto &spec : standardWorkloads())
+        results.push_back(runStandardExperiment(kind, spec, cfg));
+    return results;
+}
+
+QuadrantFractions
+aggregateEstimator(const std::vector<WorkloadResult> &results,
+                   std::size_t index)
+{
+    std::vector<QuadrantCounts> runs;
+    runs.reserve(results.size());
+    for (const auto &r : results)
+        runs.push_back(r.quadrants[index]);
+    return aggregateQuadrants(runs);
+}
+
+} // namespace confsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * High-level experiment assembly: the paper's standard configuration
+ * of four-plus-one confidence estimators attached to one of the three
+ * branch predictors, run through the pipeline model over a workload,
+ * with committed-branch quadrants collected per estimator.
+ */
+
+#ifndef CONFSIM_HARNESS_EXPERIMENT_HH
+#define CONFSIM_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/distance.hh"
+#include "confidence/jrs.hh"
+#include "confidence/pattern.hh"
+#include "confidence/sat_counters.hh"
+#include "confidence/static_profile.hh"
+#include "harness/trace_run.hh"
+#include "metrics/quadrant.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Indices of the standard estimators in result vectors. */
+enum StandardEstimatorIndex : std::size_t
+{
+    EST_JRS = 0,      ///< JRS resetting counters (enhanced), thr >= 15
+    EST_SATCNT = 1,   ///< saturating counters (BothStrong on McFarling)
+    EST_PATTERN = 2,  ///< Lick et al. history patterns
+    EST_STATIC = 3,   ///< self-profiled static, thr > 90%
+    EST_DISTANCE = 4, ///< misprediction distance, thr > 4
+    NUM_STANDARD_ESTIMATORS = 5,
+};
+
+/** Display names matching StandardEstimatorIndex. */
+const std::vector<std::string> &standardEstimatorNames();
+
+/** Knobs for a standard experiment run. */
+struct ExperimentConfig
+{
+    WorkloadConfig workload;   ///< scale/seed of the workload build
+    PipelineConfig pipeline;   ///< timing model parameters
+    JrsConfig jrs;             ///< JRS geometry (default = paper)
+    double staticThreshold = 0.9;   ///< static estimator accuracy bar
+    unsigned distanceThreshold = 4; ///< distance estimator "> n"
+};
+
+/**
+ * The standard estimator set for one (predictor kind, program) pair.
+ * Construction runs the static estimator's self-profiling pass (with
+ * its own fresh predictor instance, as the paper's method requires).
+ */
+class StandardBundle
+{
+  public:
+    /**
+     * @param kind underlying predictor family (selects the saturating
+     *        counters variant: BothStrong for McFarling).
+     * @param prog program used for the static profiling pass.
+     * @param cfg experiment knobs.
+     */
+    StandardBundle(PredictorKind kind, const Program &prog,
+                   const ExperimentConfig &cfg);
+
+    /** Estimators in StandardEstimatorIndex order. */
+    std::vector<ConfidenceEstimator *> estimators();
+
+    /** The JRS estimator (for level sweeps). */
+    JrsEstimator &jrs() { return *jrsEst; }
+
+    /** The distance estimator (for level sweeps). */
+    DistanceEstimator &distance() { return *distanceEst; }
+
+    /** The profile behind the static estimator. */
+    const ProfileTable &profile() const { return profileTable; }
+
+  private:
+    ProfileTable profileTable;
+    std::unique_ptr<JrsEstimator> jrsEst;
+    std::unique_ptr<SatCountersEstimator> satcntEst;
+    std::unique_ptr<PatternEstimator> patternEst;
+    std::unique_ptr<StaticEstimator> staticEst;
+    std::unique_ptr<DistanceEstimator> distanceEst;
+};
+
+/** Results of one standard pipeline run over one workload. */
+struct WorkloadResult
+{
+    std::string workload;
+    PipelineStats pipe;
+    /** Committed-branch quadrants per standard estimator. */
+    std::vector<QuadrantCounts> quadrants;
+    /** All-branch quadrants per standard estimator. */
+    std::vector<QuadrantCounts> quadrantsAll;
+};
+
+/**
+ * Build the workload, profile it, attach the standard estimator set to
+ * a fresh predictor of @p kind, and run the pipeline model.
+ */
+WorkloadResult runStandardExperiment(PredictorKind kind,
+                                     const WorkloadSpec &spec,
+                                     const ExperimentConfig &cfg);
+
+/**
+ * Run runStandardExperiment for every standard workload.
+ */
+std::vector<WorkloadResult>
+runStandardSuite(PredictorKind kind, const ExperimentConfig &cfg);
+
+/**
+ * Paper-style aggregate across workloads for estimator @p index:
+ * normalize each workload's quadrants and average the fractions.
+ */
+QuadrantFractions
+aggregateEstimator(const std::vector<WorkloadResult> &results,
+                   std::size_t index);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Single-pass threshold sweeps. Table-based estimators like JRS keep
+ * state that is independent of their confidence threshold, so one
+ * simulation can evaluate *every* threshold: record the raw counter
+ * level and the prediction outcome per branch, then derive quadrant
+ * counts for each candidate threshold afterwards. The same trick works
+ * for the misprediction-distance estimator.
+ */
+
+#ifndef CONFSIM_HARNESS_LEVEL_SWEEP_HH
+#define CONFSIM_HARNESS_LEVEL_SWEEP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+
+/**
+ * Histogram of (confidence level, prediction outcome) pairs with
+ * quadrant extraction for any threshold.
+ */
+class LevelSweep
+{
+  public:
+    /** @param max_level levels are clamped to [0, max_level]. */
+    explicit LevelSweep(unsigned max_level = 64)
+        : counts(static_cast<std::size_t>(max_level) + 1)
+    {
+    }
+
+    /** Record one branch with raw level @p level. */
+    void
+    record(unsigned level, bool correct)
+    {
+        if (level >= counts.size())
+            level = static_cast<unsigned>(counts.size() - 1);
+        ++counts[level][correct ? 1 : 0];
+    }
+
+    /**
+     * Quadrants for the rule "high confidence iff level >= threshold".
+     */
+    QuadrantCounts
+    atThresholdGe(unsigned threshold) const
+    {
+        QuadrantCounts q;
+        for (std::size_t l = 0; l < counts.size(); ++l) {
+            const bool high = l >= threshold;
+            if (high) {
+                q.chc += counts[l][1];
+                q.ihc += counts[l][0];
+            } else {
+                q.clc += counts[l][1];
+                q.ilc += counts[l][0];
+            }
+        }
+        return q;
+    }
+
+    /**
+     * Quadrants for the rule "high confidence iff level > threshold"
+     * (the paper's distance-estimator convention).
+     */
+    QuadrantCounts
+    atThresholdGt(unsigned threshold) const
+    {
+        return atThresholdGe(threshold + 1);
+    }
+
+    /** Highest representable level. */
+    unsigned maxLevel() const
+    {
+        return static_cast<unsigned>(counts.size() - 1);
+    }
+
+    /** Total branches recorded. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &c : counts)
+            t += c[0] + c[1];
+        return t;
+    }
+
+    /** Merge another sweep (same max level). */
+    LevelSweep &
+    operator+=(const LevelSweep &other)
+    {
+        const std::size_t n =
+            std::min(counts.size(), other.counts.size());
+        for (std::size_t l = 0; l < n; ++l) {
+            counts[l][0] += other.counts[l][0];
+            counts[l][1] += other.counts[l][1];
+        }
+        return *this;
+    }
+
+  private:
+    std::vector<std::array<std::uint64_t, 2>> counts;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_LEVEL_SWEEP_HH

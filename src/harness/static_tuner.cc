@@ -1,0 +1,53 @@
+#include "harness/static_tuner.hh"
+
+#include "harness/trace_run.hh"
+
+namespace confsim
+{
+
+std::optional<double>
+StaticTuner::thresholdForSpec(double target) const
+{
+    // SPEC is nondecreasing in the threshold: scan upward and stop at
+    // the first satisfying level to maximise SENS.
+    for (unsigned level = 0; level <= PERCENT_LEVELS; ++level) {
+        const QuadrantCounts q = sweep.atThresholdGe(level);
+        if ((q.ihc + q.ilc) == 0)
+            continue; // no mispredictions recorded at all
+        if (q.spec() >= target)
+            return static_cast<double>(level) / PERCENT_LEVELS;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+StaticTuner::thresholdForPvn(double target) const
+{
+    // PVN is nonincreasing in the threshold: scan downward and stop at
+    // the first satisfying level to maximise SPEC/coverage.
+    for (unsigned level = PERCENT_LEVELS + 1; level-- > 0; ) {
+        const QuadrantCounts q = sweep.atThresholdGe(level);
+        if ((q.clc + q.ilc) == 0)
+            continue; // empty low-confidence class
+        if (q.pvn() >= target)
+            return static_cast<double>(level) / PERCENT_LEVELS;
+    }
+    return std::nullopt;
+}
+
+StaticTuner
+buildStaticTuner(const Program &prog, PredictorKind kind)
+{
+    auto profiling_pred = makePredictor(kind);
+    const ProfileTable profile = buildProfile(prog, *profiling_pred);
+
+    StaticTuner tuner;
+    auto tuning_pred = makePredictor(kind);
+    runTrace(prog, *tuning_pred, {}, {},
+             [&tuner, &profile](const BranchEvent &ev) {
+                 tuner.record(profile.accuracy(ev.pc), ev.correct);
+             });
+    return tuner;
+}
+
+} // namespace confsim

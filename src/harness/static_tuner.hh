@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Static-threshold tuning — the paper's §5 future-work item: "an
+ * algorithm to tune static confidence estimation to achieve a
+ * particular goal for PVN or SPEC".
+ *
+ * The static estimator's single knob is its per-site accuracy
+ * threshold. Because raising the threshold moves progressively more
+ * accurate sites into the low-confidence class, SPEC rises
+ * monotonically with the threshold while PVN falls monotonically
+ * (the LC class dilutes with correct predictions). The tuner records
+ * one (site-accuracy, outcome) histogram from a tuning run and then
+ * answers, in closed form per candidate threshold:
+ *
+ *  - thresholdForSpec(t): smallest threshold whose SPEC >= t
+ *    (maximising SENS subject to the coverage goal);
+ *  - thresholdForPvn(t): largest threshold whose PVN >= t
+ *    (maximising SPEC subject to the precision goal).
+ */
+
+#ifndef CONFSIM_HARNESS_STATIC_TUNER_HH
+#define CONFSIM_HARNESS_STATIC_TUNER_HH
+
+#include <optional>
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/static_profile.hh"
+#include "harness/level_sweep.hh"
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+/**
+ * Accuracy-threshold sweep for the static estimator, built from one
+ * tuning run.
+ */
+class StaticTuner
+{
+  public:
+    StaticTuner() : sweep(PERCENT_LEVELS) {}
+
+    /**
+     * Record one branch of the tuning run.
+     * @param site_accuracy profile accuracy of the branch site [0,1].
+     * @param correct whether this prediction was correct.
+     */
+    void
+    record(double site_accuracy, bool correct)
+    {
+        sweep.record(levelOf(site_accuracy), correct);
+    }
+
+    /** Quadrants of the static estimator at @p threshold in [0,1]. */
+    QuadrantCounts
+    quadrantsAt(double threshold) const
+    {
+        return sweep.atThresholdGe(levelOf(threshold));
+    }
+
+    /**
+     * Smallest threshold achieving SPEC >= @p target.
+     * @return threshold in [0,1], or nullopt if unreachable.
+     */
+    std::optional<double> thresholdForSpec(double target) const;
+
+    /**
+     * Largest threshold achieving PVN >= @p target (with a nonempty
+     * low-confidence class).
+     * @return threshold in [0,1], or nullopt if unreachable.
+     */
+    std::optional<double> thresholdForPvn(double target) const;
+
+    /** Total branches recorded. */
+    std::uint64_t total() const { return sweep.total(); }
+
+  private:
+    static constexpr unsigned PERCENT_LEVELS = 100;
+
+    static unsigned
+    levelOf(double accuracy)
+    {
+        if (accuracy <= 0.0)
+            return 0;
+        if (accuracy >= 1.0)
+            return PERCENT_LEVELS;
+        return static_cast<unsigned>(accuracy * PERCENT_LEVELS);
+    }
+
+    LevelSweep sweep;
+};
+
+/**
+ * Convenience driver: profile @p prog with a fresh predictor of
+ * @p kind, then run the tuning trace (same input — the paper's
+ * self-profiled setup) and return the populated tuner.
+ */
+StaticTuner buildStaticTuner(const Program &prog, PredictorKind kind);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_STATIC_TUNER_HH

@@ -1,0 +1,73 @@
+#include "harness/synthetic_stream.hh"
+
+#include "common/logging.hh"
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+std::uint64_t
+generateSyntheticStream(const SyntheticStreamConfig &cfg,
+                        ConfidenceEstimator *estimator,
+                        const BranchSink &sink)
+{
+    if (!sink)
+        fatal("synthetic stream needs a sink");
+    if (cfg.accuracy < 0.0 || cfg.accuracy > 1.0)
+        fatal("synthetic accuracy must be in [0, 1]");
+    if (cfg.numSites == 0)
+        fatal("synthetic stream needs at least one site");
+
+    Rng rng(cfg.seed);
+    std::uint64_t mispredicts = 0;
+    std::uint64_t dist = 0;
+    double boost = 0.0; // current clustering boost
+    SeqNum seq = 0;
+
+    for (std::uint64_t i = 0; i < cfg.branches; ++i) {
+        const Addr pc = CODE_BASE
+            + 4 * static_cast<Addr>(rng.below(cfg.numSites));
+
+        const double p_miss =
+            std::min(1.0, (1.0 - cfg.accuracy) + boost);
+        const bool correct = !rng.chance(p_miss);
+
+        BpInfo info;
+        info.predTaken = rng.chance(0.5);
+        info.globalHistory = rng.next() & 0xfff;
+        info.globalHistoryBits = 12;
+        info.counterValue = correct ? 3 : 1;
+
+        BranchEvent ev;
+        ev.seq = seq++;
+        ev.pc = pc;
+        ev.info = info;
+        ev.taken = correct == info.predTaken;
+        ev.correct = correct;
+        ev.willCommit = true;
+        ev.preciseDistAll = dist + 1;
+        ev.preciseDistCommitted = dist + 1;
+        ev.perceivedDistAll = dist + 1;
+        ev.perceivedDistCommitted = dist + 1;
+
+        if (estimator && estimator->estimate(pc, info))
+            ev.estimateBits |= 1u;
+
+        if (correct) {
+            ++dist;
+            boost *= cfg.clusterDecay;
+        } else {
+            ++mispredicts;
+            dist = 0;
+            boost = cfg.clusterBoost;
+        }
+
+        if (estimator)
+            estimator->update(pc, ev.taken, correct, info);
+
+        sink(ev);
+    }
+    return mispredicts;
+}
+
+} // namespace confsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic branch-stream generator with *controlled* statistical
+ * properties: exact baseline prediction accuracy, optional Markov
+ * clustering of mispredictions, and a configurable number of static
+ * branch sites. Unlike the workload programs (whose branch behaviour
+ * is emergent), these streams have known ground truth, so tests can
+ * verify the metrics machinery against closed-form expectations:
+ * on an IID stream the misprediction rate is independent of distance,
+ * boosting follows the Bernoulli formula exactly, and the distance
+ * estimator's PVN equals the misprediction rate at every threshold.
+ */
+
+#ifndef CONFSIM_HARNESS_SYNTHETIC_STREAM_HH
+#define CONFSIM_HARNESS_SYNTHETIC_STREAM_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "confidence/estimator.hh"
+#include "pipeline/pipeline.hh"
+
+namespace confsim
+{
+
+/** Statistical shape of a synthetic branch stream. */
+struct SyntheticStreamConfig
+{
+    std::uint64_t branches = 100'000; ///< stream length
+    double accuracy = 0.90; ///< steady-state P(prediction correct)
+    /** Extra misprediction probability immediately after a
+     *  misprediction; decays geometrically per subsequent branch.
+     *  0 gives an IID (unclustered) stream. */
+    double clusterBoost = 0.0;
+    double clusterDecay = 0.5; ///< per-branch decay of the boost
+    unsigned numSites = 64;    ///< distinct branch addresses
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate the stream, driving an optional estimator and delivering
+ * one BranchEvent per branch (willCommit = true, distances filled the
+ * trace-mode way). The estimator's bit 0 carries its estimate.
+ *
+ * @param cfg stream shape.
+ * @param estimator optional estimator to query/train (may be null).
+ * @param sink event consumer (required).
+ * @return realised misprediction count.
+ */
+std::uint64_t
+generateSyntheticStream(const SyntheticStreamConfig &cfg,
+                        ConfidenceEstimator *estimator,
+                        const BranchSink &sink);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SYNTHETIC_STREAM_HH

@@ -1,0 +1,86 @@
+#include "harness/trace_run.hh"
+
+#include <algorithm>
+
+#include "uarch/machine.hh"
+
+namespace confsim
+{
+
+TraceRunStats
+runTrace(const Program &prog, BranchPredictor &pred,
+         const std::vector<ConfidenceEstimator *> &estimators,
+         const std::vector<LevelReader> &level_readers,
+         const BranchSink &sink, std::uint64_t max_steps)
+{
+    TraceRunStats stats;
+    Machine machine(prog);
+    std::uint64_t dist = 0; // branches since last misprediction
+    SeqNum seq = 0;
+
+    while (!machine.halted() && stats.instructions < max_steps) {
+        const StepInfo si = machine.step();
+        if (si.halted)
+            break;
+        ++stats.instructions;
+        if (!si.isCond)
+            continue;
+
+        ++stats.condBranches;
+        const BpInfo info = pred.predict(si.addr);
+        const bool correct = info.predTaken == si.taken;
+
+        BranchEvent ev;
+        ev.seq = seq++;
+        ev.pc = si.addr;
+        ev.info = info;
+        ev.taken = si.taken;
+        ev.correct = correct;
+        ev.willCommit = true;
+        ev.preciseDistAll = dist + 1;
+        ev.preciseDistCommitted = dist + 1;
+        ev.perceivedDistAll = dist + 1;
+        ev.perceivedDistCommitted = dist + 1;
+
+        for (unsigned i = 0;
+             i < estimators.size() && i < MAX_ESTIMATORS; ++i) {
+            if (estimators[i]->estimate(si.addr, info))
+                ev.estimateBits |= (1u << i);
+        }
+        for (unsigned j = 0;
+             j < level_readers.size() && j < MAX_LEVEL_READERS; ++j) {
+            ev.levels[j] = static_cast<std::uint16_t>(
+                    std::min(level_readers[j](si.addr, info), 65535u));
+        }
+
+        if (correct) {
+            ++dist;
+        } else {
+            ++stats.mispredicts;
+            dist = 0;
+        }
+
+        pred.update(si.addr, si.taken, info);
+        for (auto *estimator : estimators)
+            estimator->update(si.addr, si.taken, correct, info);
+
+        if (sink)
+            sink(ev);
+    }
+    return stats;
+}
+
+ProfileTable
+buildProfile(const Program &prog, BranchPredictor &pred,
+             std::uint64_t max_steps)
+{
+    ProfileTable profile;
+    runTrace(prog, pred, {}, {},
+             [&profile](const BranchEvent &ev) {
+                 profile.record(ev.pc, ev.correct);
+             },
+             max_steps);
+    return profile;
+}
+
+} // namespace confsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trace-driven (committed-only) simulation: run a program's architected
+ * path, feeding each conditional branch through a predictor and
+ * attached estimators with immediate resolution. This is the fast path
+ * for profiling passes, unit tests and ablations; the pipeline model
+ * (pipeline/pipeline.hh) is the paper-faithful mode with wrong-path
+ * effects.
+ *
+ * Events synthesized here have willCommit = true and identical precise
+ * and perceived distances (resolution is immediate).
+ */
+
+#ifndef CONFSIM_HARNESS_TRACE_RUN_HH
+#define CONFSIM_HARNESS_TRACE_RUN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/estimator.hh"
+#include "confidence/static_profile.hh"
+#include "pipeline/pipeline.hh"
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+/** Aggregate counters from a trace run. */
+struct TraceRunStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Prediction accuracy over the committed stream. */
+    double
+    accuracy() const
+    {
+        return condBranches == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(mispredicts)
+                / static_cast<double>(condBranches);
+    }
+};
+
+/**
+ * Run the architected path of @p prog against @p pred.
+ *
+ * @param prog program to run.
+ * @param pred predictor, trained with immediate update.
+ * @param estimators estimators to query/train per branch (may be empty).
+ * @param level_readers raw-level probes sampled before update.
+ * @param sink per-branch event consumer (may be empty).
+ * @param max_steps instruction safety bound.
+ */
+TraceRunStats
+runTrace(const Program &prog, BranchPredictor &pred,
+         const std::vector<ConfidenceEstimator *> &estimators = {},
+         const std::vector<LevelReader> &level_readers = {},
+         const BranchSink &sink = {},
+         std::uint64_t max_steps = 2'000'000'000ull);
+
+/**
+ * Profiling pass for the static estimator: simulate @p pred over the
+ * program and record per-site prediction accuracy.
+ *
+ * The predictor is trained during the pass (the paper's self-profiled
+ * configuration uses the same input for training and evaluation).
+ */
+ProfileTable
+buildProfile(const Program &prog, BranchPredictor &pred,
+             std::uint64_t max_steps = 2'000'000'000ull);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_TRACE_RUN_HH

@@ -1,0 +1,71 @@
+#include "metrics/analytic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+QuadrantFractions
+analyticQuadrants(double sens, double spec, double accuracy)
+{
+    QuadrantFractions f;
+    f.chc = sens * accuracy;
+    f.clc = (1.0 - sens) * accuracy;
+    f.ilc = spec * (1.0 - accuracy);
+    f.ihc = (1.0 - spec) * (1.0 - accuracy);
+    return f;
+}
+
+double
+analyticPvp(double sens, double spec, double accuracy)
+{
+    return analyticQuadrants(sens, spec, accuracy).pvp();
+}
+
+double
+analyticPvn(double sens, double spec, double accuracy)
+{
+    return analyticQuadrants(sens, spec, accuracy).pvn();
+}
+
+double
+boostedPvn(double pvn, unsigned n)
+{
+    return 1.0 - std::pow(1.0 - pvn, static_cast<double>(n));
+}
+
+std::vector<ParametricPoint>
+parametricCurve(SweepParam sweep, double sens, double spec,
+                double accuracy, double lo, double hi, unsigned steps)
+{
+    if (steps == 0)
+        fatal("parametricCurve needs at least one step");
+    std::vector<ParametricPoint> points;
+    points.reserve(steps + 1);
+    for (unsigned i = 0; i <= steps; ++i) {
+        const double v = lo + (hi - lo) * static_cast<double>(i)
+            / static_cast<double>(steps);
+        double s = sens, sp = spec, p = accuracy;
+        switch (sweep) {
+          case SweepParam::Sens: s = v; break;
+          case SweepParam::Spec: sp = v; break;
+          case SweepParam::Accuracy: p = v; break;
+        }
+        const QuadrantFractions f = analyticQuadrants(s, sp, p);
+        points.push_back({v, f.pvp(), f.pvn()});
+    }
+    return points;
+}
+
+double
+diagnosticPvp(double sens, double spec, double prevalence)
+{
+    const double true_pos = sens * prevalence;
+    const double false_pos = (1.0 - spec) * (1.0 - prevalence);
+    const double denom = true_pos + false_pos;
+    return denom <= 0.0 ? 0.0 : true_pos / denom;
+}
+
+} // namespace confsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Closed-form diagnostic-test model behind Figure 1 of the paper: given
+ * sensitivity, specificity and prediction accuracy, derive the quadrant
+ * fractions and thus PVP/PVN, plus the §4.2 boosting approximation and
+ * the §1.1 ELISA-style PVP computation.
+ */
+
+#ifndef CONFSIM_METRICS_ANALYTIC_HH
+#define CONFSIM_METRICS_ANALYTIC_HH
+
+#include <vector>
+
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+
+/**
+ * Build the quadrant fraction table implied by (SENS, SPEC, p):
+ *   C_HC = SENS * p          C_LC = (1 - SENS) * p
+ *   I_LC = SPEC * (1 - p)    I_HC = (1 - SPEC) * (1 - p)
+ *
+ * @param sens sensitivity in [0, 1].
+ * @param spec specificity in [0, 1].
+ * @param accuracy branch prediction accuracy p in [0, 1].
+ */
+QuadrantFractions analyticQuadrants(double sens, double spec,
+                                    double accuracy);
+
+/** PVP implied by (SENS, SPEC, p). */
+double analyticPvp(double sens, double spec, double accuracy);
+
+/** PVN implied by (SENS, SPEC, p). */
+double analyticPvn(double sens, double spec, double accuracy);
+
+/**
+ * §4.2 boosting model: probability that at least one of @p n
+ * low-confidence estimates is an actual misprediction, treating each as
+ * an independent Bernoulli trial with success probability @p pvn.
+ * @return 1 - (1 - pvn)^n.
+ */
+double boostedPvn(double pvn, unsigned n);
+
+/** One point of a Figure-1 parametric curve. */
+struct ParametricPoint
+{
+    double varied;  ///< value of the swept parameter
+    double pvp;     ///< resulting predictive value of a positive test
+    double pvn;     ///< resulting predictive value of a negative test
+};
+
+/** Which of the three parameters a Figure-1 curve sweeps. */
+enum class SweepParam { Sens, Spec, Accuracy };
+
+/**
+ * Generate one parametric curve of Figure 1: hold two of
+ * (SENS, SPEC, p) fixed and sweep the third from @p lo to @p hi in
+ * @p steps uniform steps.
+ *
+ * @param sweep which parameter varies.
+ * @param sens fixed sensitivity (ignored if swept).
+ * @param spec fixed specificity (ignored if swept).
+ * @param accuracy fixed prediction accuracy (ignored if swept).
+ */
+std::vector<ParametricPoint>
+parametricCurve(SweepParam sweep, double sens, double spec,
+                double accuracy, double lo = 0.0, double hi = 1.0,
+                unsigned steps = 100);
+
+/**
+ * §1.1 worked example: predictive value of a positive diagnostic test
+ * with the given sensitivity, specificity and disease prevalence.
+ * @return P[D|S] = sens*p / (sens*p + (1-spec)*(1-p)).
+ */
+double diagnosticPvp(double sens, double spec, double prevalence);
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_ANALYTIC_HH

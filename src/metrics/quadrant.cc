@@ -1,0 +1,41 @@
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+
+QuadrantFractions
+QuadrantFractions::normalize(const QuadrantCounts &counts)
+{
+    QuadrantFractions f;
+    const double total = static_cast<double>(counts.total());
+    if (total <= 0.0)
+        return f;
+    f.chc = static_cast<double>(counts.chc) / total;
+    f.ihc = static_cast<double>(counts.ihc) / total;
+    f.clc = static_cast<double>(counts.clc) / total;
+    f.ilc = static_cast<double>(counts.ilc) / total;
+    return f;
+}
+
+QuadrantFractions
+aggregateQuadrants(const std::vector<QuadrantCounts> &runs)
+{
+    QuadrantFractions sum;
+    if (runs.empty())
+        return sum;
+    for (const auto &counts : runs) {
+        const QuadrantFractions f = QuadrantFractions::normalize(counts);
+        sum.chc += f.chc;
+        sum.ihc += f.ihc;
+        sum.clc += f.clc;
+        sum.ilc += f.ilc;
+    }
+    const double n = static_cast<double>(runs.size());
+    sum.chc /= n;
+    sum.ihc /= n;
+    sum.clc /= n;
+    sum.ilc /= n;
+    return sum;
+}
+
+} // namespace confsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The 2x2 confidence-outcome quadrant table of the paper (§2) and the
+ * diagnostic-test metrics derived from it: SENS, SPEC, PVP, PVN, plus
+ * Jacobsen et al.'s earlier "confidence misprediction rate" and
+ * "coverage" for comparison.
+ *
+ * Quadrants: rows are the estimate (HC/LC), columns the prediction
+ * outcome (Correct/Incorrect):
+ *
+ *          C       I
+ *   HC   C_HC    I_HC
+ *   LC   C_LC    I_LC
+ */
+
+#ifndef CONFSIM_METRICS_QUADRANT_HH
+#define CONFSIM_METRICS_QUADRANT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * Raw event counts for one (estimator, predictor, workload) run.
+ */
+struct QuadrantCounts
+{
+    std::uint64_t chc = 0; ///< correct prediction, high confidence
+    std::uint64_t ihc = 0; ///< incorrect prediction, high confidence
+    std::uint64_t clc = 0; ///< correct prediction, low confidence
+    std::uint64_t ilc = 0; ///< incorrect prediction, low confidence
+
+    /** Record one resolved branch. */
+    void
+    record(bool correct, bool high_confidence)
+    {
+        if (correct) {
+            if (high_confidence) ++chc; else ++clc;
+        } else {
+            if (high_confidence) ++ihc; else ++ilc;
+        }
+    }
+
+    /** Total branches recorded. */
+    std::uint64_t total() const { return chc + ihc + clc + ilc; }
+
+    /** Merge counts from another run. */
+    QuadrantCounts &
+    operator+=(const QuadrantCounts &other)
+    {
+        chc += other.chc;
+        ihc += other.ihc;
+        clc += other.clc;
+        ilc += other.ilc;
+        return *this;
+    }
+
+    /** SENS = P[HC|C]: fraction of correct predictions marked HC. */
+    double sens() const { return ratio(chc, chc + clc); }
+
+    /** SPEC = P[LC|I]: fraction of incorrect predictions marked LC. */
+    double spec() const { return ratio(ilc, ihc + ilc); }
+
+    /** PVP = P[C|HC]: probability a high-confidence estimate is right. */
+    double pvp() const { return ratio(chc, chc + ihc); }
+
+    /** PVN = P[I|LC]: probability a low-confidence estimate is right. */
+    double pvn() const { return ratio(ilc, clc + ilc); }
+
+    /** Branch prediction accuracy p = P[C]. */
+    double accuracy() const { return ratio(chc + clc, total()); }
+
+    /** Branch misprediction rate 1 - p. */
+    double mispredictRate() const { return ratio(ihc + ilc, total()); }
+
+    /**
+     * Jacobsen et al.'s "confidence misprediction rate": the fraction
+     * of branches where the estimate disagreed with the outcome.
+     */
+    double
+    jacobsenMispredictRate() const
+    {
+        return ratio(ihc + clc, total());
+    }
+
+    /** Jacobsen et al.'s "coverage": fraction estimated low confidence. */
+    double coverage() const { return ratio(clc + ilc, total()); }
+
+  private:
+    static double
+    ratio(std::uint64_t num, std::uint64_t den)
+    {
+        return den == 0
+            ? 0.0
+            : static_cast<double>(num) / static_cast<double>(den);
+    }
+};
+
+/**
+ * Quadrants normalised to fractions summing to one; also the result type
+ * of cross-workload aggregation.
+ */
+struct QuadrantFractions
+{
+    double chc = 0.0;
+    double ihc = 0.0;
+    double clc = 0.0;
+    double ilc = 0.0;
+
+    /** @return fractions of @p counts (all zero when empty). */
+    static QuadrantFractions normalize(const QuadrantCounts &counts);
+
+    /** SENS on the fraction table. */
+    double sens() const { return ratio(chc, chc + clc); }
+    /** SPEC on the fraction table. */
+    double spec() const { return ratio(ilc, ihc + ilc); }
+    /** PVP on the fraction table. */
+    double pvp() const { return ratio(chc, chc + ihc); }
+    /** PVN on the fraction table. */
+    double pvn() const { return ratio(ilc, clc + ilc); }
+    /** Prediction accuracy on the fraction table. */
+    double accuracy() const { return chc + clc; }
+
+  private:
+    static double
+    ratio(double num, double den)
+    {
+        return den <= 0.0 ? 0.0 : num / den;
+    }
+};
+
+/**
+ * Paper-style aggregation across workloads: normalise each workload's
+ * quadrants, average the four fractions, and derive metrics from those
+ * averages ("the averages are computed from the averages of the
+ * original data", §3.2).
+ */
+QuadrantFractions
+aggregateQuadrants(const std::vector<QuadrantCounts> &runs);
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_QUADRANT_HH

@@ -1,0 +1,365 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+Pipeline::Pipeline(const Program &prog, BranchPredictor &pred,
+                   const PipelineConfig &config)
+    : predictor(pred), cfg(config), machine(prog),
+      icache(cfg.icache), dcache(cfg.dcache), btb(cfg.btb)
+{
+}
+
+unsigned
+Pipeline::attachEstimator(ConfidenceEstimator *estimator)
+{
+    if (estimators.size() >= MAX_ESTIMATORS)
+        fatal("too many confidence estimators attached");
+    estimators.push_back(estimator);
+    return static_cast<unsigned>(estimators.size() - 1);
+}
+
+unsigned
+Pipeline::attachLevelReader(LevelReader reader)
+{
+    if (levelReaders.size() >= MAX_LEVEL_READERS)
+        fatal("too many level readers attached");
+    levelReaders.push_back(std::move(reader));
+    return static_cast<unsigned>(levelReaders.size() - 1);
+}
+
+void
+Pipeline::deliver(const BranchEvent &event)
+{
+    if (eventSink)
+        eventSink(event);
+}
+
+Cycle
+Pipeline::scheduleExec(OpClass cls, bool dcache_miss, Cycle miss_latency)
+{
+    Cycle exec = std::max(cycle + cfg.frontendDepth, nextIssueCycle);
+
+    // Issue bandwidth: at most issueWidth instructions enter EX per
+    // cycle; overflow spills into following cycles.
+    if (exec != issueBusyCycle) {
+        issueBusyCycle = exec;
+        issueSlotsUsed = 0;
+    }
+    while (issueSlotsUsed >= cfg.issueWidth) {
+        ++exec;
+        issueBusyCycle = exec;
+        issueSlotsUsed = 0;
+    }
+    ++issueSlotsUsed;
+
+    Cycle complete = exec;
+    if (cls == OpClass::IntMult)
+        complete += cfg.multLatency - 1;
+    if (dcache_miss)
+        complete += miss_latency - cfg.dcache.hitLatency;
+
+    // In-order issue: younger instructions cannot overtake.
+    nextIssueCycle = exec;
+    if (cfg.blockingLoads && dcache_miss)
+        nextIssueCycle = complete;
+
+    return complete;
+}
+
+void
+Pipeline::enableGating(unsigned estimator_index, unsigned threshold)
+{
+    if (estimator_index >= estimators.size())
+        fatal("gating estimator index out of range");
+    gatingEnabled = true;
+    trackLowConf = true;
+    gateEstimator = estimator_index;
+    gateThreshold = threshold == 0 ? 1 : threshold;
+}
+
+void
+Pipeline::trackConfidence(unsigned estimator_index)
+{
+    if (estimator_index >= estimators.size())
+        fatal("tracking estimator index out of range");
+    trackLowConf = true;
+    gateEstimator = estimator_index;
+}
+
+void
+Pipeline::enableEagerExecution(unsigned estimator_index)
+{
+    if (estimator_index >= estimators.size())
+        fatal("eager estimator index out of range");
+    eagerEnabled = true;
+    eagerEstimator = estimator_index;
+}
+
+void
+Pipeline::squashYounger()
+{
+    // Everything still in flight was fetched after the mispredicted
+    // branch and is therefore wrong-path. Deliver each branch exactly
+    // once, stamped with its squash cycle.
+    for (auto &rec : inflight) {
+        rec.event.resolveCycle = cycle;
+        if (rec.gateLow && lowConfCount > 0)
+            --lowConfCount;
+        if (rec.forked && forksInFlight > 0)
+            --forksInFlight;
+        deliver(rec.event);
+    }
+    inflight.clear();
+}
+
+void
+Pipeline::resolveFront()
+{
+    InFlight rec = std::move(inflight.front());
+    inflight.pop_front();
+    if (rec.gateLow && lowConfCount > 0)
+        --lowConfCount;
+    if (rec.forked && forksInFlight > 0)
+        --forksInFlight;
+
+    if (!rec.event.willCommit) {
+        // Defensive: wrong-path branches are always flushed by an older
+        // mispredicted committed branch before their own resolution
+        // cycle. Should this ever trip, treat it as a squash.
+        deliver(rec.event);
+        return;
+    }
+
+    predictor.update(rec.event.pc, rec.event.taken, rec.event.info);
+    for (auto *estimator : estimators)
+        estimator->update(rec.event.pc, rec.event.taken,
+                          rec.event.correct, rec.event.info);
+
+    deliver(rec.event);
+
+    if (rec.mispredicted) {
+        machine.rollback(rec.checkpoint);
+        squashYounger();
+        ++stats.recoveries;
+        // A forked branch was already fetching its alternate (correct)
+        // path: rejoin instead of a full-penalty flush.
+        Cycle penalty = cfg.mispredictPenalty;
+        if (rec.forked) {
+            penalty = cfg.eagerRejoinPenalty;
+            ++stats.forkRescues;
+        }
+        fetchStallUntil = std::max(fetchStallUntil, cycle + penalty);
+        // Squashed wrong-path instructions no longer occupy issue
+        // resources.
+        nextIssueCycle = std::min(nextIssueCycle, cycle);
+        // A detected misprediction resets the perceived distance.
+        perceivedDistAll = 0;
+        perceivedDistCommitted = 0;
+    }
+}
+
+bool
+Pipeline::fetchOne()
+{
+    if (machine.halted() && machine.specDepth() == 0)
+        return false; // program complete
+
+    if (cfg.useCaches) {
+        const Addr iaddr = Program::pcToAddr(machine.pc());
+        const Cycle lat = icache.access(iaddr);
+        if (lat > cfg.icache.hitLatency) {
+            fetchStallUntil = cycle + (lat - cfg.icache.hitLatency);
+            return false;
+        }
+    }
+
+    const StepInfo si = machine.step();
+    if (si.halted) {
+        // Architected halt ends the program; a wrong-path halt (or a
+        // runaway wrong-path PC) just wedges fetch until the
+        // mispredicted branch resolves and redirects us.
+        return false;
+    }
+
+    ++stats.allInsts;
+    const bool will_commit = machine.specDepth() == 0;
+    if (will_commit)
+        ++stats.committedInsts;
+
+    bool dmiss = false;
+    Cycle dlat = 0;
+    if (si.isMem && cfg.useCaches) {
+        dlat = dcache.access(si.memAddr * sizeof(Word));
+        dmiss = dlat > cfg.dcache.hitLatency;
+    }
+
+    const Cycle complete = scheduleExec(si.cls, dmiss, dlat);
+
+    if (!si.isCond) {
+        if (cfg.useBtb && si.cls == OpClass::UncondBranch) {
+            // Unconditional control flow: fetch needs the target now.
+            if (!btb.lookup(si.addr)) {
+                fetchStallUntil = std::max(
+                        fetchStallUntil, cycle + cfg.btbMissPenalty);
+                btb.update(si.addr, Program::pcToAddr(si.nextPc));
+            }
+        }
+        return true;
+    }
+
+    ++stats.allCondBranches;
+    if (will_commit)
+        ++stats.committedCondBranches;
+
+    const BpInfo info = predictor.predict(si.addr);
+    const bool correct = info.predTaken == si.taken;
+
+    if (cfg.useBtb && info.predTaken) {
+        // Fetch follows the taken prediction and needs the target this
+        // cycle; decode supplies it after a bubble on a BTB miss.
+        if (!btb.lookup(si.addr)) {
+            fetchStallUntil =
+                std::max(fetchStallUntil, cycle + cfg.btbMissPenalty);
+            btb.update(si.addr, Program::pcToAddr(si.targetPc));
+        }
+    }
+
+    InFlight rec;
+    BranchEvent &ev = rec.event;
+    ev.seq = nextSeq++;
+    ev.pc = si.addr;
+    ev.info = info;
+    ev.taken = si.taken;
+    ev.correct = correct;
+    ev.willCommit = will_commit;
+    ev.fetchCycle = cycle;
+    ev.resolveCycle = complete + 1;
+
+    for (unsigned i = 0; i < estimators.size(); ++i)
+        if (estimators[i]->estimate(si.addr, info))
+            ev.estimateBits |= (1u << i);
+    for (unsigned j = 0; j < levelReaders.size(); ++j) {
+        const unsigned level = levelReaders[j](si.addr, info);
+        ev.levels[j] = static_cast<std::uint16_t>(
+                std::min(level, 65535u));
+    }
+
+    ev.preciseDistAll = preciseDistAll + 1;
+    ev.preciseDistCommitted = preciseDistCommitted + 1;
+    ev.perceivedDistAll = perceivedDistAll + 1;
+    ev.perceivedDistCommitted = perceivedDistCommitted + 1;
+
+    ++perceivedDistAll;
+    if (will_commit)
+        ++perceivedDistCommitted;
+
+    if (correct) {
+        ++preciseDistAll;
+        if (will_commit)
+            ++preciseDistCommitted;
+    } else {
+        ++stats.allMispredicts;
+        if (will_commit)
+            ++stats.committedMispredicts;
+        preciseDistAll = 0;
+        if (will_commit)
+            preciseDistCommitted = 0;
+    }
+
+    if (!correct) {
+        rec.mispredicted = true;
+        rec.checkpoint = machine.takeCheckpoint();
+        const std::uint32_t wrong_pc =
+            info.predTaken ? si.targetPc : si.pc + 1;
+        machine.redirect(wrong_pc);
+    }
+
+    if (trackLowConf && !ev.estimate(gateEstimator)) {
+        rec.gateLow = true;
+        ++lowConfCount;
+    }
+
+    if (eagerEnabled && !ev.estimate(eagerEstimator)
+        && forksInFlight < cfg.maxForksInFlight) {
+        rec.forked = true;
+        ++forksInFlight;
+        ++stats.forkedBranches;
+    }
+
+    inflight.push_back(std::move(rec));
+    return true;
+}
+
+bool
+Pipeline::tick(bool allow_fetch)
+{
+    if (done())
+        return false;
+
+    ++cycle;
+
+    while (!inflight.empty()
+           && inflight.front().event.resolveCycle <= cycle) {
+        resolveFront();
+    }
+
+    if (!allow_fetch)
+        return !done();
+
+    if (gatingEnabled && lowConfCount >= gateThreshold) {
+        ++stats.gatedCycles;
+        return !done();
+    }
+
+    if (cycle >= fetchStallUntil) {
+        // Forked branches split fetch bandwidth across both paths.
+        unsigned width = cfg.fetchWidth;
+        if (eagerEnabled && forksInFlight > 0) {
+            width = std::max(1u, cfg.fetchWidth / 2);
+            ++stats.forkedFetchCycles;
+        }
+        for (unsigned f = 0; f < width; ++f) {
+            if (gatingEnabled && lowConfCount >= gateThreshold)
+                break;
+            if (!fetchOne())
+                break;
+        }
+    }
+    return !done();
+}
+
+PipelineStats
+Pipeline::snapshotStats() const
+{
+    PipelineStats s = stats;
+    s.cycles = cycle;
+    s.icacheAccesses = icache.accesses();
+    s.icacheMisses = icache.misses();
+    s.dcacheAccesses = dcache.accesses();
+    s.dcacheMisses = dcache.misses();
+    s.btbLookups = btb.lookups();
+    s.btbMisses = btb.misses();
+    return s;
+}
+
+PipelineStats
+Pipeline::run(std::uint64_t max_committed)
+{
+    constexpr Cycle cycle_limit = 4'000'000'000ull;
+
+    while (!done() && stats.committedInsts < max_committed) {
+        if (cycle > cycle_limit)
+            panic("pipeline exceeded cycle limit; wedged?");
+        tick(true);
+    }
+
+    stats = snapshotStats();
+    return stats;
+}
+
+} // namespace confsim

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Pipeline-level simulator in the style the paper uses (an extension of
+ * SimpleScalar's sim-outorder, §3.1): a 5-stage superscalar pipeline
+ * with an additional 3-cycle misprediction recovery penalty, L1 I/D
+ * caches, and — crucially — *real wrong-path execution*. The functional
+ * machine runs ahead at fetch; when a branch is mispredicted the
+ * machine checkpoints and follows the predicted (wrong) path until the
+ * branch resolves in execute, then rolls back and pays the recovery
+ * penalty.
+ *
+ * The simulator therefore sees exactly what the paper's does: the
+ * prediction and eventual outcome of committed *and* uncommitted
+ * branches ("speculative trace"), precise and perceived misprediction
+ * distances, and per-branch confidence estimates taken at fetch time.
+ */
+
+#ifndef CONFSIM_PIPELINE_PIPELINE_HH
+#define CONFSIM_PIPELINE_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "confidence/estimator.hh"
+#include "uarch/machine.hh"
+
+namespace confsim
+{
+
+/** Maximum confidence estimators attachable to one pipeline. */
+constexpr unsigned MAX_ESTIMATORS = 32;
+/** Maximum level readers (threshold-sweep probes) per pipeline. */
+constexpr unsigned MAX_LEVEL_READERS = 8;
+
+/** Timing configuration of the pipeline. */
+struct PipelineConfig
+{
+    unsigned fetchWidth = 4;      ///< instructions fetched per cycle
+    unsigned issueWidth = 4;      ///< instructions entering EX per cycle
+    Cycle frontendDepth = 2;      ///< fetch->execute latency (stages)
+    Cycle mispredictPenalty = 3;  ///< extra recovery cycles (paper: 3)
+    Cycle multLatency = 3;        ///< IntMult execute latency
+    bool useCaches = true;        ///< model L1 I/D caches
+    CacheConfig icache = {"icache", 128 * 1024, 32, 2, 2, 10};
+    CacheConfig dcache = {"dcache", 64 * 1024, 32, 2, 2, 10};
+    /** Loads that miss block issue (in-order pipe). */
+    bool blockingLoads = true;
+    /** Model a branch target buffer: fetch redirection for a
+     *  taken-predicted or unconditional branch whose target misses the
+     *  BTB costs btbMissPenalty fetch cycles. Off by default (the
+     *  paper's simulator treats redirection as free). */
+    bool useBtb = false;
+    BtbConfig btb;               ///< BTB geometry when useBtb
+    Cycle btbMissPenalty = 1;    ///< fetch bubble on BTB miss
+
+    /** Selective eager execution (§2.2 / Klauser et al. [8]): fork
+     *  both paths of a low-confidence branch. While any forked branch
+     *  is unresolved, fetch bandwidth is split across the paths
+     *  (effective width halved); in exchange, a *forked* branch that
+     *  resolves mispredicted recovers with eagerRejoinPenalty instead
+     *  of the full flush penalty, because the correct path was already
+     *  being fetched. Enabled via enableEagerExecution(). */
+    Cycle eagerRejoinPenalty = 1;
+    unsigned maxForksInFlight = 4; ///< fork resource budget
+};
+
+/**
+ * Everything known about one conditional branch once its fate is
+ * decided (resolution for committed-path branches, squash for
+ * wrong-path ones).
+ */
+struct BranchEvent
+{
+    SeqNum seq = 0;          ///< global fetch order (all instructions)
+    Addr pc = 0;             ///< branch address
+    BpInfo info;             ///< prediction + predictor state
+    bool taken = false;      ///< actual direction (under its path)
+    bool correct = false;    ///< prediction matched outcome
+    bool willCommit = false; ///< fetched on the architected path
+    Cycle fetchCycle = 0;    ///< cycle the branch was fetched
+    Cycle resolveCycle = 0;  ///< cycle the branch resolved (or squash)
+
+    /// Confidence estimates at fetch, one bit per attached estimator.
+    std::uint32_t estimateBits = 0;
+    /// Raw levels from attached level readers (e.g. JRS MDC values).
+    std::uint16_t levels[MAX_LEVEL_READERS] = {};
+
+    /// Branches (any path) since the last actually mispredicted branch.
+    std::uint64_t preciseDistAll = 0;
+    /// Committed branches since the last mispredicted committed branch
+    /// (only meaningful when willCommit).
+    std::uint64_t preciseDistCommitted = 0;
+    /// Branches (any path) fetched since the last *detected* (resolved)
+    /// misprediction.
+    std::uint64_t perceivedDistAll = 0;
+    /// Committed branches fetched since the last detected misprediction.
+    std::uint64_t perceivedDistCommitted = 0;
+
+    /** Estimate of attached estimator @p i (true = high confidence). */
+    bool
+    estimate(unsigned i) const
+    {
+        return (estimateBits >> i) & 1;
+    }
+};
+
+/**
+ * Receiver for branch events. Exactly one event is delivered per
+ * fetched conditional branch, once its fate is known.
+ */
+using BranchSink = std::function<void(const BranchEvent &)>;
+
+/** Probe reading an integer confidence level at prediction time. */
+using LevelReader = std::function<unsigned(Addr, const BpInfo &)>;
+
+/** Aggregate counters produced by a pipeline run. */
+struct PipelineStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t allInsts = 0; ///< executed incl. wrong path
+    std::uint64_t committedCondBranches = 0;
+    std::uint64_t allCondBranches = 0;
+    std::uint64_t committedMispredicts = 0;
+    std::uint64_t allMispredicts = 0;
+    std::uint64_t recoveries = 0; ///< pipeline flushes
+    std::uint64_t gatedCycles = 0; ///< fetch cycles blocked by gating
+    std::uint64_t forkedBranches = 0;  ///< eager-execution forks
+    std::uint64_t forkRescues = 0;     ///< forked mispredicts rescued
+    std::uint64_t forkedFetchCycles = 0; ///< cycles at split width
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t btbLookups = 0;
+    std::uint64_t btbMisses = 0;
+
+    /** Committed instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(committedInsts)
+                / static_cast<double>(cycles);
+    }
+
+    /** Speculation overhead: executed / committed instructions. */
+    double
+    ratioAllToCommitted() const
+    {
+        return committedInsts == 0
+            ? 0.0
+            : static_cast<double>(allInsts)
+                / static_cast<double>(committedInsts);
+    }
+
+    /** Committed-branch prediction accuracy. */
+    double
+    committedAccuracy() const
+    {
+        return committedCondBranches == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(committedMispredicts)
+                / static_cast<double>(committedCondBranches);
+    }
+
+    /** All-branch (incl. wrong path) prediction accuracy. */
+    double
+    allAccuracy() const
+    {
+        return allCondBranches == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(allMispredicts)
+                / static_cast<double>(allCondBranches);
+    }
+};
+
+/**
+ * The pipeline simulator. Bind a program and a predictor, attach
+ * estimators/level readers/sink, then run().
+ */
+class Pipeline
+{
+  public:
+    /**
+     * @param prog program to execute (borrowed).
+     * @param pred branch predictor (borrowed; pipeline drives
+     *        predict/update with proper speculative timing).
+     * @param config timing parameters.
+     */
+    Pipeline(const Program &prog, BranchPredictor &pred,
+             const PipelineConfig &config = {});
+
+    /**
+     * Attach a confidence estimator: estimate() is called at fetch for
+     * every conditional branch (committed and wrong-path); update() is
+     * called at resolution for committed branches only.
+     * @return index of the estimator's bit in BranchEvent::estimateBits.
+     */
+    unsigned attachEstimator(ConfidenceEstimator *estimator);
+
+    /**
+     * Attach a level reader sampled at fetch (e.g. the raw JRS MDC
+     * value) for single-pass threshold sweeps.
+     * @return index into BranchEvent::levels.
+     */
+    unsigned attachLevelReader(LevelReader reader);
+
+    /** Install the branch event sink (one sink; may be empty). */
+    void setSink(BranchSink sink) { eventSink = std::move(sink); }
+
+    /**
+     * Enable confidence-driven pipeline gating (the paper's power
+     * conservation application [11]): fetch stalls while at least
+     * @p threshold in-flight branches carry a low-confidence estimate
+     * from attached estimator @p estimator_index.
+     */
+    void enableGating(unsigned estimator_index, unsigned threshold);
+
+    /**
+     * Maintain lowConfInFlight() from estimator @p estimator_index
+     * without gating fetch — used by SMT fetch policies that only need
+     * the count.
+     */
+    void trackConfidence(unsigned estimator_index);
+
+    /**
+     * Enable selective eager (dual-path) execution: branches that
+     * attached estimator @p estimator_index marks low confidence are
+     * *forked* (subject to the maxForksInFlight budget). See
+     * PipelineConfig::eagerRejoinPenalty for the timing model.
+     */
+    void enableEagerExecution(unsigned estimator_index);
+
+    /**
+     * Advance the pipeline by one cycle (resolution then fetch).
+     * Exposed so multi-threaded simulations (SMT fetch policies) can
+     * interleave several pipelines under one fetch-bandwidth budget.
+     *
+     * @param allow_fetch whether this pipeline may fetch this cycle
+     *        (resolution always proceeds).
+     * @return true while the program is still running.
+     */
+    bool tick(bool allow_fetch = true);
+
+    /** True once the program halted and the pipeline drained. */
+    bool
+    done() const
+    {
+        return machine.halted() && machine.specDepth() == 0
+            && inflight.empty();
+    }
+
+    /** In-flight branches currently estimated low confidence. */
+    unsigned lowConfInFlight() const { return lowConfCount; }
+
+    /**
+     * Would a fetch grant on the next tick() actually fetch? False
+     * while recovering from a misprediction or stalled on the icache —
+     * an SMT fetch arbiter should not waste the port on such threads.
+     */
+    bool
+    fetchReady() const
+    {
+        return !done() && cycle + 1 >= fetchStallUntil;
+    }
+
+    /** Total in-flight (unresolved) branches. */
+    std::size_t branchesInFlight() const { return inflight.size(); }
+
+    /** Committed instructions so far. */
+    std::uint64_t committedInsts() const { return stats.committedInsts; }
+
+    /** Statistics snapshot (valid mid-run and after run()). */
+    PipelineStats snapshotStats() const;
+
+    /**
+     * Run until the program halts (or a safety bound trips).
+     * @param max_committed optional commit-count cutoff.
+     * @return aggregate statistics.
+     */
+    PipelineStats run(std::uint64_t max_committed = ~std::uint64_t{0});
+
+  private:
+    struct InFlight
+    {
+        BranchEvent event;
+        bool mispredicted = false;
+        bool gateLow = false; ///< counted in lowConfCount
+        bool forked = false;  ///< eager execution followed both paths
+        CheckpointId checkpoint = 0; ///< valid iff mispredicted
+    };
+
+    void resolveFront();
+    void squashYounger();
+    bool fetchOne();
+    Cycle scheduleExec(OpClass cls, bool dcache_miss, Cycle miss_latency);
+    void deliver(const BranchEvent &event);
+
+    BranchPredictor &predictor;
+    PipelineConfig cfg;
+    Machine machine;
+    Cache icache;
+    Cache dcache;
+    Btb btb;
+
+    std::vector<ConfidenceEstimator *> estimators;
+    std::vector<LevelReader> levelReaders;
+    BranchSink eventSink;
+
+    std::deque<InFlight> inflight;
+    PipelineStats stats;
+
+    // Gating state
+    bool gatingEnabled = false;
+    bool trackLowConf = false;
+    unsigned gateEstimator = 0;
+    unsigned gateThreshold = 1;
+    unsigned lowConfCount = 0;
+
+    // Eager-execution state
+    bool eagerEnabled = false;
+    unsigned eagerEstimator = 0;
+    unsigned forksInFlight = 0;
+
+    Cycle cycle = 0;
+    Cycle fetchStallUntil = 0;
+    Cycle nextIssueCycle = 0;
+    Cycle issueBusyCycle = 0;    ///< cycle issue slots refer to
+    unsigned issueSlotsUsed = 0; ///< slots consumed in issueBusyCycle
+    SeqNum nextSeq = 0;
+
+    // Distance bookkeeping (see BranchEvent)
+    std::uint64_t preciseDistAll = 0;
+    std::uint64_t preciseDistCommitted = 0;
+    std::uint64_t perceivedDistAll = 0;
+    std::uint64_t perceivedDistCommitted = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PIPELINE_PIPELINE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Eager (dual-path) execution model (§2.2). When a low-confidence
+ * branch is fetched, an eager-execution architecture forks and follows
+ * both paths, converting that branch's would-be misprediction penalty
+ * into a (smaller) fetch-bandwidth cost. The model evaluates the net
+ * effect from measured quadrant counts and pipeline statistics:
+ *
+ *  - Every LC branch forks: cost = forkOverheadCycles (split fetch).
+ *  - A forked branch that would have mispredicted (I_LC) saves the
+ *    misprediction penalty plus the average wrong-path drain.
+ *  - HC branches never fork; I_HC mispredictions still pay in full.
+ *
+ * This follows the paper's framing: the PVN is the yield of forking
+ * (fraction of forks that pay off) and the SPEC is the coverage
+ * (fraction of mispredictions eligible for rescue).
+ */
+
+#ifndef CONFSIM_SPECCONTROL_EAGER_HH
+#define CONFSIM_SPECCONTROL_EAGER_HH
+
+#include "metrics/quadrant.hh"
+#include "pipeline/pipeline.hh"
+
+namespace confsim
+{
+
+/** Outcome of the eager-execution evaluation. */
+struct EagerEstimate
+{
+    double forkRate = 0.0;        ///< fraction of branches forked (LC)
+    double forkYield = 0.0;       ///< PVN: forks that rescue a miss
+    double missCoverage = 0.0;    ///< SPEC: misses rescued
+    double savedCycles = 0.0;     ///< penalty cycles avoided
+    double overheadCycles = 0.0;  ///< fork bandwidth cost
+    double netSavedCycles = 0.0;  ///< saved - overhead
+    double estimatedSpeedup = 1.0; ///< baseline / eager cycles
+};
+
+/** Tunables of the eager model. */
+struct EagerConfig
+{
+    /** Cycles of fetch bandwidth lost per fork (both paths fetched
+     *  until the branch resolves). */
+    double forkOverheadCycles = 1.5;
+    /** Penalty cycles rescued per covered misprediction (recovery
+     *  penalty plus average wrong-path drain). */
+    double rescuedPenaltyCycles = 8.0;
+};
+
+/**
+ * Evaluate eager execution over one run's measurements.
+ *
+ * @param q committed-branch quadrants of the forking estimator.
+ * @param pipe baseline pipeline statistics.
+ * @param cfg model tunables.
+ */
+inline EagerEstimate
+evaluateEagerExecution(const QuadrantCounts &q, const PipelineStats &pipe,
+                       const EagerConfig &cfg = {})
+{
+    EagerEstimate e;
+    const double total = static_cast<double>(q.total());
+    if (total <= 0.0 || pipe.cycles == 0)
+        return e;
+
+    const double forks = static_cast<double>(q.clc + q.ilc);
+    e.forkRate = forks / total;
+    e.forkYield = q.pvn();
+    e.missCoverage = q.spec();
+
+    e.savedCycles =
+        static_cast<double>(q.ilc) * cfg.rescuedPenaltyCycles;
+    e.overheadCycles = forks * cfg.forkOverheadCycles;
+    e.netSavedCycles = e.savedCycles - e.overheadCycles;
+
+    const double baseline = static_cast<double>(pipe.cycles);
+    const double eager_cycles = baseline - e.netSavedCycles;
+    e.estimatedSpeedup =
+        eager_cycles > 0.0 ? baseline / eager_cycles : 1.0;
+    return e;
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_SPECCONTROL_EAGER_HH

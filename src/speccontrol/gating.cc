@@ -1,0 +1,40 @@
+#include "speccontrol/gating.hh"
+
+#include "confidence/jrs.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+PipelineStats
+runOnce(const Program &prog, PredictorKind kind,
+        const ExperimentConfig &cfg, bool gated,
+        unsigned gate_threshold)
+{
+    auto pred = makePredictor(kind);
+    JrsEstimator jrs(cfg.jrs);
+    Pipeline pipe(prog, *pred, cfg.pipeline);
+    const unsigned idx = pipe.attachEstimator(&jrs);
+    if (gated)
+        pipe.enableGating(idx, gate_threshold);
+    return pipe.run();
+}
+
+} // anonymous namespace
+
+GatingResult
+runGatingExperiment(const WorkloadSpec &spec, PredictorKind kind,
+                    const ExperimentConfig &cfg,
+                    unsigned gate_threshold)
+{
+    const Program prog = spec.factory(cfg.workload);
+    GatingResult result;
+    result.workload = spec.name;
+    result.baseline = runOnce(prog, kind, cfg, false, gate_threshold);
+    result.gated = runOnce(prog, kind, cfg, true, gate_threshold);
+    return result;
+}
+
+} // namespace confsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pipeline-gating experiment driver (the paper's power-conservation
+ * application [11], Manne et al.): run a workload twice — once
+ * unconstrained, once with fetch gated when N in-flight branches are
+ * low confidence — and compare wasted wrong-path work against the
+ * performance cost.
+ */
+
+#ifndef CONFSIM_SPECCONTROL_GATING_HH
+#define CONFSIM_SPECCONTROL_GATING_HH
+
+#include "harness/experiment.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Baseline-versus-gated comparison for one workload. */
+struct GatingResult
+{
+    std::string workload;
+    PipelineStats baseline;
+    PipelineStats gated;
+
+    /** Wrong-path instructions executed in the baseline run. */
+    std::uint64_t
+    baselineWrongPath() const
+    {
+        return baseline.allInsts - baseline.committedInsts;
+    }
+
+    /** Wrong-path instructions executed in the gated run. */
+    std::uint64_t
+    gatedWrongPath() const
+    {
+        return gated.allInsts - gated.committedInsts;
+    }
+
+    /** Fraction of wrong-path work eliminated by gating. */
+    double
+    extraWorkReduction() const
+    {
+        const auto base = baselineWrongPath();
+        if (base == 0)
+            return 0.0;
+        return 1.0
+            - static_cast<double>(gatedWrongPath())
+                / static_cast<double>(base);
+    }
+
+    /** Execution-time cost of gating (1.0 = no slowdown). */
+    double
+    slowdown() const
+    {
+        return baseline.cycles == 0
+            ? 0.0
+            : static_cast<double>(gated.cycles)
+                / static_cast<double>(baseline.cycles);
+    }
+};
+
+/**
+ * Run the gating comparison for one workload.
+ *
+ * @param spec workload.
+ * @param kind branch predictor family.
+ * @param cfg experiment knobs (the JRS config also configures the
+ *        gating estimator).
+ * @param gate_threshold gate fetch when this many in-flight branches
+ *        are low confidence.
+ */
+GatingResult runGatingExperiment(const WorkloadSpec &spec,
+                                 PredictorKind kind,
+                                 const ExperimentConfig &cfg,
+                                 unsigned gate_threshold);
+
+} // namespace confsim
+
+#endif // CONFSIM_SPECCONTROL_GATING_HH

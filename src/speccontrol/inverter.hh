@@ -1,0 +1,55 @@
+/**
+ * @file
+ * "Improving branch predictors" check (§2.2, after Jacobsen et al.):
+ * if a confidence estimator's PVN exceeded 50%, inverting the
+ * prediction of low-confidence branches would raise accuracy; if PVP
+ * fell below 50%, inverting high-confidence predictions would. The
+ * paper reports never observing either condition across programs —
+ * these helpers let every bench verify that claim on our data.
+ */
+
+#ifndef CONFSIM_SPECCONTROL_INVERTER_HH
+#define CONFSIM_SPECCONTROL_INVERTER_HH
+
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+
+/**
+ * Accuracy obtained by inverting every low-confidence prediction:
+ * high-confidence branches keep their outcome (C_HC correct), while
+ * low-confidence ones flip (I_LC becomes correct, C_LC incorrect).
+ */
+inline double
+accuracyInvertingLowConfidence(const QuadrantCounts &q)
+{
+    const double total = static_cast<double>(q.total());
+    if (total <= 0.0)
+        return 0.0;
+    return static_cast<double>(q.chc + q.ilc) / total;
+}
+
+/**
+ * Accuracy obtained by inverting every high-confidence prediction
+ * (the degenerate PVP < 50% case).
+ */
+inline double
+accuracyInvertingHighConfidence(const QuadrantCounts &q)
+{
+    const double total = static_cast<double>(q.total());
+    if (total <= 0.0)
+        return 0.0;
+    return static_cast<double>(q.ihc + q.clc) / total;
+}
+
+/** True when inverting low-confidence predictions would help. */
+inline bool
+inversionWouldImprove(const QuadrantCounts &q)
+{
+    return accuracyInvertingLowConfidence(q) > q.accuracy();
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_SPECCONTROL_INVERTER_HH

@@ -1,0 +1,151 @@
+#include "speccontrol/smt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+const char *
+fetchPolicyName(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::RoundRobin: return "round-robin";
+      case FetchPolicy::FewestInFlight: return "fewest-in-flight";
+      case FetchPolicy::LowConfidence: return "low-confidence";
+    }
+    return "???";
+}
+
+SmtSimulator::SmtSimulator(const SmtConfig &config)
+    : cfg(config)
+{
+}
+
+void
+SmtSimulator::addThread(const WorkloadSpec &spec)
+{
+    auto thread = std::make_unique<Thread>();
+    thread->name = spec.name;
+    thread->prog = spec.factory(cfg.experiment.workload);
+    thread->pred = makePredictor(cfg.predictor);
+    thread->jrs = std::make_unique<JrsEstimator>(cfg.jrs);
+    thread->pipe = std::make_unique<Pipeline>(thread->prog,
+                                              *thread->pred,
+                                              cfg.pipeline);
+    const unsigned idx = thread->pipe->attachEstimator(thread->jrs.get());
+    thread->pipe->trackConfidence(idx);
+    threads.push_back(std::move(thread));
+}
+
+std::vector<std::size_t>
+SmtSimulator::selectFetchThreads()
+{
+    // Only threads that would actually fetch this cycle compete for
+    // the port; granting it to a recovering/stalled thread wastes it.
+    std::vector<std::size_t> runnable;
+    for (std::size_t i = 0; i < threads.size(); ++i)
+        if (threads[i]->running && threads[i]->pipe->fetchReady())
+            runnable.push_back(i);
+    if (runnable.empty())
+        return runnable;
+
+    const std::size_t grant =
+        std::min<std::size_t>(cfg.fetchThreadsPerCycle, runnable.size());
+
+    // Rotating tie-break so equal-priority threads share the port
+    // fairly instead of starving high indices.
+    const std::size_t rotation = rrCursor;
+    rrCursor = (rrCursor + 1) % threads.size();
+    auto rotated = [this, rotation](std::size_t i) {
+        return (i + threads.size() - rotation) % threads.size();
+    };
+
+    switch (cfg.policy) {
+      case FetchPolicy::RoundRobin:
+        std::sort(runnable.begin(), runnable.end(),
+                  [&rotated](std::size_t a, std::size_t b) {
+                      return rotated(a) < rotated(b);
+                  });
+        break;
+      case FetchPolicy::FewestInFlight:
+        std::sort(runnable.begin(), runnable.end(),
+                  [this, &rotated](std::size_t a, std::size_t b) {
+                      const auto fa =
+                          threads[a]->pipe->branchesInFlight();
+                      const auto fb =
+                          threads[b]->pipe->branchesInFlight();
+                      if (fa != fb)
+                          return fa < fb;
+                      return rotated(a) < rotated(b);
+                  });
+        break;
+      case FetchPolicy::LowConfidence:
+        // Primary key: low-confidence in-flight branches; tie-break on
+        // total in-flight (approximating ICOUNT behaviour when no
+        // confidence signal distinguishes threads), then rotation.
+        std::sort(runnable.begin(), runnable.end(),
+                  [this, &rotated](std::size_t a, std::size_t b) {
+                      const auto la =
+                          threads[a]->pipe->lowConfInFlight();
+                      const auto lb =
+                          threads[b]->pipe->lowConfInFlight();
+                      if (la != lb)
+                          return la < lb;
+                      const auto fa =
+                          threads[a]->pipe->branchesInFlight();
+                      const auto fb =
+                          threads[b]->pipe->branchesInFlight();
+                      if (fa != fb)
+                          return fa < fb;
+                      return rotated(a) < rotated(b);
+                  });
+        break;
+    }
+    runnable.resize(grant);
+    return runnable;
+}
+
+SmtStats
+SmtSimulator::run(Cycle max_cycles)
+{
+    if (threads.empty())
+        fatal("SmtSimulator::run with no threads");
+
+    SmtStats result;
+    Cycle cycles = 0;
+
+    while (cycles < max_cycles) {
+        bool any_running = false;
+        for (const auto &t : threads)
+            if (t->running)
+                any_running = true;
+        if (!any_running)
+            break;
+        ++cycles;
+
+        const std::vector<std::size_t> granted = selectFetchThreads();
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            Thread &t = *threads[i];
+            if (!t.running)
+                continue;
+            const bool may_fetch =
+                std::find(granted.begin(), granted.end(), i)
+                != granted.end();
+            if (!t.pipe->tick(may_fetch))
+                t.running = false;
+        }
+    }
+
+    result.cycles = cycles;
+    for (const auto &t : threads) {
+        const PipelineStats s = t->pipe->snapshotStats();
+        result.committedInsts += s.committedInsts;
+        result.allInsts += s.allInsts;
+        result.perThreadCommitted.push_back(s.committedInsts);
+    }
+    return result;
+}
+
+} // namespace confsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SMT fetch-policy simulation (§2.2 of the paper): several hardware
+ * threads share one fetch port; each cycle a fetch policy picks which
+ * thread(s) may fetch. The confidence-based policy deprioritises
+ * threads whose in-flight branches carry low-confidence estimates —
+ * those threads are speculating on instructions that are unlikely to
+ * commit, so fetch bandwidth is better spent elsewhere.
+ *
+ * Simplification vs. real SMT: threads own private predictors and
+ * caches (no destructive interference modelled); the shared resource
+ * is fetch bandwidth, which is the lever the paper's policy uses.
+ */
+
+#ifndef CONFSIM_SPECCONTROL_SMT_HH
+#define CONFSIM_SPECCONTROL_SMT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "confidence/jrs.hh"
+#include "harness/experiment.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Thread-selection policies for the shared fetch port. */
+enum class FetchPolicy
+{
+    RoundRobin,      ///< rotate through runnable threads
+    FewestInFlight,  ///< ICOUNT-style: least unresolved branches
+    LowConfidence,   ///< paper: fewest low-confidence in-flight branches
+};
+
+/** @return human-readable policy name. */
+const char *fetchPolicyName(FetchPolicy policy);
+
+/** Configuration of an SMT simulation. */
+struct SmtConfig
+{
+    FetchPolicy policy = FetchPolicy::RoundRobin;
+    unsigned fetchThreadsPerCycle = 1; ///< threads granted fetch/cycle
+    PredictorKind predictor = PredictorKind::Gshare;
+    PipelineConfig pipeline;   ///< per-thread pipeline parameters
+    JrsConfig jrs;             ///< confidence estimator per thread
+    ExperimentConfig experiment; ///< workload scale etc.
+};
+
+/** Aggregate results of an SMT run. */
+struct SmtStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t allInsts = 0; ///< incl. wrong-path work
+    std::vector<std::uint64_t> perThreadCommitted;
+
+    /** Aggregate throughput in committed instructions per cycle. */
+    double
+    throughput() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(committedInsts)
+                / static_cast<double>(cycles);
+    }
+
+    /** Fraction of executed instructions that were wrong-path. */
+    double
+    wastedWorkFraction() const
+    {
+        return allInsts == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(committedInsts)
+                / static_cast<double>(allInsts);
+    }
+};
+
+/**
+ * Multi-threaded pipeline driver with a pluggable fetch policy.
+ */
+class SmtSimulator
+{
+  public:
+    /** @param config simulation parameters. */
+    explicit SmtSimulator(const SmtConfig &config);
+
+    /** Add a hardware thread running the given workload. */
+    void addThread(const WorkloadSpec &spec);
+
+    /**
+     * Run until every thread finishes (or the cycle bound trips).
+     * @return aggregate statistics.
+     */
+    SmtStats run(Cycle max_cycles = 2'000'000'000ull);
+
+  private:
+    struct Thread
+    {
+        std::string name;
+        Program prog;
+        std::unique_ptr<BranchPredictor> pred;
+        std::unique_ptr<JrsEstimator> jrs;
+        std::unique_ptr<Pipeline> pipe;
+        bool running = true;
+    };
+
+    std::vector<std::size_t> selectFetchThreads();
+
+    SmtConfig cfg;
+    std::vector<std::unique_ptr<Thread>> threads;
+    std::size_t rrCursor = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SPECCONTROL_SMT_HH

@@ -1,0 +1,151 @@
+#include "uarch/isa.hh"
+
+#include <sstream>
+
+namespace confsim
+{
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Muli:
+        return OpClass::IntMult;
+      case Opcode::Ld:
+        return OpClass::Load;
+      case Opcode::St:
+        return OpClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return OpClass::CondBranch;
+      case Opcode::Jmp:
+      case Opcode::Jr:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return OpClass::UncondBranch;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return OpClass::Other;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opClass(op) == OpClass::CondBranch;
+}
+
+bool
+isControl(Opcode op)
+{
+    const OpClass cls = opClass(op);
+    return cls == OpClass::CondBranch || cls == OpClass::UncondBranch;
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addi: return "addi";
+      case Opcode::Muli: return "muli";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jr: return "jr";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::ostringstream out;
+    out << mnemonic(inst.op);
+    switch (opClass(inst.op)) {
+      case OpClass::CondBranch:
+        out << " r" << unsigned(inst.rs1) << ", r" << unsigned(inst.rs2)
+            << ", @" << inst.target;
+        break;
+      case OpClass::UncondBranch:
+        if (inst.op == Opcode::Jr || inst.op == Opcode::Ret)
+            out << " r" << unsigned(inst.rs1);
+        else
+            out << " @" << inst.target;
+        break;
+      case OpClass::Load:
+        out << " r" << unsigned(inst.rd) << ", " << inst.imm
+            << "(r" << unsigned(inst.rs1) << ")";
+        break;
+      case OpClass::Store:
+        out << " r" << unsigned(inst.rs2) << ", " << inst.imm
+            << "(r" << unsigned(inst.rs1) << ")";
+        break;
+      default:
+        if (inst.op == Opcode::Li) {
+            out << " r" << unsigned(inst.rd) << ", " << inst.imm;
+        } else if (inst.op == Opcode::Mov) {
+            out << " r" << unsigned(inst.rd)
+                << ", r" << unsigned(inst.rs1);
+        } else if (inst.op != Opcode::Nop && inst.op != Opcode::Halt) {
+            out << " r" << unsigned(inst.rd)
+                << ", r" << unsigned(inst.rs1);
+            const OpClass cls = opClass(inst.op);
+            (void)cls;
+            switch (inst.op) {
+              case Opcode::Addi: case Opcode::Muli: case Opcode::Andi:
+              case Opcode::Ori: case Opcode::Xori: case Opcode::Slli:
+              case Opcode::Srli: case Opcode::Srai: case Opcode::Slti:
+                out << ", " << inst.imm;
+                break;
+              default:
+                out << ", r" << unsigned(inst.rs2);
+                break;
+            }
+        }
+        break;
+    }
+    return out.str();
+}
+
+} // namespace confsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The ConfSim mini-ISA: a 32-register RISC-like instruction set executed
+ * by the functional interpreter (machine.hh) and timed by the pipeline
+ * model. It exists so the synthetic SPECint95-analog workloads produce
+ * *real* data-dependent branch streams instead of statistical noise.
+ *
+ * Conventions:
+ *  - r0 is hard-wired to zero.
+ *  - r29 (REG_SP) is the software stack pointer, r31 (REG_LR) the link
+ *    register written by Call.
+ *  - The program counter counts instructions; instruction *addresses*
+ *    reported to branch predictors are codeBase + 4*pc so that tables
+ *    indexed by address behave as they would with 4-byte encodings.
+ *  - Data memory is word-addressed (one Word per address).
+ */
+
+#ifndef CONFSIM_UARCH_ISA_HH
+#define CONFSIM_UARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** Hard-wired zero register. */
+constexpr unsigned REG_ZERO = 0;
+/** Software stack-pointer convention. */
+constexpr unsigned REG_SP = 29;
+/** Link register written by Call. */
+constexpr unsigned REG_LR = 31;
+/** Number of architectural registers. */
+constexpr unsigned NUM_REGS = 32;
+
+/** Base byte address of the code segment. */
+constexpr Addr CODE_BASE = 0x1000;
+
+/** Instruction opcodes of the mini-ISA. */
+enum class Opcode : std::uint8_t
+{
+    // Register-register ALU
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    // Register-immediate ALU
+    Addi, Muli, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    // Constant / move
+    Li, Mov,
+    // Memory
+    Ld, St,
+    // Conditional branches (rs1 vs rs2, to target)
+    Beq, Bne, Blt, Bge, Ble, Bgt,
+    // Unconditional control flow
+    Jmp, Jr, Call, Ret,
+    // Misc
+    Nop, Halt,
+};
+
+/** Broad classification used by the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,       ///< single-cycle integer op
+    IntMult,      ///< multi-cycle multiply/divide
+    Load,         ///< memory read
+    Store,        ///< memory write
+    CondBranch,   ///< conditional control flow (the speculated class)
+    UncondBranch, ///< jump/call/return
+    Other,        ///< nop/halt
+};
+
+/** One decoded mini-ISA instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;    ///< destination register
+    std::uint8_t rs1 = 0;   ///< first source register
+    std::uint8_t rs2 = 0;   ///< second source register
+    Word imm = 0;           ///< immediate operand / memory offset
+    std::uint32_t target = 0; ///< branch/jump target (instruction index)
+};
+
+/** @return the timing class of an opcode. */
+OpClass opClass(Opcode op);
+
+/** @return true for the six conditional-branch opcodes. */
+bool isCondBranch(Opcode op);
+
+/** @return true for any control-transfer opcode. */
+bool isControl(Opcode op);
+
+/** @return the assembly mnemonic, for disassembly/debugging. */
+const char *mnemonic(Opcode op);
+
+/** Render one instruction as text. */
+std::string disassemble(const Inst &inst);
+
+/**
+ * A complete executable: code, initial data image and metadata. Programs
+ * are produced by ProgramBuilder (hand-written workloads) and consumed by
+ * the Machine interpreter.
+ */
+struct Program
+{
+    std::string name;            ///< workload name, e.g. "compress"
+    std::vector<Inst> code;      ///< instruction memory
+    std::vector<Word> initialData; ///< initial data-memory image
+    std::size_t dataWords = 0;   ///< total data memory size in words
+    std::uint32_t entry = 0;     ///< entry instruction index
+
+    /** Byte-style address of instruction index @p pc. */
+    static Addr
+    pcToAddr(std::uint32_t pc)
+    {
+        return CODE_BASE + static_cast<Addr>(pc) * 4;
+    }
+
+    /** Inverse of pcToAddr. */
+    static std::uint32_t
+    addrToPc(Addr addr)
+    {
+        return static_cast<std::uint32_t>((addr - CODE_BASE) / 4);
+    }
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UARCH_ISA_HH

@@ -1,0 +1,255 @@
+#include "uarch/machine.hh"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+Machine::Machine(Program prog)
+    : program(std::move(prog)), pcReg(program.entry),
+      memory(program.initialData)
+{
+    memory.resize(program.dataWords, 0);
+    // Software stack grows down from the top of data memory.
+    regs[REG_SP] = static_cast<Word>(prog.dataWords);
+}
+
+void
+Machine::setReg(unsigned idx, Word value)
+{
+    if (idx >= NUM_REGS)
+        fatal("setReg: register out of range");
+    if (idx != REG_ZERO)
+        regs[idx] = value;
+}
+
+Word
+Machine::mem(std::size_t word_addr) const
+{
+    return word_addr < memory.size() ? memory[word_addr] : 0;
+}
+
+void
+Machine::reset()
+{
+    pcReg = program.entry;
+    regs.fill(0);
+    memory = program.initialData;
+    memory.resize(program.dataWords, 0);
+    regs[REG_SP] = static_cast<Word>(program.dataWords);
+    haltedFlag = false;
+    checkpoints.clear();
+    stepCount = 0;
+}
+
+void
+Machine::archFault(const char *what, std::uint32_t at_pc)
+{
+    panic(std::string(what) + " on architected path in '" + program.name
+          + "' at pc " + std::to_string(at_pc));
+}
+
+Word
+Machine::readMem(std::size_t word_addr)
+{
+    if (word_addr >= memory.size()) {
+        if (checkpoints.empty())
+            archFault("out-of-range load", pcReg);
+        return 0; // wrong path: benign garbage
+    }
+    return memory[word_addr];
+}
+
+void
+Machine::writeMem(std::size_t word_addr, Word value)
+{
+    if (word_addr >= memory.size()) {
+        if (checkpoints.empty())
+            archFault("out-of-range store", pcReg);
+        return; // wrong path: dropped
+    }
+    if (!checkpoints.empty())
+        checkpoints.back().undoLog.emplace_back(word_addr,
+                                                memory[word_addr]);
+    memory[word_addr] = value;
+}
+
+void
+Machine::writeReg(unsigned idx, Word value)
+{
+    if (idx != REG_ZERO)
+        regs[idx] = value;
+}
+
+CheckpointId
+Machine::takeCheckpoint()
+{
+    Checkpoint cp;
+    cp.pc = pcReg;
+    cp.regs = regs;
+    cp.halted = haltedFlag;
+    checkpoints.push_back(std::move(cp));
+    return checkpoints.size() - 1;
+}
+
+void
+Machine::rollback(CheckpointId id)
+{
+    if (id >= checkpoints.size())
+        panic("rollback to nonexistent checkpoint");
+    // Undo memory writes from youngest to oldest, down to and including
+    // the target checkpoint's own log.
+    for (std::size_t i = checkpoints.size(); i-- > id; ) {
+        auto &log = checkpoints[i].undoLog;
+        for (std::size_t j = log.size(); j-- > 0; )
+            memory[log[j].first] = log[j].second;
+    }
+    pcReg = checkpoints[id].pc;
+    regs = checkpoints[id].regs;
+    haltedFlag = checkpoints[id].halted;
+    checkpoints.resize(id);
+}
+
+StepInfo
+Machine::step()
+{
+    StepInfo info;
+    info.pc = pcReg;
+    info.addr = Program::pcToAddr(pcReg);
+
+    if (haltedFlag || pcReg >= program.code.size()) {
+        if (!haltedFlag && checkpoints.empty())
+            archFault("PC out of code segment", pcReg);
+        info.halted = true;
+        return info;
+    }
+
+    const Inst &inst = program.code[pcReg];
+    info.op = inst.op;
+    info.cls = opClass(inst.op);
+    ++stepCount;
+
+    std::uint32_t next = pcReg + 1;
+    const Word a = regs[inst.rs1];
+    const Word b = regs[inst.rs2];
+
+    switch (inst.op) {
+      case Opcode::Add: writeReg(inst.rd, a + b); break;
+      case Opcode::Sub: writeReg(inst.rd, a - b); break;
+      case Opcode::Mul: writeReg(inst.rd, a * b); break;
+      case Opcode::Div:
+        if (b == 0) {
+            if (checkpoints.empty())
+                archFault("division by zero", pcReg);
+            writeReg(inst.rd, 0);
+        } else {
+            writeReg(inst.rd, a / b);
+        }
+        break;
+      case Opcode::Rem:
+        if (b == 0) {
+            if (checkpoints.empty())
+                archFault("remainder by zero", pcReg);
+            writeReg(inst.rd, 0);
+        } else {
+            writeReg(inst.rd, a % b);
+        }
+        break;
+      case Opcode::And: writeReg(inst.rd, a & b); break;
+      case Opcode::Or: writeReg(inst.rd, a | b); break;
+      case Opcode::Xor: writeReg(inst.rd, a ^ b); break;
+      case Opcode::Sll:
+        writeReg(inst.rd, static_cast<Word>(
+                static_cast<UWord>(a) << (static_cast<UWord>(b) & 63)));
+        break;
+      case Opcode::Srl:
+        writeReg(inst.rd, static_cast<Word>(
+                static_cast<UWord>(a) >> (static_cast<UWord>(b) & 63)));
+        break;
+      case Opcode::Sra:
+        writeReg(inst.rd, a >> (static_cast<UWord>(b) & 63));
+        break;
+      case Opcode::Slt: writeReg(inst.rd, a < b ? 1 : 0); break;
+      case Opcode::Sltu:
+        writeReg(inst.rd,
+                 static_cast<UWord>(a) < static_cast<UWord>(b) ? 1 : 0);
+        break;
+
+      case Opcode::Addi: writeReg(inst.rd, a + inst.imm); break;
+      case Opcode::Muli: writeReg(inst.rd, a * inst.imm); break;
+      case Opcode::Andi: writeReg(inst.rd, a & inst.imm); break;
+      case Opcode::Ori: writeReg(inst.rd, a | inst.imm); break;
+      case Opcode::Xori: writeReg(inst.rd, a ^ inst.imm); break;
+      case Opcode::Slli:
+        writeReg(inst.rd, static_cast<Word>(
+                static_cast<UWord>(a) << (inst.imm & 63)));
+        break;
+      case Opcode::Srli:
+        writeReg(inst.rd, static_cast<Word>(
+                static_cast<UWord>(a) >> (inst.imm & 63)));
+        break;
+      case Opcode::Srai: writeReg(inst.rd, a >> (inst.imm & 63)); break;
+      case Opcode::Slti: writeReg(inst.rd, a < inst.imm ? 1 : 0); break;
+
+      case Opcode::Li: writeReg(inst.rd, inst.imm); break;
+      case Opcode::Mov: writeReg(inst.rd, a); break;
+
+      case Opcode::Ld:
+        {
+            const std::size_t ea =
+                static_cast<std::size_t>(a + inst.imm);
+            info.isMem = true;
+            info.memAddr = static_cast<Addr>(ea);
+            writeReg(inst.rd, readMem(ea));
+        }
+        break;
+      case Opcode::St:
+        {
+            const std::size_t ea =
+                static_cast<std::size_t>(a + inst.imm);
+            info.isMem = true;
+            info.memAddr = static_cast<Addr>(ea);
+            writeMem(ea, b);
+        }
+        break;
+
+      case Opcode::Beq: info.taken = (a == b); goto cond;
+      case Opcode::Bne: info.taken = (a != b); goto cond;
+      case Opcode::Blt: info.taken = (a < b); goto cond;
+      case Opcode::Bge: info.taken = (a >= b); goto cond;
+      case Opcode::Ble: info.taken = (a <= b); goto cond;
+      case Opcode::Bgt: info.taken = (a > b); goto cond;
+      cond:
+        info.isCond = true;
+        info.targetPc = inst.target;
+        if (info.taken)
+            next = inst.target;
+        break;
+
+      case Opcode::Jmp: next = inst.target; break;
+      case Opcode::Jr:
+      case Opcode::Ret:
+        next = static_cast<std::uint32_t>(a);
+        break;
+      case Opcode::Call:
+        writeReg(inst.rd, static_cast<Word>(pcReg + 1));
+        next = inst.target;
+        break;
+
+      case Opcode::Nop: break;
+      case Opcode::Halt:
+        haltedFlag = true;
+        info.halted = true;
+        next = pcReg;
+        break;
+    }
+
+    info.nextPc = next;
+    pcReg = next;
+    return info;
+}
+
+} // namespace confsim

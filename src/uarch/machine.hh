@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Functional interpreter for the mini-ISA with *speculative* execution
+ * support. The pipeline model runs functional-first (SimpleScalar
+ * sim-outorder style): every fetched instruction is executed immediately,
+ * including instructions on mispredicted (wrong) paths. A checkpoint is
+ * taken at each divergence point; when the mispredicted branch resolves,
+ * the machine rolls back to the checkpointed architectural state.
+ *
+ * Wrong-path execution is sandboxed: out-of-range memory accesses,
+ * division by zero, and runaway PCs are silently tolerated while
+ * speculating (they would be squashed in real hardware) but are
+ * hard errors on the architecturally correct path.
+ */
+
+#ifndef CONFSIM_UARCH_MACHINE_HH
+#define CONFSIM_UARCH_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+/** Opaque handle to a speculation checkpoint. */
+using CheckpointId = std::size_t;
+
+/** Everything the timing model needs to know about one executed step. */
+struct StepInfo
+{
+    std::uint32_t pc = 0;       ///< instruction index executed
+    Addr addr = 0;              ///< byte-style instruction address
+    Opcode op = Opcode::Nop;    ///< executed opcode
+    OpClass cls = OpClass::Other; ///< timing class
+    bool isCond = false;        ///< conditional branch?
+    bool taken = false;         ///< actual direction (cond branches)
+    std::uint32_t nextPc = 0;   ///< correct successor under current state
+    std::uint32_t targetPc = 0; ///< taken-target (cond branches)
+    bool halted = false;        ///< halt executed or PC out of range
+    bool isMem = false;         ///< load or store?
+    Addr memAddr = 0;           ///< effective word address (loads/stores)
+};
+
+/**
+ * Architectural state plus a checkpoint stack. See the file comment for
+ * the speculation protocol.
+ */
+class Machine
+{
+  public:
+    /**
+     * Bind the machine to a program and load its initial data image.
+     * The program is copied, so temporaries are safe to pass.
+     */
+    explicit Machine(Program prog);
+
+    /**
+     * Execute the instruction at the current PC and advance.
+     * If the machine is halted (or PC runs off the code segment while
+     * speculating), returns a StepInfo with halted=true and no state
+     * change.
+     */
+    StepInfo step();
+
+    /**
+     * Capture the current architectural state. Call immediately after
+     * executing a branch that the predictor got wrong, *before*
+     * redirect(); rollback() then resumes the correct path.
+     * @return handle to pass to rollback(); invalidated by any rollback
+     *         to an equal or older checkpoint.
+     */
+    CheckpointId takeCheckpoint();
+
+    /**
+     * Restore state to checkpoint @p id, discarding it and every younger
+     * checkpoint (nested wrong-path divergences).
+     */
+    void rollback(CheckpointId id);
+
+    /** Force the fetch PC (enter the mispredicted path). */
+    void redirect(std::uint32_t new_pc) { pcReg = new_pc; }
+
+    /** Number of live checkpoints (0 = on the architected path). */
+    std::size_t specDepth() const { return checkpoints.size(); }
+
+    /** True once Halt has executed on the architected path. */
+    bool halted() const { return haltedFlag; }
+
+    /** Current fetch PC (instruction index). */
+    std::uint32_t pc() const { return pcReg; }
+
+    /** Read an architectural register. */
+    Word reg(unsigned idx) const { return regs[idx]; }
+
+    /** Write an architectural register (test setup only). */
+    void setReg(unsigned idx, Word value);
+
+    /** Read a data-memory word; 0 if out of range. */
+    Word mem(std::size_t word_addr) const;
+
+    /** Reset to the program's initial state. */
+    void reset();
+
+    /** Total instructions executed (incl. wrong path). */
+    std::uint64_t stepsExecuted() const { return stepCount; }
+
+  private:
+    struct Checkpoint
+    {
+        std::uint32_t pc;
+        std::array<Word, NUM_REGS> regs;
+        bool halted;
+        /// (word address, previous value) undo log, oldest first
+        std::vector<std::pair<std::size_t, Word>> undoLog;
+    };
+
+    Word readMem(std::size_t word_addr);
+    void writeMem(std::size_t word_addr, Word value);
+    void writeReg(unsigned idx, Word value);
+    [[noreturn]] void archFault(const char *what, std::uint32_t at_pc);
+
+    Program program;
+    std::uint32_t pcReg;
+    std::array<Word, NUM_REGS> regs{};
+    std::vector<Word> memory;
+    bool haltedFlag = false;
+    std::vector<Checkpoint> checkpoints;
+    std::uint64_t stepCount = 0;
+};
+
+/**
+ * Run a program to completion on the architected path only (no wrong-path
+ * execution), invoking @p visitor for every conditional branch. This is
+ * the fast path for predictor-only experiments that do not need pipeline
+ * timing.
+ *
+ * @param prog program to run.
+ * @param visitor callable (const StepInfo &) invoked per cond. branch.
+ * @param max_steps safety bound on executed instructions.
+ * @return number of instructions executed.
+ */
+template <typename Visitor>
+std::uint64_t
+runProgram(const Program &prog, Visitor &&visitor,
+           std::uint64_t max_steps = 2'000'000'000ull)
+{
+    Machine machine(prog);
+    std::uint64_t executed = 0;
+    while (!machine.halted() && executed < max_steps) {
+        const StepInfo info = machine.step();
+        if (info.halted)
+            break;
+        ++executed;
+        if (info.isCond)
+            visitor(info);
+    }
+    return executed;
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_UARCH_MACHINE_HH

@@ -1,0 +1,269 @@
+#include "uarch/program_builder.hh"
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+ProgramBuilder::ProgramBuilder(std::string name, std::size_t data_words)
+    : progName(std::move(name)), dataWords(data_words)
+{
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels.count(name))
+        fatal("duplicate label '" + name + "' in " + progName);
+    labels[name] = static_cast<std::uint32_t>(insts.size());
+}
+
+void
+ProgramBuilder::emit(Inst inst)
+{
+    if (inst.rd >= NUM_REGS || inst.rs1 >= NUM_REGS || inst.rs2 >= NUM_REGS)
+        fatal("register out of range in " + progName);
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                           const std::string &to)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rs1 = static_cast<std::uint8_t>(rs1);
+    inst.rs2 = static_cast<std::uint8_t>(rs2);
+    fixups.emplace_back(insts.size(), to);
+    emit(inst);
+}
+
+#define CONFSIM_RRR(fn, OP)                                                \
+    void                                                                   \
+    ProgramBuilder::fn(unsigned rd, unsigned rs1, unsigned rs2)            \
+    {                                                                      \
+        Inst i;                                                            \
+        i.op = Opcode::OP;                                                 \
+        i.rd = static_cast<std::uint8_t>(rd);                              \
+        i.rs1 = static_cast<std::uint8_t>(rs1);                            \
+        i.rs2 = static_cast<std::uint8_t>(rs2);                            \
+        emit(i);                                                           \
+    }
+
+CONFSIM_RRR(add, Add)
+CONFSIM_RRR(sub, Sub)
+CONFSIM_RRR(mul, Mul)
+CONFSIM_RRR(div, Div)
+CONFSIM_RRR(rem, Rem)
+CONFSIM_RRR(and_, And)
+CONFSIM_RRR(or_, Or)
+CONFSIM_RRR(xor_, Xor)
+CONFSIM_RRR(sll, Sll)
+CONFSIM_RRR(srl, Srl)
+CONFSIM_RRR(sra, Sra)
+CONFSIM_RRR(slt, Slt)
+CONFSIM_RRR(sltu, Sltu)
+
+#undef CONFSIM_RRR
+
+#define CONFSIM_RRI(fn, OP)                                                \
+    void                                                                   \
+    ProgramBuilder::fn(unsigned rd, unsigned rs1, Word imm)                \
+    {                                                                      \
+        Inst i;                                                            \
+        i.op = Opcode::OP;                                                 \
+        i.rd = static_cast<std::uint8_t>(rd);                              \
+        i.rs1 = static_cast<std::uint8_t>(rs1);                            \
+        i.imm = imm;                                                       \
+        emit(i);                                                           \
+    }
+
+CONFSIM_RRI(addi, Addi)
+CONFSIM_RRI(muli, Muli)
+CONFSIM_RRI(andi, Andi)
+CONFSIM_RRI(ori, Ori)
+CONFSIM_RRI(xori, Xori)
+CONFSIM_RRI(slli, Slli)
+CONFSIM_RRI(srli, Srli)
+CONFSIM_RRI(srai, Srai)
+CONFSIM_RRI(slti, Slti)
+
+#undef CONFSIM_RRI
+
+void
+ProgramBuilder::li(unsigned rd, Word imm)
+{
+    Inst i;
+    i.op = Opcode::Li;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::mov(unsigned rd, unsigned rs1)
+{
+    Inst i;
+    i.op = Opcode::Mov;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.rs1 = static_cast<std::uint8_t>(rs1);
+    emit(i);
+}
+
+void
+ProgramBuilder::ld(unsigned rd, unsigned rs1, Word imm)
+{
+    Inst i;
+    i.op = Opcode::Ld;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.rs1 = static_cast<std::uint8_t>(rs1);
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::st(unsigned rs2, unsigned rs1, Word imm)
+{
+    Inst i;
+    i.op = Opcode::St;
+    i.rs2 = static_cast<std::uint8_t>(rs2);
+    i.rs1 = static_cast<std::uint8_t>(rs1);
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::beq(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Beq, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::bne(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Bne, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::blt(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Blt, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::bge(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Bge, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::ble(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Ble, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::bgt(unsigned rs1, unsigned rs2, const std::string &to)
+{
+    emitBranch(Opcode::Bgt, rs1, rs2, to);
+}
+
+void
+ProgramBuilder::jmp(const std::string &to)
+{
+    Inst i;
+    i.op = Opcode::Jmp;
+    fixups.emplace_back(insts.size(), to);
+    emit(i);
+}
+
+void
+ProgramBuilder::jr(unsigned rs1)
+{
+    Inst i;
+    i.op = Opcode::Jr;
+    i.rs1 = static_cast<std::uint8_t>(rs1);
+    emit(i);
+}
+
+void
+ProgramBuilder::call(const std::string &to)
+{
+    Inst i;
+    i.op = Opcode::Call;
+    i.rd = REG_LR;
+    fixups.emplace_back(insts.size(), to);
+    emit(i);
+}
+
+void
+ProgramBuilder::ret()
+{
+    Inst i;
+    i.op = Opcode::Ret;
+    i.rs1 = REG_LR;
+    emit(i);
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(Inst{});
+}
+
+void
+ProgramBuilder::halt()
+{
+    Inst i;
+    i.op = Opcode::Halt;
+    emit(i);
+}
+
+void
+ProgramBuilder::push(unsigned rs)
+{
+    addi(REG_SP, REG_SP, -1);
+    st(rs, REG_SP, 0);
+}
+
+void
+ProgramBuilder::pop(unsigned rd)
+{
+    ld(rd, REG_SP, 0);
+    addi(REG_SP, REG_SP, 1);
+}
+
+void
+ProgramBuilder::data(std::size_t word_addr, Word value)
+{
+    if (word_addr >= dataWords)
+        fatal("data init out of range in " + progName);
+    dataInit.emplace_back(word_addr, value);
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built)
+        fatal("ProgramBuilder::build called twice for " + progName);
+    built = true;
+
+    for (const auto &[index, name] : fixups) {
+        auto it = labels.find(name);
+        if (it == labels.end())
+            fatal("undefined label '" + name + "' in " + progName);
+        insts[index].target = it->second;
+    }
+
+    Program prog;
+    prog.name = progName;
+    prog.code = std::move(insts);
+    prog.dataWords = dataWords;
+    prog.initialData.assign(dataWords, 0);
+    for (const auto &[addr, value] : dataInit)
+        prog.initialData[addr] = value;
+    prog.entry = 0;
+    return prog;
+}
+
+} // namespace confsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A tiny two-pass assembler for the mini-ISA. Workloads are written
+ * against this builder with symbolic labels; build() resolves label
+ * references to instruction indices and validates the program.
+ */
+
+#ifndef CONFSIM_UARCH_PROGRAM_BUILDER_HH
+#define CONFSIM_UARCH_PROGRAM_BUILDER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+/**
+ * Builds a Program instruction by instruction. Every control-flow
+ * mnemonic takes a label string; labels may be referenced before they
+ * are defined (forward branches) and are patched at build() time.
+ */
+class ProgramBuilder
+{
+  public:
+    /**
+     * @param name workload name stored in the Program.
+     * @param data_words size of the data segment in words.
+     */
+    ProgramBuilder(std::string name, std::size_t data_words);
+
+    /** Define a label at the current instruction position. */
+    void label(const std::string &name);
+
+    /// @name Register-register ALU
+    /// @{
+    void add(unsigned rd, unsigned rs1, unsigned rs2);
+    void sub(unsigned rd, unsigned rs1, unsigned rs2);
+    void mul(unsigned rd, unsigned rs1, unsigned rs2);
+    void div(unsigned rd, unsigned rs1, unsigned rs2);
+    void rem(unsigned rd, unsigned rs1, unsigned rs2);
+    void and_(unsigned rd, unsigned rs1, unsigned rs2);
+    void or_(unsigned rd, unsigned rs1, unsigned rs2);
+    void xor_(unsigned rd, unsigned rs1, unsigned rs2);
+    void sll(unsigned rd, unsigned rs1, unsigned rs2);
+    void srl(unsigned rd, unsigned rs1, unsigned rs2);
+    void sra(unsigned rd, unsigned rs1, unsigned rs2);
+    void slt(unsigned rd, unsigned rs1, unsigned rs2);
+    void sltu(unsigned rd, unsigned rs1, unsigned rs2);
+    /// @}
+
+    /// @name Register-immediate ALU
+    /// @{
+    void addi(unsigned rd, unsigned rs1, Word imm);
+    void muli(unsigned rd, unsigned rs1, Word imm);
+    void andi(unsigned rd, unsigned rs1, Word imm);
+    void ori(unsigned rd, unsigned rs1, Word imm);
+    void xori(unsigned rd, unsigned rs1, Word imm);
+    void slli(unsigned rd, unsigned rs1, Word imm);
+    void srli(unsigned rd, unsigned rs1, Word imm);
+    void srai(unsigned rd, unsigned rs1, Word imm);
+    void slti(unsigned rd, unsigned rs1, Word imm);
+    /// @}
+
+    /// @name Constants and moves
+    /// @{
+    void li(unsigned rd, Word imm);
+    void mov(unsigned rd, unsigned rs1);
+    /// @}
+
+    /// @name Memory: ld rd, imm(rs1) / st rs2, imm(rs1)
+    /// @{
+    void ld(unsigned rd, unsigned rs1, Word imm);
+    void st(unsigned rs2, unsigned rs1, Word imm);
+    /// @}
+
+    /// @name Conditional branches: compare rs1 with rs2, branch to label
+    /// @{
+    void beq(unsigned rs1, unsigned rs2, const std::string &to);
+    void bne(unsigned rs1, unsigned rs2, const std::string &to);
+    void blt(unsigned rs1, unsigned rs2, const std::string &to);
+    void bge(unsigned rs1, unsigned rs2, const std::string &to);
+    void ble(unsigned rs1, unsigned rs2, const std::string &to);
+    void bgt(unsigned rs1, unsigned rs2, const std::string &to);
+    /// @}
+
+    /// @name Unconditional control flow
+    /// @{
+    void jmp(const std::string &to);
+    void jr(unsigned rs1);
+    void call(const std::string &to);
+    void ret();
+    /// @}
+
+    /// @name Misc
+    /// @{
+    void nop();
+    void halt();
+    /// @}
+
+    /**
+     * Convenience: push @p rs onto the software stack (predecrement
+     * REG_SP, store). Used to save the link register in nested calls.
+     */
+    void push(unsigned rs);
+
+    /** Convenience: pop the software stack into @p rd. */
+    void pop(unsigned rd);
+
+    /** Set an initial data-memory word. */
+    void data(std::size_t word_addr, Word value);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return insts.size(); }
+
+    /**
+     * Resolve labels and produce the Program.
+     * Calls fatal() on undefined or duplicate labels.
+     */
+    Program build();
+
+  private:
+    void emit(Inst inst);
+    void emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                    const std::string &to);
+
+    std::string progName;
+    std::size_t dataWords;
+    std::vector<Inst> insts;
+    std::unordered_map<std::string, std::uint32_t> labels;
+    /// (instruction index, label) pairs awaiting resolution
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+    std::vector<std::pair<std::size_t, Word>> dataInit;
+    bool built = false;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UARCH_PROGRAM_BUILDER_HH

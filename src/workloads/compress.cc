@@ -1,0 +1,157 @@
+/**
+ * @file
+ * `compress` analog: run-length encode a bursty byte stream, decode it
+ * back, and verify the round trip. The run-scan inner loop gives the
+ * data-dependent, moderately predictable branches characteristic of
+ * dictionary coders.
+ */
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word INPUT_LEN = 2048;
+constexpr std::size_t IN_BASE = 16;
+constexpr std::size_t OUT_BASE = IN_BASE + INPUT_LEN;
+// Worst case: alternating values -> 2 words per input word.
+constexpr std::size_t DEC_BASE = OUT_BASE + 2 * INPUT_LEN;
+constexpr std::size_t DATA_WORDS = DEC_BASE + INPUT_LEN + 256;
+/// data word holding the encoder's end-of-output pointer
+constexpr std::size_t END_PTR_ADDR = 3;
+
+// Register allocation
+constexpr unsigned rI = 1;    ///< input index
+constexpr unsigned rN = 2;    ///< input length
+constexpr unsigned rOut = 3;  ///< output write pointer
+constexpr unsigned rVal = 4;  ///< current run value
+constexpr unsigned rLen = 5;  ///< current run length
+constexpr unsigned rJ = 6;    ///< lookahead index
+constexpr unsigned rAd = 7;   ///< address scratch
+constexpr unsigned rTmp = 8;  ///< value scratch
+constexpr unsigned rMax = 9;  ///< max run length constant
+constexpr unsigned rDec = 10; ///< decode write pointer
+constexpr unsigned rRep = 11; ///< repetition counter
+constexpr unsigned rOk = 15;  ///< verify flag
+
+} // anonymous namespace
+
+Program
+buildCompress(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("compress", DATA_WORDS);
+
+    // Input: runs with geometric length over a small alphabet, so runs
+    // repeat often enough for per-site prediction state to matter.
+    Rng rng(cfg.seed ^ 0xc0331);
+    {
+        Word i = 0;
+        while (i < INPUT_LEN) {
+            const Word value = static_cast<Word>(rng.below(24));
+            Word run = 1;
+            while (run < 40 && rng.chance(0.72))
+                ++run;
+            for (Word k = 0; k < run && i < INPUT_LEN; ++k, ++i)
+                b.data(IN_BASE + static_cast<std::size_t>(i), value);
+        }
+    }
+    b.data(0, INPUT_LEN);
+    b.data(CHECK_FLAG_ADDR, 1);
+
+    const unsigned reps = 4 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("encode");
+    b.call("decode");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // encode: RLE over input into (value, length) pairs at OUT_BASE.
+    b.label("encode");
+    b.ld(rN, REG_ZERO, 0);
+    b.li(rI, 0);
+    b.li(rOut, static_cast<Word>(OUT_BASE));
+    b.li(rMax, 255);
+    b.label("enc_loop");
+    b.bge(rI, rN, "enc_done");
+    b.addi(rAd, rI, static_cast<Word>(IN_BASE));
+    b.ld(rVal, rAd, 0);
+    b.li(rLen, 1);
+    b.label("run_loop");
+    b.add(rJ, rI, rLen);
+    b.bge(rJ, rN, "run_done");
+    b.bge(rLen, rMax, "run_done");
+    b.addi(rAd, rJ, static_cast<Word>(IN_BASE));
+    b.ld(rTmp, rAd, 0);
+    b.bne(rTmp, rVal, "run_done");
+    b.addi(rLen, rLen, 1);
+    b.jmp("run_loop");
+    b.label("run_done");
+    b.st(rVal, rOut, 0);
+    b.st(rLen, rOut, 1);
+    b.addi(rOut, rOut, 2);
+    b.add(rI, rI, rLen);
+    b.jmp("enc_loop");
+    b.label("enc_done");
+    b.st(rOut, REG_ZERO, static_cast<Word>(END_PTR_ADDR));
+    // result = number of tokens emitted
+    b.li(rAd, static_cast<Word>(OUT_BASE));
+    b.sub(rTmp, rOut, rAd);
+    b.srai(rTmp, rTmp, 1);
+    b.st(rTmp, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    // decode: expand token pairs into DEC_BASE.
+    b.label("decode");
+    b.ld(rN, REG_ZERO, static_cast<Word>(END_PTR_ADDR));
+    b.li(rOut, static_cast<Word>(OUT_BASE));
+    b.li(rDec, static_cast<Word>(DEC_BASE));
+    b.label("dec_loop");
+    b.bge(rOut, rN, "dec_done");
+    b.ld(rVal, rOut, 0);
+    b.ld(rLen, rOut, 1);
+    b.addi(rOut, rOut, 2);
+    b.label("dec_inner");
+    b.ble(rLen, REG_ZERO, "dec_loop");
+    b.st(rVal, rDec, 0);
+    b.addi(rDec, rDec, 1);
+    b.addi(rLen, rLen, -1);
+    b.jmp("dec_inner");
+    b.label("dec_done");
+    b.ret();
+
+    // verify: decoded buffer must equal the input, element for element.
+    b.label("verify");
+    b.ld(rN, REG_ZERO, 0);
+    b.li(rI, 0);
+    b.li(rOk, 1);
+    b.label("ver_loop");
+    b.bge(rI, rN, "ver_done");
+    b.addi(rAd, rI, static_cast<Word>(IN_BASE));
+    b.ld(rVal, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(DEC_BASE));
+    b.ld(rTmp, rAd, 0);
+    b.beq(rVal, rTmp, "ver_next");
+    b.li(rOk, 0);
+    b.label("ver_next");
+    b.addi(rI, rI, 1);
+    b.jmp("ver_loop");
+    b.label("ver_done");
+    b.ld(rTmp, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rTmp, rTmp, rOk);
+    b.st(rTmp, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

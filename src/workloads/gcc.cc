@@ -1,0 +1,290 @@
+/**
+ * @file
+ * `gcc` analog: a three-pass token translator. Pass 1 dispatches every
+ * token through a compare-chain switch over 16 token classes (many
+ * static branch sites with diverse biases, like a compiler's
+ * lexer/parser). Pass 2 is a peephole scan over the emitted buffer.
+ * Pass 3 verifies class-counter totals and the final nesting depth
+ * against values precomputed at build time.
+ */
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word NUM_TOKENS = 3072;
+constexpr std::size_t COUNT_BASE = 8;  ///< 16 class counters, words 8..23
+constexpr std::size_t TOK_BASE = 32;
+constexpr std::size_t VAL_BASE = TOK_BASE + NUM_TOKENS;
+constexpr std::size_t OUT_BASE = VAL_BASE + NUM_TOKENS;
+constexpr std::size_t DATA_WORDS = OUT_BASE + NUM_TOKENS + 256;
+
+/// data words used for scratch results
+constexpr Word DEPTH_ADDR = 4;      ///< final paren depth
+constexpr Word ODD_IDENT_ADDR = 5;  ///< odd-valued identifier count
+constexpr Word MAX_LIT_ADDR = 6;    ///< running max literal
+constexpr Word SEQ_OP_ADDR = 7;     ///< consecutive-operator pairs
+constexpr Word OUT_END_ADDR = 24;   ///< pass-1 output end pointer
+constexpr Word PAIR_ADDR = 25;      ///< pass-2 equal-adjacent pairs
+constexpr Word EXP_DEPTH_ADDR = 26; ///< expected final depth
+
+// Register allocation
+constexpr unsigned rI = 1;
+constexpr unsigned rN = 2;
+constexpr unsigned rOut = 3;
+constexpr unsigned rTok = 4;
+constexpr unsigned rVal = 5;
+constexpr unsigned rAd = 6;
+constexpr unsigned rT = 7;
+constexpr unsigned rC = 8;
+constexpr unsigned rDepth = 9;
+constexpr unsigned rPrev = 10;
+constexpr unsigned rRep = 11;
+constexpr unsigned rHash = 12;
+constexpr unsigned rExp = 13;
+constexpr unsigned rSum = 14;
+constexpr unsigned rOk = 15;
+
+} // anonymous namespace
+
+Program
+buildGcc(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("gcc", DATA_WORDS);
+
+    // Token stream from a hand-rolled Markov chain: identifiers tend to
+    // be followed by operators, operators by identifiers or literals,
+    // with punctuation sprinkled in. Classes: 0-3 operators, 4-7
+    // identifiers, 8-11 literals, 12 '(', 13 ')', 14 ';', 15 keyword.
+    Rng rng(cfg.seed ^ 0x6cc);
+    Word depth = 0;
+    Word prev = 15; // start as if after a keyword
+    for (Word i = 0; i < NUM_TOKENS; ++i) {
+        Word cls;
+        const double r = rng.uniform();
+        if (prev >= 4 && prev <= 11) {
+            // after ident/literal: operator, ')', or ';'
+            if (r < 0.55) {
+                cls = static_cast<Word>(rng.below(4));
+            } else if (r < 0.72 && depth > 0) {
+                cls = 13;
+            } else if (r < 0.88) {
+                cls = 14;
+            } else {
+                cls = static_cast<Word>(rng.below(4));
+            }
+        } else if (prev <= 3 || prev == 12 || prev == 14 || prev == 15) {
+            // after operator/'('/';'/keyword: ident, literal, or '('
+            if (r < 0.45) {
+                cls = 4 + static_cast<Word>(rng.below(4));
+            } else if (r < 0.78) {
+                cls = 8 + static_cast<Word>(rng.below(4));
+            } else if (r < 0.9) {
+                cls = 12;
+            } else {
+                cls = 15;
+            }
+        } else {
+            // after ')': operator or ';'
+            cls = r < 0.6 ? static_cast<Word>(rng.below(4)) : 14;
+        }
+        if (cls == 12)
+            ++depth;
+        if (cls == 13)
+            --depth;
+
+        Word value = 0;
+        if (cls >= 4 && cls <= 7)
+            value = 1 + static_cast<Word>(rng.below(64));
+        else if (cls >= 8 && cls <= 11)
+            value = static_cast<Word>(rng.below(1000));
+
+        b.data(TOK_BASE + static_cast<std::size_t>(i), cls);
+        b.data(VAL_BASE + static_cast<std::size_t>(i), value);
+        prev = cls;
+    }
+    b.data(0, NUM_TOKENS);
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_DEPTH_ADDR), depth);
+
+    const unsigned reps = 3 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("pass1");
+    b.call("pass2");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // pass1: dispatch every token, maintain per-class counters, depth,
+    // identifier hash, literal max; emit the class stream to OUT_BASE.
+    b.label("pass1");
+    // zero the 16 class counters and scratch results
+    b.li(rI, 0);
+    b.label("p1_zero");
+    b.addi(rAd, rI, static_cast<Word>(COUNT_BASE));
+    b.st(REG_ZERO, rAd, 0);
+    b.addi(rI, rI, 1);
+    b.li(rC, 16);
+    b.blt(rI, rC, "p1_zero");
+    b.st(REG_ZERO, REG_ZERO, SEQ_OP_ADDR);
+    b.st(REG_ZERO, REG_ZERO, ODD_IDENT_ADDR);
+    b.st(REG_ZERO, REG_ZERO, MAX_LIT_ADDR);
+
+    b.ld(rN, REG_ZERO, 0);
+    b.li(rI, 0);
+    b.li(rOut, static_cast<Word>(OUT_BASE));
+    b.li(rDepth, 0);
+    b.li(rPrev, -1);
+    b.li(rHash, 0);
+    b.label("p1_loop");
+    b.bge(rI, rN, "p1_done");
+    b.addi(rAd, rI, static_cast<Word>(TOK_BASE));
+    b.ld(rTok, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(VAL_BASE));
+    b.ld(rVal, rAd, 0);
+    // counters[class]++
+    b.addi(rAd, rTok, static_cast<Word>(COUNT_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rT, rT, 1);
+    b.st(rT, rAd, 0);
+    // dispatch
+    b.li(rC, 4);
+    b.blt(rTok, rC, "h_op");
+    b.li(rC, 8);
+    b.blt(rTok, rC, "h_ident");
+    b.li(rC, 12);
+    b.blt(rTok, rC, "h_lit");
+    b.beq(rTok, rC, "h_lparen");
+    b.li(rC, 13);
+    b.beq(rTok, rC, "h_rparen");
+    b.li(rC, 14);
+    b.beq(rTok, rC, "h_semi");
+    b.jmp("h_keyword");
+
+    b.label("h_op");
+    // consecutive-operator pair?
+    b.blt(rPrev, REG_ZERO, "h_op_emit");
+    b.li(rC, 4);
+    b.bge(rPrev, rC, "h_op_emit");
+    b.ld(rT, REG_ZERO, SEQ_OP_ADDR);
+    b.addi(rT, rT, 1);
+    b.st(rT, REG_ZERO, SEQ_OP_ADDR);
+    b.label("h_op_emit");
+    b.jmp("p1_emit");
+
+    b.label("h_ident");
+    b.muli(rHash, rHash, 31);
+    b.add(rHash, rHash, rVal);
+    b.andi(rT, rVal, 1);
+    b.beq(rT, REG_ZERO, "p1_emit");
+    b.ld(rT, REG_ZERO, ODD_IDENT_ADDR);
+    b.addi(rT, rT, 1);
+    b.st(rT, REG_ZERO, ODD_IDENT_ADDR);
+    b.jmp("p1_emit");
+
+    b.label("h_lit");
+    b.ld(rT, REG_ZERO, MAX_LIT_ADDR);
+    b.ble(rVal, rT, "p1_emit");
+    b.st(rVal, REG_ZERO, MAX_LIT_ADDR);
+    b.jmp("p1_emit");
+
+    b.label("h_lparen");
+    b.addi(rDepth, rDepth, 1);
+    b.jmp("p1_emit");
+
+    b.label("h_rparen");
+    b.ble(rDepth, REG_ZERO, "p1_emit"); // underflow guard (never taken)
+    b.addi(rDepth, rDepth, -1);
+    b.jmp("p1_emit");
+
+    b.label("h_semi");
+    b.li(rHash, 0); // statement boundary resets the running hash
+    b.jmp("p1_emit");
+
+    b.label("h_keyword");
+    // keywords with odd values count as "control keywords"
+    b.andi(rT, rVal, 1);
+    b.beq(rT, REG_ZERO, "p1_emit");
+    b.nop();
+
+    b.label("p1_emit");
+    b.st(rTok, rOut, 0);
+    b.addi(rOut, rOut, 1);
+    b.mov(rPrev, rTok);
+    b.addi(rI, rI, 1);
+    b.jmp("p1_loop");
+    b.label("p1_done");
+    b.st(rDepth, REG_ZERO, DEPTH_ADDR);
+    b.st(rOut, REG_ZERO, OUT_END_ADDR);
+    b.ret();
+
+    // pass2: peephole over the emitted buffer — count equal-adjacent
+    // pairs and rewrite (op2, op3) sequences to a fused opcode 16.
+    b.label("pass2");
+    b.ld(rN, REG_ZERO, OUT_END_ADDR);
+    b.li(rOut, static_cast<Word>(OUT_BASE));
+    b.st(REG_ZERO, REG_ZERO, PAIR_ADDR);
+    b.label("p2_loop");
+    b.addi(rT, rOut, 1);
+    b.bge(rT, rN, "p2_done");
+    b.ld(rTok, rOut, 0);
+    b.ld(rVal, rOut, 1);
+    b.bne(rTok, rVal, "p2_fuse");
+    b.ld(rT, REG_ZERO, PAIR_ADDR);
+    b.addi(rT, rT, 1);
+    b.st(rT, REG_ZERO, PAIR_ADDR);
+    b.label("p2_fuse");
+    b.li(rC, 2);
+    b.bne(rTok, rC, "p2_next");
+    b.li(rC, 3);
+    b.bne(rVal, rC, "p2_next");
+    b.li(rC, 16);
+    b.st(rC, rOut, 1);
+    b.label("p2_next");
+    b.addi(rOut, rOut, 1);
+    b.jmp("p2_loop");
+    b.label("p2_done");
+    b.ret();
+
+    // verify: class counters must sum to NUM_TOKENS and the final depth
+    // must equal the build-time expected depth.
+    b.label("verify");
+    b.li(rSum, 0);
+    b.li(rI, 0);
+    b.label("v_loop");
+    b.addi(rAd, rI, static_cast<Word>(COUNT_BASE));
+    b.ld(rT, rAd, 0);
+    b.add(rSum, rSum, rT);
+    b.addi(rI, rI, 1);
+    b.li(rC, 16);
+    b.blt(rI, rC, "v_loop");
+    b.li(rOk, 1);
+    b.ld(rN, REG_ZERO, 0);
+    b.beq(rSum, rN, "v_depth");
+    b.li(rOk, 0);
+    b.label("v_depth");
+    b.ld(rExp, REG_ZERO, EXP_DEPTH_ADDR);
+    b.ld(rT, REG_ZERO, DEPTH_ADDR);
+    b.beq(rT, rExp, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rSum, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * `go` analog: board-position analysis plus pseudo-random playout
+ * walks. The liberty-count pass has data-dependent but structured
+ * branches; the playout walks branch on xorshift output and are close
+ * to unpredictable — giving this workload the worst prediction
+ * accuracy of the suite, as `go` has in the paper.
+ *
+ * Both phases are replicated exactly at build time in C++, and the
+ * program compares its own results against the precomputed values.
+ */
+
+#include <array>
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word BOARD_DIM = 21;              ///< 19x19 plus border ring
+constexpr Word BOARD_CELLS = BOARD_DIM * BOARD_DIM;
+constexpr std::size_t BOARD_BASE = 16;
+constexpr std::size_t DATA_WORDS = BOARD_BASE + BOARD_CELLS + 256;
+constexpr Word WALK_STEPS = 24;
+
+/// data words holding expected results
+constexpr Word EXP_LIB_ADDR = 3;
+constexpr Word SEED_ADDR = 4;
+constexpr Word EXP_CNT_ADDR = 5;
+constexpr Word EXP_BLK_ADDR = 6;
+
+// Register allocation
+constexpr unsigned rX = 1;     ///< xorshift state
+constexpr unsigned rPos = 2;   ///< walker position
+constexpr unsigned rDir = 3;   ///< walk direction scratch
+constexpr unsigned rCnt = 4;   ///< cells visited
+constexpr unsigned rT = 5;     ///< scratch
+constexpr unsigned rAd = 6;    ///< address scratch
+constexpr unsigned rP = 7;     ///< playout bound
+constexpr unsigned rI = 8;     ///< loop counter
+constexpr unsigned rLib = 9;   ///< liberty accumulator
+constexpr unsigned rStep = 10; ///< walk step counter
+constexpr unsigned rRep = 11;  ///< repetition counter
+constexpr unsigned rVal = 12;  ///< board value scratch
+constexpr unsigned rC3 = 13;   ///< constant 3 (border)
+constexpr unsigned rBlk = 14;  ///< blocked-step counter
+constexpr unsigned rOk = 15;   ///< verify flag
+
+/** One xorshift64 step, identical to the in-ISA sequence. */
+void
+stepRngHost(std::uint64_t &x)
+{
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+}
+
+/** Emit the same xorshift64 step on register rX. */
+void
+emitRngStep(ProgramBuilder &b)
+{
+    b.slli(rT, rX, 13);
+    b.xor_(rX, rX, rT);
+    b.srli(rT, rX, 7);
+    b.xor_(rX, rX, rT);
+    b.slli(rT, rX, 17);
+    b.xor_(rX, rX, rT);
+}
+
+} // anonymous namespace
+
+Program
+buildGo(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("go", DATA_WORDS);
+
+    // Board: border ring of 3s, interior ~50% empty / 25% black /
+    // 25% white.
+    Rng rng(cfg.seed ^ 0x60);
+    std::array<Word, BOARD_CELLS> board{};
+    for (Word y = 0; y < BOARD_DIM; ++y) {
+        for (Word x = 0; x < BOARD_DIM; ++x) {
+            const Word idx = y * BOARD_DIM + x;
+            Word v;
+            if (x == 0 || y == 0 || x == BOARD_DIM - 1
+                || y == BOARD_DIM - 1) {
+                v = 3;
+            } else {
+                const double r = rng.uniform();
+                v = r < 0.5 ? 0 : (r < 0.75 ? 1 : 2);
+            }
+            board[static_cast<std::size_t>(idx)] = v;
+            b.data(BOARD_BASE + static_cast<std::size_t>(idx), v);
+        }
+    }
+
+    // Expected liberties: empty orthogonal neighbours of every stone.
+    Word exp_lib = 0;
+    for (Word idx = 0; idx < BOARD_CELLS; ++idx) {
+        const Word v = board[static_cast<std::size_t>(idx)];
+        if (v != 1 && v != 2)
+            continue;
+        for (const Word off : {Word{1}, Word{-1}, BOARD_DIM, -BOARD_DIM})
+            if (board[static_cast<std::size_t>(idx + off)] == 0)
+                ++exp_lib;
+    }
+
+    const Word playouts = 400;
+    const std::uint64_t walk_seed =
+        (rng.next() | 1) & 0x7fffffffffffffffull;
+
+    // Replicate the playout walks exactly.
+    Word exp_cnt = 0, exp_blk = 0;
+    {
+        std::uint64_t x = walk_seed;
+        for (Word p = 0; p < playouts; ++p) {
+            stepRngHost(x);
+            const Word x0 =
+                static_cast<Word>(x & 0xffff) % 19 + 1;
+            const Word y0 =
+                static_cast<Word>((x >> 16) & 0xffff) % 19 + 1;
+            Word pos = y0 * BOARD_DIM + x0;
+            for (Word s = 0; s < WALK_STEPS; ++s) {
+                stepRngHost(x);
+                const unsigned dir = static_cast<unsigned>(x & 3);
+                const Word off = dir == 0 ? 1
+                    : dir == 1 ? -1
+                    : dir == 2 ? BOARD_DIM : -BOARD_DIM;
+                const Word cand = pos + off;
+                const Word v = board[static_cast<std::size_t>(cand)];
+                if (v == 3) {
+                    // border: stay
+                } else if (v != 0) {
+                    ++exp_blk;
+                } else {
+                    pos = cand;
+                    ++exp_cnt;
+                }
+            }
+        }
+    }
+
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_LIB_ADDR), exp_lib);
+    b.data(static_cast<std::size_t>(SEED_ADDR),
+           static_cast<Word>(walk_seed));
+    b.data(static_cast<std::size_t>(EXP_CNT_ADDR), exp_cnt);
+    b.data(static_cast<std::size_t>(EXP_BLK_ADDR), exp_blk);
+
+    const unsigned reps = cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("liberties");
+    b.call("playouts");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // liberties: scan every cell; for stones, count empty neighbours.
+    b.label("liberties");
+    b.li(rLib, 0);
+    b.li(rI, 0);
+    b.li(rP, BOARD_CELLS);
+    b.li(rC3, 3);
+    b.label("lib_loop");
+    b.bge(rI, rP, "lib_done");
+    b.addi(rAd, rI, static_cast<Word>(BOARD_BASE));
+    b.ld(rVal, rAd, 0);
+    b.beq(rVal, REG_ZERO, "lib_next"); // empty
+    b.beq(rVal, rC3, "lib_next");      // border
+    b.ld(rT, rAd, 1);
+    b.bne(rT, REG_ZERO, "lib_e");
+    b.addi(rLib, rLib, 1);
+    b.label("lib_e");
+    b.ld(rT, rAd, -1);
+    b.bne(rT, REG_ZERO, "lib_w");
+    b.addi(rLib, rLib, 1);
+    b.label("lib_w");
+    b.ld(rT, rAd, BOARD_DIM);
+    b.bne(rT, REG_ZERO, "lib_s");
+    b.addi(rLib, rLib, 1);
+    b.label("lib_s");
+    b.ld(rT, rAd, -BOARD_DIM);
+    b.bne(rT, REG_ZERO, "lib_next");
+    b.addi(rLib, rLib, 1);
+    b.label("lib_next");
+    b.addi(rI, rI, 1);
+    b.jmp("lib_loop");
+    b.label("lib_done");
+    b.ret();
+
+    // playouts: random walks over the board, branching on rng output.
+    b.label("playouts");
+    b.ld(rX, REG_ZERO, SEED_ADDR);
+    b.li(rCnt, 0);
+    b.li(rBlk, 0);
+    b.li(rI, 0);
+    b.li(rP, playouts);
+    b.li(rC3, 3);
+    b.label("po_loop");
+    b.bge(rI, rP, "po_done");
+    emitRngStep(b);
+    // start position from two 16-bit rng fields
+    b.andi(rT, rX, 0xffff);
+    b.li(rVal, 19);
+    b.rem(rT, rT, rVal);
+    b.addi(rT, rT, 1); // x0
+    b.srli(rDir, rX, 16);
+    b.andi(rDir, rDir, 0xffff);
+    b.rem(rDir, rDir, rVal);
+    b.addi(rDir, rDir, 1); // y0
+    b.muli(rPos, rDir, BOARD_DIM);
+    b.add(rPos, rPos, rT);
+    b.li(rStep, WALK_STEPS);
+    b.label("po_step");
+    b.ble(rStep, REG_ZERO, "po_next");
+    emitRngStep(b);
+    b.andi(rDir, rX, 3);
+    // direction -> board offset
+    b.li(rVal, 1);
+    b.li(rT, 1);
+    b.blt(rDir, rT, "po_move"); // dir 0: east
+    b.li(rVal, -1);
+    b.li(rT, 2);
+    b.blt(rDir, rT, "po_move"); // dir 1: west
+    b.li(rVal, BOARD_DIM);
+    b.li(rT, 3);
+    b.blt(rDir, rT, "po_move"); // dir 2: south
+    b.li(rVal, -BOARD_DIM);     // dir 3: north
+    b.label("po_move");
+    b.add(rT, rPos, rVal);
+    b.addi(rAd, rT, static_cast<Word>(BOARD_BASE));
+    b.ld(rVal, rAd, 0);
+    b.beq(rVal, rC3, "po_after"); // border: stay
+    b.bne(rVal, REG_ZERO, "po_blocked");
+    b.mov(rPos, rT); // empty: move
+    b.addi(rCnt, rCnt, 1);
+    b.jmp("po_after");
+    b.label("po_blocked");
+    b.addi(rBlk, rBlk, 1);
+    b.label("po_after");
+    b.addi(rStep, rStep, -1);
+    b.jmp("po_step");
+    b.label("po_next");
+    b.addi(rI, rI, 1);
+    b.jmp("po_loop");
+    b.label("po_done");
+    b.ret();
+
+    // verify: all three measurements must match the host replica.
+    b.label("verify");
+    b.li(rOk, 1);
+    b.ld(rT, REG_ZERO, EXP_LIB_ADDR);
+    b.beq(rLib, rT, "v_cnt");
+    b.li(rOk, 0);
+    b.label("v_cnt");
+    b.ld(rT, REG_ZERO, EXP_CNT_ADDR);
+    b.beq(rCnt, rT, "v_blk");
+    b.li(rOk, 0);
+    b.label("v_blk");
+    b.ld(rT, REG_ZERO, EXP_BLK_ADDR);
+    b.beq(rBlk, rT, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rCnt, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

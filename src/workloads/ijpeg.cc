@@ -1,0 +1,311 @@
+/**
+ * @file
+ * `ijpeg` analog: a Haar-style 8x8 block transform over a 64x64 image
+ * with coefficient thresholding. Dominated by well-structured loop
+ * branches plus a data-dependent threshold test — the predictable end
+ * of the suite, like `ijpeg` in the paper. The whole transform is
+ * replicated at build time and the nonzero/energy results verified.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word IMG_DIM = 64;
+constexpr Word IMG_WORDS = IMG_DIM * IMG_DIM;
+constexpr Word BLOCKS_PER_SIDE = IMG_DIM / 8;
+constexpr Word NUM_BLOCKS = BLOCKS_PER_SIDE * BLOCKS_PER_SIDE;
+constexpr Word THRESHOLD_Q = 8;
+
+constexpr std::size_t TMP_BASE = 8; ///< 8-word row/column buffer
+constexpr std::size_t IMG0_BASE = 32;
+constexpr std::size_t IMG_BASE = IMG0_BASE + IMG_WORDS;
+constexpr std::size_t DATA_WORDS = IMG_BASE + IMG_WORDS + 256;
+
+constexpr Word EXP_NZ_ADDR = 3;
+constexpr Word EXP_EN_ADDR = 4;
+
+// Register allocation
+constexpr unsigned rBlk = 1;  ///< block index
+constexpr unsigned rBase = 2; ///< block base address (in IMG)
+constexpr unsigned rR = 3;    ///< row/column index within block
+constexpr unsigned rJ = 4;    ///< butterfly pair index
+constexpr unsigned rA = 5;    ///< first operand
+constexpr unsigned rB = 6;    ///< second operand
+constexpr unsigned rAd = 7;   ///< address scratch
+constexpr unsigned rT = 8;    ///< scratch
+constexpr unsigned rNz = 9;   ///< nonzero-coefficient count
+constexpr unsigned rEn = 10;  ///< absolute energy accumulator
+constexpr unsigned rRep = 11; ///< repetition counter
+constexpr unsigned rQ = 12;   ///< threshold constant
+constexpr unsigned rC = 13;   ///< bound constant
+constexpr unsigned rI = 14;   ///< generic index
+constexpr unsigned rOk = 15;  ///< verify flag
+constexpr unsigned rLine = 16; ///< row/column base address
+
+} // anonymous namespace
+
+Program
+buildIjpeg(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("ijpeg", DATA_WORDS);
+
+    // Smooth-ish image: random walk per row so neighbouring pixels
+    // correlate, as in natural images.
+    Rng rng(cfg.seed ^ 0x1396);
+    std::vector<Word> img0(static_cast<std::size_t>(IMG_WORDS));
+    for (Word y = 0; y < IMG_DIM; ++y) {
+        Word v = 100 + static_cast<Word>(rng.below(56));
+        for (Word x = 0; x < IMG_DIM; ++x) {
+            v += static_cast<Word>(rng.below(9)) - 4;
+            if (v < 0)
+                v = 0;
+            if (v > 255)
+                v = 255;
+            img0[static_cast<std::size_t>(y * IMG_DIM + x)] = v;
+        }
+    }
+    for (Word i = 0; i < IMG_WORDS; ++i)
+        b.data(IMG0_BASE + static_cast<std::size_t>(i),
+               img0[static_cast<std::size_t>(i)]);
+
+    // Host replica of one full transform + threshold pass.
+    Word exp_nz = 0, exp_en = 0;
+    {
+        std::vector<Word> img = img0;
+        for (Word blk = 0; blk < NUM_BLOCKS; ++blk) {
+            const Word by = blk / BLOCKS_PER_SIDE;
+            const Word bx = blk % BLOCKS_PER_SIDE;
+            const Word base = by * 8 * IMG_DIM + bx * 8;
+            Word tmp[8];
+            // row butterflies
+            for (Word r = 0; r < 8; ++r) {
+                const Word line = base + r * IMG_DIM;
+                for (Word k = 0; k < 8; ++k)
+                    tmp[k] = img[static_cast<std::size_t>(line + k)];
+                for (Word j = 0; j < 4; ++j) {
+                    img[static_cast<std::size_t>(line + j)] =
+                        tmp[2 * j] + tmp[2 * j + 1];
+                    img[static_cast<std::size_t>(line + 4 + j)] =
+                        tmp[2 * j] - tmp[2 * j + 1];
+                }
+            }
+            // column butterflies
+            for (Word c = 0; c < 8; ++c) {
+                const Word line = base + c;
+                for (Word k = 0; k < 8; ++k)
+                    tmp[k] = img[static_cast<std::size_t>(
+                            line + k * IMG_DIM)];
+                for (Word j = 0; j < 4; ++j) {
+                    img[static_cast<std::size_t>(line + j * IMG_DIM)] =
+                        tmp[2 * j] + tmp[2 * j + 1];
+                    img[static_cast<std::size_t>(
+                            line + (4 + j) * IMG_DIM)] =
+                        tmp[2 * j] - tmp[2 * j + 1];
+                }
+            }
+            // threshold
+            for (Word r = 0; r < 8; ++r) {
+                for (Word c = 0; c < 8; ++c) {
+                    const auto at = static_cast<std::size_t>(
+                            base + r * IMG_DIM + c);
+                    const Word v = img[at];
+                    const Word av = v < 0 ? -v : v;
+                    if (av < THRESHOLD_Q) {
+                        img[at] = 0;
+                    } else {
+                        ++exp_nz;
+                        exp_en += av;
+                    }
+                }
+            }
+        }
+    }
+
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_NZ_ADDR), exp_nz);
+    b.data(static_cast<std::size_t>(EXP_EN_ADDR), exp_en);
+
+    const unsigned reps = 2 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("restore");
+    b.call("transform");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // restore: working image from pristine copy.
+    b.label("restore");
+    b.li(rI, 0);
+    b.li(rC, IMG_WORDS);
+    b.label("rs_loop");
+    b.addi(rAd, rI, static_cast<Word>(IMG0_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(IMG_BASE));
+    b.st(rT, rAd, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "rs_loop");
+    b.ret();
+
+    // transform: per block, row pass, column pass, then threshold.
+    b.label("transform");
+    b.li(rNz, 0);
+    b.li(rEn, 0);
+    b.li(rQ, THRESHOLD_Q);
+    b.li(rBlk, 0);
+    b.label("t_blk");
+    b.li(rC, NUM_BLOCKS);
+    b.bge(rBlk, rC, "t_done");
+    // base = (blk / 8) * 8 * 64 + (blk % 8) * 8 + IMG_BASE
+    b.srai(rBase, rBlk, 3);
+    b.muli(rBase, rBase, 8 * IMG_DIM);
+    b.andi(rT, rBlk, 7);
+    b.muli(rT, rT, 8);
+    b.add(rBase, rBase, rT);
+    b.addi(rBase, rBase, static_cast<Word>(IMG_BASE));
+
+    // --- row pass ---
+    b.li(rR, 0);
+    b.label("t_row");
+    b.li(rC, 8);
+    b.bge(rR, rC, "t_rows_done");
+    b.muli(rLine, rR, IMG_DIM);
+    b.add(rLine, rLine, rBase);
+    // copy row to TMP
+    b.li(rI, 0);
+    b.label("t_rcopy");
+    b.add(rAd, rLine, rI);
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(TMP_BASE));
+    b.st(rT, rAd, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "t_rcopy");
+    // butterflies
+    b.li(rJ, 0);
+    b.li(rC, 4);
+    b.label("t_rbfly");
+    b.bge(rJ, rC, "t_rbfly_done");
+    b.slli(rT, rJ, 1);
+    b.addi(rAd, rT, static_cast<Word>(TMP_BASE));
+    b.ld(rA, rAd, 0);
+    b.ld(rB, rAd, 1);
+    b.add(rT, rA, rB);
+    b.add(rAd, rLine, rJ);
+    b.st(rT, rAd, 0);
+    b.sub(rT, rA, rB);
+    b.st(rT, rAd, 4);
+    b.addi(rJ, rJ, 1);
+    b.jmp("t_rbfly");
+    b.label("t_rbfly_done");
+    b.addi(rR, rR, 1);
+    b.jmp("t_row");
+    b.label("t_rows_done");
+
+    // --- column pass ---
+    b.li(rR, 0);
+    b.label("t_col");
+    b.li(rC, 8);
+    b.bge(rR, rC, "t_cols_done");
+    b.add(rLine, rBase, rR);
+    // copy column to TMP
+    b.li(rI, 0);
+    b.label("t_ccopy");
+    b.muli(rAd, rI, IMG_DIM);
+    b.add(rAd, rAd, rLine);
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(TMP_BASE));
+    b.st(rT, rAd, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "t_ccopy");
+    // butterflies
+    b.li(rJ, 0);
+    b.li(rC, 4);
+    b.label("t_cbfly");
+    b.bge(rJ, rC, "t_cbfly_done");
+    b.slli(rT, rJ, 1);
+    b.addi(rAd, rT, static_cast<Word>(TMP_BASE));
+    b.ld(rA, rAd, 0);
+    b.ld(rB, rAd, 1);
+    b.add(rT, rA, rB);
+    b.muli(rAd, rJ, IMG_DIM);
+    b.add(rAd, rAd, rLine);
+    b.st(rT, rAd, 0);
+    b.sub(rT, rA, rB);
+    b.addi(rAd, rJ, 4);
+    b.muli(rAd, rAd, IMG_DIM);
+    b.add(rAd, rAd, rLine);
+    b.st(rT, rAd, 0);
+    b.addi(rJ, rJ, 1);
+    b.jmp("t_cbfly");
+    b.label("t_cbfly_done");
+    b.addi(rR, rR, 1);
+    b.jmp("t_col");
+    b.label("t_cols_done");
+
+    // --- threshold pass over the 8x8 block ---
+    b.li(rR, 0);
+    b.label("t_thr_row");
+    b.li(rC, 8);
+    b.bge(rR, rC, "t_thr_done");
+    b.muli(rLine, rR, IMG_DIM);
+    b.add(rLine, rLine, rBase);
+    b.li(rI, 0);
+    b.label("t_thr");
+    b.add(rAd, rLine, rI);
+    b.ld(rA, rAd, 0);
+    // abs value
+    b.bge(rA, REG_ZERO, "t_abs_done");
+    b.sub(rA, REG_ZERO, rA);
+    b.label("t_abs_done");
+    b.blt(rA, rQ, "t_zero");
+    b.addi(rNz, rNz, 1);
+    b.add(rEn, rEn, rA);
+    b.jmp("t_thr_next");
+    b.label("t_zero");
+    b.st(REG_ZERO, rAd, 0);
+    b.label("t_thr_next");
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "t_thr");
+    b.addi(rR, rR, 1);
+    b.jmp("t_thr_row");
+    b.label("t_thr_done");
+
+    b.addi(rBlk, rBlk, 1);
+    b.jmp("t_blk");
+    b.label("t_done");
+    b.ret();
+
+    // verify: nonzero count and energy against the host replica.
+    b.label("verify");
+    b.li(rOk, 1);
+    b.ld(rT, REG_ZERO, EXP_NZ_ADDR);
+    b.beq(rNz, rT, "v_en");
+    b.li(rOk, 0);
+    b.label("v_en");
+    b.ld(rT, REG_ZERO, EXP_EN_ADDR);
+    b.beq(rEn, rT, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rNz, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * `m88ksim` analog: an interpreter for a toy guest CPU, run over two
+ * small guest kernels (an accumulation loop and a Fibonacci loop).
+ * Opcode dispatch and guest-register traffic give the regular,
+ * highly predictable branch behaviour of CPU simulators.
+ */
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr std::size_t GPROG_BASE = 16; ///< guest code (packed words)
+constexpr std::size_t GREG_BASE = 48;  ///< 8 guest registers
+constexpr std::size_t GMEM_BASE = 64;  ///< 16 guest memory words
+constexpr std::size_t DATA_WORDS = GMEM_BASE + 16 + 256;
+
+constexpr Word EXP_SUM_ADDR = 3;
+constexpr Word EXP_FIB_ADDR = 4;
+
+constexpr Word SUM_K = 200; ///< accumulate 1..K
+constexpr Word FIB_N = 150; ///< fibonacci iterations
+
+/// Guest opcodes
+enum GOp : Word
+{
+    GHALT = 0,
+    GLI = 1,   ///< greg[rd] = field
+    GADD = 2,  ///< greg[rd] += greg[rs]
+    GSUBI = 3, ///< greg[rd] -= field
+    GBNE = 4,  ///< if greg[rd] != 0: gpc = field
+    GST = 5,   ///< gmem[field] = greg[rd]
+    GMOV = 6,  ///< greg[rd] = greg[rs]
+    GMUL = 7,  ///< greg[rd] *= greg[rs]
+};
+
+/** Pack a guest instruction word. */
+constexpr Word
+gpack(Word op, Word rd, Word rs, Word field)
+{
+    return op | (rd << 4) | (rs << 8) | (field << 12);
+}
+
+// Register allocation (host)
+constexpr unsigned rGpc = 1;
+constexpr unsigned rInst = 2;
+constexpr unsigned rOp = 3;
+constexpr unsigned rRd = 4;
+constexpr unsigned rRs = 5;
+constexpr unsigned rImm = 6;
+constexpr unsigned rAd = 7;
+constexpr unsigned rT = 8;
+constexpr unsigned rV = 9;
+constexpr unsigned rC = 10;
+constexpr unsigned rRep = 11;
+constexpr unsigned rOk = 15;
+
+} // anonymous namespace
+
+Program
+buildM88ksim(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("m88ksim", DATA_WORDS);
+
+    // Guest kernel A (entry 0): gmem[0] = sum 1..SUM_K
+    const Word guest_code[] = {
+        /* 0*/ gpack(GLI, 1, 0, 0),      // acc = 0
+        /* 1*/ gpack(GLI, 2, 0, SUM_K),  // i = K
+        /* 2*/ gpack(GADD, 1, 2, 0),     // loop: acc += i
+        /* 3*/ gpack(GSUBI, 2, 0, 1),    // i -= 1
+        /* 4*/ gpack(GBNE, 2, 0, 2),     // if i != 0 goto loop
+        /* 5*/ gpack(GST, 1, 0, 0),      // gmem[0] = acc
+        /* 6*/ gpack(GHALT, 0, 0, 0),
+        // Guest kernel B (entry 7): gmem[1] = fib via FIB_N additions
+        /* 7*/ gpack(GLI, 1, 0, 1),      // a = 1
+        /* 8*/ gpack(GLI, 2, 0, 1),      // b = 1
+        /* 9*/ gpack(GLI, 3, 0, FIB_N),  // n = FIB_N
+        /*10*/ gpack(GMOV, 4, 2, 0),     // loop: t = b
+        /*11*/ gpack(GADD, 2, 1, 0),     // b += a
+        /*12*/ gpack(GMOV, 1, 4, 0),     // a = t
+        /*13*/ gpack(GSUBI, 3, 0, 1),    // n -= 1
+        /*14*/ gpack(GBNE, 3, 0, 10),    // if n != 0 goto loop
+        /*15*/ gpack(GST, 2, 0, 1),      // gmem[1] = b
+        /*16*/ gpack(GHALT, 0, 0, 0),
+    };
+    for (std::size_t i = 0;
+         i < sizeof(guest_code) / sizeof(guest_code[0]); ++i)
+        b.data(GPROG_BASE + i, guest_code[i]);
+
+    // Host-side replicas of the two guest kernels.
+    const Word exp_sum = SUM_K * (SUM_K + 1) / 2;
+    Word fib_a = 1, fib_b = 1;
+    for (Word n = 0; n < FIB_N; ++n) {
+        const Word t = fib_b;
+        fib_b += fib_a;
+        fib_a = t;
+    }
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_SUM_ADDR), exp_sum);
+    b.data(static_cast<std::size_t>(EXP_FIB_ADDR), fib_b);
+
+    const unsigned reps = 12 * cfg.scale;
+
+    // main: run both guest kernels each repetition, then verify.
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.li(rGpc, 0);
+    b.call("interp");
+    b.li(rGpc, 7);
+    b.call("interp");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // interp: fetch/decode/execute guest instructions from rGpc until
+    // GHALT. Classic interpreter compare-chain dispatch.
+    b.label("interp");
+    b.label("i_loop");
+    b.addi(rAd, rGpc, static_cast<Word>(GPROG_BASE));
+    b.ld(rInst, rAd, 0);
+    b.andi(rOp, rInst, 15);
+    b.srli(rRd, rInst, 4);
+    b.andi(rRd, rRd, 15);
+    b.srli(rRs, rInst, 8);
+    b.andi(rRs, rRs, 15);
+    b.srli(rImm, rInst, 12);
+    b.beq(rOp, REG_ZERO, "i_halt");
+    b.li(rC, GLI);
+    b.beq(rOp, rC, "i_gli");
+    b.li(rC, GADD);
+    b.beq(rOp, rC, "i_gadd");
+    b.li(rC, GSUBI);
+    b.beq(rOp, rC, "i_gsubi");
+    b.li(rC, GBNE);
+    b.beq(rOp, rC, "i_gbne");
+    b.li(rC, GST);
+    b.beq(rOp, rC, "i_gst");
+    b.li(rC, GMOV);
+    b.beq(rOp, rC, "i_gmov");
+    b.li(rC, GMUL);
+    b.beq(rOp, rC, "i_gmul");
+    b.jmp("i_halt"); // unknown opcode: stop
+
+    b.label("i_gli");
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.st(rImm, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_gadd");
+    b.addi(rAd, rRs, static_cast<Word>(GREG_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.ld(rV, rAd, 0);
+    b.add(rV, rV, rT);
+    b.st(rV, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_gsubi");
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.ld(rV, rAd, 0);
+    b.sub(rV, rV, rImm);
+    b.st(rV, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_gbne");
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.ld(rV, rAd, 0);
+    b.beq(rV, REG_ZERO, "i_next");
+    b.mov(rGpc, rImm);
+    b.jmp("i_loop");
+
+    b.label("i_gst");
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.ld(rV, rAd, 0);
+    b.addi(rAd, rImm, static_cast<Word>(GMEM_BASE));
+    b.st(rV, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_gmov");
+    b.addi(rAd, rRs, static_cast<Word>(GREG_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.st(rT, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_gmul");
+    b.addi(rAd, rRs, static_cast<Word>(GREG_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rRd, static_cast<Word>(GREG_BASE));
+    b.ld(rV, rAd, 0);
+    b.mul(rV, rV, rT);
+    b.st(rV, rAd, 0);
+    b.jmp("i_next");
+
+    b.label("i_next");
+    b.addi(rGpc, rGpc, 1);
+    b.jmp("i_loop");
+    b.label("i_halt");
+    b.ret();
+
+    // verify: both guest results must match the host replicas.
+    b.label("verify");
+    b.li(rOk, 1);
+    b.ld(rT, REG_ZERO, static_cast<Word>(GMEM_BASE));
+    b.ld(rV, REG_ZERO, EXP_SUM_ADDR);
+    b.beq(rT, rV, "v_fib");
+    b.li(rOk, 0);
+    b.label("v_fib");
+    b.ld(rT, REG_ZERO, static_cast<Word>(GMEM_BASE) + 1);
+    b.ld(rV, REG_ZERO, EXP_FIB_ADDR);
+    b.beq(rT, rV, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rOk, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    (void)cfg.seed; // fully deterministic workload
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * `perl` analog: an open-addressing hash table driven by a skewed key
+ * stream. Probe loops, key comparisons and occupancy checks give the
+ * interpreter-style mix of moderately biased branches typical of
+ * scripting-language runtimes.
+ */
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word NUM_OPS = 4096;
+constexpr Word TABLE_SLOTS = 1024; ///< power of two, mask 1023
+constexpr Word POOL_KEYS = 600;
+constexpr Word HOT_KEYS = 64;
+
+constexpr std::size_t KEYS_BASE = 16;
+constexpr std::size_t TABK_BASE = KEYS_BASE + NUM_OPS;
+constexpr std::size_t TABV_BASE = TABK_BASE + TABLE_SLOTS;
+constexpr std::size_t DATA_WORDS = TABV_BASE + TABLE_SLOTS + 256;
+
+// Register allocation
+constexpr unsigned rI = 1;
+constexpr unsigned rM = 2;
+constexpr unsigned rKey = 3;
+constexpr unsigned rH = 4;
+constexpr unsigned rAd = 5;
+constexpr unsigned rT = 6;
+constexpr unsigned rV = 7;
+constexpr unsigned rC = 8;
+constexpr unsigned rRep = 11;
+constexpr unsigned rSum = 14;
+constexpr unsigned rOk = 15;
+
+} // anonymous namespace
+
+Program
+buildPerl(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("perl", DATA_WORDS);
+
+    // Key stream: 80% of operations reference a hot set of 64 keys, the
+    // rest hit the full 600-key pool. Keys are distinct nonzero ints.
+    Rng rng(cfg.seed ^ 0x9e71);
+    for (Word i = 0; i < NUM_OPS; ++i) {
+        const Word pool_index = rng.chance(0.8)
+            ? static_cast<Word>(rng.below(HOT_KEYS))
+            : static_cast<Word>(rng.below(POOL_KEYS));
+        const Word key = 1 + pool_index * 13; // distinct, nonzero
+        b.data(KEYS_BASE + static_cast<std::size_t>(i), key);
+    }
+    b.data(0, NUM_OPS);
+    b.data(CHECK_FLAG_ADDR, 1);
+
+    const unsigned reps = 3 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("clear");
+    b.call("run");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // clear: empty the table (key 0 = empty slot sentinel).
+    b.label("clear");
+    b.li(rI, 0);
+    b.li(rC, TABLE_SLOTS);
+    b.label("c_loop");
+    b.addi(rAd, rI, static_cast<Word>(TABK_BASE));
+    b.st(REG_ZERO, rAd, 0);
+    b.st(REG_ZERO, rAd, TABLE_SLOTS); // value array is TABLE_SLOTS above
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "c_loop");
+    b.ret();
+
+    // run: for each key, multiplicative hash then linear probing;
+    // insert on empty, increment on hit.
+    b.label("run");
+    b.ld(rM, REG_ZERO, 0);
+    b.li(rI, 0);
+    b.label("r_loop");
+    b.bge(rI, rM, "r_done");
+    b.addi(rAd, rI, static_cast<Word>(KEYS_BASE));
+    b.ld(rKey, rAd, 0);
+    b.muli(rH, rKey, 2654435761LL);
+    b.srli(rH, rH, 7);
+    b.andi(rH, rH, TABLE_SLOTS - 1);
+    b.label("r_probe");
+    b.addi(rAd, rH, static_cast<Word>(TABK_BASE));
+    b.ld(rT, rAd, 0);
+    b.beq(rT, REG_ZERO, "r_insert");
+    b.beq(rT, rKey, "r_hit");
+    b.addi(rH, rH, 1);
+    b.andi(rH, rH, TABLE_SLOTS - 1);
+    b.jmp("r_probe");
+    b.label("r_insert");
+    b.st(rKey, rAd, 0);
+    b.li(rV, 1);
+    b.st(rV, rAd, TABLE_SLOTS);
+    b.jmp("r_next");
+    b.label("r_hit");
+    b.ld(rV, rAd, TABLE_SLOTS);
+    b.addi(rV, rV, 1);
+    b.st(rV, rAd, TABLE_SLOTS);
+    b.label("r_next");
+    b.addi(rI, rI, 1);
+    b.jmp("r_loop");
+    b.label("r_done");
+    b.ret();
+
+    // verify: one table pass; occupancy-weighted value sum must equal
+    // the number of operations (every op adds exactly one).
+    b.label("verify");
+    b.li(rSum, 0);
+    b.li(rI, 0);
+    b.li(rC, TABLE_SLOTS);
+    b.label("v_loop");
+    b.addi(rAd, rI, static_cast<Word>(TABK_BASE));
+    b.ld(rT, rAd, 0);
+    b.beq(rT, REG_ZERO, "v_next"); // empty slot
+    b.ld(rV, rAd, TABLE_SLOTS);
+    b.add(rSum, rSum, rV);
+    b.label("v_next");
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "v_loop");
+    b.li(rOk, 1);
+    b.ld(rM, REG_ZERO, 0);
+    b.beq(rSum, rM, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rSum, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,33 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+const std::vector<WorkloadSpec> &
+standardWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"compress", &buildCompress},
+        {"gcc", &buildGcc},
+        {"perl", &buildPerl},
+        {"go", &buildGo},
+        {"m88ksim", &buildM88ksim},
+        {"xlisp", &buildXlisp},
+        {"vortex", &buildVortex},
+        {"ijpeg", &buildIjpeg},
+    };
+    return specs;
+}
+
+Program
+makeWorkload(const std::string &name, const WorkloadConfig &cfg)
+{
+    for (const auto &spec : standardWorkloads())
+        if (spec.name == name)
+            return spec.factory(cfg);
+    fatal("unknown workload '" + name + "'");
+}
+
+} // namespace confsim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * `vortex` analog: object-database transactions. Each transaction
+ * binary-searches a sorted key index, validates the record's status
+ * (a highly biased branch) and applies a balance delta. Balance
+ * conservation, miss counts and skip counts are all replicated at
+ * build time and verified in-program.
+ */
+
+#include <vector>
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word NUM_RECORDS = 1024;
+constexpr Word NUM_TX = 1200;
+
+constexpr std::size_t KEY_BASE = 16;
+constexpr std::size_t BAL_BASE = KEY_BASE + NUM_RECORDS;
+constexpr std::size_t BAL0_BASE = BAL_BASE + NUM_RECORDS; ///< pristine
+constexpr std::size_t ST_BASE = BAL0_BASE + NUM_RECORDS;
+constexpr std::size_t TXK_BASE = ST_BASE + NUM_RECORDS;
+constexpr std::size_t TXD_BASE = TXK_BASE + NUM_TX;
+constexpr std::size_t DATA_WORDS = TXD_BASE + NUM_TX + 256;
+
+constexpr Word EXP_SUM_ADDR = 3;
+constexpr Word EXP_MISS_ADDR = 4;
+constexpr Word EXP_SKIP_ADDR = 5;
+
+// Register allocation
+constexpr unsigned rI = 1;     ///< transaction index
+constexpr unsigned rKey = 2;   ///< search key
+constexpr unsigned rLo = 3;    ///< binary search low
+constexpr unsigned rHi = 4;    ///< binary search high
+constexpr unsigned rMid = 5;   ///< binary search mid
+constexpr unsigned rAd = 6;    ///< address scratch
+constexpr unsigned rT = 7;     ///< scratch
+constexpr unsigned rDelta = 8; ///< balance delta
+constexpr unsigned rMiss = 9;  ///< missing-key count
+constexpr unsigned rSkip = 10; ///< inactive-record count
+constexpr unsigned rRep = 11;  ///< repetition counter
+constexpr unsigned rSum = 12;  ///< balance sum
+constexpr unsigned rC = 13;    ///< constant / bound
+constexpr unsigned rOk = 15;   ///< verify flag
+
+} // anonymous namespace
+
+Program
+buildVortex(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("vortex", DATA_WORDS);
+
+    Rng rng(cfg.seed ^ 0x7042);
+
+    // Records: strictly increasing keys (3 mod 7), random balances,
+    // mostly active status.
+    std::vector<Word> keys(NUM_RECORDS), bal(NUM_RECORDS),
+            status(NUM_RECORDS);
+    Word init_sum = 0;
+    for (Word i = 0; i < NUM_RECORDS; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        keys[idx] = 3 + i * 7;
+        bal[idx] = 100 + static_cast<Word>(rng.below(900));
+        status[idx] = rng.chance(0.95) ? 1 : 0;
+        init_sum += bal[idx];
+        b.data(KEY_BASE + idx, keys[idx]);
+        b.data(BAL_BASE + idx, bal[idx]);
+        b.data(BAL0_BASE + idx, bal[idx]);
+        b.data(ST_BASE + idx, status[idx]);
+    }
+
+    // Transactions: 90% existing keys, 10% misses (key+1 is never a
+    // valid key since all keys are 3 mod 7). Deltas in [-49, 49]\{0}.
+    Word applied = 0, exp_miss = 0, exp_skip = 0;
+    for (Word t = 0; t < NUM_TX; ++t) {
+        const Word rec = static_cast<Word>(rng.below(NUM_RECORDS));
+        const bool hit = rng.chance(0.9);
+        const Word key = keys[static_cast<std::size_t>(rec)]
+            + (hit ? 0 : 1);
+        Word delta = static_cast<Word>(rng.below(99)) - 49;
+        if (delta == 0)
+            delta = 7;
+        if (!hit) {
+            ++exp_miss;
+        } else if (status[static_cast<std::size_t>(rec)] == 0) {
+            ++exp_skip;
+        } else {
+            applied += delta;
+        }
+        b.data(TXK_BASE + static_cast<std::size_t>(t), key);
+        b.data(TXD_BASE + static_cast<std::size_t>(t), delta);
+    }
+
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_SUM_ADDR), init_sum + applied);
+    b.data(static_cast<std::size_t>(EXP_MISS_ADDR), exp_miss);
+    b.data(static_cast<std::size_t>(EXP_SKIP_ADDR), exp_skip);
+
+    const unsigned reps = 3 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("restore");
+    b.call("transact");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // restore: reset balances from the pristine copy.
+    b.label("restore");
+    b.li(rI, 0);
+    b.li(rC, NUM_RECORDS);
+    b.label("rs_loop");
+    b.addi(rAd, rI, static_cast<Word>(BAL0_BASE));
+    b.ld(rT, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(BAL_BASE));
+    b.st(rT, rAd, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "rs_loop");
+    b.ret();
+
+    // transact: binary search + validate + update, per transaction.
+    b.label("transact");
+    b.li(rMiss, 0);
+    b.li(rSkip, 0);
+    b.li(rI, 0);
+    b.label("tx_loop");
+    b.li(rC, NUM_TX);
+    b.bge(rI, rC, "tx_done");
+    b.addi(rAd, rI, static_cast<Word>(TXK_BASE));
+    b.ld(rKey, rAd, 0);
+    b.addi(rAd, rI, static_cast<Word>(TXD_BASE));
+    b.ld(rDelta, rAd, 0);
+    // binary search over the key index
+    b.li(rLo, 0);
+    b.li(rHi, NUM_RECORDS - 1);
+    b.label("bs_loop");
+    b.bgt(rLo, rHi, "tx_miss");
+    b.add(rMid, rLo, rHi);
+    b.srai(rMid, rMid, 1);
+    b.addi(rAd, rMid, static_cast<Word>(KEY_BASE));
+    b.ld(rT, rAd, 0);
+    b.beq(rT, rKey, "tx_found");
+    b.blt(rT, rKey, "bs_right");
+    b.addi(rHi, rMid, -1);
+    b.jmp("bs_loop");
+    b.label("bs_right");
+    b.addi(rLo, rMid, 1);
+    b.jmp("bs_loop");
+    b.label("tx_found");
+    // validate status, then apply the delta
+    b.addi(rAd, rMid, static_cast<Word>(ST_BASE));
+    b.ld(rT, rAd, 0);
+    b.bne(rT, REG_ZERO, "tx_apply");
+    b.addi(rSkip, rSkip, 1);
+    b.jmp("tx_next");
+    b.label("tx_apply");
+    b.addi(rAd, rMid, static_cast<Word>(BAL_BASE));
+    b.ld(rT, rAd, 0);
+    b.add(rT, rT, rDelta);
+    b.st(rT, rAd, 0);
+    b.jmp("tx_next");
+    b.label("tx_miss");
+    b.addi(rMiss, rMiss, 1);
+    b.label("tx_next");
+    b.addi(rI, rI, 1);
+    b.jmp("tx_loop");
+    b.label("tx_done");
+    b.ret();
+
+    // verify: balance conservation plus miss/skip counts.
+    b.label("verify");
+    b.li(rSum, 0);
+    b.li(rI, 0);
+    b.li(rC, NUM_RECORDS);
+    b.label("v_loop");
+    b.addi(rAd, rI, static_cast<Word>(BAL_BASE));
+    b.ld(rT, rAd, 0);
+    b.add(rSum, rSum, rT);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rC, "v_loop");
+    b.li(rOk, 1);
+    b.ld(rT, REG_ZERO, EXP_SUM_ADDR);
+    b.beq(rSum, rT, "v_miss");
+    b.li(rOk, 0);
+    b.label("v_miss");
+    b.ld(rT, REG_ZERO, EXP_MISS_ADDR);
+    b.beq(rMiss, rT, "v_skip");
+    b.li(rOk, 0);
+    b.label("v_skip");
+    b.ld(rT, REG_ZERO, EXP_SKIP_ADDR);
+    b.beq(rSkip, rT, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rSum, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic SPECint95-analog workloads for the mini-ISA.
+ *
+ * The paper evaluates on SPECint95, which we cannot ship. Each workload
+ * here is a real program (not a statistical branch generator) written in
+ * the mini-ISA that mimics the control-flow character of its namesake:
+ * data-dependent branches with genuine per-site bias, loop structure,
+ * global correlation, and clustered mispredictions. Every workload
+ * self-checks its own output and stores 1 into data word
+ * CHECK_FLAG_ADDR on success, so tests can verify algorithmic
+ * correctness end to end.
+ */
+
+#ifndef CONFSIM_WORKLOADS_WORKLOAD_HH
+#define CONFSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+/** Data-memory word where every workload stores its self-check flag. */
+constexpr std::size_t CHECK_FLAG_ADDR = 1;
+
+/** Data-memory word where workloads store a result/checksum value. */
+constexpr std::size_t RESULT_ADDR = 2;
+
+/** Knobs shared by all workload generators. */
+struct WorkloadConfig
+{
+    /** Outer repetition factor; committed instructions scale roughly
+     *  linearly with it. scale = 1 commits a few hundred thousand
+     *  instructions per workload. */
+    unsigned scale = 1;
+    /** Seed for the input-data generator. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/// @name Workload builders (one per SPECint95 analog)
+/// @{
+
+/** `compress` analog: run-length coder over bursty data, with decode
+ *  and verify passes. Moderately predictable run-detection branches. */
+Program buildCompress(const WorkloadConfig &cfg = {});
+
+/** `gcc` analog: multi-pass token translator with a wide compare-chain
+ *  dispatch over many token classes — many static branch sites. */
+Program buildGcc(const WorkloadConfig &cfg = {});
+
+/** `perl` analog: open-addressing hash table driven by a key stream
+ *  with skewed reuse; probe loops and string-hash inner loops. */
+Program buildPerl(const WorkloadConfig &cfg = {});
+
+/** `go` analog: board-position evaluation with neighbourhood checks
+ *  plus pseudo-random playout walks — hard-to-predict branches. */
+Program buildGo(const WorkloadConfig &cfg = {});
+
+/** `m88ksim` analog: an interpreter for a toy guest CPU running a
+ *  known arithmetic kernel — very regular dispatch behaviour. */
+Program buildM88ksim(const WorkloadConfig &cfg = {});
+
+/** `xlisp` analog: cons-cell heap construction and mark/sweep garbage
+ *  collection over a random object graph. */
+Program buildXlisp(const WorkloadConfig &cfg = {});
+
+/** `vortex` analog: object-database transactions with binary-search
+ *  lookups and highly biased validation branches. */
+Program buildVortex(const WorkloadConfig &cfg = {});
+
+/** `ijpeg` analog: 8x8 block transform with coefficient thresholding —
+ *  dominated by well-behaved loop branches. */
+Program buildIjpeg(const WorkloadConfig &cfg = {});
+
+/// @}
+
+/** Factory signature of the builders above. */
+using WorkloadFactory = Program (*)(const WorkloadConfig &);
+
+/** Name/factory pair in the standard registry. */
+struct WorkloadSpec
+{
+    std::string name;
+    WorkloadFactory factory;
+};
+
+/** The eight standard workloads in paper order. */
+const std::vector<WorkloadSpec> &standardWorkloads();
+
+/**
+ * Build a workload by registry name.
+ * Calls fatal() for unknown names.
+ */
+Program makeWorkload(const std::string &name,
+                     const WorkloadConfig &cfg = {});
+
+} // namespace confsim
+
+#endif // CONFSIM_WORKLOADS_WORKLOAD_HH

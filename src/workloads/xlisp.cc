@@ -1,0 +1,217 @@
+/**
+ * @file
+ * `xlisp` analog: mark/sweep garbage collection over a random cons-cell
+ * heap. The mark phase's explicit-stack DFS branches on cell type and
+ * mark state (moderately predictable); the sweep is a regular scan.
+ * Reachability is precomputed at build time and verified in-program.
+ */
+
+#include <vector>
+
+#include "common/random.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr Word NUM_CELLS = 2048;
+constexpr Word NUM_ROOTS = 16;
+constexpr std::size_t ROOTS_BASE = 16;
+constexpr std::size_t TYPE_BASE = 32;
+constexpr std::size_t CAR_BASE = TYPE_BASE + NUM_CELLS;
+constexpr std::size_t CDR_BASE = CAR_BASE + NUM_CELLS;
+constexpr std::size_t MARK_BASE = CDR_BASE + NUM_CELLS;
+constexpr std::size_t STK_BASE = MARK_BASE + NUM_CELLS;
+constexpr std::size_t STK_WORDS = 2 * NUM_CELLS + 64;
+constexpr std::size_t DATA_WORDS = STK_BASE + STK_WORDS + 256;
+
+constexpr Word EXP_REACH_ADDR = 3;
+constexpr Word EXP_GARBAGE_ADDR = 4;
+
+// Register allocation
+constexpr unsigned rSp = 1;   ///< explicit DFS stack pointer
+constexpr unsigned rI = 2;    ///< cell index scratch
+constexpr unsigned rT = 3;    ///< scratch
+constexpr unsigned rAd = 4;   ///< address scratch
+constexpr unsigned rCnt = 5;  ///< marked-cell count
+constexpr unsigned rType = 6; ///< cell type scratch
+constexpr unsigned rC = 7;    ///< constant / bound
+constexpr unsigned rGar = 8;  ///< garbage count
+constexpr unsigned rRoot = 9; ///< root loop index
+constexpr unsigned rRep = 11; ///< repetition counter
+constexpr unsigned rOk = 15;  ///< verify flag
+
+} // anonymous namespace
+
+Program
+buildXlisp(const WorkloadConfig &cfg)
+{
+    ProgramBuilder b("xlisp", DATA_WORDS);
+
+    // Heap: the low ~40% of cells are atoms; the rest are cons cells
+    // whose car/cdr point strictly downward (acyclic DAG) or to nil.
+    Rng rng(cfg.seed ^ 0x115b);
+    const Word num_atoms = NUM_CELLS * 2 / 5;
+    std::vector<Word> type(NUM_CELLS), car(NUM_CELLS), cdr(NUM_CELLS);
+    for (Word i = 0; i < NUM_CELLS; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (i < num_atoms) {
+            type[idx] = 0;
+            car[idx] = -1;
+            cdr[idx] = -1;
+        } else {
+            // Cons cells: cdr usually chains to the previous cell (long
+            // list spines, as real lisp heaps have), car points to an
+            // arbitrary older cell; either may be nil.
+            type[idx] = 1;
+            car[idx] = rng.chance(0.15)
+                ? -1 : static_cast<Word>(rng.below(
+                        static_cast<std::uint64_t>(i)));
+            const double r = rng.uniform();
+            if (r < 0.6)
+                cdr[idx] = i - 1;
+            else if (r < 0.9)
+                cdr[idx] = static_cast<Word>(rng.below(
+                        static_cast<std::uint64_t>(i)));
+            else
+                cdr[idx] = -1;
+        }
+        b.data(TYPE_BASE + idx, type[idx]);
+        b.data(CAR_BASE + idx, car[idx]);
+        b.data(CDR_BASE + idx, cdr[idx]);
+    }
+
+    // Roots in the upper half of the heap.
+    std::vector<Word> roots(NUM_ROOTS);
+    for (Word r = 0; r < NUM_ROOTS; ++r) {
+        roots[static_cast<std::size_t>(r)] = static_cast<Word>(
+                NUM_CELLS / 2 + static_cast<Word>(rng.below(
+                        static_cast<std::uint64_t>(NUM_CELLS / 2))));
+        b.data(ROOTS_BASE + static_cast<std::size_t>(r),
+               roots[static_cast<std::size_t>(r)]);
+    }
+
+    // Host-side reachability.
+    std::vector<bool> reach(NUM_CELLS, false);
+    std::vector<Word> stack(roots);
+    while (!stack.empty()) {
+        const Word i = stack.back();
+        stack.pop_back();
+        if (i < 0 || reach[static_cast<std::size_t>(i)])
+            continue;
+        reach[static_cast<std::size_t>(i)] = true;
+        if (type[static_cast<std::size_t>(i)] == 1) {
+            stack.push_back(car[static_cast<std::size_t>(i)]);
+            stack.push_back(cdr[static_cast<std::size_t>(i)]);
+        }
+    }
+    Word exp_reach = 0;
+    for (Word i = 0; i < NUM_CELLS; ++i)
+        if (reach[static_cast<std::size_t>(i)])
+            ++exp_reach;
+
+    b.data(CHECK_FLAG_ADDR, 1);
+    b.data(static_cast<std::size_t>(EXP_REACH_ADDR), exp_reach);
+    b.data(static_cast<std::size_t>(EXP_GARBAGE_ADDR),
+           NUM_CELLS - exp_reach);
+
+    const unsigned reps = 8 * cfg.scale;
+
+    // main
+    b.li(rRep, static_cast<Word>(reps));
+    b.label("rep_loop");
+    b.call("mark");
+    b.call("sweep");
+    b.call("verify");
+    b.addi(rRep, rRep, -1);
+    b.bgt(rRep, REG_ZERO, "rep_loop");
+    b.halt();
+
+    // mark: explicit-stack DFS from every root; counts marked cells.
+    b.label("mark");
+    b.li(rCnt, 0);
+    b.li(rSp, static_cast<Word>(STK_BASE));
+    // push all roots
+    b.li(rRoot, 0);
+    b.li(rC, NUM_ROOTS);
+    b.label("m_roots");
+    b.addi(rAd, rRoot, static_cast<Word>(ROOTS_BASE));
+    b.ld(rT, rAd, 0);
+    b.st(rT, rSp, 0);
+    b.addi(rSp, rSp, 1);
+    b.addi(rRoot, rRoot, 1);
+    b.blt(rRoot, rC, "m_roots");
+    // DFS
+    b.li(rC, static_cast<Word>(STK_BASE));
+    b.label("m_loop");
+    b.ble(rSp, rC, "m_done");
+    b.addi(rSp, rSp, -1);
+    b.ld(rI, rSp, 0);
+    b.blt(rI, REG_ZERO, "m_loop"); // nil
+    b.addi(rAd, rI, static_cast<Word>(MARK_BASE));
+    b.ld(rT, rAd, 0);
+    b.bne(rT, REG_ZERO, "m_loop"); // already marked
+    b.li(rT, 1);
+    b.st(rT, rAd, 0);
+    b.addi(rCnt, rCnt, 1);
+    b.addi(rAd, rI, static_cast<Word>(TYPE_BASE));
+    b.ld(rType, rAd, 0);
+    b.beq(rType, REG_ZERO, "m_loop"); // atom: no children
+    b.addi(rAd, rI, static_cast<Word>(CAR_BASE));
+    b.ld(rT, rAd, 0);
+    b.st(rT, rSp, 0);
+    b.addi(rSp, rSp, 1);
+    b.addi(rAd, rI, static_cast<Word>(CDR_BASE));
+    b.ld(rT, rAd, 0);
+    b.st(rT, rSp, 0);
+    b.addi(rSp, rSp, 1);
+    b.jmp("m_loop");
+    b.label("m_done");
+    b.ret();
+
+    // sweep: count unmarked cells as garbage, clear marks for the next
+    // collection cycle.
+    b.label("sweep");
+    b.li(rGar, 0);
+    b.li(rI, 0);
+    b.li(rC, NUM_CELLS);
+    b.label("s_loop");
+    b.bge(rI, rC, "s_done");
+    b.addi(rAd, rI, static_cast<Word>(MARK_BASE));
+    b.ld(rT, rAd, 0);
+    b.bne(rT, REG_ZERO, "s_clear");
+    b.addi(rGar, rGar, 1);
+    b.jmp("s_next");
+    b.label("s_clear");
+    b.st(REG_ZERO, rAd, 0);
+    b.label("s_next");
+    b.addi(rI, rI, 1);
+    b.jmp("s_loop");
+    b.label("s_done");
+    b.ret();
+
+    // verify: marked and garbage counts must match the host DFS.
+    b.label("verify");
+    b.li(rOk, 1);
+    b.ld(rT, REG_ZERO, EXP_REACH_ADDR);
+    b.beq(rCnt, rT, "v_gar");
+    b.li(rOk, 0);
+    b.label("v_gar");
+    b.ld(rT, REG_ZERO, EXP_GARBAGE_ADDR);
+    b.beq(rGar, rT, "v_store");
+    b.li(rOk, 0);
+    b.label("v_store");
+    b.ld(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.and_(rT, rT, rOk);
+    b.st(rT, REG_ZERO, static_cast<Word>(CHECK_FLAG_ADDR));
+    b.st(rCnt, REG_ZERO, static_cast<Word>(RESULT_ADDR));
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace confsim

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Unit tests for the branch predictors: learning behaviour, speculative
+ * history update/repair, component interplay in the McFarling combiner,
+ * and per-branch histories in SAg.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "bpred/gselect.hh"
+#include "bpred/gshare.hh"
+#include "bpred/mcfarling.hh"
+#include "bpred/pas.hh"
+#include "bpred/sag.hh"
+
+namespace confsim
+{
+namespace
+{
+
+constexpr Addr PC_A = 0x1000;
+constexpr Addr PC_B = 0x2004;
+
+/** Train a predictor with one outcome at one PC, immediate update. */
+void
+train(BranchPredictor &pred, Addr pc, bool taken, int times)
+{
+    for (int i = 0; i < times; ++i) {
+        const BpInfo info = pred.predict(pc);
+        pred.update(pc, taken, info);
+    }
+}
+
+// ------------------------------------------------------------------ bimodal
+
+TEST(BimodalTest, LearnsBias)
+{
+    BimodalPredictor pred;
+    train(pred, PC_A, true, 4);
+    EXPECT_TRUE(pred.predict(PC_A).predTaken);
+    train(pred, PC_A, false, 4);
+    EXPECT_FALSE(pred.predict(PC_A).predTaken);
+}
+
+TEST(BimodalTest, SitesAreIndependent)
+{
+    BimodalPredictor pred;
+    train(pred, PC_A, true, 4);
+    train(pred, PC_B, false, 4);
+    EXPECT_TRUE(pred.predict(PC_A).predTaken);
+    EXPECT_FALSE(pred.predict(PC_B).predTaken);
+}
+
+TEST(BimodalTest, ExposesCounterState)
+{
+    BimodalPredictor pred;
+    train(pred, PC_A, true, 4);
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(info.counterValue, info.counterMax);
+    EXPECT_EQ(info.counterMax, 3u);
+}
+
+TEST(BimodalTest, AliasesAtTableSize)
+{
+    BimodalPredictor pred({16, 2});
+    const Addr alias = PC_A + 16 * 4; // same index mod 16 entries
+    train(pred, PC_A, true, 4);
+    EXPECT_TRUE(pred.predict(alias).predTaken); // shared counter
+}
+
+TEST(BimodalTest, ResetRestoresNeutral)
+{
+    BimodalPredictor pred;
+    train(pred, PC_A, true, 8);
+    pred.reset();
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(info.counterValue, 2u); // weakly taken power-on state
+}
+
+TEST(BimodalDeathTest, NonPowerOfTwoFatal)
+{
+    BimodalConfig cfg;
+    cfg.tableEntries = 1000;
+    EXPECT_EXIT(BimodalPredictor pred(cfg),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+// ------------------------------------------------------------------- gshare
+
+TEST(GshareTest, LearnsAlternatingPatternViaHistory)
+{
+    // A strictly alternating branch is unpredictable for bimodal but
+    // trivial for gshare once the history distinguishes the phases.
+    GsharePredictor pred;
+    bool outcome = false;
+    int correct_late = 0;
+    for (int i = 0; i < 200; ++i) {
+        outcome = !outcome;
+        const BpInfo info = pred.predict(PC_A);
+        if (i >= 100 && info.predTaken == outcome)
+            ++correct_late;
+        pred.update(PC_A, outcome, info);
+    }
+    EXPECT_GE(correct_late, 98);
+}
+
+TEST(GshareTest, SpeculativeHistoryShiftsPrediction)
+{
+    GsharePredictor pred({16, 4, 2, true});
+    const std::uint64_t before = pred.history();
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(pred.history(),
+              ((before << 1) | (info.predTaken ? 1 : 0)) & 0xf);
+}
+
+TEST(GshareTest, MispredictionRepairsHistory)
+{
+    GsharePredictor pred({16, 4, 2, true});
+    const BpInfo info = pred.predict(PC_A);
+    // Pollute with younger speculative bits (wrong-path predictions).
+    pred.predict(PC_A);
+    pred.predict(PC_A);
+    const bool actual = !info.predTaken; // mispredicted
+    pred.update(PC_A, actual, info);
+    EXPECT_EQ(pred.history(),
+              ((info.globalHistory << 1) | (actual ? 1 : 0)) & 0xf);
+}
+
+TEST(GshareTest, CorrectPredictionKeepsSpeculativeBits)
+{
+    GsharePredictor pred({16, 4, 2, true});
+    const BpInfo info = pred.predict(PC_A);
+    const std::uint64_t after_first = pred.history();
+    pred.update(PC_A, info.predTaken, info); // correct
+    EXPECT_EQ(pred.history(), after_first);
+}
+
+TEST(GshareTest, NonSpeculativeModeUpdatesAtResolve)
+{
+    GsharePredictor pred({16, 4, 2, false});
+    const std::uint64_t before = pred.history();
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(pred.history(), before); // untouched at predict
+    pred.update(PC_A, true, info);
+    EXPECT_EQ(pred.history(), ((before << 1) | 1) & 0xf);
+}
+
+TEST(GshareTest, InfoCarriesHistorySnapshot)
+{
+    GsharePredictor pred;
+    pred.predict(PC_A);
+    const std::uint64_t hist = pred.history();
+    const BpInfo info = pred.predict(PC_B);
+    EXPECT_EQ(info.globalHistory, hist);
+    EXPECT_EQ(info.globalHistoryBits, 12u);
+}
+
+TEST(GshareDeathTest, NonPowerOfTwoFatal)
+{
+    GshareConfig cfg;
+    cfg.tableEntries = 100;
+    EXPECT_EXIT(GsharePredictor pred(cfg),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+// ---------------------------------------------------------------- McFarling
+
+TEST(McFarlingTest, LearnsBiasedBranch)
+{
+    McFarlingPredictor pred;
+    train(pred, PC_A, true, 8);
+    EXPECT_TRUE(pred.predict(PC_A).predTaken);
+}
+
+TEST(McFarlingTest, ExposesComponentState)
+{
+    McFarlingPredictor pred;
+    train(pred, PC_A, true, 8);
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_TRUE(info.hasComponents);
+    EXPECT_TRUE(info.bimodalStrong);
+}
+
+TEST(McFarlingTest, MetaPrefersBetterComponent)
+{
+    // An alternating branch: gshare learns it, bimodal cannot. After
+    // training, the meta predictor should choose gshare.
+    McFarlingPredictor pred;
+    bool outcome = false;
+    for (int i = 0; i < 400; ++i) {
+        outcome = !outcome;
+        const BpInfo info = pred.predict(PC_A);
+        pred.update(PC_A, outcome, info);
+    }
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_TRUE(info.metaChoseGshare);
+}
+
+TEST(McFarlingTest, BeatsComponentsOnMixedWorkload)
+{
+    // Two branches: one alternating (needs gshare), one biased with
+    // rare flips (bimodal is fine). The combiner should predict both
+    // well once warmed up.
+    McFarlingPredictor pred;
+    bool alt = false;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 600; ++i) {
+        alt = !alt;
+        {
+            const BpInfo info = pred.predict(PC_A);
+            if (i >= 300) {
+                ++total;
+                correct += info.predTaken == alt;
+            }
+            pred.update(PC_A, alt, info);
+        }
+        {
+            const bool outcome = true;
+            const BpInfo info = pred.predict(PC_B);
+            if (i >= 300) {
+                ++total;
+                correct += info.predTaken == outcome;
+            }
+            pred.update(PC_B, outcome, info);
+        }
+    }
+    EXPECT_GE(static_cast<double>(correct) / total, 0.95);
+}
+
+TEST(McFarlingTest, MispredictionRepairsHistory)
+{
+    McFarlingPredictor pred;
+    const BpInfo info = pred.predict(PC_A);
+    pred.predict(PC_A); // speculative pollution
+    const bool actual = !info.predTaken;
+    pred.update(PC_A, actual, info);
+    EXPECT_EQ(pred.history(),
+              ((info.globalHistory << 1) | (actual ? 1 : 0)) & 0xfff);
+}
+
+TEST(McFarlingTest, ResetClearsState)
+{
+    McFarlingPredictor pred;
+    train(pred, PC_A, true, 20);
+    pred.reset();
+    EXPECT_EQ(pred.history(), 0u);
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(info.counterValue, 2u);
+}
+
+// ---------------------------------------------------------------------- SAg
+
+TEST(SAgTest, LearnsPeriodicPerBranchPattern)
+{
+    // Period-3 pattern T T N: local history should make this exactly
+    // predictable after warmup.
+    SAgPredictor pred;
+    const bool pattern[3] = {true, true, false};
+    int correct_late = 0;
+    for (int i = 0; i < 600; ++i) {
+        const bool outcome = pattern[i % 3];
+        const BpInfo info = pred.predict(PC_A);
+        if (i >= 300 && info.predTaken == outcome)
+            ++correct_late;
+        pred.update(PC_A, outcome, info);
+    }
+    EXPECT_GE(correct_late, 295);
+}
+
+TEST(SAgTest, ExposesLocalHistory)
+{
+    SAgPredictor pred;
+    for (int i = 0; i < 5; ++i) {
+        const BpInfo info = pred.predict(PC_A);
+        pred.update(PC_A, true, info);
+    }
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(info.localHistory, 0b11111u);
+    EXPECT_EQ(info.localHistoryBits, 13u);
+}
+
+TEST(SAgTest, HistoriesArePerBranch)
+{
+    SAgPredictor pred;
+    for (int i = 0; i < 4; ++i) {
+        const BpInfo ia = pred.predict(PC_A);
+        pred.update(PC_A, true, ia);
+        const BpInfo ib = pred.predict(PC_B);
+        pred.update(PC_B, false, ib);
+    }
+    EXPECT_EQ(pred.predict(PC_A).localHistory, 0b1111u);
+    EXPECT_EQ(pred.predict(PC_B).localHistory, 0u);
+}
+
+TEST(SAgTest, PredictDoesNotTouchHistory)
+{
+    SAgPredictor pred;
+    const BpInfo a = pred.predict(PC_A);
+    const BpInfo b = pred.predict(PC_A);
+    EXPECT_EQ(a.localHistory, b.localHistory);
+}
+
+TEST(SAgDeathTest, NonPowerOfTwoFatal)
+{
+    SAgConfig cfg;
+    cfg.phtEntries = 1000;
+    EXPECT_EXIT(SAgPredictor pred(cfg), ::testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+// ---------------------------------------------------------------------- PAs
+
+TEST(PAsTest, LearnsPeriodicPerBranchPattern)
+{
+    PAsPredictor pred;
+    const bool pattern[3] = {true, true, false};
+    int correct_late = 0;
+    for (int i = 0; i < 600; ++i) {
+        const bool outcome = pattern[i % 3];
+        const BpInfo info = pred.predict(PC_A);
+        if (i >= 300 && info.predTaken == outcome)
+            ++correct_late;
+        pred.update(PC_A, outcome, info);
+    }
+    EXPECT_GE(correct_late, 295);
+}
+
+TEST(PAsTest, TagsPreventHistoryAliasing)
+{
+    // Two branches that would share one tagless SAg history slot keep
+    // distinct tagged histories in PAs.
+    PAsConfig cfg;
+    cfg.historyEntries = 8;
+    cfg.ways = 2; // 4 sets; PC_A and PC_A + 16 map to the same set
+    PAsPredictor pred(cfg);
+    const Addr same_set = PC_A + 4 * 4;
+    for (int i = 0; i < 6; ++i) {
+        const BpInfo ia = pred.predict(PC_A);
+        pred.update(PC_A, true, ia);
+        const BpInfo ib = pred.predict(same_set);
+        pred.update(same_set, false, ib);
+    }
+    EXPECT_EQ(pred.predict(PC_A).localHistory, 0b111111u);
+    EXPECT_EQ(pred.predict(same_set).localHistory, 0u);
+}
+
+TEST(PAsTest, CapacityEvictionForgetsHistory)
+{
+    PAsConfig cfg;
+    cfg.historyEntries = 2;
+    cfg.ways = 2; // one set of two entries
+    PAsPredictor pred(cfg);
+    train(pred, PC_A, true, 4);
+    EXPECT_TRUE(pred.tracks(PC_A));
+    // Two more branches in the same set evict the LRU entry (PC_A).
+    train(pred, PC_A + 4, true, 1);
+    train(pred, PC_A + 8, true, 1);
+    EXPECT_FALSE(pred.tracks(PC_A));
+    // An untracked branch predicts from the empty history.
+    EXPECT_EQ(pred.predict(PC_A).localHistory, 0u);
+}
+
+TEST(PAsTest, ExposesLocalHistoryForPatternEstimator)
+{
+    PAsPredictor pred;
+    for (int i = 0; i < 5; ++i) {
+        const BpInfo info = pred.predict(PC_A);
+        pred.update(PC_A, true, info);
+    }
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_EQ(info.localHistory, 0b11111u);
+    EXPECT_EQ(info.localHistoryBits, 13u);
+}
+
+TEST(PAsDeathTest, BadGeometryFatal)
+{
+    PAsConfig cfg;
+    cfg.ways = 0;
+    EXPECT_EXIT(PAsPredictor pred(cfg), ::testing::ExitedWithCode(1),
+                "associativity");
+    PAsConfig cfg2;
+    cfg2.phtEntries = 1000;
+    EXPECT_EXIT(PAsPredictor pred2(cfg2),
+                ::testing::ExitedWithCode(1), "power");
+}
+
+// ------------------------------------------------------------------ gselect
+
+TEST(GselectTest, LearnsAlternatingPattern)
+{
+    GselectPredictor pred;
+    bool outcome = false;
+    int correct_late = 0;
+    for (int i = 0; i < 200; ++i) {
+        outcome = !outcome;
+        const BpInfo info = pred.predict(PC_A);
+        if (i >= 100 && info.predTaken == outcome)
+            ++correct_late;
+        pred.update(PC_A, outcome, info);
+    }
+    EXPECT_GE(correct_late, 98);
+}
+
+TEST(GselectTest, ConcatenationSeparatesAddresses)
+{
+    // Unlike gshare's xor, gselect dedicates address bits: two
+    // branches with different low PC bits can never collide.
+    GselectConfig cfg;
+    cfg.addrBits = 4;
+    cfg.historyBits = 2;
+    GselectPredictor pred(cfg);
+    train(pred, PC_A, true, 8);
+    // Different address slot: untouched neutral counter.
+    const BpInfo info = pred.predict(PC_A + 4);
+    EXPECT_EQ(info.counterValue, 2u);
+}
+
+TEST(GselectTest, SpeculativeHistoryRepair)
+{
+    GselectPredictor pred;
+    const BpInfo info = pred.predict(PC_A);
+    pred.predict(PC_A); // speculative pollution
+    const bool actual = !info.predTaken;
+    pred.update(PC_A, actual, info);
+    EXPECT_EQ(pred.history(),
+              ((info.globalHistory << 1) | (actual ? 1 : 0))
+                  & lowBitMask(6));
+}
+
+TEST(GselectTest, GAgModeIsHistoryOnly)
+{
+    GselectConfig cfg;
+    cfg.addrBits = 0;
+    cfg.historyBits = 8;
+    GselectPredictor pred(cfg);
+    EXPECT_EQ(pred.name(), "gag");
+    // All addresses share state when only history indexes the table.
+    train(pred, PC_A, true, 8);
+    const BpInfo a = pred.predict(PC_A);
+    pred.update(PC_A, true, a);
+    // Reset history to the trained pattern and probe another address.
+    GselectPredictor pred2(cfg);
+    train(pred2, PC_A, true, 8);
+    train(pred2, PC_B, true, 1);
+    EXPECT_TRUE(pred2.predict(PC_B).predTaken);
+}
+
+TEST(GselectDeathTest, BadIndexWidthFatal)
+{
+    GselectConfig cfg;
+    cfg.addrBits = 0;
+    cfg.historyBits = 0;
+    EXPECT_EXIT(GselectPredictor pred(cfg),
+                ::testing::ExitedWithCode(1), "index width");
+    GselectConfig cfg2;
+    cfg2.addrBits = 20;
+    cfg2.historyBits = 20;
+    EXPECT_EXIT(GselectPredictor pred2(cfg2),
+                ::testing::ExitedWithCode(1), "index width");
+}
+
+// ------------------------------------------------------------------ factory
+
+TEST(FactoryTest, MakesEveryKind)
+{
+    for (auto kind :
+         {PredictorKind::Bimodal, PredictorKind::Gshare,
+          PredictorKind::McFarling, PredictorKind::SAg,
+          PredictorKind::Gselect, PredictorKind::GAg,
+          PredictorKind::PAs}) {
+        auto pred = makePredictor(kind);
+        ASSERT_NE(pred, nullptr);
+        EXPECT_EQ(pred->name(), predictorKindName(kind));
+        // Must be immediately usable.
+        const BpInfo info = pred->predict(PC_A);
+        pred->update(PC_A, info.predTaken, info);
+    }
+}
+
+} // anonymous namespace
+} // namespace confsim

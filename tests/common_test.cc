@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Unit tests for the common substrate: saturating counters, history
+ * registers, the RNG, bit utilities, statistics and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bit_utils.hh"
+#include "common/history_register.hh"
+#include "common/random.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- SatCounter
+
+TEST(SatCounterTest, InitialValueClamped)
+{
+    SatCounter ctr(2, 7);
+    EXPECT_EQ(ctr.read(), 3u);
+    EXPECT_EQ(ctr.max(), 3u);
+}
+
+TEST(SatCounterTest, IncrementSaturates)
+{
+    SatCounter ctr(2, 0);
+    for (int i = 0; i < 10; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.read(), 3u);
+}
+
+TEST(SatCounterTest, DecrementSaturatesAtZero)
+{
+    SatCounter ctr(2, 1);
+    ctr.decrement();
+    ctr.decrement();
+    ctr.decrement();
+    EXPECT_EQ(ctr.read(), 0u);
+}
+
+TEST(SatCounterTest, TakenThresholdIsUpperHalf)
+{
+    SatCounter ctr(2, 0);
+    EXPECT_FALSE(ctr.taken()); // 0
+    ctr.increment();
+    EXPECT_FALSE(ctr.taken()); // 1
+    ctr.increment();
+    EXPECT_TRUE(ctr.taken()); // 2
+    ctr.increment();
+    EXPECT_TRUE(ctr.taken()); // 3
+}
+
+TEST(SatCounterTest, WeakStatesAreTransitional)
+{
+    SatCounter ctr(2, 0);
+    EXPECT_TRUE(ctr.isStrong()); // 0 strongly NT
+    ctr.increment();
+    EXPECT_TRUE(ctr.isWeak()); // 1
+    ctr.increment();
+    EXPECT_TRUE(ctr.isWeak()); // 2
+    ctr.increment();
+    EXPECT_TRUE(ctr.isStrong()); // 3 strongly T
+}
+
+TEST(SatCounterTest, ResetAndSaturate)
+{
+    SatCounter ctr(4, 9);
+    ctr.reset();
+    EXPECT_EQ(ctr.read(), 0u);
+    ctr.saturate();
+    EXPECT_EQ(ctr.read(), 15u);
+}
+
+TEST(SatCounterTest, UpdateMovesTowardOutcome)
+{
+    SatCounter ctr(2, 1);
+    ctr.update(true);
+    EXPECT_EQ(ctr.read(), 2u);
+    ctr.update(false);
+    EXPECT_EQ(ctr.read(), 1u);
+}
+
+TEST(SatCounterTest, FourBitRange)
+{
+    SatCounter ctr(4, 0);
+    for (int i = 0; i < 100; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.read(), 15u);
+    EXPECT_EQ(ctr.max(), 15u);
+}
+
+TEST(SatCounterDeathTest, ZeroWidthRejected)
+{
+    EXPECT_EXIT(SatCounter(0), ::testing::ExitedWithCode(1), "width");
+}
+
+TEST(SatCounterDeathTest, OversizeWidthRejected)
+{
+    EXPECT_EXIT(SatCounter(17), ::testing::ExitedWithCode(1), "width");
+}
+
+class SatCounterWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidthTest, SaturationBoundsMatchWidth)
+{
+    const unsigned bits = GetParam();
+    SatCounter ctr(bits, 0);
+    EXPECT_EQ(ctr.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < (2u << bits); ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.read(), ctr.max());
+    EXPECT_TRUE(ctr.taken());
+    for (unsigned i = 0; i < (2u << bits); ++i)
+        ctr.decrement();
+    EXPECT_EQ(ctr.read(), 0u);
+    EXPECT_FALSE(ctr.taken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+// ---------------------------------------------------------- HistoryRegister
+
+TEST(HistoryRegisterTest, ShiftBuildsPattern)
+{
+    HistoryRegister h(4);
+    h.shiftIn(true);
+    h.shiftIn(false);
+    h.shiftIn(true);
+    h.shiftIn(true);
+    EXPECT_EQ(h.value(), 0b1011u);
+}
+
+TEST(HistoryRegisterTest, WidthMaskApplies)
+{
+    HistoryRegister h(3);
+    for (int i = 0; i < 10; ++i)
+        h.shiftIn(true);
+    EXPECT_EQ(h.value(), 0b111u);
+}
+
+TEST(HistoryRegisterTest, RestoreMasksValue)
+{
+    HistoryRegister h(4);
+    h.restore(0xff);
+    EXPECT_EQ(h.value(), 0xfu);
+}
+
+TEST(HistoryRegisterTest, ClearZeroes)
+{
+    HistoryRegister h(8);
+    h.shiftIn(true);
+    h.clear();
+    EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(HistoryRegisterTest, WidthAccessor)
+{
+    HistoryRegister h(13);
+    EXPECT_EQ(h.width(), 13u);
+}
+
+TEST(HistoryRegisterDeathTest, ZeroWidthRejected)
+{
+    EXPECT_EXIT(HistoryRegister(0), ::testing::ExitedWithCode(1),
+                "width");
+}
+
+TEST(HistoryRegisterDeathTest, OversizeWidthRejected)
+{
+    EXPECT_EXIT(HistoryRegister(64), ::testing::ExitedWithCode(1),
+                "width");
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() != b.next())
+            ++differing;
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// --------------------------------------------------------------- bit utils
+
+TEST(BitUtilsTest, IsPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(BitUtilsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5), 2u);
+}
+
+TEST(BitUtilsTest, LowBitMask)
+{
+    EXPECT_EQ(lowBitMask(0), 0u);
+    EXPECT_EQ(lowBitMask(4), 0xfu);
+    EXPECT_EQ(lowBitMask(64), ~std::uint64_t{0});
+}
+
+TEST(BitUtilsTest, FoldAddressStaysInRange)
+{
+    for (Addr a : {Addr{0x1000}, Addr{0xdeadbeef}, Addr{0x123456789a}})
+        EXPECT_LT(foldAddress(a, 12), 1u << 12);
+}
+
+TEST(BitUtilsTest, FoldAddressIgnoresAlignmentBits)
+{
+    EXPECT_EQ(foldAddress(0x1000, 12), foldAddress(0x1003, 12));
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(RunningStatTest, MeanMinMax)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStatTest, VarianceMatchesClosedForm)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, ResetClears)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RatioStatTest, RatioAndReset)
+{
+    RatioStat r;
+    r.record(true);
+    r.record(true);
+    r.record(false);
+    EXPECT_EQ(r.hits(), 2u);
+    EXPECT_EQ(r.total(), 3u);
+    EXPECT_NEAR(r.ratio(), 2.0 / 3.0, 1e-12);
+    r.reset();
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(1);
+    h.add(9);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h(2);
+    h.add(0);
+    h.add(5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(GeometricMeanTest, MatchesHandComputation)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(GeometricMeanTest, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(GeometricMeanTest, ZeroValueClamped)
+{
+    EXPECT_GT(geometricMean({0.0, 4.0}), 0.0);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(TextTableTest, RenderContainsCells)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTableTest, CsvHasCommas)
+{
+    TextTable t({"x", "y", "z"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.renderCsv(), "x,y,z\n1,2,3\n");
+}
+
+TEST(TextTableTest, Formatters)
+{
+    EXPECT_EQ(TextTable::pct(0.964), "96%");
+    EXPECT_EQ(TextTable::pct(0.9641, 1), "96.4%");
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::count(1234), "1234");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchFatal)
+{
+    TextTable t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"1"}), ::testing::ExitedWithCode(1),
+                "width");
+}
+
+TEST(TextTableDeathTest, EmptyHeaderFatal)
+{
+    EXPECT_EXIT(TextTable({}), ::testing::ExitedWithCode(1), "column");
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the experiment harness: trace runs, profiling, level
+ * sweeps (single-pass threshold evaluation), distance profiles, the
+ * collectors and the standard experiment assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/gshare.hh"
+#include "confidence/jrs.hh"
+#include "harness/collectors.hh"
+#include "harness/experiment.hh"
+#include "harness/trace_run.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- trace run
+
+TEST(TraceRunTest, CountsMatchFunctionalExecution)
+{
+    const Program prog = makeWorkload("compress");
+    std::uint64_t steps = 0, branches = 0;
+    runProgram(prog, [&branches](const StepInfo &) { ++branches; });
+    {
+        Machine m(prog);
+        while (!m.halted()) {
+            if (m.step().halted)
+                break;
+            ++steps;
+        }
+    }
+    GsharePredictor pred;
+    const TraceRunStats s = runTrace(prog, pred);
+    EXPECT_EQ(s.instructions, steps);
+    EXPECT_EQ(s.condBranches, branches);
+    EXPECT_GT(s.accuracy(), 0.5);
+    EXPECT_LT(s.accuracy(), 1.0);
+}
+
+TEST(TraceRunTest, SinkSeesEveryBranch)
+{
+    const Program prog = makeWorkload("m88ksim");
+    GsharePredictor pred;
+    std::uint64_t events = 0;
+    const TraceRunStats s = runTrace(prog, pred, {}, {},
+                                     [&events](const BranchEvent &) {
+                                         ++events;
+                                     });
+    EXPECT_EQ(events, s.condBranches);
+}
+
+TEST(TraceRunTest, EventsAreAllCommittedWithConsistentDistances)
+{
+    const Program prog = makeWorkload("ijpeg");
+    GsharePredictor pred;
+    runTrace(prog, pred, {}, {}, [](const BranchEvent &ev) {
+        ASSERT_TRUE(ev.willCommit);
+        ASSERT_EQ(ev.preciseDistAll, ev.perceivedDistAll);
+        ASSERT_GE(ev.preciseDistCommitted, 1u);
+    });
+}
+
+TEST(TraceRunTest, EstimatorUpdatesFlow)
+{
+    const Program prog = makeWorkload("compress");
+    GsharePredictor pred;
+    JrsEstimator jrs;
+    ConfidenceCollector collector(1);
+    runTrace(prog, pred, {&jrs}, {},
+             [&collector](const BranchEvent &ev) {
+                 collector.onEvent(ev);
+             });
+    const QuadrantCounts &q = collector.committed(0);
+    EXPECT_GT(q.total(), 0u);
+    // JRS must mark *some* branches high confidence once trained.
+    EXPECT_GT(q.chc, 0u);
+    EXPECT_GT(q.ilc, 0u);
+}
+
+TEST(TraceRunTest, MaxStepsBounds)
+{
+    const Program prog = makeWorkload("go");
+    GsharePredictor pred;
+    const TraceRunStats s = runTrace(prog, pred, {}, {}, {}, 5000);
+    EXPECT_LE(s.instructions, 5000u);
+}
+
+// ------------------------------------------------------------------ profile
+
+TEST(ProfileTest, ProfileCoversBranchSitesWithSaneAccuracies)
+{
+    const Program prog = makeWorkload("perl");
+    GsharePredictor pred;
+    const ProfileTable profile = buildProfile(prog, pred);
+    EXPECT_GT(profile.size(), 5u);
+    // Every observed site reports an accuracy in [0, 1]; probing a few
+    // known branch addresses must return nonzero totals.
+    std::size_t probed = 0;
+    for (std::uint32_t pc = 0; pc < prog.code.size(); ++pc) {
+        if (!isCondBranch(prog.code[pc].op))
+            continue;
+        const double acc = profile.accuracy(Program::pcToAddr(pc));
+        EXPECT_GE(acc, 0.0);
+        EXPECT_LE(acc, 1.0);
+        ++probed;
+    }
+    EXPECT_GE(probed, profile.size());
+}
+
+TEST(ProfileTest, SelfProfiledStaticEstimatorIsUseful)
+{
+    const Program prog = makeWorkload("gcc");
+    GsharePredictor profiling_pred;
+    const ProfileTable profile = buildProfile(prog, profiling_pred);
+    StaticEstimator est(profile, 0.9);
+
+    GsharePredictor pred;
+    ConfidenceCollector collector(1);
+    std::vector<ConfidenceEstimator *> ests = {&est};
+    runTrace(prog, pred, ests, {},
+             [&collector](const BranchEvent &ev) {
+                 collector.onEvent(ev);
+             });
+    const QuadrantCounts &q = collector.committed(0);
+    // Self-profiled static estimation should be strongly informative:
+    // PVP well above the base accuracy.
+    EXPECT_GT(q.pvp(), q.accuracy());
+    EXPECT_GT(q.spec(), 0.5);
+}
+
+// -------------------------------------------------------------- level sweep
+
+TEST(LevelSweepTest, ThresholdExtraction)
+{
+    LevelSweep sweep(15);
+    sweep.record(0, false);
+    sweep.record(5, true);
+    sweep.record(15, true);
+    sweep.record(15, false);
+    const QuadrantCounts q = sweep.atThresholdGe(10);
+    EXPECT_EQ(q.chc, 1u); // level 15 correct
+    EXPECT_EQ(q.ihc, 1u); // level 15 incorrect
+    EXPECT_EQ(q.clc, 1u); // level 5 correct
+    EXPECT_EQ(q.ilc, 1u); // level 0 incorrect
+}
+
+TEST(LevelSweepTest, GtIsGePlusOne)
+{
+    LevelSweep sweep(8);
+    sweep.record(3, true);
+    EXPECT_EQ(sweep.atThresholdGt(3).clc, 1u);
+    EXPECT_EQ(sweep.atThresholdGe(3).chc, 1u);
+}
+
+TEST(LevelSweepTest, ClampsToMaxLevel)
+{
+    LevelSweep sweep(4);
+    sweep.record(100, true);
+    EXPECT_EQ(sweep.atThresholdGe(4).chc, 1u);
+}
+
+TEST(LevelSweepTest, ThresholdZeroIsAllHighConfidence)
+{
+    LevelSweep sweep(4);
+    sweep.record(0, true);
+    sweep.record(2, false);
+    const QuadrantCounts q = sweep.atThresholdGe(0);
+    EXPECT_EQ(q.total(), q.chc + q.ihc);
+}
+
+TEST(LevelSweepTest, MergeAccumulates)
+{
+    LevelSweep a(4), b(4);
+    a.record(1, true);
+    b.record(1, true);
+    a += b;
+    EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(LevelSweepTest, SweepEquivalentToDirectEstimator)
+{
+    // The single-pass sweep must reproduce exactly what a JRS
+    // estimator with a fixed threshold measures directly.
+    const Program prog = makeWorkload("compress");
+    const unsigned threshold = 15;
+
+    // Direct measurement.
+    QuadrantCounts direct;
+    {
+        GsharePredictor pred;
+        JrsEstimator jrs; // threshold 15 default
+        ConfidenceCollector collector(1);
+        runTrace(prog, pred, {&jrs}, {},
+                 [&collector](const BranchEvent &ev) {
+                     collector.onEvent(ev);
+                 });
+        direct = collector.committed(0);
+    }
+
+    // Sweep measurement via level reader.
+    QuadrantCounts swept;
+    {
+        GsharePredictor pred;
+        JrsEstimator jrs;
+        LevelSweep sweep(16);
+        std::vector<ConfidenceEstimator *> ests = {&jrs};
+        std::vector<LevelReader> readers = {
+            [&jrs](Addr pc, const BpInfo &info) {
+                return jrs.readCounter(pc, info);
+            }};
+        runTrace(prog, pred, ests, readers,
+                 [&sweep](const BranchEvent &ev) {
+                     sweep.record(ev.levels[0], ev.correct);
+                 });
+        swept = sweep.atThresholdGe(threshold);
+    }
+
+    EXPECT_EQ(direct.chc, swept.chc);
+    EXPECT_EQ(direct.ihc, swept.ihc);
+    EXPECT_EQ(direct.clc, swept.clc);
+    EXPECT_EQ(direct.ilc, swept.ilc);
+}
+
+// --------------------------------------------------------- distance profile
+
+TEST(DistanceProfileTest, RatesAndCounts)
+{
+    DistanceProfile p(8);
+    p.record(1, true);
+    p.record(1, false);
+    p.record(5, false);
+    EXPECT_NEAR(p.rateAt(1), 0.5, 1e-12);
+    EXPECT_NEAR(p.rateAt(5), 0.0, 1e-12);
+    EXPECT_EQ(p.countAt(1), 2u);
+    EXPECT_NEAR(p.averageRate(), 1.0 / 3.0, 1e-12);
+    EXPECT_EQ(p.total(), 3u);
+}
+
+TEST(DistanceProfileTest, TailBucketAbsorbsLargeDistances)
+{
+    DistanceProfile p(4);
+    p.record(100, true);
+    p.record(200, false);
+    EXPECT_EQ(p.countAt(4), 2u);
+    EXPECT_NEAR(p.rateAt(4), 0.5, 1e-12);
+}
+
+TEST(DistanceProfileTest, MergeAccumulates)
+{
+    DistanceProfile a(4), b(4);
+    a.record(1, true);
+    b.record(1, true);
+    a += b;
+    EXPECT_EQ(a.countAt(1), 2u);
+    EXPECT_EQ(a.total(), 2u);
+}
+
+// --------------------------------------------------------------- collectors
+
+TEST(CollectorTest, ConfidenceSplitsCommittedAndAll)
+{
+    ConfidenceCollector c(1);
+    BranchEvent ev;
+    ev.correct = true;
+    ev.estimateBits = 1;
+    ev.willCommit = true;
+    c.onEvent(ev);
+    ev.willCommit = false;
+    c.onEvent(ev);
+    EXPECT_EQ(c.committed(0).total(), 1u);
+    EXPECT_EQ(c.all(0).total(), 2u);
+}
+
+TEST(CollectorTest, MisestimationTracksDistance)
+{
+    MisestimationCollector c(1, 8);
+    BranchEvent ev;
+    ev.willCommit = true;
+    // Mis-estimation: HC but incorrect.
+    ev.estimateBits = 1;
+    ev.correct = false;
+    c.onEvent(ev);
+    // Correct estimation (LC and incorrect).
+    ev.estimateBits = 0;
+    c.onEvent(ev);
+    const DistanceProfile &p = c.profile(0);
+    EXPECT_EQ(p.total(), 2u);
+    EXPECT_NEAR(p.rateAt(1), 0.5, 1e-12); // both at distance 1
+}
+
+// --------------------------------------------------------------- experiment
+
+TEST(ExperimentTest, StandardBundleProvidesFiveEstimators)
+{
+    const Program prog = makeWorkload("compress");
+    ExperimentConfig cfg;
+    StandardBundle bundle(PredictorKind::Gshare, prog, cfg);
+    EXPECT_EQ(bundle.estimators().size(), NUM_STANDARD_ESTIMATORS);
+    EXPECT_EQ(standardEstimatorNames().size(),
+              NUM_STANDARD_ESTIMATORS);
+    EXPECT_GT(bundle.profile().size(), 0u);
+}
+
+TEST(ExperimentTest, McFarlingBundleUsesBothStrong)
+{
+    const Program prog = makeWorkload("compress");
+    ExperimentConfig cfg;
+    StandardBundle bundle(PredictorKind::McFarling, prog, cfg);
+    EXPECT_EQ(bundle.estimators()[EST_SATCNT]->name(),
+              "satcnt-both-strong");
+}
+
+TEST(ExperimentTest, StandardExperimentEndToEnd)
+{
+    ExperimentConfig cfg;
+    const WorkloadResult r = runStandardExperiment(
+            PredictorKind::Gshare, standardWorkloads()[0], cfg);
+    EXPECT_EQ(r.workload, "compress");
+    ASSERT_EQ(r.quadrants.size(), NUM_STANDARD_ESTIMATORS);
+    for (const auto &q : r.quadrants) {
+        EXPECT_EQ(q.total(), r.pipe.committedCondBranches);
+    }
+    // JRS on gshare: the paper's headline result — very high PVP.
+    EXPECT_GT(r.quadrants[EST_JRS].pvp(), 0.9);
+}
+
+/** Standard experiment must work end to end for every predictor. */
+class ExperimentMatrixTest
+    : public ::testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(ExperimentMatrixTest, ProducesConsistentQuadrants)
+{
+    ExperimentConfig cfg;
+    const WorkloadResult r = runStandardExperiment(
+            GetParam(), standardWorkloads()[5] /* xlisp */, cfg);
+    ASSERT_EQ(r.quadrants.size(), NUM_STANDARD_ESTIMATORS);
+    for (std::size_t e = 0; e < NUM_STANDARD_ESTIMATORS; ++e) {
+        const QuadrantCounts &q = r.quadrants[e];
+        EXPECT_EQ(q.total(), r.pipe.committedCondBranches);
+        // Accuracy is an estimator-independent property.
+        EXPECT_NEAR(q.accuracy(), r.pipe.committedAccuracy(), 1e-12);
+        // All-branch view covers at least the committed view.
+        EXPECT_GE(r.quadrantsAll[e].total(), q.total());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Predictors, ExperimentMatrixTest,
+        ::testing::Values(PredictorKind::Gshare,
+                          PredictorKind::McFarling,
+                          PredictorKind::SAg,
+                          PredictorKind::Gselect),
+        [](const ::testing::TestParamInfo<PredictorKind> &info) {
+            return std::string(predictorKindName(info.param));
+        });
+
+TEST(ExperimentTest, AggregateMatchesSingleWorkload)
+{
+    ExperimentConfig cfg;
+    const WorkloadResult r = runStandardExperiment(
+            PredictorKind::Gshare, standardWorkloads()[4], cfg);
+    const QuadrantFractions agg = aggregateEstimator({r}, EST_JRS);
+    EXPECT_NEAR(agg.sens(), r.quadrants[EST_JRS].sens(), 1e-9);
+    EXPECT_NEAR(agg.pvn(), r.quadrants[EST_JRS].pvn(), 1e-9);
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the metrics framework, anchored on the worked
+ * examples in the paper itself: the §2.1 quadrant example (100
+ * branches, 20 mispredicted) and the §1.1 ELISA diagnostic-test
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/analytic.hh"
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+namespace
+{
+
+/** The paper's §2.1 example table: HC row (61, 2), LC row (19, 18). */
+QuadrantCounts
+paperExample()
+{
+    QuadrantCounts q;
+    q.chc = 61;
+    q.ihc = 2;
+    q.clc = 19;
+    q.ilc = 18;
+    return q;
+}
+
+TEST(QuadrantTest, PaperExampleSens)
+{
+    // "The SENS would be 61/(61+19) = 76%"
+    EXPECT_NEAR(paperExample().sens(), 61.0 / 80.0, 1e-12);
+}
+
+TEST(QuadrantTest, PaperExamplePvp)
+{
+    // "the PVP would be 61/(61+2) = 97%"
+    EXPECT_NEAR(paperExample().pvp(), 61.0 / 63.0, 1e-12);
+}
+
+TEST(QuadrantTest, PaperExampleSpec)
+{
+    // "The SPEC would be 18/(18+2) = 90%"
+    EXPECT_NEAR(paperExample().spec(), 18.0 / 20.0, 1e-12);
+}
+
+TEST(QuadrantTest, PaperExamplePvn)
+{
+    // "The PVN would be 18/(18+19) = 49%"
+    EXPECT_NEAR(paperExample().pvn(), 18.0 / 37.0, 1e-12);
+}
+
+TEST(QuadrantTest, AccuracyIsChcPlusClc)
+{
+    EXPECT_NEAR(paperExample().accuracy(), 0.80, 1e-12);
+    EXPECT_NEAR(paperExample().mispredictRate(), 0.20, 1e-12);
+}
+
+TEST(QuadrantTest, JacobsenMetrics)
+{
+    const QuadrantCounts q = paperExample();
+    // Confidence mispredictions: I_HC + C_LC = 2 + 19.
+    EXPECT_NEAR(q.jacobsenMispredictRate(), 21.0 / 100.0, 1e-12);
+    // Coverage: C_LC + I_LC = 19 + 18.
+    EXPECT_NEAR(q.coverage(), 37.0 / 100.0, 1e-12);
+}
+
+TEST(QuadrantTest, RecordRoutesCorrectly)
+{
+    QuadrantCounts q;
+    q.record(true, true);   // chc
+    q.record(true, false);  // clc
+    q.record(false, true);  // ihc
+    q.record(false, false); // ilc
+    EXPECT_EQ(q.chc, 1u);
+    EXPECT_EQ(q.clc, 1u);
+    EXPECT_EQ(q.ihc, 1u);
+    EXPECT_EQ(q.ilc, 1u);
+    EXPECT_EQ(q.total(), 4u);
+}
+
+TEST(QuadrantTest, EmptyIsAllZero)
+{
+    QuadrantCounts q;
+    EXPECT_DOUBLE_EQ(q.sens(), 0.0);
+    EXPECT_DOUBLE_EQ(q.spec(), 0.0);
+    EXPECT_DOUBLE_EQ(q.pvp(), 0.0);
+    EXPECT_DOUBLE_EQ(q.pvn(), 0.0);
+    EXPECT_DOUBLE_EQ(q.accuracy(), 0.0);
+}
+
+TEST(QuadrantTest, MergeAddsCounts)
+{
+    QuadrantCounts a = paperExample();
+    a += paperExample();
+    EXPECT_EQ(a.chc, 122u);
+    EXPECT_EQ(a.total(), 200u);
+    EXPECT_NEAR(a.sens(), paperExample().sens(), 1e-12);
+}
+
+TEST(QuadrantFractionsTest, NormalizeSumsToOne)
+{
+    const QuadrantFractions f =
+        QuadrantFractions::normalize(paperExample());
+    EXPECT_NEAR(f.chc + f.ihc + f.clc + f.ilc, 1.0, 1e-12);
+    EXPECT_NEAR(f.sens(), paperExample().sens(), 1e-12);
+    EXPECT_NEAR(f.pvn(), paperExample().pvn(), 1e-12);
+}
+
+TEST(QuadrantFractionsTest, NormalizeEmptyIsZero)
+{
+    const QuadrantFractions f =
+        QuadrantFractions::normalize(QuadrantCounts{});
+    EXPECT_DOUBLE_EQ(f.chc + f.ihc + f.clc + f.ilc, 0.0);
+}
+
+TEST(AggregateTest, EqualRunsAggregateToThemselves)
+{
+    const auto agg =
+        aggregateQuadrants({paperExample(), paperExample()});
+    EXPECT_NEAR(agg.sens(), paperExample().sens(), 1e-12);
+    EXPECT_NEAR(agg.spec(), paperExample().spec(), 1e-12);
+}
+
+TEST(AggregateTest, WorkloadsWeightedEquallyNotByBranchCount)
+{
+    // One small and one large run with different quadrant shapes: the
+    // paper averages normalized fractions, so each workload counts
+    // once regardless of its branch count.
+    QuadrantCounts small;
+    small.chc = 1; // 100% HC/correct
+    QuadrantCounts large;
+    large.ilc = 1000; // 100% LC/incorrect
+    const auto agg = aggregateQuadrants({small, large});
+    EXPECT_NEAR(agg.chc, 0.5, 1e-12);
+    EXPECT_NEAR(agg.ilc, 0.5, 1e-12);
+}
+
+TEST(AggregateTest, EmptyInputIsZero)
+{
+    const auto agg = aggregateQuadrants({});
+    EXPECT_DOUBLE_EQ(agg.chc, 0.0);
+}
+
+// ------------------------------------------------------------- analytic
+
+TEST(AnalyticTest, QuadrantConstruction)
+{
+    const QuadrantFractions f = analyticQuadrants(0.7, 0.9, 0.8);
+    EXPECT_NEAR(f.chc, 0.7 * 0.8, 1e-12);
+    EXPECT_NEAR(f.clc, 0.3 * 0.8, 1e-12);
+    EXPECT_NEAR(f.ilc, 0.9 * 0.2, 1e-12);
+    EXPECT_NEAR(f.ihc, 0.1 * 0.2, 1e-12);
+    EXPECT_NEAR(f.chc + f.ihc + f.clc + f.ilc, 1.0, 1e-12);
+}
+
+TEST(AnalyticTest, PvpPvnMatchDefinitions)
+{
+    const double sens = 0.7, spec = 0.9, p = 0.8;
+    const double pvp = analyticPvp(sens, spec, p);
+    const double pvn = analyticPvn(sens, spec, p);
+    EXPECT_NEAR(pvp,
+                (sens * p) / (sens * p + (1 - spec) * (1 - p)), 1e-12);
+    EXPECT_NEAR(pvn,
+                (spec * (1 - p))
+                    / (spec * (1 - p) + (1 - sens) * p),
+                1e-12);
+}
+
+TEST(AnalyticTest, PerfectEstimatorHasUnitPredictiveValues)
+{
+    EXPECT_NEAR(analyticPvp(1.0, 1.0, 0.9), 1.0, 1e-12);
+    EXPECT_NEAR(analyticPvn(1.0, 1.0, 0.9), 1.0, 1e-12);
+}
+
+TEST(AnalyticTest, HigherAccuracyLowersPvn)
+{
+    // The paper's closing observation: as prediction accuracy rises,
+    // PVN falls for every estimator.
+    const double lo = analyticPvn(0.7, 0.9, 0.7);
+    const double hi = analyticPvn(0.7, 0.9, 0.95);
+    EXPECT_GT(lo, hi);
+}
+
+TEST(AnalyticTest, HigherSensRaisesPvn)
+{
+    EXPECT_GT(analyticPvn(0.9, 0.9, 0.9),
+              analyticPvn(0.5, 0.9, 0.9));
+}
+
+TEST(AnalyticTest, ElisaExampleFromPaper)
+{
+    // §1.1: SENS = 0.977, SPEC = 0.926, prevalence 0.0001
+    // -> PVP = 0.001319.
+    const double pvp = diagnosticPvp(0.977, 0.926, 0.0001);
+    EXPECT_NEAR(pvp, 0.001319, 5e-6);
+}
+
+TEST(AnalyticTest, BoostedPvnFormula)
+{
+    // §4.2: two LC estimates with PVN 30% -> about 51%.
+    EXPECT_NEAR(boostedPvn(0.3, 2), 1.0 - 0.49, 1e-12);
+    EXPECT_NEAR(boostedPvn(0.3, 1), 0.3, 1e-12);
+    EXPECT_NEAR(boostedPvn(0.0, 5), 0.0, 1e-12);
+    EXPECT_NEAR(boostedPvn(1.0, 1), 1.0, 1e-12);
+}
+
+TEST(AnalyticTest, BoostedPvnMonotoneInDegree)
+{
+    for (unsigned n = 1; n < 6; ++n)
+        EXPECT_LT(boostedPvn(0.25, n), boostedPvn(0.25, n + 1));
+}
+
+TEST(ParametricCurveTest, SweepsRequestedParameter)
+{
+    const auto points =
+        parametricCurve(SweepParam::Sens, 0.0, 0.9, 0.8, 0.0, 1.0, 10);
+    ASSERT_EQ(points.size(), 11u);
+    EXPECT_NEAR(points.front().varied, 0.0, 1e-12);
+    EXPECT_NEAR(points.back().varied, 1.0, 1e-12);
+    // At SENS = 1 every correct branch is HC: PVN = 1 (no C_LC).
+    EXPECT_NEAR(points.back().pvn, 1.0, 1e-12);
+}
+
+TEST(ParametricCurveTest, PvpRisesWithSens)
+{
+    const auto points =
+        parametricCurve(SweepParam::Sens, 0.0, 0.9, 0.8, 0.1, 1.0, 9);
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_GE(points[i].pvp, points[i - 1].pvp - 1e-12);
+}
+
+TEST(ParametricCurveTest, PvnRisesWithSpec)
+{
+    const auto points =
+        parametricCurve(SweepParam::Spec, 0.7, 0.0, 0.8, 0.1, 1.0, 9);
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_GE(points[i].pvn, points[i - 1].pvn - 1e-12);
+}
+
+TEST(ParametricCurveDeathTest, ZeroStepsFatal)
+{
+    EXPECT_EXIT(parametricCurve(SweepParam::Sens, 0, 0, 0, 0, 1, 0),
+                ::testing::ExitedWithCode(1), "step");
+}
+
+/**
+ * Property sweep: for any (SENS, SPEC, p) grid point, reconstructing
+ * SENS/SPEC from the analytic quadrants must return the inputs, and
+ * PVP/PVN must lie in [0, 1].
+ */
+class AnalyticGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(AnalyticGridTest, RoundTripsAndBounds)
+{
+    const auto [sens, spec, p] = GetParam();
+    const QuadrantFractions f = analyticQuadrants(sens, spec, p);
+    EXPECT_NEAR(f.sens(), sens, 1e-9);
+    EXPECT_NEAR(f.spec(), spec, 1e-9);
+    EXPECT_NEAR(f.accuracy(), p, 1e-9);
+    EXPECT_GE(f.pvp(), 0.0);
+    EXPECT_LE(f.pvp(), 1.0);
+    EXPECT_GE(f.pvn(), 0.0);
+    EXPECT_LE(f.pvn(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Grid, AnalyticGridTest,
+        ::testing::Combine(::testing::Values(0.2, 0.5, 0.7, 0.99),
+                           ::testing::Values(0.3, 0.7, 0.96),
+                           ::testing::Values(0.7, 0.9, 0.98)));
+
+} // anonymous namespace
+} // namespace confsim

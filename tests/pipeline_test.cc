@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the pipeline simulator: committed-stream correctness under
+ * wrong-path execution (the central invariant — speculation must never
+ * change architected results), event delivery, distance bookkeeping,
+ * gating, and timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bpred/bimodal.hh"
+#include "bpred/gshare.hh"
+#include "confidence/jrs.hh"
+#include "harness/collectors.hh"
+#include "harness/trace_run.hh"
+#include "pipeline/pipeline.hh"
+#include "uarch/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+/** Countdown loop: highly predictable single branch. */
+Program
+countdownLoop(Word n)
+{
+    ProgramBuilder b("count", 64);
+    b.li(1, n);
+    b.label("top");
+    b.addi(1, 1, -1);
+    b.bgt(1, REG_ZERO, "top");
+    b.halt();
+    return b.build();
+}
+
+/** Loop with a strictly alternating branch: bimodal mispredicts it. */
+Program
+alternatingLoop(Word n)
+{
+    ProgramBuilder b("alt", 64);
+    b.li(1, n);
+    b.li(2, 0);
+    b.label("top");
+    b.xori(2, 2, 1);
+    b.beq(2, REG_ZERO, "skip");
+    b.addi(4, 4, 1);
+    b.label("skip");
+    b.addi(1, 1, -1);
+    b.bgt(1, REG_ZERO, "top");
+    b.halt();
+    return b.build();
+}
+
+TEST(PipelineTest, PredictableLoopHasFewRecoveries)
+{
+    const Program prog = countdownLoop(2000);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_EQ(s.committedCondBranches, 2000u);
+    // Warmup plus the final fall-through are the only mispredictions.
+    EXPECT_LE(s.committedMispredicts, 3u);
+    EXPECT_LE(s.recoveries, 3u);
+    EXPECT_NEAR(s.ratioAllToCommitted(), 1.0, 0.02);
+}
+
+TEST(PipelineTest, MispredictionsCauseWrongPathWork)
+{
+    const Program prog = alternatingLoop(2000);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run();
+    // The alternating branch defeats bimodal roughly half the time.
+    EXPECT_GT(s.committedMispredicts, 500u);
+    EXPECT_GT(s.allInsts, s.committedInsts * 5 / 4);
+    EXPECT_EQ(s.recoveries, s.committedMispredicts);
+}
+
+TEST(PipelineTest, CommittedWorkMatchesFunctionalRun)
+{
+    const Program prog = makeWorkload("compress");
+    std::uint64_t functional_steps = 0;
+    std::uint64_t functional_branches = 0;
+    {
+        Machine m(prog);
+        while (!m.halted()) {
+            const StepInfo si = m.step();
+            if (si.halted)
+                break;
+            ++functional_steps;
+            if (si.isCond)
+                ++functional_branches;
+        }
+    }
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_EQ(s.committedInsts, functional_steps);
+    EXPECT_EQ(s.committedCondBranches, functional_branches);
+    EXPECT_GE(s.allInsts, s.committedInsts);
+}
+
+TEST(PipelineTest, CommittedBranchStreamUnchangedBySpeculation)
+{
+    // The decisive invariant: the committed (pc, outcome) sequence seen
+    // through the speculating pipeline must be bit-identical to the
+    // plain functional execution — rollback must be airtight.
+    const Program prog = makeWorkload("perl");
+    std::vector<std::pair<Addr, bool>> functional;
+    {
+        Machine m(prog);
+        while (!m.halted()) {
+            const StepInfo si = m.step();
+            if (si.halted)
+                break;
+            if (si.isCond)
+                functional.emplace_back(si.addr, si.taken);
+        }
+    }
+
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    std::vector<std::pair<Addr, bool>> committed;
+    pipe.setSink([&committed](const BranchEvent &ev) {
+        if (ev.willCommit)
+            committed.emplace_back(ev.pc, ev.taken);
+    });
+    pipe.run();
+    ASSERT_EQ(committed.size(), functional.size());
+    EXPECT_TRUE(committed == functional);
+}
+
+TEST(PipelineTest, EveryBranchEventDeliveredExactlyOnce)
+{
+    const Program prog = makeWorkload("gcc");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    std::uint64_t committed_events = 0, squashed_events = 0;
+    pipe.setSink([&](const BranchEvent &ev) {
+        if (ev.willCommit)
+            ++committed_events;
+        else
+            ++squashed_events;
+    });
+    const PipelineStats s = pipe.run();
+    EXPECT_EQ(committed_events, s.committedCondBranches);
+    EXPECT_EQ(committed_events + squashed_events, s.allCondBranches);
+    EXPECT_GT(squashed_events, 0u);
+}
+
+TEST(PipelineTest, AccuracyCloseToTraceDriven)
+{
+    const Program prog = makeWorkload("xlisp");
+    GsharePredictor trace_pred;
+    const TraceRunStats trace = runTrace(prog, trace_pred);
+    GsharePredictor pipe_pred;
+    Pipeline pipe(prog, pipe_pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_NEAR(s.committedAccuracy(), trace.accuracy(), 0.05);
+}
+
+TEST(PipelineTest, PerceivedDistanceRestartsAfterRecovery)
+{
+    const Program prog = alternatingLoop(500);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    std::uint64_t ones = 0, committed = 0;
+    pipe.setSink([&](const BranchEvent &ev) {
+        if (!ev.willCommit)
+            return;
+        ++committed;
+        if (ev.perceivedDistCommitted == 1)
+            ++ones;
+    });
+    const PipelineStats s = pipe.run();
+    // Every recovery resets the perceived distance, so distance-1
+    // branches must be at least as frequent as recoveries.
+    EXPECT_GE(ones, s.recoveries / 2);
+    EXPECT_GT(committed, 0u);
+}
+
+TEST(PipelineTest, MispredictionClusteringVisibleInProfile)
+{
+    const Program prog = makeWorkload("go");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    DistanceCollector dist;
+    pipe.setSink([&dist](const BranchEvent &ev) { dist.onEvent(ev); });
+    pipe.run();
+    // The paper's Fig. 6 shape: branches right after a misprediction
+    // mispredict far more often than average.
+    const auto &profile = dist.preciseAll;
+    EXPECT_GT(profile.rateAt(1), profile.averageRate());
+}
+
+TEST(PipelineTest, EstimatorBitsFollowAttachOrder)
+{
+    const Program prog = countdownLoop(50);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    ConstantEstimator low(false), high(true);
+    const unsigned i_low = pipe.attachEstimator(&low);
+    const unsigned i_high = pipe.attachEstimator(&high);
+    bool checked = false;
+    pipe.setSink([&](const BranchEvent &ev) {
+        EXPECT_FALSE(ev.estimate(i_low));
+        EXPECT_TRUE(ev.estimate(i_high));
+        checked = true;
+    });
+    pipe.run();
+    EXPECT_TRUE(checked);
+}
+
+TEST(PipelineTest, LevelReadersSampled)
+{
+    const Program prog = countdownLoop(50);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    const unsigned idx = pipe.attachLevelReader(
+            [](Addr, const BpInfo &info) { return info.counterValue; });
+    std::uint64_t committed_samples = 0;
+    pipe.setSink([&](const BranchEvent &ev) {
+        EXPECT_LE(ev.levels[idx], 3u);
+        if (ev.willCommit)
+            ++committed_samples;
+    });
+    pipe.run();
+    EXPECT_EQ(committed_samples, 50u);
+}
+
+TEST(PipelineTest, MaxCommittedCutoffStopsEarly)
+{
+    const Program prog = makeWorkload("ijpeg");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run(10'000);
+    EXPECT_GE(s.committedInsts, 10'000u);
+    EXPECT_LT(s.committedInsts, 12'000u);
+}
+
+TEST(PipelineTest, RunWithoutCachesWorks)
+{
+    PipelineConfig cfg;
+    cfg.useCaches = false;
+    const Program prog = countdownLoop(100);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred, cfg);
+    const PipelineStats s = pipe.run();
+    EXPECT_EQ(s.committedCondBranches, 100u);
+    EXPECT_EQ(s.icacheAccesses, 0u);
+}
+
+TEST(PipelineTest, CacheStatisticsPopulated)
+{
+    const Program prog = makeWorkload("compress");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_GT(s.icacheAccesses, 0u);
+    EXPECT_GT(s.dcacheAccesses, 0u);
+    EXPECT_GT(s.icacheMisses, 0u); // cold misses at least
+}
+
+TEST(PipelineTest, TickWithoutFetchOnlyDrains)
+{
+    const Program prog = countdownLoop(100);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    for (int i = 0; i < 50; ++i)
+        pipe.tick(false);
+    EXPECT_EQ(pipe.snapshotStats().committedInsts, 0u);
+    EXPECT_FALSE(pipe.done());
+    while (pipe.tick(true)) {
+    }
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.snapshotStats().committedCondBranches, 100u);
+}
+
+TEST(PipelineTest, DoneAfterRun)
+{
+    const Program prog = countdownLoop(10);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    pipe.run();
+    EXPECT_TRUE(pipe.done());
+    EXPECT_FALSE(pipe.tick(true));
+}
+
+TEST(PipelineTest, GatingReducesWrongPathWork)
+{
+    const Program prog = makeWorkload("go");
+    JrsConfig jrs_cfg;
+
+    auto run_one = [&](bool gated) {
+        GsharePredictor pred;
+        JrsEstimator jrs(jrs_cfg);
+        Pipeline pipe(prog, pred);
+        const unsigned idx = pipe.attachEstimator(&jrs);
+        if (gated)
+            pipe.enableGating(idx, 1);
+        return pipe.run();
+    };
+
+    const PipelineStats base = run_one(false);
+    const PipelineStats gated = run_one(true);
+    EXPECT_EQ(base.committedInsts, gated.committedInsts);
+    EXPECT_LT(gated.allInsts - gated.committedInsts,
+              base.allInsts - base.committedInsts);
+    EXPECT_GT(gated.gatedCycles, 0u);
+    EXPECT_GE(gated.cycles, base.cycles); // gating costs performance
+}
+
+TEST(PipelineTest, WrongPathWorkBoundedByRecoveries)
+{
+    // Each recovery can fetch wrong-path work only between the
+    // misprediction and its resolution; bound it loosely by the
+    // product of fetch width and the worst resolution latency.
+    const Program prog = makeWorkload("gcc");
+    GsharePredictor pred;
+    PipelineConfig cfg;
+    Pipeline pipe(prog, pred, cfg);
+    const PipelineStats s = pipe.run();
+    const std::uint64_t wrong_path = s.allInsts - s.committedInsts;
+    const std::uint64_t worst_resolution = cfg.frontendDepth
+        + cfg.multLatency + cfg.dcache.missLatency + 4;
+    EXPECT_LE(wrong_path,
+              s.recoveries * cfg.fetchWidth * worst_resolution);
+    EXPECT_GT(wrong_path, s.recoveries); // at least one per flush
+}
+
+TEST(PipelineTest, IpcWithinPipelineBounds)
+{
+    const Program prog = makeWorkload("m88ksim");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_GT(s.ipc(), 0.5);
+    EXPECT_LE(s.ipc(), 4.0); // fetch width bound
+}
+
+TEST(PipelineDeathTest, GatingIndexOutOfRangeFatal)
+{
+    const Program prog = countdownLoop(10);
+    BimodalPredictor pred;
+    Pipeline pipe(prog, pred);
+    EXPECT_EXIT(pipe.enableGating(0, 1), ::testing::ExitedWithCode(1),
+                "index");
+}
+
+/**
+ * The committed-stream invariant must hold for every workload and
+ * predictor — this is the broad safety net for the speculation
+ * machinery.
+ */
+class PipelineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 PredictorKind>>
+{
+};
+
+TEST_P(PipelineEquivalenceTest, CommittedCountsMatchFunctionalRun)
+{
+    const auto &[workload, kind] = GetParam();
+    const Program prog = makeWorkload(workload);
+    std::uint64_t functional_steps = 0;
+    {
+        Machine m(prog);
+        while (!m.halted()) {
+            if (m.step().halted)
+                break;
+            ++functional_steps;
+        }
+    }
+    auto pred = makePredictor(kind);
+    Pipeline pipe(prog, *pred);
+    const PipelineStats s = pipe.run();
+    EXPECT_EQ(s.committedInsts, functional_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Matrix, PipelineEquivalenceTest,
+        ::testing::Combine(
+                ::testing::Values("compress", "go", "m88ksim",
+                                  "vortex"),
+                ::testing::Values(PredictorKind::Gshare,
+                                  PredictorKind::McFarling,
+                                  PredictorKind::SAg)),
+        [](const auto &info) {
+            return std::get<0>(info.param) + "_"
+                + predictorKindName(std::get<1>(info.param));
+        });
+
+} // anonymous namespace
+} // namespace confsim

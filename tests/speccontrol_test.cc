@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the speculation-control applications: SMT fetch policies,
+ * pipeline gating, the eager-execution model and the
+ * predictor-inversion analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "speccontrol/eager.hh"
+#include "speccontrol/gating.hh"
+#include "speccontrol/inverter.hh"
+#include "speccontrol/smt.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------------- SMT
+
+SmtConfig
+smtConfig(FetchPolicy policy)
+{
+    SmtConfig cfg;
+    cfg.policy = policy;
+    cfg.fetchThreadsPerCycle = 1;
+    return cfg;
+}
+
+TEST(SmtTest, AllThreadsFinishUnderEveryPolicy)
+{
+    for (const auto policy :
+         {FetchPolicy::RoundRobin, FetchPolicy::FewestInFlight,
+          FetchPolicy::LowConfidence}) {
+        SmtSimulator sim(smtConfig(policy));
+        sim.addThread(standardWorkloads()[0]); // compress
+        sim.addThread(standardWorkloads()[4]); // m88ksim
+        const SmtStats s = sim.run();
+        EXPECT_GT(s.cycles, 0u) << fetchPolicyName(policy);
+        ASSERT_EQ(s.perThreadCommitted.size(), 2u);
+        EXPECT_GT(s.perThreadCommitted[0], 0u);
+        EXPECT_GT(s.perThreadCommitted[1], 0u);
+    }
+}
+
+TEST(SmtTest, CommittedWorkIndependentOfPolicy)
+{
+    // Fetch policy changes *when* instructions run, never *what*
+    // commits.
+    std::vector<std::uint64_t> committed;
+    for (const auto policy :
+         {FetchPolicy::RoundRobin, FetchPolicy::LowConfidence}) {
+        SmtSimulator sim(smtConfig(policy));
+        sim.addThread(standardWorkloads()[0]);
+        sim.addThread(standardWorkloads()[3]); // go
+        const SmtStats s = sim.run();
+        committed.push_back(s.committedInsts);
+    }
+    EXPECT_EQ(committed[0], committed[1]);
+}
+
+TEST(SmtTest, ConfidencePolicyWastesLessWork)
+{
+    // The point of the paper's SMT application: steering fetch away
+    // from low-confidence threads reduces wrong-path work.
+    auto run_policy = [](FetchPolicy policy) {
+        SmtSimulator sim(smtConfig(policy));
+        sim.addThread(standardWorkloads()[3]); // go (mispredicts a lot)
+        sim.addThread(standardWorkloads()[4]); // m88ksim (predictable)
+        return sim.run();
+    };
+    const SmtStats rr = run_policy(FetchPolicy::RoundRobin);
+    const SmtStats conf = run_policy(FetchPolicy::LowConfidence);
+    EXPECT_LT(conf.wastedWorkFraction(),
+              rr.wastedWorkFraction() + 0.01);
+}
+
+TEST(SmtTest, SingleThreadDegeneratesToPipeline)
+{
+    SmtSimulator sim(smtConfig(FetchPolicy::RoundRobin));
+    sim.addThread(standardWorkloads()[0]);
+    const SmtStats s = sim.run();
+    EXPECT_GT(s.throughput(), 0.5);
+}
+
+TEST(SmtTest, MultiPortFetchRunsFaster)
+{
+    auto run_ports = [](unsigned ports) {
+        SmtConfig cfg = smtConfig(FetchPolicy::RoundRobin);
+        cfg.fetchThreadsPerCycle = ports;
+        SmtSimulator sim(cfg);
+        sim.addThread(standardWorkloads()[0]);
+        sim.addThread(standardWorkloads()[7]); // ijpeg
+        return sim.run();
+    };
+    const SmtStats one = run_ports(1);
+    const SmtStats two = run_ports(2);
+    EXPECT_EQ(one.committedInsts, two.committedInsts);
+    EXPECT_LT(two.cycles, one.cycles);
+    EXPECT_GT(two.throughput(), one.throughput());
+}
+
+TEST(SmtTest, PolicyNames)
+{
+    EXPECT_STREQ(fetchPolicyName(FetchPolicy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(fetchPolicyName(FetchPolicy::FewestInFlight),
+                 "fewest-in-flight");
+    EXPECT_STREQ(fetchPolicyName(FetchPolicy::LowConfidence),
+                 "low-confidence");
+}
+
+TEST(SmtDeathTest, RunWithoutThreadsFatal)
+{
+    SmtSimulator sim(smtConfig(FetchPolicy::RoundRobin));
+    EXPECT_EXIT(sim.run(), ::testing::ExitedWithCode(1), "no threads");
+}
+
+// ------------------------------------------------------------------- gating
+
+TEST(GatingTest, PreservesCommittedWorkAndReducesWaste)
+{
+    ExperimentConfig cfg;
+    const GatingResult r = runGatingExperiment(
+            standardWorkloads()[3], PredictorKind::Gshare, cfg, 1);
+    EXPECT_EQ(r.baseline.committedInsts, r.gated.committedInsts);
+    EXPECT_LE(r.gatedWrongPath(), r.baselineWrongPath());
+    EXPECT_GT(r.extraWorkReduction(), 0.0);
+    EXPECT_GE(r.slowdown(), 1.0);
+}
+
+TEST(GatingTest, LooserThresholdGatesLess)
+{
+    ExperimentConfig cfg;
+    const GatingResult tight = runGatingExperiment(
+            standardWorkloads()[1], PredictorKind::Gshare, cfg, 1);
+    const GatingResult loose = runGatingExperiment(
+            standardWorkloads()[1], PredictorKind::Gshare, cfg, 3);
+    EXPECT_LE(loose.gated.gatedCycles, tight.gated.gatedCycles);
+    EXPECT_LE(loose.slowdown(), tight.slowdown() + 0.01);
+}
+
+// -------------------------------------------------------------------- eager
+
+TEST(EagerTest, NoLowConfidenceMeansNoForks)
+{
+    QuadrantCounts q;
+    q.chc = 100;
+    q.ihc = 5;
+    PipelineStats pipe;
+    pipe.cycles = 1000;
+    const EagerEstimate e = evaluateEagerExecution(q, pipe);
+    EXPECT_DOUBLE_EQ(e.forkRate, 0.0);
+    EXPECT_DOUBLE_EQ(e.savedCycles, 0.0);
+}
+
+TEST(EagerTest, HighPvnYieldsSpeedup)
+{
+    QuadrantCounts q;
+    q.chc = 800;
+    q.ihc = 10;
+    q.clc = 50;
+    q.ilc = 140; // PVN ~ 74%
+    PipelineStats pipe;
+    pipe.cycles = 10000;
+    const EagerEstimate e = evaluateEagerExecution(q, pipe);
+    EXPECT_GT(e.forkYield, 0.7);
+    EXPECT_GT(e.netSavedCycles, 0.0);
+    EXPECT_GT(e.estimatedSpeedup, 1.0);
+}
+
+TEST(EagerTest, LowPvnCanLose)
+{
+    QuadrantCounts q;
+    q.chc = 500;
+    q.clc = 480; // forks mostly wasted
+    q.ilc = 20;
+    PipelineStats pipe;
+    pipe.cycles = 10000;
+    const EagerEstimate e = evaluateEagerExecution(q, pipe);
+    EXPECT_LT(e.netSavedCycles, 0.0);
+    EXPECT_LT(e.estimatedSpeedup, 1.0);
+}
+
+TEST(EagerTest, EmptyInputsAreSafe)
+{
+    const EagerEstimate e =
+        evaluateEagerExecution(QuadrantCounts{}, PipelineStats{});
+    EXPECT_DOUBLE_EQ(e.estimatedSpeedup, 1.0);
+}
+
+// ----------------------------------------------------------------- inverter
+
+TEST(InverterTest, InversionArithmetic)
+{
+    QuadrantCounts q;
+    q.chc = 61;
+    q.ihc = 2;
+    q.clc = 19;
+    q.ilc = 18;
+    // Inverting LC: correct = chc + ilc = 79 of 100.
+    EXPECT_NEAR(accuracyInvertingLowConfidence(q), 0.79, 1e-12);
+    // Inverting HC: correct = ihc + clc = 21 of 100.
+    EXPECT_NEAR(accuracyInvertingHighConfidence(q), 0.21, 1e-12);
+    // Base accuracy 80% > 79%: inversion would not help (PVN < 50%).
+    EXPECT_FALSE(inversionWouldImprove(q));
+}
+
+TEST(InverterTest, HighPvnMakesInversionProfitable)
+{
+    QuadrantCounts q;
+    q.chc = 70;
+    q.ihc = 5;
+    q.clc = 5;
+    q.ilc = 20; // PVN = 80% > 50%
+    EXPECT_TRUE(inversionWouldImprove(q));
+    EXPECT_GT(accuracyInvertingLowConfidence(q), q.accuracy());
+}
+
+TEST(InverterTest, EmptyQuadrantsSafe)
+{
+    QuadrantCounts q;
+    EXPECT_DOUBLE_EQ(accuracyInvertingLowConfidence(q), 0.0);
+    EXPECT_FALSE(inversionWouldImprove(q));
+}
+
+} // anonymous namespace
+} // namespace confsim

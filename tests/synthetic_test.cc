@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Ground-truth validation of the metrics machinery against synthetic
+ * streams with *known* statistical properties. On an IID stream every
+ * conditional structure (distance, clustering, boosting) must collapse
+ * to closed-form values; with injected clustering the machinery must
+ * detect exactly what was injected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/boosting.hh"
+#include "confidence/distance.hh"
+#include "harness/collectors.hh"
+#include "harness/distance_profile.hh"
+#include "harness/synthetic_stream.hh"
+#include "metrics/analytic.hh"
+
+namespace confsim
+{
+namespace
+{
+
+SyntheticStreamConfig
+iidStream(double accuracy, std::uint64_t n = 200'000)
+{
+    SyntheticStreamConfig cfg;
+    cfg.branches = n;
+    cfg.accuracy = accuracy;
+    cfg.clusterBoost = 0.0;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(SyntheticStreamTest, RealisedAccuracyMatchesTarget)
+{
+    const SyntheticStreamConfig cfg = iidStream(0.85);
+    std::uint64_t events = 0;
+    const std::uint64_t misses = generateSyntheticStream(
+            cfg, nullptr, [&events](const BranchEvent &) {
+                ++events;
+            });
+    EXPECT_EQ(events, cfg.branches);
+    EXPECT_NEAR(static_cast<double>(misses) / cfg.branches, 0.15,
+                0.01);
+}
+
+TEST(SyntheticStreamTest, IidStreamHasFlatDistanceProfile)
+{
+    // On an unclustered stream, the misprediction rate must be (about)
+    // the same at every distance — the paper's null hypothesis for
+    // Figs. 6-9.
+    DistanceProfile profile(32);
+    generateSyntheticStream(iidStream(0.9), nullptr,
+                            [&profile](const BranchEvent &ev) {
+                                profile.record(ev.preciseDistAll,
+                                               !ev.correct);
+                            });
+    const double avg = profile.averageRate();
+    for (unsigned d = 1; d <= 10; ++d) {
+        if (profile.countAt(d) < 2000)
+            continue; // too few samples for a tight bound
+        EXPECT_NEAR(profile.rateAt(d), avg, 0.02) << "distance " << d;
+    }
+}
+
+TEST(SyntheticStreamTest, InjectedClusteringIsDetected)
+{
+    SyntheticStreamConfig cfg = iidStream(0.9);
+    cfg.clusterBoost = 0.4;
+    cfg.clusterDecay = 0.5;
+    DistanceProfile profile(32);
+    generateSyntheticStream(cfg, nullptr,
+                            [&profile](const BranchEvent &ev) {
+                                profile.record(ev.preciseDistAll,
+                                               !ev.correct);
+                            });
+    // Distance-1 branches carry the full boost (~0.1 + 0.4*0.5).
+    EXPECT_GT(profile.rateAt(1), 1.5 * profile.averageRate());
+    // The boost decays: far distances sit near the baseline.
+    EXPECT_LT(profile.rateAt(10), profile.rateAt(1));
+}
+
+TEST(SyntheticStreamTest, DistanceEstimatorPvnEqualsMissRateOnIid)
+{
+    // The distance estimator exploits clustering; with none, its PVN
+    // must equal the plain misprediction rate at every threshold.
+    for (const unsigned threshold : {1u, 3u, 6u}) {
+        DistanceEstimator est(threshold);
+        QuadrantCounts q;
+        generateSyntheticStream(iidStream(0.9), &est,
+                                [&q](const BranchEvent &ev) {
+                                    q.record(ev.correct,
+                                             ev.estimate(0));
+                                });
+        EXPECT_NEAR(q.pvn(), 0.1, 0.015) << "threshold " << threshold;
+        EXPECT_NEAR(q.pvp(), 0.9, 0.015) << "threshold " << threshold;
+    }
+}
+
+TEST(SyntheticStreamTest, DistanceEstimatorGainsPvnUnderClustering)
+{
+    SyntheticStreamConfig cfg = iidStream(0.9);
+    cfg.clusterBoost = 0.5;
+    cfg.clusterDecay = 0.6;
+    DistanceEstimator est(3);
+    QuadrantCounts q;
+    const std::uint64_t misses = generateSyntheticStream(
+            cfg, &est, [&q](const BranchEvent &ev) {
+                q.record(ev.correct, ev.estimate(0));
+            });
+    const double miss_rate =
+        static_cast<double>(misses) / cfg.branches;
+    // Low-confidence branches (near a miss) now mispredict more often
+    // than the population: PVN > misprediction rate.
+    EXPECT_GT(q.pvn(), miss_rate + 0.03);
+}
+
+TEST(SyntheticStreamTest, BoostingFollowsBernoulliExactlyOnIid)
+{
+    // With an always-low base estimator on an IID stream, a window of
+    // N branches contains >= 1 misprediction with probability exactly
+    // 1 - accuracy^N.
+    const double accuracy = 0.9;
+    for (const unsigned n : {2u, 3u}) {
+        std::uint64_t windows = 0, hit_windows = 0, in_window = 0;
+        bool window_hit = false;
+        generateSyntheticStream(
+                iidStream(accuracy, 300'000), nullptr,
+                [&](const BranchEvent &ev) {
+                    window_hit = window_hit || !ev.correct;
+                    if (++in_window == n) {
+                        ++windows;
+                        if (window_hit)
+                            ++hit_windows;
+                        in_window = 0;
+                        window_hit = false;
+                    }
+                });
+        const double measured =
+            static_cast<double>(hit_windows)
+            / static_cast<double>(windows);
+        EXPECT_NEAR(measured, boostedPvn(1.0 - accuracy, n), 0.01)
+            << "N = " << n;
+    }
+}
+
+TEST(SyntheticStreamTest, QuadrantTotalsConserved)
+{
+    DistanceEstimator est(2);
+    ConfidenceCollector collector(1);
+    const SyntheticStreamConfig cfg = iidStream(0.8, 50'000);
+    generateSyntheticStream(cfg, &est,
+                            [&collector](const BranchEvent &ev) {
+                                collector.onEvent(ev);
+                            });
+    EXPECT_EQ(collector.committed(0).total(), cfg.branches);
+    EXPECT_EQ(collector.all(0).total(), cfg.branches);
+}
+
+TEST(SyntheticStreamDeathTest, InvalidConfigFatal)
+{
+    SyntheticStreamConfig cfg;
+    cfg.accuracy = 1.5;
+    EXPECT_EXIT(generateSyntheticStream(
+                        cfg, nullptr, [](const BranchEvent &) {}),
+                ::testing::ExitedWithCode(1), "accuracy");
+    SyntheticStreamConfig cfg2;
+    cfg2.numSites = 0;
+    EXPECT_EXIT(generateSyntheticStream(
+                        cfg2, nullptr, [](const BranchEvent &) {}),
+                ::testing::ExitedWithCode(1), "site");
+    EXPECT_EXIT(generateSyntheticStream(SyntheticStreamConfig{},
+                                        nullptr, {}),
+                ::testing::ExitedWithCode(1), "sink");
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Timing-model tests: BTB behaviour, and property sweeps showing that
+ * pipeline configuration changes timing only — never architected
+ * results or confidence measurements' denominators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb.hh"
+#include "bpred/gshare.hh"
+#include "confidence/jrs.hh"
+#include "harness/collectors.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// --------------------------------------------------------------------- BTB
+
+TEST(BtbTest, MissThenHit)
+{
+    Btb btb;
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x2000);
+    const auto target = btb.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x2000u);
+    EXPECT_EQ(btb.lookups(), 2u);
+    EXPECT_EQ(btb.misses(), 1u);
+}
+
+TEST(BtbTest, UpdateRefreshesTarget)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(BtbTest, TaggedEntriesDoNotAlias)
+{
+    // Unlike the tagless predictor tables, the BTB is tagged: a
+    // different branch mapping to the same set must miss.
+    BtbConfig cfg;
+    cfg.entries = 8;
+    cfg.ways = 2;
+    Btb btb(cfg);
+    btb.update(0x1000, 0x2000);
+    const Addr alias = 0x1000 + 4 * 4; // same set (4 sets)
+    EXPECT_FALSE(btb.lookup(alias).has_value());
+}
+
+TEST(BtbTest, LruEviction)
+{
+    BtbConfig cfg;
+    cfg.entries = 2;
+    cfg.ways = 2; // one set
+    Btb btb(cfg);
+    btb.update(0x1000, 0xa);
+    btb.update(0x2000, 0xb);
+    btb.lookup(0x1000); // refresh 0x1000
+    btb.update(0x3000, 0xc); // evicts 0x2000
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+    EXPECT_FALSE(btb.lookup(0x2000).has_value());
+    EXPECT_TRUE(btb.lookup(0x3000).has_value());
+}
+
+TEST(BtbTest, ResetClears)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    btb.reset();
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(btb.lookups(), 1u);
+    EXPECT_EQ(btb.misses(), 1u);
+    EXPECT_DOUBLE_EQ(btb.missRate(), 1.0);
+}
+
+TEST(BtbDeathTest, BadGeometryFatal)
+{
+    BtbConfig cfg;
+    cfg.ways = 0;
+    EXPECT_EXIT(Btb btb(cfg), ::testing::ExitedWithCode(1),
+                "associativity");
+    BtbConfig cfg2;
+    cfg2.entries = 10;
+    cfg2.ways = 2;
+    EXPECT_EXIT(Btb btb2(cfg2), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// ----------------------------------------------------- pipeline with BTB
+
+TEST(PipelineBtbTest, BtbCostsCyclesButPreservesResults)
+{
+    const Program prog = makeWorkload("ijpeg"); // taken-heavy loops
+    PipelineStats ideal, with_btb;
+    {
+        GsharePredictor pred;
+        Pipeline pipe(prog, pred);
+        ideal = pipe.run();
+    }
+    {
+        PipelineConfig cfg;
+        cfg.useBtb = true;
+        GsharePredictor pred;
+        Pipeline pipe(prog, pred, cfg);
+        with_btb = pipe.run();
+    }
+    EXPECT_EQ(with_btb.committedInsts, ideal.committedInsts);
+    EXPECT_EQ(with_btb.committedCondBranches,
+              ideal.committedCondBranches);
+    EXPECT_GE(with_btb.cycles, ideal.cycles);
+    EXPECT_GT(with_btb.btbLookups, 0u);
+    EXPECT_GT(with_btb.btbMisses, 0u); // cold misses at minimum
+    EXPECT_EQ(ideal.btbLookups, 0u);   // off by default
+}
+
+TEST(PipelineBtbTest, WarmBtbMissesAreRare)
+{
+    const Program prog = makeWorkload("m88ksim"); // small hot loop
+    PipelineConfig cfg;
+    cfg.useBtb = true;
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred, cfg);
+    const PipelineStats s = pipe.run();
+    ASSERT_GT(s.btbLookups, 0u);
+    EXPECT_LT(static_cast<double>(s.btbMisses)
+                  / static_cast<double>(s.btbLookups),
+              0.05);
+}
+
+// -------------------------------------------------- configuration sweeps
+
+struct TimingCase
+{
+    const char *name;
+    unsigned fetchWidth;
+    unsigned issueWidth;
+    Cycle penalty;
+    bool caches;
+    bool btb;
+};
+
+class PipelineTimingSweep : public ::testing::TestWithParam<TimingCase>
+{
+};
+
+TEST_P(PipelineTimingSweep, TimingNeverChangesArchitectedWork)
+{
+    const TimingCase &tc = GetParam();
+    const Program prog = makeWorkload("compress");
+
+    // Reference: plain functional execution.
+    std::uint64_t functional_steps = 0;
+    {
+        Machine m(prog);
+        while (!m.halted()) {
+            if (m.step().halted)
+                break;
+            ++functional_steps;
+        }
+    }
+
+    PipelineConfig cfg;
+    cfg.fetchWidth = tc.fetchWidth;
+    cfg.issueWidth = tc.issueWidth;
+    cfg.mispredictPenalty = tc.penalty;
+    cfg.useCaches = tc.caches;
+    cfg.useBtb = tc.btb;
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred, cfg);
+    const PipelineStats s = pipe.run();
+
+    EXPECT_EQ(s.committedInsts, functional_steps);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_LE(s.ipc(), static_cast<double>(tc.fetchWidth) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Configs, PipelineTimingSweep,
+        ::testing::Values(
+                TimingCase{"narrow", 1, 1, 3, true, false},
+                TimingCase{"wide", 8, 8, 3, true, false},
+                TimingCase{"no_penalty", 4, 4, 0, true, false},
+                TimingCase{"big_penalty", 4, 4, 20, true, false},
+                TimingCase{"no_caches", 4, 4, 3, false, false},
+                TimingCase{"with_btb", 4, 4, 3, true, true},
+                TimingCase{"asymmetric", 4, 2, 3, true, true}),
+        [](const ::testing::TestParamInfo<TimingCase> &info) {
+            return info.param.name;
+        });
+
+TEST(PipelineTimingTest, NarrowerIssueLowersIpc)
+{
+    const Program prog = makeWorkload("ijpeg");
+    double ipc[2];
+    int i = 0;
+    for (const unsigned width : {1u, 4u}) {
+        PipelineConfig cfg;
+        cfg.issueWidth = width;
+        GsharePredictor pred;
+        Pipeline pipe(prog, pred, cfg);
+        ipc[i++] = pipe.run().ipc();
+    }
+    EXPECT_LT(ipc[0], ipc[1]);
+    EXPECT_LE(ipc[0], 1.0 + 1e-9);
+}
+
+TEST(PipelineTimingTest, LargerPenaltyCostsCycles)
+{
+    const Program prog = makeWorkload("go"); // mispredict-heavy
+    Cycle cycles[2];
+    int i = 0;
+    for (const Cycle penalty : {Cycle{0}, Cycle{10}}) {
+        PipelineConfig cfg;
+        cfg.mispredictPenalty = penalty;
+        GsharePredictor pred;
+        Pipeline pipe(prog, pred, cfg);
+        cycles[i++] = pipe.run().cycles;
+    }
+    EXPECT_GT(cycles[1], cycles[0]);
+}
+
+TEST(PipelineTimingTest, ConfidenceMetricsTimingInsensitive)
+{
+    // The quadrant *totals* are architectural: they must be identical
+    // across timing configurations (wrong-path counts differ, but the
+    // committed stream does not).
+    const Program prog = makeWorkload("perl");
+    QuadrantCounts q[2];
+    int i = 0;
+    for (const bool btb_on : {false, true}) {
+        PipelineConfig cfg;
+        cfg.useBtb = btb_on;
+        cfg.issueWidth = btb_on ? 2 : 4;
+        GsharePredictor pred;
+        JrsEstimator jrs;
+        Pipeline pipe(prog, pred, cfg);
+        pipe.attachEstimator(&jrs);
+        ConfidenceCollector collector(1);
+        pipe.setSink([&collector](const BranchEvent &ev) {
+            collector.onEvent(ev);
+        });
+        pipe.run();
+        q[i++] = collector.committed(0);
+    }
+    EXPECT_EQ(q[0].total(), q[1].total());
+    // The estimates themselves may shift slightly (different wrong-
+    // path depths train nothing, but perceived timing of updates can
+    // move) — accuracy, an architected property of the predictor's
+    // update stream, stays very close.
+    EXPECT_NEAR(q[0].accuracy(), q[1].accuracy(), 0.01);
+}
+
+// ------------------------------------------------------ eager execution
+
+TEST(EagerPipelineTest, ForkingPreservesArchitectedWork)
+{
+    const Program prog = makeWorkload("go");
+    PipelineStats base, eager;
+    {
+        GsharePredictor pred;
+        Pipeline pipe(prog, pred);
+        base = pipe.run();
+    }
+    {
+        GsharePredictor pred;
+        JrsEstimator jrs;
+        Pipeline pipe(prog, pred);
+        const unsigned idx = pipe.attachEstimator(&jrs);
+        pipe.enableEagerExecution(idx);
+        eager = pipe.run();
+    }
+    EXPECT_EQ(eager.committedInsts, base.committedInsts);
+    EXPECT_EQ(eager.committedCondBranches,
+              base.committedCondBranches);
+    EXPECT_GT(eager.forkedBranches, 0u);
+    EXPECT_GT(eager.forkRescues, 0u);
+    EXPECT_LE(eager.forkRescues, eager.forkedBranches);
+    EXPECT_GT(eager.forkedFetchCycles, 0u);
+    EXPECT_EQ(base.forkedBranches, 0u); // off by default
+}
+
+TEST(EagerPipelineTest, RescueRateTracksPvn)
+{
+    // A forked branch is rescued iff it was mispredicted — so the
+    // rescue rate must equal the forking estimator's committed PVN,
+    // up to the fork-budget cutoff and wrong-path forks.
+    const Program prog = makeWorkload("vortex");
+    GsharePredictor pred;
+    JrsEstimator jrs;
+    PipelineConfig cfg;
+    cfg.maxForksInFlight = 64; // effectively unlimited
+    Pipeline pipe(prog, pred, cfg);
+    const unsigned idx = pipe.attachEstimator(&jrs);
+    pipe.enableEagerExecution(idx);
+    ConfidenceCollector collector(1);
+    pipe.setSink([&collector](const BranchEvent &ev) {
+        collector.onEvent(ev);
+    });
+    const PipelineStats s = pipe.run();
+    const double rescue_rate = static_cast<double>(s.forkRescues)
+        / static_cast<double>(s.forkedBranches);
+    EXPECT_NEAR(rescue_rate, collector.all(0).pvn(), 0.05);
+}
+
+TEST(EagerPipelineTest, ForkBudgetRespected)
+{
+    const Program prog = makeWorkload("gcc");
+    GsharePredictor pred;
+    ConstantEstimator always_low(false);
+    PipelineConfig cfg;
+    cfg.maxForksInFlight = 2;
+    Pipeline pipe(prog, pred, cfg);
+    const unsigned idx = pipe.attachEstimator(&always_low);
+    pipe.enableEagerExecution(idx);
+    const PipelineStats s = pipe.run();
+    // With a tiny budget, far fewer forks than branches.
+    EXPECT_LT(s.forkedBranches, s.allCondBranches);
+    EXPECT_GT(s.forkedBranches, 0u);
+}
+
+TEST(EagerPipelineDeathTest, BadEstimatorIndexFatal)
+{
+    const Program prog = makeWorkload("compress");
+    GsharePredictor pred;
+    Pipeline pipe(prog, pred);
+    EXPECT_EXIT(pipe.enableEagerExecution(0),
+                ::testing::ExitedWithCode(1), "index");
+}
+
+} // anonymous namespace
+} // namespace confsim

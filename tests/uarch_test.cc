@@ -1,0 +1,695 @@
+/**
+ * @file
+ * Unit tests for the mini-ISA: assembler, interpreter semantics, and
+ * the speculative checkpoint/rollback machinery the pipeline depends
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "uarch/machine.hh"
+#include "uarch/program_builder.hh"
+
+namespace confsim
+{
+namespace
+{
+
+/** Run @p prog until halt (bounded) and return the machine. */
+Machine
+runToHalt(const Program &prog, std::uint64_t bound = 100000)
+{
+    Machine m(prog);
+    std::uint64_t steps = 0;
+    while (!m.halted() && steps++ < bound)
+        m.step();
+    EXPECT_TRUE(m.halted()) << "program did not halt";
+    return m;
+}
+
+// ------------------------------------------------------------ ProgramBuilder
+
+TEST(ProgramBuilderTest, ForwardLabelResolves)
+{
+    ProgramBuilder b("t", 64);
+    b.jmp("end");
+    b.li(1, 99); // skipped
+    b.label("end");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.code[0].target, 2u);
+}
+
+TEST(ProgramBuilderTest, BackwardLabelResolves)
+{
+    ProgramBuilder b("t", 64);
+    b.label("top");
+    b.addi(1, 1, 1);
+    b.jmp("top");
+    const Program p = b.build();
+    EXPECT_EQ(p.code[1].target, 0u);
+}
+
+TEST(ProgramBuilderTest, DataInitialisation)
+{
+    ProgramBuilder b("t", 64);
+    b.data(5, 1234);
+    b.halt();
+    const Program p = b.build();
+    ASSERT_EQ(p.initialData.size(), 64u);
+    EXPECT_EQ(p.initialData[5], 1234);
+    EXPECT_EQ(p.initialData[6], 0);
+}
+
+TEST(ProgramBuilderTest, SizeTracksEmission)
+{
+    ProgramBuilder b("t", 8);
+    EXPECT_EQ(b.size(), 0u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(ProgramBuilderDeathTest, DuplicateLabelFatal)
+{
+    ProgramBuilder b("t", 8);
+    b.label("x");
+    EXPECT_EXIT(b.label("x"), ::testing::ExitedWithCode(1),
+                "duplicate label");
+}
+
+TEST(ProgramBuilderDeathTest, UndefinedLabelFatal)
+{
+    ProgramBuilder b("t", 8);
+    b.jmp("nowhere");
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+TEST(ProgramBuilderDeathTest, DataOutOfRangeFatal)
+{
+    ProgramBuilder b("t", 8);
+    EXPECT_EXIT(b.data(8, 1), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ProgramBuilderDeathTest, RegisterOutOfRangeFatal)
+{
+    ProgramBuilder b("t", 8);
+    EXPECT_EXIT(b.add(32, 0, 0), ::testing::ExitedWithCode(1),
+                "register");
+}
+
+// ----------------------------------------------------------------- ISA info
+
+TEST(IsaTest, OpClassification)
+{
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMult);
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::St), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::Beq), OpClass::CondBranch);
+    EXPECT_EQ(opClass(Opcode::Jmp), OpClass::UncondBranch);
+    EXPECT_EQ(opClass(Opcode::Halt), OpClass::Other);
+    EXPECT_TRUE(isCondBranch(Opcode::Bgt));
+    EXPECT_FALSE(isCondBranch(Opcode::Jmp));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::Add));
+}
+
+TEST(IsaTest, AddressMapping)
+{
+    EXPECT_EQ(Program::pcToAddr(0), CODE_BASE);
+    EXPECT_EQ(Program::pcToAddr(3), CODE_BASE + 12);
+    EXPECT_EQ(Program::addrToPc(Program::pcToAddr(117)), 117u);
+}
+
+TEST(IsaTest, EveryOpcodeDisassembles)
+{
+    // The disassembler must name every opcode; a silent "???" would
+    // make debug traces useless.
+    for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+        Inst inst;
+        inst.op = static_cast<Opcode>(op);
+        inst.rd = 1;
+        inst.rs1 = 2;
+        inst.rs2 = 3;
+        inst.imm = 7;
+        inst.target = 9;
+        const std::string text = disassemble(inst);
+        EXPECT_FALSE(text.empty());
+        EXPECT_EQ(text.find("???"), std::string::npos)
+            << "opcode " << op;
+        EXPECT_EQ(text.find(mnemonic(inst.op)), 0u)
+            << "opcode " << op;
+    }
+}
+
+TEST(IsaTest, DisassemblyMentionsMnemonic)
+{
+    Inst i;
+    i.op = Opcode::Beq;
+    i.rs1 = 1;
+    i.rs2 = 2;
+    i.target = 7;
+    const std::string text = disassemble(i);
+    EXPECT_NE(text.find("beq"), std::string::npos);
+    EXPECT_NE(text.find("@7"), std::string::npos);
+}
+
+// ------------------------------------------------------- Machine arithmetic
+
+struct AluCase
+{
+    const char *name;
+    void (*emit)(ProgramBuilder &);
+    Word expected;
+};
+
+void emitAdd(ProgramBuilder &b) { b.add(3, 1, 2); }
+void emitSub(ProgramBuilder &b) { b.sub(3, 1, 2); }
+void emitMul(ProgramBuilder &b) { b.mul(3, 1, 2); }
+void emitDiv(ProgramBuilder &b) { b.div(3, 1, 2); }
+void emitRem(ProgramBuilder &b) { b.rem(3, 1, 2); }
+void emitAnd(ProgramBuilder &b) { b.and_(3, 1, 2); }
+void emitOr(ProgramBuilder &b) { b.or_(3, 1, 2); }
+void emitXor(ProgramBuilder &b) { b.xor_(3, 1, 2); }
+void emitSlt(ProgramBuilder &b) { b.slt(3, 1, 2); }
+void emitSltu(ProgramBuilder &b) { b.sltu(3, 1, 2); }
+
+class MachineAluTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(MachineAluTest, ComputesExpected)
+{
+    // r1 = 21, r2 = 6, result in r3.
+    ProgramBuilder b("alu", 16);
+    b.li(1, 21);
+    b.li(2, 6);
+    GetParam().emit(b);
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(3), GetParam().expected) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Ops, MachineAluTest,
+        ::testing::Values(AluCase{"add", &emitAdd, 27},
+                          AluCase{"sub", &emitSub, 15},
+                          AluCase{"mul", &emitMul, 126},
+                          AluCase{"div", &emitDiv, 3},
+                          AluCase{"rem", &emitRem, 3},
+                          AluCase{"and", &emitAnd, 21 & 6},
+                          AluCase{"or", &emitOr, 21 | 6},
+                          AluCase{"xor", &emitXor, 21 ^ 6},
+                          AluCase{"slt", &emitSlt, 0},
+                          AluCase{"sltu", &emitSltu, 0}),
+        [](const ::testing::TestParamInfo<AluCase> &info) {
+            return info.param.name;
+        });
+
+TEST(MachineTest, ImmediateOps)
+{
+    ProgramBuilder b("imm", 16);
+    b.li(1, 10);
+    b.addi(2, 1, 5);
+    b.muli(3, 1, -2);
+    b.andi(4, 1, 3);
+    b.ori(5, 1, 5);
+    b.xori(6, 1, 2);
+    b.slli(7, 1, 2);
+    b.srli(8, 1, 1);
+    b.slti(9, 1, 11);
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(2), 15);
+    EXPECT_EQ(m.reg(3), -20);
+    EXPECT_EQ(m.reg(4), 2);
+    EXPECT_EQ(m.reg(5), 15);
+    EXPECT_EQ(m.reg(6), 8);
+    EXPECT_EQ(m.reg(7), 40);
+    EXPECT_EQ(m.reg(8), 5);
+    EXPECT_EQ(m.reg(9), 1);
+}
+
+TEST(MachineTest, ShiftRightArithmeticKeepsSign)
+{
+    ProgramBuilder b("sra", 16);
+    b.li(1, -16);
+    b.srai(2, 1, 2);
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(2), -4);
+}
+
+TEST(MachineTest, RegisterZeroIsImmutable)
+{
+    ProgramBuilder b("r0", 16);
+    b.li(0, 42); // write to r0 is dropped
+    b.addi(1, 0, 7);
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(0), 0);
+    EXPECT_EQ(m.reg(1), 7);
+}
+
+TEST(MachineTest, LoadStoreRoundTrip)
+{
+    ProgramBuilder b("mem", 16);
+    b.li(1, 3);  // base
+    b.li(2, 77); // value
+    b.st(2, 1, 2);  // mem[5] = 77
+    b.ld(3, 1, 2);  // r3 = mem[5]
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(3), 77);
+    EXPECT_EQ(m.mem(5), 77);
+}
+
+TEST(MachineTest, BranchDirections)
+{
+    // Each branch kind: one taken, one not-taken instance.
+    ProgramBuilder b("br", 16);
+    b.li(1, 5);
+    b.li(2, 5);
+    b.li(3, 9);
+    b.li(10, 0); // bitmask of taken branches
+    b.beq(1, 2, "t1"); // taken
+    b.jmp("n1");
+    b.label("t1");
+    b.ori(10, 10, 1);
+    b.label("n1");
+    b.bne(1, 3, "t2"); // taken
+    b.jmp("n2");
+    b.label("t2");
+    b.ori(10, 10, 2);
+    b.label("n2");
+    b.blt(1, 3, "t3"); // taken
+    b.jmp("n3");
+    b.label("t3");
+    b.ori(10, 10, 4);
+    b.label("n3");
+    b.bge(1, 3, "t4"); // NOT taken
+    b.jmp("n4");
+    b.label("t4");
+    b.ori(10, 10, 8);
+    b.label("n4");
+    b.ble(1, 2, "t5"); // taken
+    b.jmp("n5");
+    b.label("t5");
+    b.ori(10, 10, 16);
+    b.label("n5");
+    b.bgt(3, 1, "t6"); // taken
+    b.jmp("n6");
+    b.label("t6");
+    b.ori(10, 10, 32);
+    b.label("n6");
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(10), 1 | 2 | 4 | 16 | 32);
+}
+
+TEST(MachineTest, CallAndReturn)
+{
+    ProgramBuilder b("call", 64);
+    b.call("fn");
+    b.li(2, 1); // executed after return
+    b.halt();
+    b.label("fn");
+    b.li(1, 42);
+    b.ret();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(1), 42);
+    EXPECT_EQ(m.reg(2), 1);
+}
+
+TEST(MachineTest, NestedCallsWithPushPop)
+{
+    ProgramBuilder b("nest", 64);
+    b.call("outer");
+    b.halt();
+    b.label("outer");
+    b.push(REG_LR);
+    b.call("inner");
+    b.pop(REG_LR);
+    b.addi(1, 1, 100);
+    b.ret();
+    b.label("inner");
+    b.li(1, 5);
+    b.ret();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.reg(1), 105);
+}
+
+TEST(MachineTest, StepInfoForBranch)
+{
+    ProgramBuilder b("si", 16);
+    b.li(1, 1);
+    b.beq(1, 1, "t");
+    b.label("t");
+    b.halt();
+    Machine m(b.build());
+    m.step(); // li
+    const StepInfo si = m.step();
+    EXPECT_TRUE(si.isCond);
+    EXPECT_TRUE(si.taken);
+    EXPECT_EQ(si.op, Opcode::Beq);
+    EXPECT_EQ(si.targetPc, 2u);
+    EXPECT_EQ(si.nextPc, 2u);
+    EXPECT_EQ(si.addr, Program::pcToAddr(1));
+}
+
+TEST(MachineTest, StepInfoForMemory)
+{
+    ProgramBuilder b("sim", 16);
+    b.li(1, 4);
+    b.st(1, 1, 3); // mem[7] = 4
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    const StepInfo si = m.step();
+    EXPECT_TRUE(si.isMem);
+    EXPECT_EQ(si.memAddr, 7u);
+    EXPECT_EQ(si.cls, OpClass::Store);
+}
+
+TEST(MachineTest, HaltSetsFlagAndStops)
+{
+    ProgramBuilder b("h", 16);
+    b.halt();
+    Machine m(b.build());
+    const StepInfo si = m.step();
+    EXPECT_TRUE(si.halted);
+    EXPECT_TRUE(m.halted());
+    // Further steps are inert.
+    const StepInfo si2 = m.step();
+    EXPECT_TRUE(si2.halted);
+}
+
+TEST(MachineTest, ResetRestoresInitialState)
+{
+    ProgramBuilder b("r", 16);
+    b.data(3, 11);
+    b.li(1, 5);
+    b.st(1, 0, 3);
+    b.halt();
+    Machine m = runToHalt(b.build());
+    EXPECT_EQ(m.mem(3), 5);
+    m.reset();
+    EXPECT_FALSE(m.halted());
+    EXPECT_EQ(m.mem(3), 11);
+    EXPECT_EQ(m.reg(1), 0);
+    EXPECT_EQ(m.pc(), 0u);
+}
+
+TEST(MachineTest, StackPointerInitialisedToTopOfMemory)
+{
+    ProgramBuilder b("sp", 128);
+    b.halt();
+    Machine m(b.build());
+    EXPECT_EQ(m.reg(REG_SP), 128);
+}
+
+TEST(MachineDeathTest, ArchitectedDivByZeroPanics)
+{
+    ProgramBuilder b("dz", 16);
+    b.li(1, 1);
+    b.div(2, 1, 0);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    EXPECT_DEATH(m.step(), "division by zero");
+}
+
+TEST(MachineDeathTest, ArchitectedOutOfRangeLoadPanics)
+{
+    ProgramBuilder b("oob", 16);
+    b.li(1, 1000);
+    b.ld(2, 1, 0);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    EXPECT_DEATH(m.step(), "out-of-range load");
+}
+
+TEST(MachineDeathTest, ArchitectedRunawayPcPanics)
+{
+    ProgramBuilder b("run", 16);
+    b.nop(); // falls off the end
+    Machine m(b.build());
+    m.step();
+    EXPECT_DEATH(m.step(), "out of code segment");
+}
+
+// ------------------------------------------------- checkpoints and rollback
+
+TEST(MachineSpecTest, RollbackRestoresRegisters)
+{
+    ProgramBuilder b("cp", 16);
+    b.li(1, 10);
+    b.li(1, 20);
+    b.halt();
+    Machine m(b.build());
+    m.step(); // r1 = 10
+    const CheckpointId cp = m.takeCheckpoint();
+    EXPECT_EQ(m.specDepth(), 1u);
+    m.step(); // r1 = 20 (speculative)
+    EXPECT_EQ(m.reg(1), 20);
+    m.rollback(cp);
+    EXPECT_EQ(m.reg(1), 10);
+    EXPECT_EQ(m.specDepth(), 0u);
+    EXPECT_EQ(m.pc(), 1u);
+}
+
+TEST(MachineSpecTest, RollbackUndoesMemoryWrites)
+{
+    ProgramBuilder b("cpm", 16);
+    b.data(4, 7);
+    b.li(1, 99);
+    b.st(1, 0, 4);
+    b.halt();
+    Machine m(b.build());
+    m.step(); // li
+    const CheckpointId cp = m.takeCheckpoint();
+    m.step(); // speculative store
+    EXPECT_EQ(m.mem(4), 99);
+    m.rollback(cp);
+    EXPECT_EQ(m.mem(4), 7);
+}
+
+TEST(MachineSpecTest, NestedCheckpointsUnwindInOrder)
+{
+    ProgramBuilder b("nest", 16);
+    b.data(4, 1);
+    b.li(1, 10);
+    b.st(1, 0, 4); // mem[4] = 10
+    b.li(1, 20);
+    b.st(1, 0, 4); // mem[4] = 20
+    b.halt();
+    Machine m(b.build());
+    m.step(); // li 10
+    const CheckpointId outer = m.takeCheckpoint();
+    m.step(); // st 10
+    const CheckpointId inner = m.takeCheckpoint();
+    m.step(); // li 20
+    m.step(); // st 20
+    EXPECT_EQ(m.mem(4), 20);
+    EXPECT_EQ(m.specDepth(), 2u);
+    m.rollback(inner);
+    EXPECT_EQ(m.mem(4), 10);
+    EXPECT_EQ(m.reg(1), 10);
+    EXPECT_EQ(m.specDepth(), 1u);
+    m.rollback(outer);
+    EXPECT_EQ(m.mem(4), 1);
+    EXPECT_EQ(m.specDepth(), 0u);
+}
+
+TEST(MachineSpecTest, RollbackToOldestSkipsIntermediate)
+{
+    ProgramBuilder b("skip", 16);
+    b.data(4, 1);
+    b.li(1, 5);
+    b.st(1, 0, 4);
+    b.li(1, 6);
+    b.st(1, 0, 4);
+    b.halt();
+    Machine m(b.build());
+    const CheckpointId outer = m.takeCheckpoint();
+    m.step();
+    m.step();
+    m.takeCheckpoint(); // inner, intentionally bypassed
+    m.step();
+    m.step();
+    EXPECT_EQ(m.mem(4), 6);
+    m.rollback(outer); // unwinds both levels at once
+    EXPECT_EQ(m.mem(4), 1);
+    EXPECT_EQ(m.reg(1), 0);
+    EXPECT_EQ(m.specDepth(), 0u);
+}
+
+TEST(MachineSpecTest, WrongPathOutOfRangeLoadIsBenign)
+{
+    ProgramBuilder b("wp", 16);
+    b.li(1, 5000);
+    b.ld(2, 1, 0); // executed only speculatively
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    m.takeCheckpoint();
+    const StepInfo si = m.step(); // wrong-path OOB load
+    EXPECT_FALSE(si.halted);
+    EXPECT_EQ(m.reg(2), 0); // benign zero
+}
+
+TEST(MachineSpecTest, WrongPathOutOfRangeStoreIsDropped)
+{
+    ProgramBuilder b("wps", 16);
+    b.li(1, 5000);
+    b.st(1, 1, 0);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    m.takeCheckpoint();
+    m.step(); // dropped store
+    EXPECT_EQ(m.mem(15), 0);
+}
+
+TEST(MachineSpecTest, WrongPathDivByZeroYieldsZero)
+{
+    ProgramBuilder b("wpd", 16);
+    b.li(1, 9);
+    b.div(2, 1, 0);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    m.takeCheckpoint();
+    m.step();
+    EXPECT_EQ(m.reg(2), 0);
+}
+
+TEST(MachineSpecTest, WrongPathHaltRestoredOnRollback)
+{
+    ProgramBuilder b("wph", 16);
+    b.li(1, 1);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    const CheckpointId cp = m.takeCheckpoint();
+    m.step(); // wrong-path halt
+    EXPECT_TRUE(m.halted());
+    m.rollback(cp);
+    EXPECT_FALSE(m.halted());
+}
+
+TEST(MachineSpecTest, RedirectChangesFetchPc)
+{
+    ProgramBuilder b("rd", 16);
+    b.li(1, 1);
+    b.li(2, 2);
+    b.li(3, 3);
+    b.halt();
+    Machine m(b.build());
+    m.step();
+    m.takeCheckpoint();
+    m.redirect(2);
+    const StepInfo si = m.step();
+    EXPECT_EQ(si.pc, 2u);
+}
+
+TEST(MachineSpecTest, RandomizedCheckpointRollbackMatchesShadowState)
+{
+    // Stress the speculation machinery: run a store-heavy loop while
+    // taking checkpoints, speculating random distances ahead, and
+    // rolling back — each time comparing registers and memory against
+    // a full shadow copy captured at checkpoint time.
+    ProgramBuilder b("fuzz", 64);
+    b.li(1, 1);
+    b.li(2, 0);
+    b.label("top");
+    b.add(2, 2, 1);       // r2 += r1
+    b.andi(3, 2, 15);     // addr = r2 & 15
+    b.addi(3, 3, 16);     // |16..31|
+    b.st(2, 3, 0);        // mem[addr] = r2
+    b.muli(1, 1, 3);      // r1 *= 3
+    b.andi(1, 1, 1023);
+    b.ori(1, 1, 1);       // keep r1 nonzero
+    b.jmp("top");         // endless: test bounds the run
+
+    Machine m(b.build());
+    Rng rng(0xf422);
+
+    struct Shadow
+    {
+        CheckpointId id;
+        std::array<Word, NUM_REGS> regs;
+        std::vector<Word> mem;
+        std::uint32_t pc;
+    };
+
+    auto capture = [&m]() {
+        Shadow s;
+        s.id = 0;
+        for (unsigned r = 0; r < NUM_REGS; ++r)
+            s.regs[static_cast<std::size_t>(r)] = m.reg(r);
+        s.mem.resize(64);
+        for (std::size_t a = 0; a < 64; ++a)
+            s.mem[a] = m.mem(a);
+        s.pc = m.pc();
+        return s;
+    };
+
+    for (int round = 0; round < 200; ++round) {
+        // Advance non-speculatively a random distance.
+        for (std::uint64_t i = rng.below(20); i-- > 0; )
+            m.step();
+
+        const Shadow shadow = capture();
+        const CheckpointId cp = m.takeCheckpoint();
+
+        // Speculate ahead, possibly with a nested checkpoint.
+        const bool nested = rng.chance(0.3);
+        for (std::uint64_t i = 1 + rng.below(30); i-- > 0; )
+            m.step();
+        if (nested) {
+            m.takeCheckpoint();
+            for (std::uint64_t i = rng.below(20); i-- > 0; )
+                m.step();
+        }
+
+        m.rollback(cp);
+
+        ASSERT_EQ(m.pc(), shadow.pc) << "round " << round;
+        ASSERT_EQ(m.specDepth(), 0u);
+        for (unsigned r = 0; r < NUM_REGS; ++r)
+            ASSERT_EQ(m.reg(r),
+                      shadow.regs[static_cast<std::size_t>(r)])
+                << "round " << round << " reg " << r;
+        for (std::size_t a = 0; a < 64; ++a)
+            ASSERT_EQ(m.mem(a), shadow.mem[a])
+                << "round " << round << " mem " << a;
+    }
+}
+
+TEST(MachineSpecTest, RunProgramVisitsCondBranches)
+{
+    ProgramBuilder b("rp", 16);
+    b.li(1, 3);
+    b.label("top");
+    b.addi(1, 1, -1);
+    b.bgt(1, 0, "top");
+    b.halt();
+    int visits = 0;
+    int taken = 0;
+    runProgram(b.build(), [&](const StepInfo &si) {
+        ++visits;
+        if (si.taken)
+            ++taken;
+    });
+    EXPECT_EQ(visits, 3);
+    EXPECT_EQ(taken, 2);
+}
+
+} // anonymous namespace
+} // namespace confsim

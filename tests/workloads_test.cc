@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the eight SPECint95-analog workloads. Every workload
+ * carries an in-program self-check (the algorithm's result is verified
+ * against a build-time replica), so these tests validate end-to-end
+ * algorithmic correctness, not just liveness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uarch/machine.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+struct RunSummary
+{
+    std::uint64_t steps = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken = 0;
+    std::set<Addr> sites;
+    Word flag = 0;
+    Word result = 0;
+    bool halted = false;
+};
+
+RunSummary
+runWorkload(const Program &prog, std::uint64_t bound = 80'000'000)
+{
+    RunSummary s;
+    Machine m(prog);
+    while (!m.halted() && s.steps < bound) {
+        const StepInfo si = m.step();
+        if (si.halted)
+            break;
+        ++s.steps;
+        if (si.isCond) {
+            ++s.branches;
+            if (si.taken)
+                ++s.taken;
+            s.sites.insert(si.addr);
+        }
+    }
+    s.halted = m.halted();
+    s.flag = m.mem(CHECK_FLAG_ADDR);
+    s.result = m.mem(RESULT_ADDR);
+    return s;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadSpec>
+{
+};
+
+TEST_P(WorkloadTest, RunsToCompletion)
+{
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    EXPECT_TRUE(s.halted) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, SelfCheckPasses)
+{
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    EXPECT_EQ(s.flag, 1) << GetParam().name
+                         << " failed its algorithmic self-check";
+}
+
+TEST_P(WorkloadTest, CommitsSubstantialWork)
+{
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    EXPECT_GE(s.steps, 100'000u) << GetParam().name;
+    EXPECT_LE(s.steps, 10'000'000u) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, BranchDensityIsRealistic)
+{
+    // SPECint-class codes are roughly 10-30% conditional branches.
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    const double density =
+        static_cast<double>(s.branches) / static_cast<double>(s.steps);
+    EXPECT_GE(density, 0.05) << GetParam().name;
+    EXPECT_LE(density, 0.45) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, TakenRateNotDegenerate)
+{
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    const double taken_rate =
+        static_cast<double>(s.taken) / static_cast<double>(s.branches);
+    EXPECT_GT(taken_rate, 0.01) << GetParam().name;
+    EXPECT_LT(taken_rate, 0.99) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, HasManyStaticBranchSites)
+{
+    const RunSummary s = runWorkload(GetParam().factory({}));
+    EXPECT_GE(s.sites.size(), 5u) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, DeterministicForEqualConfig)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 99;
+    const RunSummary a = runWorkload(GetParam().factory(cfg));
+    const RunSummary b = runWorkload(GetParam().factory(cfg));
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.taken, b.taken);
+    EXPECT_EQ(a.result, b.result);
+}
+
+TEST_P(WorkloadTest, ScaleIncreasesWork)
+{
+    WorkloadConfig small, large;
+    small.scale = 1;
+    large.scale = 2;
+    const RunSummary a = runWorkload(GetParam().factory(small));
+    const RunSummary c = runWorkload(GetParam().factory(large));
+    EXPECT_TRUE(c.halted);
+    EXPECT_EQ(c.flag, 1);
+    EXPECT_GE(c.steps, a.steps + a.steps / 2) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, SelfCheckHoldsUnderDifferentSeed)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 0xdecaf;
+    const RunSummary s = runWorkload(GetParam().factory(cfg));
+    EXPECT_TRUE(s.halted) << GetParam().name;
+    EXPECT_EQ(s.flag, 1) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        All, WorkloadTest, ::testing::ValuesIn(standardWorkloads()),
+        [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+            return info.param.name;
+        });
+
+TEST(WorkloadRegistryTest, HasEightInPaperOrder)
+{
+    const auto &specs = standardWorkloads();
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_EQ(specs[0].name, "compress");
+    EXPECT_EQ(specs[1].name, "gcc");
+    EXPECT_EQ(specs[2].name, "perl");
+    EXPECT_EQ(specs[3].name, "go");
+    EXPECT_EQ(specs[4].name, "m88ksim");
+    EXPECT_EQ(specs[5].name, "xlisp");
+    EXPECT_EQ(specs[6].name, "vortex");
+    EXPECT_EQ(specs[7].name, "ijpeg");
+}
+
+TEST(WorkloadRegistryTest, MakeByName)
+{
+    const Program p = makeWorkload("go");
+    EXPECT_EQ(p.name, "go");
+    EXPECT_FALSE(p.code.empty());
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT(makeWorkload("spice"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(WorkloadCharacterTest, GoIsHardestToPredictStatically)
+{
+    // The playout phase branches on rng bits; the per-branch taken
+    // rates should be far less skewed than e.g. ijpeg's loop branches.
+    const RunSummary go = runWorkload(makeWorkload("go"));
+    const RunSummary jpeg = runWorkload(makeWorkload("ijpeg"));
+    const double go_rate =
+        static_cast<double>(go.taken) / go.branches;
+    const double jpeg_rate =
+        static_cast<double>(jpeg.taken) / jpeg.branches;
+    // ijpeg loop branches are strongly biased toward taken.
+    EXPECT_GT(jpeg_rate, 0.55);
+    EXPECT_LT(go_rate, 0.45);
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * confsim — command-line experiment driver.
+ *
+ * Runs one (workload, predictor, estimator) configuration through the
+ * pipeline or trace simulator and reports the paper's metrics. This is
+ * the ad-hoc exploration companion to the fixed benches in bench/.
+ *
+ *   confsim --workload go --predictor mcfarling --estimator satcnt-both
+ *   confsim --workload all --estimator jrs --csv
+ *   confsim --workload gcc --gate 2           # pipeline gating
+ *   confsim --list                            # show valid names
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "confidence/boosting.hh"
+#include "confidence/cir.hh"
+#include "confidence/distance.hh"
+#include "confidence/jrs.hh"
+#include "confidence/mcf_jrs.hh"
+#include "confidence/pattern.hh"
+#include "confidence/sat_counters.hh"
+#include "confidence/static_profile.hh"
+#include "harness/collectors.hh"
+#include "harness/trace_run.hh"
+#include "workloads/workload.hh"
+
+using namespace confsim;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "compress";
+    std::string predictor = "gshare";
+    std::string estimator = "jrs";
+    unsigned scale = 1;
+    std::uint64_t seed = 0x5eed;
+    bool traceMode = false;
+    bool csv = false;
+    bool eager = false;
+    int gateThreshold = -1;
+    unsigned jrsThreshold = 15;
+    unsigned distanceThreshold = 4;
+    double staticThreshold = 0.9;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: confsim [options]\n"
+        "  --workload NAME   workload or 'all' (default compress)\n"
+        "  --predictor NAME  bimodal|gshare|mcfarling|sag|pas|"
+        "gselect|gag\n"
+        "  --estimator NAME  jrs|jrs-base|satcnt|satcnt-both|"
+        "satcnt-either|\n"
+        "                    pattern|static|distance|cir-ones|"
+        "cir-table|\n"
+        "                    mcf-jrs|boost2|boost3|always-high|"
+        "always-low\n"
+        "  --scale N         workload repetition factor (default 1)\n"
+        "  --seed N          input-data seed (default 0x5eed)\n"
+        "  --trace           committed-only trace mode (default: "
+        "pipeline)\n"
+        "  --gate N          enable pipeline gating at N low-conf "
+        "branches\n"
+        "  --eager           enable selective eager execution "
+        "(forking)\n"
+        "  --jrs-thr N       JRS threshold (default 15)\n"
+        "  --dist-thr N      distance threshold (default 4)\n"
+        "  --static-thr F    static accuracy threshold (default 0.9)\n"
+        "  --csv             CSV output\n"
+        "  --list            list workloads/predictors/estimators\n");
+}
+
+PredictorKind
+parsePredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return PredictorKind::Bimodal;
+    if (name == "gshare")
+        return PredictorKind::Gshare;
+    if (name == "mcfarling")
+        return PredictorKind::McFarling;
+    if (name == "sag")
+        return PredictorKind::SAg;
+    if (name == "gselect")
+        return PredictorKind::Gselect;
+    if (name == "gag")
+        return PredictorKind::GAg;
+    if (name == "pas")
+        return PredictorKind::PAs;
+    std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+/** Build the requested estimator; `profile` outlives the estimator. */
+std::unique_ptr<ConfidenceEstimator>
+makeEstimator(const Options &opt, PredictorKind kind,
+              const ProfileTable &profile)
+{
+    const std::string &n = opt.estimator;
+    JrsConfig jrs;
+    jrs.threshold = opt.jrsThreshold;
+    if (n == "jrs")
+        return std::make_unique<JrsEstimator>(jrs);
+    if (n == "jrs-base") {
+        jrs.enhanced = false;
+        return std::make_unique<JrsEstimator>(jrs);
+    }
+    if (n == "satcnt")
+        return std::make_unique<SatCountersEstimator>(
+                kind == PredictorKind::McFarling
+                    ? SatCountersVariant::BothStrong
+                    : SatCountersVariant::Selected);
+    if (n == "satcnt-both")
+        return std::make_unique<SatCountersEstimator>(
+                SatCountersVariant::BothStrong);
+    if (n == "satcnt-either")
+        return std::make_unique<SatCountersEstimator>(
+                SatCountersVariant::EitherStrong);
+    if (n == "pattern")
+        return std::make_unique<PatternEstimator>();
+    if (n == "static")
+        return std::make_unique<StaticEstimator>(profile,
+                                                 opt.staticThreshold);
+    if (n == "distance")
+        return std::make_unique<DistanceEstimator>(
+                opt.distanceThreshold);
+    if (n == "cir-ones") {
+        CirConfig cir;
+        cir.mode = CirMode::OnesCount;
+        return std::make_unique<CirEstimator>(cir);
+    }
+    if (n == "cir-table") {
+        CirConfig cir;
+        cir.mode = CirMode::PatternTable;
+        return std::make_unique<CirEstimator>(cir);
+    }
+    if (n == "mcf-jrs")
+        return std::make_unique<McfJrsEstimator>();
+    if (n == "boost2" || n == "boost3")
+        return std::make_unique<BoostingEstimator>(
+                std::make_unique<JrsEstimator>(jrs),
+                n == "boost2" ? 2 : 3);
+    if (n == "always-high")
+        return std::make_unique<ConstantEstimator>(true);
+    if (n == "always-low")
+        return std::make_unique<ConstantEstimator>(false);
+    std::fprintf(stderr, "unknown estimator '%s'\n", n.c_str());
+    std::exit(1);
+}
+
+struct RunOutput
+{
+    QuadrantCounts quadrants;
+    PipelineStats pipe;
+    TraceRunStats trace;
+    bool pipeMode = false;
+};
+
+RunOutput
+runOne(const Options &opt, const WorkloadSpec &spec)
+{
+    WorkloadConfig wl;
+    wl.scale = opt.scale;
+    wl.seed = opt.seed;
+    const Program prog = spec.factory(wl);
+    const PredictorKind kind = parsePredictor(opt.predictor);
+
+    // Static estimator needs a profiling pass regardless of mode.
+    ProfileTable profile;
+    if (opt.estimator == "static") {
+        auto profiling_pred = makePredictor(kind);
+        profile = buildProfile(prog, *profiling_pred);
+    }
+
+    auto pred = makePredictor(kind);
+    auto est = makeEstimator(opt, kind, profile);
+
+    RunOutput out;
+    if (opt.traceMode) {
+        std::vector<ConfidenceEstimator *> ests = {est.get()};
+        out.trace = runTrace(prog, *pred, ests, {},
+                             [&out](const BranchEvent &ev) {
+                                 out.quadrants.record(
+                                         ev.correct, ev.estimate(0));
+                             });
+    } else {
+        out.pipeMode = true;
+        Pipeline pipe(prog, *pred);
+        const unsigned idx = pipe.attachEstimator(est.get());
+        if (opt.gateThreshold >= 0)
+            pipe.enableGating(
+                    idx, static_cast<unsigned>(opt.gateThreshold));
+        if (opt.eager)
+            pipe.enableEagerExecution(idx);
+        pipe.setSink([&out](const BranchEvent &ev) {
+            if (ev.willCommit)
+                out.quadrants.record(ev.correct, ev.estimate(0));
+        });
+        out.pipe = pipe.run();
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--predictor") {
+            opt.predictor = next();
+        } else if (arg == "--estimator") {
+            opt.estimator = next();
+        } else if (arg == "--scale") {
+            opt.scale = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--trace") {
+            opt.traceMode = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--gate") {
+            opt.gateThreshold = std::atoi(next());
+        } else if (arg == "--eager") {
+            opt.eager = true;
+        } else if (arg == "--jrs-thr") {
+            opt.jrsThreshold =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--dist-thr") {
+            opt.distanceThreshold =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--static-thr") {
+            opt.staticThreshold = std::atof(next());
+        } else if (arg == "--list") {
+            std::printf("workloads:");
+            for (const auto &spec : standardWorkloads())
+                std::printf(" %s", spec.name.c_str());
+            std::printf("\npredictors: bimodal gshare mcfarling sag "
+                        "pas gselect gag\n");
+            std::printf("estimators: jrs jrs-base satcnt satcnt-both "
+                        "satcnt-either pattern static\n"
+                        "            distance cir-ones cir-table "
+                        "mcf-jrs boost2 boost3 always-high\n"
+                        "            always-low\n");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    std::vector<WorkloadSpec> selected;
+    if (opt.workload == "all") {
+        selected = standardWorkloads();
+    } else {
+        for (const auto &spec : standardWorkloads())
+            if (spec.name == opt.workload)
+                selected.push_back(spec);
+        if (selected.empty()) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         opt.workload.c_str());
+            return 1;
+        }
+    }
+
+    TextTable table({"workload", "branches", "accuracy", "sens",
+                     "spec", "pvp", "pvn", "ipc", "ratio"});
+    std::vector<RunOutput> outputs;
+    for (const auto &spec : selected) {
+        outputs.push_back(runOne(opt, spec));
+        const RunOutput &out = outputs.back();
+        const QuadrantCounts &q = out.quadrants;
+        table.addRow(
+                {spec.name, TextTable::count(q.total()),
+                 TextTable::pct(q.accuracy(), 1),
+                 TextTable::pct(q.sens(), 1),
+                 TextTable::pct(q.spec(), 1),
+                 TextTable::pct(q.pvp(), 1),
+                 TextTable::pct(q.pvn(), 1),
+                 out.pipeMode ? TextTable::num(out.pipe.ipc(), 2)
+                              : std::string("-"),
+                 out.pipeMode
+                     ? TextTable::num(out.pipe.ratioAllToCommitted(),
+                                      2)
+                     : std::string("-")});
+    }
+
+    std::printf("predictor=%s estimator=%s mode=%s scale=%u%s%s\n",
+                opt.predictor.c_str(), opt.estimator.c_str(),
+                opt.traceMode ? "trace" : "pipeline", opt.scale,
+                opt.gateThreshold >= 0 ? " gating=on" : "",
+                opt.eager ? " eager=on" : "");
+    std::printf("%s", opt.csv ? table.renderCsv().c_str()
+                              : table.render().c_str());
+
+    if (!opt.traceMode && selected.size() == 1
+        && (opt.gateThreshold >= 0 || opt.eager)) {
+        const RunOutput &out = outputs.back();
+        if (opt.gateThreshold >= 0)
+            std::printf("gating: %llu gated fetch cycles, %llu "
+                        "recoveries\n",
+                        static_cast<unsigned long long>(
+                                out.pipe.gatedCycles),
+                        static_cast<unsigned long long>(
+                                out.pipe.recoveries));
+        if (opt.eager)
+            std::printf("eager: %llu forks, %llu rescues, %llu "
+                        "split-width cycles\n",
+                        static_cast<unsigned long long>(
+                                out.pipe.forkedBranches),
+                        static_cast<unsigned long long>(
+                                out.pipe.forkRescues),
+                        static_cast<unsigned long long>(
+                                out.pipe.forkedFetchCycles));
+    }
+    return 0;
+}
