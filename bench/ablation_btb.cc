@@ -37,9 +37,7 @@ main()
             Pipeline pipe(prog, *pred, pc);
             pipe.attachEstimator(&jrs);
             ConfidenceCollector collector(1);
-            pipe.setSink([&collector](const BranchEvent &ev) {
-                collector.onEvent(ev);
-            });
+            pipe.attachSink(&collector);
             const PipelineStats s = pipe.run();
             ipc[mode] = s.ipc();
             pvn[mode] = collector.committed(0).pvn();

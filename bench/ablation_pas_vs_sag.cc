@@ -40,9 +40,7 @@ main()
             Pipeline pipe(prog, *pred, cfg.pipeline);
             pipe.attachEstimator(&pattern);
             ConfidenceCollector collector(1);
-            pipe.setSink([&collector](const BranchEvent &ev) {
-                collector.onEvent(ev);
-            });
+            pipe.attachSink(&collector);
             const PipelineStats s = pipe.run();
             q[i] = collector.committed(0);
             acc[i] = s.committedAccuracy();

@@ -37,9 +37,7 @@ runStatic(const WorkloadSpec &spec, const ExperimentConfig &cfg,
     StaticEstimator est(profile, cfg.staticThreshold);
     pipe.attachEstimator(&est);
     ConfidenceCollector collector(1);
-    pipe.setSink([&collector](const BranchEvent &ev) {
-        collector.onEvent(ev);
-    });
+    pipe.attachSink(&collector);
     pipe.run();
     return collector.committed(0);
 }

@@ -84,7 +84,7 @@ eagerStudy(const ExperimentConfig &cfg)
     TextTable table({"application", "fork rate", "fork yield (PVN)",
                      "miss coverage (SPEC)", "est. speedup"});
     const std::vector<WorkloadResult> results =
-        runStandardSuite(PredictorKind::Gshare, cfg);
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg);
     for (const auto &r : results) {
         const EagerEstimate e = evaluateEagerExecution(
                 r.quadrants[EST_JRS], r.pipe);
@@ -108,7 +108,7 @@ inversionStudy(const ExperimentConfig &cfg)
     TextTable table({"application", "estimator PVN", "base accuracy",
                      "accuracy if LC inverted", "helps?"});
     const std::vector<WorkloadResult> results =
-        runStandardSuite(PredictorKind::Gshare, cfg);
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg);
     bool any_help = false;
     for (const auto &r : results) {
         const QuadrantCounts &q = r.quadrants[EST_JRS];

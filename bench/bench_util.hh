@@ -15,8 +15,11 @@
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "harness/collectors.hh"
 #include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
 #include "harness/level_sweep.hh"
+#include "harness/parallel_runner.hh"
 #include "workloads/workload.hh"
 
 namespace confsim
@@ -53,48 +56,57 @@ banner(const std::string &artifact, const std::string &description)
  * attached simultaneously, recording the raw MDC level of every
  * committed branch per configuration. One simulation pass therefore
  * yields quadrants for *every* threshold of every configuration.
+ * Workloads fan out over the parallel runner; each task owns its
+ * pipeline/predictor/estimator state, so results are deterministic.
  *
  * @param kind underlying predictor family.
  * @param jrs_configs JRS table geometries to probe.
  * @param cfg experiment knobs.
+ * @param jobs worker threads (0 = inline/serial).
  * @return [config][workload] level histograms.
  */
 inline std::vector<std::vector<LevelSweep>>
 runJrsLevelSweeps(PredictorKind kind,
                   const std::vector<JrsConfig> &jrs_configs,
-                  const ExperimentConfig &cfg)
+                  const ExperimentConfig &cfg,
+                  unsigned jobs = ThreadPool::hardwareConcurrency())
 {
+    const auto &specs = standardWorkloads();
+    ParallelRunner runner(jobs);
+    const auto per_workload = runner.map(
+            specs.size(), [&](std::size_t w) {
+                const auto prog = cachedProgram(specs[w], cfg.workload);
+                auto pred = makePredictor(kind);
+                Pipeline pipe(*prog, *pred, cfg.pipeline);
+
+                std::vector<std::unique_ptr<JrsEstimator>> estimators;
+                estimators.reserve(jrs_configs.size());
+                for (const auto &jrs_cfg : jrs_configs) {
+                    estimators.push_back(
+                            std::make_unique<JrsEstimator>(jrs_cfg));
+                    JrsEstimator *jrs = estimators.back().get();
+                    pipe.attachEstimator(jrs);
+                    pipe.attachLevelReader(jrs);
+                }
+
+                LevelCollector collector(jrs_configs.size(), 16);
+                pipe.attachSink(&collector);
+                pipe.run();
+
+                std::vector<LevelSweep> sweeps;
+                sweeps.reserve(jrs_configs.size());
+                for (std::size_t c = 0; c < jrs_configs.size(); ++c)
+                    sweeps.push_back(collector.sweep(c));
+                return sweeps;
+            });
+
+    // Transpose into the [config][workload] shape callers expect.
     std::vector<std::vector<LevelSweep>> sweeps(
             jrs_configs.size(),
-            std::vector<LevelSweep>(standardWorkloads().size(),
-                                    LevelSweep(16)));
-
-    for (std::size_t w = 0; w < standardWorkloads().size(); ++w) {
-        const Program prog =
-            standardWorkloads()[w].factory(cfg.workload);
-        auto pred = makePredictor(kind);
-        Pipeline pipe(prog, *pred, cfg.pipeline);
-
-        std::vector<std::unique_ptr<JrsEstimator>> estimators;
-        for (const auto &jrs_cfg : jrs_configs) {
-            estimators.push_back(
-                    std::make_unique<JrsEstimator>(jrs_cfg));
-            JrsEstimator *jrs = estimators.back().get();
-            pipe.attachEstimator(jrs);
-            pipe.attachLevelReader(
-                    [jrs](Addr pc, const BpInfo &info) {
-                        return jrs->readCounter(pc, info);
-                    });
-        }
-
-        pipe.setSink([&sweeps, w](const BranchEvent &ev) {
-            if (!ev.willCommit)
-                return;
-            for (std::size_t c = 0; c < sweeps.size(); ++c)
-                sweeps[c][w].record(ev.levels[c], ev.correct);
-        });
-        pipe.run();
-    }
+            std::vector<LevelSweep>(specs.size(), LevelSweep(16)));
+    for (std::size_t w = 0; w < specs.size(); ++w)
+        for (std::size_t c = 0; c < jrs_configs.size(); ++c)
+            sweeps[c][w] = per_workload[w][c];
     return sweeps;
 }
 

@@ -36,7 +36,7 @@ main()
 
     const ExperimentConfig cfg = benchConfig();
     const std::vector<WorkloadResult> results =
-        runStandardSuite(PredictorKind::Gshare, cfg);
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg);
 
     TextTable table({"estimator", "view", "accuracy", "sens", "spec",
                      "pvp", "pvn"});

@@ -39,9 +39,7 @@ measure(PredictorKind kind, const ExperimentConfig &cfg,
         for (auto &est : estimators)
             pipe.attachEstimator(est.get());
         ConfidenceCollector collector(estimators.size());
-        pipe.setSink([&collector](const BranchEvent &ev) {
-            collector.onEvent(ev);
-        });
+        pipe.attachSink(&collector);
         pipe.run();
         if (out.empty())
             out.resize(estimators.size());

@@ -57,9 +57,7 @@ main()
             const Program prog = spec.factory(cfg.workload);
             auto pred = makePredictor(kind);
             Pipeline pipe(prog, *pred, cfg.pipeline);
-            pipe.setSink([&dist](const BranchEvent &ev) {
-                dist.onEvent(ev);
-            });
+            pipe.attachSink(&dist);
             pipe.run();
         }
         printProfiles(kind == PredictorKind::Gshare

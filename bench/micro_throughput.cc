@@ -13,6 +13,8 @@
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
+#include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
 #include "pipeline/pipeline.hh"
 #include "uarch/machine.hh"
 #include "workloads/workload.hh"
@@ -97,8 +99,12 @@ BM_PipelineRun(benchmark::State &state)
 {
     const Program prog = makeWorkload("compress");
     for (auto _ : state) {
+        // Predictor/pipeline construction is setup, not the simulated
+        // work being measured — keep it out of the timed region.
+        state.PauseTiming();
         auto pred = makePredictor(PredictorKind::Gshare);
         Pipeline pipe(prog, *pred);
+        state.ResumeTiming();
         const PipelineStats s = pipe.run();
         benchmark::DoNotOptimize(s.cycles);
         state.SetItemsProcessed(
@@ -107,6 +113,30 @@ BM_PipelineRun(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_StandardSuite(benchmark::State &state)
+{
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    ExperimentConfig cfg;
+    // Warm the program/profile caches outside the timed region so the
+    // jobs sweep measures execution scaling, not first-build cost.
+    runStandardSuiteParallel(PredictorKind::Gshare, cfg, jobs);
+    for (auto _ : state) {
+        const auto results =
+            runStandardSuiteParallel(PredictorKind::Gshare, cfg, jobs);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetLabel("jobs=" + std::to_string(jobs));
+}
+// Work runs on pool threads: wall clock, not main-thread CPU time.
+BENCHMARK(BM_StandardSuite)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
 
 } // anonymous namespace
 } // namespace confsim

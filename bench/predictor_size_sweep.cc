@@ -41,9 +41,7 @@ main()
             Pipeline pipe(prog, pred, cfg.pipeline);
             pipe.attachEstimator(&jrs);
             ConfidenceCollector collector(1);
-            pipe.setSink([&collector](const BranchEvent &ev) {
-                collector.onEvent(ev);
-            });
+            pipe.attachSink(&collector);
             const PipelineStats s = pipe.run();
             runs.push_back(collector.committed(0));
             accuracy += s.committedAccuracy();

@@ -25,32 +25,36 @@ main()
     const auto jrs_sweeps =
         runJrsLevelSweeps(PredictorKind::Gshare, {cfg.jrs}, cfg);
 
+    ParallelRunner runner;
+
     // --- Distance: perceived fetch distance per committed branch. ---
-    std::vector<LevelSweep> dist_sweeps;
-    for (const auto &spec : standardWorkloads()) {
-        const Program prog = spec.factory(cfg.workload);
-        auto pred = makePredictor(PredictorKind::Gshare);
-        Pipeline pipe(prog, *pred, cfg.pipeline);
-        LevelSweep sweep(64);
-        pipe.setSink([&sweep](const BranchEvent &ev) {
-            if (ev.willCommit)
-                sweep.record(static_cast<unsigned>(std::min<
-                                     std::uint64_t>(
-                                     ev.perceivedDistAll - 1, 60)),
-                             ev.correct);
-        });
-        pipe.run();
-        dist_sweeps.push_back(std::move(sweep));
-    }
+    const std::vector<LevelSweep> dist_sweeps = runner.map(
+            standardWorkloads().size(), [&cfg](std::size_t w) {
+                const auto prog = cachedProgram(standardWorkloads()[w],
+                                                cfg.workload);
+                auto pred = makePredictor(PredictorKind::Gshare);
+                Pipeline pipe(*prog, *pred, cfg.pipeline);
+                LevelSweep sweep(64);
+                CallbackSink sink([&sweep](const BranchEvent &ev) {
+                    if (ev.willCommit)
+                        sweep.record(static_cast<unsigned>(std::min<
+                                             std::uint64_t>(
+                                             ev.perceivedDistAll - 1,
+                                             60)),
+                                     ev.correct);
+                });
+                pipe.attachSink(&sink);
+                pipe.run();
+                return sweep;
+            });
 
     // --- Static: accuracy-threshold sweep via the tuner. ---
-    std::vector<StaticTuner> tuners;
-    for (const auto &spec : standardWorkloads()) {
-        WorkloadConfig wl = cfg.workload;
-        const Program prog = spec.factory(wl);
-        tuners.push_back(
-                buildStaticTuner(prog, PredictorKind::Gshare));
-    }
+    const std::vector<StaticTuner> tuners = runner.map(
+            standardWorkloads().size(), [&cfg](std::size_t w) {
+                const auto prog = cachedProgram(standardWorkloads()[w],
+                                                cfg.workload);
+                return buildStaticTuner(*prog, PredictorKind::Gshare);
+            });
     auto static_at = [&tuners](double threshold) {
         std::vector<QuadrantCounts> runs;
         for (const auto &tuner : tuners)

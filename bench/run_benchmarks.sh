@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Run the google-benchmark microbenchmarks and record a JSON perf
+# baseline (BENCH_micro.json) for before/after comparisons.
+#
+#   bench/run_benchmarks.sh [build-dir] [output.json]
+#
+# Extra arguments for the benchmark binary can be passed via
+# BENCH_ARGS, e.g.:
+#   BENCH_ARGS='--benchmark_filter=BM_StandardSuite' bench/run_benchmarks.sh
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro.json}"
+BIN="$BUILD_DIR/bench/micro_throughput"
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not found or not executable." >&2
+    echo "Build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+exec "$BIN" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    ${BENCH_ARGS:-}

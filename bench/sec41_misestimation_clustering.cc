@@ -30,9 +30,7 @@ runConfig(const char *label, PredictorKind kind,
         Pipeline pipe(prog, *pred, cfg.pipeline);
         ConfidenceEstimator *est = make_estimator(cfg);
         pipe.attachEstimator(est);
-        pipe.setSink([&collector](const BranchEvent &ev) {
-            collector.onEvent(ev);
-        });
+        pipe.attachSink(&collector);
         pipe.run();
         delete est;
     }

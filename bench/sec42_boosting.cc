@@ -102,14 +102,15 @@ main()
         }
 
         ConfidenceCollector collector(MAX_DEGREE);
-        pipe.setSink([&](const BranchEvent &ev) {
-            collector.onEvent(ev);
+        pipe.attachSink(&collector);
+        CallbackSink window_sink([&windows](const BranchEvent &ev) {
             if (ev.willCommit) {
                 const bool low = !ev.estimate(0);
                 for (auto &w : windows)
                     w.onBranch(low, !ev.correct);
             }
         });
+        pipe.attachSink(&window_sink);
         pipe.run();
 
         plain_runs.push_back(collector.committed(0));

@@ -28,7 +28,7 @@ main()
         ExperimentConfig cfg = benchConfig();
         cfg.workload.seed = seed;
         const std::vector<WorkloadResult> results =
-            runStandardSuite(PredictorKind::Gshare, cfg);
+            runStandardSuiteParallel(PredictorKind::Gshare, cfg);
         double a = 0.0;
         for (const auto &r : results)
             a += r.pipe.committedAccuracy();

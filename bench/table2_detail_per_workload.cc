@@ -24,7 +24,7 @@ main()
         std::printf("=== %s predictor ===\n\n",
                     predictorKindName(kind));
         const std::vector<WorkloadResult> results =
-            runStandardSuite(kind, cfg);
+            runStandardSuiteParallel(kind, cfg);
 
         for (std::size_t e = 0; e < NUM_STANDARD_ESTIMATORS; ++e) {
             std::printf("%s\n", standardEstimatorNames()[e].c_str());

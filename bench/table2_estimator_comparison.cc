@@ -24,7 +24,7 @@ main()
           PredictorKind::SAg}) {
         std::printf("--- %s predictor ---\n", predictorKindName(kind));
         const std::vector<WorkloadResult> results =
-            runStandardSuite(kind, cfg);
+            runStandardSuiteParallel(kind, cfg);
 
         double accuracy = 0.0;
         for (const auto &r : results)

@@ -37,9 +37,7 @@ main()
         pipe.attachEstimator(&either);
 
         ConfidenceCollector collector(2);
-        pipe.setSink([&collector](const BranchEvent &ev) {
-            collector.onEvent(ev);
-        });
+        pipe.attachSink(&collector);
         pipe.run();
 
         const QuadrantCounts &bq = collector.committed(0);

@@ -29,27 +29,33 @@ PredictorData
 collect(PredictorKind kind, const ExperimentConfig &cfg)
 {
     PredictorData data;
-    data.standard = runStandardSuite(kind, cfg);
+    data.standard = runStandardSuiteParallel(kind, cfg);
 
-    for (const auto &spec : standardWorkloads()) {
-        const Program prog = spec.factory(cfg.workload);
-        auto pred = makePredictor(kind);
-        Pipeline pipe(prog, *pred, cfg.pipeline);
+    ParallelRunner runner;
+    data.distance = runner.map(
+            standardWorkloads().size(), [&](std::size_t w) {
+                const auto prog = cachedProgram(standardWorkloads()[w],
+                                                cfg.workload);
+                auto pred = makePredictor(kind);
+                Pipeline pipe(*prog, *pred, cfg.pipeline);
 
-        // The paper's distance estimator counts branches *fetched*
-        // since the last *resolved* misprediction — exactly the
-        // pipeline's perceived distance (minus the branch itself).
-        LevelSweep sweep(64);
-        pipe.setSink([&sweep](const BranchEvent &ev) {
-            if (!ev.willCommit)
-                return;
-            const std::uint64_t level =
-                std::min<std::uint64_t>(ev.perceivedDistAll - 1, 60);
-            sweep.record(static_cast<unsigned>(level), ev.correct);
-        });
-        pipe.run();
-        data.distance.push_back(std::move(sweep));
-    }
+                // The paper's distance estimator counts branches
+                // *fetched* since the last *resolved* misprediction —
+                // exactly the pipeline's perceived distance (minus the
+                // branch itself).
+                LevelSweep sweep(64);
+                CallbackSink sink([&sweep](const BranchEvent &ev) {
+                    if (!ev.willCommit)
+                        return;
+                    const std::uint64_t level = std::min<std::uint64_t>(
+                            ev.perceivedDistAll - 1, 60);
+                    sweep.record(static_cast<unsigned>(level),
+                                 ev.correct);
+                });
+                pipe.attachSink(&sink);
+                pipe.run();
+                return sweep;
+            });
     return data;
 }
 
@@ -106,7 +112,7 @@ main()
     // SAg history-pattern reference row.
     {
         const std::vector<WorkloadResult> sag =
-            runStandardSuite(PredictorKind::SAg, cfg);
+            runStandardSuiteParallel(PredictorKind::SAg, cfg);
         addEstimatorRow(table, "Hist. Pattern", "N.A.", "sag",
                         aggregateEstimator(sag, EST_PATTERN));
     }

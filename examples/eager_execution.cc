@@ -27,7 +27,7 @@ main()
 
     ExperimentConfig cfg;
     const std::vector<WorkloadResult> results =
-        runStandardSuite(PredictorKind::Gshare, cfg);
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg);
 
     TextTable table({"application", "policy", "fork rate",
                      "fork yield", "net cycles saved",

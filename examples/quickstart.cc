@@ -42,9 +42,7 @@ main(int argc, char **argv)
 
     // 4. Collect per-estimator quadrants from the branch event stream.
     ConfidenceCollector collector(2);
-    pipe.setSink([&collector](const BranchEvent &ev) {
-        collector.onEvent(ev);
-    });
+    pipe.attachSink(&collector);
 
     // 5. Run and report.
     const PipelineStats stats = pipe.run();

@@ -1,0 +1,58 @@
+#include "common/thread_pool.hh"
+
+namespace confsim
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job(); // packaged_task captures any exception in its future
+    }
+}
+
+} // namespace confsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for fan-out experiment execution.
+ *
+ * Tasks are arbitrary callables submitted through submit(), which
+ * returns a std::future carrying the task's result or exception.
+ * Determinism is the caller's job (the pool guarantees nothing about
+ * execution *order*, only completion); ParallelRunner layers
+ * submission-order result indexing on top.
+ */
+
+#ifndef CONFSIM_COMMON_THREAD_POOL_HH
+#define CONFSIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * A fixed-size std::thread pool.
+ *
+ * Degenerate modes: 0 threads executes every task inline at submit()
+ * (useful for debugging and as the serial reference); 1 thread gives
+ * fully ordered asynchronous execution.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = run tasks inline in submit(). */
+    explicit ThreadPool(unsigned threads = hardwareConcurrency());
+
+    /** Drains nothing: joins after finishing all queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (0 means inline execution). */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Best guess at the machine's hardware thread count (>= 1 even
+     * when the runtime cannot tell).
+     */
+    static unsigned hardwareConcurrency();
+
+    /**
+     * Queue @p fn for execution. The returned future carries the
+     * task's return value, or rethrows the exception it exited with.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+                std::forward<Fn>(fn));
+        std::future<Result> result = task->get_future();
+        if (workers.empty())
+            (*task)();
+        else
+            enqueue([task] { (*task)(); });
+        return result;
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_THREAD_POOL_HH

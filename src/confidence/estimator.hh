@@ -65,6 +65,48 @@ class ConfidenceEstimator
 };
 
 /**
+ * Probe exposing an integer confidence *level* (raw MDC value,
+ * distance count, counter state) at prediction time, for single-pass
+ * threshold sweeps. Estimators whose internal state is
+ * threshold-independent implement this alongside ConfidenceEstimator;
+ * harnesses attach sources non-owningly and dispatch through one
+ * virtual call per branch instead of a type-erased std::function.
+ */
+class LevelSource
+{
+  public:
+    virtual ~LevelSource() = default;
+
+    /** Raw level the prediction described by @p info maps to. */
+    virtual unsigned readLevel(Addr pc, const BpInfo &info) const = 0;
+};
+
+/**
+ * Adapts an ad-hoc callable to LevelSource, for probes that are not
+ * estimators (e.g. reading a BpInfo field directly):
+ *
+ *   CallbackLevelSource src([](Addr, const BpInfo &i) {
+ *       return i.counterValue;
+ *   });
+ *   pipe.attachLevelReader(&src);
+ */
+template <typename Fn>
+class CallbackLevelSource final : public LevelSource
+{
+  public:
+    explicit CallbackLevelSource(Fn fn) : fn(std::move(fn)) {}
+
+    unsigned
+    readLevel(Addr pc, const BpInfo &info) const override
+    {
+        return fn(pc, info);
+    }
+
+  private:
+    mutable Fn fn;
+};
+
+/**
  * Baseline estimator that assigns the same confidence to every branch.
  * estimate() == `value`. Useful as a degenerate reference: "always
  * high" has SENS = PVP-at-accuracy = p; "always low" has SPEC = 1 and

@@ -38,9 +38,10 @@ struct JrsConfig
 };
 
 /**
- * Table of resetting miss-distance counters.
+ * Table of resetting miss-distance counters. Also a LevelSource: the
+ * raw MDC value backs single-pass threshold sweeps.
  */
-class JrsEstimator : public ConfidenceEstimator
+class JrsEstimator : public ConfidenceEstimator, public LevelSource
 {
   public:
     /** @param config table geometry and threshold. */
@@ -58,6 +59,13 @@ class JrsEstimator : public ConfidenceEstimator
      * (the table state is threshold-independent).
      */
     unsigned readCounter(Addr pc, const BpInfo &info) const;
+
+    /** LevelSource: the raw MDC value. */
+    unsigned
+    readLevel(Addr pc, const BpInfo &info) const override
+    {
+        return readCounter(pc, info);
+    }
 
     /** Active threshold. */
     unsigned threshold() const { return cfg.threshold; }

@@ -24,7 +24,7 @@ namespace confsim
  * Quadrant counts per attached estimator, split into committed-only
  * (what the paper reports) and all-branch views.
  */
-class ConfidenceCollector
+class ConfidenceCollector : public BranchEventSink
 {
   public:
     /** @param num_estimators number of estimator bits in the events. */
@@ -35,7 +35,7 @@ class ConfidenceCollector
 
     /** Feed one branch event. */
     void
-    onEvent(const BranchEvent &ev)
+    onEvent(const BranchEvent &ev) override
     {
         for (std::size_t i = 0; i < committedQ.size(); ++i) {
             const bool high = ev.estimate(static_cast<unsigned>(i));
@@ -64,7 +64,7 @@ class ConfidenceCollector
  * Level sweeps per attached level reader (committed branches only,
  * matching the paper's reporting).
  */
-class LevelCollector
+class LevelCollector : public BranchEventSink
 {
   public:
     /**
@@ -78,7 +78,7 @@ class LevelCollector
 
     /** Feed one branch event. */
     void
-    onEvent(const BranchEvent &ev)
+    onEvent(const BranchEvent &ev) override
     {
         if (!ev.willCommit)
             return;
@@ -99,7 +99,7 @@ class LevelCollector
 /**
  * The four misprediction-distance profiles of Figures 6-9.
  */
-class DistanceCollector
+class DistanceCollector : public BranchEventSink
 {
   public:
     /** @param buckets distance buckets per profile. */
@@ -111,7 +111,7 @@ class DistanceCollector
 
     /** Feed one branch event. */
     void
-    onEvent(const BranchEvent &ev)
+    onEvent(const BranchEvent &ev) override
     {
         preciseAll.record(ev.preciseDistAll, !ev.correct);
         perceivedAll.record(ev.perceivedDistAll, !ev.correct);
@@ -135,7 +135,7 @@ class DistanceCollector
  * function of distance since the last mis-estimation, per estimator.
  * (A mis-estimation is HC-but-incorrect or LC-but-correct.)
  */
-class MisestimationCollector
+class MisestimationCollector : public BranchEventSink
 {
   public:
     /**
@@ -151,7 +151,7 @@ class MisestimationCollector
 
     /** Feed one branch event (committed stream only). */
     void
-    onEvent(const BranchEvent &ev)
+    onEvent(const BranchEvent &ev) override
     {
         if (!ev.willCommit)
             return;

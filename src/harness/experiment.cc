@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
 #include "harness/collectors.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/parallel_runner.hh"
 
 namespace confsim
 {
@@ -18,21 +20,39 @@ standardEstimatorNames()
     return names;
 }
 
+namespace
+{
+
+/** Self-profiling pass with a fresh predictor of the same kind (the
+ *  static method needs a predictor simulation, not an edge profile). */
+std::shared_ptr<const ProfileTable>
+selfProfile(PredictorKind kind, const Program &prog)
+{
+    auto profiling_pred = makePredictor(kind);
+    return std::make_shared<const ProfileTable>(
+            buildProfile(prog, *profiling_pred));
+}
+
+} // anonymous namespace
+
 StandardBundle::StandardBundle(PredictorKind kind, const Program &prog,
                                const ExperimentConfig &cfg)
+    : StandardBundle(kind, selfProfile(kind, prog), cfg)
 {
-    // Self-profiling pass with a fresh predictor of the same kind (the
-    // static method needs a predictor simulation, not an edge profile).
-    auto profiling_pred = makePredictor(kind);
-    profileTable = buildProfile(prog, *profiling_pred);
+}
 
+StandardBundle::StandardBundle(PredictorKind kind,
+                               std::shared_ptr<const ProfileTable> profile,
+                               const ExperimentConfig &cfg)
+    : profileTable(std::move(profile))
+{
     jrsEst = std::make_unique<JrsEstimator>(cfg.jrs);
     satcntEst = std::make_unique<SatCountersEstimator>(
             kind == PredictorKind::McFarling
                 ? SatCountersVariant::BothStrong
                 : SatCountersVariant::Selected);
     patternEst = std::make_unique<PatternEstimator>();
-    staticEst = std::make_unique<StaticEstimator>(profileTable,
+    staticEst = std::make_unique<StaticEstimator>(*profileTable,
                                                   cfg.staticThreshold);
     distanceEst =
         std::make_unique<DistanceEstimator>(cfg.distanceThreshold);
@@ -49,18 +69,18 @@ WorkloadResult
 runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
                       const ExperimentConfig &cfg)
 {
-    const Program prog = spec.factory(cfg.workload);
-    StandardBundle bundle(kind, prog, cfg);
+    // Shared immutable inputs (cached); fresh mutable state per run.
+    const auto prog = cachedProgram(spec, cfg.workload);
+    StandardBundle bundle(kind, cachedProfile(kind, spec, cfg.workload),
+                          cfg);
     auto pred = makePredictor(kind);
 
-    Pipeline pipe(prog, *pred, cfg.pipeline);
+    Pipeline pipe(*prog, *pred, cfg.pipeline);
     for (auto *estimator : bundle.estimators())
         pipe.attachEstimator(estimator);
 
     ConfidenceCollector collector(NUM_STANDARD_ESTIMATORS);
-    pipe.setSink([&collector](const BranchEvent &ev) {
-        collector.onEvent(ev);
-    });
+    pipe.attachSink(&collector);
 
     WorkloadResult result;
     result.workload = spec.name;
@@ -79,6 +99,17 @@ runStandardSuite(PredictorKind kind, const ExperimentConfig &cfg)
     for (const auto &spec : standardWorkloads())
         results.push_back(runStandardExperiment(kind, spec, cfg));
     return results;
+}
+
+std::vector<WorkloadResult>
+runStandardSuiteParallel(PredictorKind kind, const ExperimentConfig &cfg,
+                         unsigned jobs)
+{
+    const auto &specs = standardWorkloads();
+    ParallelRunner runner(jobs);
+    return runner.map(specs.size(), [&](std::size_t i) {
+        return runStandardExperiment(kind, specs[i], cfg);
+    });
 }
 
 QuadrantFractions

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bpred/branch_predictor.hh"
+#include "common/thread_pool.hh"
 #include "confidence/distance.hh"
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
@@ -53,8 +54,10 @@ struct ExperimentConfig
 
 /**
  * The standard estimator set for one (predictor kind, program) pair.
- * Construction runs the static estimator's self-profiling pass (with
- * its own fresh predictor instance, as the paper's method requires).
+ * The static estimator needs a self-profiling pass (with its own fresh
+ * predictor instance, as the paper's method requires); either pass a
+ * precomputed shared profile (see cachedProfile()) or let the
+ * program-taking constructor run the pass itself.
  */
 class StandardBundle
 {
@@ -68,6 +71,14 @@ class StandardBundle
     StandardBundle(PredictorKind kind, const Program &prog,
                    const ExperimentConfig &cfg);
 
+    /**
+     * Same estimator set over a precomputed (typically cached, shared
+     * across threads) profiling table.
+     */
+    StandardBundle(PredictorKind kind,
+                   std::shared_ptr<const ProfileTable> profile,
+                   const ExperimentConfig &cfg);
+
     /** Estimators in StandardEstimatorIndex order. */
     std::vector<ConfidenceEstimator *> estimators();
 
@@ -78,10 +89,10 @@ class StandardBundle
     DistanceEstimator &distance() { return *distanceEst; }
 
     /** The profile behind the static estimator. */
-    const ProfileTable &profile() const { return profileTable; }
+    const ProfileTable &profile() const { return *profileTable; }
 
   private:
-    ProfileTable profileTable;
+    std::shared_ptr<const ProfileTable> profileTable;
     std::unique_ptr<JrsEstimator> jrsEst;
     std::unique_ptr<SatCountersEstimator> satcntEst;
     std::unique_ptr<PatternEstimator> patternEst;
@@ -102,7 +113,12 @@ struct WorkloadResult
 
 /**
  * Build the workload, profile it, attach the standard estimator set to
- * a fresh predictor of @p kind, and run the pipeline model.
+ * a fresh predictor of @p kind, and run the pipeline model. Program
+ * construction and the profiling pass go through the process-wide
+ * caches (experiment_cache.hh): the same (spec, config) is built once
+ * per process, shared immutably, and every run still gets fresh
+ * predictor/estimator state — results are bit-identical to uncached
+ * runs.
  */
 WorkloadResult runStandardExperiment(PredictorKind kind,
                                      const WorkloadSpec &spec,
@@ -113,6 +129,16 @@ WorkloadResult runStandardExperiment(PredictorKind kind,
  */
 std::vector<WorkloadResult>
 runStandardSuite(PredictorKind kind, const ExperimentConfig &cfg);
+
+/**
+ * Drop-in parallel runStandardSuite: fans the workloads out over
+ * @p jobs worker threads (0 = inline/serial) with deterministic
+ * result ordering. Per-workload results — QuadrantCounts and
+ * PipelineStats — are bit-identical to the serial suite.
+ */
+std::vector<WorkloadResult>
+runStandardSuiteParallel(PredictorKind kind, const ExperimentConfig &cfg,
+                         unsigned jobs = ThreadPool::hardwareConcurrency());
 
 /**
  * Paper-style aggregate across workloads for estimator @p index:

@@ -1,0 +1,184 @@
+#include "harness/experiment_cache.hh"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "harness/trace_run.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/** Full content key of a cached Program. The factory pointer guards
+ *  against two specs registering the same name with different code. */
+struct ProgramKey
+{
+    WorkloadFactory factory;
+    std::string name;
+    unsigned scale;
+    std::uint64_t seed;
+
+    bool operator==(const ProgramKey &) const = default;
+};
+
+struct ProfileKey
+{
+    ProgramKey program;
+    PredictorKind kind;
+
+    bool operator==(const ProfileKey &) const = default;
+};
+
+inline std::size_t
+hashCombine(std::size_t h, std::size_t v)
+{
+    // boost::hash_combine's mixing constant.
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+struct ProgramKeyHash
+{
+    std::size_t
+    operator()(const ProgramKey &k) const
+    {
+        std::size_t h = std::hash<std::string>{}(k.name);
+        h = hashCombine(h,
+                        std::hash<void *>{}(
+                                reinterpret_cast<void *>(k.factory)));
+        h = hashCombine(h, std::hash<unsigned>{}(k.scale));
+        h = hashCombine(h, std::hash<std::uint64_t>{}(k.seed));
+        return h;
+    }
+};
+
+struct ProfileKeyHash
+{
+    std::size_t
+    operator()(const ProfileKey &k) const
+    {
+        return hashCombine(
+                ProgramKeyHash{}(k.program),
+                std::hash<int>{}(static_cast<int>(k.kind)));
+    }
+};
+
+/**
+ * Thread-safe find-or-build map. Each key owns a slot whose value is
+ * built exactly once via std::call_once; concurrent requests for the
+ * same key serialize on the slot, not on the whole cache.
+ */
+template <typename Key, typename Value, typename Hash>
+class BuildOnceCache
+{
+  public:
+    template <typename Builder>
+    std::shared_ptr<const Value>
+    getOrBuild(const Key &key, Builder build)
+    {
+        std::shared_ptr<Slot> slot;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            auto &entry = slots[key];
+            if (!entry)
+                entry = std::make_shared<Slot>();
+            slot = entry;
+        }
+        std::call_once(slot->once, [&] {
+            ++misses;
+            slot->value = std::make_shared<const Value>(build());
+        });
+        ++lookups;
+        return slot->value;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        slots.clear();
+        lookups = 0;
+        misses = 0;
+    }
+
+    std::uint64_t hits() const { return lookups - misses; }
+    std::uint64_t missCount() const { return misses; }
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const Value> value;
+    };
+
+    std::mutex mtx;
+    std::unordered_map<Key, std::shared_ptr<Slot>, Hash> slots;
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+BuildOnceCache<ProgramKey, Program, ProgramKeyHash> &
+programCache()
+{
+    static BuildOnceCache<ProgramKey, Program, ProgramKeyHash> cache;
+    return cache;
+}
+
+BuildOnceCache<ProfileKey, ProfileTable, ProfileKeyHash> &
+profileCache()
+{
+    static BuildOnceCache<ProfileKey, ProfileTable, ProfileKeyHash>
+            cache;
+    return cache;
+}
+
+ProgramKey
+programKey(const WorkloadSpec &spec, const WorkloadConfig &cfg)
+{
+    return {spec.factory, spec.name, cfg.scale, cfg.seed};
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const Program>
+cachedProgram(const WorkloadSpec &spec, const WorkloadConfig &cfg)
+{
+    return programCache().getOrBuild(
+            programKey(spec, cfg), [&] { return spec.factory(cfg); });
+}
+
+std::shared_ptr<const ProfileTable>
+cachedProfile(PredictorKind kind, const WorkloadSpec &spec,
+              const WorkloadConfig &cfg)
+{
+    const ProfileKey key{programKey(spec, cfg), kind};
+    return profileCache().getOrBuild(key, [&] {
+        const auto prog = cachedProgram(spec, cfg);
+        auto profiling_pred = makePredictor(kind);
+        return buildProfile(*prog, *profiling_pred);
+    });
+}
+
+ExperimentCacheStats
+experimentCacheStats()
+{
+    ExperimentCacheStats stats;
+    stats.programHits = programCache().hits();
+    stats.programMisses = programCache().missCount();
+    stats.profileHits = profileCache().hits();
+    stats.profileMisses = profileCache().missCount();
+    return stats;
+}
+
+void
+clearExperimentCaches()
+{
+    profileCache().clear();
+    programCache().clear();
+}
+
+} // namespace confsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Process-wide build caches for the expensive, *pure* stages of an
+ * experiment: synthetic Program construction and the static
+ * estimator's profiling pass. Both are deterministic functions of
+ * their inputs, so the cached objects are shared immutably across
+ * experiments (and across the parallel runner's worker threads)
+ * without changing any result bit.
+ *
+ * Keys are the content of the inputs — workload factory + name +
+ * WorkloadConfig for programs, plus the predictor kind for profiles —
+ * hashed for the index and compared in full on lookup. Lookups are
+ * thread-safe; concurrent misses on the same key build the value
+ * exactly once (later arrivals block until it is ready), while misses
+ * on distinct keys build concurrently.
+ */
+
+#ifndef CONFSIM_HARNESS_EXPERIMENT_CACHE_HH
+#define CONFSIM_HARNESS_EXPERIMENT_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/static_profile.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Hit/miss counters of the process-wide experiment caches. */
+struct ExperimentCacheStats
+{
+    std::uint64_t programHits = 0;
+    std::uint64_t programMisses = 0;
+    std::uint64_t profileHits = 0;
+    std::uint64_t profileMisses = 0;
+};
+
+/**
+ * The workload's Program, built at most once per process for a given
+ * (spec, config) and shared immutably afterwards.
+ */
+std::shared_ptr<const Program>
+cachedProgram(const WorkloadSpec &spec, const WorkloadConfig &cfg);
+
+/**
+ * The static-estimator ProfileTable for (kind, spec, config): the
+ * buildProfile() trace pass with a fresh predictor of @p kind over the
+ * cached Program, run at most once per process and shared afterwards.
+ */
+std::shared_ptr<const ProfileTable>
+cachedProfile(PredictorKind kind, const WorkloadSpec &spec,
+              const WorkloadConfig &cfg);
+
+/** Snapshot of the cache hit/miss counters. */
+ExperimentCacheStats experimentCacheStats();
+
+/** Drop all cached programs and profiles (outstanding shared_ptrs
+ *  stay valid) and zero the counters. Mainly for tests/benchmarks. */
+void clearExperimentCaches();
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_EXPERIMENT_CACHE_HH

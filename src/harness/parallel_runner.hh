@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic fan-out of independent experiment tasks over a
+ * ThreadPool. Results are indexed by submission order, so a parallel
+ * map over (predictor kind x workload x config) tuples returns exactly
+ * the vector the equivalent serial loop would — bit-identical as long
+ * as each task owns its mutable state (fresh predictor and estimators,
+ * no shared RNG), which is how the standard experiments are built.
+ */
+
+#ifndef CONFSIM_HARNESS_PARALLEL_RUNNER_HH
+#define CONFSIM_HARNESS_PARALLEL_RUNNER_HH
+
+#include <cstddef>
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace confsim
+{
+
+/**
+ * Owns a ThreadPool and maps index ranges over it.
+ *
+ * jobs == 0 runs every task inline (the serial reference path);
+ * jobs == 1 is serial on one worker thread. Exceptions thrown by a
+ * task are rethrown from map() once all submitted tasks finished.
+ */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker threads (0 = inline/serial). */
+    explicit ParallelRunner(unsigned jobs = ThreadPool::hardwareConcurrency())
+        : pool(jobs)
+    {
+    }
+
+    /** Worker threads backing this runner (0 = inline). */
+    unsigned jobs() const { return pool.threadCount(); }
+
+    /**
+     * Evaluate fn(0) .. fn(count - 1) concurrently and return the
+     * results in index order.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using Result = std::invoke_result_t<Fn &, std::size_t>;
+        std::vector<std::future<Result>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+
+        // Drain *every* future before rethrowing: queued tasks
+        // reference fn, which must outlive them.
+        std::vector<Result> results;
+        results.reserve(count);
+        std::exception_ptr first_error;
+        for (auto &future : futures) {
+            try {
+                results.push_back(future.get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return results;
+    }
+
+  private:
+    ThreadPool pool;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_PARALLEL_RUNNER_HH

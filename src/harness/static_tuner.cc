@@ -43,10 +43,10 @@ buildStaticTuner(const Program &prog, PredictorKind kind)
 
     StaticTuner tuner;
     auto tuning_pred = makePredictor(kind);
-    runTrace(prog, *tuning_pred, {}, {},
-             [&tuner, &profile](const BranchEvent &ev) {
-                 tuner.record(profile.accuracy(ev.pc), ev.correct);
-             });
+    CallbackSink recorder([&tuner, &profile](const BranchEvent &ev) {
+        tuner.record(profile.accuracy(ev.pc), ev.correct);
+    });
+    runTrace(prog, *tuning_pred, {}, {}, &recorder);
     return tuner;
 }
 

@@ -10,8 +10,8 @@ namespace confsim
 TraceRunStats
 runTrace(const Program &prog, BranchPredictor &pred,
          const std::vector<ConfidenceEstimator *> &estimators,
-         const std::vector<LevelReader> &level_readers,
-         const BranchSink &sink, std::uint64_t max_steps)
+         const std::vector<const LevelSource *> &level_sources,
+         BranchEventSink *sink, std::uint64_t max_steps)
 {
     TraceRunStats stats;
     Machine machine(prog);
@@ -48,9 +48,10 @@ runTrace(const Program &prog, BranchPredictor &pred,
                 ev.estimateBits |= (1u << i);
         }
         for (unsigned j = 0;
-             j < level_readers.size() && j < MAX_LEVEL_READERS; ++j) {
-            ev.levels[j] = static_cast<std::uint16_t>(
-                    std::min(level_readers[j](si.addr, info), 65535u));
+             j < level_sources.size() && j < MAX_LEVEL_READERS; ++j) {
+            ev.levels[j] = static_cast<std::uint16_t>(std::min(
+                    level_sources[j]->readLevel(si.addr, info),
+                    65535u));
         }
 
         if (correct) {
@@ -65,7 +66,7 @@ runTrace(const Program &prog, BranchPredictor &pred,
             estimator->update(si.addr, si.taken, correct, info);
 
         if (sink)
-            sink(ev);
+            sink->onEvent(ev);
     }
     return stats;
 }
@@ -75,11 +76,10 @@ buildProfile(const Program &prog, BranchPredictor &pred,
              std::uint64_t max_steps)
 {
     ProfileTable profile;
-    runTrace(prog, pred, {}, {},
-             [&profile](const BranchEvent &ev) {
-                 profile.record(ev.pc, ev.correct);
-             },
-             max_steps);
+    CallbackSink recorder([&profile](const BranchEvent &ev) {
+        profile.record(ev.pc, ev.correct);
+    });
+    runTrace(prog, pred, {}, {}, &recorder, max_steps);
     return profile;
 }
 

@@ -33,12 +33,14 @@ struct TraceRunStats
     std::uint64_t condBranches = 0;
     std::uint64_t mispredicts = 0;
 
-    /** Prediction accuracy over the committed stream. */
+    /** Prediction accuracy over the committed stream. A branch-free
+     *  run is perfectly predicted ("no opportunities, no mistakes",
+     *  the QuadrantFractions convention). */
     double
     accuracy() const
     {
         return condBranches == 0
-            ? 0.0
+            ? 1.0
             : 1.0 - static_cast<double>(mispredicts)
                 / static_cast<double>(condBranches);
     }
@@ -50,15 +52,16 @@ struct TraceRunStats
  * @param prog program to run.
  * @param pred predictor, trained with immediate update.
  * @param estimators estimators to query/train per branch (may be empty).
- * @param level_readers raw-level probes sampled before update.
- * @param sink per-branch event consumer (may be empty).
+ * @param level_sources raw-level probes sampled before update
+ *        (non-owning).
+ * @param sink per-branch event consumer (non-owning; may be null).
  * @param max_steps instruction safety bound.
  */
 TraceRunStats
 runTrace(const Program &prog, BranchPredictor &pred,
          const std::vector<ConfidenceEstimator *> &estimators = {},
-         const std::vector<LevelReader> &level_readers = {},
-         const BranchSink &sink = {},
+         const std::vector<const LevelSource *> &level_sources = {},
+         BranchEventSink *sink = nullptr,
          std::uint64_t max_steps = 2'000'000'000ull);
 
 /**

@@ -46,6 +46,9 @@ struct QuadrantCounts
     /** Total branches recorded. */
     std::uint64_t total() const { return chc + ihc + clc + ilc; }
 
+    /** Field-wise equality (used by the determinism tests). */
+    bool operator==(const QuadrantCounts &) const = default;
+
     /** Merge counts from another run. */
     QuadrantCounts &
     operator+=(const QuadrantCounts &other)

@@ -24,19 +24,25 @@ Pipeline::attachEstimator(ConfidenceEstimator *estimator)
 }
 
 unsigned
-Pipeline::attachLevelReader(LevelReader reader)
+Pipeline::attachLevelReader(const LevelSource *source)
 {
-    if (levelReaders.size() >= MAX_LEVEL_READERS)
+    if (levelSources.size() >= MAX_LEVEL_READERS)
         fatal("too many level readers attached");
-    levelReaders.push_back(std::move(reader));
-    return static_cast<unsigned>(levelReaders.size() - 1);
+    levelSources.push_back(source);
+    return static_cast<unsigned>(levelSources.size() - 1);
+}
+
+void
+Pipeline::attachSink(BranchEventSink *sink)
+{
+    sinks.push_back(sink);
 }
 
 void
 Pipeline::deliver(const BranchEvent &event)
 {
-    if (eventSink)
-        eventSink(event);
+    for (auto *sink : sinks)
+        sink->onEvent(event);
 }
 
 Cycle
@@ -243,8 +249,8 @@ Pipeline::fetchOne()
     for (unsigned i = 0; i < estimators.size(); ++i)
         if (estimators[i]->estimate(si.addr, info))
             ev.estimateBits |= (1u << i);
-    for (unsigned j = 0; j < levelReaders.size(); ++j) {
-        const unsigned level = levelReaders[j](si.addr, info);
+    for (unsigned j = 0; j < levelSources.size(); ++j) {
+        const unsigned level = levelSources[j]->readLevel(si.addr, info);
         ev.levels[j] = static_cast<std::uint16_t>(
                 std::min(level, 65535u));
     }

@@ -111,13 +111,52 @@ struct BranchEvent
 };
 
 /**
- * Receiver for branch events. Exactly one event is delivered per
- * fetched conditional branch, once its fate is known.
+ * Non-owning receiver for branch events. Exactly one event is
+ * delivered per fetched conditional branch, once its fate is known.
+ *
+ * The pipeline dispatches through this interface directly — resolved
+ * once at attach time, one indirect call per event — instead of a
+ * type-erased std::function on the hot path. Implementations must
+ * outlive the pipeline run they are attached to.
+ */
+class BranchEventSink
+{
+  public:
+    virtual ~BranchEventSink() = default;
+
+    /** Consume one branch event. */
+    virtual void onEvent(const BranchEvent &ev) = 0;
+};
+
+/**
+ * Adapts an ad-hoc callable to BranchEventSink. Intended for
+ * stack-allocated one-off sinks in tests and drivers:
+ *
+ *   CallbackSink sink([&](const BranchEvent &ev) { ... });
+ *   pipe.attachSink(&sink);
+ */
+template <typename Fn>
+class CallbackSink final : public BranchEventSink
+{
+  public:
+    explicit CallbackSink(Fn fn) : fn(std::move(fn)) {}
+
+    void
+    onEvent(const BranchEvent &ev) override
+    {
+        fn(ev);
+    }
+
+  private:
+    Fn fn;
+};
+
+/**
+ * Convenience type-erased event consumer for *cold* paths (synthetic
+ * stream generation). The pipeline itself never dispatches through
+ * this; use BranchEventSink there.
  */
 using BranchSink = std::function<void(const BranchEvent &)>;
-
-/** Probe reading an integer confidence level at prediction time. */
-using LevelReader = std::function<unsigned(Addr, const BpInfo &)>;
 
 /** Aggregate counters produced by a pipeline run. */
 struct PipelineStats
@@ -140,6 +179,9 @@ struct PipelineStats
     std::uint64_t dcacheAccesses = 0;
     std::uint64_t btbLookups = 0;
     std::uint64_t btbMisses = 0;
+
+    /** Field-wise equality (used by the determinism tests). */
+    bool operator==(const PipelineStats &) const = default;
 
     /** Committed instructions per cycle. */
     double
@@ -207,14 +249,17 @@ class Pipeline
     unsigned attachEstimator(ConfidenceEstimator *estimator);
 
     /**
-     * Attach a level reader sampled at fetch (e.g. the raw JRS MDC
-     * value) for single-pass threshold sweeps.
+     * Attach a level source sampled at fetch (e.g. the raw JRS MDC
+     * value) for single-pass threshold sweeps. Non-owning.
      * @return index into BranchEvent::levels.
      */
-    unsigned attachLevelReader(LevelReader reader);
+    unsigned attachLevelReader(const LevelSource *source);
 
-    /** Install the branch event sink (one sink; may be empty). */
-    void setSink(BranchSink sink) { eventSink = std::move(sink); }
+    /**
+     * Attach a branch event sink (non-owning; must outlive the run).
+     * Events are delivered to all attached sinks in attach order.
+     */
+    void attachSink(BranchEventSink *sink);
 
     /**
      * Enable confidence-driven pipeline gating (the paper's power
@@ -312,8 +357,8 @@ class Pipeline
     Btb btb;
 
     std::vector<ConfidenceEstimator *> estimators;
-    std::vector<LevelReader> levelReaders;
-    BranchSink eventSink;
+    std::vector<const LevelSource *> levelSources;
+    std::vector<BranchEventSink *> sinks;
 
     std::deque<InFlight> inflight;
     PipelineStats stats;

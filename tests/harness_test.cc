@@ -42,15 +42,27 @@ TEST(TraceRunTest, CountsMatchFunctionalExecution)
     EXPECT_LT(s.accuracy(), 1.0);
 }
 
+TEST(TraceRunTest, AccuracyIsPerfectOnBranchFreeRun)
+{
+    // No opportunities, no mistakes: an empty committed stream must
+    // report accuracy 1.0, not 0.0 (regression: gating policies read
+    // this as "everything mispredicted" and stalled branch-free runs).
+    TraceRunStats s;
+    s.instructions = 100;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+
+    s.condBranches = 4;
+    s.mispredicts = 1;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.75);
+}
+
 TEST(TraceRunTest, SinkSeesEveryBranch)
 {
     const Program prog = makeWorkload("m88ksim");
     GsharePredictor pred;
     std::uint64_t events = 0;
-    const TraceRunStats s = runTrace(prog, pred, {}, {},
-                                     [&events](const BranchEvent &) {
-                                         ++events;
-                                     });
+    CallbackSink sink([&events](const BranchEvent &) { ++events; });
+    const TraceRunStats s = runTrace(prog, pred, {}, {}, &sink);
     EXPECT_EQ(events, s.condBranches);
 }
 
@@ -58,11 +70,12 @@ TEST(TraceRunTest, EventsAreAllCommittedWithConsistentDistances)
 {
     const Program prog = makeWorkload("ijpeg");
     GsharePredictor pred;
-    runTrace(prog, pred, {}, {}, [](const BranchEvent &ev) {
+    CallbackSink sink([](const BranchEvent &ev) {
         ASSERT_TRUE(ev.willCommit);
         ASSERT_EQ(ev.preciseDistAll, ev.perceivedDistAll);
         ASSERT_GE(ev.preciseDistCommitted, 1u);
     });
+    runTrace(prog, pred, {}, {}, &sink);
 }
 
 TEST(TraceRunTest, EstimatorUpdatesFlow)
@@ -71,10 +84,7 @@ TEST(TraceRunTest, EstimatorUpdatesFlow)
     GsharePredictor pred;
     JrsEstimator jrs;
     ConfidenceCollector collector(1);
-    runTrace(prog, pred, {&jrs}, {},
-             [&collector](const BranchEvent &ev) {
-                 collector.onEvent(ev);
-             });
+    runTrace(prog, pred, {&jrs}, {}, &collector);
     const QuadrantCounts &q = collector.committed(0);
     EXPECT_GT(q.total(), 0u);
     // JRS must mark *some* branches high confidence once trained.
@@ -122,10 +132,7 @@ TEST(ProfileTest, SelfProfiledStaticEstimatorIsUseful)
     GsharePredictor pred;
     ConfidenceCollector collector(1);
     std::vector<ConfidenceEstimator *> ests = {&est};
-    runTrace(prog, pred, ests, {},
-             [&collector](const BranchEvent &ev) {
-                 collector.onEvent(ev);
-             });
+    runTrace(prog, pred, ests, {}, &collector);
     const QuadrantCounts &q = collector.committed(0);
     // Self-profiled static estimation should be strongly informative:
     // PVP well above the base accuracy.
@@ -195,10 +202,7 @@ TEST(LevelSweepTest, SweepEquivalentToDirectEstimator)
         GsharePredictor pred;
         JrsEstimator jrs; // threshold 15 default
         ConfidenceCollector collector(1);
-        runTrace(prog, pred, {&jrs}, {},
-                 [&collector](const BranchEvent &ev) {
-                     collector.onEvent(ev);
-                 });
+        runTrace(prog, pred, {&jrs}, {}, &collector);
         direct = collector.committed(0);
     }
 
@@ -209,14 +213,11 @@ TEST(LevelSweepTest, SweepEquivalentToDirectEstimator)
         JrsEstimator jrs;
         LevelSweep sweep(16);
         std::vector<ConfidenceEstimator *> ests = {&jrs};
-        std::vector<LevelReader> readers = {
-            [&jrs](Addr pc, const BpInfo &info) {
-                return jrs.readCounter(pc, info);
-            }};
-        runTrace(prog, pred, ests, readers,
-                 [&sweep](const BranchEvent &ev) {
-                     sweep.record(ev.levels[0], ev.correct);
-                 });
+        std::vector<const LevelSource *> readers = {&jrs};
+        CallbackSink sink([&sweep](const BranchEvent &ev) {
+            sweep.record(ev.levels[0], ev.correct);
+        });
+        runTrace(prog, pred, ests, readers, &sink);
         swept = sweep.atThresholdGe(threshold);
     }
 

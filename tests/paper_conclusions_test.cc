@@ -40,7 +40,7 @@ class PaperConclusionsTest : public ::testing::Test
              {PredictorKind::Gshare, PredictorKind::McFarling,
               PredictorKind::SAg}) {
             SuiteData data;
-            data.results = runStandardSuite(kind, cfg);
+            data.results = runStandardSuiteParallel(kind, cfg);
             for (std::size_t e = 0; e < NUM_STANDARD_ESTIMATORS; ++e)
                 data.agg[e] = aggregateEstimator(data.results, e);
             for (const auto &r : data.results)
@@ -51,14 +51,11 @@ class PaperConclusionsTest : public ::testing::Test
         }
 
         // Distance profiles under gshare.
-        DistanceCollector dist(64);
         for (const auto &spec : standardWorkloads()) {
             const Program prog = spec.factory(cfg.workload);
             auto pred = makePredictor(PredictorKind::Gshare);
             Pipeline pipe(prog, *pred, cfg.pipeline);
-            pipe.setSink([](const BranchEvent &ev) {
-                distance().onEvent(ev);
-            });
+            pipe.attachSink(&distance());
             pipe.run();
         }
     }

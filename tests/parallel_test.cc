@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: the thread pool, the
+ * deterministic ParallelRunner, the program/profile caches, and the
+ * headline guarantee — runStandardSuiteParallel is bit-identical to
+ * the serial suite for every predictor kind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/parallel_runner.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FuturesCarryResults)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+            []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    const auto submitter = std::this_thread::get_id();
+    auto f = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_EQ(f.get(), submitter);
+}
+
+TEST(ThreadPoolTest, WorkersRunOffTheSubmittingThread)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    const auto submitter = std::this_thread::get_id();
+    auto f = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_NE(f.get(), submitter);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter] { ++counter; });
+        // No get(): the destructor must still run everything queued.
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+// --------------------------------------------------------- parallel runner
+
+TEST(ParallelRunnerTest, ResultsInSubmissionOrder)
+{
+    for (const unsigned jobs : {0u, 1u, 4u, 8u}) {
+        ParallelRunner runner(jobs);
+        const auto out = runner.map(
+                200, [](std::size_t i) { return i * i; });
+        ASSERT_EQ(out.size(), 200u);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(ParallelRunnerTest, FirstExceptionRethrownAfterDrain)
+{
+    ParallelRunner runner(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(runner.map(50,
+                            [&completed](std::size_t i) -> int {
+                                if (i == 7)
+                                    throw std::runtime_error("task 7");
+                                ++completed;
+                                return 0;
+                            }),
+                 std::runtime_error);
+    // Every non-throwing task still ran to completion.
+    EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ParallelRunnerTest, EmptyMapIsFine)
+{
+    ParallelRunner runner(2);
+    const auto out =
+        runner.map(0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------------------------ caches
+
+class ExperimentCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearExperimentCaches(); }
+    void TearDown() override { clearExperimentCaches(); }
+};
+
+TEST_F(ExperimentCacheTest, SameSpecAndConfigShareOneProgram)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig cfg;
+    const auto a = cachedProgram(spec, cfg);
+    const auto b = cachedProgram(spec, cfg);
+    EXPECT_EQ(a.get(), b.get());
+    const ExperimentCacheStats stats = experimentCacheStats();
+    EXPECT_EQ(stats.programMisses, 1u);
+    EXPECT_EQ(stats.programHits, 1u);
+}
+
+TEST_F(ExperimentCacheTest, DifferentSeedsBuildDifferentPrograms)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig cfg_a, cfg_b;
+    cfg_b.seed = cfg_a.seed + 1;
+    const auto a = cachedProgram(spec, cfg_a);
+    const auto b = cachedProgram(spec, cfg_b);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(experimentCacheStats().programMisses, 2u);
+}
+
+TEST_F(ExperimentCacheTest, ProfileCacheKeyedOnPredictorKind)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig cfg;
+    const auto a = cachedProfile(PredictorKind::Gshare, spec, cfg);
+    const auto b = cachedProfile(PredictorKind::Gshare, spec, cfg);
+    const auto c = cachedProfile(PredictorKind::SAg, spec, cfg);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    const ExperimentCacheStats stats = experimentCacheStats();
+    EXPECT_EQ(stats.profileMisses, 2u);
+    EXPECT_EQ(stats.profileHits, 1u);
+}
+
+TEST_F(ExperimentCacheTest, ConcurrentMissesBuildOnce)
+{
+    const WorkloadSpec &spec = standardWorkloads()[1];
+    WorkloadConfig cfg;
+    ParallelRunner runner(8);
+    const auto progs = runner.map(32, [&](std::size_t) {
+        return cachedProgram(spec, cfg);
+    });
+    for (const auto &p : progs)
+        EXPECT_EQ(p.get(), progs[0].get());
+    EXPECT_EQ(experimentCacheStats().programMisses, 1u);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(ParallelSuiteTest, BitIdenticalToSerialForEveryPredictor)
+{
+    ExperimentConfig cfg; // scale 1 keeps this quick
+    for (const auto kind :
+         {PredictorKind::Gshare, PredictorKind::McFarling,
+          PredictorKind::SAg}) {
+        const std::vector<WorkloadResult> serial =
+            runStandardSuite(kind, cfg);
+        const std::vector<WorkloadResult> parallel =
+            runStandardSuiteParallel(kind, cfg, 8);
+
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].workload, parallel[i].workload);
+            EXPECT_TRUE(serial[i].pipe == parallel[i].pipe);
+            ASSERT_EQ(serial[i].quadrants.size(),
+                      parallel[i].quadrants.size());
+            for (std::size_t e = 0; e < serial[i].quadrants.size();
+                 ++e) {
+                EXPECT_EQ(serial[i].quadrants[e],
+                          parallel[i].quadrants[e]);
+                EXPECT_EQ(serial[i].quadrantsAll[e],
+                          parallel[i].quadrantsAll[e]);
+            }
+        }
+    }
+}
+
+TEST(ParallelSuiteTest, RepeatedParallelRunsAreIdentical)
+{
+    ExperimentConfig cfg;
+    const auto a =
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg, 8);
+    const auto b =
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].pipe == b[i].pipe);
+        EXPECT_EQ(a[i].quadrants, b[i].quadrants);
+    }
+}
+
+} // anonymous namespace
+} // namespace confsim

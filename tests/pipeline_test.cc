@@ -125,10 +125,11 @@ TEST(PipelineTest, CommittedBranchStreamUnchangedBySpeculation)
     GsharePredictor pred;
     Pipeline pipe(prog, pred);
     std::vector<std::pair<Addr, bool>> committed;
-    pipe.setSink([&committed](const BranchEvent &ev) {
+    CallbackSink sink([&committed](const BranchEvent &ev) {
         if (ev.willCommit)
             committed.emplace_back(ev.pc, ev.taken);
     });
+    pipe.attachSink(&sink);
     pipe.run();
     ASSERT_EQ(committed.size(), functional.size());
     EXPECT_TRUE(committed == functional);
@@ -140,12 +141,13 @@ TEST(PipelineTest, EveryBranchEventDeliveredExactlyOnce)
     GsharePredictor pred;
     Pipeline pipe(prog, pred);
     std::uint64_t committed_events = 0, squashed_events = 0;
-    pipe.setSink([&](const BranchEvent &ev) {
+    CallbackSink sink([&](const BranchEvent &ev) {
         if (ev.willCommit)
             ++committed_events;
         else
             ++squashed_events;
     });
+    pipe.attachSink(&sink);
     const PipelineStats s = pipe.run();
     EXPECT_EQ(committed_events, s.committedCondBranches);
     EXPECT_EQ(committed_events + squashed_events, s.allCondBranches);
@@ -169,13 +171,14 @@ TEST(PipelineTest, PerceivedDistanceRestartsAfterRecovery)
     BimodalPredictor pred;
     Pipeline pipe(prog, pred);
     std::uint64_t ones = 0, committed = 0;
-    pipe.setSink([&](const BranchEvent &ev) {
+    CallbackSink sink([&](const BranchEvent &ev) {
         if (!ev.willCommit)
             return;
         ++committed;
         if (ev.perceivedDistCommitted == 1)
             ++ones;
     });
+    pipe.attachSink(&sink);
     const PipelineStats s = pipe.run();
     // Every recovery resets the perceived distance, so distance-1
     // branches must be at least as frequent as recoveries.
@@ -189,7 +192,7 @@ TEST(PipelineTest, MispredictionClusteringVisibleInProfile)
     GsharePredictor pred;
     Pipeline pipe(prog, pred);
     DistanceCollector dist;
-    pipe.setSink([&dist](const BranchEvent &ev) { dist.onEvent(ev); });
+    pipe.attachSink(&dist);
     pipe.run();
     // The paper's Fig. 6 shape: branches right after a misprediction
     // mispredict far more often than average.
@@ -206,11 +209,12 @@ TEST(PipelineTest, EstimatorBitsFollowAttachOrder)
     const unsigned i_low = pipe.attachEstimator(&low);
     const unsigned i_high = pipe.attachEstimator(&high);
     bool checked = false;
-    pipe.setSink([&](const BranchEvent &ev) {
+    CallbackSink sink([&](const BranchEvent &ev) {
         EXPECT_FALSE(ev.estimate(i_low));
         EXPECT_TRUE(ev.estimate(i_high));
         checked = true;
     });
+    pipe.attachSink(&sink);
     pipe.run();
     EXPECT_TRUE(checked);
 }
@@ -220,14 +224,16 @@ TEST(PipelineTest, LevelReadersSampled)
     const Program prog = countdownLoop(50);
     BimodalPredictor pred;
     Pipeline pipe(prog, pred);
-    const unsigned idx = pipe.attachLevelReader(
+    CallbackLevelSource counter_level(
             [](Addr, const BpInfo &info) { return info.counterValue; });
+    const unsigned idx = pipe.attachLevelReader(&counter_level);
     std::uint64_t committed_samples = 0;
-    pipe.setSink([&](const BranchEvent &ev) {
+    CallbackSink sink([&](const BranchEvent &ev) {
         EXPECT_LE(ev.levels[idx], 3u);
         if (ev.willCommit)
             ++committed_samples;
     });
+    pipe.attachSink(&sink);
     pipe.run();
     EXPECT_EQ(committed_samples, 50u);
 }

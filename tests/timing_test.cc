@@ -243,9 +243,7 @@ TEST(PipelineTimingTest, ConfidenceMetricsTimingInsensitive)
         Pipeline pipe(prog, pred, cfg);
         pipe.attachEstimator(&jrs);
         ConfidenceCollector collector(1);
-        pipe.setSink([&collector](const BranchEvent &ev) {
-            collector.onEvent(ev);
-        });
+        pipe.attachSink(&collector);
         pipe.run();
         q[i++] = collector.committed(0);
     }
@@ -300,9 +298,7 @@ TEST(EagerPipelineTest, RescueRateTracksPvn)
     const unsigned idx = pipe.attachEstimator(&jrs);
     pipe.enableEagerExecution(idx);
     ConfidenceCollector collector(1);
-    pipe.setSink([&collector](const BranchEvent &ev) {
-        collector.onEvent(ev);
-    });
+    pipe.attachSink(&collector);
     const PipelineStats s = pipe.run();
     const double rescue_rate = static_cast<double>(s.forkRescues)
         / static_cast<double>(s.forkedBranches);

@@ -29,6 +29,8 @@
 #include "confidence/sat_counters.hh"
 #include "confidence/static_profile.hh"
 #include "harness/collectors.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/trace_run.hh"
 #include "workloads/workload.hh"
 
@@ -51,6 +53,7 @@ struct Options
     unsigned jrsThreshold = 15;
     unsigned distanceThreshold = 4;
     double staticThreshold = 0.9;
+    unsigned jobs = ThreadPool::hardwareConcurrency();
 };
 
 void
@@ -78,6 +81,9 @@ usage()
         "  --jrs-thr N       JRS threshold (default 15)\n"
         "  --dist-thr N      distance threshold (default 4)\n"
         "  --static-thr F    static accuracy threshold (default 0.9)\n"
+        "  --jobs N          worker threads for --workload all "
+        "(default:\n"
+        "                    hardware concurrency; 0 or 1 = serial)\n"
         "  --csv             CSV output\n"
         "  --list            list workloads/predictors/estimators\n");
 }
@@ -174,40 +180,37 @@ runOne(const Options &opt, const WorkloadSpec &spec)
     WorkloadConfig wl;
     wl.scale = opt.scale;
     wl.seed = opt.seed;
-    const Program prog = spec.factory(wl);
+    const auto prog = cachedProgram(spec, wl);
     const PredictorKind kind = parsePredictor(opt.predictor);
 
     // Static estimator needs a profiling pass regardless of mode.
     ProfileTable profile;
     if (opt.estimator == "static") {
         auto profiling_pred = makePredictor(kind);
-        profile = buildProfile(prog, *profiling_pred);
+        profile = buildProfile(*prog, *profiling_pred);
     }
 
     auto pred = makePredictor(kind);
     auto est = makeEstimator(opt, kind, profile);
 
     RunOutput out;
+    CallbackSink sink([&out](const BranchEvent &ev) {
+        if (ev.willCommit)
+            out.quadrants.record(ev.correct, ev.estimate(0));
+    });
     if (opt.traceMode) {
         std::vector<ConfidenceEstimator *> ests = {est.get()};
-        out.trace = runTrace(prog, *pred, ests, {},
-                             [&out](const BranchEvent &ev) {
-                                 out.quadrants.record(
-                                         ev.correct, ev.estimate(0));
-                             });
+        out.trace = runTrace(*prog, *pred, ests, {}, &sink);
     } else {
         out.pipeMode = true;
-        Pipeline pipe(prog, *pred);
+        Pipeline pipe(*prog, *pred);
         const unsigned idx = pipe.attachEstimator(est.get());
         if (opt.gateThreshold >= 0)
             pipe.enableGating(
                     idx, static_cast<unsigned>(opt.gateThreshold));
         if (opt.eager)
             pipe.enableEagerExecution(idx);
-        pipe.setSink([&out](const BranchEvent &ev) {
-            if (ev.willCommit)
-                out.quadrants.record(ev.correct, ev.estimate(0));
-        });
+        pipe.attachSink(&sink);
         out.pipe = pipe.run();
     }
     return out;
@@ -255,6 +258,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--static-thr") {
             opt.staticThreshold = std::atof(next());
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--list") {
             std::printf("workloads:");
             for (const auto &spec : standardWorkloads())
@@ -292,12 +297,18 @@ main(int argc, char **argv)
         }
     }
 
+    // Fan the selected workloads out over the worker pool (a single
+    // workload runs inline); results come back in selection order.
+    ParallelRunner runner(selected.size() > 1 ? opt.jobs : 0);
+    const std::vector<RunOutput> outputs = runner.map(
+            selected.size(),
+            [&](std::size_t i) { return runOne(opt, selected[i]); });
+
     TextTable table({"workload", "branches", "accuracy", "sens",
                      "spec", "pvp", "pvn", "ipc", "ratio"});
-    std::vector<RunOutput> outputs;
-    for (const auto &spec : selected) {
-        outputs.push_back(runOne(opt, spec));
-        const RunOutput &out = outputs.back();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const WorkloadSpec &spec = selected[i];
+        const RunOutput &out = outputs[i];
         const QuadrantCounts &q = out.quadrants;
         table.addRow(
                 {spec.name, TextTable::count(q.total()),
