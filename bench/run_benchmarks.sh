@@ -1,8 +1,13 @@
 #!/usr/bin/env sh
-# Run the google-benchmark microbenchmarks and record a JSON perf
-# baseline (BENCH_micro.json) for before/after comparisons.
+# Run the google-benchmark microbenchmarks and record two JSON
+# baselines for before/after comparisons:
+#   BENCH_micro.json  - timings from google-benchmark
+#   BENCH_stats.json  - per-component simulator stats (predictor,
+#                       estimators, caches, BTB, pipeline) from
+#                       `confsim --json`, so perf regressions can be
+#                       separated from behavioural ones.
 #
-#   bench/run_benchmarks.sh [build-dir] [output.json]
+#   bench/run_benchmarks.sh [build-dir] [output.json] [stats.json]
 #
 # Extra arguments for the benchmark binary can be passed via
 # BENCH_ARGS, e.g.:
@@ -11,12 +16,21 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro.json}"
+STATS_OUT="${3:-BENCH_stats.json}"
 BIN="$BUILD_DIR/bench/micro_throughput"
+CLI="$BUILD_DIR/tools/confsim"
 
 if [ ! -x "$BIN" ]; then
     echo "error: $BIN not found or not executable." >&2
     echo "Build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
     exit 1
+fi
+
+if [ -x "$CLI" ]; then
+    echo "Recording per-component stats baseline -> $STATS_OUT"
+    "$CLI" --workload all --estimator jrs --gate 2 --json > "$STATS_OUT"
+else
+    echo "warning: $CLI not built; skipping stats baseline." >&2
 fi
 
 exec "$BIN" \

@@ -29,8 +29,15 @@ BimodalPredictor::counterAt(Addr pc) const
     return table[index(pc)];
 }
 
+void
+BimodalPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("table_entries", cfg.tableEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+}
+
 BpInfo
-BimodalPredictor::predict(Addr pc)
+BimodalPredictor::doPredict(Addr pc)
 {
     const SatCounter &ctr = table[index(pc)];
     BpInfo info;
@@ -41,14 +48,14 @@ BimodalPredictor::predict(Addr pc)
 }
 
 void
-BimodalPredictor::update(Addr pc, bool taken, const BpInfo &info)
+BimodalPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     (void)info;
     table[index(pc)].update(taken);
 }
 
 void
-BimodalPredictor::reset()
+BimodalPredictor::doReset()
 {
     for (auto &ctr : table)
         ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);

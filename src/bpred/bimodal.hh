@@ -21,6 +21,8 @@ struct BimodalConfig
 {
     std::size_t tableEntries = 4096; ///< power-of-two counter count
     unsigned counterBits = 2;        ///< counter width
+
+    bool operator==(const BimodalConfig &) const = default;
 };
 
 /**
@@ -32,13 +34,16 @@ class BimodalPredictor : public BranchPredictor
     /** @param config table geometry. */
     explicit BimodalPredictor(const BimodalConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override { return "bimodal"; }
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Direct counter access for the combining predictor. */
     const SatCounter &counterAt(Addr pc) const;
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t index(Addr pc) const;

@@ -25,6 +25,8 @@
 #include <memory>
 #include <string>
 
+#include "common/sim_object.hh"
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace confsim
@@ -66,18 +68,35 @@ struct BpInfo
 
 /**
  * Interface shared by every direction predictor.
+ *
+ * The public predict()/update() entry points are non-virtual: they
+ * maintain the predictor-level statistics every SimObject reports
+ * through the StatsRegistry, then dispatch to the concrete
+ * implementation (doPredict/doUpdate). reset() restores the power-on
+ * table state *and* zeroes the statistics.
  */
-class BranchPredictor
+class BranchPredictor : public SimObject
 {
   public:
-    virtual ~BranchPredictor() = default;
+    /** Registry-visible predictor statistics. */
+    struct Stats
+    {
+        std::uint64_t predicts = 0;    ///< predict() calls
+        std::uint64_t updates = 0;     ///< resolved branches trained
+        std::uint64_t mispredicts = 0; ///< trained with a wrong guess
+    };
 
     /**
      * Predict the direction of the conditional branch at @p pc.
      * Speculative-history predictors shift the predicted direction into
      * their global history as a side effect.
      */
-    virtual BpInfo predict(Addr pc) = 0;
+    BpInfo
+    predict(Addr pc)
+    {
+        ++bpStats.predicts;
+        return doPredict(pc);
+    }
 
     /**
      * Train the predictor with the resolved outcome of a branch
@@ -92,13 +111,52 @@ class BranchPredictor
      * @param taken resolved direction.
      * @param info the BpInfo returned by the corresponding predict().
      */
-    virtual void update(Addr pc, bool taken, const BpInfo &info) = 0;
+    void
+    update(Addr pc, bool taken, const BpInfo &info)
+    {
+        ++bpStats.updates;
+        if (info.predTaken != taken)
+            ++bpStats.mispredicts;
+        doUpdate(pc, taken, info);
+    }
 
-    /** Human-readable predictor name, e.g. "gshare". */
-    virtual std::string name() const = 0;
+    /** Restore the power-on state and zero the statistics. */
+    void
+    reset() final
+    {
+        bpStats = {};
+        doReset();
+    }
 
-    /** Restore the power-on state. */
-    virtual void reset() = 0;
+    void
+    registerStats(StatsRegistry &reg) override
+    {
+        reg.addCounter("predicts", &bpStats.predicts,
+                       "direction predictions made");
+        reg.addCounter("updates", &bpStats.updates,
+                       "resolved branches trained");
+        reg.addCounter("mispredicts", &bpStats.mispredicts,
+                       "trained branches that were mispredicted");
+        reg.addRatio("misprediction_rate", &bpStats.mispredicts,
+                     &bpStats.updates,
+                     "mispredicts / updates over resolved branches");
+    }
+
+    /** Statistics since construction or the last reset(). */
+    const Stats &stats() const { return bpStats; }
+
+  protected:
+    /** Concrete prediction (see predict()). */
+    virtual BpInfo doPredict(Addr pc) = 0;
+
+    /** Concrete training (see update()). */
+    virtual void doUpdate(Addr pc, bool taken, const BpInfo &info) = 0;
+
+    /** Concrete power-on reset of tables and histories. */
+    virtual void doReset() = 0;
+
+  private:
+    Stats bpStats;
 };
 
 /** Identifier of a concrete predictor family. */
@@ -115,6 +173,14 @@ enum class PredictorKind
 
 /** @return human-readable name of a predictor kind. */
 const char *predictorKindName(PredictorKind kind);
+
+/**
+ * Inverse of predictorKindName (also accepts the CLI spellings).
+ * @param name predictor name, e.g. "gshare".
+ * @param kind receives the parsed kind on success.
+ * @return false for unknown names.
+ */
+bool predictorKindFromName(const std::string &name, PredictorKind &kind);
 
 /**
  * Construct one of the paper's predictor configurations.

@@ -15,6 +15,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/sim_object.hh"
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace confsim
@@ -25,12 +27,14 @@ struct BtbConfig
 {
     std::size_t entries = 512; ///< total entries (power of two)
     unsigned ways = 4;         ///< associativity
+
+    bool operator==(const BtbConfig &) const = default;
 };
 
 /**
  * Tagged target cache with true-LRU replacement.
  */
-class Btb
+class Btb : public SimObject
 {
   public:
     /** @param config geometry; entries must divide evenly by ways. */
@@ -45,8 +49,26 @@ class Btb
     /** Install or refresh the target mapping for @p pc. */
     void update(Addr pc, Addr target);
 
+    std::string name() const override { return "btb"; }
+
     /** Invalidate all entries and clear statistics. */
-    void reset();
+    void reset() override;
+
+    void
+    registerStats(StatsRegistry &reg) override
+    {
+        reg.addCounter("lookups", &lookupCount, "target lookups");
+        reg.addCounter("misses", &missCount, "lookups without a hit");
+        reg.addRatio("miss_rate", &missCount, &lookupCount,
+                     "misses / lookups");
+    }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putUint("entries", cfg.entries);
+        out.putUint("ways", cfg.ways);
+    }
 
     /** Lookups since reset. */
     std::uint64_t lookups() const { return lookupCount; }

@@ -26,6 +26,28 @@ predictorKindName(PredictorKind kind)
     return "???";
 }
 
+bool
+predictorKindFromName(const std::string &name, PredictorKind &kind)
+{
+    if (name == "bimodal")
+        kind = PredictorKind::Bimodal;
+    else if (name == "gshare")
+        kind = PredictorKind::Gshare;
+    else if (name == "mcfarling")
+        kind = PredictorKind::McFarling;
+    else if (name == "sag")
+        kind = PredictorKind::SAg;
+    else if (name == "gselect")
+        kind = PredictorKind::Gselect;
+    else if (name == "gag")
+        kind = PredictorKind::GAg;
+    else if (name == "pas")
+        kind = PredictorKind::PAs;
+    else
+        return false;
+    return true;
+}
+
 std::unique_ptr<BranchPredictor>
 makePredictor(PredictorKind kind)
 {

@@ -29,7 +29,7 @@ GselectPredictor::index(Addr pc, std::uint64_t hist) const
 }
 
 BpInfo
-GselectPredictor::predict(Addr pc)
+GselectPredictor::doPredict(Addr pc)
 {
     const std::uint64_t hist = ghr.value();
     const SatCounter &ctr = table[index(pc, hist)];
@@ -45,7 +45,7 @@ GselectPredictor::predict(Addr pc)
 }
 
 void
-GselectPredictor::update(Addr pc, bool taken, const BpInfo &info)
+GselectPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     table[index(pc, info.globalHistory)].update(taken);
     if (cfg.historyBits == 0)
@@ -64,7 +64,16 @@ GselectPredictor::name() const
 }
 
 void
-GselectPredictor::reset()
+GselectPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("addr_bits", cfg.addrBits);
+    out.putUint("history_bits", cfg.historyBits);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putBool("speculative_history", cfg.speculativeHistory);
+}
+
+void
+GselectPredictor::doReset()
 {
     for (auto &ctr : table)
         ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);

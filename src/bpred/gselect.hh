@@ -27,6 +27,8 @@ struct GselectConfig
     unsigned counterBits = 2; ///< counter width
     /** Speculative history update with repair (as gshare). */
     bool speculativeHistory = true;
+
+    bool operator==(const GselectConfig &) const = default;
 };
 
 /**
@@ -39,13 +41,16 @@ class GselectPredictor : public BranchPredictor
     /** @param config index split; addrBits + historyBits <= 24. */
     explicit GselectPredictor(const GselectConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override;
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Current (possibly speculative) global history. */
     std::uint64_t history() const { return ghr.value(); }
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t index(Addr pc, std::uint64_t hist) const;

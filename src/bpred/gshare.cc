@@ -22,8 +22,17 @@ GsharePredictor::index(Addr pc, std::uint64_t hist) const
     return ((pc >> 2) ^ hist) & (cfg.tableEntries - 1);
 }
 
+void
+GsharePredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("table_entries", cfg.tableEntries);
+    out.putUint("history_bits", cfg.historyBits);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putBool("speculative_history", cfg.speculativeHistory);
+}
+
 BpInfo
-GsharePredictor::predict(Addr pc)
+GsharePredictor::doPredict(Addr pc)
 {
     BpInfo info = predictWithHistory(pc, ghr.value());
     // Speculative history update: shift in the *predicted* direction.
@@ -46,7 +55,7 @@ GsharePredictor::predictWithHistory(Addr pc, std::uint64_t hist) const
 }
 
 void
-GsharePredictor::update(Addr pc, bool taken, const BpInfo &info)
+GsharePredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     updateWithHistory(pc, info.globalHistory, taken);
     if (!cfg.speculativeHistory) {
@@ -67,7 +76,7 @@ GsharePredictor::updateWithHistory(Addr pc, std::uint64_t hist, bool taken)
 }
 
 void
-GsharePredictor::reset()
+GsharePredictor::doReset()
 {
     for (auto &ctr : table)
         ctr = SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2);

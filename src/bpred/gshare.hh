@@ -28,6 +28,8 @@ struct GshareConfig
      *  (repaired on misprediction); false = update history only at
      *  resolution with the actual outcome (the ablation of §3.1). */
     bool speculativeHistory = true;
+
+    bool operator==(const GshareConfig &) const = default;
 };
 
 /**
@@ -39,10 +41,8 @@ class GsharePredictor : public BranchPredictor
     /** @param config table/history geometry. */
     explicit GsharePredictor(const GshareConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override { return "gshare"; }
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Current (speculative) global history value. */
     std::uint64_t history() const { return ghr.value(); }
@@ -56,6 +56,11 @@ class GsharePredictor : public BranchPredictor
 
     /** Component-mode update with an explicit history value. */
     void updateWithHistory(Addr pc, std::uint64_t hist, bool taken);
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t index(Addr pc, std::uint64_t hist) const;

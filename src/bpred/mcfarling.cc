@@ -40,7 +40,7 @@ McFarlingPredictor::metaIndex(Addr pc) const
 }
 
 BpInfo
-McFarlingPredictor::predict(Addr pc)
+McFarlingPredictor::doPredict(Addr pc)
 {
     const std::uint64_t hist = ghr.value();
     const SatCounter &gctr = gshareTable[gshareIndex(pc, hist)];
@@ -68,7 +68,7 @@ McFarlingPredictor::predict(Addr pc)
 }
 
 void
-McFarlingPredictor::update(Addr pc, bool taken, const BpInfo &info)
+McFarlingPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     SatCounter &gctr = gshareTable[gshareIndex(pc, info.globalHistory)];
     SatCounter &bctr = bimodalTable[bimodalIndex(pc)];
@@ -92,7 +92,17 @@ McFarlingPredictor::update(Addr pc, bool taken, const BpInfo &info)
 }
 
 void
-McFarlingPredictor::reset()
+McFarlingPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("gshare_entries", cfg.gshareEntries);
+    out.putUint("bimodal_entries", cfg.bimodalEntries);
+    out.putUint("meta_entries", cfg.metaEntries);
+    out.putUint("history_bits", cfg.historyBits);
+    out.putUint("counter_bits", cfg.counterBits);
+}
+
+void
+McFarlingPredictor::doReset()
 {
     const unsigned mid = (1u << cfg.counterBits) / 2;
     for (auto &c : gshareTable)

@@ -26,6 +26,8 @@ struct McFarlingConfig
     std::size_t metaEntries = 4096;    ///< meta counter count
     unsigned historyBits = 12;         ///< shared global history bits
     unsigned counterBits = 2;          ///< width of all counters
+
+    bool operator==(const McFarlingConfig &) const = default;
 };
 
 /**
@@ -38,13 +40,16 @@ class McFarlingPredictor : public BranchPredictor
     /** @param config component geometry. */
     explicit McFarlingPredictor(const McFarlingConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override { return "mcfarling"; }
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Current (speculative) global history value. */
     std::uint64_t history() const { return ghr.value(); }
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t gshareIndex(Addr pc, std::uint64_t hist) const;

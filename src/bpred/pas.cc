@@ -88,7 +88,7 @@ PAsPredictor::tracks(Addr pc) const
 }
 
 BpInfo
-PAsPredictor::predict(Addr pc)
+PAsPredictor::doPredict(Addr pc)
 {
     const Entry *entry = find(pc);
     const std::uint64_t history = entry ? entry->history : 0;
@@ -104,7 +104,7 @@ PAsPredictor::predict(Addr pc)
 }
 
 void
-PAsPredictor::update(Addr pc, bool taken, const BpInfo &info)
+PAsPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     pht[phtIndex(info.localHistory)].update(taken);
     Entry &entry = findOrAllocate(pc);
@@ -113,7 +113,17 @@ PAsPredictor::update(Addr pc, bool taken, const BpInfo &info)
 }
 
 void
-PAsPredictor::reset()
+PAsPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("history_entries", cfg.historyEntries);
+    out.putUint("ways", cfg.ways);
+    out.putUint("history_bits", cfg.historyBits);
+    out.putUint("pht_entries", cfg.phtEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+}
+
+void
+PAsPredictor::doReset()
 {
     for (auto &e : entries)
         e = Entry{};

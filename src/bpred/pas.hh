@@ -30,6 +30,8 @@ struct PAsConfig
     unsigned historyBits = 13;         ///< per-branch history length
     std::size_t phtEntries = 8192;     ///< shared pattern counters
     unsigned counterBits = 2;          ///< counter width
+
+    bool operator==(const PAsConfig &) const = default;
 };
 
 /**
@@ -41,13 +43,16 @@ class PAsPredictor : public BranchPredictor
     /** @param config table geometry. */
     explicit PAsPredictor(const PAsConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override { return "pas"; }
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** True when the branch at @p pc currently holds a history slot. */
     bool tracks(Addr pc) const;
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     struct Entry

@@ -29,7 +29,7 @@ SAgPredictor::phtIndex(std::uint64_t hist) const
 }
 
 BpInfo
-SAgPredictor::predict(Addr pc)
+SAgPredictor::doPredict(Addr pc)
 {
     const HistoryRegister &hist = bht[bhtIndex(pc)];
     const SatCounter &ctr = pht[phtIndex(hist.value())];
@@ -45,7 +45,7 @@ SAgPredictor::predict(Addr pc)
 }
 
 void
-SAgPredictor::update(Addr pc, bool taken, const BpInfo &info)
+SAgPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
 {
     // Train the PHT entry that produced this prediction: use the local
     // history captured at predict() time (older in-flight branches may
@@ -55,7 +55,16 @@ SAgPredictor::update(Addr pc, bool taken, const BpInfo &info)
 }
 
 void
-SAgPredictor::reset()
+SAgPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("bht_entries", cfg.bhtEntries);
+    out.putUint("history_bits", cfg.historyBits);
+    out.putUint("pht_entries", cfg.phtEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+}
+
+void
+SAgPredictor::doReset()
 {
     for (auto &h : bht)
         h.clear();

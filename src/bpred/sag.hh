@@ -27,6 +27,8 @@ struct SAgConfig
     unsigned historyBits = 13;     ///< length of each history register
     std::size_t phtEntries = 8192; ///< pattern-table counters
     unsigned counterBits = 2;      ///< counter width
+
+    bool operator==(const SAgConfig &) const = default;
 };
 
 /**
@@ -40,10 +42,13 @@ class SAgPredictor : public BranchPredictor
     /** @param config table geometry. */
     explicit SAgPredictor(const SAgConfig &config = {});
 
-    BpInfo predict(Addr pc) override;
-    void update(Addr pc, bool taken, const BpInfo &info) override;
     std::string name() const override { return "sag"; }
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t bhtIndex(Addr pc) const;

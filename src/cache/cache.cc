@@ -6,8 +6,8 @@
 namespace confsim
 {
 
-Cache::Cache(const CacheConfig &config)
-    : cfg(config)
+Cache::Cache(const CacheConfig &config, std::string label)
+    : cfg(config), label(std::move(label))
 {
     if (!isPowerOfTwo(cfg.lineBytes))
         fatal("cache line size must be a power of two");

@@ -14,30 +14,42 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_object.hh"
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace confsim
 {
 
-/** Geometry and latency configuration of a Cache. */
+/**
+ * Geometry and latency configuration of a Cache. The cache's label
+ * (e.g. "icache") is *not* part of the config: it is the SimObject
+ * name, passed at construction, and the StatsRegistry path built from
+ * it is the single source of truth for statistics labels.
+ */
 struct CacheConfig
 {
-    std::string name = "cache";  ///< label for statistics output
     std::size_t sizeBytes = 64 * 1024; ///< total capacity
     std::size_t lineBytes = 32;  ///< block size
     unsigned associativity = 2;  ///< ways per set
     Cycle hitLatency = 2;        ///< cycles for a hit
     Cycle missLatency = 12;      ///< additional cycles for a miss
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /**
  * Tag-only set-associative cache with true-LRU replacement.
  */
-class Cache
+class Cache : public SimObject
 {
   public:
-    /** @param config geometry; size/line/assoc must divide evenly. */
-    explicit Cache(const CacheConfig &config);
+    /**
+     * @param config geometry; size/line/assoc must divide evenly.
+     * @param label SimObject name, e.g. "icache".
+     */
+    explicit Cache(const CacheConfig &config,
+                   std::string label = "cache");
 
     /**
      * Access the block containing @p addr, updating LRU state and
@@ -52,8 +64,30 @@ class Cache
      */
     bool contains(Addr addr) const;
 
-    /** Invalidate every line. */
-    void reset();
+    std::string name() const override { return label; }
+
+    /** Invalidate every line and clear statistics. */
+    void reset() override;
+
+    void
+    registerStats(StatsRegistry &reg) override
+    {
+        reg.addCounter("accesses", &accessCount, "block accesses");
+        reg.addCounter("misses", &missCount,
+                       "accesses that missed and allocated");
+        reg.addRatio("miss_rate", &missCount, &accessCount,
+                     "misses / accesses");
+    }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putUint("size_bytes", cfg.sizeBytes);
+        out.putUint("line_bytes", cfg.lineBytes);
+        out.putUint("associativity", cfg.associativity);
+        out.putUint("hit_latency", cfg.hitLatency);
+        out.putUint("miss_latency", cfg.missLatency);
+    }
 
     /** Total accesses since reset. */
     std::uint64_t accesses() const { return accessCount; }
@@ -89,6 +123,7 @@ class Cache
     std::size_t setOf(Addr addr) const;
 
     CacheConfig cfg;
+    std::string label;
     std::size_t sets;
     unsigned lineShift;
     std::vector<Line> lines; ///< sets * associativity, set-major

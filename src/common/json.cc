@@ -1,0 +1,636 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace confsim
+{
+
+namespace
+{
+
+const JsonValue NULL_VALUE;
+const std::string EMPTY_STRING;
+
+} // anonymous namespace
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.tag = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.tag = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return tag == Kind::Bool ? boolVal : fallback;
+}
+
+std::int64_t
+JsonValue::asInt(std::int64_t fallback) const
+{
+    switch (tag) {
+      case Kind::Int:
+        return intVal;
+      case Kind::Uint:
+        return static_cast<std::int64_t>(uintVal);
+      case Kind::Double:
+        return static_cast<std::int64_t>(doubleVal);
+      default:
+        return fallback;
+    }
+}
+
+std::uint64_t
+JsonValue::asUint(std::uint64_t fallback) const
+{
+    switch (tag) {
+      case Kind::Int:
+        return intVal < 0 ? fallback
+                          : static_cast<std::uint64_t>(intVal);
+      case Kind::Uint:
+        return uintVal;
+      case Kind::Double:
+        return doubleVal < 0.0 ? fallback
+                               : static_cast<std::uint64_t>(doubleVal);
+      default:
+        return fallback;
+    }
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    switch (tag) {
+      case Kind::Int:
+        return static_cast<double>(intVal);
+      case Kind::Uint:
+        return static_cast<double>(uintVal);
+      case Kind::Double:
+        return doubleVal;
+      default:
+        return fallback;
+    }
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    return tag == Kind::String ? stringVal : EMPTY_STRING;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (tag == Kind::Null)
+        tag = Kind::Array;
+    items.push_back(std::move(v));
+    return items.back();
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (tag == Kind::Array)
+        return items.size();
+    if (tag == Kind::Object)
+        return fields.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (tag != Kind::Array || i >= items.size())
+        return NULL_VALUE;
+    return items[i];
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (tag == Kind::Null)
+        tag = Kind::Object;
+    for (auto &member : fields)
+        if (member.first == key)
+            return member.second;
+    fields.emplace_back(key, JsonValue());
+    return fields.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (tag != Kind::Object)
+        return nullptr;
+    for (const auto &member : fields)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+bool
+JsonValue::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        if (tag == Kind::Double || other.tag == Kind::Double)
+            return asDouble() == other.asDouble();
+        // Both integral: compare with sign awareness.
+        const bool neg = tag == Kind::Int && intVal < 0;
+        const bool other_neg =
+            other.tag == Kind::Int && other.intVal < 0;
+        if (neg != other_neg)
+            return false;
+        return neg ? asInt() == other.asInt()
+                   : asUint() == other.asUint();
+    }
+    if (tag != other.tag)
+        return false;
+    switch (tag) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return boolVal == other.boolVal;
+      case Kind::String:
+        return stringVal == other.stringVal;
+      case Kind::Array:
+        return items == other.items;
+      case Kind::Object:
+        return fields == other.fields;
+      default:
+        return false; // unreachable; numbers handled above
+    }
+}
+
+namespace
+{
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // anonymous namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (tag) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(intVal));
+        out += buf;
+        break;
+      case Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(uintVal));
+        out += buf;
+        break;
+      case Kind::Double:
+        if (std::isfinite(doubleVal)) {
+            // %.17g guarantees an exact double round trip; force a
+            // marker so the parser keeps it a Double.
+            std::snprintf(buf, sizeof(buf), "%.17g", doubleVal);
+            out += buf;
+            if (std::string(buf).find_first_of(".eE")
+                    == std::string::npos)
+                out += ".0";
+        } else {
+            out += "null"; // JSON has no inf/nan
+        }
+        break;
+      case Kind::String:
+        escapeTo(out, stringVal);
+        break;
+      case Kind::Array:
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ",";
+            newlineIndent(out, indent, depth + 1);
+            items[i].dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (fields.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                out += ",";
+            newlineIndent(out, indent, depth + 1);
+            escapeTo(out, fields[i].first);
+            out += indent > 0 ? ": " : ":";
+            fields[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Strict recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : src(text) {}
+
+    JsonValue
+    parseDocument(std::string *error)
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (ok && pos != src.size())
+            fail("trailing characters after document");
+        if (!ok) {
+            if (error)
+                *error = message + " at offset "
+                    + std::to_string(errorPos);
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok) {
+            ok = false;
+            message = why;
+            errorPos = pos;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size()
+               && (src[pos] == ' ' || src[pos] == '\t'
+                   || src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && src[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n])
+            ++n;
+        if (src.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        if (++depth > MAX_DEPTH) {
+            fail("nesting too deep");
+            --depth;
+            return JsonValue();
+        }
+        JsonValue v;
+        if (pos >= src.size()) {
+            fail("unexpected end of input");
+        } else if (src[pos] == '{') {
+            v = parseObject();
+        } else if (src[pos] == '[') {
+            v = parseArray();
+        } else if (src[pos] == '"') {
+            std::string s;
+            if (parseString(s))
+                v = JsonValue(std::move(s));
+        } else if (literal("true")) {
+            v = JsonValue(true);
+        } else if (literal("false")) {
+            v = JsonValue(false);
+        } else if (literal("null")) {
+            // default-constructed Null
+        } else {
+            v = parseNumber();
+        }
+        --depth;
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue obj = JsonValue::object();
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (ok) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                break;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            obj[key] = parseValue();
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            fail("expected ',' or '}' in object");
+        }
+        return obj;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue arr = JsonValue::array();
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (ok) {
+            arr.push(parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            fail("expected ',' or ']' in array");
+        }
+        return arr;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        while (pos < src.size()) {
+            const char c = src[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= src.size())
+                    break;
+                const char esc = src[pos++];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > src.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = src[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |=
+                                static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |=
+                                static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape digit");
+                            return false;
+                        }
+                    }
+                    // Encode the code point as UTF-8 (BMP only; the
+                    // writer never emits surrogate pairs).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(
+                                0x80 | ((code >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape character");
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < src.size() && src[pos] == '-')
+            ++pos;
+        const std::size_t int_start = pos;
+        bool has_digits = false;
+        while (pos < src.size() && std::isdigit(
+                       static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+            has_digits = true;
+        }
+        // RFC 8259: no leading zeros ("01"), no empty integer part.
+        if (pos - int_start > 1 && src[int_start] == '0') {
+            fail("leading zeros in number");
+            return JsonValue();
+        }
+        bool floating = false;
+        if (pos < src.size() && src[pos] == '.') {
+            floating = true;
+            ++pos;
+            const std::size_t frac_start = pos;
+            while (pos < src.size() && std::isdigit(
+                           static_cast<unsigned char>(src[pos])))
+                ++pos;
+            if (pos == frac_start) {
+                fail("expected digits after decimal point");
+                return JsonValue();
+            }
+        }
+        if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+            floating = true;
+            ++pos;
+            if (pos < src.size()
+                && (src[pos] == '+' || src[pos] == '-'))
+                ++pos;
+            const std::size_t exp_start = pos;
+            while (pos < src.size() && std::isdigit(
+                           static_cast<unsigned char>(src[pos])))
+                ++pos;
+            if (pos == exp_start) {
+                fail("expected digits in exponent");
+                return JsonValue();
+            }
+        }
+        if (!has_digits) {
+            fail("invalid value");
+            return JsonValue();
+        }
+        const std::string token = src.substr(start, pos - start);
+        if (floating)
+            return JsonValue(std::strtod(token.c_str(), nullptr));
+        if (token[0] == '-')
+            return JsonValue(static_cast<std::int64_t>(
+                    std::strtoll(token.c_str(), nullptr, 10)));
+        return JsonValue(static_cast<std::uint64_t>(
+                std::strtoull(token.c_str(), nullptr, 10)));
+    }
+
+    static constexpr int MAX_DEPTH = 128;
+
+    const std::string &src;
+    std::size_t pos = 0;
+    int depth = 0;
+    bool ok = true;
+    std::string message;
+    std::size_t errorPos = 0;
+};
+
+} // anonymous namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser parser(text);
+    return parser.parseDocument(error);
+}
+
+} // namespace confsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Dependency-free JSON document model with a writer and a strict
+ * recursive-descent parser. This backs machine-readable experiment
+ * output (`confsim --json`), config files (`--config file.json`), and
+ * the StatsRegistry serialization, so it preserves what a simulator
+ * cares about: 64-bit counters survive a write/read round trip
+ * bit-exactly (signed, unsigned and floating-point numbers are kept
+ * distinct) and object members keep insertion order, making output
+ * deterministic and diffable.
+ */
+
+#ifndef CONFSIM_COMMON_JSON_HH
+#define CONFSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * One JSON value: null, bool, number (int/uint/double), string, array
+ * or object. Objects preserve member insertion order.
+ */
+class JsonValue
+{
+  public:
+    /** Discriminator of the held value. */
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,    ///< negative integers
+        Uint,   ///< non-negative integers (counters)
+        Double, ///< anything with a fraction or exponent
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool v) : tag(Kind::Bool), boolVal(v) {}
+    JsonValue(std::int64_t v) : tag(Kind::Int), intVal(v) {}
+    JsonValue(std::uint64_t v) : tag(Kind::Uint), uintVal(v) {}
+    JsonValue(double v) : tag(Kind::Double), doubleVal(v) {}
+    JsonValue(const char *v) : tag(Kind::String), stringVal(v) {}
+    JsonValue(std::string v) : tag(Kind::String), stringVal(std::move(v))
+    {
+    }
+
+    /** Fresh empty array. */
+    static JsonValue array();
+
+    /** Fresh empty object. */
+    static JsonValue object();
+
+    Kind kind() const { return tag; }
+    bool isNull() const { return tag == Kind::Null; }
+    bool isBool() const { return tag == Kind::Bool; }
+    bool
+    isNumber() const
+    {
+        return tag == Kind::Int || tag == Kind::Uint
+            || tag == Kind::Double;
+    }
+    bool isString() const { return tag == Kind::String; }
+    bool isArray() const { return tag == Kind::Array; }
+    bool isObject() const { return tag == Kind::Object; }
+
+    /** Bool value; @p fallback when not a bool. */
+    bool asBool(bool fallback = false) const;
+
+    /** Numeric value as signed 64-bit (truncating doubles). */
+    std::int64_t asInt(std::int64_t fallback = 0) const;
+
+    /** Numeric value as unsigned 64-bit (truncating doubles). */
+    std::uint64_t asUint(std::uint64_t fallback = 0) const;
+
+    /** Numeric value as double. */
+    double asDouble(double fallback = 0.0) const;
+
+    /** String value; empty when not a string. */
+    const std::string &asString() const;
+
+    /// @name Array operations
+    /// @{
+
+    /** Append to an array (converts a Null value into an array). */
+    JsonValue &push(JsonValue v);
+
+    /** Element count (array or object members). */
+    std::size_t size() const;
+
+    /** Array element @p i; a shared Null when out of range. */
+    const JsonValue &at(std::size_t i) const;
+
+    /** All array elements. */
+    const std::vector<JsonValue> &elements() const { return items; }
+
+    /// @}
+    /// @name Object operations
+    /// @{
+
+    /**
+     * Member lookup, inserting a Null member (and converting a Null
+     * value into an object) when @p key is absent.
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /** Member lookup without insertion; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** True when the object has a member named @p key. */
+    bool contains(const std::string &key) const;
+
+    /** All object members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return fields;
+    }
+
+    /// @}
+
+    /** Deep structural equality (Int/Uint/Double compare by value). */
+    bool operator==(const JsonValue &other) const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits a compact single line. Doubles print with enough
+     * digits to round-trip exactly.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a complete JSON document.
+     * @param text the document.
+     * @param error receives a message with offset on failure (optional).
+     * @return the parsed value, or a Null value on error (with
+     *         @p error set — a bare `null` document sets no error).
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind tag = Kind::Null;
+    bool boolVal = false;
+    std::int64_t intVal = 0;
+    std::uint64_t uintVal = 0;
+    double doubleVal = 0.0;
+    std::string stringVal;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_JSON_HH

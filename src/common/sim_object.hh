@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Uniform component interface for every stateful simulator object.
+ *
+ * Each branch predictor, confidence estimator, cache, BTB, pipeline
+ * and speculation-control policy is a SimObject: it has a canonical
+ * name, can restore its power-on state, registers its statistics with
+ * a StatsRegistry (hierarchical dotted paths, pointers into the
+ * component's own counters — zero hot-path overhead), and describes
+ * its construction-time configuration to a ConfigWriter. The registry
+ * is the single source of truth for component labels and the substrate
+ * behind `confsim --json` / `--config` serialization.
+ */
+
+#ifndef CONFSIM_COMMON_SIM_OBJECT_HH
+#define CONFSIM_COMMON_SIM_OBJECT_HH
+
+#include <string>
+
+namespace confsim
+{
+
+class StatsRegistry;
+class ConfigWriter;
+
+/**
+ * Base interface of every stateful simulator component.
+ */
+class SimObject
+{
+  public:
+    virtual ~SimObject() = default;
+
+    /** Canonical component name, e.g. "gshare" or "icache". */
+    virtual std::string name() const = 0;
+
+    /** Restore the power-on state, including any registered stats. */
+    virtual void reset() = 0;
+
+    /**
+     * Register this object's statistics under the registry's current
+     * scope. The default registers nothing (stateless components).
+     * Registered pointers must stay valid for the registry's lifetime.
+     */
+    virtual void registerStats(StatsRegistry &) {}
+
+    /**
+     * Describe construction-time configuration (geometry, thresholds,
+     * latencies). The default describes nothing.
+     */
+    virtual void describeConfig(ConfigWriter &) const {}
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_SIM_OBJECT_HH

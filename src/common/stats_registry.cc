@@ -1,0 +1,182 @@
+#include "common/stats_registry.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/**
+ * Navigate a dotted path below @p root, creating objects along the
+ * way, and return the leaf slot.
+ */
+JsonValue &
+slotFor(JsonValue &root, const std::string &path)
+{
+    JsonValue *node = &root;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos)
+            return (*node)[path.substr(start)];
+        node = &(*node)[path.substr(start, dot - start)];
+        start = dot + 1;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+StatsRegistry::fullPath(const std::string &stat_name) const
+{
+    std::string path;
+    for (const auto &scope : scopeStack) {
+        path += scope;
+        path += '.';
+    }
+    path += stat_name;
+    return path;
+}
+
+void
+StatsRegistry::addCounter(const std::string &stat_name,
+                          std::uint64_t *value,
+                          const std::string &description)
+{
+    Entry e;
+    e.path = fullPath(stat_name);
+    e.description = description;
+    e.kind = StatKind::Counter;
+    e.counter = value;
+    e.owner = objectStack.empty() ? nullptr : objectStack.back();
+    stats.push_back(std::move(e));
+}
+
+void
+StatsRegistry::addRatio(const std::string &stat_name,
+                        const std::uint64_t *numerator,
+                        const std::uint64_t *denominator,
+                        const std::string &description)
+{
+    Entry e;
+    e.path = fullPath(stat_name);
+    e.description = description;
+    e.kind = StatKind::Ratio;
+    e.num = numerator;
+    e.den = denominator;
+    e.owner = objectStack.empty() ? nullptr : objectStack.back();
+    stats.push_back(std::move(e));
+}
+
+void
+StatsRegistry::addHistogram(const std::string &stat_name,
+                            const Histogram *histogram,
+                            const std::string &description)
+{
+    Entry e;
+    e.path = fullPath(stat_name);
+    e.description = description;
+    e.kind = StatKind::Histogram;
+    e.histogram = histogram;
+    e.owner = objectStack.empty() ? nullptr : objectStack.back();
+    stats.push_back(std::move(e));
+}
+
+void
+StatsRegistry::registerObject(const std::string &path, SimObject &obj)
+{
+    ObjectRecord rec;
+    rec.path = fullPath(path);
+    rec.object = &obj;
+    objectRecords.push_back(rec);
+
+    StatsScope scope(*this, path);
+    objectStack.push_back(&obj);
+    obj.registerStats(*this);
+    objectStack.pop_back();
+}
+
+std::size_t
+StatsRegistry::countersOwnedBy(const SimObject &obj) const
+{
+    std::size_t count = 0;
+    for (const auto &e : stats)
+        if (e.owner == &obj && e.kind == StatKind::Counter)
+            ++count;
+    return count;
+}
+
+bool
+StatsRegistry::countersZeroFor(const SimObject &obj) const
+{
+    for (const auto &e : stats)
+        if (e.owner == &obj && e.kind == StatKind::Counter
+            && *e.counter != 0)
+            return false;
+    return true;
+}
+
+void
+StatsRegistry::zeroCounters()
+{
+    for (auto &e : stats)
+        if (e.kind == StatKind::Counter)
+            *e.counter = 0;
+}
+
+void
+StatsRegistry::resetObjects()
+{
+    for (auto &rec : objectRecords)
+        rec.object->reset();
+}
+
+JsonValue
+StatsRegistry::statsJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const auto &e : stats) {
+        JsonValue &slot = slotFor(root, e.path);
+        switch (e.kind) {
+          case StatKind::Counter:
+            slot = JsonValue(*e.counter);
+            break;
+          case StatKind::Ratio:
+            slot = JsonValue(
+                    *e.den == 0
+                        ? 0.0
+                        : static_cast<double>(*e.num)
+                            / static_cast<double>(*e.den));
+            break;
+          case StatKind::Histogram: {
+            JsonValue h = JsonValue::object();
+            JsonValue buckets = JsonValue::array();
+            for (std::size_t i = 0; i < e.histogram->size(); ++i)
+                buckets.push(JsonValue(e.histogram->bucket(i)));
+            h["buckets"] = std::move(buckets);
+            h["overflow"] = JsonValue(e.histogram->overflow());
+            h["total"] = JsonValue(e.histogram->total());
+            slot = std::move(h);
+            break;
+          }
+        }
+    }
+    return root;
+}
+
+JsonValue
+StatsRegistry::configJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const auto &rec : objectRecords) {
+        JsonValue &slot = slotFor(root, rec.path);
+        if (!slot.isObject())
+            slot = JsonValue::object();
+        ConfigWriter writer(slot);
+        writer.putString("name", rec.object->name());
+        rec.object->describeConfig(writer);
+    }
+    return root;
+}
+
+} // namespace confsim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Hierarchical statistics registry in the style of production
+ * simulators: components register typed statistics (counters, ratios,
+ * histograms) under dotted paths ("pipeline.icache.misses"), backed by
+ * pointers into the components' own counter fields so the hot path
+ * keeps incrementing plain struct members with zero added overhead.
+ * The registry serializes the whole component tree — config and stats
+ * — to JSON, and can zero every registered counter for regression
+ * harnesses.
+ */
+
+#ifndef CONFSIM_COMMON_STATS_REGISTRY_HH
+#define CONFSIM_COMMON_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/sim_object.hh"
+#include "common/stats.hh"
+
+namespace confsim
+{
+
+/**
+ * Typed key/value sink a SimObject describes its configuration into
+ * (see SimObject::describeConfig). Writes members of one JSON object;
+ * nesting comes from the registry's object hierarchy, not from the
+ * writer.
+ */
+class ConfigWriter
+{
+  public:
+    /** @param target JSON object the key/value pairs land in. */
+    explicit ConfigWriter(JsonValue &target) : obj(target) {}
+
+    void
+    putBool(const std::string &key, bool v)
+    {
+        obj[key] = JsonValue(v);
+    }
+
+    void
+    putUint(const std::string &key, std::uint64_t v)
+    {
+        obj[key] = JsonValue(v);
+    }
+
+    void
+    putInt(const std::string &key, std::int64_t v)
+    {
+        obj[key] = JsonValue(v);
+    }
+
+    void
+    putDouble(const std::string &key, double v)
+    {
+        obj[key] = JsonValue(v);
+    }
+
+    void
+    putString(const std::string &key, const std::string &v)
+    {
+        obj[key] = JsonValue(v);
+    }
+
+  private:
+    JsonValue &obj;
+};
+
+/**
+ * The component/statistics registry. Register SimObjects (which
+ * recursively register their stats and children), then serialize with
+ * statsJson()/configJson() or zero the counters with zeroCounters().
+ *
+ * Paths are dotted and deterministic: registration order defines
+ * serialization order, so two identical runs emit identical JSON.
+ */
+class StatsRegistry
+{
+  public:
+    /** Statistic flavour of one registered entry. */
+    enum class StatKind
+    {
+        Counter,   ///< mutable 64-bit event count
+        Ratio,     ///< derived numerator/denominator quotient
+        Histogram, ///< bucketed distribution (read-only)
+    };
+
+    /** One registered statistic. */
+    struct Entry
+    {
+        std::string path;        ///< full dotted path
+        std::string description; ///< one-line meaning
+        StatKind kind = StatKind::Counter;
+        std::uint64_t *counter = nullptr;     ///< Counter backing
+        const std::uint64_t *num = nullptr;   ///< Ratio numerator
+        const std::uint64_t *den = nullptr;   ///< Ratio denominator
+        const Histogram *histogram = nullptr; ///< Histogram backing
+        const SimObject *owner = nullptr;     ///< registering object
+    };
+
+    /** One registered component. */
+    struct ObjectRecord
+    {
+        std::string path; ///< full dotted path of the object
+        SimObject *object = nullptr;
+    };
+
+    /// @name Statistic registration (under the current scope)
+    /// @{
+
+    /** Register a mutable event counter. */
+    void addCounter(const std::string &stat_name, std::uint64_t *value,
+                    const std::string &description = "");
+
+    /** Register a derived num/den ratio (0 when den is 0). */
+    void addRatio(const std::string &stat_name,
+                  const std::uint64_t *numerator,
+                  const std::uint64_t *denominator,
+                  const std::string &description = "");
+
+    /** Register a histogram (serialized as buckets + overflow). */
+    void addHistogram(const std::string &stat_name,
+                      const Histogram *histogram,
+                      const std::string &description = "");
+
+    /// @}
+
+    /**
+     * Register a component at @p path below the current scope: records
+     * the object, then invokes obj.registerStats() with the scope
+     * pushed so the object's stats (and child objects) nest under it.
+     */
+    void registerObject(const std::string &path, SimObject &obj);
+
+    /** All registered statistics in registration order. */
+    const std::vector<Entry> &entries() const { return stats; }
+
+    /** All registered components in registration order. */
+    const std::vector<ObjectRecord> &objects() const
+    {
+        return objectRecords;
+    }
+
+    /** Number of Counter entries registered by @p obj itself. */
+    std::size_t countersOwnedBy(const SimObject &obj) const;
+
+    /** True when every Counter entry registered by @p obj reads 0. */
+    bool countersZeroFor(const SimObject &obj) const;
+
+    /** Zero every registered Counter (Ratios/Histograms untouched). */
+    void zeroCounters();
+
+    /** Call reset() on every registered object (registration order). */
+    void resetObjects();
+
+    /** Hierarchical stats document (counters, ratios, histograms). */
+    JsonValue statsJson() const;
+
+    /** Hierarchical config document from each object's describeConfig. */
+    JsonValue configJson() const;
+
+  private:
+    friend class StatsScope;
+
+    std::string fullPath(const std::string &stat_name) const;
+
+    std::vector<std::string> scopeStack;
+    std::vector<const SimObject *> objectStack;
+    std::vector<Entry> stats;
+    std::vector<ObjectRecord> objectRecords;
+};
+
+/**
+ * RAII scope for grouping manually registered stats:
+ *
+ *   StatsScope scope(reg, "frontend");
+ *   reg.addCounter("stalls", &stalls);   // -> "frontend.stalls"
+ */
+class StatsScope
+{
+  public:
+    StatsScope(StatsRegistry &registry, const std::string &prefix)
+        : reg(registry)
+    {
+        reg.scopeStack.push_back(prefix);
+    }
+
+    ~StatsScope() { reg.scopeStack.pop_back(); }
+
+    StatsScope(const StatsScope &) = delete;
+    StatsScope &operator=(const StatsScope &) = delete;
+
+  private:
+    StatsRegistry &reg;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_STATS_REGISTRY_HH

@@ -57,8 +57,36 @@ class BoostingEstimator : public ConfidenceEstimator
     {
     }
 
+    std::string
+    name() const override
+    {
+        const char *tag =
+            mode == BoostMode::LowConfidence ? "boost" : "boost-hc";
+        return tag + std::to_string(required) + "(" + inner->name()
+            + ")";
+    }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putUint("degree", required);
+        out.putString("boost_mode",
+                      mode == BoostMode::LowConfidence ? "low" : "high");
+        out.putString("base", inner->name());
+    }
+
+    /** Boosting degree N. */
+    unsigned degree() const { return required; }
+
+    /** Accumulated confidence class. */
+    BoostMode boostMode() const { return mode; }
+
+    /** Access to the wrapped estimator. */
+    ConfidenceEstimator &base() { return *inner; }
+
+  protected:
     bool
-    estimate(Addr pc, const BpInfo &info) override
+    doEstimate(Addr pc, const BpInfo &info) override
     {
         const bool base_high = inner->estimate(pc, info);
         const bool accumulated = mode == BoostMode::LowConfidence
@@ -76,35 +104,18 @@ class BoostingEstimator : public ConfidenceEstimator
     }
 
     void
-    update(Addr pc, bool taken, bool correct, const BpInfo &info) override
+    doUpdate(Addr pc, bool taken, bool correct,
+             const BpInfo &info) override
     {
         inner->update(pc, taken, correct, info);
     }
 
-    std::string
-    name() const override
-    {
-        const char *tag =
-            mode == BoostMode::LowConfidence ? "boost" : "boost-hc";
-        return tag + std::to_string(required) + "(" + inner->name()
-            + ")";
-    }
-
     void
-    reset() override
+    doReset() override
     {
         inner->reset();
         consecutive = 0;
     }
-
-    /** Boosting degree N. */
-    unsigned degree() const { return required; }
-
-    /** Accumulated confidence class. */
-    BoostMode boostMode() const { return mode; }
-
-    /** Access to the wrapped estimator. */
-    ConfidenceEstimator &base() { return *inner; }
 
   private:
     std::unique_ptr<ConfidenceEstimator> inner;

@@ -6,6 +6,30 @@
 namespace confsim
 {
 
+const char *
+cirModeName(CirMode mode)
+{
+    switch (mode) {
+      case CirMode::OnesCount: return "ones-count";
+      case CirMode::PatternTable: return "pattern-table";
+    }
+    return "???";
+}
+
+bool
+cirModeFromName(const std::string &name, CirMode &mode)
+{
+    if (name == "ones-count") {
+        mode = CirMode::OnesCount;
+        return true;
+    }
+    if (name == "pattern-table") {
+        mode = CirMode::PatternTable;
+        return true;
+    }
+    return false;
+}
+
 CirEstimator::CirEstimator(const CirConfig &config)
     : cfg(config)
 {
@@ -60,7 +84,7 @@ CirEstimator::cirOnes(Addr pc) const
 }
 
 bool
-CirEstimator::estimate(Addr pc, const BpInfo &info)
+CirEstimator::doEstimate(Addr pc, const BpInfo &info)
 {
     (void)info;
     switch (cfg.mode) {
@@ -73,8 +97,8 @@ CirEstimator::estimate(Addr pc, const BpInfo &info)
 }
 
 void
-CirEstimator::update(Addr pc, bool taken, bool correct,
-                     const BpInfo &info)
+CirEstimator::doUpdate(Addr pc, bool taken, bool correct,
+                       const BpInfo &info)
 {
     (void)taken;
     (void)info;
@@ -99,7 +123,20 @@ CirEstimator::name() const
 }
 
 void
-CirEstimator::reset()
+CirEstimator::describeConfig(ConfigWriter &out) const
+{
+    out.putString("mode", cirModeName(cfg.mode));
+    out.putUint("cir_bits", cfg.cirBits);
+    out.putBool("per_address", cfg.perAddress);
+    out.putUint("cir_table_entries", cfg.cirTableEntries);
+    out.putUint("ones_threshold", cfg.onesThreshold);
+    out.putUint("table_entries", cfg.tableEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putUint("counter_threshold", cfg.counterThreshold);
+}
+
+void
+CirEstimator::doReset()
 {
     for (auto &cir : cirs)
         cir.clear();

@@ -48,7 +48,15 @@ struct CirConfig
     std::size_t tableEntries = 4096; ///< PatternTable: counter count
     unsigned counterBits = 2;      ///< PatternTable: counter width
     unsigned counterThreshold = 3; ///< PatternTable: HC when >= this
+
+    bool operator==(const CirConfig &) const = default;
 };
+
+/** @return stable serialization name for a CirMode. */
+const char *cirModeName(CirMode mode);
+
+/** Parse @p name back to a CirMode. @return false on unknown name. */
+bool cirModeFromName(const std::string &name, CirMode &mode);
 
 /**
  * Confidence from recent prediction-correctness history.
@@ -59,11 +67,8 @@ class CirEstimator : public ConfidenceEstimator
     /** @param config register/table geometry and mode. */
     explicit CirEstimator(const CirConfig &config = {});
 
-    bool estimate(Addr pc, const BpInfo &info) override;
-    void update(Addr pc, bool taken, bool correct,
-                const BpInfo &info) override;
     std::string name() const override;
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Current CIR value for the branch at @p pc (tests/sweeps). */
     std::uint64_t cirValue(Addr pc) const;
@@ -73,6 +78,12 @@ class CirEstimator : public ConfidenceEstimator
 
     /** Active configuration. */
     const CirConfig &config() const { return cfg; }
+
+  protected:
+    bool doEstimate(Addr pc, const BpInfo &info) override;
+    void doUpdate(Addr pc, bool taken, bool correct,
+                  const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t cirIndex(Addr pc) const;

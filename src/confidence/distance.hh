@@ -37,14 +37,29 @@ class DistanceEstimator : public ConfidenceEstimator
     {
     }
 
+    std::string name() const override { return "distance"; }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putUint("distance_threshold", minDistance);
+    }
+
+    /** Current branches-since-miss count (exposed for sweeps/tests). */
+    std::uint64_t currentDistance() const { return distance; }
+
+    /** Active threshold. */
+    unsigned threshold() const { return minDistance; }
+
+  protected:
     bool
-    estimate(Addr, const BpInfo &) override
+    doEstimate(Addr, const BpInfo &) override
     {
         return distance > minDistance;
     }
 
     void
-    update(Addr, bool, bool correct, const BpInfo &) override
+    doUpdate(Addr, bool, bool correct, const BpInfo &) override
     {
         if (correct)
             ++distance;
@@ -52,14 +67,7 @@ class DistanceEstimator : public ConfidenceEstimator
             distance = 0;
     }
 
-    std::string name() const override { return "distance"; }
-    void reset() override { distance = 0; }
-
-    /** Current branches-since-miss count (exposed for sweeps/tests). */
-    std::uint64_t currentDistance() const { return distance; }
-
-    /** Active threshold. */
-    unsigned threshold() const { return minDistance; }
+    void doReset() override { distance = 0; }
 
   private:
     unsigned minDistance;

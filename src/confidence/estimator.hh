@@ -27,6 +27,8 @@
 #include <string>
 
 #include "bpred/branch_predictor.hh"
+#include "common/sim_object.hh"
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace confsim
@@ -34,18 +36,37 @@ namespace confsim
 
 /**
  * Interface shared by every confidence estimator.
+ *
+ * Like BranchPredictor, this is a SimObject with non-virtual
+ * estimate()/update() entry points that maintain per-estimator
+ * statistics (estimates issued, low-confidence fraction, updates) and
+ * dispatch to the concrete implementation (doEstimate/doUpdate).
  */
-class ConfidenceEstimator
+class ConfidenceEstimator : public SimObject
 {
   public:
-    virtual ~ConfidenceEstimator() = default;
+    /** Registry-visible estimator statistics. */
+    struct Stats
+    {
+        std::uint64_t estimates = 0;    ///< estimate() calls
+        std::uint64_t lowEstimates = 0; ///< "low confidence" verdicts
+        std::uint64_t updates = 0;      ///< resolved branches trained
+    };
 
     /**
      * Classify the prediction described by @p info for the branch at
      * @p pc.
      * @return true for "high confidence", false for "low confidence".
      */
-    virtual bool estimate(Addr pc, const BpInfo &info) = 0;
+    bool
+    estimate(Addr pc, const BpInfo &info)
+    {
+        ++estStats.estimates;
+        const bool high = doEstimate(pc, info);
+        if (!high)
+            ++estStats.lowEstimates;
+        return high;
+    }
 
     /**
      * Train with a resolved branch.
@@ -54,14 +75,51 @@ class ConfidenceEstimator
      * @param correct whether the prediction in @p info was right.
      * @param info the BpInfo from the corresponding predict().
      */
-    virtual void update(Addr pc, bool taken, bool correct,
-                        const BpInfo &info) = 0;
+    void
+    update(Addr pc, bool taken, bool correct, const BpInfo &info)
+    {
+        ++estStats.updates;
+        doUpdate(pc, taken, correct, info);
+    }
 
-    /** Human-readable estimator name. */
-    virtual std::string name() const = 0;
+    /** Restore the power-on state and zero the statistics. */
+    void
+    reset() final
+    {
+        estStats = {};
+        doReset();
+    }
 
-    /** Restore the power-on state. */
-    virtual void reset() = 0;
+    void
+    registerStats(StatsRegistry &reg) override
+    {
+        reg.addCounter("estimates", &estStats.estimates,
+                       "confidence estimates issued");
+        reg.addCounter("low_estimates", &estStats.lowEstimates,
+                       "estimates that were low confidence");
+        reg.addCounter("updates", &estStats.updates,
+                       "resolved branches trained");
+        reg.addRatio("low_fraction", &estStats.lowEstimates,
+                     &estStats.estimates,
+                     "low-confidence share of all estimates");
+    }
+
+    /** Statistics since construction or the last reset(). */
+    const Stats &stats() const { return estStats; }
+
+  protected:
+    /** Concrete classification (see estimate()). */
+    virtual bool doEstimate(Addr pc, const BpInfo &info) = 0;
+
+    /** Concrete training (see update()). */
+    virtual void doUpdate(Addr pc, bool taken, bool correct,
+                          const BpInfo &info) = 0;
+
+    /** Concrete power-on reset. */
+    virtual void doReset() = 0;
+
+  private:
+    Stats estStats;
 };
 
 /**
@@ -121,21 +179,28 @@ class ConstantEstimator : public ConfidenceEstimator
     {
     }
 
-    bool
-    estimate(Addr, const BpInfo &) override
-    {
-        return constant;
-    }
-
-    void update(Addr, bool, bool, const BpInfo &) override {}
-
     std::string
     name() const override
     {
         return constant ? "always-high" : "always-low";
     }
 
-    void reset() override {}
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putBool("constant_high", constant);
+    }
+
+  protected:
+    bool
+    doEstimate(Addr, const BpInfo &) override
+    {
+        return constant;
+    }
+
+    void doUpdate(Addr, bool, bool, const BpInfo &) override {}
+
+    void doReset() override {}
 
   private:
     bool constant;

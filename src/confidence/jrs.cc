@@ -35,14 +35,14 @@ JrsEstimator::readCounter(Addr pc, const BpInfo &info) const
 }
 
 bool
-JrsEstimator::estimate(Addr pc, const BpInfo &info)
+JrsEstimator::doEstimate(Addr pc, const BpInfo &info)
 {
     return readCounter(pc, info) >= cfg.threshold;
 }
 
 void
-JrsEstimator::update(Addr pc, bool taken, bool correct,
-                     const BpInfo &info)
+JrsEstimator::doUpdate(Addr pc, bool taken, bool correct,
+                       const BpInfo &info)
 {
     (void)taken;
     SatCounter &ctr = table[index(pc, info)];
@@ -59,7 +59,16 @@ JrsEstimator::name() const
 }
 
 void
-JrsEstimator::reset()
+JrsEstimator::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("table_entries", cfg.tableEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putUint("threshold", cfg.threshold);
+    out.putBool("enhanced", cfg.enhanced);
+}
+
+void
+JrsEstimator::doReset()
 {
     for (auto &ctr : table)
         ctr = SatCounter(cfg.counterBits, 0);

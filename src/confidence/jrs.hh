@@ -35,6 +35,8 @@ struct JrsConfig
     unsigned counterBits = 4;        ///< MDC width
     unsigned threshold = 15;         ///< HC when counter >= threshold
     bool enhanced = true;            ///< fold prediction into the index
+
+    bool operator==(const JrsConfig &) const = default;
 };
 
 /**
@@ -47,11 +49,8 @@ class JrsEstimator : public ConfidenceEstimator, public LevelSource
     /** @param config table geometry and threshold. */
     explicit JrsEstimator(const JrsConfig &config = {});
 
-    bool estimate(Addr pc, const BpInfo &info) override;
-    void update(Addr pc, bool taken, bool correct,
-                const BpInfo &info) override;
     std::string name() const override;
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /**
      * Raw MDC value this prediction maps to, for threshold-sweep
@@ -72,6 +71,12 @@ class JrsEstimator : public ConfidenceEstimator, public LevelSource
 
     /** Table configuration. */
     const JrsConfig &config() const { return cfg; }
+
+  protected:
+    bool doEstimate(Addr pc, const BpInfo &info) override;
+    void doUpdate(Addr pc, bool taken, bool correct,
+                  const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t index(Addr pc, const BpInfo &info) const;

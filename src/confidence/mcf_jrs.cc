@@ -17,6 +17,24 @@ mcfJrsCombineName(McfJrsCombine rule)
     return "???";
 }
 
+bool
+mcfJrsCombineFromName(const std::string &name, McfJrsCombine &rule)
+{
+    if (name == "selected") {
+        rule = McfJrsCombine::Selected;
+        return true;
+    }
+    if (name == "both") {
+        rule = McfJrsCombine::BothAbove;
+        return true;
+    }
+    if (name == "either") {
+        rule = McfJrsCombine::EitherAbove;
+        return true;
+    }
+    return false;
+}
+
 McfJrsEstimator::McfJrsEstimator(const McfJrsConfig &config)
     : cfg(config)
 {
@@ -55,7 +73,7 @@ McfJrsEstimator::readBimodalCounter(Addr pc) const
 }
 
 bool
-McfJrsEstimator::estimate(Addr pc, const BpInfo &info)
+McfJrsEstimator::doEstimate(Addr pc, const BpInfo &info)
 {
     const bool g_high =
         readGshareCounter(pc, info) >= cfg.threshold;
@@ -76,8 +94,8 @@ McfJrsEstimator::estimate(Addr pc, const BpInfo &info)
 }
 
 void
-McfJrsEstimator::update(Addr pc, bool taken, bool correct,
-                        const BpInfo &info)
+McfJrsEstimator::doUpdate(Addr pc, bool taken, bool correct,
+                          const BpInfo &info)
 {
     SatCounter &gctr = gshareTable[gshareIndex(pc, info)];
     SatCounter &bctr = bimodalTable[bimodalIndex(pc)];
@@ -111,7 +129,17 @@ McfJrsEstimator::name() const
 }
 
 void
-McfJrsEstimator::reset()
+McfJrsEstimator::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("gshare_entries", cfg.gshareEntries);
+    out.putUint("bimodal_entries", cfg.bimodalEntries);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putUint("threshold", cfg.threshold);
+    out.putString("combine", mcfJrsCombineName(cfg.combine));
+}
+
+void
+McfJrsEstimator::doReset()
 {
     for (auto &ctr : gshareTable)
         ctr = SatCounter(cfg.counterBits, 0);

@@ -37,6 +37,9 @@ enum class McfJrsCombine
 /** @return human-readable combine-rule name. */
 const char *mcfJrsCombineName(McfJrsCombine rule);
 
+/** Parse @p name back to a combine rule. @return false on unknown. */
+bool mcfJrsCombineFromName(const std::string &name, McfJrsCombine &rule);
+
 /** Configuration of McfJrsEstimator. */
 struct McfJrsConfig
 {
@@ -45,6 +48,8 @@ struct McfJrsConfig
     unsigned counterBits = 4;          ///< MDC width
     unsigned threshold = 15;           ///< HC when counter >= this
     McfJrsCombine combine = McfJrsCombine::Selected;
+
+    bool operator==(const McfJrsConfig &) const = default;
 };
 
 /**
@@ -58,11 +63,8 @@ class McfJrsEstimator : public ConfidenceEstimator
     /** @param config table geometry and combine rule. */
     explicit McfJrsEstimator(const McfJrsConfig &config = {});
 
-    bool estimate(Addr pc, const BpInfo &info) override;
-    void update(Addr pc, bool taken, bool correct,
-                const BpInfo &info) override;
     std::string name() const override;
-    void reset() override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Raw history-indexed MDC value (sweeps/tests). */
     unsigned readGshareCounter(Addr pc, const BpInfo &info) const;
@@ -72,6 +74,12 @@ class McfJrsEstimator : public ConfidenceEstimator
 
     /** Active configuration. */
     const McfJrsConfig &config() const { return cfg; }
+
+  protected:
+    bool doEstimate(Addr pc, const BpInfo &info) override;
+    void doUpdate(Addr pc, bool taken, bool correct,
+                  const BpInfo &info) override;
+    void doReset() override;
 
   private:
     std::size_t gshareIndex(Addr pc, const BpInfo &info) const;

@@ -50,7 +50,7 @@ PatternEstimator::isConfidentPattern(std::uint64_t history, unsigned bits)
 }
 
 bool
-PatternEstimator::estimate(Addr pc, const BpInfo &info)
+PatternEstimator::doEstimate(Addr pc, const BpInfo &info)
 {
     (void)pc;
     if (info.localHistoryBits > 0)

@@ -33,16 +33,7 @@ class PatternEstimator : public ConfidenceEstimator
   public:
     PatternEstimator() = default;
 
-    bool estimate(Addr pc, const BpInfo &info) override;
-
-    void
-    update(Addr, bool, bool, const BpInfo &) override
-    {
-        // Stateless: the predictor maintains the history itself.
-    }
-
     std::string name() const override { return "pattern"; }
-    void reset() override {}
 
     /**
      * Core classifier, exposed for tests.
@@ -51,6 +42,17 @@ class PatternEstimator : public ConfidenceEstimator
      * @return true when the pattern is one of the confident set.
      */
     static bool isConfidentPattern(std::uint64_t history, unsigned bits);
+
+  protected:
+    bool doEstimate(Addr pc, const BpInfo &info) override;
+
+    void
+    doUpdate(Addr, bool, bool, const BpInfo &) override
+    {
+        // Stateless: the predictor maintains the history itself.
+    }
+
+    void doReset() override {}
 };
 
 } // namespace confsim

@@ -15,7 +15,7 @@ satCountersVariantName(SatCountersVariant variant)
 }
 
 bool
-SatCountersEstimator::estimate(Addr pc, const BpInfo &info)
+SatCountersEstimator::doEstimate(Addr pc, const BpInfo &info)
 {
     (void)pc;
     const bool selected_strong =
@@ -39,6 +39,12 @@ std::string
 SatCountersEstimator::name() const
 {
     return std::string("satcnt-") + satCountersVariantName(policy);
+}
+
+void
+SatCountersEstimator::describeConfig(ConfigWriter &out) const
+{
+    out.putString("variant", satCountersVariantName(policy));
 }
 
 } // namespace confsim

@@ -48,19 +48,22 @@ class SatCountersEstimator : public ConfidenceEstimator
     {
     }
 
-    bool estimate(Addr pc, const BpInfo &info) override;
+    std::string name() const override;
+    void describeConfig(ConfigWriter &out) const override;
+
+    /** Active component policy. */
+    SatCountersVariant variant() const { return policy; }
+
+  protected:
+    bool doEstimate(Addr pc, const BpInfo &info) override;
 
     void
-    update(Addr, bool, bool, const BpInfo &) override
+    doUpdate(Addr, bool, bool, const BpInfo &) override
     {
         // The predictor trains its own counters; nothing to do here.
     }
 
-    std::string name() const override;
-    void reset() override {}
-
-    /** Active component policy. */
-    SatCountersVariant variant() const { return policy; }
+    void doReset() override {}
 
   private:
     SatCountersVariant policy;

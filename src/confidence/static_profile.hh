@@ -87,23 +87,32 @@ class StaticEstimator : public ConfidenceEstimator
     {
     }
 
+    std::string name() const override { return "static"; }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putDouble("accuracy_threshold", minAccuracy);
+        out.putUint("profiled_sites", table->size());
+    }
+
+    /** Active accuracy threshold. */
+    double threshold() const { return minAccuracy; }
+
+  protected:
     bool
-    estimate(Addr pc, const BpInfo &) override
+    doEstimate(Addr pc, const BpInfo &) override
     {
         return table->accuracy(pc) >= minAccuracy;
     }
 
     void
-    update(Addr, bool, bool, const BpInfo &) override
+    doUpdate(Addr, bool, bool, const BpInfo &) override
     {
         // Static: decided entirely by the offline profile.
     }
 
-    std::string name() const override { return "static"; }
-    void reset() override {}
-
-    /** Active accuracy threshold. */
-    double threshold() const { return minAccuracy; }
+    void doReset() override {}
 
   private:
     const ProfileTable *table;

@@ -1,0 +1,499 @@
+#include "harness/config_json.hh"
+
+#include <algorithm>
+
+namespace confsim
+{
+
+namespace
+{
+
+/**
+ * Field-wise reader over one JSON object: each field() call consumes a
+ * key, and finish() rejects keys no field claimed. All setters are
+ * no-ops once an error is recorded, so call sites stay linear.
+ */
+class Reader
+{
+  public:
+    Reader(const JsonValue &v, std::string *error)
+        : obj(v), err(error)
+    {
+        if (!obj.isObject())
+            fail("expected a JSON object");
+    }
+
+    /** Unsigned field of any width (size_t, unsigned, Cycle, ...). */
+    template <typename UInt>
+    void
+    uintField(const char *key, UInt &out)
+    {
+        const JsonValue *v = claim(key);
+        if (!v)
+            return;
+        if (v->kind() != JsonValue::Kind::Uint
+            && v->kind() != JsonValue::Kind::Int) {
+            fail(std::string(key) + ": expected an unsigned integer");
+            return;
+        }
+        if (v->kind() == JsonValue::Kind::Int && v->asInt() < 0) {
+            fail(std::string(key) + ": must be non-negative");
+            return;
+        }
+        out = static_cast<UInt>(v->asUint());
+    }
+
+    void
+    boolField(const char *key, bool &out)
+    {
+        const JsonValue *v = claim(key);
+        if (!v)
+            return;
+        if (!v->isBool()) {
+            fail(std::string(key) + ": expected a boolean");
+            return;
+        }
+        out = v->asBool();
+    }
+
+    void
+    doubleField(const char *key, double &out)
+    {
+        const JsonValue *v = claim(key);
+        if (!v)
+            return;
+        if (!v->isNumber()) {
+            fail(std::string(key) + ": expected a number");
+            return;
+        }
+        out = v->asDouble();
+    }
+
+    void
+    stringField(const char *key, std::string &out)
+    {
+        const JsonValue *v = claim(key);
+        if (!v)
+            return;
+        if (!v->isString()) {
+            fail(std::string(key) + ": expected a string");
+            return;
+        }
+        out = v->asString();
+    }
+
+    /** Nested sub-object parsed by the matching fromJson overload. */
+    template <typename Config>
+    void
+    nestedField(const char *key, Config &out)
+    {
+        const JsonValue *v = claim(key);
+        if (!v)
+            return;
+        std::string sub_err;
+        if (!fromJson(*v, out, &sub_err))
+            fail(std::string(key) + ": " + sub_err);
+    }
+
+    /** @return false (with the unknown-key error set) on leftovers. */
+    bool
+    finish()
+    {
+        if (!ok)
+            return false;
+        for (const auto &[key, value] : obj.members()) {
+            (void)value;
+            if (std::find(claimed.begin(), claimed.end(), key)
+                == claimed.end()) {
+                return fail("unknown key '" + key + "'");
+            }
+        }
+        return ok;
+    }
+
+  private:
+    const JsonValue *
+    claim(const char *key)
+    {
+        if (!ok)
+            return nullptr;
+        claimed.push_back(key);
+        return obj.isObject() ? obj.find(key) : nullptr;
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (ok && err)
+            *err = msg;
+        ok = false;
+        return false;
+    }
+
+    const JsonValue &obj;
+    std::string *err;
+    std::vector<std::string> claimed;
+    bool ok = true;
+};
+
+} // anonymous namespace
+
+JsonValue
+toJson(const BimodalConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["table_entries"] = JsonValue(std::uint64_t{cfg.tableEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, BimodalConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("table_entries", cfg.tableEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    return r.finish();
+}
+
+JsonValue
+toJson(const GshareConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["table_entries"] = JsonValue(std::uint64_t{cfg.tableEntries});
+    v["history_bits"] = JsonValue(std::uint64_t{cfg.historyBits});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    v["speculative_history"] = JsonValue(cfg.speculativeHistory);
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, GshareConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("table_entries", cfg.tableEntries);
+    r.uintField("history_bits", cfg.historyBits);
+    r.uintField("counter_bits", cfg.counterBits);
+    r.boolField("speculative_history", cfg.speculativeHistory);
+    return r.finish();
+}
+
+JsonValue
+toJson(const GselectConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["addr_bits"] = JsonValue(std::uint64_t{cfg.addrBits});
+    v["history_bits"] = JsonValue(std::uint64_t{cfg.historyBits});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    v["speculative_history"] = JsonValue(cfg.speculativeHistory);
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, GselectConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("addr_bits", cfg.addrBits);
+    r.uintField("history_bits", cfg.historyBits);
+    r.uintField("counter_bits", cfg.counterBits);
+    r.boolField("speculative_history", cfg.speculativeHistory);
+    return r.finish();
+}
+
+JsonValue
+toJson(const McFarlingConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["gshare_entries"] = JsonValue(std::uint64_t{cfg.gshareEntries});
+    v["bimodal_entries"] = JsonValue(std::uint64_t{cfg.bimodalEntries});
+    v["meta_entries"] = JsonValue(std::uint64_t{cfg.metaEntries});
+    v["history_bits"] = JsonValue(std::uint64_t{cfg.historyBits});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, McFarlingConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("gshare_entries", cfg.gshareEntries);
+    r.uintField("bimodal_entries", cfg.bimodalEntries);
+    r.uintField("meta_entries", cfg.metaEntries);
+    r.uintField("history_bits", cfg.historyBits);
+    r.uintField("counter_bits", cfg.counterBits);
+    return r.finish();
+}
+
+JsonValue
+toJson(const SAgConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["bht_entries"] = JsonValue(std::uint64_t{cfg.bhtEntries});
+    v["history_bits"] = JsonValue(std::uint64_t{cfg.historyBits});
+    v["pht_entries"] = JsonValue(std::uint64_t{cfg.phtEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, SAgConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("bht_entries", cfg.bhtEntries);
+    r.uintField("history_bits", cfg.historyBits);
+    r.uintField("pht_entries", cfg.phtEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    return r.finish();
+}
+
+JsonValue
+toJson(const PAsConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["history_entries"] = JsonValue(std::uint64_t{cfg.historyEntries});
+    v["ways"] = JsonValue(std::uint64_t{cfg.ways});
+    v["history_bits"] = JsonValue(std::uint64_t{cfg.historyBits});
+    v["pht_entries"] = JsonValue(std::uint64_t{cfg.phtEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, PAsConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("history_entries", cfg.historyEntries);
+    r.uintField("ways", cfg.ways);
+    r.uintField("history_bits", cfg.historyBits);
+    r.uintField("pht_entries", cfg.phtEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    return r.finish();
+}
+
+JsonValue
+toJson(const BtbConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["entries"] = JsonValue(std::uint64_t{cfg.entries});
+    v["ways"] = JsonValue(std::uint64_t{cfg.ways});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, BtbConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("entries", cfg.entries);
+    r.uintField("ways", cfg.ways);
+    return r.finish();
+}
+
+JsonValue
+toJson(const CacheConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["size_bytes"] = JsonValue(std::uint64_t{cfg.sizeBytes});
+    v["line_bytes"] = JsonValue(std::uint64_t{cfg.lineBytes});
+    v["associativity"] = JsonValue(std::uint64_t{cfg.associativity});
+    v["hit_latency"] = JsonValue(std::uint64_t{cfg.hitLatency});
+    v["miss_latency"] = JsonValue(std::uint64_t{cfg.missLatency});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, CacheConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("size_bytes", cfg.sizeBytes);
+    r.uintField("line_bytes", cfg.lineBytes);
+    r.uintField("associativity", cfg.associativity);
+    r.uintField("hit_latency", cfg.hitLatency);
+    r.uintField("miss_latency", cfg.missLatency);
+    return r.finish();
+}
+
+JsonValue
+toJson(const PipelineConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["fetch_width"] = JsonValue(std::uint64_t{cfg.fetchWidth});
+    v["issue_width"] = JsonValue(std::uint64_t{cfg.issueWidth});
+    v["frontend_depth"] = JsonValue(std::uint64_t{cfg.frontendDepth});
+    v["mispredict_penalty"] =
+        JsonValue(std::uint64_t{cfg.mispredictPenalty});
+    v["mult_latency"] = JsonValue(std::uint64_t{cfg.multLatency});
+    v["use_caches"] = JsonValue(cfg.useCaches);
+    v["icache"] = toJson(cfg.icache);
+    v["dcache"] = toJson(cfg.dcache);
+    v["blocking_loads"] = JsonValue(cfg.blockingLoads);
+    v["use_btb"] = JsonValue(cfg.useBtb);
+    v["btb"] = toJson(cfg.btb);
+    v["btb_miss_penalty"] =
+        JsonValue(std::uint64_t{cfg.btbMissPenalty});
+    v["eager_rejoin_penalty"] =
+        JsonValue(std::uint64_t{cfg.eagerRejoinPenalty});
+    v["max_forks_in_flight"] =
+        JsonValue(std::uint64_t{cfg.maxForksInFlight});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, PipelineConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("fetch_width", cfg.fetchWidth);
+    r.uintField("issue_width", cfg.issueWidth);
+    r.uintField("frontend_depth", cfg.frontendDepth);
+    r.uintField("mispredict_penalty", cfg.mispredictPenalty);
+    r.uintField("mult_latency", cfg.multLatency);
+    r.boolField("use_caches", cfg.useCaches);
+    r.nestedField("icache", cfg.icache);
+    r.nestedField("dcache", cfg.dcache);
+    r.boolField("blocking_loads", cfg.blockingLoads);
+    r.boolField("use_btb", cfg.useBtb);
+    r.nestedField("btb", cfg.btb);
+    r.uintField("btb_miss_penalty", cfg.btbMissPenalty);
+    r.uintField("eager_rejoin_penalty", cfg.eagerRejoinPenalty);
+    r.uintField("max_forks_in_flight", cfg.maxForksInFlight);
+    return r.finish();
+}
+
+JsonValue
+toJson(const JrsConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["table_entries"] = JsonValue(std::uint64_t{cfg.tableEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    v["threshold"] = JsonValue(std::uint64_t{cfg.threshold});
+    v["enhanced"] = JsonValue(cfg.enhanced);
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, JrsConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("table_entries", cfg.tableEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    r.uintField("threshold", cfg.threshold);
+    r.boolField("enhanced", cfg.enhanced);
+    return r.finish();
+}
+
+JsonValue
+toJson(const CirConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["mode"] = JsonValue(std::string(cirModeName(cfg.mode)));
+    v["cir_bits"] = JsonValue(std::uint64_t{cfg.cirBits});
+    v["per_address"] = JsonValue(cfg.perAddress);
+    v["cir_table_entries"] =
+        JsonValue(std::uint64_t{cfg.cirTableEntries});
+    v["ones_threshold"] = JsonValue(std::uint64_t{cfg.onesThreshold});
+    v["table_entries"] = JsonValue(std::uint64_t{cfg.tableEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    v["counter_threshold"] =
+        JsonValue(std::uint64_t{cfg.counterThreshold});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, CirConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    std::string mode = cirModeName(cfg.mode);
+    r.stringField("mode", mode);
+    r.uintField("cir_bits", cfg.cirBits);
+    r.boolField("per_address", cfg.perAddress);
+    r.uintField("cir_table_entries", cfg.cirTableEntries);
+    r.uintField("ones_threshold", cfg.onesThreshold);
+    r.uintField("table_entries", cfg.tableEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    r.uintField("counter_threshold", cfg.counterThreshold);
+    if (!r.finish())
+        return false;
+    if (!cirModeFromName(mode, cfg.mode)) {
+        if (error)
+            *error = "mode: unknown CIR mode '" + mode + "'";
+        return false;
+    }
+    return true;
+}
+
+JsonValue
+toJson(const McfJrsConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["gshare_entries"] = JsonValue(std::uint64_t{cfg.gshareEntries});
+    v["bimodal_entries"] = JsonValue(std::uint64_t{cfg.bimodalEntries});
+    v["counter_bits"] = JsonValue(std::uint64_t{cfg.counterBits});
+    v["threshold"] = JsonValue(std::uint64_t{cfg.threshold});
+    v["combine"] =
+        JsonValue(std::string(mcfJrsCombineName(cfg.combine)));
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, McfJrsConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    std::string combine = mcfJrsCombineName(cfg.combine);
+    r.uintField("gshare_entries", cfg.gshareEntries);
+    r.uintField("bimodal_entries", cfg.bimodalEntries);
+    r.uintField("counter_bits", cfg.counterBits);
+    r.uintField("threshold", cfg.threshold);
+    r.stringField("combine", combine);
+    if (!r.finish())
+        return false;
+    if (!mcfJrsCombineFromName(combine, cfg.combine)) {
+        if (error)
+            *error = "combine: unknown combine rule '" + combine + "'";
+        return false;
+    }
+    return true;
+}
+
+JsonValue
+toJson(const WorkloadConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["scale"] = JsonValue(std::uint64_t{cfg.scale});
+    v["seed"] = JsonValue(std::uint64_t{cfg.seed});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, WorkloadConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("scale", cfg.scale);
+    r.uintField("seed", cfg.seed);
+    return r.finish();
+}
+
+JsonValue
+toJson(const ExperimentConfig &cfg)
+{
+    JsonValue v = JsonValue::object();
+    v["workload"] = toJson(cfg.workload);
+    v["pipeline"] = toJson(cfg.pipeline);
+    v["jrs"] = toJson(cfg.jrs);
+    v["static_threshold"] = JsonValue(cfg.staticThreshold);
+    v["distance_threshold"] =
+        JsonValue(std::uint64_t{cfg.distanceThreshold});
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, ExperimentConfig &cfg, std::string *error)
+{
+    Reader r(v, error);
+    r.nestedField("workload", cfg.workload);
+    r.nestedField("pipeline", cfg.pipeline);
+    r.nestedField("jrs", cfg.jrs);
+    r.doubleField("static_threshold", cfg.staticThreshold);
+    r.uintField("distance_threshold", cfg.distanceThreshold);
+    return r.finish();
+}
+
+} // namespace confsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * JSON (de)serialization for every simulator configuration struct.
+ *
+ * toJson() emits an object whose keys match the snake_case names the
+ * components' describeConfig() methods use, so a dumped configuration
+ * reads uniformly whether it came from here or from the registry's
+ * configJson(). fromJson() is the inverse: it starts from the struct
+ * passed in (callers preload defaults), overrides every key present,
+ * and rejects unknown keys and type mismatches with a descriptive
+ * error — a typo in a config file fails loudly instead of silently
+ * running the default.
+ */
+
+#ifndef CONFSIM_HARNESS_CONFIG_JSON_HH
+#define CONFSIM_HARNESS_CONFIG_JSON_HH
+
+#include <string>
+
+#include "bpred/bimodal.hh"
+#include "bpred/btb.hh"
+#include "bpred/gselect.hh"
+#include "bpred/gshare.hh"
+#include "bpred/mcfarling.hh"
+#include "bpred/pas.hh"
+#include "bpred/sag.hh"
+#include "cache/cache.hh"
+#include "common/json.hh"
+#include "confidence/cir.hh"
+#include "confidence/jrs.hh"
+#include "confidence/mcf_jrs.hh"
+#include "harness/experiment.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/// @name Config -> JSON
+/// @{
+JsonValue toJson(const BimodalConfig &cfg);
+JsonValue toJson(const GshareConfig &cfg);
+JsonValue toJson(const GselectConfig &cfg);
+JsonValue toJson(const McFarlingConfig &cfg);
+JsonValue toJson(const SAgConfig &cfg);
+JsonValue toJson(const PAsConfig &cfg);
+JsonValue toJson(const BtbConfig &cfg);
+JsonValue toJson(const CacheConfig &cfg);
+JsonValue toJson(const PipelineConfig &cfg);
+JsonValue toJson(const JrsConfig &cfg);
+JsonValue toJson(const CirConfig &cfg);
+JsonValue toJson(const McfJrsConfig &cfg);
+JsonValue toJson(const WorkloadConfig &cfg);
+JsonValue toJson(const ExperimentConfig &cfg);
+/// @}
+
+/// @name JSON -> config
+/// Overrides fields of @p cfg from keys present in @p v. On failure
+/// returns false and, when @p error is non-null, stores a description.
+/// @{
+bool fromJson(const JsonValue &v, BimodalConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, GshareConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, GselectConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, McFarlingConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, SAgConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, PAsConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, BtbConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, CacheConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, PipelineConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, JrsConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, CirConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, McfJrsConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, WorkloadConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, ExperimentConfig &cfg,
+              std::string *error = nullptr);
+/// @}
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_CONFIG_JSON_HH

@@ -20,6 +20,19 @@ standardEstimatorNames()
     return names;
 }
 
+const std::vector<std::string> &
+standardEstimatorSlugs()
+{
+    static const std::vector<std::string> slugs = {
+        "jrs",
+        "satcnt",
+        "pattern",
+        "static",
+        "distance",
+    };
+    return slugs;
+}
+
 namespace
 {
 
@@ -76,8 +89,20 @@ runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
     auto pred = makePredictor(kind);
 
     Pipeline pipe(*prog, *pred, cfg.pipeline);
-    for (auto *estimator : bundle.estimators())
+    const auto estimators = bundle.estimators();
+    for (auto *estimator : estimators)
         pipe.attachEstimator(estimator);
+
+    // Registry over every component of this run. Registration order is
+    // deterministic, so serial and parallel suites serialize
+    // identically.
+    StatsRegistry registry;
+    registry.registerObject("predictor", *pred);
+    for (std::size_t i = 0; i < estimators.size(); ++i)
+        registry.registerObject(
+                "estimators." + standardEstimatorSlugs()[i],
+                *estimators[i]);
+    registry.registerObject("pipeline", pipe);
 
     ConfidenceCollector collector(NUM_STANDARD_ESTIMATORS);
     pipe.attachSink(&collector);
@@ -89,6 +114,8 @@ runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
         result.quadrants.push_back(collector.committed(i));
         result.quadrantsAll.push_back(collector.all(i));
     }
+    result.statsDoc = registry.statsJson();
+    result.componentsDoc = registry.configJson();
     return result;
 }
 

@@ -50,6 +50,8 @@ struct ExperimentConfig
     JrsConfig jrs;             ///< JRS geometry (default = paper)
     double staticThreshold = 0.9;   ///< static estimator accuracy bar
     unsigned distanceThreshold = 4; ///< distance estimator "> n"
+
+    bool operator==(const ExperimentConfig &) const = default;
 };
 
 /**
@@ -100,6 +102,10 @@ class StandardBundle
     std::unique_ptr<DistanceEstimator> distanceEst;
 };
 
+/** Registry paths of the standard estimators, in
+ *  StandardEstimatorIndex order ("jrs", "satcnt", ...). */
+const std::vector<std::string> &standardEstimatorSlugs();
+
 /** Results of one standard pipeline run over one workload. */
 struct WorkloadResult
 {
@@ -109,6 +115,10 @@ struct WorkloadResult
     std::vector<QuadrantCounts> quadrants;
     /** All-branch quadrants per standard estimator. */
     std::vector<QuadrantCounts> quadrantsAll;
+    /** Hierarchical per-component statistics (registry statsJson). */
+    JsonValue statsDoc;
+    /** Hierarchical per-component configuration (registry configJson). */
+    JsonValue componentsDoc;
 };
 
 /**

@@ -10,8 +10,100 @@ namespace confsim
 Pipeline::Pipeline(const Program &prog, BranchPredictor &pred,
                    const PipelineConfig &config)
     : predictor(pred), cfg(config), machine(prog),
-      icache(cfg.icache), dcache(cfg.dcache), btb(cfg.btb)
+      icache(cfg.icache, "icache"), dcache(cfg.dcache, "dcache"),
+      btb(cfg.btb)
 {
+}
+
+void
+Pipeline::reset()
+{
+    machine.reset();
+    icache.reset();
+    dcache.reset();
+    btb.reset();
+    inflight.clear();
+    stats = PipelineStats{};
+    lowConfCount = 0;
+    forksInFlight = 0;
+    cycle = 0;
+    fetchStallUntil = 0;
+    nextIssueCycle = 0;
+    issueBusyCycle = 0;
+    issueSlotsUsed = 0;
+    nextSeq = 0;
+    preciseDistAll = 0;
+    preciseDistCommitted = 0;
+    perceivedDistAll = 0;
+    perceivedDistCommitted = 0;
+}
+
+void
+Pipeline::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("cycles", &stats.cycles, "simulated cycles");
+    reg.addCounter("committed_insts", &stats.committedInsts,
+                   "architected-path instructions committed");
+    reg.addCounter("all_insts", &stats.allInsts,
+                   "instructions executed incl. wrong path");
+    reg.addCounter("committed_cond_branches",
+                   &stats.committedCondBranches,
+                   "committed conditional branches");
+    reg.addCounter("all_cond_branches", &stats.allCondBranches,
+                   "conditional branches incl. wrong path");
+    reg.addCounter("committed_mispredicts",
+                   &stats.committedMispredicts,
+                   "mispredicted committed branches");
+    reg.addCounter("all_mispredicts", &stats.allMispredicts,
+                   "mispredictions incl. wrong path");
+    reg.addCounter("recoveries", &stats.recoveries,
+                   "pipeline flush recoveries");
+    reg.addCounter("gated_cycles", &stats.gatedCycles,
+                   "fetch cycles blocked by gating");
+    reg.addCounter("forked_branches", &stats.forkedBranches,
+                   "eager-execution forks");
+    reg.addCounter("fork_rescues", &stats.forkRescues,
+                   "forked mispredicts rescued");
+    reg.addCounter("forked_fetch_cycles", &stats.forkedFetchCycles,
+                   "fetch cycles at split width");
+    reg.addCounter("icache_accesses", &stats.icacheAccesses,
+                   "icache accesses (snapshot)");
+    reg.addCounter("icache_misses", &stats.icacheMisses,
+                   "icache misses (snapshot)");
+    reg.addCounter("dcache_accesses", &stats.dcacheAccesses,
+                   "dcache accesses (snapshot)");
+    reg.addCounter("dcache_misses", &stats.dcacheMisses,
+                   "dcache misses (snapshot)");
+    reg.addCounter("btb_lookups", &stats.btbLookups,
+                   "BTB lookups (snapshot)");
+    reg.addCounter("btb_misses", &stats.btbMisses,
+                   "BTB misses (snapshot)");
+    reg.addRatio("ipc", &stats.committedInsts, &stats.cycles,
+                 "committed instructions per cycle");
+    reg.addRatio("committed_mispredict_rate",
+                 &stats.committedMispredicts,
+                 &stats.committedCondBranches,
+                 "misprediction rate over committed branches");
+
+    reg.registerObject("icache", icache);
+    reg.registerObject("dcache", dcache);
+    reg.registerObject("btb", btb);
+}
+
+void
+Pipeline::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("fetch_width", cfg.fetchWidth);
+    out.putUint("issue_width", cfg.issueWidth);
+    out.putUint("frontend_depth", cfg.frontendDepth);
+    out.putUint("mispredict_penalty", cfg.mispredictPenalty);
+    out.putUint("mult_latency", cfg.multLatency);
+    out.putBool("use_caches", cfg.useCaches);
+    out.putBool("blocking_loads", cfg.blockingLoads);
+    out.putBool("use_btb", cfg.useBtb);
+    out.putUint("btb_miss_penalty", cfg.btbMissPenalty);
+    out.putUint("eager_rejoin_penalty", cfg.eagerRejoinPenalty);
+    out.putUint("max_forks_in_flight", cfg.maxForksInFlight);
 }
 
 unsigned

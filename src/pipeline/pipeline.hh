@@ -47,8 +47,8 @@ struct PipelineConfig
     Cycle mispredictPenalty = 3;  ///< extra recovery cycles (paper: 3)
     Cycle multLatency = 3;        ///< IntMult execute latency
     bool useCaches = true;        ///< model L1 I/D caches
-    CacheConfig icache = {"icache", 128 * 1024, 32, 2, 2, 10};
-    CacheConfig dcache = {"dcache", 64 * 1024, 32, 2, 2, 10};
+    CacheConfig icache = {128 * 1024, 32, 2, 2, 10};
+    CacheConfig dcache = {64 * 1024, 32, 2, 2, 10};
     /** Loads that miss block issue (in-order pipe). */
     bool blockingLoads = true;
     /** Model a branch target buffer: fetch redirection for a
@@ -68,6 +68,8 @@ struct PipelineConfig
      *  being fetched. Enabled via enableEagerExecution(). */
     Cycle eagerRejoinPenalty = 1;
     unsigned maxForksInFlight = 4; ///< fork resource budget
+
+    bool operator==(const PipelineConfig &) const = default;
 };
 
 /**
@@ -227,8 +229,13 @@ struct PipelineStats
 /**
  * The pipeline simulator. Bind a program and a predictor, attach
  * estimators/level readers/sink, then run().
+ *
+ * As a SimObject the pipeline owns its caches, BTB, and machine state;
+ * registerStats() nests them as child objects (`<pipeline>.icache`,
+ * `<pipeline>.dcache`, `<pipeline>.btb`). The borrowed predictor and
+ * estimators are *not* children — register them at their own paths.
  */
-class Pipeline
+class Pipeline : public SimObject
 {
   public:
     /**
@@ -239,6 +246,20 @@ class Pipeline
      */
     Pipeline(const Program &prog, BranchPredictor &pred,
              const PipelineConfig &config = {});
+
+    std::string name() const override { return "pipeline"; }
+
+    /**
+     * Restore the pipeline's power-on state: machine, caches, BTB,
+     * in-flight bookkeeping, and statistics. Attachments (estimators,
+     * level readers, sinks, gating/eager settings) are kept; the
+     * borrowed predictor and estimators are not reset — they are
+     * separate SimObjects.
+     */
+    void reset() override;
+
+    void registerStats(StatsRegistry &reg) override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /**
      * Attach a confidence estimator: estimate() is called at fetch for

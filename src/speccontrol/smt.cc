@@ -18,9 +18,59 @@ fetchPolicyName(FetchPolicy policy)
     return "???";
 }
 
+bool
+fetchPolicyFromName(const std::string &name, FetchPolicy &policy)
+{
+    if (name == "round-robin") {
+        policy = FetchPolicy::RoundRobin;
+        return true;
+    }
+    if (name == "fewest-in-flight") {
+        policy = FetchPolicy::FewestInFlight;
+        return true;
+    }
+    if (name == "low-confidence") {
+        policy = FetchPolicy::LowConfidence;
+        return true;
+    }
+    return false;
+}
+
 SmtSimulator::SmtSimulator(const SmtConfig &config)
     : cfg(config)
 {
+}
+
+void
+SmtSimulator::reset()
+{
+    for (auto &t : threads) {
+        t->pred->reset();
+        t->jrs->reset();
+        t->pipe->reset();
+        t->running = true;
+    }
+    rrCursor = 0;
+}
+
+void
+SmtSimulator::registerStats(StatsRegistry &reg)
+{
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const std::string prefix = "thread" + std::to_string(i);
+        reg.registerObject(prefix + ".predictor", *threads[i]->pred);
+        reg.registerObject(prefix + ".jrs", *threads[i]->jrs);
+        reg.registerObject(prefix + ".pipeline", *threads[i]->pipe);
+    }
+}
+
+void
+SmtSimulator::describeConfig(ConfigWriter &out) const
+{
+    out.putString("policy", fetchPolicyName(cfg.policy));
+    out.putUint("fetch_threads_per_cycle", cfg.fetchThreadsPerCycle);
+    out.putString("predictor", predictorKindName(cfg.predictor));
+    out.putUint("threads", threads.size());
 }
 
 void

@@ -38,6 +38,9 @@ enum class FetchPolicy
 /** @return human-readable policy name. */
 const char *fetchPolicyName(FetchPolicy policy);
 
+/** Parse @p name back to a FetchPolicy. @return false on unknown. */
+bool fetchPolicyFromName(const std::string &name, FetchPolicy &policy);
+
 /** Configuration of an SMT simulation. */
 struct SmtConfig
 {
@@ -80,12 +83,22 @@ struct SmtStats
 
 /**
  * Multi-threaded pipeline driver with a pluggable fetch policy.
+ *
+ * A SimObject whose children are the per-thread components: thread @c i
+ * registers under `smt.thread<i>` with `predictor`, `jrs`, and
+ * `pipeline` subtrees. reset() restores every thread to power-on state
+ * so the simulation can be re-run deterministically.
  */
-class SmtSimulator
+class SmtSimulator : public SimObject
 {
   public:
     /** @param config simulation parameters. */
     explicit SmtSimulator(const SmtConfig &config);
+
+    std::string name() const override { return "smt"; }
+    void reset() override;
+    void registerStats(StatsRegistry &reg) override;
+    void describeConfig(ConfigWriter &out) const override;
 
     /** Add a hardware thread running the given workload. */
     void addThread(const WorkloadSpec &spec);

@@ -39,6 +39,8 @@ struct WorkloadConfig
     unsigned scale = 1;
     /** Seed for the input-data generator. */
     std::uint64_t seed = 0x5eed;
+
+    bool operator==(const WorkloadConfig &) const = default;
 };
 
 /// @name Workload builders (one per SPECint95 analog)

@@ -16,7 +16,6 @@ CacheConfig
 tinyCache(unsigned ways = 2)
 {
     CacheConfig cfg;
-    cfg.name = "tiny";
     cfg.sizeBytes = 256;
     cfg.lineBytes = 32;
     cfg.associativity = ways;
@@ -116,8 +115,8 @@ TEST(CacheTest, ResetInvalidatesAndClearsStats)
 TEST(CacheTest, PaperConfigurationsConstruct)
 {
     // 64 kB D / 128 kB I with 2-cycle access, per §3.1.
-    Cache dcache({"dcache", 64 * 1024, 32, 2, 2, 10});
-    Cache icache({"icache", 128 * 1024, 32, 2, 2, 10});
+    Cache dcache({64 * 1024, 32, 2, 2, 10}, "dcache");
+    Cache icache({128 * 1024, 32, 2, 2, 10}, "icache");
     EXPECT_EQ(dcache.numSets(), 1024u);
     EXPECT_EQ(icache.numSets(), 2048u);
     EXPECT_EQ(dcache.access(0x1234), 12u);

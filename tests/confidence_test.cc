@@ -416,15 +416,17 @@ TEST(BoostingTest, HighEstimateResetsRun)
     struct Alternating : ConfidenceEstimator
     {
         bool next = false;
+        std::string name() const override { return "alt"; }
+
+      protected:
         bool
-        estimate(Addr, const BpInfo &) override
+        doEstimate(Addr, const BpInfo &) override
         {
             next = !next;
             return next;
         }
-        void update(Addr, bool, bool, const BpInfo &) override {}
-        std::string name() const override { return "alt"; }
-        void reset() override { next = false; }
+        void doUpdate(Addr, bool, bool, const BpInfo &) override {}
+        void doReset() override { next = false; }
     };
     BoostingEstimator boost(std::make_unique<Alternating>(), 2);
     const BpInfo info;

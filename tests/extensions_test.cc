@@ -247,14 +247,16 @@ TEST(BoostHcTest, LowEstimateBreaksRun)
     struct TwoHighOneLow : ConfidenceEstimator
     {
         int i = 0;
+        std::string name() const override { return "hhl"; }
+
+      protected:
         bool
-        estimate(Addr, const BpInfo &) override
+        doEstimate(Addr, const BpInfo &) override
         {
             return ++i % 3 != 0; // H H L H H L ...
         }
-        void update(Addr, bool, bool, const BpInfo &) override {}
-        std::string name() const override { return "hhl"; }
-        void reset() override { i = 0; }
+        void doUpdate(Addr, bool, bool, const BpInfo &) override {}
+        void doReset() override { i = 0; }
     };
     BoostingEstimator boost(std::make_unique<TwoHighOneLow>(), 3,
                             BoostMode::HighConfidence);

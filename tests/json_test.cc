@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the dependency-free JSON document model: writer
+ * output, strict parsing, and the bit-exact integer round trips the
+ * stats serialization relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace confsim
+{
+namespace
+{
+
+TEST(JsonValueTest, KindsAndAccessors)
+{
+    EXPECT_TRUE(JsonValue().isNull());
+    EXPECT_TRUE(JsonValue(true).asBool());
+    EXPECT_EQ(JsonValue(std::int64_t{-7}).asInt(), -7);
+    EXPECT_EQ(JsonValue(std::uint64_t{7}).asUint(), 7u);
+    EXPECT_DOUBLE_EQ(JsonValue(1.5).asDouble(), 1.5);
+    EXPECT_EQ(JsonValue("hi").asString(), "hi");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj["zebra"] = JsonValue(std::uint64_t{1});
+    obj["apple"] = JsonValue(std::uint64_t{2});
+    obj["mango"] = JsonValue(std::uint64_t{3});
+    ASSERT_EQ(obj.members().size(), 3u);
+    EXPECT_EQ(obj.members()[0].first, "zebra");
+    EXPECT_EQ(obj.members()[1].first, "apple");
+    EXPECT_EQ(obj.members()[2].first, "mango");
+}
+
+TEST(JsonValueTest, FindAndContains)
+{
+    JsonValue obj = JsonValue::object();
+    obj["key"] = JsonValue(std::uint64_t{42});
+    EXPECT_TRUE(obj.contains("key"));
+    EXPECT_FALSE(obj.contains("missing"));
+    ASSERT_NE(obj.find("key"), nullptr);
+    EXPECT_EQ(obj.find("key")->asUint(), 42u);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonDumpTest, CompactAndPretty)
+{
+    JsonValue obj = JsonValue::object();
+    obj["a"] = JsonValue(std::uint64_t{1});
+    obj["b"].push(JsonValue(true));
+    EXPECT_EQ(obj.dump(0), "{\"a\":1,\"b\":[true]}");
+    // Pretty dumps end with a newline so shell redirection yields a
+    // well-formed text file.
+    EXPECT_EQ(obj.dump(2),
+              "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}\n");
+}
+
+TEST(JsonDumpTest, StringEscapes)
+{
+    JsonValue v(std::string("a\"b\\c\n\t\x01"));
+    EXPECT_EQ(v.dump(0), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonDumpTest, DoublesKeepMarker)
+{
+    // A fraction-free double must still read back as a double.
+    EXPECT_EQ(JsonValue(2.0).dump(0), "2.0");
+    const JsonValue back = JsonValue::parse(JsonValue(2.0).dump(0));
+    EXPECT_EQ(back.kind(), JsonValue::Kind::Double);
+}
+
+TEST(JsonParseTest, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool(true));
+    EXPECT_EQ(JsonValue::parse("123").kind(), JsonValue::Kind::Uint);
+    EXPECT_EQ(JsonValue::parse("-123").kind(), JsonValue::Kind::Int);
+    EXPECT_EQ(JsonValue::parse("1.25").kind(), JsonValue::Kind::Double);
+    EXPECT_EQ(JsonValue::parse("1e3").kind(), JsonValue::Kind::Double);
+    EXPECT_EQ(JsonValue::parse("\"s\"").asString(), "s");
+}
+
+TEST(JsonParseTest, Uint64MaxRoundTripsBitExactly)
+{
+    const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+    const JsonValue v(big);
+    const JsonValue back = JsonValue::parse(v.dump(0));
+    EXPECT_EQ(back.kind(), JsonValue::Kind::Uint);
+    EXPECT_EQ(back.asUint(), big);
+}
+
+TEST(JsonParseTest, Int64MinRoundTripsBitExactly)
+{
+    const std::int64_t small = std::numeric_limits<std::int64_t>::min();
+    const JsonValue back = JsonValue::parse(JsonValue(small).dump(0));
+    EXPECT_EQ(back.kind(), JsonValue::Kind::Int);
+    EXPECT_EQ(back.asInt(), small);
+}
+
+TEST(JsonParseTest, NestedDocumentRoundTrip)
+{
+    JsonValue doc = JsonValue::object();
+    doc["stats"]["pipeline"]["cycles"] =
+        JsonValue(std::uint64_t{123456789});
+    doc["list"].push(JsonValue(std::uint64_t{1}));
+    doc["list"].push(JsonValue("two"));
+    doc["list"].push(JsonValue::object());
+    for (int indent : {0, 2, 4}) {
+        std::string err;
+        const JsonValue back = JsonValue::parse(doc.dump(indent), &err);
+        EXPECT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back, doc) << "indent=" << indent;
+    }
+}
+
+TEST(JsonParseTest, UnicodeEscapes)
+{
+    const JsonValue v = JsonValue::parse("\"\\u0041\\u00e9\\u20ac\"");
+    EXPECT_EQ(v.asString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.",
+          "\"unterminated", "{\"a\":1} extra", "[1 2]", "+1", "nan"}) {
+        std::string err;
+        JsonValue::parse(bad, &err);
+        EXPECT_FALSE(err.empty()) << "accepted: " << bad;
+    }
+}
+
+TEST(JsonParseTest, ReportsErrorOffset)
+{
+    std::string err;
+    JsonValue::parse("{\"a\": tru}", &err);
+    EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    std::string err;
+    JsonValue::parse(deep, &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonEqualityTest, NumericKindsCompareByValue)
+{
+    EXPECT_EQ(JsonValue(std::uint64_t{5}), JsonValue(std::int64_t{5}));
+    EXPECT_EQ(JsonValue(std::uint64_t{5}), JsonValue(5.0));
+    EXPECT_FALSE(JsonValue(std::uint64_t{5}) == JsonValue(std::uint64_t{6}));
+    EXPECT_FALSE(JsonValue(std::uint64_t{5}) == JsonValue("5"));
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the SimObject/StatsRegistry architecture: hierarchical
+ * path construction, per-object reset zeroing, the PipelineStats
+ * field-count guard, and reset-then-rerun determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "bpred/branch_predictor.hh"
+#include "common/stats_registry.hh"
+#include "confidence/jrs.hh"
+#include "harness/experiment_cache.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+/** Minimal SimObject exercising manual registration. */
+class ToyObject : public SimObject
+{
+  public:
+    std::string name() const override { return "toy"; }
+
+    void reset() override { events = 0; misses = 0; }
+
+    void
+    registerStats(StatsRegistry &reg) override
+    {
+        reg.addCounter("events", &events, "toy events");
+        reg.addCounter("misses", &misses, "toy misses");
+        reg.addRatio("miss_rate", &misses, &events, "toy miss rate");
+    }
+
+    void
+    describeConfig(ConfigWriter &out) const override
+    {
+        out.putUint("knob", 7);
+    }
+
+    std::uint64_t events = 0;
+    std::uint64_t misses = 0;
+};
+
+TEST(StatsRegistryTest, DottedPathsFollowScopes)
+{
+    StatsRegistry reg;
+    ToyObject toy;
+    reg.registerObject("outer.inner", toy);
+    ASSERT_EQ(reg.entries().size(), 3u);
+    EXPECT_EQ(reg.entries()[0].path, "outer.inner.events");
+    EXPECT_EQ(reg.entries()[1].path, "outer.inner.misses");
+    EXPECT_EQ(reg.entries()[2].path, "outer.inner.miss_rate");
+    ASSERT_EQ(reg.objects().size(), 1u);
+    EXPECT_EQ(reg.objects()[0].path, "outer.inner");
+}
+
+TEST(StatsRegistryTest, CountersTrackLiveFields)
+{
+    StatsRegistry reg;
+    ToyObject toy;
+    reg.registerObject("toy", toy);
+    toy.events = 10;
+    toy.misses = 4;
+    const JsonValue stats = reg.statsJson();
+    EXPECT_EQ(stats.find("toy")->find("events")->asUint(), 10u);
+    EXPECT_EQ(stats.find("toy")->find("misses")->asUint(), 4u);
+    EXPECT_DOUBLE_EQ(stats.find("toy")->find("miss_rate")->asDouble(),
+                     0.4);
+}
+
+TEST(StatsRegistryTest, RatioWithZeroDenominatorIsZero)
+{
+    StatsRegistry reg;
+    ToyObject toy;
+    reg.registerObject("toy", toy);
+    const JsonValue stats = reg.statsJson();
+    EXPECT_DOUBLE_EQ(stats.find("toy")->find("miss_rate")->asDouble(),
+                     0.0);
+}
+
+TEST(StatsRegistryTest, ConfigJsonCarriesNameAndDescribeConfig)
+{
+    StatsRegistry reg;
+    ToyObject toy;
+    reg.registerObject("toy", toy);
+    const JsonValue cfg = reg.configJson();
+    EXPECT_EQ(cfg.find("toy")->find("name")->asString(), "toy");
+    EXPECT_EQ(cfg.find("toy")->find("knob")->asUint(), 7u);
+}
+
+TEST(StatsRegistryTest, ZeroCountersClearsEveryCounter)
+{
+    StatsRegistry reg;
+    ToyObject toy;
+    reg.registerObject("toy", toy);
+    toy.events = 99;
+    toy.misses = 12;
+    reg.zeroCounters();
+    EXPECT_EQ(toy.events, 0u);
+    EXPECT_EQ(toy.misses, 0u);
+}
+
+/**
+ * Every registered SimObject's reset() must zero every counter that
+ * object registered — the contract regression harnesses rely on.
+ */
+TEST(StatsRegistryTest, ResetZeroesEveryRegisteredCounterPerObject)
+{
+    const WorkloadConfig wl;
+    const auto &spec = standardWorkloads().front();
+    const auto prog = cachedProgram(spec, wl);
+
+    auto pred = makePredictor(PredictorKind::Gshare);
+    JrsEstimator jrs;
+    Pipeline pipe(*prog, *pred);
+    pipe.attachEstimator(&jrs);
+
+    StatsRegistry reg;
+    reg.registerObject("predictor", *pred);
+    reg.registerObject("estimator", jrs);
+    reg.registerObject("pipeline", pipe);
+
+    pipe.run();
+    // The run must have produced nonzero counters somewhere.
+    bool any_nonzero = false;
+    for (const auto &entry : reg.entries())
+        if (entry.kind == StatsRegistry::StatKind::Counter
+            && *entry.counter != 0)
+            any_nonzero = true;
+    ASSERT_TRUE(any_nonzero);
+
+    for (const auto &record : reg.objects()) {
+        record.object->reset();
+        EXPECT_TRUE(reg.countersZeroFor(*record.object))
+                << record.path << " left a counter nonzero after "
+                << "reset()";
+    }
+}
+
+/**
+ * Guard: when a field is added to PipelineStats, it must also be
+ * registered in Pipeline::registerStats. PipelineStats is all 64-bit
+ * counters, so the field count is sizeof-derivable.
+ */
+TEST(StatsRegistryTest, PipelineStatsFieldCountMatchesRegistration)
+{
+    const WorkloadConfig wl;
+    const auto &spec = standardWorkloads().front();
+    const auto prog = cachedProgram(spec, wl);
+    auto pred = makePredictor(PredictorKind::Gshare);
+    Pipeline pipe(*prog, *pred);
+
+    StatsRegistry reg;
+    reg.registerObject("pipeline", pipe);
+
+    static_assert(sizeof(PipelineStats) % sizeof(std::uint64_t) == 0,
+                  "PipelineStats must stay all-uint64 for this guard");
+    EXPECT_EQ(reg.countersOwnedBy(pipe),
+              sizeof(PipelineStats) / sizeof(std::uint64_t))
+            << "PipelineStats and Pipeline::registerStats are out of "
+            << "sync: register every new stats field";
+}
+
+TEST(StatsRegistryTest, ChildObjectsNestUnderPipeline)
+{
+    const WorkloadConfig wl;
+    const auto &spec = standardWorkloads().front();
+    const auto prog = cachedProgram(spec, wl);
+    auto pred = makePredictor(PredictorKind::Gshare);
+    Pipeline pipe(*prog, *pred);
+
+    StatsRegistry reg;
+    reg.registerObject("pipeline", pipe);
+
+    bool icache_seen = false, dcache_seen = false, btb_seen = false;
+    for (const auto &record : reg.objects()) {
+        icache_seen |= record.path == "pipeline.icache";
+        dcache_seen |= record.path == "pipeline.dcache";
+        btb_seen |= record.path == "pipeline.btb";
+    }
+    EXPECT_TRUE(icache_seen);
+    EXPECT_TRUE(dcache_seen);
+    EXPECT_TRUE(btb_seen);
+
+    const JsonValue stats = reg.statsJson();
+    const JsonValue *pipeline = stats.find("pipeline");
+    ASSERT_NE(pipeline, nullptr);
+    ASSERT_NE(pipeline->find("icache"), nullptr);
+    EXPECT_NE(pipeline->find("icache")->find("accesses"), nullptr);
+}
+
+/** resetObjects() + rerun must reproduce the run bit-identically. */
+TEST(StatsRegistryTest, ResetThenRerunIsDeterministic)
+{
+    const WorkloadConfig wl;
+    const auto &spec = standardWorkloads().front();
+    const auto prog = cachedProgram(spec, wl);
+
+    auto pred = makePredictor(PredictorKind::Gshare);
+    JrsEstimator jrs;
+    Pipeline pipe(*prog, *pred);
+    pipe.attachEstimator(&jrs);
+
+    StatsRegistry reg;
+    reg.registerObject("predictor", *pred);
+    reg.registerObject("estimator", jrs);
+    reg.registerObject("pipeline", pipe);
+
+    const PipelineStats first = pipe.run();
+    const JsonValue first_doc = reg.statsJson();
+
+    reg.resetObjects();
+    EXPECT_TRUE(reg.countersZeroFor(pipe));
+
+    const PipelineStats second = pipe.run();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first_doc, reg.statsJson());
+}
+
+TEST(StatsRegistryTest, PredictorStatsCountNvi)
+{
+    auto pred = makePredictor(PredictorKind::Bimodal);
+    StatsRegistry reg;
+    reg.registerObject("predictor", *pred);
+
+    const BpInfo info = pred->predict(0x40);
+    pred->update(0x40, !info.predTaken, info); // force a mispredict
+
+    const JsonValue stats = reg.statsJson();
+    const JsonValue *p = stats.find("predictor");
+    EXPECT_EQ(p->find("predicts")->asUint(), 1u);
+    EXPECT_EQ(p->find("updates")->asUint(), 1u);
+    EXPECT_EQ(p->find("mispredicts")->asUint(), 1u);
+
+    pred->reset();
+    EXPECT_TRUE(reg.countersZeroFor(*pred));
+}
+
+TEST(StatsRegistryTest, EstimatorStatsCountNvi)
+{
+    JrsEstimator jrs;
+    StatsRegistry reg;
+    reg.registerObject("estimator", jrs);
+
+    const BpInfo info;
+    // Fresh MDC is 0 < threshold: low confidence.
+    EXPECT_FALSE(jrs.estimate(0x40, info));
+    jrs.update(0x40, true, true, info);
+
+    const JsonValue stats = reg.statsJson();
+    const JsonValue *e = stats.find("estimator");
+    EXPECT_EQ(e->find("estimates")->asUint(), 1u);
+    EXPECT_EQ(e->find("low_estimates")->asUint(), 1u);
+    EXPECT_EQ(e->find("updates")->asUint(), 1u);
+    EXPECT_DOUBLE_EQ(e->find("low_fraction")->asDouble(), 1.0);
+
+    jrs.reset();
+    EXPECT_TRUE(reg.countersZeroFor(jrs));
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Round-trip tests for config JSON serialization and end-to-end
+ * serialization determinism: every config struct must survive
+ * toJson -> dump -> parse -> fromJson field-identically, and the
+ * standard suite must emit identical JSON documents whether it runs
+ * serially or in parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/config_json.hh"
+#include "harness/experiment.hh"
+
+namespace confsim
+{
+namespace
+{
+
+/** toJson -> dump -> parse -> fromJson must reproduce @p original. */
+template <typename Config>
+void
+expectRoundTrip(const Config &original)
+{
+    const JsonValue doc = toJson(original);
+    std::string parse_err;
+    const JsonValue reparsed =
+        JsonValue::parse(doc.dump(2), &parse_err);
+    ASSERT_TRUE(parse_err.empty()) << parse_err;
+
+    Config restored; // defaults, then overridden field by field
+    std::string err;
+    ASSERT_TRUE(fromJson(reparsed, restored, &err)) << err;
+    EXPECT_TRUE(restored == original);
+}
+
+TEST(ConfigRoundTripTest, Bimodal)
+{
+    BimodalConfig cfg;
+    cfg.tableEntries = 1024;
+    cfg.counterBits = 3;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, Gshare)
+{
+    GshareConfig cfg;
+    cfg.tableEntries = 8192;
+    cfg.historyBits = 10;
+    cfg.speculativeHistory = false;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, Gselect)
+{
+    GselectConfig cfg;
+    cfg.addrBits = 5;
+    cfg.historyBits = 7;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, McFarling)
+{
+    McFarlingConfig cfg;
+    cfg.gshareEntries = 2048;
+    cfg.metaEntries = 1024;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, SAg)
+{
+    SAgConfig cfg;
+    cfg.bhtEntries = 512;
+    cfg.historyBits = 9;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, PAs)
+{
+    PAsConfig cfg;
+    cfg.historyEntries = 4096;
+    cfg.ways = 2;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, Btb)
+{
+    BtbConfig cfg;
+    cfg.entries = 256;
+    cfg.ways = 8;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, Cache)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.missLatency = 42;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, PipelineIncludingNestedConfigs)
+{
+    PipelineConfig cfg;
+    cfg.fetchWidth = 8;
+    cfg.mispredictPenalty = 7;
+    cfg.useBtb = true;
+    cfg.btb.entries = 128;
+    cfg.icache.sizeBytes = 16 * 1024;
+    cfg.dcache.missLatency = 99;
+    cfg.maxForksInFlight = 2;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, Jrs)
+{
+    JrsConfig cfg;
+    cfg.tableEntries = 256;
+    cfg.threshold = 7;
+    cfg.enhanced = false;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, CirBothModes)
+{
+    CirConfig ones;
+    ones.mode = CirMode::OnesCount;
+    ones.cirBits = 12;
+    ones.perAddress = true;
+    expectRoundTrip(ones);
+
+    CirConfig table;
+    table.mode = CirMode::PatternTable;
+    table.counterThreshold = 2;
+    expectRoundTrip(table);
+}
+
+TEST(ConfigRoundTripTest, McfJrsAllCombineRules)
+{
+    for (auto rule : {McfJrsCombine::Selected, McfJrsCombine::BothAbove,
+                      McfJrsCombine::EitherAbove}) {
+        McfJrsConfig cfg;
+        cfg.combine = rule;
+        cfg.threshold = 9;
+        expectRoundTrip(cfg);
+    }
+}
+
+TEST(ConfigRoundTripTest, Workload)
+{
+    WorkloadConfig cfg;
+    cfg.scale = 3;
+    cfg.seed = 0xdeadbeefcafef00dull;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigRoundTripTest, ExperimentIncludingNestedConfigs)
+{
+    ExperimentConfig cfg;
+    cfg.workload.scale = 2;
+    cfg.pipeline.fetchWidth = 2;
+    cfg.pipeline.icache.sizeBytes = 8 * 1024;
+    cfg.jrs.threshold = 3;
+    cfg.staticThreshold = 0.85;
+    cfg.distanceThreshold = 9;
+    expectRoundTrip(cfg);
+}
+
+TEST(ConfigFromJsonTest, RejectsUnknownKey)
+{
+    JsonValue doc = toJson(GshareConfig{});
+    doc["tabel_entries"] = JsonValue(std::uint64_t{64}); // typo
+    GshareConfig cfg;
+    std::string err;
+    EXPECT_FALSE(fromJson(doc, cfg, &err));
+    EXPECT_NE(err.find("tabel_entries"), std::string::npos);
+}
+
+TEST(ConfigFromJsonTest, RejectsTypeMismatch)
+{
+    JsonValue doc = toJson(JrsConfig{});
+    doc["threshold"] = JsonValue("fifteen");
+    JrsConfig cfg;
+    std::string err;
+    EXPECT_FALSE(fromJson(doc, cfg, &err));
+    EXPECT_NE(err.find("threshold"), std::string::npos);
+}
+
+TEST(ConfigFromJsonTest, RejectsNegativeForUnsignedField)
+{
+    JsonValue doc = JsonValue::object();
+    doc["scale"] = JsonValue(std::int64_t{-1});
+    WorkloadConfig cfg;
+    std::string err;
+    EXPECT_FALSE(fromJson(doc, cfg, &err));
+}
+
+TEST(ConfigFromJsonTest, PartialDocumentKeepsDefaults)
+{
+    JsonValue doc = JsonValue::object();
+    doc["threshold"] = JsonValue(std::uint64_t{3});
+    JrsConfig cfg;
+    std::string err;
+    ASSERT_TRUE(fromJson(doc, cfg, &err)) << err;
+    EXPECT_EQ(cfg.threshold, 3u);
+    EXPECT_EQ(cfg.tableEntries, JrsConfig{}.tableEntries);
+    EXPECT_TRUE(cfg.enhanced);
+}
+
+TEST(ConfigFromJsonTest, RejectsNonObjectRoot)
+{
+    JrsConfig cfg;
+    std::string err;
+    EXPECT_FALSE(fromJson(JsonValue(std::uint64_t{5}), cfg, &err));
+}
+
+/** The same config must reproduce the same run, stats docs included. */
+TEST(SerializedSuiteTest, ConfigRoundTripReproducesRunBitIdentically)
+{
+    ExperimentConfig cfg;
+    const auto &spec = standardWorkloads().front();
+    const WorkloadResult first =
+        runStandardExperiment(PredictorKind::Gshare, spec, cfg);
+
+    ExperimentConfig restored;
+    std::string err;
+    ASSERT_TRUE(fromJson(
+            JsonValue::parse(toJson(cfg).dump(2)), restored, &err))
+            << err;
+    ASSERT_TRUE(restored == cfg);
+
+    const WorkloadResult second =
+        runStandardExperiment(PredictorKind::Gshare, spec, restored);
+    EXPECT_TRUE(first.pipe == second.pipe);
+    EXPECT_EQ(first.statsDoc, second.statsDoc);
+    EXPECT_EQ(first.componentsDoc, second.componentsDoc);
+}
+
+/** Serial and parallel suites must emit identical JSON documents. */
+TEST(SerializedSuiteTest, SerialAndParallelSuiteStatsJsonIdentical)
+{
+    ExperimentConfig cfg;
+    const auto serial = runStandardSuite(PredictorKind::Gshare, cfg);
+    const auto parallel =
+        runStandardSuiteParallel(PredictorKind::Gshare, cfg, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].pipe == parallel[i].pipe);
+        EXPECT_EQ(serial[i].statsDoc, parallel[i].statsDoc)
+                << serial[i].workload;
+        EXPECT_EQ(serial[i].componentsDoc, parallel[i].componentsDoc)
+                << serial[i].workload;
+        EXPECT_EQ(serial[i].statsDoc.dump(2),
+                  parallel[i].statsDoc.dump(2))
+                << serial[i].workload;
+    }
+}
+
+/** The per-run stats document nests every component of the run. */
+TEST(SerializedSuiteTest, StatsDocCoversAllComponents)
+{
+    ExperimentConfig cfg;
+    const auto &spec = standardWorkloads().front();
+    const WorkloadResult result =
+        runStandardExperiment(PredictorKind::McFarling, spec, cfg);
+
+    const JsonValue &stats = result.statsDoc;
+    ASSERT_NE(stats.find("predictor"), nullptr);
+    ASSERT_NE(stats.find("estimators"), nullptr);
+    for (const auto &slug : standardEstimatorSlugs())
+        EXPECT_NE(stats.find("estimators")->find(slug), nullptr)
+                << slug;
+    const JsonValue *pipeline = stats.find("pipeline");
+    ASSERT_NE(pipeline, nullptr);
+    EXPECT_NE(pipeline->find("cycles"), nullptr);
+    EXPECT_NE(pipeline->find("icache"), nullptr);
+    EXPECT_NE(pipeline->find("dcache"), nullptr);
+    EXPECT_NE(pipeline->find("btb"), nullptr);
+
+    // Pipeline snapshot counters and the live cache counters must
+    // agree once the run has finished.
+    EXPECT_EQ(pipeline->find("icache_accesses")->asUint(),
+              pipeline->find("icache")->find("accesses")->asUint());
+    EXPECT_EQ(pipeline->find("dcache_misses")->asUint(),
+              pipeline->find("dcache")->find("misses")->asUint());
+
+    const JsonValue &components = result.componentsDoc;
+    EXPECT_EQ(components.find("predictor")->find("name")->asString(),
+              "mcfarling");
+}
+
+} // anonymous namespace
+} // namespace confsim

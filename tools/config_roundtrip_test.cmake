@@ -1,0 +1,50 @@
+# Round-trip check: the "config" section of `confsim --json` output,
+# fed back through `--config`, must reproduce the run byte-identically.
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P config_roundtrip_test.cmake
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+    message(STATUS "python3 not found; skipping config round trip")
+    return()
+endif()
+
+set(FIRST "${WORK_DIR}/roundtrip_first.json")
+set(CONFIG "${WORK_DIR}/roundtrip_config.json")
+set(SECOND "${WORK_DIR}/roundtrip_second.json")
+
+execute_process(
+    COMMAND ${CONFSIM} --workload compress --estimator jrs --json
+    OUTPUT_FILE ${FIRST}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --json failed (${rc})")
+endif()
+
+# Validate the document and extract its "config" member.
+execute_process(
+    COMMAND ${PYTHON3} -c
+        "import json,sys; doc=json.load(open(sys.argv[1])); \
+json.dump(doc['config'], open(sys.argv[2],'w'), indent=2)"
+        ${FIRST} ${CONFIG}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --json did not emit valid JSON")
+endif()
+
+execute_process(
+    COMMAND ${CONFSIM} --config ${CONFIG} --json
+    OUTPUT_FILE ${SECOND}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --config failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${FIRST} ${SECOND}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "--config round trip diverged: ${FIRST} vs ${SECOND}")
+endif()

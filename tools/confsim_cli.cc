@@ -9,13 +9,24 @@
  *   confsim --workload go --predictor mcfarling --estimator satcnt-both
  *   confsim --workload all --estimator jrs --csv
  *   confsim --workload gcc --gate 2           # pipeline gating
+ *   confsim --workload go --json              # machine-readable output
+ *   confsim --config run.json                 # load options from JSON
  *   confsim --list                            # show valid names
+ *
+ * --json emits one JSON document: a "config" section that --config
+ * accepts back verbatim (the round trip reproduces the run
+ * bit-identically) and a "runs" array with per-component configuration
+ * and statistics from the StatsRegistry.
  */
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +40,7 @@
 #include "confidence/sat_counters.hh"
 #include "confidence/static_profile.hh"
 #include "harness/collectors.hh"
+#include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/trace_run.hh"
@@ -48,12 +60,14 @@ struct Options
     std::uint64_t seed = 0x5eed;
     bool traceMode = false;
     bool csv = false;
+    bool json = false;
     bool eager = false;
     int gateThreshold = -1;
     unsigned jrsThreshold = 15;
     unsigned distanceThreshold = 4;
     double staticThreshold = 0.9;
     unsigned jobs = ThreadPool::hardwareConcurrency();
+    PipelineConfig pipeline;
 };
 
 void
@@ -84,29 +98,179 @@ usage()
         "  --jobs N          worker threads for --workload all "
         "(default:\n"
         "                    hardware concurrency; 0 or 1 = serial)\n"
+        "  --config FILE     load options from a JSON file (CLI flags\n"
+        "                    given after it still override)\n"
+        "  --json            emit one JSON document (config + per-run\n"
+        "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
         "  --list            list workloads/predictors/estimators\n");
+}
+
+[[noreturn]] void
+badValue(const std::string &flag, const char *text, const char *what)
+{
+    std::fprintf(stderr, "%s: invalid %s '%s'\n", flag.c_str(), what,
+                 text);
+    usage();
+    std::exit(2);
+}
+
+/** Checked unsigned parser: rejects garbage, trailing junk, negatives
+ *  and overflow instead of std::atoi's silent 0. */
+std::uint64_t
+parseUint(const std::string &flag, const char *text,
+          std::uint64_t max = ~std::uint64_t{0})
+{
+    if (text == nullptr || *text == '\0' || *text == '-')
+        badValue(flag, text ? text : "", "unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 0);
+    if (errno == ERANGE || end == text || *end != '\0' || v > max)
+        badValue(flag, text, "unsigned integer");
+    return v;
+}
+
+unsigned
+parseUnsigned(const std::string &flag, const char *text)
+{
+    return static_cast<unsigned>(
+            parseUint(flag, text, ~unsigned{0}));
+}
+
+/** Checked signed parser (for --gate, where -1 means "off"). */
+int
+parseInt(const std::string &flag, const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        badValue(flag, text ? text : "", "integer");
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 0);
+    if (errno == ERANGE || end == text || *end != '\0'
+        || v < INT_MIN || v > INT_MAX) {
+        badValue(flag, text, "integer");
+    }
+    return static_cast<int>(v);
+}
+
+/** Checked double parser. */
+double
+parseDouble(const std::string &flag, const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        badValue(flag, text ? text : "", "number");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno == ERANGE || end == text || *end != '\0')
+        badValue(flag, text, "number");
+    return v;
 }
 
 PredictorKind
 parsePredictor(const std::string &name)
 {
-    if (name == "bimodal")
-        return PredictorKind::Bimodal;
-    if (name == "gshare")
-        return PredictorKind::Gshare;
-    if (name == "mcfarling")
-        return PredictorKind::McFarling;
-    if (name == "sag")
-        return PredictorKind::SAg;
-    if (name == "gselect")
-        return PredictorKind::Gselect;
-    if (name == "gag")
-        return PredictorKind::GAg;
-    if (name == "pas")
-        return PredictorKind::PAs;
-    std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
-    std::exit(1);
+    PredictorKind kind;
+    if (!predictorKindFromName(name, kind)) {
+        std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
+        std::exit(1);
+    }
+    return kind;
+}
+
+/** Options as one JSON object, accepted back by loadConfigFile(). */
+JsonValue
+optionsToJson(const Options &opt)
+{
+    JsonValue v = JsonValue::object();
+    v["workload"] = JsonValue(opt.workload);
+    v["predictor"] = JsonValue(opt.predictor);
+    v["estimator"] = JsonValue(opt.estimator);
+    v["scale"] = JsonValue(std::uint64_t{opt.scale});
+    v["seed"] = JsonValue(std::uint64_t{opt.seed});
+    v["trace"] = JsonValue(opt.traceMode);
+    v["eager"] = JsonValue(opt.eager);
+    v["gate_threshold"] =
+        JsonValue(std::int64_t{opt.gateThreshold});
+    v["jrs_threshold"] = JsonValue(std::uint64_t{opt.jrsThreshold});
+    v["distance_threshold"] =
+        JsonValue(std::uint64_t{opt.distanceThreshold});
+    v["static_threshold"] = JsonValue(opt.staticThreshold);
+    v["pipeline"] = toJson(opt.pipeline);
+    return v;
+}
+
+/** Apply one JSON config document over @p opt. Exits on bad input. */
+void
+applyConfigJson(const JsonValue &doc, Options &opt,
+                const std::string &origin)
+{
+    auto die = [&origin](const std::string &msg) {
+        std::fprintf(stderr, "%s: %s\n", origin.c_str(), msg.c_str());
+        std::exit(2);
+    };
+    if (!doc.isObject())
+        die("config root must be a JSON object");
+
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "workload" || key == "predictor"
+            || key == "estimator") {
+            if (!value.isString())
+                die(key + ": expected a string");
+            if (key == "workload")
+                opt.workload = value.asString();
+            else if (key == "predictor")
+                opt.predictor = value.asString();
+            else
+                opt.estimator = value.asString();
+        } else if (key == "scale") {
+            opt.scale = static_cast<unsigned>(value.asUint());
+        } else if (key == "seed") {
+            opt.seed = value.asUint();
+        } else if (key == "trace") {
+            opt.traceMode = value.asBool();
+        } else if (key == "eager") {
+            opt.eager = value.asBool();
+        } else if (key == "gate_threshold") {
+            opt.gateThreshold = static_cast<int>(value.asInt());
+        } else if (key == "jrs_threshold") {
+            opt.jrsThreshold = static_cast<unsigned>(value.asUint());
+        } else if (key == "distance_threshold") {
+            opt.distanceThreshold =
+                static_cast<unsigned>(value.asUint());
+        } else if (key == "static_threshold") {
+            opt.staticThreshold = value.asDouble();
+        } else if (key == "jobs") {
+            opt.jobs = static_cast<unsigned>(value.asUint());
+        } else if (key == "pipeline") {
+            std::string err;
+            if (!fromJson(value, opt.pipeline, &err))
+                die("pipeline: " + err);
+        } else {
+            die("unknown key '" + key + "'");
+        }
+    }
+}
+
+void
+loadConfigFile(const std::string &path, Options &opt)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open config file '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    const JsonValue doc = JsonValue::parse(text.str(), &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        std::exit(2);
+    }
+    applyConfigJson(doc, opt, path);
 }
 
 /** Build the requested estimator; `profile` outlives the estimator. */
@@ -169,9 +333,12 @@ makeEstimator(const Options &opt, PredictorKind kind,
 struct RunOutput
 {
     QuadrantCounts quadrants;
+    QuadrantCounts quadrantsAll;
     PipelineStats pipe;
     TraceRunStats trace;
     bool pipeMode = false;
+    JsonValue componentsDoc; ///< per-component config (registry)
+    JsonValue statsDoc;      ///< per-component stats (registry)
 };
 
 RunOutput
@@ -195,15 +362,24 @@ runOne(const Options &opt, const WorkloadSpec &spec)
 
     RunOutput out;
     CallbackSink sink([&out](const BranchEvent &ev) {
+        out.quadrantsAll.record(ev.correct, ev.estimate(0));
         if (ev.willCommit)
             out.quadrants.record(ev.correct, ev.estimate(0));
     });
+
+    StatsRegistry registry;
+    registry.registerObject("predictor", *pred);
+    registry.registerObject("estimator", *est);
+
     if (opt.traceMode) {
         std::vector<ConfidenceEstimator *> ests = {est.get()};
         out.trace = runTrace(*prog, *pred, ests, {}, &sink);
+        out.componentsDoc = registry.configJson();
+        out.statsDoc = registry.statsJson();
     } else {
         out.pipeMode = true;
-        Pipeline pipe(*prog, *pred);
+        Pipeline pipe(*prog, *pred, opt.pipeline);
+        registry.registerObject("pipeline", pipe);
         const unsigned idx = pipe.attachEstimator(est.get());
         if (opt.gateThreshold >= 0)
             pipe.enableGating(
@@ -212,8 +388,59 @@ runOne(const Options &opt, const WorkloadSpec &spec)
             pipe.enableEagerExecution(idx);
         pipe.attachSink(&sink);
         out.pipe = pipe.run();
+        // Serialize before `pipe` (a registered object) goes away.
+        out.componentsDoc = registry.configJson();
+        out.statsDoc = registry.statsJson();
     }
     return out;
+}
+
+JsonValue
+quadrantsToJson(const QuadrantCounts &q)
+{
+    JsonValue v = JsonValue::object();
+    v["chc"] = JsonValue(std::uint64_t{q.chc});
+    v["ihc"] = JsonValue(std::uint64_t{q.ihc});
+    v["clc"] = JsonValue(std::uint64_t{q.clc});
+    v["ilc"] = JsonValue(std::uint64_t{q.ilc});
+    return v;
+}
+
+/** The whole invocation as one JSON document. */
+JsonValue
+resultsToJson(const Options &opt,
+              const std::vector<WorkloadSpec> &selected,
+              const std::vector<RunOutput> &outputs)
+{
+    JsonValue doc = JsonValue::object();
+    doc["config"] = optionsToJson(opt);
+    JsonValue runs = JsonValue::array();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const RunOutput &out = outputs[i];
+        JsonValue run = JsonValue::object();
+        run["workload"] = JsonValue(selected[i].name);
+        run["mode"] =
+            JsonValue(out.pipeMode ? "pipeline" : "trace");
+        run["components"] = out.componentsDoc;
+        run["stats"] = out.statsDoc;
+        JsonValue quads = JsonValue::object();
+        quads["committed"] = quadrantsToJson(out.quadrants);
+        quads["all"] = quadrantsToJson(out.quadrantsAll);
+        run["quadrants"] = quads;
+        if (!out.pipeMode) {
+            JsonValue trace = JsonValue::object();
+            trace["instructions"] =
+                JsonValue(std::uint64_t{out.trace.instructions});
+            trace["cond_branches"] =
+                JsonValue(std::uint64_t{out.trace.condBranches});
+            trace["mispredicts"] =
+                JsonValue(std::uint64_t{out.trace.mispredicts});
+            run["trace"] = trace;
+        }
+        runs.push(run);
+    }
+    doc["runs"] = runs;
+    return doc;
 }
 
 } // anonymous namespace
@@ -228,7 +455,7 @@ main(int argc, char **argv)
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n",
                              arg.c_str());
-                std::exit(1);
+                std::exit(2);
             }
             return argv[++i];
         };
@@ -239,27 +466,29 @@ main(int argc, char **argv)
         } else if (arg == "--estimator") {
             opt.estimator = next();
         } else if (arg == "--scale") {
-            opt.scale = static_cast<unsigned>(std::atoi(next()));
+            opt.scale = parseUnsigned(arg, next());
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 0);
+            opt.seed = parseUint(arg, next());
         } else if (arg == "--trace") {
             opt.traceMode = true;
         } else if (arg == "--csv") {
             opt.csv = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--config") {
+            loadConfigFile(next(), opt);
         } else if (arg == "--gate") {
-            opt.gateThreshold = std::atoi(next());
+            opt.gateThreshold = parseInt(arg, next());
         } else if (arg == "--eager") {
             opt.eager = true;
         } else if (arg == "--jrs-thr") {
-            opt.jrsThreshold =
-                static_cast<unsigned>(std::atoi(next()));
+            opt.jrsThreshold = parseUnsigned(arg, next());
         } else if (arg == "--dist-thr") {
-            opt.distanceThreshold =
-                static_cast<unsigned>(std::atoi(next()));
+            opt.distanceThreshold = parseUnsigned(arg, next());
         } else if (arg == "--static-thr") {
-            opt.staticThreshold = std::atof(next());
+            opt.staticThreshold = parseDouble(arg, next());
         } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::atoi(next()));
+            opt.jobs = parseUnsigned(arg, next());
         } else if (arg == "--list") {
             std::printf("workloads:");
             for (const auto &spec : standardWorkloads())
@@ -303,6 +532,12 @@ main(int argc, char **argv)
     const std::vector<RunOutput> outputs = runner.map(
             selected.size(),
             [&](std::size_t i) { return runOne(opt, selected[i]); });
+
+    if (opt.json) {
+        const JsonValue doc = resultsToJson(opt, selected, outputs);
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
 
     TextTable table({"workload", "branches", "accuracy", "sens",
                      "spec", "pvp", "pvn", "ipc", "ratio"});
