@@ -16,6 +16,8 @@
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
 #include "pipeline/pipeline.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_replayer.hh"
 #include "uarch/machine.hh"
 #include "workloads/workload.hh"
 
@@ -113,6 +115,171 @@ BM_PipelineRun(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
+
+/** Sink that just counts deliveries: stands in for a consumer while
+ *  measuring branch-stream delivery itself. */
+class CountingSink final : public BranchEventSink
+{
+  public:
+    void onEvent(const BranchEvent &ev) override { total += ev.pc; }
+    std::uint64_t total = 0;
+};
+
+/**
+ * Branch-stream delivery by the live pipeline, over the standard
+ * suite: interpreter + caches + cycle model, one event sink, no
+ * estimators. Live baseline for BM_TraceReplay.
+ */
+void
+BM_BranchStreamLive(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    std::vector<std::shared_ptr<const Program>> progs;
+    for (const auto &wl : standardWorkloads())
+        progs.push_back(cachedProgram(wl, cfg.workload));
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const auto &prog : progs) {
+            auto pred = makePredictor(PredictorKind::Gshare);
+            Pipeline pipe(*prog, *pred, cfg.pipeline);
+            CountingSink sink;
+            pipe.attachSink(&sink);
+            const PipelineStats s = pipe.run();
+            benchmark::DoNotOptimize(sink.total);
+            branches += s.allCondBranches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_BranchStreamLive)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * The same branch streams delivered by the trace-replay engine
+ * (ordered replay queue + delivery). A sweep decodes each recorded
+ * trace once and then replays the in-memory form per estimator
+ * configuration, so decoding is setup here, amortized across the
+ * sweep. The acceptance target for the trace subsystem is >= 5x the
+ * branches/sec of the live path above: the engine must be fast enough
+ * that estimator sweeps are bounded by estimator work, not by
+ * re-simulating the pipeline.
+ */
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    std::vector<BranchTrace> traces;
+    for (const auto &wl : standardWorkloads()) {
+        const auto rec = cachedRecordedRun(PredictorKind::Gshare, wl,
+                                           cfg.workload, cfg.pipeline);
+        BranchTrace trace;
+        if (!decodeTrace(rec->trace, trace))
+            state.SkipWithError("trace decode failed");
+        traces.push_back(std::move(trace));
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const auto &trace : traces) {
+            TraceReplayer replayer;
+            CountingSink sink;
+            replayer.attachSink(&sink);
+            ReplayStats s;
+            if (!replayer.replay(trace, &s))
+                state.SkipWithError("replay failed");
+            benchmark::DoNotOptimize(sink.total);
+            branches += s.branches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * One live estimator-sweep configuration: a full pipeline simulation
+ * with the standard estimator set attached. Per-config cost of a
+ * sweep without traces; pairs with BM_ReplayEstimatorSweep.
+ */
+void
+BM_EstimatorSweepLive(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    std::vector<std::shared_ptr<const Program>> progs;
+    std::vector<std::shared_ptr<const ProfileTable>> profiles;
+    for (const auto &wl : standardWorkloads()) {
+        progs.push_back(cachedProgram(wl, cfg.workload));
+        profiles.push_back(cachedProfile(PredictorKind::Gshare, wl,
+                                         cfg.workload));
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (std::size_t i = 0; i < progs.size(); ++i) {
+            state.PauseTiming();
+            StandardBundle bundle(PredictorKind::Gshare, profiles[i],
+                                  cfg);
+            auto pred = makePredictor(PredictorKind::Gshare);
+            Pipeline pipe(*progs[i], *pred, cfg.pipeline);
+            for (auto *est : bundle.estimators())
+                pipe.attachEstimator(est);
+            state.ResumeTiming();
+            const PipelineStats s = pipe.run();
+            benchmark::DoNotOptimize(s.cycles);
+            branches += s.allCondBranches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_EstimatorSweepLive)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * The same sweep configuration evaluated by replaying the recorded
+ * traces (decoded once in setup): per-config marginal cost once the
+ * stream is recorded. The gap versus BM_EstimatorSweepLive is the
+ * pipeline work a sweep no longer pays; the remainder is the
+ * estimators themselves.
+ */
+void
+BM_ReplayEstimatorSweep(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    std::vector<BranchTrace> traces;
+    std::vector<std::shared_ptr<const ProfileTable>> profiles;
+    for (const auto &wl : standardWorkloads()) {
+        const auto rec = cachedRecordedRun(PredictorKind::Gshare, wl,
+                                           cfg.workload, cfg.pipeline);
+        BranchTrace trace;
+        if (!decodeTrace(rec->trace, trace))
+            state.SkipWithError("trace decode failed");
+        traces.push_back(std::move(trace));
+        profiles.push_back(cachedProfile(PredictorKind::Gshare, wl,
+                                         cfg.workload));
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            state.PauseTiming();
+            StandardBundle bundle(PredictorKind::Gshare, profiles[i],
+                                  cfg);
+            TraceReplayer replayer;
+            for (auto *est : bundle.estimators())
+                replayer.attachEstimator(est);
+            state.ResumeTiming();
+            ReplayStats s;
+            if (!replayer.replay(traces[i], &s))
+                state.SkipWithError("replay failed");
+            benchmark::DoNotOptimize(s.branches);
+            branches += s.branches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_ReplayEstimatorSweep)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
 void
 BM_StandardSuite(benchmark::State &state)

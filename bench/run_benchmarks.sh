@@ -33,7 +33,47 @@ else
     echo "warning: $CLI not built; skipping stats baseline." >&2
 fi
 
-exec "$BIN" \
+"$BIN" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
     ${BENCH_ARGS:-}
+
+# Replay-vs-live speedup report. Two comparisons over the standard
+# suite's branch streams:
+#   engine:  BM_TraceReplay vs BM_BranchStreamLive - how much faster
+#            the trace engine delivers branches than the live pipeline
+#            produces them (tentpole target >= 5x).
+#   sweep:   BM_ReplayEstimatorSweep vs BM_EstimatorSweepLive - the
+#            per-configuration cost of an estimator sweep with and
+#            without traces (bounded by estimator work itself).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rates = {}
+for b in doc.get("benchmarks", []):
+    name = b.get("name", "")
+    if "items_per_second" in b:
+        rates[name.split("/")[0]] = b["items_per_second"]
+
+def report(title, live_name, replay_name, target=None):
+    live, replay = rates.get(live_name), rates.get(replay_name)
+    if not (live and replay):
+        print(f"note: {live_name}/{replay_name} missing from the run; "
+              "run without --benchmark_filter for the full report.")
+        return
+    goal = f" (target >= {target}x)" if target else ""
+    print(f"\n== {title} ==")
+    print(f"  live   : {live/1e6:8.2f} M branches/s")
+    print(f"  replay : {replay/1e6:8.2f} M branches/s")
+    print(f"  speedup: {replay/live:8.2f}x{goal}")
+
+report("Branch-stream delivery: trace engine vs live pipeline",
+       "BM_BranchStreamLive", "BM_TraceReplay", target=5)
+report("Estimator sweep, per configuration",
+       "BM_EstimatorSweepLive", "BM_ReplayEstimatorSweep")
+EOF
+fi

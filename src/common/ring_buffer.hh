@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-layout FIFO ring buffer: the allocation-friendly replacement
+ * for std::deque on simulator hot paths (in-flight branch queues,
+ * replay pending queues). Storage is a single contiguous power-of-two
+ * array that grows geometrically and is then reused forever — steady
+ * state does zero allocator work, unlike std::deque's per-chunk
+ * churn.
+ */
+
+#ifndef CONFSIM_COMMON_RING_BUFFER_HH
+#define CONFSIM_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * FIFO queue over a power-of-two circular array. Elements are indexed
+ * logically: operator[](0) is the front (oldest), operator[](size()-1)
+ * the back. pop_front()/clear() destroy value state lazily (slots are
+ * overwritten on reuse), which is fine for the trivially-destructible
+ * records the simulator queues.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** Pre-size the backing array (rounded up to a power of two). */
+    explicit RingBuffer(std::size_t capacity) { reserve(capacity); }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Ensure room for @p wanted elements without reallocation. */
+    void
+    reserve(std::size_t wanted)
+    {
+        if (wanted > slots.size())
+            regrow(wanted);
+    }
+
+    /** Oldest element. Precondition: !empty(). */
+    T &front() { return slots[head]; }
+    const T &front() const { return slots[head]; }
+
+    /** Youngest element. Precondition: !empty(). */
+    T &back() { return slots[wrap(head + count - 1)]; }
+    const T &back() const { return slots[wrap(head + count - 1)]; }
+
+    /** Logical element @p i (0 = front). Precondition: i < size(). */
+    T &operator[](std::size_t i) { return slots[wrap(head + i)]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots[wrap(head + i)];
+    }
+
+    /** Append to the back, growing the array when full. */
+    void
+    push_back(T value)
+    {
+        if (count == slots.size())
+            regrow(count + 1);
+        slots[wrap(head + count)] = std::move(value);
+        ++count;
+    }
+
+    /**
+     * Append an element and return a reference to its slot WITHOUT
+     * clearing it: the storage is recycled, so the caller must assign
+     * every field it (or any later reader) will look at. Lets hot
+     * paths fill large records in place instead of constructing on
+     * the stack and copying in.
+     */
+    T &
+    push_slot()
+    {
+        if (count == slots.size())
+            regrow(count + 1);
+        T &slot = slots[wrap(head + count)];
+        ++count;
+        return slot;
+    }
+
+    /** Remove the front element. Precondition: !empty(). */
+    void
+    pop_front()
+    {
+        head = wrap(head + 1);
+        --count;
+    }
+
+    /** Drop every element (capacity is kept). */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i & mask; }
+
+    void
+    regrow(std::size_t wanted)
+    {
+        std::size_t cap = slots.empty() ? 16 : slots.size() * 2;
+        while (cap < wanted)
+            cap *= 2;
+        std::vector<T> grown(cap);
+        for (std::size_t i = 0; i < count; ++i)
+            grown[i] = std::move(slots[wrap(head + i)]);
+        slots = std::move(grown);
+        head = 0;
+        mask = cap - 1;
+    }
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::size_t mask = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_RING_BUFFER_HH

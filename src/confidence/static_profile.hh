@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "confidence/estimator.hh"
 
@@ -58,6 +59,17 @@ class ProfileTable
     /** Number of distinct branch sites profiled. */
     std::size_t size() const { return entries.size(); }
 
+    /** Invoke @p fn(pc, accuracy) for every profiled site. */
+    template <typename Fn>
+    void
+    forEachSite(Fn fn) const
+    {
+        for (const auto &[pc, e] : entries)
+            if (e.total > 0)
+                fn(pc, static_cast<double>(e.correct)
+                       / static_cast<double>(e.total));
+    }
+
     /** Drop all profile data. */
     void clear() { entries.clear(); }
 
@@ -85,6 +97,23 @@ class StaticEstimator : public ConfidenceEstimator
     StaticEstimator(const ProfileTable &profile, double threshold = 0.9)
         : table(&profile), minAccuracy(threshold)
     {
+        // The profile and threshold are fixed for the estimator's
+        // lifetime, so the thresholded decision can be precomputed
+        // into a flat per-pc table: branch pcs are small instruction
+        // indices, and the per-branch hash lookup + divide otherwise
+        // dominates estimation cost on large workloads. Sites outside
+        // the table (never profiled) stay low confidence.
+        Addr max_pc = 0;
+        profile.forEachSite([&](Addr pc, double) {
+            if (pc > max_pc)
+                max_pc = pc;
+        });
+        if (max_pc < FLAT_TABLE_LIMIT) {
+            confident.assign(max_pc + 1, 0);
+            profile.forEachSite([&](Addr pc, double accuracy) {
+                confident[pc] = accuracy >= minAccuracy ? 1 : 0;
+            });
+        }
     }
 
     std::string name() const override { return "static"; }
@@ -103,6 +132,8 @@ class StaticEstimator : public ConfidenceEstimator
     bool
     doEstimate(Addr pc, const BpInfo &) override
     {
+        if (!confident.empty())
+            return pc < confident.size() && confident[pc] != 0;
         return table->accuracy(pc) >= minAccuracy;
     }
 
@@ -115,8 +146,13 @@ class StaticEstimator : public ConfidenceEstimator
     void doReset() override {}
 
   private:
+    /** Largest pc eligible for the precomputed flat table; sparse or
+     *  huge address spaces fall back to querying the profile. */
+    static constexpr Addr FLAT_TABLE_LIMIT = 1u << 22;
+
     const ProfileTable *table;
     double minAccuracy;
+    std::vector<std::uint8_t> confident;
 };
 
 } // namespace confsim

@@ -1,8 +1,10 @@
 #include "harness/experiment.hh"
 
+#include "common/logging.hh"
 #include "harness/collectors.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "trace/trace_replayer.hh"
 
 namespace confsim
 {
@@ -81,6 +83,55 @@ StandardBundle::estimators()
 WorkloadResult
 runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
                       const ExperimentConfig &cfg)
+{
+    // Shared immutable inputs (cached, including the recorded branch
+    // stream); fresh mutable predictor/estimator state per run.
+    const auto recorded =
+        cachedRecordedRun(kind, spec, cfg.workload, cfg.pipeline);
+    StandardBundle bundle(kind, cachedProfile(kind, spec, cfg.workload),
+                          cfg);
+    auto pred = makePredictor(kind);
+
+    TraceReplayer replayer;
+    replayer.attachPredictor(pred.get());
+    const auto estimators = bundle.estimators();
+    for (auto *estimator : estimators)
+        replayer.attachEstimator(estimator);
+
+    StatsRegistry registry;
+    registry.registerObject("predictor", *pred);
+    for (std::size_t i = 0; i < estimators.size(); ++i)
+        registry.registerObject(
+                "estimators." + standardEstimatorSlugs()[i],
+                *estimators[i]);
+
+    ConfidenceCollector collector(NUM_STANDARD_ESTIMATORS);
+    replayer.attachSink(&collector);
+
+    std::string error;
+    if (!replayer.replay(recorded->trace, nullptr, &error))
+        panic("replay of cached trace for '" + spec.name
+              + "' failed: " + error);
+
+    WorkloadResult result;
+    result.workload = spec.name;
+    result.pipe = recorded->pipe;
+    for (std::size_t i = 0; i < NUM_STANDARD_ESTIMATORS; ++i) {
+        result.quadrants.push_back(collector.committed(i));
+        result.quadrantsAll.push_back(collector.all(i));
+    }
+    // Splice the recorded pipeline subtrees where the live path
+    // registers the pipeline: last, after predictor and estimators.
+    result.statsDoc = registry.statsJson();
+    result.statsDoc["pipeline"] = recorded->statsSubtree;
+    result.componentsDoc = registry.configJson();
+    result.componentsDoc["pipeline"] = recorded->configSubtree;
+    return result;
+}
+
+WorkloadResult
+runStandardExperimentLive(PredictorKind kind, const WorkloadSpec &spec,
+                          const ExperimentConfig &cfg)
 {
     // Shared immutable inputs (cached); fresh mutable state per run.
     const auto prog = cachedProgram(spec, cfg.workload);

@@ -123,16 +123,28 @@ struct WorkloadResult
 
 /**
  * Build the workload, profile it, attach the standard estimator set to
- * a fresh predictor of @p kind, and run the pipeline model. Program
- * construction and the profiling pass go through the process-wide
- * caches (experiment_cache.hh): the same (spec, config) is built once
- * per process, shared immutably, and every run still gets fresh
- * predictor/estimator state — results are bit-identical to uncached
- * runs.
+ * a fresh predictor of @p kind, and produce the paper's standard
+ * results. Program construction and the profiling pass go through the
+ * process-wide caches (experiment_cache.hh); the pipeline itself is
+ * simulated at most once per (kind, workload, pipeline config) — the
+ * branch stream is recorded on first use (cachedRecordedRun) and every
+ * run replays it through a TraceReplayer with fresh
+ * predictor/estimator state. Results are bit-identical to a live
+ * pipeline run (runStandardExperimentLive; enforced by the trace
+ * tests), just faster, and parallel-suite workers share one trace.
  */
 WorkloadResult runStandardExperiment(PredictorKind kind,
                                      const WorkloadSpec &spec,
                                      const ExperimentConfig &cfg);
+
+/**
+ * The same experiment driven through a live pipeline simulation
+ * instead of a recorded trace. Reference implementation for the
+ * replay-equivalence tests; prefer runStandardExperiment.
+ */
+WorkloadResult runStandardExperimentLive(PredictorKind kind,
+                                         const WorkloadSpec &spec,
+                                         const ExperimentConfig &cfg);
 
 /**
  * Run runStandardExperiment for every standard workload.

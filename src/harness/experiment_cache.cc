@@ -6,7 +6,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/stats_registry.hh"
+#include "harness/config_json.hh"
 #include "harness/trace_run.hh"
+#include "trace/trace_writer.hh"
 
 namespace confsim
 {
@@ -32,6 +35,17 @@ struct ProfileKey
     PredictorKind kind;
 
     bool operator==(const ProfileKey &) const = default;
+};
+
+/** Key of a recorded pipeline run. The pipeline configuration enters
+ *  as its canonical JSON dump — any timing knob changes the trace. */
+struct RecordedKey
+{
+    ProgramKey program;
+    PredictorKind kind;
+    std::string pipelineConfig;
+
+    bool operator==(const RecordedKey &) const = default;
 };
 
 inline std::size_t
@@ -64,6 +78,19 @@ struct ProfileKeyHash
         return hashCombine(
                 ProgramKeyHash{}(k.program),
                 std::hash<int>{}(static_cast<int>(k.kind)));
+    }
+};
+
+struct RecordedKeyHash
+{
+    std::size_t
+    operator()(const RecordedKey &k) const
+    {
+        std::size_t h = hashCombine(
+                ProgramKeyHash{}(k.program),
+                std::hash<int>{}(static_cast<int>(k.kind)));
+        return hashCombine(h,
+                           std::hash<std::string>{}(k.pipelineConfig));
     }
 };
 
@@ -136,6 +163,14 @@ profileCache()
     return cache;
 }
 
+BuildOnceCache<RecordedKey, RecordedRun, RecordedKeyHash> &
+recordedCache()
+{
+    static BuildOnceCache<RecordedKey, RecordedRun, RecordedKeyHash>
+            cache;
+    return cache;
+}
+
 ProgramKey
 programKey(const WorkloadSpec &spec, const WorkloadConfig &cfg)
 {
@@ -163,6 +198,32 @@ cachedProfile(PredictorKind kind, const WorkloadSpec &spec,
     });
 }
 
+std::shared_ptr<const RecordedRun>
+cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
+                  const WorkloadConfig &cfg,
+                  const PipelineConfig &pipeCfg)
+{
+    const RecordedKey key{programKey(spec, cfg), kind,
+                          toJson(pipeCfg).dump(0)};
+    return recordedCache().getOrBuild(key, [&] {
+        const auto prog = cachedProgram(spec, cfg);
+        auto pred = makePredictor(kind);
+        Pipeline pipe(*prog, *pred, pipeCfg);
+        TraceWriter writer;
+        pipe.attachSink(&writer);
+
+        StatsRegistry registry;
+        registry.registerObject("pipeline", pipe);
+
+        RecordedRun rec;
+        rec.pipe = pipe.run();
+        rec.trace = writer.encode();
+        rec.statsSubtree = *registry.statsJson().find("pipeline");
+        rec.configSubtree = *registry.configJson().find("pipeline");
+        return rec;
+    });
+}
+
 ExperimentCacheStats
 experimentCacheStats()
 {
@@ -171,12 +232,15 @@ experimentCacheStats()
     stats.programMisses = programCache().missCount();
     stats.profileHits = profileCache().hits();
     stats.profileMisses = profileCache().missCount();
+    stats.recordedHits = recordedCache().hits();
+    stats.recordedMisses = recordedCache().missCount();
     return stats;
 }
 
 void
 clearExperimentCaches()
 {
+    recordedCache().clear();
     profileCache().clear();
     programCache().clear();
 }

@@ -20,9 +20,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "bpred/branch_predictor.hh"
+#include "common/json.hh"
 #include "confidence/static_profile.hh"
+#include "pipeline/pipeline.hh"
 #include "workloads/workload.hh"
 
 namespace confsim
@@ -35,6 +38,8 @@ struct ExperimentCacheStats
     std::uint64_t programMisses = 0;
     std::uint64_t profileHits = 0;
     std::uint64_t profileMisses = 0;
+    std::uint64_t recordedHits = 0;
+    std::uint64_t recordedMisses = 0;
 };
 
 /**
@@ -52,6 +57,36 @@ cachedProgram(const WorkloadSpec &spec, const WorkloadConfig &cfg);
 std::shared_ptr<const ProfileTable>
 cachedProfile(PredictorKind kind, const WorkloadSpec &spec,
               const WorkloadConfig &cfg);
+
+/**
+ * One recorded pipeline run: everything an estimator-only experiment
+ * needs to skip the pipeline simulation entirely. The branch stream is
+ * replayed through a TraceReplayer; the pipeline's statistics and
+ * configuration (fixed for a given trace) are carried verbatim.
+ */
+struct RecordedRun
+{
+    std::string trace;       ///< encoded branch trace (trace/ format)
+    PipelineStats pipe;      ///< stats of the recording run
+    JsonValue statsSubtree;  ///< registry statsJson() "pipeline" subtree
+    JsonValue configSubtree; ///< registry configJson() "pipeline" subtree
+};
+
+/**
+ * The recorded pipeline run for (kind, spec, config, pipeline config):
+ * a live run of a fresh @p kind predictor over the cached Program with
+ * a trace writer attached, run at most once per process and shared
+ * afterwards. Estimator sweeps (and the parallel runner's workers)
+ * replay this one trace instead of re-simulating the pipeline.
+ *
+ * The recording run attaches no estimators — estimators are passive
+ * observers in a non-gating, non-eager pipeline, so the branch stream
+ * and pipeline statistics are identical to a live estimator run's.
+ */
+std::shared_ptr<const RecordedRun>
+cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
+                  const WorkloadConfig &cfg,
+                  const PipelineConfig &pipeCfg);
 
 /** Snapshot of the cache hit/miss counters. */
 ExperimentCacheStats experimentCacheStats();

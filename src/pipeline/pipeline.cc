@@ -13,6 +13,7 @@ Pipeline::Pipeline(const Program &prog, BranchPredictor &pred,
       icache(cfg.icache, "icache"), dcache(cfg.dcache, "dcache"),
       btb(cfg.btb)
 {
+    inflight.reserve(64);
 }
 
 void
@@ -204,7 +205,8 @@ Pipeline::squashYounger()
     // Everything still in flight was fetched after the mispredicted
     // branch and is therefore wrong-path. Deliver each branch exactly
     // once, stamped with its squash cycle.
-    for (auto &rec : inflight) {
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+        InFlight &rec = inflight[i];
         rec.event.resolveCycle = cycle;
         if (rec.gateLow && lowConfCount > 0)
             --lowConfCount;
@@ -431,6 +433,42 @@ Pipeline::tick(bool allow_fetch)
     return !done();
 }
 
+void
+Pipeline::fastForward()
+{
+    if (done())
+        return;
+
+    if (gatingEnabled && lowConfCount >= gateThreshold) {
+        // Gated ticks do nothing but bump gatedCycles until the front
+        // branch resolves (fetch is blocked, so lowConfCount cannot
+        // change before then). lowConfCount > 0 implies a nonempty
+        // queue.
+        const Cycle target = inflight.front().event.resolveCycle - 1;
+        if (target > cycle) {
+            stats.gatedCycles += target - cycle;
+            cycle = target;
+        }
+        return;
+    }
+
+    if (fetchStallUntil > cycle + 1) {
+        // Stalled ticks (misprediction recovery, icache miss, BTB
+        // bubble) neither fetch nor resolve until the earlier of the
+        // front branch's resolution and the stall's end. Ticks that
+        // *attempt* a fetch — including wedged wrong-path fetches,
+        // which touch the icache and fork-width stats — are never
+        // skipped.
+        Cycle target = fetchStallUntil - 1;
+        if (!inflight.empty()) {
+            target = std::min(target,
+                              inflight.front().event.resolveCycle - 1);
+        }
+        if (target > cycle)
+            cycle = target;
+    }
+}
+
 PipelineStats
 Pipeline::snapshotStats() const
 {
@@ -454,6 +492,10 @@ Pipeline::run(std::uint64_t max_committed)
         if (cycle > cycle_limit)
             panic("pipeline exceeded cycle limit; wedged?");
         tick(true);
+        // Jump over ticks that provably do nothing (gated or stalled
+        // fetch with no resolution due). Per-tick external interleaving
+        // only matters for SMT drivers, which call tick() directly.
+        fastForward();
     }
 
     stats = snapshotStats();

@@ -19,13 +19,13 @@
 #define CONFSIM_PIPELINE_PIPELINE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "bpred/branch_predictor.hh"
 #include "bpred/btb.hh"
 #include "cache/cache.hh"
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "confidence/estimator.hh"
 #include "uarch/machine.hh"
@@ -366,6 +366,7 @@ class Pipeline : public SimObject
 
     void resolveFront();
     void squashYounger();
+    void fastForward();
     bool fetchOne();
     Cycle scheduleExec(OpClass cls, bool dcache_miss, Cycle miss_latency);
     void deliver(const BranchEvent &event);
@@ -381,7 +382,7 @@ class Pipeline : public SimObject
     std::vector<const LevelSource *> levelSources;
     std::vector<BranchEventSink *> sinks;
 
-    std::deque<InFlight> inflight;
+    RingBuffer<InFlight> inflight;
     PipelineStats stats;
 
     // Gating state

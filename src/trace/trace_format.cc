@@ -1,0 +1,108 @@
+#include "trace/trace_format.hh"
+
+namespace confsim
+{
+
+void
+traceAppendVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+bool
+traceReadVarintSlow(std::string_view data, std::size_t &pos,
+                    std::uint64_t &value)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (std::size_t n = 0; n < TRACE_MAX_VARINT_BYTES; ++n) {
+        if (pos >= data.size())
+            return false; // truncated
+        const auto byte =
+            static_cast<unsigned char>(data[pos++]);
+        if (shift == 63 && (byte & 0x7e) != 0)
+            return false; // overflows 64 bits
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            value = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false; // over-long encoding
+}
+
+void
+traceEncodeRecord(std::string &out, TraceCodecState &state,
+                  const TraceRecord &rec)
+{
+    const BpInfo &info = rec.info;
+
+    std::uint64_t flags = 0;
+    if (rec.taken)
+        flags |= TRACE_FLAG_TAKEN;
+    if (rec.correct)
+        flags |= TRACE_FLAG_CORRECT;
+    if (info.predTaken)
+        flags |= TRACE_FLAG_PRED_TAKEN;
+    if (!rec.willCommit)
+        flags |= TRACE_FLAG_WRONG_PATH;
+    if (info.hasComponents)
+        flags |= TRACE_FLAG_HAS_COMPONENTS;
+    if (info.bimodalStrong)
+        flags |= TRACE_FLAG_BIMODAL_STRONG;
+    if (info.gshareStrong)
+        flags |= TRACE_FLAG_GSHARE_STRONG;
+    if (info.bimodalPredTaken)
+        flags |= TRACE_FLAG_BIMODAL_TAKEN;
+    if (info.gsharePredTaken)
+        flags |= TRACE_FLAG_GSHARE_TAKEN;
+    if (info.metaChoseGshare)
+        flags |= TRACE_FLAG_META_GSHARE;
+
+    const bool meta = state.first
+        || info.counterMax != state.counterMax
+        || info.globalHistoryBits != state.globalHistoryBits
+        || info.localHistoryBits != state.localHistoryBits;
+    if (meta)
+        flags |= TRACE_FLAG_META;
+
+    const bool gh_shift = info.globalHistoryBits > 0
+        && info.globalHistory
+               == traceShiftedHistory(state, info.globalHistoryBits);
+    if (gh_shift)
+        flags |= TRACE_FLAG_GH_SHIFT;
+
+    traceAppendVarint(out, flags);
+    if (meta) {
+        traceAppendVarint(out, info.counterMax);
+        traceAppendVarint(out, info.globalHistoryBits);
+        traceAppendVarint(out, info.localHistoryBits);
+        state.counterMax = info.counterMax;
+        state.globalHistoryBits = info.globalHistoryBits;
+        state.localHistoryBits = info.localHistoryBits;
+    }
+
+    traceAppendVarint(out, traceZigzagEncode(
+            static_cast<std::int64_t>(rec.pc)
+            - static_cast<std::int64_t>(state.prevPc)));
+    traceAppendVarint(out, info.counterValue);
+    if (state.globalHistoryBits > 0 && !gh_shift)
+        traceAppendVarint(out, info.globalHistory);
+    if (state.localHistoryBits > 0)
+        traceAppendVarint(out, info.localHistory);
+    traceAppendVarint(out, rec.fetchCycle - state.prevFetchCycle);
+    traceAppendVarint(out, rec.resolveCycle - rec.fetchCycle);
+
+    state.prevPc = rec.pc;
+    state.prevFetchCycle = rec.fetchCycle;
+    state.prevGlobalHistory = info.globalHistory;
+    state.prevPredTaken = info.predTaken;
+    state.first = false;
+}
+
+} // namespace confsim

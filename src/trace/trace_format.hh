@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Compact binary branch-trace format: the on-disk/in-memory encoding
+ * shared by TraceWriter and TraceReader.
+ *
+ * A trace captures the complete branch stream of one *estimator-only*
+ * simulation — every conditional branch in fetch order with its
+ * predictor-internal state (BpInfo), outcome, and fetch/resolve timing
+ * — so that any set of confidence estimators, level sources, and event
+ * sinks can later be replayed against it at memory speed with
+ * bit-identical results (see TraceReplayer).
+ *
+ * Layout
+ * ------
+ *   magic      4 bytes  "CFTR"
+ *   version    varint   TRACE_VERSION
+ *   meta-len   varint   length of the metadata blob
+ *   meta       bytes    free-form metadata (conventionally JSON)
+ *   records    ...      one encoded record per branch, fetch order
+ *   end        record whose flags carry FLAG_END, followed by a
+ *              varint record count that must match the number of
+ *              records decoded (truncation / corruption check)
+ *
+ * Records are delta/varint encoded against the previous record, with
+ * rarely-changing fields (counterMax, history widths) emitted only
+ * when they change (FLAG_META). Typical cost is 7-8 bytes per branch.
+ * Derived per-branch values — seq, estimateBits, levels, and the four
+ * misprediction distances — are deterministic functions of the stream
+ * and the replayed estimator set, so they are reconstructed on replay
+ * instead of stored (the trace_test golden tests enforce equality).
+ *
+ * Field order per record:
+ *   flags                  varint   FLAG_* bits below
+ *   [counterMax]           varint   iff FLAG_META
+ *   [globalHistoryBits]    varint   iff FLAG_META
+ *   [localHistoryBits]     varint   iff FLAG_META
+ *   pc                     zigzag   delta vs previous record's pc
+ *   counterValue           varint
+ *   [globalHistory]        varint   iff globalHistoryBits > 0 and
+ *                                   not FLAG_GH_SHIFT
+ *   [localHistory]         varint   iff localHistoryBits > 0
+ *   fetchCycle             varint   delta vs previous fetchCycle
+ *   resolveCycle           varint   delta vs this record's fetchCycle
+ *
+ * FLAG_GH_SHIFT exploits speculative history maintenance: between
+ * consecutive fetches the predictors shift the predicted direction
+ * into the global history register, so most records satisfy
+ * gh == ((prev_gh << 1) | prev_predTaken) & mask and need no explicit
+ * history value. The chain breaks only across misprediction repairs,
+ * where the explicit varint is emitted.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_FORMAT_HH
+#define CONFSIM_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bpred/branch_predictor.hh"
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** Leading magic bytes of every encoded trace. */
+inline constexpr char TRACE_MAGIC[4] = {'C', 'F', 'T', 'R'};
+
+/** Current format version (readers reject anything else). */
+inline constexpr std::uint64_t TRACE_VERSION = 1;
+
+/// @name Per-record flag bits
+/// @{
+inline constexpr std::uint64_t TRACE_FLAG_TAKEN = 1u << 0;
+inline constexpr std::uint64_t TRACE_FLAG_CORRECT = 1u << 1;
+inline constexpr std::uint64_t TRACE_FLAG_PRED_TAKEN = 1u << 2;
+/// Set for wrong-path branches (committed is the common case, so the
+/// inverted sense keeps typical flags within a one-byte varint).
+inline constexpr std::uint64_t TRACE_FLAG_WRONG_PATH = 1u << 3;
+/// globalHistory follows the speculative shift rule; its varint is
+/// omitted. Kept below bit 7 so history-only predictors still encode
+/// one-byte flags.
+inline constexpr std::uint64_t TRACE_FLAG_GH_SHIFT = 1u << 4;
+inline constexpr std::uint64_t TRACE_FLAG_HAS_COMPONENTS = 1u << 5;
+inline constexpr std::uint64_t TRACE_FLAG_BIMODAL_STRONG = 1u << 6;
+inline constexpr std::uint64_t TRACE_FLAG_GSHARE_STRONG = 1u << 7;
+inline constexpr std::uint64_t TRACE_FLAG_BIMODAL_TAKEN = 1u << 8;
+inline constexpr std::uint64_t TRACE_FLAG_GSHARE_TAKEN = 1u << 9;
+inline constexpr std::uint64_t TRACE_FLAG_META_GSHARE = 1u << 10;
+/// counterMax / history-width varints follow the flags.
+inline constexpr std::uint64_t TRACE_FLAG_META = 1u << 11;
+/// End-of-trace marker; a varint record count follows instead of a
+/// record body.
+inline constexpr std::uint64_t TRACE_FLAG_END = 1u << 12;
+/// Any bit at or above this is from a future version -> reject.
+inline constexpr std::uint64_t TRACE_FLAG_UNKNOWN_MASK =
+    ~((std::uint64_t{1} << 13) - 1);
+/// @}
+
+/** Longest legal LEB128 varint (10 bytes encode any uint64). */
+inline constexpr std::size_t TRACE_MAX_VARINT_BYTES = 10;
+
+/**
+ * One decoded branch record: everything a live BranchEventSink /
+ * estimator would have observed about the branch at fetch, minus the
+ * derived fields (seq, estimates, levels, distances) that replay
+ * reconstructs.
+ */
+struct TraceRecord
+{
+    Addr pc = 0;             ///< branch address
+    BpInfo info;             ///< prediction + predictor state at fetch
+    bool taken = false;      ///< actual direction (under its path)
+    bool correct = false;    ///< prediction matched outcome
+    bool willCommit = false; ///< fetched on the architected path
+    Cycle fetchCycle = 0;    ///< cycle the branch was fetched
+    Cycle resolveCycle = 0;  ///< resolution (or squash) cycle
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/// @name Varint primitives
+/// @{
+
+/** Append @p value as LEB128 to @p out. */
+void traceAppendVarint(std::string &out, std::uint64_t value);
+
+/** Zigzag-map a signed delta into the varint-friendly domain. */
+inline std::uint64_t
+traceZigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+        ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of traceZigzagEncode. */
+inline std::int64_t
+traceZigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1)
+        ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/** Multi-byte tail of traceReadVarint (see below). */
+bool traceReadVarintSlow(std::string_view data, std::size_t &pos,
+                         std::uint64_t &value);
+
+/**
+ * Decode one LEB128 varint from @p data starting at @p pos.
+ * On success advances @p pos past the varint and stores the value.
+ * @return false on truncation or an over-long (>10 byte) encoding.
+ *
+ * Inline fast path for the single-byte case — the vast majority of
+ * fields in a delta-encoded trace — with the generic loop out of line.
+ */
+inline bool
+traceReadVarint(std::string_view data, std::size_t &pos,
+                std::uint64_t &value)
+{
+    if (pos < data.size()) {
+        const auto byte = static_cast<unsigned char>(data[pos]);
+        if (byte < 0x80) {
+            value = byte;
+            ++pos;
+            return true;
+        }
+    }
+    return traceReadVarintSlow(data, pos, value);
+}
+
+/// @}
+
+/**
+ * Delta-encoder state shared by writer and reader; both sides must
+ * evolve it identically for the deltas to be meaningful.
+ */
+struct TraceCodecState
+{
+    Addr prevPc = 0;
+    Cycle prevFetchCycle = 0;
+    std::uint64_t prevGlobalHistory = 0;
+    bool prevPredTaken = false;
+    unsigned counterMax = 0;
+    unsigned globalHistoryBits = 0;
+    unsigned localHistoryBits = 0;
+    bool first = true;
+};
+
+/** All-ones mask of a @p bits wide history register. */
+inline std::uint64_t
+traceHistoryMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+}
+
+/** The globalHistory value FLAG_GH_SHIFT predicts for the next record:
+ *  the previous record's history with its predicted direction shifted
+ *  in, under @p bits (the *current* record's width). */
+inline std::uint64_t
+traceShiftedHistory(const TraceCodecState &state, unsigned bits)
+{
+    return ((state.prevGlobalHistory << 1)
+            | (state.prevPredTaken ? 1 : 0))
+        & traceHistoryMask(bits);
+}
+
+/** Append the encoding of @p rec to @p out, advancing @p state. */
+void traceEncodeRecord(std::string &out, TraceCodecState &state,
+                       const TraceRecord &rec);
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_FORMAT_HH

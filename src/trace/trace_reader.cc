@@ -1,0 +1,219 @@
+#include "trace/trace_reader.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "trace/trace_writer.hh"
+
+namespace confsim
+{
+
+TraceReader::TraceReader(std::string_view data) : data(data)
+{
+    if (data.size() < sizeof(TRACE_MAGIC)
+        || std::memcmp(data.data(), TRACE_MAGIC,
+                       sizeof(TRACE_MAGIC)) != 0) {
+        fail("bad magic (not a confsim branch trace)");
+        return;
+    }
+    pos = sizeof(TRACE_MAGIC);
+
+    std::uint64_t version = 0;
+    if (!traceReadVarint(data, pos, version)) {
+        fail("truncated header (version)");
+        return;
+    }
+    if (version != TRACE_VERSION) {
+        fail("unsupported trace version "
+             + std::to_string(version));
+        return;
+    }
+
+    std::uint64_t meta_len = 0;
+    if (!traceReadVarint(data, pos, meta_len)
+        || meta_len > data.size() - pos) {
+        fail("truncated header (metadata)");
+        return;
+    }
+    metaBlob = data.substr(pos, meta_len);
+    pos += meta_len;
+}
+
+TraceReader::Status
+TraceReader::fail(const std::string &what)
+{
+    if (err.empty())
+        err = "trace offset " + std::to_string(pos) + ": " + what;
+    done = true;
+    return Status::Error;
+}
+
+TraceReader::Status
+TraceReader::next(TraceRecord &rec)
+{
+    if (!err.empty())
+        return Status::Error;
+    if (done)
+        return Status::End;
+
+    std::uint64_t flags = 0;
+    if (!traceReadVarint(data, pos, flags))
+        return fail("truncated record (flags)");
+    if ((flags & TRACE_FLAG_UNKNOWN_MASK) != 0)
+        return fail("unknown flag bits (corrupt or newer format)");
+
+    if ((flags & TRACE_FLAG_END) != 0) {
+        std::uint64_t expected = 0;
+        if (!traceReadVarint(data, pos, expected))
+            return fail("truncated end marker");
+        if (expected != count)
+            return fail("record count mismatch (expected "
+                        + std::to_string(expected) + ", decoded "
+                        + std::to_string(count) + ")");
+        if (pos != data.size())
+            return fail("trailing bytes after end marker");
+        done = true;
+        return Status::End;
+    }
+
+    if ((flags & TRACE_FLAG_META) != 0) {
+        std::uint64_t cmax = 0, ghbits = 0, lhbits = 0;
+        if (!traceReadVarint(data, pos, cmax)
+            || !traceReadVarint(data, pos, ghbits)
+            || !traceReadVarint(data, pos, lhbits))
+            return fail("truncated record (meta fields)");
+        if (ghbits > 64 || lhbits > 64)
+            return fail("history width exceeds 64 bits");
+        state.counterMax = static_cast<unsigned>(cmax);
+        state.globalHistoryBits = static_cast<unsigned>(ghbits);
+        state.localHistoryBits = static_cast<unsigned>(lhbits);
+    } else if (state.first) {
+        return fail("first record lacks meta fields");
+    }
+
+    std::uint64_t pc_delta = 0, counter = 0, gh = 0, lh = 0;
+    std::uint64_t fc_delta = 0, rc_delta = 0;
+    if (!traceReadVarint(data, pos, pc_delta)
+        || !traceReadVarint(data, pos, counter))
+        return fail("truncated record (pc/counter)");
+    if (state.globalHistoryBits > 0) {
+        if ((flags & TRACE_FLAG_GH_SHIFT) != 0)
+            gh = traceShiftedHistory(state, state.globalHistoryBits);
+        else if (!traceReadVarint(data, pos, gh))
+            return fail("truncated record (global history)");
+    } else if ((flags & TRACE_FLAG_GH_SHIFT) != 0) {
+        return fail("GH_SHIFT flag without global history");
+    }
+    if (state.localHistoryBits > 0
+        && !traceReadVarint(data, pos, lh))
+        return fail("truncated record (local history)");
+    if (!traceReadVarint(data, pos, fc_delta)
+        || !traceReadVarint(data, pos, rc_delta))
+        return fail("truncated record (cycles)");
+
+    // Every field of rec (including all of info) is assigned below, so
+    // no clearing pass is needed.
+    rec.pc = static_cast<Addr>(
+            static_cast<std::int64_t>(state.prevPc)
+            + traceZigzagDecode(pc_delta));
+    rec.taken = (flags & TRACE_FLAG_TAKEN) != 0;
+    rec.correct = (flags & TRACE_FLAG_CORRECT) != 0;
+    rec.willCommit = (flags & TRACE_FLAG_WRONG_PATH) == 0;
+    rec.fetchCycle = state.prevFetchCycle + fc_delta;
+    rec.resolveCycle = rec.fetchCycle + rc_delta;
+
+    BpInfo &info = rec.info;
+    info.predTaken = (flags & TRACE_FLAG_PRED_TAKEN) != 0;
+    info.counterValue = static_cast<unsigned>(counter);
+    info.counterMax = state.counterMax;
+    info.globalHistory = gh;
+    info.globalHistoryBits = state.globalHistoryBits;
+    info.localHistory = lh;
+    info.localHistoryBits = state.localHistoryBits;
+    info.hasComponents = (flags & TRACE_FLAG_HAS_COMPONENTS) != 0;
+    info.bimodalStrong = (flags & TRACE_FLAG_BIMODAL_STRONG) != 0;
+    info.gshareStrong = (flags & TRACE_FLAG_GSHARE_STRONG) != 0;
+    info.bimodalPredTaken = (flags & TRACE_FLAG_BIMODAL_TAKEN) != 0;
+    info.gsharePredTaken = (flags & TRACE_FLAG_GSHARE_TAKEN) != 0;
+    info.metaChoseGshare = (flags & TRACE_FLAG_META_GSHARE) != 0;
+
+    state.prevPc = rec.pc;
+    state.prevFetchCycle = rec.fetchCycle;
+    state.prevGlobalHistory = info.globalHistory;
+    state.prevPredTaken = info.predTaken;
+    state.first = false;
+    ++count;
+    return Status::Record;
+}
+
+bool
+decodeTrace(std::string_view data, BranchTrace &out, std::string *error)
+{
+    TraceReader reader(data);
+    if (!reader.ok()) {
+        if (error != nullptr)
+            *error = reader.error();
+        return false;
+    }
+    out.meta = std::string(reader.meta());
+    out.records.clear();
+    TraceRecord rec;
+    for (;;) {
+        switch (reader.next(rec)) {
+          case TraceReader::Status::Record:
+            out.records.push_back(rec);
+            break;
+          case TraceReader::Status::End:
+            return true;
+          case TraceReader::Status::Error:
+            if (error != nullptr)
+                *error = reader.error();
+            return false;
+        }
+    }
+}
+
+std::string
+encodeTrace(const BranchTrace &trace)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    for (const TraceRecord &rec : trace.records) {
+        ev.pc = rec.pc;
+        ev.info = rec.info;
+        ev.taken = rec.taken;
+        ev.correct = rec.correct;
+        ev.willCommit = rec.willCommit;
+        ev.fetchCycle = rec.fetchCycle;
+        ev.resolveCycle = rec.resolveCycle;
+        writer.onEvent(ev);
+    }
+    return writer.encode(trace.meta);
+}
+
+bool
+readTraceFile(const std::string &path, std::string &data,
+              std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    data.clear();
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        if (error != nullptr)
+            *error = "read error on '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace confsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TraceReader: streaming decoder for the binary branch-trace format.
+ *
+ * The reader is a cursor over an encoded byte buffer it does not own;
+ * it validates the header up front and each record as it goes, and
+ * detects truncation via the mandatory end marker (a trace without a
+ * matching end marker + record count is rejected, never silently
+ * shortened). Malformed input yields a clean error string — never
+ * undefined behaviour.
+ *
+ * For tests and tools that want the whole trace materialized,
+ * decodeTrace() fills a BranchTrace (meta + record vector), and
+ * encodeTrace() is its inverse; a decode→encode round trip is
+ * byte-identical.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_READER_HH
+#define CONFSIM_TRACE_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace_format.hh"
+
+namespace confsim
+{
+
+/** Fully decoded in-memory trace. */
+struct BranchTrace
+{
+    std::string meta;                 ///< header metadata blob
+    std::vector<TraceRecord> records; ///< branch stream in fetch order
+};
+
+/**
+ * Streaming cursor over an encoded trace. The underlying buffer is
+ * borrowed and must outlive the reader.
+ */
+class TraceReader
+{
+  public:
+    /** Result of next(). */
+    enum class Status
+    {
+        Record, ///< a record was decoded
+        End,    ///< clean end of trace (count verified)
+        Error,  ///< malformed input; see error()
+    };
+
+    /** Bind to @p data and validate the header; on failure ok() is
+     *  false and error() describes the problem. */
+    explicit TraceReader(std::string_view data);
+
+    /** Header parsed successfully (check before reading records). */
+    bool ok() const { return err.empty(); }
+
+    /** Description of the first decode failure ("" while healthy). */
+    const std::string &error() const { return err; }
+
+    /** Header metadata blob. */
+    std::string_view meta() const { return metaBlob; }
+
+    /**
+     * Decode the next record into @p rec.
+     * After Status::End the reader stays at end; after Status::Error
+     * the reader is poisoned (further calls keep returning Error).
+     */
+    Status next(TraceRecord &rec);
+
+    /** Records decoded so far. */
+    std::uint64_t recordsRead() const { return count; }
+
+  private:
+    Status fail(const std::string &what);
+
+    std::string_view data;
+    std::size_t pos = 0;
+    TraceCodecState state;
+    std::string_view metaBlob;
+    std::string err;
+    std::uint64_t count = 0;
+    bool done = false;
+};
+
+/**
+ * Decode a complete trace into @p out.
+ * @return false (with @p error set when non-null) on malformed input.
+ */
+bool decodeTrace(std::string_view data, BranchTrace &out,
+                 std::string *error = nullptr);
+
+/** Encode @p trace into the binary format (inverse of decodeTrace). */
+std::string encodeTrace(const BranchTrace &trace);
+
+/**
+ * Read the file at @p path into @p data.
+ * @return false (with @p error set when non-null) on I/O failure.
+ */
+bool readTraceFile(const std::string &path, std::string &data,
+                   std::string *error = nullptr);
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_READER_HH

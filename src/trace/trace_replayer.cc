@@ -1,0 +1,223 @@
+#include "trace/trace_replayer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+unsigned
+TraceReplayer::attachEstimator(ConfidenceEstimator *estimator)
+{
+    if (estimators.size() >= MAX_ESTIMATORS)
+        fatal("too many confidence estimators attached");
+    estimators.push_back(estimator);
+    return static_cast<unsigned>(estimators.size() - 1);
+}
+
+unsigned
+TraceReplayer::attachLevelReader(const LevelSource *source)
+{
+    if (levelSources.size() >= MAX_LEVEL_READERS)
+        fatal("too many level readers attached");
+    levelSources.push_back(source);
+    return static_cast<unsigned>(levelSources.size() - 1);
+}
+
+void
+TraceReplayer::attachSink(BranchEventSink *sink)
+{
+    sinks.push_back(sink);
+}
+
+void
+TraceReplayer::attachPredictor(BranchPredictor *pred)
+{
+    predictor = pred;
+}
+
+void
+TraceReplayer::deliver(const BranchEvent &ev)
+{
+    for (auto *sink : sinks)
+        sink->onEvent(ev);
+}
+
+void
+TraceReplayer::begin()
+{
+    pending.clear();
+    counters = ReplayStats{};
+    nextSeq = 0;
+    preciseDistAll = 0;
+    preciseDistCommitted = 0;
+    perceivedDistAll = 0;
+    perceivedDistCommitted = 0;
+}
+
+/**
+ * Finalize the oldest pending branch: the replay-side counterpart of
+ * Pipeline::resolveFront (committed branch: predictor update, estimator
+ * updates, delivery, perceived-distance reset on a mispredict) and of
+ * the per-branch delivery in Pipeline::squashYounger (wrong-path
+ * branch: delivery only). The trace records a squashed branch's
+ * resolveCycle as its squash cycle, so queue order plus the cycle
+ * comparison in fetch() reproduces the live delivery order.
+ */
+void
+TraceReplayer::finalizeFront()
+{
+    // Work on the slot in place; estimators and sinks never touch the
+    // pending queue, so the reference stays valid until the pop below.
+    const BranchEvent &ev = pending.front();
+
+    if (ev.willCommit) {
+        if (predictor != nullptr)
+            predictor->update(ev.pc, ev.taken, ev.info);
+        for (auto *estimator : estimators)
+            estimator->update(ev.pc, ev.taken, ev.correct, ev.info);
+        deliver(ev);
+        if (!ev.correct) {
+            perceivedDistAll = 0;
+            perceivedDistCommitted = 0;
+        }
+    } else {
+        deliver(ev);
+    }
+    pending.pop_front();
+}
+
+bool
+TraceReplayer::fetch(const TraceRecord &rec, std::string *error)
+{
+    // A live tick resolves before it fetches, so every branch whose
+    // resolve cycle is at or before this fetch cycle finalizes first.
+    while (!pending.empty()
+           && pending.front().resolveCycle <= rec.fetchCycle) {
+        finalizeFront();
+    }
+
+    if (predictor != nullptr) {
+        const BpInfo live = predictor->predict(rec.pc);
+        if (live.predTaken != rec.info.predTaken) {
+            if (error != nullptr)
+                *error = "replay predictor diverged from trace at "
+                         "branch " + std::to_string(counters.branches)
+                         + " (predictor kind/config mismatch?)";
+            return false;
+        }
+    }
+
+    // Build the event directly in its (recycled) queue slot — it is
+    // large enough that stack-construct + copy shows up on the replay
+    // hot path. Every field is assigned below: the derived ones
+    // (estimateBits, levels) start from their live zero state, the
+    // rest come from the record.
+    BranchEvent &ev = pending.push_slot();
+    ev.seq = nextSeq++;
+    ev.pc = rec.pc;
+    ev.info = rec.info;
+    ev.taken = rec.taken;
+    ev.correct = rec.correct;
+    ev.willCommit = rec.willCommit;
+    ev.fetchCycle = rec.fetchCycle;
+    ev.resolveCycle = rec.resolveCycle;
+    ev.estimateBits = 0;
+    for (unsigned j = 0; j < MAX_LEVEL_READERS; ++j)
+        ev.levels[j] = 0;
+
+    for (unsigned i = 0; i < estimators.size(); ++i)
+        if (estimators[i]->estimate(rec.pc, rec.info))
+            ev.estimateBits |= (1u << i);
+    for (unsigned j = 0; j < levelSources.size(); ++j) {
+        const unsigned level =
+            levelSources[j]->readLevel(rec.pc, rec.info);
+        ev.levels[j] = static_cast<std::uint16_t>(
+                std::min(level, 65535u));
+    }
+
+    ev.preciseDistAll = preciseDistAll + 1;
+    ev.preciseDistCommitted = preciseDistCommitted + 1;
+    ev.perceivedDistAll = perceivedDistAll + 1;
+    ev.perceivedDistCommitted = perceivedDistCommitted + 1;
+
+    ++perceivedDistAll;
+    if (rec.willCommit)
+        ++perceivedDistCommitted;
+
+    if (rec.correct) {
+        ++preciseDistAll;
+        if (rec.willCommit)
+            ++preciseDistCommitted;
+    } else {
+        preciseDistAll = 0;
+        if (rec.willCommit)
+            preciseDistCommitted = 0;
+    }
+
+    ++counters.branches;
+    if (rec.willCommit)
+        ++counters.committedBranches;
+    if (!rec.correct) {
+        ++counters.mispredicts;
+        if (rec.willCommit)
+            ++counters.committedMispredicts;
+    }
+    return true;
+}
+
+void
+TraceReplayer::drain()
+{
+    while (!pending.empty())
+        finalizeFront();
+}
+
+bool
+TraceReplayer::replay(std::string_view encoded, ReplayStats *stats,
+                      std::string *error)
+{
+    TraceReader reader(encoded);
+    if (!reader.ok()) {
+        if (error != nullptr)
+            *error = reader.error();
+        return false;
+    }
+
+    begin();
+    TraceRecord rec;
+    for (;;) {
+        switch (reader.next(rec)) {
+          case TraceReader::Status::Record:
+            if (!fetch(rec, error))
+                return false; // attached state is part-replayed
+            break;
+          case TraceReader::Status::End:
+            drain();
+            if (stats != nullptr)
+                *stats = counters;
+            return true;
+          case TraceReader::Status::Error:
+            if (error != nullptr)
+                *error = reader.error();
+            return false;
+        }
+    }
+}
+
+bool
+TraceReplayer::replay(const BranchTrace &trace, ReplayStats *stats,
+                      std::string *error)
+{
+    begin();
+    for (const TraceRecord &rec : trace.records)
+        if (!fetch(rec, error))
+            return false;
+    drain();
+    if (stats != nullptr)
+        *stats = counters;
+    return true;
+}
+
+} // namespace confsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * TraceReplayer: drive confidence estimators, level sources, and
+ * branch-event sinks from a recorded branch trace, reproducing a live
+ * pipeline run bit for bit — at memory speed, with no interpreter,
+ * cache model, or wrong-path execution.
+ *
+ * Fidelity rests on reproducing the live pipeline's *operation order*.
+ * In a live run, estimate() happens at fetch (seq order) and update()
+ * at resolution (also seq order, committed branches only), and the two
+ * interleave according to fetch/resolve cycle timing. The trace stores
+ * records in fetch order with both cycles; the replayer keeps a
+ * pending queue and, before each fetch, finalizes every older branch
+ * whose resolve cycle is at or before the new fetch cycle — exactly
+ * the resolve-then-fetch order of Pipeline::tick. Derived per-event
+ * data (seq, estimate bits, levels, the four misprediction distances)
+ * is recomputed with the pipeline's own bookkeeping rules, so sinks
+ * observe an identical event stream.
+ *
+ * Replay is valid only for estimator-only experiments: a trace records
+ * one fixed branch stream, so anything that lets the estimator steer
+ * the pipeline (gating, eager execution) cannot be replayed.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_REPLAYER_HH
+#define CONFSIM_TRACE_TRACE_REPLAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/ring_buffer.hh"
+#include "confidence/estimator.hh"
+#include "pipeline/pipeline.hh"
+#include "trace/trace_reader.hh"
+
+namespace confsim
+{
+
+/** Aggregate counters from one replay pass. */
+struct ReplayStats
+{
+    std::uint64_t branches = 0;           ///< records replayed
+    std::uint64_t committedBranches = 0;  ///< willCommit records
+    std::uint64_t mispredicts = 0;        ///< incl. wrong path
+    std::uint64_t committedMispredicts = 0;
+
+    bool operator==(const ReplayStats &) const = default;
+};
+
+/**
+ * The replay engine. Mirror of the Pipeline attachment API: attach
+ * estimators/level readers/sinks (non-owning, in the same order as the
+ * live run they are compared against), then replay(). The replayer is
+ * reusable — each replay() starts from a fresh stream position — but
+ * attached estimators keep their trained state; reset them between
+ * passes for independent runs.
+ */
+class TraceReplayer
+{
+  public:
+    /**
+     * Attach a confidence estimator: estimate() per branch at fetch,
+     * update() at resolution for committed branches.
+     * @return index of the estimator's bit in BranchEvent::estimateBits.
+     */
+    unsigned attachEstimator(ConfidenceEstimator *estimator);
+
+    /** Attach a level source sampled at fetch (cf. Pipeline).
+     *  @return index into BranchEvent::levels. */
+    unsigned attachLevelReader(const LevelSource *source);
+
+    /** Attach a branch event sink (delivery in attach order). */
+    void attachSink(BranchEventSink *sink);
+
+    /**
+     * Optionally attach a branch predictor. It is driven through the
+     * same predict()/update() sequence as the live run — reproducing
+     * its statistics and final table state — and its predicted
+     * directions are checked against the trace, so replaying against
+     * a mismatched predictor fails loudly instead of corrupting
+     * results. Estimators always see the recorded BpInfo.
+     */
+    void attachPredictor(BranchPredictor *predictor);
+
+    /**
+     * Replay an encoded trace (header + records).
+     * @param encoded complete encoded trace bytes.
+     * @param stats receives aggregate counters (optional).
+     * @param error receives a description on failure (optional).
+     * @return false on malformed input or predictor mismatch.
+     */
+    bool replay(std::string_view encoded, ReplayStats *stats = nullptr,
+                std::string *error = nullptr);
+
+    /** Replay an already-decoded trace. */
+    bool replay(const BranchTrace &trace, ReplayStats *stats = nullptr,
+                std::string *error = nullptr);
+
+  private:
+    void begin();
+    bool fetch(const TraceRecord &rec, std::string *error);
+    void finalizeFront();
+    void drain();
+    void deliver(const BranchEvent &ev);
+
+    std::vector<ConfidenceEstimator *> estimators;
+    std::vector<const LevelSource *> levelSources;
+    std::vector<BranchEventSink *> sinks;
+    BranchPredictor *predictor = nullptr;
+
+    RingBuffer<BranchEvent> pending;
+    ReplayStats counters;
+    SeqNum nextSeq = 0;
+
+    // Distance bookkeeping, mirroring Pipeline exactly.
+    std::uint64_t preciseDistAll = 0;
+    std::uint64_t preciseDistCommitted = 0;
+    std::uint64_t perceivedDistAll = 0;
+    std::uint64_t perceivedDistCommitted = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_REPLAYER_HH

@@ -1,0 +1,60 @@
+#include "trace/trace_writer.hh"
+
+#include <cstdio>
+
+namespace confsim
+{
+
+void
+TraceWriter::onEvent(const BranchEvent &ev)
+{
+    TraceRecord rec;
+    rec.pc = ev.pc;
+    rec.info = ev.info;
+    rec.taken = ev.taken;
+    rec.correct = ev.correct;
+    rec.willCommit = ev.willCommit;
+    rec.fetchCycle = ev.fetchCycle;
+    rec.resolveCycle = ev.resolveCycle;
+    traceEncodeRecord(body, state, rec);
+    ++count;
+}
+
+std::string
+TraceWriter::encode(const std::string &meta) const
+{
+    std::string out;
+    out.reserve(sizeof(TRACE_MAGIC) + 24 + meta.size() + body.size());
+    out.append(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    traceAppendVarint(out, TRACE_VERSION);
+    traceAppendVarint(out, meta.size());
+    out += meta;
+    out += body;
+    traceAppendVarint(out, TRACE_FLAG_END);
+    traceAppendVarint(out, count);
+    return out;
+}
+
+bool
+TraceWriter::writeFile(const std::string &path, const std::string &meta,
+                       std::string *error) const
+{
+    const std::string data = encode(meta);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    const std::size_t written =
+        std::fwrite(data.data(), 1, data.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != data.size() || !closed) {
+        if (error != nullptr)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace confsim

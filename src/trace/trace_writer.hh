@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TraceWriter: a BranchEventSink that records the branch stream of a
+ * live simulation into the compact binary trace format.
+ *
+ * Attach it to a Pipeline (pipe.attachSink(&writer)) or pass it to
+ * runTrace(); because the pipeline delivers events in fetch (seq)
+ * order — committed branches at resolution, wrong-path branches at
+ * squash, both strictly ordered by seq — the writer sees exactly the
+ * stream a replayer must reproduce.
+ *
+ * Recording is only meaningful for *estimator-only* runs: with gating
+ * or eager execution enabled the branch stream itself depends on the
+ * attached estimator, so a recorded trace would not generalize to
+ * other estimator sets.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_WRITER_HH
+#define CONFSIM_TRACE_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/pipeline.hh"
+#include "trace/trace_format.hh"
+
+namespace confsim
+{
+
+/** Records BranchEvents into an in-memory encoded trace. */
+class TraceWriter final : public BranchEventSink
+{
+  public:
+    /** Encode one branch event (estimate bits and levels are derived
+     *  data and are not recorded). */
+    void onEvent(const BranchEvent &ev) override;
+
+    /** Branches recorded so far. */
+    std::uint64_t branchCount() const { return count; }
+
+    /** Encoded record bytes so far (header/footer excluded). */
+    std::size_t bodyBytes() const { return body.size(); }
+
+    /**
+     * Assemble the complete encoded trace: header, @p meta blob
+     * (conventionally a JSON document describing the recording run),
+     * all records, and the end marker. The writer stays usable —
+     * further events keep appending and a later encode() re-emits the
+     * longer trace.
+     */
+    std::string encode(const std::string &meta = "") const;
+
+    /**
+     * Write encode(@p meta) to @p path.
+     * @return false (with @p error set when non-null) on I/O failure.
+     */
+    bool writeFile(const std::string &path,
+                   const std::string &meta = "",
+                   std::string *error = nullptr) const;
+
+  private:
+    std::string body;
+    TraceCodecState state;
+    std::uint64_t count = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_WRITER_HH

@@ -37,7 +37,10 @@ Machine::reset()
 {
     pcReg = program.entry;
     regs.fill(0);
-    memory = program.initialData;
+    // assign + resize reuse the existing buffer; operator= would
+    // reallocate on every reset of a reused Machine.
+    memory.assign(program.initialData.begin(),
+                  program.initialData.end());
     memory.resize(program.dataWords, 0);
     regs[REG_SP] = static_cast<Word>(program.dataWords);
     haltedFlag = false;
@@ -91,6 +94,10 @@ Machine::takeCheckpoint()
     cp.pc = pcReg;
     cp.regs = regs;
     cp.halted = haltedFlag;
+    // Wrong-path runs between checkpoint and rollback are short; a
+    // modest reservation absorbs the typical store count without the
+    // doubling churn of growth from zero.
+    cp.undoLog.reserve(16);
     checkpoints.push_back(std::move(cp));
     return checkpoints.size() - 1;
 }

@@ -12,6 +12,7 @@
 #include "common/bit_utils.hh"
 #include "common/history_register.hh"
 #include "common/random.hh"
+#include "common/ring_buffer.hh"
 #include "common/sat_counter.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -415,6 +416,131 @@ TEST(TextTableDeathTest, RowWidthMismatchFatal)
 TEST(TextTableDeathTest, EmptyHeaderFatal)
 {
     EXPECT_EXIT(TextTable({}), ::testing::ExitedWithCode(1), "column");
+}
+
+// ---------------------------------------------------------------- RingBuffer
+
+TEST(RingBufferTest, StartsEmpty)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrder)
+{
+    RingBuffer<int> rb;
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.push_back(3);
+    EXPECT_EQ(rb.size(), 3u);
+    EXPECT_EQ(rb.front(), 1);
+    EXPECT_EQ(rb.back(), 3);
+    rb.pop_front();
+    EXPECT_EQ(rb.front(), 2);
+    rb.pop_front();
+    rb.pop_front();
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, LogicalIndexingIsFrontRelative)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 6; ++i)
+        rb.push_back(i);
+    rb.pop_front();
+    rb.pop_front();
+    ASSERT_EQ(rb.size(), 4u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], static_cast<int>(i) + 2);
+    rb[0] = 99;
+    EXPECT_EQ(rb.front(), 99);
+}
+
+TEST(RingBufferTest, WrapAroundPreservesOrder)
+{
+    RingBuffer<int> rb(4); // capacity rounds to a power of two
+    const std::size_t cap = rb.capacity();
+    // March the head around the array several times.
+    int next_in = 0, next_out = 0;
+    for (std::size_t i = 0; i < cap - 1; ++i)
+        rb.push_back(next_in++);
+    for (int round = 0; round < 20; ++round) {
+        rb.push_back(next_in++);
+        ASSERT_EQ(rb.front(), next_out);
+        rb.pop_front();
+        ++next_out;
+        ASSERT_EQ(rb.size(), cap - 1);
+        ASSERT_EQ(rb.capacity(), cap) << "wrapped traffic reallocated";
+    }
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], next_out + static_cast<int>(i));
+}
+
+TEST(RingBufferTest, RegrowWhileWrappedKeepsContents)
+{
+    RingBuffer<int> rb(4);
+    const std::size_t cap = rb.capacity();
+    for (std::size_t i = 0; i < cap; ++i)
+        rb.push_back(static_cast<int>(i));
+    // Rotate so the live window straddles the physical end.
+    for (int i = 0; i < 3; ++i) {
+        rb.pop_front();
+        rb.push_back(static_cast<int>(cap) + i);
+    }
+    rb.push_back(1000); // forces regrow mid-wrap
+    EXPECT_GT(rb.capacity(), cap);
+    ASSERT_EQ(rb.size(), cap + 1);
+    EXPECT_EQ(rb.front(), 3);
+    EXPECT_EQ(rb.back(), 1000);
+    for (std::size_t i = 0; i + 1 < rb.size(); ++i)
+        EXPECT_EQ(rb[i], static_cast<int>(i) + 3);
+}
+
+TEST(RingBufferTest, ReserveRoundsUpAndAvoidsRealloc)
+{
+    RingBuffer<int> rb;
+    rb.reserve(10);
+    const std::size_t cap = rb.capacity();
+    EXPECT_GE(cap, 10u);
+    EXPECT_EQ(cap & (cap - 1), 0u) << "capacity not a power of two";
+    for (std::size_t i = 0; i < cap; ++i)
+        rb.push_back(static_cast<int>(i));
+    EXPECT_EQ(rb.capacity(), cap);
+    rb.reserve(4); // shrinking is a no-op
+    EXPECT_EQ(rb.capacity(), cap);
+}
+
+TEST(RingBufferTest, PushSlotRecyclesStorage)
+{
+    RingBuffer<int> rb;
+    rb.push_slot() = 1;
+    rb.push_slot() = 2;
+    EXPECT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.front(), 1);
+    EXPECT_EQ(rb.back(), 2);
+    rb.pop_front();
+    rb.pop_front();
+    // A recycled slot keeps its old value until assigned.
+    int &slot = rb.push_slot();
+    EXPECT_EQ(rb.size(), 1u);
+    slot = 9;
+    EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    const std::size_t cap = rb.capacity();
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), cap);
+    rb.push_back(7);
+    EXPECT_EQ(rb.front(), 7);
+    EXPECT_EQ(rb.back(), 7);
 }
 
 } // anonymous namespace

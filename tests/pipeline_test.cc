@@ -296,6 +296,36 @@ TEST(PipelineTest, DoneAfterRun)
     EXPECT_FALSE(pipe.tick(true));
 }
 
+/**
+ * run() fast-forwards idle gaps (fetch stalled or gated with nothing
+ * resolving); the result must be bit-identical to ticking every cycle.
+ */
+TEST(PipelineTest, RunFastForwardMatchesTickLoop)
+{
+    const Program prog = makeWorkload("compress");
+    JrsConfig jrs_cfg;
+
+    auto run_one = [&](bool gated, bool fast) {
+        GsharePredictor pred;
+        JrsEstimator jrs(jrs_cfg);
+        Pipeline pipe(prog, pred);
+        const unsigned idx = pipe.attachEstimator(&jrs);
+        if (gated)
+            pipe.enableGating(idx, 1);
+        if (fast)
+            return pipe.run();
+        while (pipe.tick(true)) {
+        }
+        return pipe.snapshotStats();
+    };
+
+    for (const bool gated : {false, true}) {
+        const PipelineStats fast = run_one(gated, true);
+        const PipelineStats slow = run_one(gated, false);
+        EXPECT_EQ(fast, slow) << (gated ? "gated" : "plain");
+    }
+}
+
 TEST(PipelineTest, GatingReducesWrongPathWork)
 {
     const Program prog = makeWorkload("go");

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the branch-trace capture/replay engine: golden equivalence
+ * (a replayed trace must reproduce a live pipeline run bit for bit —
+ * events, quadrants, distance histograms, estimator and predictor
+ * stats), encode/decode round trips, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "harness/collectors.hh"
+#include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
+#include "pipeline/pipeline.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_replayer.hh"
+#include "trace/trace_writer.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+const WorkloadSpec &
+spec(const std::string &name)
+{
+    for (const auto &s : standardWorkloads())
+        if (s.name == name)
+            return s;
+    ADD_FAILURE() << "no workload " << name;
+    return standardWorkloads().front();
+}
+
+void
+expectEventsEqual(const BranchEvent &a, const BranchEvent &b,
+                  std::size_t i)
+{
+    EXPECT_EQ(a.seq, b.seq) << "event " << i;
+    EXPECT_EQ(a.pc, b.pc) << "event " << i;
+    EXPECT_EQ(a.taken, b.taken) << "event " << i;
+    EXPECT_EQ(a.correct, b.correct) << "event " << i;
+    EXPECT_EQ(a.willCommit, b.willCommit) << "event " << i;
+    EXPECT_EQ(a.fetchCycle, b.fetchCycle) << "event " << i;
+    EXPECT_EQ(a.resolveCycle, b.resolveCycle) << "event " << i;
+    EXPECT_EQ(a.estimateBits, b.estimateBits) << "event " << i;
+    for (unsigned j = 0; j < MAX_LEVEL_READERS; ++j)
+        EXPECT_EQ(a.levels[j], b.levels[j]) << "event " << i;
+    EXPECT_EQ(a.preciseDistAll, b.preciseDistAll) << "event " << i;
+    EXPECT_EQ(a.preciseDistCommitted, b.preciseDistCommitted)
+        << "event " << i;
+    EXPECT_EQ(a.perceivedDistAll, b.perceivedDistAll) << "event " << i;
+    EXPECT_EQ(a.perceivedDistCommitted, b.perceivedDistCommitted)
+        << "event " << i;
+    EXPECT_EQ(a.info.predTaken, b.info.predTaken) << "event " << i;
+    EXPECT_EQ(a.info.counterValue, b.info.counterValue)
+        << "event " << i;
+    EXPECT_EQ(a.info.counterMax, b.info.counterMax) << "event " << i;
+    EXPECT_EQ(a.info.globalHistory, b.info.globalHistory)
+        << "event " << i;
+    EXPECT_EQ(a.info.globalHistoryBits, b.info.globalHistoryBits)
+        << "event " << i;
+    EXPECT_EQ(a.info.localHistory, b.info.localHistory)
+        << "event " << i;
+    EXPECT_EQ(a.info.localHistoryBits, b.info.localHistoryBits)
+        << "event " << i;
+    EXPECT_EQ(a.info.hasComponents, b.info.hasComponents)
+        << "event " << i;
+    EXPECT_EQ(a.info.bimodalStrong, b.info.bimodalStrong)
+        << "event " << i;
+    EXPECT_EQ(a.info.gshareStrong, b.info.gshareStrong)
+        << "event " << i;
+    EXPECT_EQ(a.info.bimodalPredTaken, b.info.bimodalPredTaken)
+        << "event " << i;
+    EXPECT_EQ(a.info.gsharePredTaken, b.info.gsharePredTaken)
+        << "event " << i;
+    EXPECT_EQ(a.info.metaChoseGshare, b.info.metaChoseGshare)
+        << "event " << i;
+}
+
+void
+expectProfilesEqual(const DistanceProfile &a, const DistanceProfile &b)
+{
+    ASSERT_EQ(a.buckets(), b.buckets());
+    EXPECT_EQ(a.total(), b.total());
+    for (std::uint64_t d = 0; d <= a.buckets() + 1; ++d) {
+        EXPECT_EQ(a.countAt(d), b.countAt(d)) << "distance " << d;
+        EXPECT_DOUBLE_EQ(a.rateAt(d), b.rateAt(d)) << "distance " << d;
+    }
+}
+
+/**
+ * The heart of the golden test: run one workload live with the full
+ * standard estimator set, a level reader, and event capture; record
+ * the trace along the way; replay it with fresh predictor/estimator
+ * state; and require the two event streams to match field for field.
+ */
+void
+runGoldenEquivalence(PredictorKind kind, const std::string &workload)
+{
+    ExperimentConfig cfg;
+    const auto prog = cachedProgram(spec(workload), cfg.workload);
+
+    // Live run: record and capture simultaneously.
+    StandardBundle liveBundle(kind, *prog, cfg);
+    auto livePred = makePredictor(kind);
+    Pipeline pipe(*prog, *livePred, cfg.pipeline);
+    for (auto *estimator : liveBundle.estimators())
+        pipe.attachEstimator(estimator);
+    pipe.attachLevelReader(&liveBundle.jrs());
+
+    std::vector<BranchEvent> liveEvents;
+    CallbackSink liveCapture(
+            [&](const BranchEvent &ev) { liveEvents.push_back(ev); });
+    DistanceCollector liveDistances;
+    TraceWriter writer;
+    pipe.attachSink(&liveCapture);
+    pipe.attachSink(&liveDistances);
+    pipe.attachSink(&writer);
+    const PipelineStats liveStats = pipe.run();
+
+    ASSERT_EQ(writer.branchCount(), liveStats.allCondBranches);
+
+    // Replay with fresh mutable state.
+    StandardBundle replayBundle(kind, *prog, cfg);
+    auto replayPred = makePredictor(kind);
+    TraceReplayer replayer;
+    replayer.attachPredictor(replayPred.get());
+    for (auto *estimator : replayBundle.estimators())
+        replayer.attachEstimator(estimator);
+    replayer.attachLevelReader(&replayBundle.jrs());
+
+    std::vector<BranchEvent> replayEvents;
+    CallbackSink replayCapture(
+            [&](const BranchEvent &ev) { replayEvents.push_back(ev); });
+    DistanceCollector replayDistances;
+    replayer.attachSink(&replayCapture);
+    replayer.attachSink(&replayDistances);
+
+    ReplayStats stats;
+    std::string error;
+    ASSERT_TRUE(replayer.replay(writer.encode(), &stats, &error))
+        << error;
+
+    EXPECT_EQ(stats.branches, liveStats.allCondBranches);
+    EXPECT_EQ(stats.committedBranches, liveStats.committedCondBranches);
+    EXPECT_EQ(stats.mispredicts, liveStats.allMispredicts);
+    EXPECT_EQ(stats.committedMispredicts,
+              liveStats.committedMispredicts);
+
+    ASSERT_EQ(replayEvents.size(), liveEvents.size());
+    for (std::size_t i = 0; i < liveEvents.size(); ++i)
+        expectEventsEqual(liveEvents[i], replayEvents[i], i);
+
+    expectProfilesEqual(liveDistances.preciseAll,
+                        replayDistances.preciseAll);
+    expectProfilesEqual(liveDistances.preciseCommitted,
+                        replayDistances.preciseCommitted);
+    expectProfilesEqual(liveDistances.perceivedAll,
+                        replayDistances.perceivedAll);
+    expectProfilesEqual(liveDistances.perceivedCommitted,
+                        replayDistances.perceivedCommitted);
+}
+
+TEST(TraceGoldenTest, GshareEventStreamBitIdentical)
+{
+    runGoldenEquivalence(PredictorKind::Gshare, "compress");
+}
+
+TEST(TraceGoldenTest, McFarlingEventStreamBitIdentical)
+{
+    runGoldenEquivalence(PredictorKind::McFarling, "go");
+}
+
+TEST(TraceGoldenTest, SAgEventStreamBitIdentical)
+{
+    runGoldenEquivalence(PredictorKind::SAg, "xlisp");
+}
+
+/** The replay-backed standard experiment must match the live one on
+ *  every reported artifact, including the serialized stats/config. */
+TEST(TraceGoldenTest, StandardExperimentMatchesLive)
+{
+    clearExperimentCaches();
+    const PredictorKind kinds[] = {PredictorKind::Gshare,
+                                   PredictorKind::McFarling,
+                                   PredictorKind::SAg};
+    for (const auto kind : kinds) {
+        ExperimentConfig cfg;
+        const WorkloadSpec &wl = spec("m88ksim");
+        const WorkloadResult live =
+            runStandardExperimentLive(kind, wl, cfg);
+        const WorkloadResult replayed =
+            runStandardExperiment(kind, wl, cfg);
+
+        EXPECT_EQ(replayed.workload, live.workload);
+        EXPECT_EQ(replayed.pipe, live.pipe);
+        ASSERT_EQ(replayed.quadrants.size(), live.quadrants.size());
+        for (std::size_t i = 0; i < live.quadrants.size(); ++i) {
+            EXPECT_EQ(replayed.quadrants[i], live.quadrants[i]);
+            EXPECT_EQ(replayed.quadrantsAll[i], live.quadrantsAll[i]);
+        }
+        EXPECT_EQ(replayed.statsDoc.dump(), live.statsDoc.dump());
+        EXPECT_EQ(replayed.componentsDoc.dump(),
+                  live.componentsDoc.dump());
+    }
+}
+
+/** Repeated experiments share one recorded trace. */
+TEST(TraceGoldenTest, RecordedRunIsCached)
+{
+    clearExperimentCaches();
+    ExperimentConfig cfg;
+    const WorkloadSpec &wl = spec("compress");
+    runStandardExperiment(PredictorKind::Gshare, wl, cfg);
+    runStandardExperiment(PredictorKind::Gshare, wl, cfg);
+    const ExperimentCacheStats stats = experimentCacheStats();
+    EXPECT_EQ(stats.recordedMisses, 1u);
+    EXPECT_GE(stats.recordedHits, 1u);
+    clearExperimentCaches();
+}
+
+std::string
+recordWorkload(PredictorKind kind, const std::string &workload,
+               std::string *meta = nullptr)
+{
+    ExperimentConfig cfg;
+    const auto recorded =
+        cachedRecordedRun(kind, spec(workload), cfg.workload,
+                          cfg.pipeline);
+    if (meta != nullptr)
+        *meta = "";
+    return recorded->trace;
+}
+
+TEST(TraceFormatTest, DecodeEncodeRoundTripIsByteIdentical)
+{
+    const std::string encoded =
+        recordWorkload(PredictorKind::McFarling, "compress");
+    BranchTrace trace;
+    std::string error;
+    ASSERT_TRUE(decodeTrace(encoded, trace, &error)) << error;
+    ASSERT_FALSE(trace.records.empty());
+    EXPECT_EQ(encodeTrace(trace), encoded);
+
+    // Amortized record cost stays within the format's budget.
+    const double bytes_per_branch =
+        static_cast<double>(encoded.size())
+        / static_cast<double>(trace.records.size());
+    EXPECT_LE(bytes_per_branch, 8.0);
+}
+
+TEST(TraceFormatTest, ReaderCountsAndMetaSurvive)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.pc = 100;
+    ev.info.counterMax = 3;
+    ev.taken = true;
+    ev.correct = true;
+    ev.willCommit = true;
+    ev.fetchCycle = 1;
+    ev.resolveCycle = 4;
+    writer.onEvent(ev);
+    ev.pc = 40;
+    ev.fetchCycle = 2;
+    ev.resolveCycle = 5;
+    ev.correct = false;
+    writer.onEvent(ev);
+
+    const std::string encoded = writer.encode("{\"hello\":1}");
+    TraceReader reader(encoded);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.meta(), "{\"hello\":1}");
+
+    TraceRecord rec;
+    ASSERT_EQ(reader.next(rec), TraceReader::Status::Record);
+    EXPECT_EQ(rec.pc, 100u);
+    EXPECT_TRUE(rec.correct);
+    ASSERT_EQ(reader.next(rec), TraceReader::Status::Record);
+    EXPECT_EQ(rec.pc, 40u);
+    EXPECT_FALSE(rec.correct);
+    EXPECT_EQ(rec.fetchCycle, 2u);
+    EXPECT_EQ(rec.resolveCycle, 5u);
+    EXPECT_EQ(reader.next(rec), TraceReader::Status::End);
+    EXPECT_EQ(reader.recordsRead(), 2u);
+    // End is sticky.
+    EXPECT_EQ(reader.next(rec), TraceReader::Status::End);
+}
+
+TEST(TraceFormatTest, BadMagicRejected)
+{
+    std::string data = "NOPE";
+    data.push_back(1);
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, WrongVersionRejected)
+{
+    std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    traceAppendVarint(data, TRACE_VERSION + 1);
+    traceAppendVarint(data, 0);
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+/** Every strict prefix of a valid trace must fail cleanly: the end
+ *  marker makes truncation detectable at any byte boundary. */
+TEST(TraceFormatTest, EveryTruncationRejected)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    for (unsigned i = 0; i < 5; ++i) {
+        ev.pc = 10 + i;
+        ev.taken = (i % 2) == 0;
+        ev.correct = i != 3;
+        ev.willCommit = i != 4;
+        ev.fetchCycle = i;
+        ev.resolveCycle = i + 3;
+        writer.onEvent(ev);
+    }
+    const std::string encoded = writer.encode("meta");
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+        BranchTrace trace;
+        std::string error;
+        EXPECT_FALSE(decodeTrace(encoded.substr(0, len), trace, &error))
+            << "prefix of length " << len << " decoded";
+        EXPECT_FALSE(error.empty()) << "prefix " << len;
+    }
+}
+
+TEST(TraceFormatTest, TrailingBytesRejected)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    writer.onEvent(ev);
+    std::string encoded = writer.encode();
+    encoded.push_back('\0');
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(encoded, trace, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, CountMismatchRejected)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    writer.onEvent(ev);
+    writer.onEvent(ev);
+    std::string encoded = writer.encode();
+    // The final varint is the record count (2); bump it.
+    encoded.back() = static_cast<char>(encoded.back() + 1);
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(encoded, trace, &error));
+    EXPECT_NE(error.find("count"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, UnknownFlagBitsRejected)
+{
+    std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    traceAppendVarint(data, TRACE_VERSION);
+    traceAppendVarint(data, 0);
+    traceAppendVarint(data, TRACE_FLAG_END << 1); // future flag bit
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_NE(error.find("flag"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, FirstRecordWithoutMetaRejected)
+{
+    std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    traceAppendVarint(data, TRACE_VERSION);
+    traceAppendVarint(data, 0);
+    traceAppendVarint(data, TRACE_FLAG_TAKEN); // no FLAG_META
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_NE(error.find("meta"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, HistoryShiftWithoutHistoryRejected)
+{
+    std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    traceAppendVarint(data, TRACE_VERSION);
+    traceAppendVarint(data, 0);
+    traceAppendVarint(data,
+                      TRACE_FLAG_META | TRACE_FLAG_GH_SHIFT);
+    traceAppendVarint(data, 3); // counterMax
+    traceAppendVarint(data, 0); // globalHistoryBits
+    traceAppendVarint(data, 0); // localHistoryBits
+    traceAppendVarint(data, 0); // pc delta
+    traceAppendVarint(data, 0); // counterValue
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_NE(error.find("GH_SHIFT"), std::string::npos) << error;
+}
+
+TEST(TraceFormatTest, OverlongVarintRejected)
+{
+    std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
+    // 11 continuation bytes: longer than any legal uint64 varint.
+    for (int i = 0; i < 11; ++i)
+        data.push_back(static_cast<char>(0x80));
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(data, trace, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceReplayerTest, MismatchedPredictorFailsLoudly)
+{
+    const std::string encoded =
+        recordWorkload(PredictorKind::Gshare, "compress");
+    auto wrong = makePredictor(PredictorKind::Bimodal);
+    TraceReplayer replayer;
+    replayer.attachPredictor(wrong.get());
+    ReplayStats stats;
+    std::string error;
+    EXPECT_FALSE(replayer.replay(encoded, &stats, &error));
+    EXPECT_NE(error.find("diverged"), std::string::npos) << error;
+}
+
+TEST(TraceReplayerTest, ReplayerIsReusable)
+{
+    const std::string encoded =
+        recordWorkload(PredictorKind::Gshare, "compress");
+    TraceReplayer replayer;
+    ReplayStats first, second;
+    std::string error;
+    ASSERT_TRUE(replayer.replay(encoded, &first, &error)) << error;
+    ASSERT_TRUE(replayer.replay(encoded, &second, &error)) << error;
+    EXPECT_EQ(first, second);
+    EXPECT_GT(first.branches, 0u);
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -44,6 +44,9 @@
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/trace_run.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_replayer.hh"
+#include "trace/trace_writer.hh"
 #include "workloads/workload.hh"
 
 using namespace confsim;
@@ -68,6 +71,8 @@ struct Options
     double staticThreshold = 0.9;
     unsigned jobs = ThreadPool::hardwareConcurrency();
     PipelineConfig pipeline;
+    std::string recordTracePath; ///< --record-trace FILE
+    std::string replayTracePath; ///< --replay-trace FILE
 };
 
 void
@@ -100,6 +105,12 @@ usage()
         "                    hardware concurrency; 0 or 1 = serial)\n"
         "  --config FILE     load options from a JSON file (CLI flags\n"
         "                    given after it still override)\n"
+        "  --record-trace F  record the branch stream of one pipeline\n"
+        "                    run (single workload, no gating/eager) to\n"
+        "                    F for later replay\n"
+        "  --replay-trace F  rerun estimators over a recorded trace\n"
+        "                    (loads the recorded config; flags given\n"
+        "                    after it still override)\n"
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
@@ -337,8 +348,9 @@ struct RunOutput
     PipelineStats pipe;
     TraceRunStats trace;
     bool pipeMode = false;
-    JsonValue componentsDoc; ///< per-component config (registry)
-    JsonValue statsDoc;      ///< per-component stats (registry)
+    std::string mode = "trace"; ///< "pipeline" | "trace" | "replay"
+    JsonValue componentsDoc;    ///< per-component config (registry)
+    JsonValue statsDoc;         ///< per-component stats (registry)
 };
 
 RunOutput
@@ -378,6 +390,7 @@ runOne(const Options &opt, const WorkloadSpec &spec)
         out.statsDoc = registry.statsJson();
     } else {
         out.pipeMode = true;
+        out.mode = "pipeline";
         Pipeline pipe(*prog, *pred, opt.pipeline);
         registry.registerObject("pipeline", pipe);
         const unsigned idx = pipe.attachEstimator(est.get());
@@ -387,10 +400,100 @@ runOne(const Options &opt, const WorkloadSpec &spec)
         if (opt.eager)
             pipe.enableEagerExecution(idx);
         pipe.attachSink(&sink);
+        TraceWriter writer;
+        if (!opt.recordTracePath.empty())
+            pipe.attachSink(&writer);
         out.pipe = pipe.run();
         // Serialize before `pipe` (a registered object) goes away.
         out.componentsDoc = registry.configJson();
         out.statsDoc = registry.statsJson();
+        if (!opt.recordTracePath.empty()) {
+            // Trace metadata: the full recording configuration (fed
+            // back by --replay-trace) plus the pipeline's stats and
+            // config subtrees, which replay carries verbatim.
+            JsonValue meta = JsonValue::object();
+            meta["config"] = optionsToJson(opt);
+            meta["pipeline"] = *out.statsDoc.find("pipeline");
+            meta["pipeline_components"] =
+                *out.componentsDoc.find("pipeline");
+            std::string err;
+            if (!writer.writeFile(opt.recordTracePath, meta.dump(0),
+                                  &err)) {
+                std::fprintf(stderr, "--record-trace: %s\n",
+                             err.c_str());
+                std::exit(1);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Replay a recorded trace instead of simulating the pipeline: fresh
+ * predictor and estimator driven through the recorded branch stream.
+ * Quadrants and predictor/estimator stats are bit-identical to the
+ * recording run's; the pipeline stats/config subtrees come verbatim
+ * from the trace metadata.
+ */
+RunOutput
+runReplayOne(const Options &opt, const WorkloadSpec &spec,
+             const std::string &traceData, const JsonValue &meta)
+{
+    WorkloadConfig wl;
+    wl.scale = opt.scale;
+    wl.seed = opt.seed;
+    const PredictorKind kind = parsePredictor(opt.predictor);
+
+    // Static estimator needs a profiling pass regardless of mode.
+    ProfileTable profile;
+    if (opt.estimator == "static") {
+        const auto prog = cachedProgram(spec, wl);
+        auto profiling_pred = makePredictor(kind);
+        profile = buildProfile(*prog, *profiling_pred);
+    }
+
+    auto pred = makePredictor(kind);
+    auto est = makeEstimator(opt, kind, profile);
+
+    RunOutput out;
+    out.pipeMode = true; // pipeline stats available (from metadata)
+    out.mode = "replay";
+    CallbackSink sink([&out](const BranchEvent &ev) {
+        out.quadrantsAll.record(ev.correct, ev.estimate(0));
+        if (ev.willCommit)
+            out.quadrants.record(ev.correct, ev.estimate(0));
+    });
+
+    StatsRegistry registry;
+    registry.registerObject("predictor", *pred);
+    registry.registerObject("estimator", *est);
+
+    TraceReplayer replayer;
+    replayer.attachPredictor(pred.get());
+    replayer.attachEstimator(est.get());
+    replayer.attachSink(&sink);
+    std::string err;
+    if (!replayer.replay(traceData, nullptr, &err)) {
+        std::fprintf(stderr, "--replay-trace: %s\n", err.c_str());
+        std::exit(1);
+    }
+
+    out.componentsDoc = registry.configJson();
+    out.statsDoc = registry.statsJson();
+    // Splice the recorded pipeline subtrees where a live run registers
+    // the pipeline: last, after predictor and estimator.
+    if (const JsonValue *stats = meta.find("pipeline"))
+        out.statsDoc["pipeline"] = *stats;
+    if (const JsonValue *comp = meta.find("pipeline_components"))
+        out.componentsDoc["pipeline"] = *comp;
+    // Headline counters for the table view.
+    if (const JsonValue *stats = meta.find("pipeline")) {
+        if (const JsonValue *v = stats->find("cycles"))
+            out.pipe.cycles = v->asUint();
+        if (const JsonValue *v = stats->find("committed_insts"))
+            out.pipe.committedInsts = v->asUint();
+        if (const JsonValue *v = stats->find("all_insts"))
+            out.pipe.allInsts = v->asUint();
     }
     return out;
 }
@@ -419,8 +522,7 @@ resultsToJson(const Options &opt,
         const RunOutput &out = outputs[i];
         JsonValue run = JsonValue::object();
         run["workload"] = JsonValue(selected[i].name);
-        run["mode"] =
-            JsonValue(out.pipeMode ? "pipeline" : "trace");
+        run["mode"] = JsonValue(out.mode);
         run["components"] = out.componentsDoc;
         run["stats"] = out.statsDoc;
         JsonValue quads = JsonValue::object();
@@ -449,6 +551,8 @@ int
 main(int argc, char **argv)
 {
     Options opt;
+    std::string replayData; // encoded trace bytes for --replay-trace
+    JsonValue replayMeta;   // parsed trace metadata
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -477,6 +581,39 @@ main(int argc, char **argv)
             opt.json = true;
         } else if (arg == "--config") {
             loadConfigFile(next(), opt);
+        } else if (arg == "--record-trace") {
+            opt.recordTracePath = next();
+        } else if (arg == "--replay-trace") {
+            opt.replayTracePath = next();
+            std::string err;
+            if (!readTraceFile(opt.replayTracePath, replayData,
+                               &err)) {
+                std::fprintf(stderr, "--replay-trace: %s\n",
+                             err.c_str());
+                return 1;
+            }
+            TraceReader reader(replayData);
+            if (!reader.ok()) {
+                std::fprintf(stderr, "--replay-trace: %s: %s\n",
+                             opt.replayTracePath.c_str(),
+                             reader.error().c_str());
+                return 1;
+            }
+            replayMeta = JsonValue::parse(
+                    std::string(reader.meta()), &err);
+            if (!err.empty() || !replayMeta.isObject()
+                || replayMeta.find("config") == nullptr) {
+                std::fprintf(stderr,
+                             "--replay-trace: %s: bad trace "
+                             "metadata\n",
+                             opt.replayTracePath.c_str());
+                return 1;
+            }
+            // The recorded configuration becomes the baseline; flags
+            // given after --replay-trace still override (notably the
+            // estimator under study).
+            applyConfigJson(*replayMeta.find("config"), opt,
+                            opt.replayTracePath);
         } else if (arg == "--gate") {
             opt.gateThreshold = parseInt(arg, next());
         } else if (arg == "--eager") {
@@ -512,6 +649,40 @@ main(int argc, char **argv)
         }
     }
 
+    const bool recording = !opt.recordTracePath.empty();
+    const bool replaying = !opt.replayTracePath.empty();
+    if (recording && replaying) {
+        std::fprintf(stderr, "--record-trace and --replay-trace are "
+                             "mutually exclusive\n");
+        return 2;
+    }
+    if (recording || replaying) {
+        const char *flag =
+            recording ? "--record-trace" : "--replay-trace";
+        if (opt.workload == "all") {
+            std::fprintf(stderr,
+                         "%s works on a single workload\n", flag);
+            return 2;
+        }
+        if (opt.traceMode) {
+            std::fprintf(stderr,
+                         "%s requires pipeline mode (drop --trace)\n",
+                         flag);
+            return 2;
+        }
+        // A gating or eager pipeline lets the estimator steer the
+        // branch stream, so its trace is only valid for that exact
+        // estimator — refuse rather than record or replay a stream
+        // that silently stops matching.
+        if (opt.gateThreshold >= 0 || opt.eager) {
+            std::fprintf(stderr,
+                         "%s is estimator-only: not valid with "
+                         "--gate/--eager\n",
+                         flag);
+            return 2;
+        }
+    }
+
     std::vector<WorkloadSpec> selected;
     if (opt.workload == "all") {
         selected = standardWorkloads();
@@ -530,8 +701,12 @@ main(int argc, char **argv)
     // workload runs inline); results come back in selection order.
     ParallelRunner runner(selected.size() > 1 ? opt.jobs : 0);
     const std::vector<RunOutput> outputs = runner.map(
-            selected.size(),
-            [&](std::size_t i) { return runOne(opt, selected[i]); });
+            selected.size(), [&](std::size_t i) {
+                return replaying
+                    ? runReplayOne(opt, selected[i], replayData,
+                                   replayMeta)
+                    : runOne(opt, selected[i]);
+            });
 
     if (opt.json) {
         const JsonValue doc = resultsToJson(opt, selected, outputs);
@@ -562,7 +737,7 @@ main(int argc, char **argv)
 
     std::printf("predictor=%s estimator=%s mode=%s scale=%u%s%s\n",
                 opt.predictor.c_str(), opt.estimator.c_str(),
-                opt.traceMode ? "trace" : "pipeline", opt.scale,
+                outputs.back().mode.c_str(), opt.scale,
                 opt.gateThreshold >= 0 ? " gating=on" : "",
                 opt.eager ? " eager=on" : "");
     std::printf("%s", opt.csv ? table.renderCsv().c_str()

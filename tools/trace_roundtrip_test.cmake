@@ -1,0 +1,81 @@
+# Record/replay equivalence check: a run recorded with --record-trace
+# and replayed with --replay-trace must report identical quadrants and
+# identical per-component stats/config (modulo the "mode" marker).
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P trace_roundtrip_test.cmake
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+    message(STATUS "python3 not found; skipping trace round trip")
+    return()
+endif()
+
+set(TRACE "${WORK_DIR}/roundtrip.cftrace")
+set(LIVE "${WORK_DIR}/trace_live.json")
+set(REPLAY "${WORK_DIR}/trace_replay.json")
+set(REPLAY2 "${WORK_DIR}/trace_replay_satcnt.json")
+
+execute_process(
+    COMMAND ${CONFSIM} --workload ijpeg --predictor mcfarling
+            --estimator jrs --record-trace ${TRACE} --json
+    OUTPUT_FILE ${LIVE}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --record-trace failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CONFSIM} --replay-trace ${TRACE} --json
+    OUTPUT_FILE ${REPLAY}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --replay-trace failed (${rc})")
+endif()
+
+# The replayed run must match the recording run on everything the trace
+# determines: quadrants, workload, and the full per-component stats and
+# config documents. Only runs[].mode may differ.
+execute_process(
+    COMMAND ${PYTHON3} -c
+        "import json,sys
+live = json.load(open(sys.argv[1]))
+rep = json.load(open(sys.argv[2]))
+lr, rr = live['runs'][0], rep['runs'][0]
+assert lr['mode'] == 'pipeline' and rr['mode'] == 'replay', \
+    (lr['mode'], rr['mode'])
+for key in ('workload', 'quadrants', 'stats', 'components'):
+    assert lr[key] == rr[key], 'replay diverged on ' + key
+"
+        ${LIVE} ${REPLAY}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "replayed stats diverged from live run")
+endif()
+
+# Estimator sweep over the same trace: overriding the estimator after
+# --replay-trace must run and report the new estimator's quadrants.
+execute_process(
+    COMMAND ${CONFSIM} --replay-trace ${TRACE} --estimator satcnt
+            --json
+    OUTPUT_FILE ${REPLAY2}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "replay with estimator override failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON3} -c
+        "import json,sys
+rep = json.load(open(sys.argv[1]))
+run = rep['runs'][0]
+assert run['mode'] == 'replay'
+assert rep['config']['estimator'] == 'satcnt'
+q = run['quadrants']['committed']
+assert sum(q.values()) > 0, 'no branches replayed'
+"
+        ${REPLAY2}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "estimator override on replay misbehaved")
+endif()
