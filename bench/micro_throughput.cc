@@ -13,9 +13,11 @@
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
+#include "harness/collectors.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
 #include "pipeline/pipeline.hh"
+#include "sweep/batch_replayer.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_replayer.hh"
 #include "uarch/machine.hh"
@@ -281,6 +283,118 @@ BM_ReplayEstimatorSweep(benchmark::State &state)
 }
 BENCHMARK(BM_ReplayEstimatorSweep)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
+/**
+ * The shared 8-configuration grid of the batched-vs-sequential sweep
+ * pair: six JRS geometries plus the two saturating-counter variants —
+ * the shape of a Table 2 threshold/geometry exploration.
+ */
+std::vector<JrsConfig>
+sweepJrsConfigs()
+{
+    std::vector<JrsConfig> configs;
+    for (const unsigned threshold : {3u, 7u, 15u}) {
+        for (const bool enhanced : {false, true}) {
+            JrsConfig cfg;
+            cfg.threshold = threshold;
+            cfg.enhanced = enhanced;
+            configs.push_back(cfg);
+        }
+    }
+    return configs;
+}
+
+constexpr SatCountersVariant SWEEP_SAT_VARIANTS[] = {
+    SatCountersVariant::Selected,
+    SatCountersVariant::EitherStrong,
+};
+
+/**
+ * The 8-config grid evaluated the pre-batching way: one TraceReplayer
+ * pass per configuration, each walking the whole decoded trace.
+ * Baseline for BM_BatchedSweep.
+ */
+void
+BM_SequentialSweep(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    const std::vector<JrsConfig> jrs_configs = sweepJrsConfigs();
+    std::vector<BranchTrace> traces;
+    for (const auto &wl : standardWorkloads()) {
+        const auto rec = cachedRecordedRun(PredictorKind::Gshare, wl,
+                                           cfg.workload, cfg.pipeline);
+        BranchTrace trace;
+        if (!decodeTrace(rec->trace, trace))
+            state.SkipWithError("trace decode failed");
+        traces.push_back(std::move(trace));
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const auto &trace : traces) {
+            auto run_one = [&](ConfidenceEstimator &est) {
+                TraceReplayer replayer;
+                replayer.attachEstimator(&est);
+                ConfidenceCollector quads(1);
+                replayer.attachSink(&quads);
+                ReplayStats s;
+                if (!replayer.replay(trace, &s))
+                    state.SkipWithError("replay failed");
+                benchmark::DoNotOptimize(quads.committed(0));
+                branches += s.branches;
+            };
+            for (const JrsConfig &jrs : jrs_configs) {
+                JrsEstimator est(jrs);
+                run_one(est);
+            }
+            for (const SatCountersVariant v : SWEEP_SAT_VARIANTS) {
+                SatCountersEstimator est(v);
+                run_one(est);
+            }
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_SequentialSweep)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * The same 8-config grid in one batched pass per workload: one walk
+ * over the shared decoded trace advancing all eight devirtualized
+ * lanes. items/sec counts (branches x configs) like the sequential
+ * baseline, so the ratio is the sweep speedup; the acceptance target
+ * is >= 4x BM_SequentialSweep.
+ */
+void
+BM_BatchedSweep(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    const std::vector<JrsConfig> jrs_configs = sweepJrsConfigs();
+    std::vector<std::shared_ptr<const DecodedRun>> runs;
+    for (const auto &wl : standardWorkloads())
+        runs.push_back(cachedDecodedRun(PredictorKind::Gshare, wl,
+                                        cfg.workload, cfg.pipeline));
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const auto &run : runs) {
+            BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+                    run, &run->trace));
+            for (const JrsConfig &jrs : jrs_configs)
+                replayer.attachJrs(jrs);
+            for (const SatCountersVariant v : SWEEP_SAT_VARIANTS)
+                replayer.attachSatCounters(v);
+            if (!replayer.run())
+                state.SkipWithError("batched replay failed");
+            benchmark::DoNotOptimize(replayer.committed(0));
+            branches += replayer.replayStats().branches
+                        * replayer.laneCount();
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_BatchedSweep)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
 void
 BM_StandardSuite(benchmark::State &state)
 {
@@ -308,4 +422,22 @@ BENCHMARK(BM_StandardSuite)
 } // anonymous namespace
 } // namespace confsim
 
-BENCHMARK_MAIN();
+#ifndef CONFSIM_BUILD_TYPE
+#define CONFSIM_BUILD_TYPE ""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    // The stock context's library_build_type describes the benchmark
+    // *library*; record how the simulator itself was compiled so
+    // run_benchmarks.sh can reject unoptimized baselines.
+    benchmark::AddCustomContext("confsim_build_type",
+                                CONFSIM_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -38,6 +38,43 @@ fi
     --benchmark_out_format=json \
     ${BENCH_ARGS:-}
 
+# A debug-build benchmark binary produces numbers that are useless as a
+# baseline (and poisonous when committed). The binary records the
+# simulator's own build type as confsim_build_type in the output
+# context; refuse Debug (or unset, i.e. unoptimized) baselines. Older
+# outputs without that field fall back to the benchmark library's
+# library_build_type. Override with BENCH_ALLOW_DEBUG=1 to keep a
+# debug baseline anyway.
+if command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+ctx = doc.get("context", {})
+ours = ctx.get("confsim_build_type")
+if ours is not None:
+    if ours.lower() in ("", "debug"):
+        sys.exit(1)
+elif ctx.get("library_build_type", "unknown") == "debug":
+    sys.exit(1)
+EOF
+    then
+        if [ "${BENCH_ALLOW_DEBUG:-0}" = "1" ]; then
+            echo "warning: $OUT was produced by a DEBUG build;" \
+                 "keeping it because BENCH_ALLOW_DEBUG=1." >&2
+        else
+            echo "error: $OUT was produced by a DEBUG build -" \
+                 "numbers are not a usable baseline." >&2
+            echo "Rebuild with -DCMAKE_BUILD_TYPE=Release (or set" \
+                 "BENCH_ALLOW_DEBUG=1 to keep it anyway)." >&2
+            rm -f "$OUT"
+            exit 1
+        fi
+    fi
+fi
+
 # Replay-vs-live speedup report. Two comparisons over the standard
 # suite's branch streams:
 #   engine:  BM_TraceReplay vs BM_BranchStreamLive - how much faster
@@ -75,5 +112,7 @@ report("Branch-stream delivery: trace engine vs live pipeline",
        "BM_BranchStreamLive", "BM_TraceReplay", target=5)
 report("Estimator sweep, per configuration",
        "BM_EstimatorSweepLive", "BM_ReplayEstimatorSweep")
+report("Batched multi-config sweep: 8 configs per decoded-trace pass",
+       "BM_SequentialSweep", "BM_BatchedSweep", target=4)
 EOF
 fi

@@ -4,6 +4,7 @@
 #include "harness/collectors.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "sweep/batch_replayer.hh"
 #include "trace/trace_replayer.hh"
 
 namespace confsim
@@ -85,14 +86,19 @@ runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
                       const ExperimentConfig &cfg)
 {
     // Shared immutable inputs (cached, including the recorded branch
-    // stream); fresh mutable predictor/estimator state per run.
-    const auto recorded =
-        cachedRecordedRun(kind, spec, cfg.workload, cfg.pipeline);
+    // stream in decoded structure-of-arrays form); fresh mutable
+    // predictor/estimator state per run.
+    const auto decoded =
+        cachedDecodedRun(kind, spec, cfg.workload, cfg.pipeline);
     StandardBundle bundle(kind, cachedProfile(kind, spec, cfg.workload),
                           cfg);
     auto pred = makePredictor(kind);
 
-    TraceReplayer replayer;
+    // Aliasing shared_ptr: shares ownership of the cached DecodedRun,
+    // points at its trace — the replayer reads the cached arrays
+    // zero-copy.
+    BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
     replayer.attachPredictor(pred.get());
     const auto estimators = bundle.estimators();
     for (auto *estimator : estimators)
@@ -105,27 +111,24 @@ runStandardExperiment(PredictorKind kind, const WorkloadSpec &spec,
                 "estimators." + standardEstimatorSlugs()[i],
                 *estimators[i]);
 
-    ConfidenceCollector collector(NUM_STANDARD_ESTIMATORS);
-    replayer.attachSink(&collector);
-
     std::string error;
-    if (!replayer.replay(recorded->trace, nullptr, &error))
+    if (!replayer.run(&error))
         panic("replay of cached trace for '" + spec.name
               + "' failed: " + error);
 
     WorkloadResult result;
     result.workload = spec.name;
-    result.pipe = recorded->pipe;
+    result.pipe = decoded->pipe;
     for (std::size_t i = 0; i < NUM_STANDARD_ESTIMATORS; ++i) {
-        result.quadrants.push_back(collector.committed(i));
-        result.quadrantsAll.push_back(collector.all(i));
+        result.quadrants.push_back(replayer.committed(i));
+        result.quadrantsAll.push_back(replayer.all(i));
     }
     // Splice the recorded pipeline subtrees where the live path
     // registers the pipeline: last, after predictor and estimators.
     result.statsDoc = registry.statsJson();
-    result.statsDoc["pipeline"] = recorded->statsSubtree;
+    result.statsDoc["pipeline"] = decoded->statsSubtree;
     result.componentsDoc = registry.configJson();
-    result.componentsDoc["pipeline"] = recorded->configSubtree;
+    result.componentsDoc["pipeline"] = decoded->configSubtree;
     return result;
 }
 

@@ -127,9 +127,11 @@ struct WorkloadResult
  * results. Program construction and the profiling pass go through the
  * process-wide caches (experiment_cache.hh); the pipeline itself is
  * simulated at most once per (kind, workload, pipeline config) — the
- * branch stream is recorded on first use (cachedRecordedRun) and every
- * run replays it through a TraceReplayer with fresh
- * predictor/estimator state. Results are bit-identical to a live
+ * branch stream is recorded and decoded on first use
+ * (cachedDecodedRun) and every run replays it through a BatchReplayer
+ * — one pass over the shared structure-of-arrays trace advancing all
+ * five estimators — with fresh predictor/estimator state. Results are
+ * bit-identical to a live
  * pipeline run (runStandardExperimentLive; enforced by the trace
  * tests), just faster, and parallel-suite workers share one trace.
  */

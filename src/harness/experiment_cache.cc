@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/logging.hh"
 #include "common/stats_registry.hh"
 #include "harness/config_json.hh"
 #include "harness/trace_run.hh"
@@ -171,6 +172,14 @@ recordedCache()
     return cache;
 }
 
+BuildOnceCache<RecordedKey, DecodedRun, RecordedKeyHash> &
+decodedCache()
+{
+    static BuildOnceCache<RecordedKey, DecodedRun, RecordedKeyHash>
+            cache;
+    return cache;
+}
+
 ProgramKey
 programKey(const WorkloadSpec &spec, const WorkloadConfig &cfg)
 {
@@ -224,6 +233,28 @@ cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
     });
 }
 
+std::shared_ptr<const DecodedRun>
+cachedDecodedRun(PredictorKind kind, const WorkloadSpec &spec,
+                 const WorkloadConfig &cfg,
+                 const PipelineConfig &pipeCfg)
+{
+    const RecordedKey key{programKey(spec, cfg), kind,
+                          toJson(pipeCfg).dump(0)};
+    return decodedCache().getOrBuild(key, [&] {
+        const auto rec = cachedRecordedRun(kind, spec, cfg, pipeCfg);
+        DecodedRun dec;
+        std::string error;
+        // The cached trace was just encoded by TraceWriter, so a
+        // decode failure is a bug, not an input problem.
+        if (!buildDecodedTrace(rec->trace, dec.trace, &error))
+            panic("decoding cached trace failed: " + error);
+        dec.pipe = rec->pipe;
+        dec.statsSubtree = rec->statsSubtree;
+        dec.configSubtree = rec->configSubtree;
+        return dec;
+    });
+}
+
 ExperimentCacheStats
 experimentCacheStats()
 {
@@ -234,12 +265,15 @@ experimentCacheStats()
     stats.profileMisses = profileCache().missCount();
     stats.recordedHits = recordedCache().hits();
     stats.recordedMisses = recordedCache().missCount();
+    stats.decodedHits = decodedCache().hits();
+    stats.decodedMisses = decodedCache().missCount();
     return stats;
 }
 
 void
 clearExperimentCaches()
 {
+    decodedCache().clear();
     recordedCache().clear();
     profileCache().clear();
     programCache().clear();

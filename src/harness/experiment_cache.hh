@@ -26,6 +26,7 @@
 #include "common/json.hh"
 #include "confidence/static_profile.hh"
 #include "pipeline/pipeline.hh"
+#include "sweep/decoded_trace.hh"
 #include "workloads/workload.hh"
 
 namespace confsim
@@ -40,6 +41,8 @@ struct ExperimentCacheStats
     std::uint64_t profileMisses = 0;
     std::uint64_t recordedHits = 0;
     std::uint64_t recordedMisses = 0;
+    std::uint64_t decodedHits = 0;
+    std::uint64_t decodedMisses = 0;
 };
 
 /**
@@ -87,6 +90,32 @@ std::shared_ptr<const RecordedRun>
 cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
                   const WorkloadConfig &cfg,
                   const PipelineConfig &pipeCfg);
+
+/**
+ * A recorded run decoded into the sweep engine's structure-of-arrays
+ * form: the pipeline-side payload of RecordedRun plus the DecodedTrace
+ * (flat outcome arrays, precomputed fetch/finalize schedule and
+ * misprediction-distance streams). Decoding and schedule
+ * reconstruction are config-independent, so this too is built once per
+ * (kind, spec, config, pipeline config) and shared immutably — every
+ * BatchReplayer shard reads the same arrays zero-copy.
+ */
+struct DecodedRun
+{
+    DecodedTrace trace;      ///< shared structure-of-arrays trace
+    PipelineStats pipe;      ///< stats of the recording run
+    JsonValue statsSubtree;  ///< registry statsJson() "pipeline" subtree
+    JsonValue configSubtree; ///< registry configJson() "pipeline" subtree
+};
+
+/**
+ * The decoded form of cachedRecordedRun() for the same key, built at
+ * most once per process and shared afterwards.
+ */
+std::shared_ptr<const DecodedRun>
+cachedDecodedRun(PredictorKind kind, const WorkloadSpec &spec,
+                 const WorkloadConfig &cfg,
+                 const PipelineConfig &pipeCfg);
 
 /** Snapshot of the cache hit/miss counters. */
 ExperimentCacheStats experimentCacheStats();

@@ -88,13 +88,14 @@ class LevelSweep
         return t;
     }
 
-    /** Merge another sweep (same max level). */
+    /** Merge another sweep; grows to the larger max level, so no
+     *  high-level counts are dropped when the sizes differ. */
     LevelSweep &
     operator+=(const LevelSweep &other)
     {
-        const std::size_t n =
-            std::min(counts.size(), other.counts.size());
-        for (std::size_t l = 0; l < n; ++l) {
+        if (other.counts.size() > counts.size())
+            counts.resize(other.counts.size());
+        for (std::size_t l = 0; l < other.counts.size(); ++l) {
             counts[l][0] += other.counts[l][0];
             counts[l][1] += other.counts[l][1];
         }

@@ -1,0 +1,482 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "confidence/boosting.hh"
+#include "confidence/cir.hh"
+#include "confidence/distance.hh"
+#include "confidence/mcf_jrs.hh"
+#include "confidence/pattern.hh"
+#include "confidence/sat_counters.hh"
+#include "harness/config_json.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/parallel_runner.hh"
+#include "sweep/batch_replayer.hh"
+
+namespace confsim
+{
+
+std::unique_ptr<ConfidenceEstimator>
+makeNamedEstimator(const std::string &name,
+                   const SweepEstimatorParams &params,
+                   PredictorKind kind, const ProfileTable &profile)
+{
+    if (name == "jrs")
+        return std::make_unique<JrsEstimator>(params.jrs);
+    if (name == "jrs-base") {
+        JrsConfig jrs = params.jrs;
+        jrs.enhanced = false;
+        return std::make_unique<JrsEstimator>(jrs);
+    }
+    if (name == "satcnt")
+        return std::make_unique<SatCountersEstimator>(
+                kind == PredictorKind::McFarling
+                    ? SatCountersVariant::BothStrong
+                    : SatCountersVariant::Selected);
+    if (name == "satcnt-both")
+        return std::make_unique<SatCountersEstimator>(
+                SatCountersVariant::BothStrong);
+    if (name == "satcnt-either")
+        return std::make_unique<SatCountersEstimator>(
+                SatCountersVariant::EitherStrong);
+    if (name == "pattern")
+        return std::make_unique<PatternEstimator>();
+    if (name == "static")
+        return std::make_unique<StaticEstimator>(
+                profile, params.staticThreshold);
+    if (name == "distance")
+        return std::make_unique<DistanceEstimator>(
+                params.distanceThreshold);
+    if (name == "cir-ones") {
+        CirConfig cir;
+        cir.mode = CirMode::OnesCount;
+        return std::make_unique<CirEstimator>(cir);
+    }
+    if (name == "cir-table") {
+        CirConfig cir;
+        cir.mode = CirMode::PatternTable;
+        return std::make_unique<CirEstimator>(cir);
+    }
+    if (name == "mcf-jrs")
+        return std::make_unique<McfJrsEstimator>();
+    if (name == "boost2" || name == "boost3")
+        return std::make_unique<BoostingEstimator>(
+                std::make_unique<JrsEstimator>(params.jrs),
+                name == "boost2" ? 2 : 3);
+    if (name == "always-high")
+        return std::make_unique<ConstantEstimator>(true);
+    if (name == "always-low")
+        return std::make_unique<ConstantEstimator>(false);
+    return nullptr;
+}
+
+namespace
+{
+
+/** Names the batched kernels cover; everything else goes through the
+ *  virtual fallback lane. */
+bool
+isJrsLane(const std::string &name)
+{
+    return name == "jrs" || name == "jrs-base";
+}
+
+const ProfileTable &
+emptyProfile()
+{
+    static const ProfileTable table;
+    return table;
+}
+
+/** Attach one grid column to @p replayer; returns the owner of a
+ *  virtual lane's estimator (nullptr for kernel lanes). */
+std::unique_ptr<ConfidenceEstimator>
+attachConfig(BatchReplayer &replayer, const SweepGrid &grid,
+             const SweepEstimatorSpec &spec,
+             const ProfileTable &profile)
+{
+    const std::string &n = spec.estimator;
+    if (isJrsLane(n)) {
+        JrsConfig jrs = spec.params.jrs;
+        if (n == "jrs-base")
+            jrs.enhanced = false;
+        replayer.attachJrs(jrs, !grid.thresholds.empty());
+        return nullptr;
+    }
+    if (n == "satcnt") {
+        replayer.attachSatCounters(
+                grid.kind == PredictorKind::McFarling
+                    ? SatCountersVariant::BothStrong
+                    : SatCountersVariant::Selected);
+        return nullptr;
+    }
+    if (n == "satcnt-both") {
+        replayer.attachSatCounters(SatCountersVariant::BothStrong);
+        return nullptr;
+    }
+    if (n == "satcnt-either") {
+        replayer.attachSatCounters(SatCountersVariant::EitherStrong);
+        return nullptr;
+    }
+    if (n == "pattern") {
+        replayer.attachPattern();
+        return nullptr;
+    }
+    auto est =
+        makeNamedEstimator(n, spec.params, grid.kind, profile);
+    if (!est)
+        fatal("unknown estimator '" + n + "' in sweep grid");
+    replayer.attachEstimator(est.get());
+    return est;
+}
+
+/** One parallel task: one workload, one shard of configurations. */
+std::vector<SweepConfigResult>
+runShard(const SweepGrid &grid, const WorkloadSpec &spec,
+         std::size_t first, std::size_t count)
+{
+    const auto decoded = cachedDecodedRun(grid.kind, spec,
+                                          grid.workload, grid.pipeline);
+    BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
+
+    // Owners of virtual-lane estimators; the cached profile (shared,
+    // immutable) backs any "static" column and must outlive them.
+    std::shared_ptr<const ProfileTable> profile;
+    std::vector<std::unique_ptr<ConfidenceEstimator>> owned;
+    for (std::size_t c = first; c < first + count; ++c) {
+        const SweepEstimatorSpec &est = grid.estimators[c];
+        if (est.estimator == "static" && !profile)
+            profile = cachedProfile(grid.kind, spec, grid.workload);
+        auto owner = attachConfig(replayer, grid, est,
+                                  profile ? *profile : emptyProfile());
+        if (owner)
+            owned.push_back(std::move(owner));
+    }
+
+    std::string error;
+    if (!replayer.run(&error))
+        panic("sweep replay for '" + spec.name + "' failed: " + error);
+
+    std::vector<SweepConfigResult> results(count);
+    for (std::size_t j = 0; j < count; ++j) {
+        SweepConfigResult &r = results[j];
+        const unsigned lane = static_cast<unsigned>(j);
+        r.label = grid.estimators[first + j].label;
+        r.estimator = grid.estimators[first + j].estimator;
+        r.committed = replayer.committed(lane);
+        r.all = replayer.all(lane);
+        r.stats = replayer.estimatorStats(lane);
+        r.hasLevels = replayer.hasLevels(lane);
+        if (r.hasLevels) {
+            const LevelSweep &levels = replayer.levels(lane);
+            for (unsigned t : grid.thresholds)
+                r.thresholds.push_back({t, levels.atThresholdGe(t)});
+        }
+    }
+    return results;
+}
+
+std::vector<WorkloadSpec>
+resolveWorkloads(const SweepGrid &grid)
+{
+    const auto &all = standardWorkloads();
+    if (grid.workloads.empty())
+        return all;
+    std::vector<WorkloadSpec> specs;
+    for (const std::string &name : grid.workloads) {
+        const auto it = std::find_if(
+                all.begin(), all.end(),
+                [&](const WorkloadSpec &s) { return s.name == name; });
+        if (it == all.end())
+            fatal("unknown workload '" + name + "' in sweep grid");
+        specs.push_back(*it);
+    }
+    return specs;
+}
+
+} // anonymous namespace
+
+SweepResult
+runSweepGrid(const SweepGrid &grid, unsigned jobs)
+{
+    const std::vector<WorkloadSpec> specs = resolveWorkloads(grid);
+    const std::size_t configs = grid.estimators.size();
+    const std::size_t shard = std::max<std::size_t>(grid.shardSize, 1);
+    const std::size_t shards = configs == 0
+        ? 0 : (configs + shard - 1) / shard;
+
+    // Task t = (workload index, shard index); map() keeps submission
+    // order, so the merge below is identical for any job count.
+    ParallelRunner runner(jobs);
+    auto parts = runner.map(specs.size() * shards, [&](std::size_t t) {
+        const std::size_t wi = t / shards;
+        const std::size_t si = t % shards;
+        const std::size_t first = si * shard;
+        return runShard(grid, specs[wi], first,
+                        std::min(shard, configs - first));
+    });
+
+    SweepResult result;
+    result.grid = grid;
+    for (std::size_t wi = 0; wi < specs.size(); ++wi) {
+        SweepWorkloadResult wl;
+        wl.workload = specs[wi].name;
+        wl.pipe = cachedDecodedRun(grid.kind, specs[wi], grid.workload,
+                                   grid.pipeline)->pipe;
+        for (std::size_t si = 0; si < shards; ++si) {
+            auto &part = parts[wi * shards + si];
+            for (auto &config : part)
+                wl.configs.push_back(std::move(config));
+        }
+        result.workloads.push_back(std::move(wl));
+    }
+    return result;
+}
+
+namespace
+{
+
+JsonValue
+quadrantsToJson(const QuadrantCounts &q)
+{
+    JsonValue v = JsonValue::object();
+    v["chc"] = JsonValue(std::uint64_t{q.chc});
+    v["ihc"] = JsonValue(std::uint64_t{q.ihc});
+    v["clc"] = JsonValue(std::uint64_t{q.clc});
+    v["ilc"] = JsonValue(std::uint64_t{q.ilc});
+    return v;
+}
+
+} // anonymous namespace
+
+bool
+sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
+                  std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("expected a JSON object");
+
+    for (const auto &[key, val] : v.members()) {
+        if (key == "predictor") {
+            if (!val.isString()
+                || !predictorKindFromName(val.asString(), grid.kind))
+                return fail("predictor: unknown predictor kind");
+        } else if (key == "workloads") {
+            if (!val.isArray())
+                return fail("workloads: expected an array of names");
+            grid.workloads.clear();
+            for (const JsonValue &w : val.elements()) {
+                if (!w.isString())
+                    return fail("workloads: expected an array of "
+                                "names");
+                grid.workloads.push_back(w.asString());
+            }
+        } else if (key == "workload_config") {
+            std::string sub;
+            if (!fromJson(val, grid.workload, &sub))
+                return fail("workload_config: " + sub);
+        } else if (key == "pipeline") {
+            std::string sub;
+            if (!fromJson(val, grid.pipeline, &sub))
+                return fail("pipeline: " + sub);
+        } else if (key == "thresholds") {
+            if (!val.isArray())
+                return fail("thresholds: expected an array of "
+                            "unsigned integers");
+            grid.thresholds.clear();
+            for (const JsonValue &t : val.elements()) {
+                if (t.kind() != JsonValue::Kind::Uint
+                    && (t.kind() != JsonValue::Kind::Int
+                        || t.asInt() < 0))
+                    return fail("thresholds: expected an array of "
+                                "unsigned integers");
+                grid.thresholds.push_back(
+                        static_cast<unsigned>(t.asUint()));
+            }
+        } else if (key == "shard_size") {
+            if ((val.kind() != JsonValue::Kind::Uint
+                 && val.kind() != JsonValue::Kind::Int)
+                || val.asInt() < 0 || val.asUint() == 0)
+                return fail("shard_size: expected a positive integer");
+            grid.shardSize = static_cast<unsigned>(val.asUint());
+        } else if (key == "estimators") {
+            if (!val.isArray() || val.size() == 0)
+                return fail("estimators: expected a non-empty array");
+            grid.estimators.clear();
+            for (const JsonValue &e : val.elements()) {
+                if (!e.isObject())
+                    return fail("estimators: expected objects");
+                SweepEstimatorSpec spec;
+                for (const auto &[ekey, eval] : e.members()) {
+                    if (ekey == "label") {
+                        if (!eval.isString())
+                            return fail("label: expected a string");
+                        spec.label = eval.asString();
+                    } else if (ekey == "estimator") {
+                        if (!eval.isString())
+                            return fail("estimator: expected a string");
+                        spec.estimator = eval.asString();
+                    } else if (ekey == "jrs") {
+                        std::string sub;
+                        if (!fromJson(eval, spec.params.jrs, &sub))
+                            return fail("jrs: " + sub);
+                    } else if (ekey == "distance_threshold") {
+                        if ((eval.kind() != JsonValue::Kind::Uint
+                             && eval.kind() != JsonValue::Kind::Int)
+                            || eval.asInt() < 0)
+                            return fail("distance_threshold: expected "
+                                        "an unsigned integer");
+                        spec.params.distanceThreshold =
+                            static_cast<unsigned>(eval.asUint());
+                    } else if (ekey == "static_threshold") {
+                        if (!eval.isNumber())
+                            return fail("static_threshold: expected a "
+                                        "number");
+                        spec.params.staticThreshold = eval.asDouble();
+                    } else {
+                        return fail("estimators: unknown key '" + ekey
+                                    + "'");
+                    }
+                }
+                if (spec.estimator.empty())
+                    return fail("estimators: missing 'estimator'");
+                if (spec.label.empty())
+                    spec.label = spec.estimator;
+                // Validate the name (and any satcnt/pattern spelling)
+                // up front so the runner never fatal()s on it.
+                if (!makeNamedEstimator(spec.estimator, spec.params,
+                                        grid.kind, emptyProfile()))
+                    return fail("estimators: unknown estimator '"
+                                + spec.estimator + "'");
+                grid.estimators.push_back(std::move(spec));
+            }
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    if (grid.estimators.empty())
+        return fail("missing 'estimators'");
+
+    const auto &all = standardWorkloads();
+    for (const std::string &name : grid.workloads) {
+        if (std::none_of(all.begin(), all.end(),
+                         [&](const WorkloadSpec &s) {
+                             return s.name == name;
+                         }))
+            return fail("workloads: unknown workload '" + name + "'");
+    }
+    return true;
+}
+
+JsonValue
+sweepGridToJson(const SweepGrid &grid)
+{
+    JsonValue v = JsonValue::object();
+    v["predictor"] = JsonValue(std::string(
+            predictorKindName(grid.kind)));
+    JsonValue workloads = JsonValue::array();
+    for (const std::string &name : grid.workloads)
+        workloads.push(JsonValue(name));
+    v["workloads"] = workloads;
+    v["workload_config"] = toJson(grid.workload);
+    v["pipeline"] = toJson(grid.pipeline);
+    JsonValue thresholds = JsonValue::array();
+    for (unsigned t : grid.thresholds)
+        thresholds.push(JsonValue(std::uint64_t{t}));
+    v["thresholds"] = thresholds;
+    v["shard_size"] = JsonValue(std::uint64_t{grid.shardSize});
+    JsonValue estimators = JsonValue::array();
+    for (const SweepEstimatorSpec &spec : grid.estimators) {
+        JsonValue e = JsonValue::object();
+        e["label"] = JsonValue(spec.label);
+        e["estimator"] = JsonValue(spec.estimator);
+        e["jrs"] = toJson(spec.params.jrs);
+        e["distance_threshold"] =
+            JsonValue(std::uint64_t{spec.params.distanceThreshold});
+        e["static_threshold"] = JsonValue(spec.params.staticThreshold);
+        estimators.push(e);
+    }
+    v["estimators"] = estimators;
+    return v;
+}
+
+JsonValue
+sweepResultToJson(const SweepResult &result)
+{
+    JsonValue doc = JsonValue::object();
+    doc["grid"] = sweepGridToJson(result.grid);
+
+    JsonValue workloads = JsonValue::array();
+    for (const SweepWorkloadResult &wl : result.workloads) {
+        JsonValue w = JsonValue::object();
+        w["workload"] = JsonValue(wl.workload);
+        JsonValue configs = JsonValue::array();
+        for (const SweepConfigResult &c : wl.configs) {
+            JsonValue e = JsonValue::object();
+            e["label"] = JsonValue(c.label);
+            e["estimator"] = JsonValue(c.estimator);
+            JsonValue quads = JsonValue::object();
+            quads["committed"] = quadrantsToJson(c.committed);
+            quads["all"] = quadrantsToJson(c.all);
+            e["quadrants"] = quads;
+            JsonValue stats = JsonValue::object();
+            stats["estimates"] =
+                JsonValue(std::uint64_t{c.stats.estimates});
+            stats["low_estimates"] =
+                JsonValue(std::uint64_t{c.stats.lowEstimates});
+            stats["updates"] = JsonValue(std::uint64_t{c.stats.updates});
+            e["stats"] = stats;
+            if (c.hasLevels) {
+                JsonValue thresholds = JsonValue::array();
+                for (const SweepThresholdResult &t : c.thresholds) {
+                    JsonValue tv = JsonValue::object();
+                    tv["threshold"] =
+                        JsonValue(std::uint64_t{t.threshold});
+                    tv["committed"] = quadrantsToJson(t.committed);
+                    thresholds.push(tv);
+                }
+                e["thresholds"] = thresholds;
+            }
+            configs.push(e);
+        }
+        w["configs"] = configs;
+        workloads.push(w);
+    }
+    doc["workloads"] = workloads;
+
+    // Paper-style aggregate per configuration: normalize each
+    // workload's committed quadrants and average the fractions.
+    JsonValue aggregate = JsonValue::array();
+    const std::size_t nconfigs = result.workloads.empty()
+        ? 0 : result.workloads.front().configs.size();
+    for (std::size_t c = 0; c < nconfigs; ++c) {
+        std::vector<QuadrantCounts> runs;
+        for (const SweepWorkloadResult &wl : result.workloads)
+            runs.push_back(wl.configs[c].committed);
+        const QuadrantFractions f = aggregateQuadrants(runs);
+        JsonValue a = JsonValue::object();
+        a["label"] =
+            JsonValue(result.workloads.front().configs[c].label);
+        a["chc"] = JsonValue(f.chc);
+        a["ihc"] = JsonValue(f.ihc);
+        a["clc"] = JsonValue(f.clc);
+        a["ilc"] = JsonValue(f.ilc);
+        a["sens"] = JsonValue(f.sens());
+        a["spec"] = JsonValue(f.spec());
+        a["pvp"] = JsonValue(f.pvp());
+        a["pvn"] = JsonValue(f.pvn());
+        aggregate.push(a);
+    }
+    doc["aggregate"] = aggregate;
+    return doc;
+}
+
+} // namespace confsim

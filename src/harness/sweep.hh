@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Grid sweeps over estimator configurations: one decoded trace per
+ * (predictor, workload), evaluated for N configurations in batched
+ * passes (sweep/batch_replayer.hh). A (config x threshold) grid costs
+ * only config passes — level-capable lanes record a LevelSweep and
+ * every threshold's quadrants are derived from it afterwards.
+ *
+ * The grid is describable as JSON (confsim --sweep grid.json); the
+ * runner shards configurations across the parallel runner's workers,
+ * every shard reading the same immutable DecodedTrace zero-copy, and
+ * merges shards in a fixed order so serial and parallel runs emit
+ * byte-identical results.
+ */
+
+#ifndef CONFSIM_HARNESS_SWEEP_HH
+#define CONFSIM_HARNESS_SWEEP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/json.hh"
+#include "common/thread_pool.hh"
+#include "confidence/estimator.hh"
+#include "confidence/jrs.hh"
+#include "confidence/static_profile.hh"
+#include "harness/level_sweep.hh"
+#include "metrics/quadrant.hh"
+#include "pipeline/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+
+/** Tunable knobs consumed by makeNamedEstimator(). */
+struct SweepEstimatorParams
+{
+    JrsConfig jrs;                  ///< JRS geometry/threshold
+    unsigned distanceThreshold = 4; ///< distance estimator "> n"
+    double staticThreshold = 0.9;   ///< static estimator accuracy bar
+
+    bool operator==(const SweepEstimatorParams &) const = default;
+};
+
+/**
+ * Build an estimator by its CLI name (jrs, jrs-base, satcnt,
+ * satcnt-both, satcnt-either, pattern, static, distance, cir-ones,
+ * cir-table, mcf-jrs, boost2, boost3, always-high, always-low).
+ * @param kind selects the satcnt variant (BothStrong on McFarling).
+ * @param profile backs "static"; must outlive the estimator.
+ * @return nullptr if @p name is not a known estimator.
+ */
+std::unique_ptr<ConfidenceEstimator>
+makeNamedEstimator(const std::string &name,
+                   const SweepEstimatorParams &params,
+                   PredictorKind kind, const ProfileTable &profile);
+
+/** One configuration column of the grid. */
+struct SweepEstimatorSpec
+{
+    std::string label;     ///< display label (defaults to estimator)
+    std::string estimator; ///< makeNamedEstimator() name
+    SweepEstimatorParams params;
+};
+
+/** A full sweep request. */
+struct SweepGrid
+{
+    PredictorKind kind = PredictorKind::Gshare;
+    /** Workload names; empty = every standard workload. */
+    std::vector<std::string> workloads;
+    WorkloadConfig workload;
+    PipelineConfig pipeline;
+    /**
+     * Confidence-level thresholds evaluated per level-capable lane
+     * (currently jrs/jrs-base): quadrants for "high iff level >= t".
+     */
+    std::vector<unsigned> thresholds;
+    std::vector<SweepEstimatorSpec> estimators;
+    /** Configurations per batched pass (and per parallel task). */
+    unsigned shardSize = 8;
+};
+
+/** Per-threshold committed-branch quadrants of a level sweep. */
+struct SweepThresholdResult
+{
+    unsigned threshold = 0;
+    QuadrantCounts committed;
+};
+
+/** Results of one configuration over one workload. */
+struct SweepConfigResult
+{
+    std::string label;
+    std::string estimator;
+    QuadrantCounts committed;
+    QuadrantCounts all;
+    ConfidenceEstimator::Stats stats;
+    bool hasLevels = false;
+    std::vector<SweepThresholdResult> thresholds;
+};
+
+/** Results of every configuration over one workload. */
+struct SweepWorkloadResult
+{
+    std::string workload;
+    PipelineStats pipe;
+    std::vector<SweepConfigResult> configs;
+};
+
+/** The whole grid's results. */
+struct SweepResult
+{
+    SweepGrid grid;
+    std::vector<SweepWorkloadResult> workloads;
+};
+
+/**
+ * Run the grid: decode each (predictor, workload) trace once (cached),
+ * shard the configurations, and batch-replay each shard. Tasks fan out
+ * over @p jobs workers (0 = inline); results are merged in (workload,
+ * configuration) order, so any job count produces identical output.
+ * Unknown workload or estimator names fatal() — validate via
+ * sweepGridFromJson() first for recoverable errors.
+ */
+SweepResult
+runSweepGrid(const SweepGrid &grid,
+             unsigned jobs = ThreadPool::hardwareConcurrency());
+
+/**
+ * Parse a grid from JSON. Strict: unknown keys, type mismatches,
+ * unknown predictor/workload/estimator names fail with a description.
+ */
+bool sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
+                       std::string *error = nullptr);
+
+/** The grid back as JSON (round-trips through sweepGridFromJson). */
+JsonValue sweepGridToJson(const SweepGrid &grid);
+
+/** The full result document (grid echo, per-workload per-config
+ *  quadrants/stats/threshold sweeps, cross-workload aggregates). */
+JsonValue sweepResultToJson(const SweepResult &result);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SWEEP_HH

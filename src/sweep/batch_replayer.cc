@@ -1,0 +1,381 @@
+#include "sweep/batch_replayer.hh"
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/**
+ * Schedule ops per block. One block touches at most BLOCK_OPS branch
+ * records (~4K branches of pc/BpInfo/flags, a few hundred KB), so the
+ * shared trace data a block pulls in stays cached while every lane
+ * walks it; lane tables (typically a few KB) stay resident throughout.
+ */
+constexpr std::size_t BLOCK_OPS = 8192;
+
+/**
+ * The devirtualized block walk shared by every lane kind. Estimate and
+ * update are inlineable functors receiving (index, flag byte), so each
+ * instantiation compiles to a closed loop over flat arrays — this is
+ * the sweep's inner loop. Kernel lanes consume only the precomputed
+ * per-branch inputs (flag byte, jrsKey), never the BpInfo records.
+ *
+ * Mirrors TraceReplayer op for op: a fetch op estimates (and samples
+ * the confidence level), a finalize op trains committed branches only.
+ * Quadrants accumulate at fetch instead of at event delivery — the
+ * same (correct, high, willCommit) triples in a different order, so
+ * the summed counts are bit-identical to ConfidenceCollector's; the
+ * LevelSweep likewise matches LevelCollector (committed branches,
+ * level sampled at fetch).
+ */
+/**
+ * Branch-free quadrant accumulator: counts indexed by
+ * (correct << 1) | high, folded into the named QuadrantCounts fields
+ * when a walk finishes. record()'s nested data-dependent ifs would
+ * mispredict on every confidence flip; an indexed add does not, and
+ * addition commutes so the final counts are identical.
+ */
+struct QuadrantBins
+{
+    std::uint64_t bins[4] = {};
+
+    void add(unsigned q, std::uint64_t weight) { bins[q] += weight; }
+
+    void
+    flushInto(QuadrantCounts &out) const
+    {
+        out.ilc += bins[0];
+        out.ihc += bins[1];
+        out.clc += bins[2];
+        out.chc += bins[3];
+    }
+};
+
+template <typename EstimateFn, typename UpdateFn>
+inline void
+walkBlock(ConfidenceEstimator::Stats &stats, QuadrantCounts &allQ,
+          QuadrantCounts &committedQ, LevelSweep *sweep,
+          const DecodedTrace &t, const std::uint32_t *ops,
+          std::size_t n, EstimateFn estimate, UpdateFn update)
+{
+    const std::uint8_t *flags = t.flags.data();
+    QuadrantBins all, com;
+    std::uint64_t estimates = 0;
+    std::uint64_t low = 0;
+    std::uint64_t updates = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t op = ops[k];
+        const std::size_t i = op >> 1;
+        const std::uint8_t f = flags[i];
+        if (op & 1u) { // fetch: estimate
+            unsigned level = 0;
+            const unsigned high = estimate(i, f, level) ? 1u : 0u;
+            ++estimates;
+            low += high ^ 1u;
+            const unsigned correct =
+                (f & DecodedTrace::FLAG_CORRECT) ? 1u : 0u;
+            const unsigned q = (correct << 1) | high;
+            all.add(q, 1);
+            const std::uint64_t commits =
+                (f & DecodedTrace::FLAG_COMMIT) ? 1u : 0u;
+            com.add(q, commits);
+            if (sweep != nullptr && commits != 0)
+                sweep->record(level, correct != 0);
+        } else if (f & DecodedTrace::FLAG_COMMIT) { // finalize: train
+            ++updates;
+            update(i, f);
+        }
+    }
+    stats.estimates += estimates;
+    stats.lowEstimates += low;
+    stats.updates += updates;
+    all.flushInto(allQ);
+    com.flushInto(committedQ);
+}
+
+} // anonymous namespace
+
+BatchReplayer::BatchReplayer(std::shared_ptr<const DecodedTrace> trace)
+    : src(std::move(trace))
+{
+    if (!src)
+        panic("BatchReplayer needs a decoded trace");
+}
+
+unsigned
+BatchReplayer::attachJrs(const JrsConfig &cfg, bool sweep_levels)
+{
+    if (!isPowerOfTwo(cfg.tableEntries))
+        fatal("JRS table size must be a power of two");
+    if (cfg.counterBits == 0 || cfg.counterBits > 16)
+        fatal("JRS counter width must be in [1, 16]");
+    Lane lane;
+    lane.kind = SweepLaneKind::Jrs;
+    lane.jrs = cfg;
+    lane.jrsMax =
+        static_cast<std::uint16_t>((1u << cfg.counterBits) - 1);
+    lane.sweepLevels = sweep_levels;
+    lane.maxLevel = lane.jrsMax;
+    lanes.push_back(std::move(lane));
+    return static_cast<unsigned>(lanes.size() - 1);
+}
+
+unsigned
+BatchReplayer::attachSatCounters(SatCountersVariant variant)
+{
+    Lane lane;
+    lane.kind = SweepLaneKind::SatCounters;
+    lane.satVariant = variant;
+    lanes.push_back(std::move(lane));
+    return static_cast<unsigned>(lanes.size() - 1);
+}
+
+unsigned
+BatchReplayer::attachPattern()
+{
+    Lane lane;
+    lane.kind = SweepLaneKind::Pattern;
+    lanes.push_back(std::move(lane));
+    return static_cast<unsigned>(lanes.size() - 1);
+}
+
+unsigned
+BatchReplayer::attachEstimator(ConfidenceEstimator *estimator,
+                               const LevelSource *levels,
+                               unsigned max_level)
+{
+    if (estimator == nullptr)
+        panic("BatchReplayer::attachEstimator: null estimator");
+    Lane lane;
+    lane.kind = SweepLaneKind::Virtual;
+    lane.est = estimator;
+    lane.levelSrc = levels;
+    lane.sweepLevels = levels != nullptr;
+    lane.maxLevel = max_level;
+    lanes.push_back(std::move(lane));
+    return static_cast<unsigned>(lanes.size() - 1);
+}
+
+void
+BatchReplayer::attachPredictor(BranchPredictor *pred)
+{
+    predictor = pred;
+}
+
+void
+BatchReplayer::resetLane(Lane &lane)
+{
+    lane.stats = {};
+    lane.committedQ = {};
+    lane.allQ = {};
+    lane.sweep =
+        lane.sweepLevels ? LevelSweep(lane.maxLevel) : LevelSweep(0);
+    if (lane.kind == SweepLaneKind::Jrs)
+        lane.table.assign(lane.jrs.tableEntries, 0);
+}
+
+void
+BatchReplayer::runLaneBlock(Lane &lane, const std::uint32_t *ops,
+                            std::size_t n)
+{
+    const DecodedTrace &t = *src;
+    LevelSweep *sweep = lane.sweepLevels ? &lane.sweep : nullptr;
+
+    switch (lane.kind) {
+      case SweepLaneKind::Jrs: {
+        // Index math is JrsEstimator::index() over the precomputed
+        // jrsKey; the enhanced bit comes from the flag byte, so the
+        // loop touches key + flags + table only. The geometry is baked
+        // in per instantiation to keep the loop branch-free.
+        const std::uint64_t *key = t.jrsKey.data();
+        std::uint16_t *table = lane.table.data();
+        const std::uint64_t mask = lane.jrs.tableEntries - 1;
+        const unsigned threshold = lane.jrs.threshold;
+        const std::uint16_t max = lane.jrsMax;
+        auto runGeometry = [&](auto enh) {
+            constexpr bool ENHANCED = decltype(enh)::value;
+            auto index = [key, mask](std::size_t i, std::uint8_t f) {
+                std::uint64_t idx = key[i];
+                if constexpr (ENHANCED)
+                    idx = (idx << 1)
+                        | ((f & DecodedTrace::FLAG_PRED_TAKEN) ? 1u
+                                                               : 0u);
+                return idx & mask;
+            };
+            walkBlock(
+                    lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                    ops, n,
+                    [table, threshold, index](std::size_t i,
+                                              std::uint8_t f,
+                                              unsigned &level) {
+                        level = table[index(i, f)];
+                        return level >= threshold;
+                    },
+                    [table, max, index](std::size_t i,
+                                        std::uint8_t f) {
+                        // Saturate-or-reset as selects, not branches:
+                        // the correct bit flips too often to predict.
+                        std::uint16_t &ctr = table[index(i, f)];
+                        const auto inc = static_cast<std::uint16_t>(
+                                ctr + (ctr < max ? 1 : 0));
+                        ctr = (f & DecodedTrace::FLAG_CORRECT)
+                            ? inc : 0;
+                    });
+        };
+        if (lane.jrs.enhanced)
+            runGeometry(std::true_type{});
+        else
+            runGeometry(std::false_type{});
+        break;
+      }
+      case SweepLaneKind::SatCounters:
+      case SweepLaneKind::Pattern:
+        // Handled by runStatelessLane(); never walked per block.
+        break;
+      case SweepLaneKind::Virtual:
+        walkBlock(
+                lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                ops, n,
+                [&t, &lane](std::size_t i, std::uint8_t,
+                            unsigned &level) {
+                    if (lane.levelSrc != nullptr)
+                        level = std::min(
+                                lane.levelSrc->readLevel(t.pc[i],
+                                                         t.info[i]),
+                                65535u);
+                    return lane.est->estimate(t.pc[i], t.info[i]);
+                },
+                [&t, &lane](std::size_t i, std::uint8_t f) {
+                    lane.est->update(
+                            t.pc[i],
+                            (f & DecodedTrace::FLAG_TAKEN) != 0,
+                            (f & DecodedTrace::FLAG_CORRECT) != 0,
+                            t.info[i]);
+                });
+        break;
+    }
+}
+
+void
+BatchReplayer::runStatelessLane(Lane &lane)
+{
+    // Saturating-counter and pattern lanes have a no-op update and an
+    // estimate precomputed into the flag byte, so they cannot observe
+    // the fetch/finalize interleaving: every accumulation commutes.
+    // One linear pass over the flag bytes (each branch is fetched
+    // exactly once) therefore produces bit-identical results to the
+    // scheduled walk at a fraction of its cost — no schedule loads and
+    // no unpredictable fetch-vs-finalize branch.
+    std::uint8_t bit = DecodedTrace::FLAG_PATTERN_CONF;
+    if (lane.kind == SweepLaneKind::SatCounters) {
+        switch (lane.satVariant) {
+          case SatCountersVariant::Selected:
+            bit = DecodedTrace::FLAG_SAT_SELECTED;
+            break;
+          case SatCountersVariant::BothStrong:
+            bit = DecodedTrace::FLAG_SAT_BOTH;
+            break;
+          case SatCountersVariant::EitherStrong:
+            bit = DecodedTrace::FLAG_SAT_EITHER;
+            break;
+        }
+    }
+
+    const DecodedTrace &t = *src;
+    const std::uint8_t *flags = t.flags.data();
+    const std::size_t n = t.size();
+    QuadrantBins all, com;
+    std::uint64_t low = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t f = flags[i];
+        const unsigned high = (f & bit) ? 1u : 0u;
+        low += high ^ 1u;
+        const unsigned correct =
+            (f & DecodedTrace::FLAG_CORRECT) ? 1u : 0u;
+        const unsigned q = (correct << 1) | high;
+        all.add(q, 1);
+        com.add(q, (f & DecodedTrace::FLAG_COMMIT) ? 1u : 0u);
+    }
+    lane.stats.estimates += t.counters.branches;
+    lane.stats.lowEstimates += low;
+    lane.stats.updates += t.counters.committedBranches;
+    all.flushInto(lane.allQ);
+    com.flushInto(lane.committedQ);
+}
+
+bool
+BatchReplayer::runPredictorBlock(const std::uint32_t *ops,
+                                 std::size_t n, std::uint64_t &fetched,
+                                 std::string *error)
+{
+    const DecodedTrace &t = *src;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t op = ops[k];
+        const std::size_t i = op >> 1;
+        if (op & 1u) {
+            const BpInfo live = predictor->predict(t.pc[i]);
+            if (live.predTaken != t.info[i].predTaken) {
+                if (error != nullptr)
+                    *error = "replay predictor diverged from trace at "
+                             "branch " + std::to_string(fetched)
+                             + " (predictor kind/config mismatch?)";
+                return false;
+            }
+            ++fetched;
+        } else if (t.flags[i] & DecodedTrace::FLAG_COMMIT) {
+            predictor->update(t.pc[i],
+                              (t.flags[i] & DecodedTrace::FLAG_TAKEN)
+                                  != 0,
+                              t.info[i]);
+        }
+    }
+    return true;
+}
+
+bool
+BatchReplayer::run(std::string *error)
+{
+    for (Lane &lane : lanes)
+        resetLane(lane);
+
+    bool anyScheduled = predictor != nullptr;
+    for (Lane &lane : lanes) {
+        if (lane.kind == SweepLaneKind::SatCounters
+            || lane.kind == SweepLaneKind::Pattern)
+            runStatelessLane(lane);
+        else
+            anyScheduled = true;
+    }
+    if (!anyScheduled)
+        return true;
+
+    const std::vector<std::uint32_t> &sched = src->schedule;
+    const std::size_t total = sched.size();
+    std::uint64_t fetched = 0;
+    for (std::size_t base = 0; base < total; base += BLOCK_OPS) {
+        const std::size_t n = std::min(BLOCK_OPS, total - base);
+        const std::uint32_t *block = sched.data() + base;
+        // Estimators read the recorded BpInfo, never the live
+        // predictor, so predictor-before-lanes order within a block
+        // cannot affect lane results.
+        if (predictor != nullptr
+            && !runPredictorBlock(block, n, fetched, error))
+            return false;
+        for (Lane &lane : lanes) {
+            if (lane.kind == SweepLaneKind::Jrs
+                || lane.kind == SweepLaneKind::Virtual)
+                runLaneBlock(lane, block, n);
+        }
+    }
+    return true;
+}
+
+} // namespace confsim

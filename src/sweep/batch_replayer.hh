@@ -1,0 +1,202 @@
+/**
+ * @file
+ * BatchReplayer: evaluate N estimator configurations in one pass over
+ * one DecodedTrace.
+ *
+ * Each attached configuration is a *lane*. The replayer walks the
+ * precomputed operation schedule in cache-sized blocks and, per block,
+ * advances every lane — so the shared trace data (ops, flags, BpInfo)
+ * is hot in cache across all lanes while each lane's private table
+ * stays resident for the whole block. The hot estimators (JRS,
+ * saturating counters, pattern history) run as template-devirtualized
+ * kernels whose inner loop is pure table arithmetic: no virtual
+ * dispatch, no BranchEvent reconstruction, no per-config distance
+ * bookkeeping. Any other ConfidenceEstimator attaches through the
+ * virtual fallback lane and is driven through the exact estimate() /
+ * update() sequence a TraceReplayer would issue.
+ *
+ * Results per lane — committed and all-branch quadrants, estimator
+ * Stats counters, and (optionally) a LevelSweep over the raw
+ * confidence level — are bit-identical to replaying the same
+ * configuration alone through TraceReplayer + ConfidenceCollector /
+ * LevelCollector: the schedule preserves the estimate/update
+ * interleaving exactly, and quadrant/sweep accumulation is
+ * order-independent summation.
+ *
+ * Not supported (by design): BranchEventSinks. Sinks observe the
+ * per-event estimateBits aggregate across estimators, which is a
+ * cross-lane property; per-config sweeps never need it, and dropping
+ * it is what lets lanes advance independently.
+ */
+
+#ifndef CONFSIM_SWEEP_BATCH_REPLAYER_HH
+#define CONFSIM_SWEEP_BATCH_REPLAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/estimator.hh"
+#include "confidence/jrs.hh"
+#include "confidence/sat_counters.hh"
+#include "harness/level_sweep.hh" // header-only; no harness link dep
+#include "metrics/quadrant.hh"
+#include "sweep/decoded_trace.hh"
+
+namespace confsim
+{
+
+/** Lane implementation selector (see attach methods). */
+enum class SweepLaneKind
+{
+    Jrs,         ///< devirtualized JRS resetting-counter kernel
+    SatCounters, ///< devirtualized saturating-counters kernel
+    Pattern,     ///< devirtualized history-pattern kernel
+    Virtual,     ///< fallback driving a ConfidenceEstimator object
+};
+
+/**
+ * The batched sweep engine. Attach lanes, then run(); results are read
+ * per lane afterwards. run() restarts kernel lanes from power-on state
+ * each call; virtual lanes follow TraceReplayer's convention — the
+ * attached estimator object keeps its trained state across runs, reset
+ * it for independent passes.
+ */
+class BatchReplayer
+{
+  public:
+    /** @param trace shared immutable decoded trace (zero-copy across
+     *         threads and replayers). */
+    explicit BatchReplayer(std::shared_ptr<const DecodedTrace> trace);
+
+    /**
+     * Attach a devirtualized JRS lane.
+     * @param cfg table geometry/threshold (validated like JrsEstimator).
+     * @param sweep_levels also record a LevelSweep of raw MDC values
+     *        over committed branches (cf. LevelCollector), enabling a
+     *        full threshold sweep from this one lane.
+     * @return lane index.
+     */
+    unsigned attachJrs(const JrsConfig &cfg, bool sweep_levels = false);
+
+    /** Attach a devirtualized saturating-counters lane.
+     *  @return lane index. */
+    unsigned attachSatCounters(SatCountersVariant variant);
+
+    /** Attach a devirtualized history-pattern lane.
+     *  @return lane index. */
+    unsigned attachPattern();
+
+    /**
+     * Attach the virtual fallback lane for any estimator.
+     * @param estimator driven exactly as by TraceReplayer (non-owning).
+     * @param levels optional level source sampled at fetch; enables
+     *        the lane's LevelSweep (committed branches, clamped like
+     *        the BranchEvent level fields).
+     * @param max_level LevelSweep clamp when @p levels is attached.
+     * @return lane index.
+     */
+    unsigned attachEstimator(ConfidenceEstimator *estimator,
+                             const LevelSource *levels = nullptr,
+                             unsigned max_level = 64);
+
+    /**
+     * Optionally attach a branch predictor, driven through the same
+     * predict()/update() sequence as the live run with the same
+     * divergence check as TraceReplayer::attachPredictor.
+     */
+    void attachPredictor(BranchPredictor *predictor);
+
+    /**
+     * Replay the trace through every lane.
+     * @param error receives a description on predictor divergence.
+     * @return false on divergence (lane state is part-replayed).
+     */
+    bool run(std::string *error = nullptr);
+
+    /** Number of attached lanes. */
+    std::size_t laneCount() const { return lanes.size(); }
+
+    /** Committed-branch quadrants of lane @p lane. */
+    const QuadrantCounts &committed(unsigned lane) const
+    {
+        return lanes[lane].committedQ;
+    }
+
+    /** All-branch quadrants of lane @p lane. */
+    const QuadrantCounts &all(unsigned lane) const
+    {
+        return lanes[lane].allQ;
+    }
+
+    /**
+     * Estimator Stats counters of lane @p lane, maintained by the
+     * kernel loops; equal to the estimator object's own stats() for a
+     * fresh virtual-lane estimator.
+     */
+    const ConfidenceEstimator::Stats &estimatorStats(unsigned lane) const
+    {
+        return lanes[lane].stats;
+    }
+
+    /** Whether lane @p lane records a LevelSweep. */
+    bool hasLevels(unsigned lane) const
+    {
+        return lanes[lane].sweepLevels;
+    }
+
+    /** Committed-branch LevelSweep of lane @p lane (hasLevels only). */
+    const LevelSweep &levels(unsigned lane) const
+    {
+        return lanes[lane].sweep;
+    }
+
+    /** Aggregate replay counters (a property of the trace). */
+    const ReplayStats &replayStats() const { return src->counters; }
+
+    /** The shared decoded trace. */
+    const DecodedTrace &trace() const { return *src; }
+
+  private:
+    struct Lane
+    {
+        SweepLaneKind kind = SweepLaneKind::Virtual;
+
+        // JRS kernel state.
+        JrsConfig jrs;
+        std::uint16_t jrsMax = 0;
+        std::vector<std::uint16_t> table;
+
+        // Saturating-counters kernel state.
+        SatCountersVariant satVariant = SatCountersVariant::Selected;
+
+        // Virtual fallback (non-owning).
+        ConfidenceEstimator *est = nullptr;
+        const LevelSource *levelSrc = nullptr;
+        unsigned maxLevel = 0;
+
+        // Per-lane results.
+        ConfidenceEstimator::Stats stats;
+        QuadrantCounts committedQ;
+        QuadrantCounts allQ;
+        bool sweepLevels = false;
+        LevelSweep sweep{0};
+    };
+
+    void resetLane(Lane &lane);
+    void runStatelessLane(Lane &lane);
+    void runLaneBlock(Lane &lane, const std::uint32_t *ops,
+                      std::size_t n);
+    bool runPredictorBlock(const std::uint32_t *ops, std::size_t n,
+                           std::uint64_t &fetched, std::string *error);
+
+    std::shared_ptr<const DecodedTrace> src;
+    std::vector<Lane> lanes;
+    BranchPredictor *predictor = nullptr;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SWEEP_BATCH_REPLAYER_HH

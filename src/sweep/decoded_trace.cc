@@ -1,0 +1,175 @@
+#include "sweep/decoded_trace.hh"
+
+#include "confidence/pattern.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/**
+ * Per-branch flag byte: outcome bits plus the estimator decisions that
+ * depend only on the recorded BpInfo. The saturating-counter variants
+ * mirror SatCountersEstimator::doEstimate() and the pattern bit
+ * mirrors PatternEstimator::estimate() verbatim — precomputing them
+ * here is what lets those kernel lanes run on one byte per branch.
+ */
+std::uint8_t
+recordFlags(const TraceRecord &rec)
+{
+    const BpInfo &bi = rec.info;
+    std::uint8_t f = 0;
+    if (rec.taken)
+        f |= DecodedTrace::FLAG_TAKEN;
+    if (rec.correct)
+        f |= DecodedTrace::FLAG_CORRECT;
+    if (rec.willCommit)
+        f |= DecodedTrace::FLAG_COMMIT;
+    if (bi.predTaken)
+        f |= DecodedTrace::FLAG_PRED_TAKEN;
+
+    const bool selected_strong =
+        bi.counterValue == 0 || bi.counterValue == bi.counterMax;
+    if (selected_strong)
+        f |= DecodedTrace::FLAG_SAT_SELECTED;
+    const bool both = bi.hasComponents
+        ? (bi.bimodalStrong && bi.gshareStrong) : selected_strong;
+    if (both)
+        f |= DecodedTrace::FLAG_SAT_BOTH;
+    const bool either = bi.hasComponents
+        ? (bi.bimodalStrong || bi.gshareStrong) : selected_strong;
+    if (either)
+        f |= DecodedTrace::FLAG_SAT_EITHER;
+
+    const bool pattern = bi.localHistoryBits > 0
+        ? PatternEstimator::isConfidentPattern(bi.localHistory,
+                                               bi.localHistoryBits)
+        : PatternEstimator::isConfidentPattern(bi.globalHistory,
+                                               bi.globalHistoryBits);
+    if (pattern)
+        f |= DecodedTrace::FLAG_PATTERN_CONF;
+    return f;
+}
+
+} // anonymous namespace
+
+bool
+buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
+                  std::string *error)
+{
+    const std::size_t n = trace.records.size();
+    // Schedule ops carry the branch index in 31 bits.
+    if (n >= (std::size_t{1} << 31)) {
+        if (error != nullptr)
+            *error = "trace too large for a decoded sweep ("
+                     + std::to_string(n) + " records)";
+        return false;
+    }
+
+    out = DecodedTrace{};
+    out.meta = trace.meta;
+    out.pc.reserve(n);
+    out.info.reserve(n);
+    out.flags.reserve(n);
+    out.fetchCycle.reserve(n);
+    out.resolveCycle.reserve(n);
+    out.jrsKey.reserve(n);
+    out.schedule.reserve(2 * n);
+    out.preciseDistAll.reserve(n);
+    out.preciseDistCommitted.reserve(n);
+    out.perceivedDistAll.reserve(n);
+    out.perceivedDistCommitted.reserve(n);
+
+    for (const TraceRecord &rec : trace.records) {
+        out.pc.push_back(rec.pc);
+        out.info.push_back(rec.info);
+        out.flags.push_back(recordFlags(rec));
+        out.fetchCycle.push_back(rec.fetchCycle);
+        out.resolveCycle.push_back(rec.resolveCycle);
+        // Same global-else-local history selection as JrsEstimator.
+        const std::uint64_t hist = rec.info.globalHistoryBits > 0
+            ? rec.info.globalHistory : rec.info.localHistory;
+        out.jrsKey.push_back((rec.pc >> 2) ^ hist);
+    }
+
+    // Reconstruct the fetch/finalize interleaving once. TraceReplayer
+    // keeps a FIFO of fetched-but-unresolved branches and, before each
+    // fetch, finalizes every front entry whose resolve cycle is at or
+    // before the new fetch cycle — so the pending set is always the
+    // contiguous index range [front, i).
+    //
+    // The four distance streams ride along: precise distances advance
+    // at fetch from the *actual* outcome, perceived distances advance
+    // at fetch but reset only when a committed mispredict finalizes.
+    std::uint64_t preciseAll = 0;
+    std::uint64_t preciseCommitted = 0;
+    std::uint64_t perceivedAll = 0;
+    std::uint64_t perceivedCommitted = 0;
+
+    auto finalize = [&](std::size_t f) {
+        out.schedule.push_back(DecodedTrace::opFinalize(f));
+        const std::uint8_t fl = out.flags[f];
+        if ((fl & DecodedTrace::FLAG_COMMIT)
+            && !(fl & DecodedTrace::FLAG_CORRECT)) {
+            perceivedAll = 0;
+            perceivedCommitted = 0;
+        }
+    };
+
+    std::size_t front = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (front < i
+               && out.resolveCycle[front] <= out.fetchCycle[i])
+            finalize(front++);
+
+        out.schedule.push_back(DecodedTrace::opFetch(i));
+
+        out.preciseDistAll.push_back(preciseAll + 1);
+        out.preciseDistCommitted.push_back(preciseCommitted + 1);
+        out.perceivedDistAll.push_back(perceivedAll + 1);
+        out.perceivedDistCommitted.push_back(perceivedCommitted + 1);
+
+        const std::uint8_t f = out.flags[i];
+        const bool correct = (f & DecodedTrace::FLAG_CORRECT) != 0;
+        const bool commits = (f & DecodedTrace::FLAG_COMMIT) != 0;
+
+        ++perceivedAll;
+        if (commits)
+            ++perceivedCommitted;
+        if (correct) {
+            ++preciseAll;
+            if (commits)
+                ++preciseCommitted;
+        } else {
+            preciseAll = 0;
+            if (commits)
+                preciseCommitted = 0;
+        }
+
+        ++out.counters.branches;
+        if (commits)
+            ++out.counters.committedBranches;
+        if (!correct) {
+            ++out.counters.mispredicts;
+            if (commits)
+                ++out.counters.committedMispredicts;
+        }
+    }
+    while (front < n)
+        finalize(front++);
+
+    return true;
+}
+
+bool
+buildDecodedTrace(std::string_view encoded, DecodedTrace &out,
+                  std::string *error)
+{
+    BranchTrace trace;
+    if (!decodeTrace(encoded, trace, error))
+        return false;
+    return buildDecodedTrace(trace, out, error);
+}
+
+} // namespace confsim

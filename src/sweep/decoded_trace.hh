@@ -1,0 +1,148 @@
+/**
+ * @file
+ * DecodedTrace: structure-of-arrays form of a recorded branch trace,
+ * decoded once and shared immutably by every configuration of a
+ * batched estimator sweep.
+ *
+ * A TraceReplayer pass re-derives three things per configuration that
+ * are in fact properties of the *trace alone*:
+ *
+ *  - the record decode (varint/delta decompression),
+ *  - the fetch/finalize interleaving (the live pipeline's
+ *    resolve-before-fetch schedule, reconstructed from the pending
+ *    queue), and
+ *  - the four misprediction-distance streams (functions of the
+ *    correct/willCommit bits and the schedule only).
+ *
+ * buildDecodedTrace() computes all three exactly once. The result is
+ * flat vectors (pc, BpInfo, outcome flags, cycles, distances) plus a
+ * precomputed operation schedule, so a sweep over N configurations
+ * pays the decode and bookkeeping once instead of N times and its
+ * inner loop touches only contiguous arrays (see BatchReplayer).
+ *
+ * Schedule encoding: one uint32 per operation, branch index in the
+ * high bits, bit 0 set for a fetch (estimate) and clear for a
+ * finalization (update/delivery of a previously fetched branch).
+ * Replaying the operations in order drives estimators through exactly
+ * the estimate/update sequence TraceReplayer produces — that is what
+ * makes batched results bit-identical to per-config replay.
+ */
+
+#ifndef CONFSIM_SWEEP_DECODED_TRACE_HH
+#define CONFSIM_SWEEP_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/types.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_replayer.hh"
+
+namespace confsim
+{
+
+/** Flat, immutable SoA view of one recorded branch stream. */
+struct DecodedTrace
+{
+    /// @name Per-branch outcome flag bits (see flags vector)
+    /// @{
+    static constexpr std::uint8_t FLAG_TAKEN = 1u << 0;
+    static constexpr std::uint8_t FLAG_CORRECT = 1u << 1;
+    static constexpr std::uint8_t FLAG_COMMIT = 1u << 2;
+    static constexpr std::uint8_t FLAG_PRED_TAKEN = 1u << 3;
+    /// @}
+
+    /// @name Precomputed estimator-input flag bits
+    /// Confidence decisions that are pure functions of the recorded
+    /// BpInfo are evaluated once at decode time, so the corresponding
+    /// kernel lanes read one byte per branch instead of the whole
+    /// BpInfo record (see BatchReplayer).
+    /// @{
+    /// SatCountersVariant::Selected estimate (selected counter strong).
+    static constexpr std::uint8_t FLAG_SAT_SELECTED = 1u << 4;
+    /// SatCountersVariant::BothStrong estimate.
+    static constexpr std::uint8_t FLAG_SAT_BOTH = 1u << 5;
+    /// SatCountersVariant::EitherStrong estimate.
+    static constexpr std::uint8_t FLAG_SAT_EITHER = 1u << 6;
+    /// PatternEstimator confident-pattern estimate.
+    static constexpr std::uint8_t FLAG_PATTERN_CONF = 1u << 7;
+    /// @}
+
+    /** Schedule op: branch @p index fetched (estimate point). */
+    static constexpr std::uint32_t opFetch(std::size_t index)
+    {
+        return static_cast<std::uint32_t>((index << 1) | 1u);
+    }
+
+    /** Schedule op: branch @p index finalized (update point). */
+    static constexpr std::uint32_t opFinalize(std::size_t index)
+    {
+        return static_cast<std::uint32_t>(index << 1);
+    }
+
+    std::string meta; ///< header metadata blob of the source trace
+
+    /// @name Per-branch record fields, indexed in fetch order
+    /// @{
+    std::vector<Addr> pc;
+    std::vector<BpInfo> info;
+    std::vector<std::uint8_t> flags; ///< FLAG_* bits above
+    std::vector<Cycle> fetchCycle;
+    std::vector<Cycle> resolveCycle;
+    /**
+     * Precomputed JRS hash base, (pc >> 2) ^ history with the same
+     * global-else-local history selection as JrsEstimator. Every JRS
+     * table geometry derives its index from this one value (enhanced
+     * variants append FLAG_PRED_TAKEN, then mask), so JRS lanes never
+     * touch the BpInfo array.
+     */
+    std::vector<std::uint64_t> jrsKey;
+    /// @}
+
+    /**
+     * Precomputed fetch/finalize interleaving: 2 * size() ops encoding
+     * the exact operation order a TraceReplayer would execute
+     * (finalize every pending branch whose resolve cycle is at or
+     * before the next fetch cycle, then fetch; drain at the end).
+     */
+    std::vector<std::uint32_t> schedule;
+
+    /// @name Precomputed per-branch misprediction distances
+    /// The value BranchEvent would carry at this branch's fetch,
+    /// following the pipeline's exact bookkeeping rules (precise
+    /// distances advance/reset at fetch, perceived distances reset at
+    /// the finalization of a committed mispredict).
+    /// @{
+    std::vector<std::uint64_t> preciseDistAll;
+    std::vector<std::uint64_t> preciseDistCommitted;
+    std::vector<std::uint64_t> perceivedDistAll;
+    std::vector<std::uint64_t> perceivedDistCommitted;
+    /// @}
+
+    /** Aggregate counters, identical to a TraceReplayer pass's. */
+    ReplayStats counters;
+
+    /** Number of branch records. */
+    std::size_t size() const { return pc.size(); }
+};
+
+/**
+ * Build the SoA form (including schedule and distances) from a
+ * materialized trace.
+ * @return false (with @p error set when non-null) if the trace is too
+ *         large for 32-bit schedule indices.
+ */
+bool buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
+                       std::string *error = nullptr);
+
+/** Decode an encoded trace (header + records) and build the SoA form.
+ *  @return false on malformed input or an oversized trace. */
+bool buildDecodedTrace(std::string_view encoded, DecodedTrace &out,
+                       std::string *error = nullptr);
+
+} // namespace confsim
+
+#endif // CONFSIM_SWEEP_DECODED_TRACE_HH

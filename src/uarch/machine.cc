@@ -8,6 +8,37 @@
 namespace confsim
 {
 
+namespace
+{
+
+/// @name Two's-complement ALU arithmetic
+/// The guest ISA wraps on overflow; compute in UWord so the wrap is
+/// defined behavior instead of signed-overflow UB.
+/// @{
+inline Word
+wrapAdd(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a)
+                             + static_cast<UWord>(b));
+}
+
+inline Word
+wrapSub(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a)
+                             - static_cast<UWord>(b));
+}
+
+inline Word
+wrapMul(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a)
+                             * static_cast<UWord>(b));
+}
+/// @}
+
+} // anonymous namespace
+
 Machine::Machine(Program prog)
     : program(std::move(prog)), pcReg(program.entry),
       memory(program.initialData)
@@ -144,9 +175,9 @@ Machine::step()
     const Word b = regs[inst.rs2];
 
     switch (inst.op) {
-      case Opcode::Add: writeReg(inst.rd, a + b); break;
-      case Opcode::Sub: writeReg(inst.rd, a - b); break;
-      case Opcode::Mul: writeReg(inst.rd, a * b); break;
+      case Opcode::Add: writeReg(inst.rd, wrapAdd(a, b)); break;
+      case Opcode::Sub: writeReg(inst.rd, wrapSub(a, b)); break;
+      case Opcode::Mul: writeReg(inst.rd, wrapMul(a, b)); break;
       case Opcode::Div:
         if (b == 0) {
             if (checkpoints.empty())
@@ -185,7 +216,7 @@ Machine::step()
                  static_cast<UWord>(a) < static_cast<UWord>(b) ? 1 : 0);
         break;
 
-      case Opcode::Addi: writeReg(inst.rd, a + inst.imm); break;
+      case Opcode::Addi: writeReg(inst.rd, wrapAdd(a, inst.imm)); break;
       case Opcode::Muli: writeReg(inst.rd, a * inst.imm); break;
       case Opcode::Andi: writeReg(inst.rd, a & inst.imm); break;
       case Opcode::Ori: writeReg(inst.rd, a | inst.imm); break;

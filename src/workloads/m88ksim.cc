@@ -6,6 +6,8 @@
  * highly predictable branch behaviour of CPU simulators.
  */
 
+#include <cstdint>
+
 #include "common/random.hh"
 #include "uarch/program_builder.hh"
 #include "workloads/workload.hh"
@@ -98,7 +100,10 @@ buildM88ksim(const WorkloadConfig &cfg)
     Word fib_a = 1, fib_b = 1;
     for (Word n = 0; n < FIB_N; ++n) {
         const Word t = fib_b;
-        fib_b += fib_a;
+        // Deliberate wraparound (matches the guest ALU): keep the
+        // addition unsigned so the overflow is defined behavior.
+        fib_b = static_cast<Word>(static_cast<std::uint64_t>(fib_b)
+                                  + static_cast<std::uint64_t>(fib_a));
         fib_a = t;
     }
     b.data(CHECK_FLAG_ADDR, 1);

@@ -1,0 +1,411 @@
+/**
+ * Golden-equivalence tests of the batched sweep engine: every lane
+ * kind, over every predictor family, must reproduce an independent
+ * TraceReplayer pass bit for bit — quadrants, estimator stats, level
+ * sweeps, and distance streams — and the grid runner must emit
+ * byte-identical JSON for any job count.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "confidence/distance.hh"
+#include "confidence/jrs.hh"
+#include "confidence/pattern.hh"
+#include "confidence/sat_counters.hh"
+#include "confidence/static_profile.hh"
+#include "harness/collectors.hh"
+#include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/sweep.hh"
+#include "sweep/batch_replayer.hh"
+#include "trace/trace_replayer.hh"
+
+namespace confsim
+{
+namespace
+{
+
+const WorkloadSpec &
+spec(const std::string &name)
+{
+    for (const auto &wl : standardWorkloads())
+        if (wl.name == name)
+            return wl;
+    throw std::runtime_error("unknown workload " + name);
+}
+
+const std::vector<PredictorKind> &
+allKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::Bimodal,  PredictorKind::Gshare,
+        PredictorKind::McFarling, PredictorKind::SAg,
+        PredictorKind::Gselect,  PredictorKind::GAg,
+        PredictorKind::PAs,
+    };
+    return kinds;
+}
+
+/** One independent reference pass: fresh TraceReplayer + estimator. */
+struct ReferenceRun
+{
+    QuadrantCounts committed;
+    QuadrantCounts all;
+    ConfidenceEstimator::Stats stats;
+    LevelSweep levels{0};
+    bool hasLevels = false;
+};
+
+ReferenceRun
+referencePass(const std::string &trace, ConfidenceEstimator &est,
+              const LevelSource *levels, unsigned max_level)
+{
+    TraceReplayer replayer;
+    replayer.attachEstimator(&est);
+    ConfidenceCollector quads(1);
+    replayer.attachSink(&quads);
+    LevelCollector level_sink(1, max_level);
+    if (levels != nullptr) {
+        replayer.attachLevelReader(levels);
+        replayer.attachSink(&level_sink);
+    }
+    std::string error;
+    EXPECT_TRUE(replayer.replay(trace, nullptr, &error)) << error;
+
+    ReferenceRun run;
+    run.committed = quads.committed(0);
+    run.all = quads.all(0);
+    run.stats = est.stats();
+    if (levels != nullptr) {
+        run.levels = level_sink.sweep(0);
+        run.hasLevels = true;
+    }
+    return run;
+}
+
+void
+expectLaneMatches(const BatchReplayer &batch, unsigned lane,
+                  const ReferenceRun &ref,
+                  const std::vector<unsigned> &thresholds)
+{
+    EXPECT_EQ(batch.committed(lane), ref.committed);
+    EXPECT_EQ(batch.all(lane), ref.all);
+    EXPECT_EQ(batch.estimatorStats(lane).estimates,
+              ref.stats.estimates);
+    EXPECT_EQ(batch.estimatorStats(lane).lowEstimates,
+              ref.stats.lowEstimates);
+    EXPECT_EQ(batch.estimatorStats(lane).updates, ref.stats.updates);
+    if (ref.hasLevels) {
+        ASSERT_TRUE(batch.hasLevels(lane));
+        for (unsigned t : thresholds) {
+            EXPECT_EQ(batch.levels(lane).atThresholdGe(t),
+                      ref.levels.atThresholdGe(t))
+                    << "threshold " << t;
+        }
+    }
+}
+
+class SweepGoldenTest : public testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(SweepGoldenTest, BatchedLanesMatchIndependentReplays)
+{
+    const PredictorKind kind = GetParam();
+    const ExperimentConfig cfg;
+    const WorkloadSpec &wl = spec("compress");
+    const auto recorded =
+        cachedRecordedRun(kind, wl, cfg.workload, cfg.pipeline);
+    const auto decoded =
+        cachedDecodedRun(kind, wl, cfg.workload, cfg.pipeline);
+    const auto profile = cachedProfile(kind, wl, cfg.workload);
+
+    const std::vector<unsigned> thresholds = {0, 4, 8, 12, 15, 16};
+
+    JrsConfig jrs_small;
+    jrs_small.tableEntries = 256;
+    jrs_small.counterBits = 2;
+    jrs_small.threshold = 3;
+    jrs_small.enhanced = false;
+    const SatCountersVariant selected =
+        kind == PredictorKind::McFarling
+            ? SatCountersVariant::BothStrong
+            : SatCountersVariant::Selected;
+
+    BatchReplayer batch(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
+    const unsigned jrs_lane = batch.attachJrs(JrsConfig{}, true);
+    const unsigned jrs_small_lane = batch.attachJrs(jrs_small, true);
+    const unsigned sat_lane = batch.attachSatCounters(selected);
+    const unsigned sat_either_lane =
+        batch.attachSatCounters(SatCountersVariant::EitherStrong);
+    const unsigned pattern_lane = batch.attachPattern();
+    StaticEstimator static_batch(*profile, cfg.staticThreshold);
+    const unsigned static_lane = batch.attachEstimator(&static_batch);
+    DistanceEstimator dist_batch(cfg.distanceThreshold);
+    JrsEstimator jrs_virtual_batch{JrsConfig{}};
+    const unsigned dist_lane = batch.attachEstimator(&dist_batch);
+    // A virtual lane with a level source must match the kernel lane.
+    const unsigned jrs_virtual_lane = batch.attachEstimator(
+            &jrs_virtual_batch, &jrs_virtual_batch,
+            (1u << JrsConfig{}.counterBits) - 1);
+    auto pred = makePredictor(kind);
+    batch.attachPredictor(pred.get());
+
+    std::string error;
+    ASSERT_TRUE(batch.run(&error)) << error;
+
+    {
+        JrsEstimator est{JrsConfig{}};
+        expectLaneMatches(
+                batch, jrs_lane,
+                referencePass(recorded->trace, est, &est,
+                              (1u << JrsConfig{}.counterBits) - 1),
+                thresholds);
+    }
+    {
+        JrsEstimator est(jrs_small);
+        expectLaneMatches(
+                batch, jrs_small_lane,
+                referencePass(recorded->trace, est, &est,
+                              (1u << jrs_small.counterBits) - 1),
+                thresholds);
+    }
+    {
+        SatCountersEstimator est(selected);
+        expectLaneMatches(batch, sat_lane,
+                          referencePass(recorded->trace, est, nullptr,
+                                        0),
+                          thresholds);
+    }
+    {
+        SatCountersEstimator est(SatCountersVariant::EitherStrong);
+        expectLaneMatches(batch, sat_either_lane,
+                          referencePass(recorded->trace, est, nullptr,
+                                        0),
+                          thresholds);
+    }
+    {
+        PatternEstimator est;
+        expectLaneMatches(batch, pattern_lane,
+                          referencePass(recorded->trace, est, nullptr,
+                                        0),
+                          thresholds);
+    }
+    {
+        StaticEstimator est(*profile, cfg.staticThreshold);
+        expectLaneMatches(batch, static_lane,
+                          referencePass(recorded->trace, est, nullptr,
+                                        0),
+                          thresholds);
+    }
+    {
+        DistanceEstimator est(cfg.distanceThreshold);
+        expectLaneMatches(batch, dist_lane,
+                          referencePass(recorded->trace, est, nullptr,
+                                        0),
+                          thresholds);
+    }
+    {
+        JrsEstimator est{JrsConfig{}};
+        expectLaneMatches(
+                batch, jrs_virtual_lane,
+                referencePass(recorded->trace, est, &est,
+                              (1u << JrsConfig{}.counterBits) - 1),
+                thresholds);
+    }
+    // The virtual JRS lane and the kernel JRS lane agree with each
+    // other, not just with their references.
+    EXPECT_EQ(batch.committed(jrs_lane),
+              batch.committed(jrs_virtual_lane));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, SweepGoldenTest,
+                         testing::ValuesIn(allKinds()),
+                         [](const auto &info) {
+                             return std::string(
+                                     predictorKindName(info.param));
+                         });
+
+TEST(SweepGoldenTest, PrecomputedDistancesMatchCollector)
+{
+    const ExperimentConfig cfg;
+    const WorkloadSpec &wl = spec("compress");
+    const auto recorded = cachedRecordedRun(
+            PredictorKind::Gshare, wl, cfg.workload, cfg.pipeline);
+    const auto decoded = cachedDecodedRun(
+            PredictorKind::Gshare, wl, cfg.workload, cfg.pipeline);
+
+    TraceReplayer replayer;
+    DistanceCollector reference;
+    replayer.attachSink(&reference);
+    std::string error;
+    ASSERT_TRUE(replayer.replay(recorded->trace, nullptr, &error))
+            << error;
+
+    // Rebuild the four profiles from the decoded trace's precomputed
+    // distance streams (sinks deliver in fetch order, so index order
+    // reproduces the event order).
+    DistanceCollector batched;
+    const DecodedTrace &t = decoded->trace;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const bool correct =
+            (t.flags[i] & DecodedTrace::FLAG_CORRECT) != 0;
+        const bool commits =
+            (t.flags[i] & DecodedTrace::FLAG_COMMIT) != 0;
+        batched.preciseAll.record(t.preciseDistAll[i], !correct);
+        batched.perceivedAll.record(t.perceivedDistAll[i], !correct);
+        if (commits) {
+            batched.preciseCommitted.record(t.preciseDistCommitted[i],
+                                            !correct);
+            batched.perceivedCommitted.record(
+                    t.perceivedDistCommitted[i], !correct);
+        }
+    }
+
+    const auto expect_profiles_equal = [](const DistanceProfile &a,
+                                          const DistanceProfile &b) {
+        ASSERT_EQ(a.buckets(), b.buckets());
+        EXPECT_EQ(a.total(), b.total());
+        for (std::uint64_t d = 0; d <= a.buckets() + 1; ++d) {
+            EXPECT_EQ(a.countAt(d), b.countAt(d)) << "distance " << d;
+            EXPECT_DOUBLE_EQ(a.rateAt(d), b.rateAt(d));
+        }
+    };
+    expect_profiles_equal(reference.preciseAll, batched.preciseAll);
+    expect_profiles_equal(reference.preciseCommitted,
+                          batched.preciseCommitted);
+    expect_profiles_equal(reference.perceivedAll,
+                          batched.perceivedAll);
+    expect_profiles_equal(reference.perceivedCommitted,
+                          batched.perceivedCommitted);
+}
+
+TEST(SweepGoldenTest, ReplayCountersMatchReplayStats)
+{
+    const ExperimentConfig cfg;
+    const WorkloadSpec &wl = spec("compress");
+    const auto recorded = cachedRecordedRun(
+            PredictorKind::Gshare, wl, cfg.workload, cfg.pipeline);
+    const auto decoded = cachedDecodedRun(
+            PredictorKind::Gshare, wl, cfg.workload, cfg.pipeline);
+
+    TraceReplayer replayer;
+    ReplayStats reference;
+    std::string error;
+    ASSERT_TRUE(replayer.replay(recorded->trace, &reference, &error))
+            << error;
+    EXPECT_EQ(decoded->trace.counters, reference);
+}
+
+SweepGrid
+smallGrid()
+{
+    SweepGrid grid;
+    grid.workloads = {"compress", "go"};
+    grid.thresholds = {4, 8, 15};
+    grid.shardSize = 3; // force multiple shards over 6 configs
+    JrsConfig jrs8;
+    jrs8.threshold = 8;
+    grid.estimators = {
+        {"jrs-15", "jrs", {}},
+        {"jrs-8", "jrs", {jrs8, 4, 0.9}},
+        {"satcnt", "satcnt", {}},
+        {"pattern", "pattern", {}},
+        {"static", "static", {}},
+        {"distance", "distance", {}},
+    };
+    return grid;
+}
+
+TEST(SweepGridTest, SerialAndParallelRunsAreByteIdentical)
+{
+    const SweepGrid grid = smallGrid();
+    const JsonValue serial = sweepResultToJson(runSweepGrid(grid, 0));
+    const JsonValue parallel =
+        sweepResultToJson(runSweepGrid(grid, 4));
+    EXPECT_EQ(serial.dump(2), parallel.dump(2));
+}
+
+TEST(SweepGridTest, GridMatchesIndependentReplays)
+{
+    const SweepGrid grid = smallGrid();
+    const SweepResult result = runSweepGrid(grid, 0);
+    ASSERT_EQ(result.workloads.size(), 2u);
+
+    const ExperimentConfig cfg;
+    for (const SweepWorkloadResult &wl : result.workloads) {
+        const auto recorded = cachedRecordedRun(
+                grid.kind, spec(wl.workload), grid.workload,
+                grid.pipeline);
+        ASSERT_EQ(wl.configs.size(), grid.estimators.size());
+        const auto profile = cachedProfile(grid.kind,
+                                           spec(wl.workload),
+                                           grid.workload);
+        for (std::size_t c = 0; c < wl.configs.size(); ++c) {
+            auto est = makeNamedEstimator(
+                    grid.estimators[c].estimator,
+                    grid.estimators[c].params, grid.kind, *profile);
+            ASSERT_NE(est, nullptr);
+            const ReferenceRun ref =
+                referencePass(recorded->trace, *est, nullptr, 0);
+            EXPECT_EQ(wl.configs[c].committed, ref.committed)
+                    << wl.workload << " " << wl.configs[c].label;
+            EXPECT_EQ(wl.configs[c].all, ref.all);
+        }
+    }
+}
+
+TEST(SweepGridTest, JsonRoundTripsAndRejectsUnknownKeys)
+{
+    const SweepGrid grid = smallGrid();
+    const JsonValue doc = sweepGridToJson(grid);
+    SweepGrid parsed;
+    std::string error;
+    ASSERT_TRUE(sweepGridFromJson(doc, parsed, &error)) << error;
+    EXPECT_EQ(sweepGridToJson(parsed).dump(2), doc.dump(2));
+
+    JsonValue bad = sweepGridToJson(grid);
+    bad["bogus"] = JsonValue(std::uint64_t{1});
+    EXPECT_FALSE(sweepGridFromJson(bad, parsed, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+
+    JsonValue bad_est = sweepGridToJson(grid);
+    JsonValue unknown = JsonValue::object();
+    unknown["estimator"] = JsonValue(std::string("no-such"));
+    bad_est["estimators"].push(unknown);
+    EXPECT_FALSE(sweepGridFromJson(bad_est, parsed, &error));
+    EXPECT_NE(error.find("no-such"), std::string::npos);
+}
+
+TEST(SweepLevelSweepTest, MergeGrowsToLargerMaxLevel)
+{
+    // Regression: merging a larger sweep into a smaller one used to
+    // silently drop every count above the smaller max level.
+    LevelSweep small(4);
+    small.record(2, true);
+    LevelSweep large(16);
+    large.record(10, true);
+    large.record(16, false);
+
+    small += large;
+    EXPECT_EQ(small.maxLevel(), 16u);
+    EXPECT_EQ(small.total(), 3u);
+    const QuadrantCounts q = small.atThresholdGe(8);
+    EXPECT_EQ(q.chc, 1u); // level 10, correct
+    EXPECT_EQ(q.ihc, 1u); // level 16, incorrect
+    EXPECT_EQ(q.clc, 1u); // level 2, correct
+
+    // The small-into-large direction is unchanged.
+    LevelSweep big(16);
+    big += small;
+    EXPECT_EQ(big.maxLevel(), 16u);
+    EXPECT_EQ(big.total(), 0u + 3u);
+}
+
+} // anonymous namespace
+} // namespace confsim

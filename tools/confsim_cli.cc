@@ -43,6 +43,7 @@
 #include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/sweep.hh"
 #include "harness/trace_run.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_replayer.hh"
@@ -73,6 +74,7 @@ struct Options
     PipelineConfig pipeline;
     std::string recordTracePath; ///< --record-trace FILE
     std::string replayTracePath; ///< --replay-trace FILE
+    std::string sweepPath;       ///< --sweep FILE
 };
 
 void
@@ -111,6 +113,10 @@ usage()
         "  --replay-trace F  rerun estimators over a recorded trace\n"
         "                    (loads the recorded config; flags given\n"
         "                    after it still override)\n"
+        "  --sweep FILE      batch-evaluate an estimator grid (JSON:\n"
+        "                    predictor, workloads, estimators[],\n"
+        "                    thresholds[]) in one decoded-trace pass\n"
+        "                    per workload; emits JSON; honors --jobs\n"
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
@@ -289,56 +295,18 @@ std::unique_ptr<ConfidenceEstimator>
 makeEstimator(const Options &opt, PredictorKind kind,
               const ProfileTable &profile)
 {
-    const std::string &n = opt.estimator;
-    JrsConfig jrs;
-    jrs.threshold = opt.jrsThreshold;
-    if (n == "jrs")
-        return std::make_unique<JrsEstimator>(jrs);
-    if (n == "jrs-base") {
-        jrs.enhanced = false;
-        return std::make_unique<JrsEstimator>(jrs);
+    SweepEstimatorParams params;
+    params.jrs.threshold = opt.jrsThreshold;
+    params.distanceThreshold = opt.distanceThreshold;
+    params.staticThreshold = opt.staticThreshold;
+    auto est = makeNamedEstimator(opt.estimator, params, kind,
+                                  profile);
+    if (!est) {
+        std::fprintf(stderr, "unknown estimator '%s'\n",
+                     opt.estimator.c_str());
+        std::exit(1);
     }
-    if (n == "satcnt")
-        return std::make_unique<SatCountersEstimator>(
-                kind == PredictorKind::McFarling
-                    ? SatCountersVariant::BothStrong
-                    : SatCountersVariant::Selected);
-    if (n == "satcnt-both")
-        return std::make_unique<SatCountersEstimator>(
-                SatCountersVariant::BothStrong);
-    if (n == "satcnt-either")
-        return std::make_unique<SatCountersEstimator>(
-                SatCountersVariant::EitherStrong);
-    if (n == "pattern")
-        return std::make_unique<PatternEstimator>();
-    if (n == "static")
-        return std::make_unique<StaticEstimator>(profile,
-                                                 opt.staticThreshold);
-    if (n == "distance")
-        return std::make_unique<DistanceEstimator>(
-                opt.distanceThreshold);
-    if (n == "cir-ones") {
-        CirConfig cir;
-        cir.mode = CirMode::OnesCount;
-        return std::make_unique<CirEstimator>(cir);
-    }
-    if (n == "cir-table") {
-        CirConfig cir;
-        cir.mode = CirMode::PatternTable;
-        return std::make_unique<CirEstimator>(cir);
-    }
-    if (n == "mcf-jrs")
-        return std::make_unique<McfJrsEstimator>();
-    if (n == "boost2" || n == "boost3")
-        return std::make_unique<BoostingEstimator>(
-                std::make_unique<JrsEstimator>(jrs),
-                n == "boost2" ? 2 : 3);
-    if (n == "always-high")
-        return std::make_unique<ConstantEstimator>(true);
-    if (n == "always-low")
-        return std::make_unique<ConstantEstimator>(false);
-    std::fprintf(stderr, "unknown estimator '%s'\n", n.c_str());
-    std::exit(1);
+    return est;
 }
 
 struct RunOutput
@@ -614,6 +582,8 @@ main(int argc, char **argv)
             // estimator under study).
             applyConfigJson(*replayMeta.find("config"), opt,
                             opt.replayTracePath);
+        } else if (arg == "--sweep") {
+            opt.sweepPath = next();
         } else if (arg == "--gate") {
             opt.gateThreshold = parseInt(arg, next());
         } else if (arg == "--eager") {
@@ -647,6 +617,33 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
+    }
+
+    if (!opt.sweepPath.empty()) {
+        std::ifstream in(opt.sweepPath);
+        if (!in) {
+            std::fprintf(stderr, "cannot open sweep grid '%s'\n",
+                         opt.sweepPath.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        const JsonValue doc = JsonValue::parse(text.str(), &err);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s: %s\n", opt.sweepPath.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        SweepGrid grid;
+        if (!sweepGridFromJson(doc, grid, &err)) {
+            std::fprintf(stderr, "%s: %s\n", opt.sweepPath.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        const SweepResult result = runSweepGrid(grid, opt.jobs);
+        std::printf("%s\n", sweepResultToJson(result).dump(2).c_str());
+        return 0;
     }
 
     const bool recording = !opt.recordTracePath.empty();

@@ -1,0 +1,86 @@
+# Sweep-grid checks: `confsim --sweep grid.json` must produce valid
+# JSON, emit byte-identical output for serial and parallel runs, and
+# reject malformed grids loudly.
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P sweep_grid_test.cmake
+
+set(GRID "${WORK_DIR}/sweep_grid.json")
+set(SERIAL "${WORK_DIR}/sweep_serial.json")
+set(PARALLEL "${WORK_DIR}/sweep_parallel.json")
+
+file(WRITE ${GRID} "{
+  \"predictor\": \"gshare\",
+  \"workloads\": [\"compress\", \"go\"],
+  \"thresholds\": [8, 12, 15],
+  \"estimators\": [
+    {\"label\": \"jrs-15\", \"estimator\": \"jrs\"},
+    {\"label\": \"jrs-8\", \"estimator\": \"jrs\",
+     \"jrs\": {\"threshold\": 8}},
+    {\"estimator\": \"satcnt\"},
+    {\"estimator\": \"pattern\"},
+    {\"estimator\": \"distance\", \"distance_threshold\": 6},
+    {\"estimator\": \"static\"}
+  ]
+}
+")
+
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID} --jobs 0
+    OUTPUT_FILE ${SERIAL}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --sweep failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID} --jobs 4
+    OUTPUT_FILE ${PARALLEL}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "confsim --sweep --jobs 4 failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${SERIAL} ${PARALLEL}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "serial and parallel sweeps diverged: ${SERIAL} vs ${PARALLEL}")
+endif()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+    # Validate the document shape: every workload carries every config,
+    # level-capable configs carry every threshold.
+    execute_process(
+        COMMAND ${PYTHON3} -c
+            "import json,sys; doc=json.load(open(sys.argv[1])); \
+assert [w['workload'] for w in doc['workloads']] == \
+['compress', 'go']; \
+assert all(len(w['configs']) == 6 for w in doc['workloads']); \
+assert all(len(c['thresholds']) == 3 \
+for w in doc['workloads'] for c in w['configs'] \
+if c['estimator'].startswith('jrs')); \
+assert len(doc['aggregate']) == 6"
+            ${SERIAL}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep output failed validation")
+    endif()
+endif()
+
+# A grid with an unknown key must be rejected (exit code 2).
+set(BAD "${WORK_DIR}/sweep_bad.json")
+file(WRITE ${BAD} "{
+  \"estimators\": [{\"estimator\": \"jrs\"}],
+  \"bogus\": 1
+}
+")
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${BAD}
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "confsim --sweep accepted an invalid grid")
+endif()
