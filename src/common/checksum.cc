@@ -1,0 +1,127 @@
+#include "common/checksum.hh"
+
+#include <cstring>
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr std::uint64_t PRIME1 = 0x9e3779b185ebca87ull;
+constexpr std::uint64_t PRIME2 = 0xc2b2ae3d27d4eb4full;
+constexpr std::uint64_t PRIME3 = 0x165667b19e3779f9ull;
+constexpr std::uint64_t PRIME4 = 0x85ebca77c2b2ae63ull;
+constexpr std::uint64_t PRIME5 = 0x27d4eb2f165667c5ull;
+
+inline std::uint64_t
+rotl(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t
+read64(const unsigned char *p)
+{
+    // Byte-wise little-endian load: alignment- and endian-safe.
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+inline std::uint32_t
+read32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+inline std::uint64_t
+round1(std::uint64_t acc, std::uint64_t input)
+{
+    acc += input * PRIME2;
+    acc = rotl(acc, 31);
+    return acc * PRIME1;
+}
+
+inline std::uint64_t
+mergeRound(std::uint64_t acc, std::uint64_t val)
+{
+    acc ^= round1(0, val);
+    return acc * PRIME1 + PRIME4;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+xxhash64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const unsigned char *const end = p + len;
+    std::uint64_t h;
+
+    if (len >= 32) {
+        std::uint64_t v1 = seed + PRIME1 + PRIME2;
+        std::uint64_t v2 = seed + PRIME2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - PRIME1;
+        const unsigned char *const limit = end - 32;
+        do {
+            v1 = round1(v1, read64(p));
+            v2 = round1(v2, read64(p + 8));
+            v3 = round1(v3, read64(p + 16));
+            v4 = round1(v4, read64(p + 24));
+            p += 32;
+        } while (p <= limit);
+
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + PRIME5;
+    }
+
+    h += static_cast<std::uint64_t>(len);
+
+    while (p + 8 <= end) {
+        h ^= round1(0, read64(p));
+        h = rotl(h, 27) * PRIME1 + PRIME4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(read32(p)) * PRIME1;
+        h = rotl(h, 23) * PRIME2 + PRIME3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * PRIME5;
+        h = rotl(h, 11) * PRIME1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= PRIME2;
+    h ^= h >> 29;
+    h *= PRIME3;
+    h ^= h >> 32;
+    return h;
+}
+
+std::string
+hexDigest(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace confsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dependency-free content checksums for artifact framing.
+ *
+ * The artifact store and the sweep journal frame every payload with an
+ * XXH64 digest so that torn writes, bit rot, and truncation are
+ * detected before a corrupt artifact can influence results. XXH64 is
+ * used (rather than a cryptographic hash) because the threat model is
+ * accidental corruption, not an adversary, and the checksum sits on
+ * the artifact-load fast path.
+ *
+ * The implementation follows the public XXH64 specification
+ * (Yann Collet, BSD); equal inputs produce equal digests on every
+ * platform and standard library, which makes the digests safe to
+ * persist and compare across runs and machines.
+ */
+
+#ifndef CONFSIM_COMMON_CHECKSUM_HH
+#define CONFSIM_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace confsim
+{
+
+/**
+ * XXH64 digest of @p len bytes at @p data.
+ * @param seed digest seed; distinct seeds give independent digests.
+ */
+std::uint64_t xxhash64(const void *data, std::size_t len,
+                       std::uint64_t seed = 0);
+
+/** XXH64 of a byte string. */
+inline std::uint64_t
+xxhash64(std::string_view data, std::uint64_t seed = 0)
+{
+    return xxhash64(data.data(), data.size(), seed);
+}
+
+/** @p value as a fixed-width 16-digit lowercase hex string (the
+ *  filename-safe spelling of a content key). */
+std::string hexDigest(std::uint64_t value);
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_CHECKSUM_HH

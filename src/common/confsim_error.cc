@@ -1,0 +1,63 @@
+#include "common/confsim_error.hh"
+
+#include <utility>
+
+namespace confsim
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Io: return "io";
+      case ErrorCode::CorruptArtifact: return "corrupt-artifact";
+      case ErrorCode::Transient: return "transient";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::TaskFailed: return "task-failed";
+      case ErrorCode::InvalidConfig: return "invalid-config";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+ConfsimError::ConfsimError(ErrorCode code, std::string message)
+    : std::runtime_error(message), errCode(code),
+      msg(std::move(message))
+{
+    rebuild();
+}
+
+ConfsimError &
+ConfsimError::addContext(std::string frame)
+{
+    frames.push_back(std::move(frame));
+    rebuild();
+    return *this;
+}
+
+void
+ConfsimError::rebuild()
+{
+    rendered = "[";
+    rendered += errorCodeName(errCode);
+    rendered += "] ";
+    rendered += msg;
+    if (!frames.empty()) {
+        rendered += " (while: ";
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            if (i != 0)
+                rendered += "; ";
+            rendered += frames[i];
+        }
+        rendered += ")";
+    }
+}
+
+const char *
+ConfsimError::what() const noexcept
+{
+    return rendered.c_str();
+}
+
+} // namespace confsim

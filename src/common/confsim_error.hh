@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structured error type for the fault-tolerance layer.
+ *
+ * A ConfsimError carries a machine-readable code (so the parallel
+ * runner can classify failures as transient vs. fatal without string
+ * matching) and a context chain that each layer extends as the error
+ * propagates — "read artifact" → "load recorded run" → "sweep shard 3"
+ * — giving a TaskReport the full story of a failed task.
+ *
+ * It derives from std::runtime_error so existing catch sites keep
+ * working; what() always reflects the current code, message, and
+ * context chain.
+ */
+
+#ifndef CONFSIM_COMMON_CONFSIM_ERROR_HH
+#define CONFSIM_COMMON_CONFSIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace confsim
+{
+
+/** Failure classification used by retry/recovery policy. */
+enum class ErrorCode
+{
+    Io,              ///< file read/write/rename failure
+    CorruptArtifact, ///< checksum/framing validation failure
+    Transient,       ///< safe to retry (fault injection, flaky I/O)
+    Timeout,         ///< task exceeded its watchdog deadline
+    Cancelled,       ///< task cancelled before/while running
+    TaskFailed,      ///< a mapped task failed fatally
+    InvalidConfig,   ///< malformed user input (grid, plan, flags)
+    Internal,        ///< violated invariant (should never happen)
+};
+
+/** Stable lowercase name of @p code (JSON/report spelling). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Exception with an ErrorCode and a context chain.
+ *
+ * what() renders as:
+ *   [code] message (while: outer; inner)
+ */
+class ConfsimError : public std::runtime_error
+{
+  public:
+    ConfsimError(ErrorCode code, std::string message);
+
+    /** Failure class (drives retry/cancel policy). */
+    ErrorCode code() const { return errCode; }
+
+    /** The bare message without code prefix or context. */
+    const std::string &message() const { return msg; }
+
+    /** Context frames, innermost first. */
+    const std::vector<std::string> &context() const { return frames; }
+
+    /**
+     * Append a context frame describing what the catching layer was
+     * doing; returns *this so a handler can `throw e.addContext(...)`.
+     */
+    ConfsimError &addContext(std::string frame);
+
+    /** Code + message + context chain. */
+    const char *what() const noexcept override;
+
+  private:
+    void rebuild();
+
+    ErrorCode errCode;
+    std::string msg;
+    std::vector<std::string> frames;
+    std::string rendered;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_CONFSIM_ERROR_HH

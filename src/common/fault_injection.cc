@@ -1,0 +1,184 @@
+#include "common/fault_injection.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace confsim
+{
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultPlan &newPlan)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    plan = newPlan;
+    artifactReads.store(0, std::memory_order_relaxed);
+    artifactWrites.store(0, std::memory_order_relaxed);
+    traceReads.store(0, std::memory_order_relaxed);
+    taskAttempts.store(0, std::memory_order_relaxed);
+    active.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    active.store(false, std::memory_order_release);
+    plan = FaultPlan{};
+}
+
+namespace
+{
+
+/** Flip one byte near the middle of @p bytes (offset is deterministic
+ *  for a given payload size, and never the very first byte so magic
+ *  checks alone don't mask the corruption path). */
+void
+flipMiddleByte(std::string &bytes)
+{
+    if (bytes.empty())
+        return;
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+}
+
+} // anonymous namespace
+
+void
+FaultInjector::onArtifactRead(std::string &bytes)
+{
+    if (!armed())
+        return;
+    const std::uint64_t n =
+        artifactReads.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (plan.flipArtifactRead != 0 && n == plan.flipArtifactRead)
+        flipMiddleByte(bytes);
+}
+
+void
+FaultInjector::onArtifactWrite(std::string &bytes)
+{
+    if (!armed())
+        return;
+    const std::uint64_t n =
+        artifactWrites.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (plan.truncateArtifactWrite != 0
+        && n == plan.truncateArtifactWrite)
+        bytes.resize(bytes.size() / 2);
+}
+
+void
+FaultInjector::onTraceFileRead(std::string &bytes)
+{
+    if (!armed())
+        return;
+    const std::uint64_t n =
+        traceReads.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (plan.flipTraceRead != 0 && n == plan.flipTraceRead)
+        flipMiddleByte(bytes);
+}
+
+TaskFault
+FaultInjector::onTaskAttempt()
+{
+    if (!armed())
+        return TaskFault::None;
+    const std::uint64_t n =
+        taskAttempts.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (plan.failTask != 0 && n == plan.failTask)
+        return TaskFault::ThrowFatal;
+    if (plan.transientTask != 0 && n >= plan.transientTask
+        && n < plan.transientTask + plan.transientCount)
+        return TaskFault::ThrowTransient;
+    if (plan.stallTask != 0 && n == plan.stallTask)
+        return TaskFault::Stall;
+    return TaskFault::None;
+}
+
+bool
+parseFaultPlan(const std::string &spec, FaultPlan &plan,
+               std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    auto parseOrdinal = [&](const std::string &text,
+                            std::uint64_t &out) {
+        if (text.empty())
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(text.c_str(), &end, 10);
+        if (errno == ERANGE || end == text.c_str() || *end != '\0')
+            return false;
+        out = v;
+        return true;
+    };
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail("fault '" + item + "': expected name=N");
+        const std::string name = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+
+        std::uint64_t count = 1;
+        if (name == "transient-task") {
+            const std::size_t colon = value.find(':');
+            if (colon != std::string::npos) {
+                if (!parseOrdinal(value.substr(colon + 1), count)
+                    || count == 0)
+                    return fail("transient-task: bad window length");
+                value = value.substr(0, colon);
+            }
+        }
+
+        std::uint64_t n = 0;
+        if (!parseOrdinal(value, n))
+            return fail("fault '" + name + "': bad ordinal '" + value
+                        + "'");
+
+        if (name == "flip-artifact-read") {
+            plan.flipArtifactRead = n;
+        } else if (name == "truncate-artifact-write") {
+            plan.truncateArtifactWrite = n;
+        } else if (name == "flip-trace-read") {
+            plan.flipTraceRead = n;
+        } else if (name == "fail-task") {
+            plan.failTask = n;
+        } else if (name == "transient-task") {
+            plan.transientTask = n;
+            plan.transientCount = count;
+        } else if (name == "stall-task") {
+            plan.stallTask = n;
+        } else {
+            return fail("unknown fault '" + name + "'");
+        }
+    }
+    return true;
+}
+
+} // namespace confsim

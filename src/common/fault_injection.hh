@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * A FaultPlan names the nth occurrence of an operation to sabotage —
+ * the nth artifact read gets a byte flipped, the nth artifact write is
+ * truncated mid-frame, the nth task attempt throws or stalls — and
+ * the process-wide FaultInjector counts occurrences and applies the
+ * plan. Ordinals are 1-based and deterministic under serial execution
+ * (jobs = 0/1), which is how the ctest recovery suites run; 0 disables
+ * a fault.
+ *
+ * The hooks are threaded through the artifact store, the parallel
+ * runner, and the trace file reader; when no plan is armed every hook
+ * is a relaxed atomic load and a branch, so production runs pay
+ * effectively nothing.
+ *
+ * Plans can also be armed from the environment (CONFSIM_FAULT_PLAN)
+ * via parseFaultPlan(), e.g.:
+ *
+ *   CONFSIM_FAULT_PLAN=fail-task=3 confsim --sweep grid.json
+ *   CONFSIM_FAULT_PLAN=flip-artifact-read=1,transient-task=2:1 ...
+ */
+
+#ifndef CONFSIM_COMMON_FAULT_INJECTION_HH
+#define CONFSIM_COMMON_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace confsim
+{
+
+/** Which deterministic faults to inject (0 = fault disabled). */
+struct FaultPlan
+{
+    /** Flip one byte of the nth artifact-store read. */
+    std::uint64_t flipArtifactRead = 0;
+    /** Truncate the nth artifact-store write mid-frame. */
+    std::uint64_t truncateArtifactWrite = 0;
+    /** Flip one byte of the nth trace file read. */
+    std::uint64_t flipTraceRead = 0;
+    /** nth task attempt throws a fatal (non-retryable) error. */
+    std::uint64_t failTask = 0;
+    /**
+     * First task-attempt ordinal of a transient failure window:
+     * attempts [transientTask, transientTask + transientCount) throw
+     * ErrorCode::Transient. With retry enabled the window models a
+     * task that fails transientCount times and then succeeds.
+     */
+    std::uint64_t transientTask = 0;
+    std::uint64_t transientCount = 1;
+    /** nth task attempt stalls until its cancel token fires (the
+     *  deterministic stand-in for a runaway workload). */
+    std::uint64_t stallTask = 0;
+
+    bool operator==(const FaultPlan &) const = default;
+};
+
+/** Fault decision for one task attempt. */
+enum class TaskFault
+{
+    None,
+    ThrowFatal,
+    ThrowTransient,
+    Stall,
+};
+
+/**
+ * Process-wide fault state: a plan plus occurrence counters. Hooks
+ * are thread-safe; ordinals are assigned atomically in call order.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Install @p plan and reset all occurrence counters. */
+    void arm(const FaultPlan &plan);
+
+    /** Remove any plan (hooks become no-ops). */
+    void disarm();
+
+    /** A plan is currently armed. */
+    bool armed() const { return active.load(std::memory_order_acquire); }
+
+    /** Artifact-store read hook: may flip one byte of @p bytes. */
+    void onArtifactRead(std::string &bytes);
+
+    /** Artifact-store write hook: may truncate @p bytes. */
+    void onArtifactWrite(std::string &bytes);
+
+    /** Trace file read hook: may flip one byte of @p bytes. */
+    void onTraceFileRead(std::string &bytes);
+
+    /** Task hook: the fault (if any) for this attempt ordinal. */
+    TaskFault onTaskAttempt();
+
+  private:
+    FaultInjector() = default;
+
+    std::atomic<bool> active{false};
+    std::mutex mtx; ///< guards plan against arm/disarm races
+    FaultPlan plan;
+    std::atomic<std::uint64_t> artifactReads{0};
+    std::atomic<std::uint64_t> artifactWrites{0};
+    std::atomic<std::uint64_t> traceReads{0};
+    std::atomic<std::uint64_t> taskAttempts{0};
+};
+
+/**
+ * Parse a comma-separated plan spec: `name=N` (or `transient-task=N:K`
+ * for an N-start, K-long window). Names: flip-artifact-read,
+ * truncate-artifact-write, flip-trace-read, fail-task, transient-task,
+ * stall-task.
+ * @return false (with @p error set when non-null) on a malformed spec.
+ */
+bool parseFaultPlan(const std::string &spec, FaultPlan &plan,
+                    std::string *error = nullptr);
+
+/** RAII arm/disarm for tests. */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const FaultPlan &plan)
+    {
+        FaultInjector::instance().arm(plan);
+    }
+
+    ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_FAULT_INJECTION_HH

@@ -1,0 +1,257 @@
+#include "harness/artifact_store.hh"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+#include <utility>
+
+#include "common/checksum.hh"
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr char ARTIFACT_MAGIC[4] = {'C', 'S', 'A', 'F'};
+constexpr std::uint32_t ARTIFACT_VERSION = 1;
+// magic + version + key-len + payload-len + checksum
+constexpr std::size_t HEADER_SIZE = 4 + 4 + 8 + 8 + 8;
+
+void
+appendLe32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendLe64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+readLe32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint64_t
+readLe64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::string
+frameArtifact(const std::string &key, std::string_view payload)
+{
+    std::string framed;
+    framed.reserve(HEADER_SIZE + key.size() + payload.size());
+    framed.append(ARTIFACT_MAGIC, sizeof(ARTIFACT_MAGIC));
+    appendLe32(framed, ARTIFACT_VERSION);
+    appendLe64(framed, key.size());
+    appendLe64(framed, payload.size());
+    appendLe64(framed, xxhash64(payload));
+    framed.append(key);
+    framed.append(payload);
+    return framed;
+}
+
+} // anonymous namespace
+
+ArtifactStore::ArtifactStore(std::string directory)
+    : root(std::move(directory))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec)
+        throw ConfsimError(ErrorCode::Io,
+                           "cannot create artifact directory '" + root
+                               + "': " + ec.message());
+}
+
+std::string
+ArtifactStore::artifactPath(const std::string &kind,
+                            const std::string &key) const
+{
+    return root + "/" + kind + "-" + hexDigest(xxhash64(key))
+        + ".art";
+}
+
+bool
+ArtifactStore::validateFrame(const std::string &framed,
+                             const std::string &key,
+                             std::string &payload) const
+{
+    if (framed.size() < HEADER_SIZE)
+        return false;
+    if (std::memcmp(framed.data(), ARTIFACT_MAGIC,
+                    sizeof(ARTIFACT_MAGIC)) != 0)
+        return false;
+    if (readLe32(framed.data() + 4) != ARTIFACT_VERSION)
+        return false;
+    const std::uint64_t keyLen = readLe64(framed.data() + 8);
+    const std::uint64_t payloadLen = readLe64(framed.data() + 16);
+    const std::uint64_t checksum = readLe64(framed.data() + 24);
+    if (keyLen != key.size())
+        return false;
+    if (framed.size() != HEADER_SIZE + keyLen + payloadLen)
+        return false;
+    if (framed.compare(HEADER_SIZE, keyLen, key) != 0)
+        return false;
+    payload.assign(framed, HEADER_SIZE + keyLen, payloadLen);
+    return xxhash64(payload) == checksum;
+}
+
+void
+ArtifactStore::quarantineFile(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec) {
+        // Last resort: remove it so the bad frame cannot be
+        // re-loaded forever.
+        std::filesystem::remove(path, ec);
+    }
+    quarantineCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+ArtifactStore::load(const std::string &kind, const std::string &key,
+                    std::string &payload)
+{
+    loadCount.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = artifactPath(kind, key);
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::string framed((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    FaultInjector::instance().onArtifactRead(framed);
+
+    if (!validateFrame(framed, key, payload)) {
+        corruptCount.fetch_add(1, std::memory_order_relaxed);
+        quarantineFile(path);
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        payload.clear();
+        return false;
+    }
+    hitCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::store(const std::string &kind, const std::string &key,
+                     std::string_view payload, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        storeFailureCount.fetch_add(1, std::memory_order_relaxed);
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    std::string framed = frameArtifact(key, payload);
+    // A truncation fault models a torn write: the frame hits disk
+    // incomplete, exactly what a crash mid-write leaves behind.
+    FaultInjector::instance().onArtifactWrite(framed);
+
+    const std::string path = artifactPath(kind, key);
+    static std::atomic<std::uint64_t> tmpSerial{0};
+    const std::string tmp =
+        path + ".tmp."
+        + std::to_string(
+                tmpSerial.fetch_add(1, std::memory_order_relaxed));
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return fail("cannot open '" + tmp + "' for writing");
+        out.write(framed.data(),
+                  static_cast<std::streamsize>(framed.size()));
+        out.flush();
+        if (!out.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return fail("short write to '" + tmp + "'");
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return fail("cannot rename '" + tmp + "' into place: "
+                    + ec.message());
+    }
+    storeCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ArtifactStore::quarantine(const std::string &kind,
+                          const std::string &key)
+{
+    corruptCount.fetch_add(1, std::memory_order_relaxed);
+    quarantineFile(artifactPath(kind, key));
+}
+
+ArtifactStoreStats
+ArtifactStore::stats() const
+{
+    ArtifactStoreStats s;
+    s.loads = loadCount.load(std::memory_order_relaxed);
+    s.hits = hitCount.load(std::memory_order_relaxed);
+    s.misses = missCount.load(std::memory_order_relaxed);
+    s.stores = storeCount.load(std::memory_order_relaxed);
+    s.storeFailures =
+        storeFailureCount.load(std::memory_order_relaxed);
+    s.corruptArtifacts = corruptCount.load(std::memory_order_relaxed);
+    s.quarantined = quarantineCount.load(std::memory_order_relaxed);
+    return s;
+}
+
+namespace
+{
+
+std::mutex globalStoreMutex;
+std::shared_ptr<ArtifactStore> globalStore;
+
+} // anonymous namespace
+
+std::shared_ptr<ArtifactStore>
+setGlobalArtifactStore(std::shared_ptr<ArtifactStore> store)
+{
+    std::lock_guard<std::mutex> lock(globalStoreMutex);
+    std::swap(globalStore, store);
+    return store;
+}
+
+std::shared_ptr<ArtifactStore>
+globalArtifactStore()
+{
+    std::lock_guard<std::mutex> lock(globalStoreMutex);
+    return globalStore;
+}
+
+} // namespace confsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Persistent, checksummed, content-keyed artifact store.
+ *
+ * The store spills expensive deterministic build products — recorded
+ * pipeline runs today, anything content-keyed tomorrow — to a
+ * directory so later processes skip the simulation entirely. Every
+ * artifact is framed with magic, version, sizes, the full content key
+ * and an XXH64 digest of the payload; writes go to a temp file and
+ * are renamed into place so readers never observe a half-written
+ * artifact even across a crash.
+ *
+ * Corruption is survivable by design: a frame that fails validation
+ * is *quarantined* (renamed to <file>.corrupt), the corruptArtifacts
+ * counter is bumped, and load() reports a miss so the caller
+ * regenerates from live simulation — results stay bit-identical to a
+ * cold run, the process never crashes on a bad artifact.
+ *
+ * Layout of <dir>/<kind>-<xxh64(key) hex>.art:
+ *   magic      "CSAF"
+ *   version    u32 LE
+ *   key-len    u64 LE     length of the content key
+ *   payload-len u64 LE
+ *   checksum   u64 LE     xxhash64(payload)
+ *   key        bytes      must equal the requested key (hash
+ *                         collisions degrade to a miss, not a lie)
+ *   payload    bytes
+ */
+
+#ifndef CONFSIM_HARNESS_ARTIFACT_STORE_HH
+#define CONFSIM_HARNESS_ARTIFACT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace confsim
+{
+
+/** Counters of one ArtifactStore (all monotonic). */
+struct ArtifactStoreStats
+{
+    std::uint64_t loads = 0;   ///< load() calls
+    std::uint64_t hits = 0;    ///< valid artifact found
+    std::uint64_t misses = 0;  ///< no artifact on disk
+    std::uint64_t stores = 0;  ///< artifacts written
+    std::uint64_t storeFailures = 0;  ///< writes that failed (I/O)
+    std::uint64_t corruptArtifacts = 0; ///< frames failing validation
+    std::uint64_t quarantined = 0;      ///< corrupt files set aside
+
+    bool operator==(const ArtifactStoreStats &) const = default;
+};
+
+/**
+ * One on-disk artifact directory. Thread-safe: loads and stores of
+ * distinct keys proceed concurrently; counters are atomic.
+ */
+class ArtifactStore
+{
+  public:
+    /**
+     * Bind to @p directory, creating it (and parents) when missing.
+     * @throws ConfsimError{Io} when the directory cannot be created.
+     */
+    explicit ArtifactStore(std::string directory);
+
+    /** The artifact directory. */
+    const std::string &dir() const { return root; }
+
+    /**
+     * Fetch the artifact for (@p kind, @p key) into @p payload.
+     * A corrupt artifact is quarantined and reported as a miss.
+     * @return true on a valid hit.
+     */
+    bool load(const std::string &kind, const std::string &key,
+              std::string &payload);
+
+    /**
+     * Persist @p payload for (@p kind, @p key) atomically
+     * (write-temp-then-rename).
+     * @return false (with @p error set when non-null) on I/O failure
+     *         — callers treat a failed spill as a non-event.
+     */
+    bool store(const std::string &kind, const std::string &key,
+               std::string_view payload, std::string *error = nullptr);
+
+    /**
+     * Quarantine the artifact for (@p kind, @p key) — used by callers
+     * whose payload-level validation fails after the frame itself
+     * checked out (e.g. a trace that no longer decodes).
+     */
+    void quarantine(const std::string &kind, const std::string &key);
+
+    /** Snapshot of the counters. */
+    ArtifactStoreStats stats() const;
+
+    /** Artifact file path for (@p kind, @p key) (for tests/tools). */
+    std::string artifactPath(const std::string &kind,
+                             const std::string &key) const;
+
+  private:
+    bool validateFrame(const std::string &framed,
+                       const std::string &key,
+                       std::string &payload) const;
+    void quarantineFile(const std::string &path);
+
+    std::string root;
+    std::atomic<std::uint64_t> loadCount{0};
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+    std::atomic<std::uint64_t> storeCount{0};
+    std::atomic<std::uint64_t> storeFailureCount{0};
+    std::atomic<std::uint64_t> corruptCount{0};
+    std::atomic<std::uint64_t> quarantineCount{0};
+};
+
+/**
+ * Install @p store as the process-wide artifact store consulted by
+ * the experiment caches (nullptr disables spilling). Returns the
+ * previous store.
+ */
+std::shared_ptr<ArtifactStore>
+setGlobalArtifactStore(std::shared_ptr<ArtifactStore> store);
+
+/** The process-wide artifact store (nullptr when disabled). */
+std::shared_ptr<ArtifactStore> globalArtifactStore();
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_ARTIFACT_STORE_HH

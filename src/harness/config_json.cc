@@ -496,4 +496,55 @@ fromJson(const JsonValue &v, ExperimentConfig &cfg, std::string *error)
     return r.finish();
 }
 
+JsonValue
+toJson(const PipelineStats &stats)
+{
+    JsonValue v = JsonValue::object();
+    v["cycles"] = JsonValue(std::uint64_t{stats.cycles});
+    v["committed_insts"] = JsonValue(stats.committedInsts);
+    v["all_insts"] = JsonValue(stats.allInsts);
+    v["committed_cond_branches"] =
+        JsonValue(stats.committedCondBranches);
+    v["all_cond_branches"] = JsonValue(stats.allCondBranches);
+    v["committed_mispredicts"] = JsonValue(stats.committedMispredicts);
+    v["all_mispredicts"] = JsonValue(stats.allMispredicts);
+    v["recoveries"] = JsonValue(stats.recoveries);
+    v["gated_cycles"] = JsonValue(stats.gatedCycles);
+    v["forked_branches"] = JsonValue(stats.forkedBranches);
+    v["fork_rescues"] = JsonValue(stats.forkRescues);
+    v["forked_fetch_cycles"] = JsonValue(stats.forkedFetchCycles);
+    v["icache_misses"] = JsonValue(stats.icacheMisses);
+    v["icache_accesses"] = JsonValue(stats.icacheAccesses);
+    v["dcache_misses"] = JsonValue(stats.dcacheMisses);
+    v["dcache_accesses"] = JsonValue(stats.dcacheAccesses);
+    v["btb_lookups"] = JsonValue(stats.btbLookups);
+    v["btb_misses"] = JsonValue(stats.btbMisses);
+    return v;
+}
+
+bool
+fromJson(const JsonValue &v, PipelineStats &stats, std::string *error)
+{
+    Reader r(v, error);
+    r.uintField("cycles", stats.cycles);
+    r.uintField("committed_insts", stats.committedInsts);
+    r.uintField("all_insts", stats.allInsts);
+    r.uintField("committed_cond_branches", stats.committedCondBranches);
+    r.uintField("all_cond_branches", stats.allCondBranches);
+    r.uintField("committed_mispredicts", stats.committedMispredicts);
+    r.uintField("all_mispredicts", stats.allMispredicts);
+    r.uintField("recoveries", stats.recoveries);
+    r.uintField("gated_cycles", stats.gatedCycles);
+    r.uintField("forked_branches", stats.forkedBranches);
+    r.uintField("fork_rescues", stats.forkRescues);
+    r.uintField("forked_fetch_cycles", stats.forkedFetchCycles);
+    r.uintField("icache_misses", stats.icacheMisses);
+    r.uintField("icache_accesses", stats.icacheAccesses);
+    r.uintField("dcache_misses", stats.dcacheMisses);
+    r.uintField("dcache_accesses", stats.dcacheAccesses);
+    r.uintField("btb_lookups", stats.btbLookups);
+    r.uintField("btb_misses", stats.btbMisses);
+    return r.finish();
+}
+
 } // namespace confsim

@@ -52,6 +52,9 @@ JsonValue toJson(const CirConfig &cfg);
 JsonValue toJson(const McfJrsConfig &cfg);
 JsonValue toJson(const WorkloadConfig &cfg);
 JsonValue toJson(const ExperimentConfig &cfg);
+/** Counter-exact dump of a run's pipeline statistics (used by the
+ *  artifact store to persist RecordedRun payloads). */
+JsonValue toJson(const PipelineStats &stats);
 /// @}
 
 /// @name JSON -> config
@@ -85,6 +88,8 @@ bool fromJson(const JsonValue &v, McfJrsConfig &cfg,
 bool fromJson(const JsonValue &v, WorkloadConfig &cfg,
               std::string *error = nullptr);
 bool fromJson(const JsonValue &v, ExperimentConfig &cfg,
+              std::string *error = nullptr);
+bool fromJson(const JsonValue &v, PipelineStats &stats,
               std::string *error = nullptr);
 /// @}
 

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/stats_registry.hh"
+#include "harness/artifact_store.hh"
 #include "harness/config_json.hh"
 #include "harness/trace_run.hh"
 #include "trace/trace_writer.hh"
@@ -186,6 +187,81 @@ programKey(const WorkloadSpec &spec, const WorkloadConfig &cfg)
     return {spec.factory, spec.name, cfg.scale, cfg.seed};
 }
 
+/**
+ * Cross-process content key of a recorded run. Unlike RecordedKey it
+ * must not contain the factory *pointer* (meaningless in another
+ * process); the workload name + config identify the program among the
+ * registered workloads.
+ */
+std::string
+recordedDiskKey(PredictorKind kind, const WorkloadSpec &spec,
+                const WorkloadConfig &cfg,
+                const std::string &pipelineConfig)
+{
+    return std::string(predictorKindName(kind)) + "|" + spec.name
+           + "|scale=" + std::to_string(cfg.scale)
+           + "|seed=" + std::to_string(cfg.seed) + "|"
+           + pipelineConfig;
+}
+
+/**
+ * RecordedRun artifact payload: u64 LE header length, a JSON header
+ * (pipe stats + registry subtrees), then the raw encoded trace.
+ */
+std::string
+encodeRecordedRunPayload(const RecordedRun &rec)
+{
+    JsonValue header = JsonValue::object();
+    header["pipe"] = toJson(rec.pipe);
+    header["stats"] = rec.statsSubtree;
+    header["config"] = rec.configSubtree;
+    const std::string headerText = header.dump(0);
+
+    std::string payload;
+    payload.reserve(8 + headerText.size() + rec.trace.size());
+    for (int i = 0; i < 8; ++i)
+        payload.push_back(static_cast<char>(
+                (headerText.size() >> (8 * i)) & 0xff));
+    payload.append(headerText);
+    payload.append(rec.trace);
+    return payload;
+}
+
+/** Inverse of encodeRecordedRunPayload(); false on any mismatch. */
+bool
+decodeRecordedRunPayload(const std::string &payload, RecordedRun &rec)
+{
+    if (payload.size() < 8)
+        return false;
+    std::uint64_t headerLen = 0;
+    for (int i = 7; i >= 0; --i)
+        headerLen = (headerLen << 8)
+                    | static_cast<unsigned char>(payload[
+                            static_cast<std::size_t>(i)]);
+    if (headerLen > payload.size() - 8)
+        return false;
+
+    std::string error;
+    const JsonValue header =
+        JsonValue::parse(payload.substr(8,
+                                 static_cast<std::size_t>(headerLen)),
+                         &error);
+    if (!error.empty() || !header.isObject())
+        return false;
+    const JsonValue *pipe = header.find("pipe");
+    const JsonValue *stats = header.find("stats");
+    const JsonValue *config = header.find("config");
+    if (pipe == nullptr || stats == nullptr || config == nullptr)
+        return false;
+    if (!fromJson(*pipe, rec.pipe))
+        return false;
+    rec.statsSubtree = *stats;
+    rec.configSubtree = *config;
+    rec.trace =
+        payload.substr(8 + static_cast<std::size_t>(headerLen));
+    return true;
+}
+
 } // anonymous namespace
 
 std::shared_ptr<const Program>
@@ -215,6 +291,23 @@ cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
     const RecordedKey key{programKey(spec, cfg), kind,
                           toJson(pipeCfg).dump(0)};
     return recordedCache().getOrBuild(key, [&] {
+        const auto store = globalArtifactStore();
+        const std::string diskKey =
+            store ? recordedDiskKey(kind, spec, cfg,
+                                    key.pipelineConfig)
+                  : std::string();
+        if (store) {
+            std::string payload;
+            if (store->load("recorded", diskKey, payload)) {
+                RecordedRun rec;
+                if (decodeRecordedRunPayload(payload, rec))
+                    return rec;
+                // The frame checked out but the payload didn't — a
+                // stale or foreign format. Set it aside and rebuild.
+                store->quarantine("recorded", diskKey);
+            }
+        }
+
         const auto prog = cachedProgram(spec, cfg);
         auto pred = makePredictor(kind);
         Pipeline pipe(*prog, *pred, pipeCfg);
@@ -229,6 +322,11 @@ cachedRecordedRun(PredictorKind kind, const WorkloadSpec &spec,
         rec.trace = writer.encode();
         rec.statsSubtree = *registry.statsJson().find("pipeline");
         rec.configSubtree = *registry.configJson().find("pipeline");
+        // A failed spill is a non-event: the next process simply
+        // rebuilds from live simulation.
+        if (store)
+            store->store("recorded", diskKey,
+                         encodeRecordedRunPayload(rec));
         return rec;
     });
 }

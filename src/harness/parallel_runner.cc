@@ -1,0 +1,236 @@
+#include "harness/parallel_runner.hh"
+
+#include <algorithm>
+
+namespace confsim
+{
+
+const char *
+taskStatusName(TaskStatus status)
+{
+    switch (status) {
+      case TaskStatus::Ok: return "ok";
+      case TaskStatus::Failed: return "failed";
+      case TaskStatus::TimedOut: return "timed-out";
+      case TaskStatus::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------------ CancelToken
+
+void
+CancelToken::cancel()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        flag = true;
+    }
+    cv.notify_all();
+}
+
+bool
+CancelToken::cancelled() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return flag;
+}
+
+void
+CancelToken::waitCancelled() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [this] { return flag; });
+}
+
+bool
+CancelToken::waitFor(std::chrono::milliseconds d) const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return cv.wait_for(lock, d, [this] { return flag; });
+}
+
+// ----------------------------------------------------------- TaskWatchdog
+
+TaskWatchdog::TaskWatchdog(std::chrono::milliseconds deadline)
+    : deadline(deadline)
+{
+}
+
+TaskWatchdog::~TaskWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    if (monitor.joinable())
+        monitor.join();
+}
+
+void
+TaskWatchdog::watch(std::size_t index, CancelToken *token)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        entries.push_back({index,
+                           std::chrono::steady_clock::now() + deadline,
+                           token, false});
+        if (!monitor.joinable())
+            monitor = std::thread([this] { monitorLoop(); });
+    }
+    cv.notify_all();
+}
+
+bool
+TaskWatchdog::unwatch(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = std::find_if(
+            entries.begin(), entries.end(),
+            [index](const Entry &e) { return e.index == index; });
+    if (it == entries.end())
+        return false;
+    const bool expired = it->expired;
+    entries.erase(it);
+    cv.notify_all();
+    return expired;
+}
+
+void
+TaskWatchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (!stopping) {
+        // Earliest pending deadline, if any entry is still healthy.
+        auto next = std::chrono::steady_clock::time_point::max();
+        for (const Entry &e : entries)
+            if (!e.expired)
+                next = std::min(next, e.deadline);
+
+        if (next == std::chrono::steady_clock::time_point::max()) {
+            cv.wait(lock);
+            continue;
+        }
+        cv.wait_until(lock, next);
+
+        const auto now = std::chrono::steady_clock::now();
+        for (Entry &e : entries) {
+            if (!e.expired && e.deadline <= now) {
+                e.expired = true;
+                e.token->cancel();
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- ParallelRunner bits
+
+void
+ParallelRunner::applyTaskFault(TaskContext &ctx)
+{
+    switch (FaultInjector::instance().onTaskAttempt()) {
+      case TaskFault::None:
+        return;
+      case TaskFault::ThrowFatal:
+        throw ConfsimError(ErrorCode::TaskFailed,
+                           "injected fatal task fault")
+                .addContext("task " + std::to_string(ctx.index)
+                            + " attempt "
+                            + std::to_string(ctx.attempt));
+      case TaskFault::ThrowTransient:
+        throw ConfsimError(ErrorCode::Transient,
+                           "injected transient task fault")
+                .addContext("task " + std::to_string(ctx.index)
+                            + " attempt "
+                            + std::to_string(ctx.attempt));
+      case TaskFault::Stall:
+        // The deterministic stand-in for a runaway workload: block
+        // until the watchdog (or an external cancel) fires, then
+        // surface the cancellation.
+        ctx.cancel.waitCancelled();
+        throw ConfsimError(ErrorCode::Cancelled,
+                           "injected stall cancelled")
+                .addContext("task " + std::to_string(ctx.index)
+                            + " attempt "
+                            + std::to_string(ctx.attempt));
+    }
+}
+
+void
+ParallelRunner::timeoutReport(TaskReport &report,
+                              const RunnerPolicy &policy,
+                              std::atomic<bool> &fatal)
+{
+    report.status = TaskStatus::TimedOut;
+    report.errors.push_back(
+            "[timeout] exceeded deadline of "
+            + std::to_string(policy.deadline.count()) + " ms");
+    if (policy.cancelOnFatal)
+        fatal.store(true, std::memory_order_release);
+}
+
+bool
+ParallelRunner::describeFailure(std::exception_ptr error,
+                                std::vector<std::string> &errors)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const ConfsimError &e) {
+        errors.push_back(e.what());
+        return e.code() == ErrorCode::Transient;
+    } catch (const std::exception &e) {
+        errors.push_back(e.what());
+        return false;
+    } catch (...) {
+        errors.push_back("non-standard exception");
+        return false;
+    }
+}
+
+std::chrono::milliseconds
+ParallelRunner::backoffDelay(const RunnerPolicy &policy,
+                             std::size_t index, unsigned attempt)
+{
+    // min(cap, base << (attempt - 1)), shift clamped against overflow.
+    const unsigned shift = std::min(attempt - 1, 20u);
+    std::chrono::milliseconds delay(policy.backoffBase.count()
+                                    << shift);
+    delay = std::min(delay, policy.backoffCap);
+    // Deterministic jitter in [0, delay]: a pure function of (seed,
+    // task, attempt), so reruns back off identically.
+    Rng rng(policy.jitterSeed
+            ^ (static_cast<std::uint64_t>(index)
+               * 0x9e3779b97f4a7c15ull)
+            ^ attempt);
+    const auto jitter = std::chrono::milliseconds(
+            static_cast<std::int64_t>(rng.below(
+                    static_cast<std::uint64_t>(delay.count()) + 1)));
+    return delay + jitter;
+}
+
+ConfsimError
+ParallelRunner::mapFailure(const std::vector<TaskReport> &reports)
+{
+    std::uint64_t failed = 0;
+    for (const TaskReport &r : reports)
+        if (!r.ok())
+            ++failed;
+
+    ConfsimError error(
+            ErrorCode::TaskFailed,
+            std::to_string(failed) + " of "
+                + std::to_string(reports.size()) + " tasks failed");
+    for (const TaskReport &r : reports) {
+        if (r.ok())
+            continue;
+        std::string frame = "task " + std::to_string(r.index) + " ("
+                            + taskStatusName(r.status) + ")";
+        for (const std::string &e : r.errors)
+            frame += ": " + e;
+        error.addContext(std::move(frame));
+    }
+    return error;
+}
+
+} // namespace confsim

@@ -1,33 +1,231 @@
 /**
  * @file
- * Deterministic fan-out of independent experiment tasks over a
- * ThreadPool. Results are indexed by submission order, so a parallel
- * map over (predictor kind x workload x config) tuples returns exactly
- * the vector the equivalent serial loop would — bit-identical as long
- * as each task owns its mutable state (fresh predictor and estimators,
+ * Deterministic, fault-tolerant fan-out of independent experiment
+ * tasks over a ThreadPool.
+ *
+ * Results are indexed by submission order, so a parallel map over
+ * (predictor kind x workload x config) tuples returns exactly the
+ * vector the equivalent serial loop would — bit-identical as long as
+ * each task owns its mutable state (fresh predictor and estimators,
  * no shared RNG), which is how the standard experiments are built.
+ *
+ * mapReported() is the hardened entry point: every task gets a
+ * TaskReport (status, attempts, wall time, error chain), failures
+ * classified ErrorCode::Transient are retried with capped exponential
+ * backoff and deterministic xoshiro jitter, a per-task deadline
+ * watchdog cancels runaway tasks, and a fatal failure can cancel
+ * still-queued tasks. map() keeps the original throw-on-error
+ * interface on top of it.
+ *
+ * The watchdog is cooperative: a timed-out task is *cancelled* (its
+ * CancelToken fires and its result is discarded), and the runner
+ * still waits for the task function to return so no task can outlive
+ * the data it references. Task functions that may run long should
+ * check TaskContext::cancel at convenient points.
  */
 
 #ifndef CONFSIM_HARNESS_PARALLEL_RUNNER_HH
 #define CONFSIM_HARNESS_PARALLEL_RUNNER_HH
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
+#include "common/random.hh"
 #include "common/thread_pool.hh"
 
 namespace confsim
 {
 
+/** Terminal state of one mapped task. */
+enum class TaskStatus
+{
+    Ok,        ///< produced a result
+    Failed,    ///< fatal error (or retries exhausted)
+    TimedOut,  ///< cancelled by the deadline watchdog
+    Cancelled, ///< never ran (or abandoned) after a fatal elsewhere
+};
+
+/** Stable lowercase name of @p status (JSON/report spelling). */
+const char *taskStatusName(TaskStatus status);
+
+/** Execution record of one mapped task. */
+struct TaskReport
+{
+    std::size_t index = 0;
+    TaskStatus status = TaskStatus::Ok;
+    unsigned attempts = 0;
+    double wallMs = 0.0; ///< total across attempts (incl. backoff)
+    /** One entry per failed attempt, oldest first; ConfsimError
+     *  entries carry their context chain. */
+    std::vector<std::string> errors;
+
+    bool ok() const { return status == TaskStatus::Ok; }
+};
+
+/** Retry/deadline/cancellation policy for mapReported(). */
+struct RunnerPolicy
+{
+    /** Per-attempt watchdog deadline; zero disables the watchdog. */
+    std::chrono::milliseconds deadline{0};
+    /** Total attempts per task (1 = no retry). Only failures thrown
+     *  as ConfsimError with ErrorCode::Transient are retried. */
+    unsigned maxAttempts = 1;
+    /** Backoff before retry k is min(cap, base << (k - 1)) plus a
+     *  deterministic jitter in [0, that delay]. */
+    std::chrono::milliseconds backoffBase{1};
+    std::chrono::milliseconds backoffCap{64};
+    /** Seed of the xoshiro jitter stream; jitter is a pure function
+     *  of (seed, task index, attempt). */
+    std::uint64_t jitterSeed = 0x5eedc0de;
+    /** Cancel still-queued tasks after a fatal failure or timeout. */
+    bool cancelOnFatal = false;
+};
+
+/** Aggregate counts over one mapReported() call. */
+struct RunnerSummary
+{
+    std::uint64_t tasks = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t retries = 0; ///< extra attempts beyond the first
+
+    bool ok() const { return succeeded == tasks; }
+};
+
+/**
+ * One-shot cancellation flag with blocking waiters. cancel() is
+ * sticky; waiters wake immediately once it fires.
+ */
+class CancelToken
+{
+  public:
+    /** Fire the token (idempotent). */
+    void cancel();
+
+    /** The token has fired. */
+    bool cancelled() const;
+
+    /** Block until the token fires. */
+    void waitCancelled() const;
+
+    /**
+     * Block for @p d or until the token fires, whichever is first.
+     * @return true when the token fired during (or before) the wait.
+     */
+    bool waitFor(std::chrono::milliseconds d) const;
+
+  private:
+    mutable std::mutex mtx;
+    mutable std::condition_variable cv;
+    bool flag = false;
+};
+
+/** What a mapped task sees of its execution environment. */
+struct TaskContext
+{
+    std::size_t index;   ///< submission index
+    unsigned attempt;    ///< 1-based attempt number
+    CancelToken &cancel; ///< fires on deadline or external cancel
+};
+
+/**
+ * Deadline watchdog: tracks running attempts and fires their cancel
+ * tokens when the per-attempt deadline passes. One monitor thread,
+ * started lazily on the first watched attempt.
+ */
+class TaskWatchdog
+{
+  public:
+    explicit TaskWatchdog(std::chrono::milliseconds deadline);
+    ~TaskWatchdog();
+
+    TaskWatchdog(const TaskWatchdog &) = delete;
+    TaskWatchdog &operator=(const TaskWatchdog &) = delete;
+
+    /** Start watching one attempt of task @p index. */
+    void watch(std::size_t index, CancelToken *token);
+
+    /**
+     * Stop watching task @p index.
+     * @return true when the watchdog had expired this attempt.
+     */
+    bool unwatch(std::size_t index);
+
+  private:
+    struct Entry
+    {
+        std::size_t index;
+        std::chrono::steady_clock::time_point deadline;
+        CancelToken *token;
+        bool expired;
+    };
+
+    void monitorLoop();
+
+    const std::chrono::milliseconds deadline;
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<Entry> entries;
+    std::thread monitor;
+    bool stopping = false;
+};
+
+/** Results + reports of one mapReported() call. A task that did not
+ *  produce a result (failed / timed out / cancelled) holds nullopt. */
+template <typename T>
+struct MapOutcome
+{
+    std::vector<std::optional<T>> results;
+    std::vector<TaskReport> reports;
+
+    bool
+    ok() const
+    {
+        for (const TaskReport &r : reports)
+            if (!r.ok())
+                return false;
+        return true;
+    }
+
+    RunnerSummary
+    summary() const
+    {
+        RunnerSummary s;
+        s.tasks = reports.size();
+        for (const TaskReport &r : reports) {
+            switch (r.status) {
+              case TaskStatus::Ok: ++s.succeeded; break;
+              case TaskStatus::Failed: ++s.failed; break;
+              case TaskStatus::TimedOut: ++s.timedOut; break;
+              case TaskStatus::Cancelled: ++s.cancelled; break;
+            }
+            if (r.attempts > 1)
+                s.retries += r.attempts - 1;
+        }
+        return s;
+    }
+};
+
 /**
  * Owns a ThreadPool and maps index ranges over it.
  *
  * jobs == 0 runs every task inline (the serial reference path);
- * jobs == 1 is serial on one worker thread. Exceptions thrown by a
- * task are rethrown from map() once all submitted tasks finished.
+ * jobs == 1 is serial on one worker thread.
  */
 class ParallelRunner
 {
@@ -42,8 +240,52 @@ class ParallelRunner
     unsigned jobs() const { return pool.threadCount(); }
 
     /**
+     * Evaluate fn(ctx) for ctx.index = 0 .. count - 1 concurrently
+     * under @p policy and return results + reports in index order.
+     * Never throws for task failures — consult the reports.
+     */
+    template <typename Fn>
+    auto
+    mapReported(std::size_t count, Fn fn,
+                const RunnerPolicy &policy = RunnerPolicy{})
+        -> MapOutcome<std::invoke_result_t<Fn &, TaskContext &>>
+    {
+        using Result = std::invoke_result_t<Fn &, TaskContext &>;
+        static_assert(!std::is_void_v<Result>,
+                      "mapReported requires value-returning tasks");
+
+        MapOutcome<Result> outcome;
+        outcome.results.resize(count);
+        outcome.reports.resize(count);
+
+        std::unique_ptr<TaskWatchdog> watchdog;
+        if (policy.deadline.count() > 0)
+            watchdog = std::make_unique<TaskWatchdog>(policy.deadline);
+        std::atomic<bool> fatal{false};
+
+        std::vector<std::future<void>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            futures.push_back(pool.submit([&, i] {
+                runTask(i, fn, policy, watchdog.get(), fatal,
+                        outcome.results[i], outcome.reports[i]);
+            }));
+        }
+
+        // Drain *every* future before returning: queued tasks
+        // reference fn and the outcome vectors, which must outlive
+        // them. Task exceptions never escape runTask.
+        for (auto &future : futures)
+            future.get();
+        return outcome;
+    }
+
+    /**
      * Evaluate fn(0) .. fn(count - 1) concurrently and return the
-     * results in index order.
+     * results in index order. Tasks always run to completion (no
+     * cancellation, no retry); if any fail, every error is retained
+     * in the rethrown ConfsimError — the message reports how many of
+     * the tasks failed and each task's error chain.
      */
     template <typename Fn>
     auto
@@ -51,30 +293,118 @@ class ParallelRunner
         -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
     {
         using Result = std::invoke_result_t<Fn &, std::size_t>;
-        std::vector<std::future<Result>> futures;
-        futures.reserve(count);
-        for (std::size_t i = 0; i < count; ++i)
-            futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+        auto outcome = mapReported(
+                count,
+                [&fn](TaskContext &ctx) { return fn(ctx.index); });
+        if (!outcome.ok())
+            throw mapFailure(outcome.reports);
 
-        // Drain *every* future before rethrowing: queued tasks
-        // reference fn, which must outlive them.
         std::vector<Result> results;
         results.reserve(count);
-        std::exception_ptr first_error;
-        for (auto &future : futures) {
-            try {
-                results.push_back(future.get());
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-        if (first_error)
-            std::rethrow_exception(first_error);
+        for (auto &r : outcome.results)
+            results.push_back(std::move(*r));
         return results;
     }
 
+    /** Aggregate failed reports into one throwable ConfsimError whose
+     *  message counts the failures and whose context chain carries
+     *  every failed task's errors. */
+    static ConfsimError mapFailure(const std::vector<TaskReport> &reports);
+
+    /** Capped exponential backoff + deterministic xoshiro jitter:
+     *  a pure function of (policy, task index, attempt). */
+    static std::chrono::milliseconds
+    backoffDelay(const RunnerPolicy &policy, std::size_t index,
+                 unsigned attempt);
+
   private:
+    template <typename Fn, typename Result>
+    void
+    runTask(std::size_t index, Fn &fn, const RunnerPolicy &policy,
+            TaskWatchdog *watchdog, std::atomic<bool> &fatal,
+            std::optional<Result> &result, TaskReport &report)
+    {
+        report.index = index;
+        const auto start = std::chrono::steady_clock::now();
+        auto recordWall = [&] {
+            report.wallMs =
+                std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        };
+
+        for (unsigned attempt = 1; attempt <= policy.maxAttempts;
+             ++attempt) {
+            if (policy.cancelOnFatal
+                && fatal.load(std::memory_order_acquire)) {
+                report.status = TaskStatus::Cancelled;
+                report.errors.push_back(
+                        "[cancelled] abandoned after a fatal error "
+                        "elsewhere");
+                recordWall();
+                return;
+            }
+
+            report.attempts = attempt;
+            CancelToken token;
+            TaskContext ctx{index, attempt, token};
+            bool expired = false;
+            try {
+                if (watchdog != nullptr)
+                    watchdog->watch(index, &token);
+                applyTaskFault(ctx);
+                Result value = fn(ctx);
+                if (watchdog != nullptr)
+                    expired = watchdog->unwatch(index);
+                if (expired) {
+                    timeoutReport(report, policy, fatal);
+                    recordWall();
+                    return;
+                }
+                result.emplace(std::move(value));
+                report.status = TaskStatus::Ok;
+                recordWall();
+                return;
+            } catch (...) {
+                if (watchdog != nullptr)
+                    expired = watchdog->unwatch(index);
+                const bool transient =
+                    describeFailure(std::current_exception(),
+                                    report.errors);
+                if (expired) {
+                    timeoutReport(report, policy, fatal);
+                    recordWall();
+                    return;
+                }
+                if (transient && attempt < policy.maxAttempts) {
+                    token.waitFor(backoffDelay(policy, index,
+                                               attempt));
+                    continue;
+                }
+                report.status = TaskStatus::Failed;
+                if (policy.cancelOnFatal)
+                    fatal.store(true, std::memory_order_release);
+                recordWall();
+                return;
+            }
+        }
+    }
+
+    /** Run any injected fault for this attempt (see FaultPlan). */
+    static void applyTaskFault(TaskContext &ctx);
+
+    /** Record a watchdog expiry in @p report and escalate. */
+    static void timeoutReport(TaskReport &report,
+                              const RunnerPolicy &policy,
+                              std::atomic<bool> &fatal);
+
+    /**
+     * Append a description of the in-flight exception to @p errors.
+     * @return true when the failure is classified transient.
+     */
+    static bool describeFailure(std::exception_ptr error,
+                                std::vector<std::string> &errors);
+
     ThreadPool pool;
 };
 

@@ -1,8 +1,11 @@
 #include "harness/sweep.hh"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
 #include "confidence/boosting.hh"
 #include "confidence/cir.hh"
@@ -13,6 +16,7 @@
 #include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/sweep_journal.hh"
 #include "sweep/batch_replayer.hh"
 
 namespace confsim
@@ -197,27 +201,110 @@ resolveWorkloads(const SweepGrid &grid)
     return specs;
 }
 
+/** Journal payload of one shard: array of per-config results. */
+std::string
+shardPayload(const std::vector<SweepConfigResult> &results)
+{
+    JsonValue arr = JsonValue::array();
+    for (const SweepConfigResult &c : results)
+        arr.push(sweepConfigResultToJson(c));
+    return arr.dump();
+}
+
+/** Inverse of shardPayload(); nullopt on any mismatch. */
+std::optional<std::vector<SweepConfigResult>>
+parseShardPayload(const std::string &payload)
+{
+    std::string error;
+    const JsonValue arr = JsonValue::parse(payload, &error);
+    if (!error.empty() || !arr.isArray())
+        return std::nullopt;
+    std::vector<SweepConfigResult> results;
+    for (const JsonValue &e : arr.elements()) {
+        SweepConfigResult c;
+        if (!sweepConfigResultFromJson(e, c))
+            return std::nullopt;
+        results.push_back(std::move(c));
+    }
+    return results;
+}
+
 } // anonymous namespace
 
 SweepResult
 runSweepGrid(const SweepGrid &grid, unsigned jobs)
+{
+    SweepExecOptions options;
+    options.jobs = jobs;
+    return runSweepGrid(grid, options);
+}
+
+std::uint64_t
+sweepGridKey(const SweepGrid &grid)
+{
+    return xxhash64(sweepGridToJson(grid).dump());
+}
+
+SweepResult
+runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
+             SweepExecReport *report)
 {
     const std::vector<WorkloadSpec> specs = resolveWorkloads(grid);
     const std::size_t configs = grid.estimators.size();
     const std::size_t shard = std::max<std::size_t>(grid.shardSize, 1);
     const std::size_t shards = configs == 0
         ? 0 : (configs + shard - 1) / shard;
+    const std::size_t tasks = specs.size() * shards;
 
-    // Task t = (workload index, shard index); map() keeps submission
-    // order, so the merge below is identical for any job count.
-    ParallelRunner runner(jobs);
-    auto parts = runner.map(specs.size() * shards, [&](std::size_t t) {
-        const std::size_t wi = t / shards;
-        const std::size_t si = t % shards;
-        const std::size_t first = si * shard;
-        return runShard(grid, specs[wi], first,
-                        std::min(shard, configs - first));
-    });
+    std::unique_ptr<SweepJournal> journal;
+    if (!options.journalPath.empty())
+        journal = std::make_unique<SweepJournal>(options.journalPath,
+                                                 sweepGridKey(grid));
+
+    // Task t = (workload index wi = t / shards, shard index
+    // si = t % shards) — grid-determined and jobs-independent, so a
+    // journal written under one job count resumes under any other,
+    // and the in-order merge below is identical for any job count.
+    std::vector<std::optional<std::vector<SweepConfigResult>>>
+        parts(tasks);
+    std::vector<std::size_t> pending;
+    for (std::size_t t = 0; t < tasks; ++t) {
+        std::string payload;
+        if (journal && journal->lookup(t, payload)) {
+            if (auto parsed = parseShardPayload(payload)) {
+                parts[t] = std::move(*parsed);
+                continue;
+            }
+        }
+        pending.push_back(t);
+    }
+
+    ParallelRunner runner(options.jobs);
+    auto outcome = runner.mapReported(
+            pending.size(),
+            [&](TaskContext &ctx) {
+                const std::size_t t = pending[ctx.index];
+                const std::size_t wi = t / shards;
+                const std::size_t first = (t % shards) * shard;
+                auto results =
+                    runShard(grid, specs[wi], first,
+                             std::min(shard, configs - first));
+                // Checkpoint before returning: a later fatal task (or
+                // a kill) must not lose this completed shard.
+                if (journal)
+                    journal->append(t, shardPayload(results));
+                return results;
+            },
+            options.policy);
+
+    if (report) {
+        report->runner = outcome.summary();
+        report->resumedShards = tasks - pending.size();
+    }
+    if (!outcome.ok())
+        throw ParallelRunner::mapFailure(outcome.reports);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        parts[pending[i]] = std::move(*outcome.results[i]);
 
     SweepResult result;
     result.grid = grid;
@@ -227,7 +314,7 @@ runSweepGrid(const SweepGrid &grid, unsigned jobs)
         wl.pipe = cachedDecodedRun(grid.kind, specs[wi], grid.workload,
                                    grid.pipeline)->pipe;
         for (std::size_t si = 0; si < shards; ++si) {
-            auto &part = parts[wi * shards + si];
+            auto &part = *parts[wi * shards + si];
             for (auto &config : part)
                 wl.configs.push_back(std::move(config));
         }
@@ -250,7 +337,127 @@ quadrantsToJson(const QuadrantCounts &q)
     return v;
 }
 
+bool
+quadrantsFromJson(const JsonValue *v, QuadrantCounts &q)
+{
+    if (v == nullptr || !v->isObject())
+        return false;
+    for (const char *key : {"chc", "ihc", "clc", "ilc"}) {
+        const JsonValue *field = v->find(key);
+        if (field == nullptr
+            || (field->kind() != JsonValue::Kind::Uint
+                && field->kind() != JsonValue::Kind::Int))
+            return false;
+    }
+    q.chc = v->find("chc")->asUint();
+    q.ihc = v->find("ihc")->asUint();
+    q.clc = v->find("clc")->asUint();
+    q.ilc = v->find("ilc")->asUint();
+    return true;
+}
+
+const JsonValue *
+uintMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr
+        || (v->kind() != JsonValue::Kind::Uint
+            && v->kind() != JsonValue::Kind::Int))
+        return nullptr;
+    return v;
+}
+
 } // anonymous namespace
+
+JsonValue
+sweepConfigResultToJson(const SweepConfigResult &c)
+{
+    JsonValue e = JsonValue::object();
+    e["label"] = JsonValue(c.label);
+    e["estimator"] = JsonValue(c.estimator);
+    JsonValue quads = JsonValue::object();
+    quads["committed"] = quadrantsToJson(c.committed);
+    quads["all"] = quadrantsToJson(c.all);
+    e["quadrants"] = quads;
+    JsonValue stats = JsonValue::object();
+    stats["estimates"] = JsonValue(std::uint64_t{c.stats.estimates});
+    stats["low_estimates"] =
+        JsonValue(std::uint64_t{c.stats.lowEstimates});
+    stats["updates"] = JsonValue(std::uint64_t{c.stats.updates});
+    e["stats"] = stats;
+    if (c.hasLevels) {
+        JsonValue thresholds = JsonValue::array();
+        for (const SweepThresholdResult &t : c.thresholds) {
+            JsonValue tv = JsonValue::object();
+            tv["threshold"] = JsonValue(std::uint64_t{t.threshold});
+            tv["committed"] = quadrantsToJson(t.committed);
+            thresholds.push(tv);
+        }
+        e["thresholds"] = thresholds;
+    }
+    return e;
+}
+
+bool
+sweepConfigResultFromJson(const JsonValue &v, SweepConfigResult &c,
+                          std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("expected a JSON object");
+    const JsonValue *label = v.find("label");
+    const JsonValue *estimator = v.find("estimator");
+    if (label == nullptr || !label->isString()
+        || estimator == nullptr || !estimator->isString())
+        return fail("missing label/estimator");
+    c.label = label->asString();
+    c.estimator = estimator->asString();
+
+    const JsonValue *quads = v.find("quadrants");
+    if (quads == nullptr || !quads->isObject()
+        || !quadrantsFromJson(quads->find("committed"), c.committed)
+        || !quadrantsFromJson(quads->find("all"), c.all))
+        return fail("bad quadrants");
+
+    const JsonValue *stats = v.find("stats");
+    if (stats == nullptr || !stats->isObject())
+        return fail("missing stats");
+    const JsonValue *estimates = uintMember(*stats, "estimates");
+    const JsonValue *lowEstimates =
+        uintMember(*stats, "low_estimates");
+    const JsonValue *updates = uintMember(*stats, "updates");
+    if (estimates == nullptr || lowEstimates == nullptr
+        || updates == nullptr)
+        return fail("bad stats");
+    c.stats.estimates = estimates->asUint();
+    c.stats.lowEstimates = lowEstimates->asUint();
+    c.stats.updates = updates->asUint();
+
+    c.hasLevels = v.contains("thresholds");
+    c.thresholds.clear();
+    if (c.hasLevels) {
+        const JsonValue *thresholds = v.find("thresholds");
+        if (!thresholds->isArray())
+            return fail("bad thresholds");
+        for (const JsonValue &tv : thresholds->elements()) {
+            if (!tv.isObject())
+                return fail("bad thresholds");
+            const JsonValue *threshold = uintMember(tv, "threshold");
+            SweepThresholdResult t;
+            if (threshold == nullptr
+                || !quadrantsFromJson(tv.find("committed"),
+                                      t.committed))
+                return fail("bad thresholds");
+            t.threshold = static_cast<unsigned>(threshold->asUint());
+            c.thresholds.push_back(t);
+        }
+    }
+    return true;
+}
 
 bool
 sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
@@ -419,34 +626,8 @@ sweepResultToJson(const SweepResult &result)
         JsonValue w = JsonValue::object();
         w["workload"] = JsonValue(wl.workload);
         JsonValue configs = JsonValue::array();
-        for (const SweepConfigResult &c : wl.configs) {
-            JsonValue e = JsonValue::object();
-            e["label"] = JsonValue(c.label);
-            e["estimator"] = JsonValue(c.estimator);
-            JsonValue quads = JsonValue::object();
-            quads["committed"] = quadrantsToJson(c.committed);
-            quads["all"] = quadrantsToJson(c.all);
-            e["quadrants"] = quads;
-            JsonValue stats = JsonValue::object();
-            stats["estimates"] =
-                JsonValue(std::uint64_t{c.stats.estimates});
-            stats["low_estimates"] =
-                JsonValue(std::uint64_t{c.stats.lowEstimates});
-            stats["updates"] = JsonValue(std::uint64_t{c.stats.updates});
-            e["stats"] = stats;
-            if (c.hasLevels) {
-                JsonValue thresholds = JsonValue::array();
-                for (const SweepThresholdResult &t : c.thresholds) {
-                    JsonValue tv = JsonValue::object();
-                    tv["threshold"] =
-                        JsonValue(std::uint64_t{t.threshold});
-                    tv["committed"] = quadrantsToJson(t.committed);
-                    thresholds.push(tv);
-                }
-                e["thresholds"] = thresholds;
-            }
-            configs.push(e);
-        }
+        for (const SweepConfigResult &c : wl.configs)
+            configs.push(sweepConfigResultToJson(c));
         w["configs"] = configs;
         workloads.push(w);
     }

@@ -27,6 +27,7 @@
 #include "confidence/jrs.hh"
 #include "confidence/static_profile.hh"
 #include "harness/level_sweep.hh"
+#include "harness/parallel_runner.hh"
 #include "metrics/quadrant.hh"
 #include "pipeline/pipeline.hh"
 #include "workloads/workload.hh"
@@ -117,6 +118,28 @@ struct SweepResult
     std::vector<SweepWorkloadResult> workloads;
 };
 
+/** Execution knobs of one runSweepGrid() call. */
+struct SweepExecOptions
+{
+    /** Worker threads (0 = inline/serial). */
+    unsigned jobs = ThreadPool::hardwareConcurrency();
+    /**
+     * Checkpoint journal file; empty disables checkpointing. Each
+     * completed shard is journaled, and a rerun of the same grid
+     * resumes from the journal with byte-identical final output.
+     */
+    std::string journalPath;
+    /** Retry/deadline policy applied to the shard tasks. */
+    RunnerPolicy policy;
+};
+
+/** What one runSweepGrid() call did (observability, not results). */
+struct SweepExecReport
+{
+    RunnerSummary runner;
+    std::uint64_t resumedShards = 0; ///< shards loaded from journal
+};
+
 /**
  * Run the grid: decode each (predictor, workload) trace once (cached),
  * shard the configurations, and batch-replay each shard. Tasks fan out
@@ -128,6 +151,21 @@ struct SweepResult
 SweepResult
 runSweepGrid(const SweepGrid &grid,
              unsigned jobs = ThreadPool::hardwareConcurrency());
+
+/**
+ * As above, with checkpointing and a task policy. Shard task indices
+ * are grid-determined (workload-major), so a journal written under
+ * any job count resumes under any other.
+ * @throws ConfsimError{TaskFailed} carrying every failed task's
+ *         report when any shard fails; completed shards are already
+ *         journaled, so a rerun only recomputes the failures.
+ */
+SweepResult
+runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
+             SweepExecReport *report = nullptr);
+
+/** Stable identity of a grid (binds journals to their grid). */
+std::uint64_t sweepGridKey(const SweepGrid &grid);
 
 /**
  * Parse a grid from JSON. Strict: unknown keys, type mismatches,
@@ -142,6 +180,15 @@ JsonValue sweepGridToJson(const SweepGrid &grid);
 /** The full result document (grid echo, per-workload per-config
  *  quadrants/stats/threshold sweeps, cross-workload aggregates). */
 JsonValue sweepResultToJson(const SweepResult &result);
+
+/** One configuration's results as JSON (the per-config object of
+ *  sweepResultToJson; also the journal's shard payload element). */
+JsonValue sweepConfigResultToJson(const SweepConfigResult &c);
+
+/** Inverse of sweepConfigResultToJson (strict). */
+bool sweepConfigResultFromJson(const JsonValue &v,
+                               SweepConfigResult &c,
+                               std::string *error = nullptr);
 
 } // namespace confsim
 

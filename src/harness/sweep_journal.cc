@@ -1,0 +1,196 @@
+#include "harness/sweep_journal.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/checksum.hh"
+#include "common/confsim_error.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+constexpr char JOURNAL_MAGIC[4] = {'C', 'S', 'W', 'J'};
+constexpr char ENTRY_MAGIC[4] = {'C', 'S', 'J', 'E'};
+constexpr std::uint32_t JOURNAL_VERSION = 1;
+// magic + version + grid key
+constexpr std::size_t FILE_HEADER_SIZE = 4 + 4 + 8;
+// magic + task + len + checksum
+constexpr std::size_t ENTRY_HEADER_SIZE = 4 + 8 + 8 + 8;
+
+void
+appendLe32(std::string &outStr, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        outStr.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendLe64(std::string &outStr, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        outStr.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+readLe32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint64_t
+readLe64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::string
+fileHeader(std::uint64_t gridKey)
+{
+    std::string h;
+    h.append(JOURNAL_MAGIC, sizeof(JOURNAL_MAGIC));
+    appendLe32(h, JOURNAL_VERSION);
+    appendLe64(h, gridKey);
+    return h;
+}
+
+std::string
+frameEntry(std::uint64_t task, std::string_view payload)
+{
+    std::string e;
+    e.reserve(ENTRY_HEADER_SIZE + payload.size());
+    e.append(ENTRY_MAGIC, sizeof(ENTRY_MAGIC));
+    appendLe64(e, task);
+    appendLe64(e, payload.size());
+    appendLe64(e, xxhash64(payload));
+    e.append(payload);
+    return e;
+}
+
+} // anonymous namespace
+
+SweepJournal::SweepJournal(std::string path, std::uint64_t gridKey)
+    : filePath(std::move(path))
+{
+    recover(gridKey);
+
+    // Reopen for appending; recover() left the file a valid prefix.
+    out.open(filePath, std::ios::binary | std::ios::app);
+    if (!out)
+        throw ConfsimError(ErrorCode::Io,
+                           "cannot open sweep journal '" + filePath
+                               + "' for appending");
+}
+
+void
+SweepJournal::recover(std::uint64_t gridKey)
+{
+    std::string data;
+    {
+        std::ifstream in(filePath, std::ios::binary);
+        if (in)
+            data.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+    }
+
+    bool rewrite = false;
+    std::size_t valid = 0;
+    if (data.size() < FILE_HEADER_SIZE
+        || std::memcmp(data.data(), JOURNAL_MAGIC,
+                       sizeof(JOURNAL_MAGIC)) != 0
+        || readLe32(data.data() + 4) != JOURNAL_VERSION
+        || readLe64(data.data() + 8) != gridKey) {
+        // Missing, foreign, or mangled header: start a fresh journal.
+        data.clear();
+        rewrite = true;
+    } else {
+        valid = FILE_HEADER_SIZE;
+        while (valid + ENTRY_HEADER_SIZE <= data.size()) {
+            const char *p = data.data() + valid;
+            if (std::memcmp(p, ENTRY_MAGIC, sizeof(ENTRY_MAGIC)) != 0)
+                break;
+            const std::uint64_t task = readLe64(p + 4);
+            const std::uint64_t len = readLe64(p + 12);
+            const std::uint64_t checksum = readLe64(p + 20);
+            if (valid + ENTRY_HEADER_SIZE + len > data.size())
+                break; // torn tail from a mid-write kill
+            std::string payload =
+                data.substr(valid + ENTRY_HEADER_SIZE,
+                            static_cast<std::size_t>(len));
+            if (xxhash64(payload) != checksum)
+                break;
+            entries[task] = std::move(payload);
+            valid += ENTRY_HEADER_SIZE
+                     + static_cast<std::size_t>(len);
+        }
+        if (valid < data.size()) {
+            data.resize(valid);
+            rewrite = true;
+        }
+    }
+    recoveredCount = entries.size();
+
+    if (rewrite) {
+        const std::string tmp = filePath + ".tmp";
+        std::ofstream fresh(tmp, std::ios::binary | std::ios::trunc);
+        if (!fresh)
+            throw ConfsimError(ErrorCode::Io,
+                               "cannot rewrite sweep journal '"
+                                   + filePath + "'");
+        const std::string contents =
+            data.empty() ? fileHeader(gridKey) : data;
+        fresh.write(contents.data(),
+                    static_cast<std::streamsize>(contents.size()));
+        fresh.flush();
+        if (!fresh.good())
+            throw ConfsimError(ErrorCode::Io,
+                               "short write rewriting sweep journal '"
+                                   + filePath + "'");
+        fresh.close();
+        std::error_code ec;
+        std::filesystem::rename(tmp, filePath, ec);
+        if (ec)
+            throw ConfsimError(ErrorCode::Io,
+                               "cannot rename sweep journal '" + tmp
+                                   + "' into place: " + ec.message());
+    }
+}
+
+bool
+SweepJournal::lookup(std::uint64_t task, std::string &payload) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = entries.find(task);
+    if (it == entries.end())
+        return false;
+    payload = it->second;
+    return true;
+}
+
+bool
+SweepJournal::append(std::uint64_t task, std::string_view payload)
+{
+    const std::string framed = frameEntry(task, payload);
+    std::lock_guard<std::mutex> lock(mtx);
+    out.write(framed.data(),
+              static_cast<std::streamsize>(framed.size()));
+    out.flush();
+    if (!out.good()) {
+        out.clear();
+        return false;
+    }
+    entries[task] = std::string(payload);
+    return true;
+}
+
+} // namespace confsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Append-only checkpoint journal for resumable sweeps.
+ *
+ * One journal file records the completed shards of one sweep grid:
+ * a fixed header binds the file to the grid (so a stale journal from
+ * a different grid is discarded, not misapplied), then one framed,
+ * checksummed entry per completed task. A process killed mid-sweep
+ * leaves a valid prefix — load() truncates any torn trailing entry —
+ * and the next run of the same grid replays journaled shards instead
+ * of recomputing them, producing byte-identical final output.
+ *
+ * File layout:
+ *   magic    "CSWJ"
+ *   version  u32 LE
+ *   grid key u64 LE     xxhash64 of the grid's canonical JSON
+ * then per entry:
+ *   magic    "CSJE"
+ *   task     u64 LE     grid-determined task index (jobs-independent)
+ *   len      u64 LE     payload length
+ *   checksum u64 LE     xxhash64(payload)
+ *   payload  bytes      shard results as JSON
+ *
+ * Duplicate task entries are legal (last one wins); an entry whose
+ * checksum fails ends the valid prefix.
+ */
+
+#ifndef CONFSIM_HARNESS_SWEEP_JOURNAL_HH
+#define CONFSIM_HARNESS_SWEEP_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace confsim
+{
+
+/**
+ * One on-disk checkpoint journal. Thread-safe: append() may be called
+ * from concurrent runner tasks.
+ */
+class SweepJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for the grid identified
+     * by @p gridKey. An existing journal with a different key, a bad
+     * header, or a torn tail is truncated to its longest valid prefix
+     * (possibly empty) before appending resumes.
+     * @throws ConfsimError{Io} when the file cannot be created.
+     */
+    SweepJournal(std::string path, std::uint64_t gridKey);
+
+    /** Journal file path. */
+    const std::string &path() const { return filePath; }
+
+    /** Completed task count recovered from disk at open. */
+    std::size_t recovered() const { return recoveredCount; }
+
+    /**
+     * Fetch the journaled payload of @p task into @p payload.
+     * @return true when the task has a valid journal entry.
+     */
+    bool lookup(std::uint64_t task, std::string &payload) const;
+
+    /**
+     * Append a completed-task entry and flush it to disk. A failed
+     * append is non-fatal (the shard is simply recomputed next run)
+     * but the entry is dropped from the in-memory view too, so
+     * lookup() never claims more than the file holds.
+     * @return true when the entry reached the file.
+     */
+    bool append(std::uint64_t task, std::string_view payload);
+
+  private:
+    void recover(std::uint64_t gridKey);
+
+    std::string filePath;
+    mutable std::mutex mtx;
+    std::map<std::uint64_t, std::string> entries;
+    std::ofstream out;
+    std::size_t recoveredCount = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SWEEP_JOURNAL_HH

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injection.hh"
 #include "trace/trace_writer.hh"
 
 namespace confsim
@@ -213,6 +214,9 @@ readTraceFile(const std::string &path, std::string &data,
             *error = "read error on '" + path + "'";
         return false;
     }
+    // Models silent media corruption between write and read; the
+    // decoder downstream must reject the damage, not crash on it.
+    FaultInjector::instance().onTraceFileRead(data);
     return true;
 }
 

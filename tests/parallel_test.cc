@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
@@ -102,7 +106,7 @@ TEST(ParallelRunnerTest, ResultsInSubmissionOrder)
     }
 }
 
-TEST(ParallelRunnerTest, FirstExceptionRethrownAfterDrain)
+TEST(ParallelRunnerTest, ExceptionRethrownAfterDrain)
 {
     ParallelRunner runner(4);
     std::atomic<int> completed{0};
@@ -116,6 +120,176 @@ TEST(ParallelRunnerTest, FirstExceptionRethrownAfterDrain)
                  std::runtime_error);
     // Every non-throwing task still ran to completion.
     EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ParallelRunnerTest, EveryTaskErrorRetainedInAggregate)
+{
+    ParallelRunner runner(4);
+    try {
+        runner.map(10, [](std::size_t i) -> int {
+            if (i % 3 == 0) // tasks 0, 3, 6, 9
+                throw std::runtime_error(
+                        "boom " + std::to_string(i));
+            return 0;
+        });
+        FAIL() << "map() must throw when tasks fail";
+    } catch (const ConfsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TaskFailed);
+        EXPECT_EQ(e.message(), "4 of 10 tasks failed");
+        ASSERT_EQ(e.context().size(), 4u);
+        const std::string what = e.what();
+        for (const std::size_t i : {0u, 3u, 6u, 9u}) {
+            EXPECT_NE(what.find("boom " + std::to_string(i)),
+                      std::string::npos)
+                    << "error of task " << i << " lost: " << what;
+        }
+    }
+}
+
+TEST(ParallelRunnerTest, TransientFailuresRetriedToSuccess)
+{
+    ParallelRunner runner(0);
+    RunnerPolicy policy;
+    policy.maxAttempts = 3;
+    policy.backoffBase = std::chrono::milliseconds(0);
+
+    const auto outcome = runner.mapReported(
+            3,
+            [](TaskContext &ctx) -> int {
+                if (ctx.index == 1 && ctx.attempt < 3)
+                    throw ConfsimError(ErrorCode::Transient,
+                                       "flaky dependency");
+                return static_cast<int>(ctx.index);
+            },
+            policy);
+
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(*outcome.results[1], 1);
+    EXPECT_EQ(outcome.reports[1].attempts, 3u);
+    EXPECT_EQ(outcome.reports[1].errors.size(), 2u);
+    const RunnerSummary summary = outcome.summary();
+    EXPECT_EQ(summary.succeeded, 3u);
+    EXPECT_EQ(summary.retries, 2u);
+}
+
+TEST(ParallelRunnerTest, NonTransientFailureIsNotRetried)
+{
+    ParallelRunner runner(0);
+    RunnerPolicy policy;
+    policy.maxAttempts = 5;
+    policy.backoffBase = std::chrono::milliseconds(0);
+
+    const auto outcome = runner.mapReported(
+            1,
+            [](TaskContext &) -> int {
+                throw ConfsimError(ErrorCode::Io, "disk gone");
+            },
+            policy);
+
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.reports[0].status, TaskStatus::Failed);
+    EXPECT_EQ(outcome.reports[0].attempts, 1u);
+    EXPECT_FALSE(outcome.results[0].has_value());
+}
+
+TEST(ParallelRunnerTest, TransientRetryViaFaultPlan)
+{
+    // Serial execution (jobs = 0) makes attempt ordinals
+    // deterministic: task 0 is ordinal 1; task 1 is ordinals 2 and 3
+    // (the injected transient window) and succeeds on ordinal 4.
+    FaultPlan plan;
+    plan.transientTask = 2;
+    plan.transientCount = 2;
+    ScopedFaultPlan scoped(plan);
+
+    ParallelRunner runner(0);
+    RunnerPolicy policy;
+    policy.maxAttempts = 3;
+    policy.backoffBase = std::chrono::milliseconds(0);
+    const auto outcome = runner.mapReported(
+            3, [](TaskContext &ctx) { return ctx.index; }, policy);
+
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.reports[1].attempts, 3u);
+    EXPECT_EQ(outcome.summary().retries, 2u);
+}
+
+TEST(ParallelRunnerTest, FatalFailureCancelsQueuedTasks)
+{
+    // One worker runs tasks in submission order, so every task after
+    // the injected fatal one is still queued when the flag trips.
+    FaultPlan plan;
+    plan.failTask = 3;
+    ScopedFaultPlan scoped(plan);
+
+    ParallelRunner runner(1);
+    RunnerPolicy policy;
+    policy.cancelOnFatal = true;
+    const auto outcome = runner.mapReported(
+            8, [](TaskContext &ctx) { return ctx.index; }, policy);
+
+    EXPECT_FALSE(outcome.ok());
+    const TaskReport &failed = outcome.reports[2];
+    EXPECT_EQ(failed.status, TaskStatus::Failed);
+    EXPECT_EQ(failed.attempts, 1u);
+    EXPECT_GE(failed.wallMs, 0.0);
+    ASSERT_EQ(failed.errors.size(), 1u);
+    EXPECT_NE(failed.errors[0].find("injected fatal task fault"),
+              std::string::npos);
+
+    const RunnerSummary summary = outcome.summary();
+    EXPECT_EQ(summary.succeeded, 2u);
+    EXPECT_EQ(summary.failed, 1u);
+    EXPECT_EQ(summary.cancelled, 5u);
+    for (const std::size_t i : {3u, 4u, 5u, 6u, 7u}) {
+        EXPECT_EQ(outcome.reports[i].status, TaskStatus::Cancelled);
+        EXPECT_FALSE(outcome.results[i].has_value());
+    }
+}
+
+TEST(ParallelRunnerTest, WatchdogCancelsStalledTask)
+{
+    // The injected stall blocks on the task's cancel token, so any
+    // deadline works and the test never sleeps longer than the
+    // watchdog takes to fire — deterministic, not timing-tuned.
+    FaultPlan plan;
+    plan.stallTask = 2;
+    ScopedFaultPlan scoped(plan);
+
+    ParallelRunner runner(1);
+    RunnerPolicy policy;
+    policy.deadline = std::chrono::milliseconds(5);
+    const auto outcome = runner.mapReported(
+            3, [](TaskContext &ctx) { return ctx.index; }, policy);
+
+    EXPECT_FALSE(outcome.ok());
+    const TaskReport &stalled = outcome.reports[1];
+    EXPECT_EQ(stalled.status, TaskStatus::TimedOut);
+    ASSERT_GE(stalled.errors.size(), 1u);
+    EXPECT_NE(stalled.errors.back().find("[timeout]"),
+              std::string::npos);
+    EXPECT_FALSE(outcome.results[1].has_value());
+    EXPECT_TRUE(outcome.reports[0].ok());
+    EXPECT_TRUE(outcome.reports[2].ok());
+    EXPECT_EQ(outcome.summary().timedOut, 1u);
+}
+
+TEST(ParallelRunnerTest, BackoffIsDeterministicAndCapped)
+{
+    RunnerPolicy policy;
+    policy.backoffBase = std::chrono::milliseconds(2);
+    policy.backoffCap = std::chrono::milliseconds(8);
+    // Jitter is a pure function of (seed, index, attempt): two tasks
+    // with the same coordinates back off identically, and the total
+    // delay never exceeds cap + jitter <= 2 * cap.
+    for (unsigned attempt = 1; attempt <= 10; ++attempt) {
+        const auto a =
+            ParallelRunner::backoffDelay(policy, 7, attempt);
+        const auto b =
+            ParallelRunner::backoffDelay(policy, 7, attempt);
+        EXPECT_EQ(a, b);
+        EXPECT_LE(a, 2 * policy.backoffCap);
+    }
 }
 
 TEST(ParallelRunnerTest, EmptyMapIsFine)
@@ -183,6 +357,42 @@ TEST_F(ExperimentCacheTest, ConcurrentMissesBuildOnce)
     for (const auto &p : progs)
         EXPECT_EQ(p.get(), progs[0].get());
     EXPECT_EQ(experimentCacheStats().programMisses, 1u);
+}
+
+TEST_F(ExperimentCacheTest, ClearRacesConcurrentDecodedMisses)
+{
+    // clearExperimentCaches() while worker threads drive
+    // cachedDecodedRun() misses: every returned run must be complete
+    // and usable, and the suite's TSan job must stay clean. Distinct
+    // seeds force real misses on both sides of each clear().
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    PipelineConfig pipeCfg;
+
+    std::atomic<bool> stop{false};
+    std::thread clearer([&stop] {
+        while (!stop.load(std::memory_order_acquire))
+            clearExperimentCaches();
+    });
+
+    std::vector<std::thread> readers;
+    std::atomic<int> bad{0};
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            for (int i = 0; i < 6; ++i) {
+                WorkloadConfig cfg;
+                cfg.seed = 0x5eed + t * 16 + i;
+                const auto run = cachedDecodedRun(
+                        PredictorKind::Gshare, spec, cfg, pipeCfg);
+                if (!run || run->trace.size() == 0)
+                    ++bad;
+            }
+        });
+    }
+    for (auto &r : readers)
+        r.join();
+    stop.store(true, std::memory_order_release);
+    clearer.join();
+    EXPECT_EQ(bad.load(), 0);
 }
 
 // ------------------------------------------------------------- determinism

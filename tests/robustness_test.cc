@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Tests for the fault-tolerance layer: XXH64 checksums, structured
+ * ConfsimError, fault-plan parsing, the checksummed artifact store
+ * (framing, corruption quarantine, torn writes), the sweep checkpoint
+ * journal (recovery, torn-tail truncation, foreign-grid rejection),
+ * and the artifact-backed recorded-run cache's regeneration paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/checksum.hh"
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
+#include "harness/artifact_store.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/sweep.hh"
+#include "harness/sweep_journal.hh"
+#include "workloads/workload.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- checksum
+
+TEST(ChecksumTest, KnownVectors)
+{
+    // Reference digests of the XXH64 specification (seed 0).
+    EXPECT_EQ(xxhash64("", 0), 0xef46db3751d8e999ull);
+    EXPECT_EQ(xxhash64("a", 1), 0xd24ec4f1a98c6e5bull);
+    EXPECT_EQ(xxhash64("abc", 3), 0x44bc2cf5ad770999ull);
+    const std::string long_input(
+            "Nobody inspects the spammish repetition");
+    EXPECT_EQ(xxhash64(long_input.data(), long_input.size()),
+              0xfbcea83c8a378bf1ull);
+}
+
+TEST(ChecksumTest, SeedChangesDigest)
+{
+    const std::string s = "confsim";
+    EXPECT_NE(xxhash64(s.data(), s.size(), 0),
+              xxhash64(s.data(), s.size(), 1));
+}
+
+TEST(ChecksumTest, EveryByteMatters)
+{
+    std::string s(100, '\0');
+    for (std::size_t i = 0; i < s.size(); ++i)
+        s[i] = static_cast<char>(i * 7 + 1);
+    const std::uint64_t base = xxhash64(s.data(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        std::string flipped = s;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+        EXPECT_NE(xxhash64(flipped.data(), flipped.size()), base)
+                << "flip at offset " << i << " went undetected";
+    }
+}
+
+TEST(ChecksumTest, HexDigestIsFixedWidth)
+{
+    EXPECT_EQ(hexDigest(0), "0000000000000000");
+    EXPECT_EQ(hexDigest(0xdeadbeefull), "00000000deadbeef");
+    EXPECT_EQ(hexDigest(~0ull), "ffffffffffffffff");
+}
+
+// ------------------------------------------------------------ ConfsimError
+
+TEST(ConfsimErrorTest, CarriesCodeMessageAndContext)
+{
+    ConfsimError e(ErrorCode::CorruptArtifact, "bad frame");
+    e.addContext("load recorded run").addContext("sweep shard 3");
+    EXPECT_EQ(e.code(), ErrorCode::CorruptArtifact);
+    EXPECT_EQ(e.message(), "bad frame");
+    ASSERT_EQ(e.context().size(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[corrupt-artifact]"), std::string::npos);
+    EXPECT_NE(what.find("bad frame"), std::string::npos);
+    EXPECT_NE(what.find("load recorded run"), std::string::npos);
+    EXPECT_NE(what.find("sweep shard 3"), std::string::npos);
+}
+
+TEST(ConfsimErrorTest, IsARuntimeError)
+{
+    // Pre-existing catch (const std::runtime_error &) sites keep
+    // working.
+    try {
+        throw ConfsimError(ErrorCode::Io, "disk gone");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("disk gone"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfsimErrorTest, CodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Io), "io");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Transient), "transient");
+    EXPECT_STREQ(errorCodeName(ErrorCode::TaskFailed), "task-failed");
+}
+
+// -------------------------------------------------------------- fault plan
+
+TEST(FaultPlanTest, ParsesFullSpec)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(parseFaultPlan("flip-artifact-read=2,"
+                               "truncate-artifact-write=1,"
+                               "flip-trace-read=4,fail-task=3,"
+                               "transient-task=5:2,stall-task=6",
+                               plan, &error))
+            << error;
+    EXPECT_EQ(plan.flipArtifactRead, 2u);
+    EXPECT_EQ(plan.truncateArtifactWrite, 1u);
+    EXPECT_EQ(plan.flipTraceRead, 4u);
+    EXPECT_EQ(plan.failTask, 3u);
+    EXPECT_EQ(plan.transientTask, 5u);
+    EXPECT_EQ(plan.transientCount, 2u);
+    EXPECT_EQ(plan.stallTask, 6u);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(parseFaultPlan("bogus-fault=1", plan, &error));
+    EXPECT_FALSE(parseFaultPlan("fail-task", plan, &error));
+    EXPECT_FALSE(parseFaultPlan("fail-task=x", plan, &error));
+    EXPECT_FALSE(parseFaultPlan("fail-task=", plan, &error));
+    EXPECT_FALSE(parseFaultPlan("transient-task=1:0", plan, &error));
+    EXPECT_FALSE(parseFaultPlan("fail-task=99999999999999999999999",
+                                plan, &error));
+    // Empty items (stray/trailing commas) are tolerated by design.
+    EXPECT_TRUE(parseFaultPlan("fail-task=1,,", plan, &error));
+}
+
+TEST(FaultPlanTest, HooksAreNoOpsWhenDisarmed)
+{
+    FaultInjector::instance().disarm();
+    std::string bytes = "untouched";
+    FaultInjector::instance().onArtifactRead(bytes);
+    FaultInjector::instance().onArtifactWrite(bytes);
+    FaultInjector::instance().onTraceFileRead(bytes);
+    EXPECT_EQ(bytes, "untouched");
+    EXPECT_EQ(FaultInjector::instance().onTaskAttempt(),
+              TaskFault::None);
+}
+
+// ---------------------------------------------------------- artifact store
+
+class ArtifactStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path()
+              / ("confsim-store-test-"
+                 + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(ArtifactStoreTest, StoreThenLoadRoundTrips)
+{
+    ArtifactStore store(dir.string());
+    const std::string payload("the payload\0with a nul inside", 29);
+    ASSERT_TRUE(store.store("kind", "key-1", payload));
+    std::string loaded;
+    ASSERT_TRUE(store.load("kind", "key-1", loaded));
+    EXPECT_EQ(loaded, payload);
+    const ArtifactStoreStats s = store.stats();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.corruptArtifacts, 0u);
+}
+
+TEST_F(ArtifactStoreTest, MissingArtifactIsAMiss)
+{
+    ArtifactStore store(dir.string());
+    std::string payload;
+    EXPECT_FALSE(store.load("kind", "no-such-key", payload));
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(ArtifactStoreTest, EveryCorruptByteIsQuarantinedNotTrusted)
+{
+    ArtifactStore store(dir.string());
+    ASSERT_TRUE(store.store("kind", "key", "payload-bytes"));
+    const std::string path = store.artifactPath("kind", "key");
+    std::string good;
+    {
+        std::ifstream in(path, std::ios::binary);
+        good.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+
+    for (std::size_t off = 0; off < good.size(); ++off) {
+        std::string bad = good;
+        bad[off] = static_cast<char>(bad[off] ^ 0xff);
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bad.data(),
+                      static_cast<std::streamsize>(bad.size()));
+        }
+        std::string loaded;
+        EXPECT_FALSE(store.load("kind", "key", loaded))
+                << "corrupt byte at offset " << off
+                << " loaded as valid";
+        // The bad frame was quarantined, never deleted silently while
+        // valid — and never left in place to be re-read.
+        EXPECT_FALSE(std::filesystem::exists(path));
+        std::filesystem::remove(path + ".corrupt");
+    }
+    const ArtifactStoreStats s = store.stats();
+    EXPECT_EQ(s.corruptArtifacts, good.size());
+    EXPECT_EQ(s.quarantined, good.size());
+    EXPECT_EQ(s.hits, 0u);
+}
+
+TEST_F(ArtifactStoreTest, TruncatedFrameIsAMissAtEveryLength)
+{
+    ArtifactStore store(dir.string());
+    ASSERT_TRUE(store.store("kind", "key", "some payload data"));
+    const std::string path = store.artifactPath("kind", "key");
+    std::string good;
+    {
+        std::ifstream in(path, std::ios::binary);
+        good.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(good.data(),
+                      static_cast<std::streamsize>(len));
+        }
+        std::string loaded;
+        EXPECT_FALSE(store.load("kind", "key", loaded))
+                << "truncation to " << len << " bytes loaded";
+        std::filesystem::remove(path + ".corrupt");
+    }
+}
+
+TEST_F(ArtifactStoreTest, HashCollisionDegradesToAMiss)
+{
+    // Force a "collision" by renaming one key's artifact onto
+    // another key's path: the stored full key no longer matches the
+    // requested one, so load() must miss, not return the wrong data.
+    ArtifactStore store(dir.string());
+    ASSERT_TRUE(store.store("kind", "key-a", "payload A"));
+    std::filesystem::rename(store.artifactPath("kind", "key-a"),
+                            store.artifactPath("kind", "key-b"));
+    std::string loaded;
+    EXPECT_FALSE(store.load("kind", "key-b", loaded));
+}
+
+TEST_F(ArtifactStoreTest, InjectedReadFlipIsCaught)
+{
+    ArtifactStore store(dir.string());
+    ASSERT_TRUE(store.store("kind", "key", "payload"));
+
+    FaultPlan plan;
+    plan.flipArtifactRead = 1;
+    ScopedFaultPlan scoped(plan);
+
+    std::string loaded;
+    EXPECT_FALSE(store.load("kind", "key", loaded));
+    EXPECT_EQ(store.stats().corruptArtifacts, 1u);
+
+    // The fault fired once; a rebuilt artifact loads cleanly again.
+    ASSERT_TRUE(store.store("kind", "key", "payload"));
+    ASSERT_TRUE(store.load("kind", "key", loaded));
+    EXPECT_EQ(loaded, "payload");
+}
+
+TEST_F(ArtifactStoreTest, InjectedTornWriteNeverServesHalfAFrame)
+{
+    ArtifactStore store(dir.string());
+    {
+        FaultPlan plan;
+        plan.truncateArtifactWrite = 1;
+        ScopedFaultPlan scoped(plan);
+        // The torn frame still lands on disk (the write itself
+        // succeeds) — the *next* load must reject it.
+        ASSERT_TRUE(store.store("kind", "key", "full payload"));
+    }
+    std::string loaded;
+    EXPECT_FALSE(store.load("kind", "key", loaded));
+    EXPECT_EQ(store.stats().corruptArtifacts, 1u);
+}
+
+// ------------------------------------------------ artifact-backed rebuilds
+
+class RecordedArtifactTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path()
+              / ("confsim-recorded-test-"
+                 + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+        clearExperimentCaches();
+        setGlobalArtifactStore(
+                std::make_shared<ArtifactStore>(dir.string()));
+    }
+
+    void
+    TearDown() override
+    {
+        setGlobalArtifactStore(nullptr);
+        clearExperimentCaches();
+        std::filesystem::remove_all(dir);
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(RecordedArtifactTest, SpillReloadAndCorruptionRecovery)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig wl;
+    PipelineConfig pipe;
+
+    // Cold: live simulation, spilled to disk.
+    const auto cold =
+        cachedRecordedRun(PredictorKind::Gshare, spec, wl, pipe);
+    const auto store = globalArtifactStore();
+    ASSERT_TRUE(store != nullptr);
+    EXPECT_EQ(store->stats().stores, 1u);
+
+    // Warm (fresh in-memory cache): served from the artifact,
+    // bit-identical to the live build.
+    clearExperimentCaches();
+    const auto warm =
+        cachedRecordedRun(PredictorKind::Gshare, spec, wl, pipe);
+    EXPECT_EQ(store->stats().hits, 1u);
+    EXPECT_EQ(warm->trace, cold->trace);
+    EXPECT_TRUE(warm->pipe == cold->pipe);
+    EXPECT_EQ(warm->statsSubtree.dump(), cold->statsSubtree.dump());
+    EXPECT_EQ(warm->configSubtree.dump(),
+              cold->configSubtree.dump());
+
+    // Corrupt the artifact on disk: the next build quarantines it and
+    // regenerates from live simulation with identical results.
+    std::string artifact;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".art")
+            artifact = entry.path().string();
+    }
+    ASSERT_FALSE(artifact.empty());
+    {
+        std::fstream f(artifact, std::ios::binary | std::ios::in
+                                     | std::ios::out);
+        f.seekp(10);
+        f.put(static_cast<char>(0xff));
+    }
+    clearExperimentCaches();
+    const auto regen =
+        cachedRecordedRun(PredictorKind::Gshare, spec, wl, pipe);
+    EXPECT_GE(store->stats().corruptArtifacts, 1u);
+    EXPECT_GE(store->stats().quarantined, 1u);
+    EXPECT_EQ(regen->trace, cold->trace);
+    EXPECT_TRUE(regen->pipe == cold->pipe);
+}
+
+// ------------------------------------------------------------ sweep journal
+
+class SweepJournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path()
+                / ("confsim-journal-test-"
+                   + std::to_string(::getpid())))
+                   .string();
+        std::filesystem::remove(path);
+    }
+
+    void TearDown() override { std::filesystem::remove(path); }
+
+    std::string path;
+};
+
+TEST_F(SweepJournalTest, AppendsSurviveReopen)
+{
+    {
+        SweepJournal journal(path, 0x1234);
+        EXPECT_EQ(journal.recovered(), 0u);
+        EXPECT_TRUE(journal.append(0, "shard zero"));
+        EXPECT_TRUE(journal.append(2, "shard two"));
+    }
+    SweepJournal journal(path, 0x1234);
+    EXPECT_EQ(journal.recovered(), 2u);
+    std::string payload;
+    ASSERT_TRUE(journal.lookup(0, payload));
+    EXPECT_EQ(payload, "shard zero");
+    ASSERT_TRUE(journal.lookup(2, payload));
+    EXPECT_EQ(payload, "shard two");
+    EXPECT_FALSE(journal.lookup(1, payload));
+}
+
+TEST_F(SweepJournalTest, ForeignGridKeyDiscardsJournal)
+{
+    {
+        SweepJournal journal(path, 0x1111);
+        EXPECT_TRUE(journal.append(0, "stale shard"));
+    }
+    SweepJournal journal(path, 0x2222);
+    EXPECT_EQ(journal.recovered(), 0u);
+    std::string payload;
+    EXPECT_FALSE(journal.lookup(0, payload));
+}
+
+TEST_F(SweepJournalTest, TornTailIsTruncatedAtEveryLength)
+{
+    std::string full;
+    {
+        SweepJournal journal(path, 0xabcd);
+        EXPECT_TRUE(journal.append(0, "first entry payload"));
+        EXPECT_TRUE(journal.append(1, "second entry payload"));
+    }
+    {
+        std::ifstream in(path, std::ios::binary);
+        full.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    // Chop the file anywhere: recovery keeps the longest valid entry
+    // prefix, never crashes, never serves a damaged entry.
+    for (std::size_t len = 0; len <= full.size(); ++len) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(full.data(),
+                      static_cast<std::streamsize>(len));
+        }
+        SweepJournal journal(path, 0xabcd);
+        std::string payload;
+        if (journal.lookup(0, payload)) {
+            EXPECT_EQ(payload, "first entry payload");
+        }
+        if (journal.lookup(1, payload)) {
+            EXPECT_EQ(payload, "second entry payload");
+            EXPECT_EQ(len, full.size());
+        }
+    }
+}
+
+TEST_F(SweepJournalTest, CorruptEntryEndsTheValidPrefix)
+{
+    {
+        SweepJournal journal(path, 0xabcd);
+        EXPECT_TRUE(journal.append(0, "first entry payload"));
+        EXPECT_TRUE(journal.append(1, "second entry payload"));
+    }
+    std::string full;
+    {
+        std::ifstream in(path, std::ios::binary);
+        full.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    // Flip a byte inside the *second* entry's payload.
+    full[full.size() - 3] =
+        static_cast<char>(full[full.size() - 3] ^ 0xff);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(full.data(),
+                  static_cast<std::streamsize>(full.size()));
+    }
+    SweepJournal journal(path, 0xabcd);
+    EXPECT_EQ(journal.recovered(), 1u);
+    std::string payload;
+    ASSERT_TRUE(journal.lookup(0, payload));
+    EXPECT_EQ(payload, "first entry payload");
+    EXPECT_FALSE(journal.lookup(1, payload));
+}
+
+// ------------------------------------------------- config result round trip
+
+TEST(SweepConfigResultJsonTest, RoundTripsThroughJson)
+{
+    SweepConfigResult c;
+    c.label = "jrs@15";
+    c.estimator = "jrs";
+    c.committed = {10, 20, 30, 40};
+    c.all = {11, 21, 31, 41};
+    c.stats.estimates = 100;
+    c.stats.lowEstimates = 25;
+    c.stats.updates = 99;
+    c.hasLevels = true;
+    c.thresholds.push_back({7, {1, 2, 3, 4}});
+
+    SweepConfigResult back;
+    std::string error;
+    ASSERT_TRUE(sweepConfigResultFromJson(sweepConfigResultToJson(c),
+                                          back, &error))
+            << error;
+    EXPECT_EQ(back.label, c.label);
+    EXPECT_EQ(back.estimator, c.estimator);
+    EXPECT_EQ(back.committed, c.committed);
+    EXPECT_EQ(back.all, c.all);
+    EXPECT_EQ(back.stats.estimates, c.stats.estimates);
+    EXPECT_EQ(back.stats.lowEstimates, c.stats.lowEstimates);
+    EXPECT_EQ(back.stats.updates, c.stats.updates);
+    EXPECT_TRUE(back.hasLevels);
+    ASSERT_EQ(back.thresholds.size(), 1u);
+    EXPECT_EQ(back.thresholds[0].threshold, 7u);
+    EXPECT_EQ(back.thresholds[0].committed, c.thresholds[0].committed);
+
+    // Dump equality too: the journal replays these bytes verbatim.
+    EXPECT_EQ(sweepConfigResultToJson(back).dump(),
+              sweepConfigResultToJson(c).dump());
+}
+
+TEST(SweepConfigResultJsonTest, RejectsDamage)
+{
+    SweepConfigResult c;
+    c.label = "x";
+    c.estimator = "jrs";
+    JsonValue v = sweepConfigResultToJson(c);
+    JsonValue broken = v;
+    broken["quadrants"] = JsonValue(std::string("not an object"));
+    SweepConfigResult back;
+    EXPECT_FALSE(sweepConfigResultFromJson(broken, back));
+    EXPECT_FALSE(
+            sweepConfigResultFromJson(JsonValue(std::uint64_t{1}),
+                                      back));
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -6,12 +6,17 @@
  * byte-identical JSON for any job count.
  */
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
 #include "confidence/distance.hh"
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
@@ -380,6 +385,132 @@ TEST(SweepGridTest, JsonRoundTripsAndRejectsUnknownKeys)
     bad_est["estimators"].push(unknown);
     EXPECT_FALSE(sweepGridFromJson(bad_est, parsed, &error));
     EXPECT_NE(error.find("no-such"), std::string::npos);
+}
+
+class SweepResumeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        journal = (std::filesystem::temp_directory_path()
+                   / ("confsim-sweep-resume-"
+                      + std::to_string(::getpid()) + ".journal"))
+                      .string();
+        std::filesystem::remove(journal);
+    }
+
+    void TearDown() override { std::filesystem::remove(journal); }
+
+    std::string journal;
+};
+
+TEST_F(SweepResumeTest, JournaledRunMatchesPlainRun)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string plain =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+
+    SweepExecOptions options;
+    options.jobs = 0;
+    options.journalPath = journal;
+    SweepExecReport report;
+    const std::string journaled =
+        sweepResultToJson(runSweepGrid(grid, options, &report))
+            .dump(2);
+    EXPECT_EQ(journaled, plain);
+    EXPECT_EQ(report.resumedShards, 0u);
+    EXPECT_GT(report.runner.tasks, 0u);
+
+    // Second run of the same grid: every shard replays from the
+    // journal, output stays byte-identical.
+    SweepExecReport resumed;
+    const std::string replayed =
+        sweepResultToJson(runSweepGrid(grid, options, &resumed))
+            .dump(2);
+    EXPECT_EQ(replayed, plain);
+    EXPECT_EQ(resumed.resumedShards, report.runner.tasks);
+    EXPECT_EQ(resumed.runner.tasks, 0u);
+}
+
+TEST_F(SweepResumeTest, InterruptedRunResumesByteIdentical)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string plain =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+
+    SweepExecOptions options;
+    options.jobs = 0;
+    options.journalPath = journal;
+
+    // First attempt dies on an injected fatal fault partway through
+    // the grid — the model of a crash/kill mid-sweep.
+    std::uint64_t failedTasks = 0;
+    {
+        FaultPlan plan;
+        plan.failTask = 3;
+        ScopedFaultPlan scoped(plan);
+        try {
+            runSweepGrid(grid, options);
+            FAIL() << "expected the injected fault to surface";
+        } catch (const ConfsimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::TaskFailed);
+            EXPECT_NE(std::string(e.what())
+                          .find("injected fatal task fault"),
+                      std::string::npos);
+            failedTasks = e.context().size();
+        }
+    }
+    EXPECT_GT(failedTasks, 0u);
+
+    // Resume: journaled shards replay, only the failures recompute,
+    // and the final document is byte-identical to the clean run.
+    SweepExecReport report;
+    const std::string resumed =
+        sweepResultToJson(runSweepGrid(grid, options, &report))
+            .dump(2);
+    EXPECT_EQ(resumed, plain);
+    EXPECT_GT(report.resumedShards, 0u);
+    EXPECT_EQ(report.runner.tasks + report.resumedShards,
+              static_cast<std::uint64_t>(grid.workloads.size())
+                  * 2 /* shards per workload */);
+}
+
+TEST_F(SweepResumeTest, JournalFromDifferentJobCountResumes)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string plain =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+
+    // Interrupt a parallel run; task indices in the journal are
+    // grid-determined, so a serial resume may reuse them.
+    SweepExecOptions parallelOpts;
+    parallelOpts.jobs = 4;
+    parallelOpts.journalPath = journal;
+    {
+        FaultPlan plan;
+        plan.failTask = 2;
+        ScopedFaultPlan scoped(plan);
+        EXPECT_THROW(runSweepGrid(grid, parallelOpts), ConfsimError);
+    }
+
+    SweepExecOptions serialOpts;
+    serialOpts.jobs = 0;
+    serialOpts.journalPath = journal;
+    SweepExecReport report;
+    const std::string resumed =
+        sweepResultToJson(runSweepGrid(grid, serialOpts, &report))
+            .dump(2);
+    EXPECT_EQ(resumed, plain);
+}
+
+TEST(SweepGridKeyTest, KeyIsGridContentSensitive)
+{
+    const SweepGrid grid = smallGrid();
+    EXPECT_EQ(sweepGridKey(grid), sweepGridKey(smallGrid()));
+    SweepGrid other = smallGrid();
+    other.thresholds.push_back(31);
+    EXPECT_NE(sweepGridKey(other), sweepGridKey(grid));
 }
 
 TEST(SweepLevelSweepTest, MergeGrowsToLargerMaxLevel)

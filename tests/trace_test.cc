@@ -8,10 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bpred/branch_predictor.hh"
+#include "common/fault_injection.hh"
 #include "harness/collectors.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
@@ -413,6 +418,115 @@ TEST(TraceFormatTest, HistoryShiftWithoutHistoryRejected)
     std::string error;
     EXPECT_FALSE(decodeTrace(data, trace, &error));
     EXPECT_NE(error.find("GH_SHIFT"), std::string::npos) << error;
+}
+
+/**
+ * Flip every byte of a valid trace (two masks: a single bit and a
+ * full-byte inversion) and require the decoder to stay well-defined:
+ * either reject with a non-empty error or decode records — never
+ * crash, hang, or read out of bounds (the sanitizer builds run this
+ * test too). When a damaged trace does decode, its re-encoding must be
+ * a fixed point of the format, i.e. the decoder's acceptance always
+ * describes a real trace.
+ */
+TEST(TraceFormatTest, EveryByteFlipIsRejectedOrWellFormed)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    ev.info.globalHistoryBits = 8;
+    for (unsigned i = 0; i < 6; ++i) {
+        ev.pc = 100 + 4 * (i % 3);
+        ev.taken = (i % 2) == 0;
+        ev.correct = i != 2;
+        ev.willCommit = i != 5;
+        ev.fetchCycle = i;
+        ev.resolveCycle = i + 4;
+        ev.info.globalHistory = (i * 37) & 0xff;
+        ev.info.predTaken = ev.taken == ev.correct;
+        writer.onEvent(ev);
+    }
+    const std::string encoded = writer.encode("{\"m\":1}");
+
+    for (const unsigned char mask : {0x01u, 0xffu}) {
+        for (std::size_t off = 0; off < encoded.size(); ++off) {
+            std::string bad = encoded;
+            bad[off] = static_cast<char>(bad[off] ^ mask);
+            if (bad == encoded)
+                continue;
+            BranchTrace trace;
+            std::string error;
+            if (!decodeTrace(bad, trace, &error)) {
+                EXPECT_FALSE(error.empty())
+                    << "offset " << off << " mask " << unsigned(mask)
+                    << ": rejected without an error message";
+                continue;
+            }
+            // A flip the format cannot detect (e.g. inside a pc
+            // delta) must still describe a self-consistent trace.
+            const std::string reencoded = encodeTrace(trace);
+            BranchTrace again;
+            ASSERT_TRUE(decodeTrace(reencoded, again, &error))
+                << "offset " << off << " mask " << unsigned(mask)
+                << ": accepted trace does not re-decode: " << error;
+            EXPECT_EQ(encodeTrace(again), reencoded)
+                << "offset " << off << " mask " << unsigned(mask);
+        }
+    }
+}
+
+/** The flip-trace-read fault hook corrupts the nth readTraceFile()
+ *  result deterministically, and the decoder downstream treats the
+ *  damage like any other corruption — no crash. */
+TEST(TraceFormatTest, InjectedTraceReadFlipIsSurvivable)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    for (unsigned i = 0; i < 4; ++i) {
+        ev.pc = 50 + i;
+        ev.fetchCycle = i;
+        ev.resolveCycle = i + 2;
+        writer.onEvent(ev);
+    }
+    const std::string encoded = writer.encode();
+
+    const std::string path =
+        (std::filesystem::temp_directory_path()
+         / ("confsim-trace-flip-" + std::to_string(::getpid())))
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(encoded.data(),
+                  static_cast<std::streamsize>(encoded.size()));
+    }
+
+    std::string data;
+    std::string error;
+    {
+        FaultPlan plan;
+        plan.flipTraceRead = 1;
+        ScopedFaultPlan scoped(plan);
+        ASSERT_TRUE(readTraceFile(path, data, &error)) << error;
+    }
+    std::filesystem::remove(path);
+    EXPECT_NE(data, encoded) << "fault hook did not fire";
+
+    // Decoding the damaged bytes must be well-defined either way.
+    BranchTrace trace;
+    if (!decodeTrace(data, trace, &error)) {
+        EXPECT_FALSE(error.empty());
+    }
+
+    // Without a plan the same file round-trips untouched.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(encoded.data(),
+                  static_cast<std::streamsize>(encoded.size()));
+    }
+    ASSERT_TRUE(readTraceFile(path, data, &error)) << error;
+    std::filesystem::remove(path);
+    EXPECT_EQ(data, encoded);
 }
 
 TEST(TraceFormatTest, OverlongVarintRejected)

@@ -1,0 +1,84 @@
+# Artifact-store recovery checks at the CLI level: a run with
+# --artifact-dir spills its recorded trace, a warm rerun replays it,
+# and a corrupted artifact is quarantined and regenerated — with the
+# simulated results ("runs" section) byte-identical in all three
+# cases and the corruption visible in the --json counters.
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P artifact_recovery_test.cmake
+
+set(ARTDIR "${WORK_DIR}/recovery_artifacts")
+set(COLD "${WORK_DIR}/recovery_cold.json")
+set(WARM "${WORK_DIR}/recovery_warm.json")
+set(CORRUPT "${WORK_DIR}/recovery_corrupt.json")
+
+file(REMOVE_RECURSE ${ARTDIR})
+
+foreach(phase cold warm)
+    string(TOUPPER ${phase} OUT)
+    execute_process(
+        COMMAND ${CONFSIM} --workload compress --estimator jrs
+                --artifact-dir ${ARTDIR} --json
+        OUTPUT_FILE ${${OUT}}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${phase} run failed (${rc})")
+    endif()
+endforeach()
+
+file(GLOB ARTIFACTS "${ARTDIR}/*.art")
+list(LENGTH ARTIFACTS n)
+if(n EQUAL 0)
+    message(FATAL_ERROR "cold run left no artifact in ${ARTDIR}")
+endif()
+list(GET ARTIFACTS 0 ARTIFACT)
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+    # The remaining checks need byte surgery and JSON comparison.
+    return()
+endif()
+
+# Flip one byte in the middle of the stored artifact.
+execute_process(
+    COMMAND ${PYTHON3} -c
+        "import sys; p=sys.argv[1]; d=bytearray(open(p,'rb').read()); \
+d[len(d)//2] ^= 0xff; open(p,'wb').write(bytes(d))"
+        ${ARTIFACT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "could not corrupt the artifact")
+endif()
+
+execute_process(
+    COMMAND ${CONFSIM} --workload compress --estimator jrs
+            --artifact-dir ${ARTDIR} --json
+    OUTPUT_FILE ${CORRUPT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "corrupt-artifact run crashed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON3} -c
+        "import json,sys; \
+cold=json.load(open(sys.argv[1])); \
+warm=json.load(open(sys.argv[2])); \
+corrupt=json.load(open(sys.argv[3])); \
+assert warm['runs'] == cold['runs'], 'warm diverged'; \
+assert corrupt['runs'] == cold['runs'], 'corrupt diverged'; \
+assert cold['artifacts']['corrupt_artifacts'] == 0; \
+assert warm['artifacts']['hits'] >= 1; \
+assert corrupt['artifacts']['corrupt_artifacts'] >= 1; \
+assert corrupt['artifacts']['quarantined'] >= 1"
+        ${COLD} ${WARM} ${CORRUPT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "artifact recovery JSON failed validation")
+endif()
+
+# The quarantined copy is set aside on disk for post-mortem.
+file(GLOB QUARANTINED "${ARTDIR}/*.corrupt")
+if(QUARANTINED STREQUAL "")
+    message(FATAL_ERROR "corrupt artifact was not quarantined")
+endif()

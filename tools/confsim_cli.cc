@@ -30,6 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "common/checksum.hh"
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
 #include "common/table.hh"
 #include "confidence/boosting.hh"
 #include "confidence/cir.hh"
@@ -39,6 +42,7 @@
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
 #include "confidence/static_profile.hh"
+#include "harness/artifact_store.hh"
 #include "harness/collectors.hh"
 #include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
@@ -75,7 +79,21 @@ struct Options
     std::string recordTracePath; ///< --record-trace FILE
     std::string replayTracePath; ///< --replay-trace FILE
     std::string sweepPath;       ///< --sweep FILE
+    std::string artifactDir;     ///< --artifact-dir DIR
+    unsigned taskDeadlineMs = 0; ///< --task-deadline-ms N (0 = off)
+    unsigned taskRetries = 0;    ///< --task-retries N
 };
+
+/** The task policy the options describe. */
+RunnerPolicy
+runnerPolicy(const Options &opt)
+{
+    RunnerPolicy policy;
+    policy.deadline = std::chrono::milliseconds(opt.taskDeadlineMs);
+    policy.maxAttempts = opt.taskRetries + 1;
+    policy.cancelOnFatal = true;
+    return policy;
+}
 
 void
 usage()
@@ -120,7 +138,21 @@ usage()
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
-        "  --list            list workloads/predictors/estimators\n");
+        "  --list            list workloads/predictors/estimators\n"
+        "  --artifact-dir D  persist recorded runs (and the sweep\n"
+        "                    checkpoint journal) under D; estimator-\n"
+        "                    only runs replay the stored artifact and\n"
+        "                    a killed --sweep resumes where it left\n"
+        "                    off; corrupt artifacts are quarantined\n"
+        "                    and rebuilt\n"
+        "  --task-deadline-ms N  cancel any task attempt exceeding N\n"
+        "                    ms (0 = no deadline)\n"
+        "  --task-retries N  retry transiently-failing tasks up to N\n"
+        "                    times (capped exponential backoff)\n"
+        "environment:\n"
+        "  CONFSIM_FAULT_PLAN  deterministic fault injection, e.g.\n"
+        "                    fail-task=3 or flip-artifact-read=1\n"
+        "                    (testing only)\n");
 }
 
 [[noreturn]] void
@@ -466,6 +498,68 @@ runReplayOne(const Options &opt, const WorkloadSpec &spec,
     return out;
 }
 
+/**
+ * Estimator-only run through the artifact-backed recorded-run cache:
+ * the pipeline simulation is skipped when a valid artifact exists on
+ * disk (and performed once — then spilled — when it doesn't). Replay
+ * of the recorded stream is bit-identical to the live run, so cold,
+ * warm, and corrupt-then-regenerated invocations all emit the same
+ * results.
+ */
+RunOutput
+runCachedOne(const Options &opt, const WorkloadSpec &spec)
+{
+    WorkloadConfig wl;
+    wl.scale = opt.scale;
+    wl.seed = opt.seed;
+    const PredictorKind kind = parsePredictor(opt.predictor);
+    const auto rec = cachedRecordedRun(kind, spec, wl, opt.pipeline);
+
+    // Static estimator needs a profiling pass regardless of mode.
+    ProfileTable profile;
+    if (opt.estimator == "static") {
+        const auto prog = cachedProgram(spec, wl);
+        auto profiling_pred = makePredictor(kind);
+        profile = buildProfile(*prog, *profiling_pred);
+    }
+
+    auto pred = makePredictor(kind);
+    auto est = makeEstimator(opt, kind, profile);
+
+    RunOutput out;
+    out.pipeMode = true;
+    out.mode = "cached";
+    CallbackSink sink([&out](const BranchEvent &ev) {
+        out.quadrantsAll.record(ev.correct, ev.estimate(0));
+        if (ev.willCommit)
+            out.quadrants.record(ev.correct, ev.estimate(0));
+    });
+
+    StatsRegistry registry;
+    registry.registerObject("predictor", *pred);
+    registry.registerObject("estimator", *est);
+
+    TraceReplayer replayer;
+    replayer.attachPredictor(pred.get());
+    replayer.attachEstimator(est.get());
+    replayer.attachSink(&sink);
+    std::string err;
+    if (!replayer.replay(rec->trace, nullptr, &err)) {
+        std::fprintf(stderr, "cached run replay failed: %s\n",
+                     err.c_str());
+        std::exit(1);
+    }
+
+    out.pipe = rec->pipe;
+    out.componentsDoc = registry.configJson();
+    out.statsDoc = registry.statsJson();
+    // Splice the recorded pipeline subtrees where a live run registers
+    // the pipeline: last, after predictor and estimator.
+    out.statsDoc["pipeline"] = rec->statsSubtree;
+    out.componentsDoc["pipeline"] = rec->configSubtree;
+    return out;
+}
+
 JsonValue
 quadrantsToJson(const QuadrantCounts &q)
 {
@@ -474,6 +568,59 @@ quadrantsToJson(const QuadrantCounts &q)
     v["ihc"] = JsonValue(std::uint64_t{q.ihc});
     v["clc"] = JsonValue(std::uint64_t{q.clc});
     v["ilc"] = JsonValue(std::uint64_t{q.ilc});
+    return v;
+}
+
+/**
+ * Runner observability for --json: deterministic summary counts plus
+ * the full report of every *anomalous* task (failed, timed out,
+ * cancelled, or retried). Healthy tasks are omitted — their wall
+ * times would make otherwise bit-identical runs differ.
+ */
+JsonValue
+runnerToJson(const RunnerSummary &summary,
+             const std::vector<TaskReport> &reports)
+{
+    JsonValue v = JsonValue::object();
+    v["tasks"] = JsonValue(summary.tasks);
+    v["succeeded"] = JsonValue(summary.succeeded);
+    v["failed"] = JsonValue(summary.failed);
+    v["timed_out"] = JsonValue(summary.timedOut);
+    v["cancelled"] = JsonValue(summary.cancelled);
+    v["retries"] = JsonValue(summary.retries);
+    JsonValue anomalies = JsonValue::array();
+    for (const TaskReport &r : reports) {
+        if (r.ok() && r.attempts <= 1)
+            continue;
+        JsonValue t = JsonValue::object();
+        t["index"] = JsonValue(std::uint64_t{r.index});
+        t["status"] = JsonValue(std::string(taskStatusName(r.status)));
+        t["attempts"] = JsonValue(std::uint64_t{r.attempts});
+        t["wall_ms"] = JsonValue(r.wallMs);
+        JsonValue errors = JsonValue::array();
+        for (const std::string &e : r.errors)
+            errors.push(JsonValue(e));
+        t["errors"] = errors;
+        anomalies.push(t);
+    }
+    v["reports"] = anomalies;
+    return v;
+}
+
+/** Artifact-store counters for --json (present with --artifact-dir). */
+JsonValue
+artifactsToJson(const ArtifactStore &store)
+{
+    const ArtifactStoreStats s = store.stats();
+    JsonValue v = JsonValue::object();
+    v["dir"] = JsonValue(store.dir());
+    v["loads"] = JsonValue(s.loads);
+    v["hits"] = JsonValue(s.hits);
+    v["misses"] = JsonValue(s.misses);
+    v["stores"] = JsonValue(s.stores);
+    v["store_failures"] = JsonValue(s.storeFailures);
+    v["corrupt_artifacts"] = JsonValue(s.corruptArtifacts);
+    v["quarantined"] = JsonValue(s.quarantined);
     return v;
 }
 
@@ -518,6 +665,18 @@ resultsToJson(const Options &opt,
 int
 main(int argc, char **argv)
 {
+    // Arm any injected faults before the first file or task hook runs.
+    if (const char *spec = std::getenv("CONFSIM_FAULT_PLAN")) {
+        FaultPlan plan;
+        std::string err;
+        if (!parseFaultPlan(spec, plan, &err)) {
+            std::fprintf(stderr, "CONFSIM_FAULT_PLAN: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        FaultInjector::instance().arm(plan);
+    }
+
     Options opt;
     std::string replayData; // encoded trace bytes for --replay-trace
     JsonValue replayMeta;   // parsed trace metadata
@@ -596,6 +755,12 @@ main(int argc, char **argv)
             opt.staticThreshold = parseDouble(arg, next());
         } else if (arg == "--jobs") {
             opt.jobs = parseUnsigned(arg, next());
+        } else if (arg == "--artifact-dir") {
+            opt.artifactDir = next();
+        } else if (arg == "--task-deadline-ms") {
+            opt.taskDeadlineMs = parseUnsigned(arg, next());
+        } else if (arg == "--task-retries") {
+            opt.taskRetries = parseUnsigned(arg, next());
         } else if (arg == "--list") {
             std::printf("workloads:");
             for (const auto &spec : standardWorkloads())
@@ -616,6 +781,16 @@ main(int argc, char **argv)
                          arg.c_str());
             usage();
             return 1;
+        }
+    }
+
+    if (!opt.artifactDir.empty()) {
+        try {
+            setGlobalArtifactStore(
+                    std::make_shared<ArtifactStore>(opt.artifactDir));
+        } catch (const ConfsimError &e) {
+            std::fprintf(stderr, "--artifact-dir: %s\n", e.what());
+            return 2;
         }
     }
 
@@ -641,9 +816,33 @@ main(int argc, char **argv)
                          err.c_str());
             return 2;
         }
-        const SweepResult result = runSweepGrid(grid, opt.jobs);
-        std::printf("%s\n", sweepResultToJson(result).dump(2).c_str());
-        return 0;
+        SweepExecOptions exec;
+        exec.jobs = opt.jobs;
+        exec.policy = runnerPolicy(opt);
+        if (!opt.artifactDir.empty())
+            exec.journalPath = opt.artifactDir + "/sweep-"
+                               + hexDigest(sweepGridKey(grid))
+                               + ".journal";
+        try {
+            SweepExecReport report;
+            const SweepResult result =
+                runSweepGrid(grid, exec, &report);
+            if (report.resumedShards > 0)
+                std::fprintf(stderr,
+                             "sweep: resumed %llu completed shards "
+                             "from %s\n",
+                             static_cast<unsigned long long>(
+                                     report.resumedShards),
+                             exec.journalPath.c_str());
+            std::printf("%s\n",
+                        sweepResultToJson(result).dump(2).c_str());
+            return 0;
+        } catch (const ConfsimError &e) {
+            // Completed shards are already journaled; rerunning the
+            // same command resumes instead of recomputing them.
+            std::fprintf(stderr, "--sweep: %s\n", e.what());
+            return 1;
+        }
     }
 
     const bool recording = !opt.recordTracePath.empty();
@@ -694,19 +893,44 @@ main(int argc, char **argv)
         }
     }
 
+    // With an artifact store and no estimator-steered pipeline, runs
+    // replay the stored (or freshly spilled) recorded trace instead
+    // of re-simulating — bit-identical results either way.
+    const bool cached = !opt.artifactDir.empty() && !opt.traceMode
+                        && !recording && !replaying
+                        && opt.gateThreshold < 0 && !opt.eager;
+
     // Fan the selected workloads out over the worker pool (a single
     // workload runs inline); results come back in selection order.
     ParallelRunner runner(selected.size() > 1 ? opt.jobs : 0);
-    const std::vector<RunOutput> outputs = runner.map(
-            selected.size(), [&](std::size_t i) {
-                return replaying
-                    ? runReplayOne(opt, selected[i], replayData,
-                                   replayMeta)
-                    : runOne(opt, selected[i]);
-            });
+    auto outcome = runner.mapReported(
+            selected.size(),
+            [&](TaskContext &ctx) {
+                const std::size_t i = ctx.index;
+                if (replaying)
+                    return runReplayOne(opt, selected[i], replayData,
+                                        replayMeta);
+                return cached ? runCachedOne(opt, selected[i])
+                              : runOne(opt, selected[i]);
+            },
+            runnerPolicy(opt));
+    if (!outcome.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     ParallelRunner::mapFailure(outcome.reports)
+                             .what());
+        return 1;
+    }
+    std::vector<RunOutput> outputs;
+    outputs.reserve(selected.size());
+    for (auto &r : outcome.results)
+        outputs.push_back(std::move(*r));
 
     if (opt.json) {
-        const JsonValue doc = resultsToJson(opt, selected, outputs);
+        JsonValue doc = resultsToJson(opt, selected, outputs);
+        doc["runner"] =
+            runnerToJson(outcome.summary(), outcome.reports);
+        if (const auto store = globalArtifactStore())
+            doc["artifacts"] = artifactsToJson(*store);
         std::printf("%s\n", doc.dump(2).c_str());
         return 0;
     }

@@ -1,0 +1,114 @@
+# Resumable-sweep checks: interrupt a `confsim --sweep` partway
+# through (deterministically, via the fault-injection hook standing in
+# for a crash/kill), rerun it against the same artifact directory, and
+# require the resumed output to be byte-identical to an uninterrupted
+# run. Also checks that the resume actually used the journal rather
+# than silently recomputing everything.
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P sweep_resume_test.cmake
+
+set(GRID "${WORK_DIR}/resume_grid.json")
+set(CLEAN "${WORK_DIR}/resume_clean.json")
+set(RESUMED "${WORK_DIR}/resume_resumed.json")
+set(ARTDIR "${WORK_DIR}/resume_artifacts")
+
+file(WRITE ${GRID} "{
+  \"predictor\": \"gshare\",
+  \"workloads\": [\"compress\", \"go\"],
+  \"thresholds\": [8, 15],
+  \"shard_size\": 2,
+  \"estimators\": [
+    {\"label\": \"jrs-15\", \"estimator\": \"jrs\"},
+    {\"estimator\": \"satcnt\"},
+    {\"estimator\": \"pattern\"},
+    {\"estimator\": \"static\"}
+  ]
+}
+")
+
+# Reference: one uninterrupted run, no checkpointing.
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID} --jobs 0
+    OUTPUT_FILE ${CLEAN}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "clean confsim --sweep failed (${rc})")
+endif()
+
+# Interrupted run: the third shard task dies on an injected fatal
+# fault, so the process exits non-zero with some shards journaled.
+file(REMOVE_RECURSE ${ARTDIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env CONFSIM_FAULT_PLAN=fail-task=3
+            ${CONFSIM} --sweep ${GRID} --jobs 0 --artifact-dir ${ARTDIR}
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "interrupted sweep unexpectedly succeeded")
+endif()
+
+file(GLOB JOURNALS "${ARTDIR}/sweep-*.journal")
+if(JOURNALS STREQUAL "")
+    message(FATAL_ERROR "interrupted sweep left no journal in ${ARTDIR}")
+endif()
+
+# Resume: journaled shards replay, the rest recompute, and the final
+# document must match the uninterrupted run byte for byte.
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID} --jobs 0 --artifact-dir ${ARTDIR}
+    OUTPUT_FILE ${RESUMED}
+    ERROR_VARIABLE resume_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed confsim --sweep failed (${rc})")
+endif()
+if(NOT resume_err MATCHES "resumed")
+    message(FATAL_ERROR
+        "resume did not report journaled shards: ${resume_err}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${CLEAN} ${RESUMED}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "resumed sweep diverged from clean run: ${CLEAN} vs ${RESUMED}")
+endif()
+
+# Cross-job-count resume: interrupt under parallel execution, resume
+# serially. Journal task indices are grid-determined, so this too must
+# be byte-identical.
+file(REMOVE_RECURSE ${ARTDIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env CONFSIM_FAULT_PLAN=fail-task=2
+            ${CONFSIM} --sweep ${GRID} --jobs 4 --artifact-dir ${ARTDIR}
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "interrupted parallel sweep succeeded")
+endif()
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID} --jobs 0 --artifact-dir ${ARTDIR}
+    OUTPUT_FILE ${RESUMED}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cross-job resume failed (${rc})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${CLEAN} ${RESUMED}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cross-job resume diverged from clean run")
+endif()
+
+# A malformed fault plan must be rejected up front (exit code 2),
+# before any simulation work starts.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env CONFSIM_FAULT_PLAN=bogus-fault=1
+            ${CONFSIM} --workload compress
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "bad CONFSIM_FAULT_PLAN was accepted")
+endif()
