@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bpred/branch_predictor.hh"
+#include "bpred/estimator_input.hh"
 #include "common/random.hh"
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
@@ -394,6 +395,58 @@ BM_BatchedSweep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BatchedSweep)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+constexpr unsigned FRONTIER_PERC_THRESHOLDS[] = { 16, 64, 256 };
+constexpr unsigned FRONTIER_TAGE_THRESHOLDS[] = { 8, 12, 14 };
+
+/**
+ * The mixed-grid frontier: the classic 8-config external-estimator
+ * grid plus the native-confidence channel-threshold lanes, batched
+ * over perceptron and TAGE decoded traces of every standard workload.
+ * This is the per-trace replay cost of the recipe in
+ * docs/EXPERIMENTS.md; items/sec counts (branches x lanes) so it is
+ * comparable with BM_BatchedSweep.
+ */
+void
+BM_BatchedSweepFrontier(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    const std::vector<JrsConfig> jrs_configs = sweepJrsConfigs();
+    std::vector<std::shared_ptr<const DecodedRun>> runs;
+    for (const PredictorKind kind :
+         { PredictorKind::Perceptron, PredictorKind::Tage }) {
+        for (const auto &wl : standardWorkloads())
+            runs.push_back(cachedDecodedRun(kind, wl, cfg.workload,
+                                            cfg.pipeline));
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const auto &run : runs) {
+            BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+                    run, &run->trace));
+            for (const JrsConfig &jrs : jrs_configs)
+                replayer.attachJrs(jrs);
+            for (const SatCountersVariant v : SWEEP_SAT_VARIANTS)
+                replayer.attachSatCounters(v);
+            for (const unsigned t : FRONTIER_PERC_THRESHOLDS)
+                replayer.attachChannelThreshold(CHANNEL_PERC_MARGIN, t,
+                                                true);
+            for (const unsigned t : FRONTIER_TAGE_THRESHOLDS)
+                replayer.attachChannelThreshold(CHANNEL_TAGE_CONF, t,
+                                                true);
+            if (!replayer.run())
+                state.SkipWithError("batched replay failed");
+            benchmark::DoNotOptimize(replayer.committed(0));
+            branches += replayer.replayStats().branches
+                        * replayer.laneCount();
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_BatchedSweepFrontier)
+        ->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
 void
 BM_StandardSuite(benchmark::State &state)

@@ -114,5 +114,16 @@ report("Estimator sweep, per configuration",
        "BM_EstimatorSweepLive", "BM_ReplayEstimatorSweep")
 report("Batched multi-config sweep: 8 configs per decoded-trace pass",
        "BM_SequentialSweep", "BM_BatchedSweep", target=4)
+
+# The perceptron+TAGE frontier grid (classic external lanes plus the
+# native-confidence channel-threshold lanes) has no sequential twin;
+# report its lane-throughput alongside the gshare batched sweep.
+frontier = rates.get("BM_BatchedSweepFrontier")
+if frontier:
+    print("\n== Mixed frontier sweep: perceptron+TAGE native lanes ==")
+    print(f"  batched: {frontier/1e6:8.2f} M lane-branches/s")
+else:
+    print("note: BM_BatchedSweepFrontier missing from the run; "
+          "run without --benchmark_filter for the full report.")
 EOF
 fi

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/sim_object.hh"
 #include "common/stats_registry.hh"
@@ -31,6 +32,8 @@
 
 namespace confsim
 {
+
+class EstimatorInputPlugin;
 
 /**
  * A prediction plus the predictor-internal state it was based on.
@@ -64,6 +67,18 @@ struct BpInfo
     bool metaChoseGshare = false;
     /// True for predictors that actually have component state.
     bool hasComponents = false;
+
+    /**
+     * Predictor-native confidence level backing this prediction
+     * (perceptron |weight-sum| margin, TAGE provider strength/useful
+     * packing). Producers clamp the value to their declared
+     * EstimatorInputPlugin::levelMax() so decode-time input channels,
+     * trace round trips, and live estimates all see the same number.
+     * Zero (with hasNativeConf false) for predictors without a native
+     * confidence signal.
+     */
+    std::uint32_t nativeConf = 0;
+    bool hasNativeConf = false;
 };
 
 /**
@@ -145,6 +160,17 @@ class BranchPredictor : public SimObject
     /** Statistics since construction or the last reset(). */
     const Stats &stats() const { return bpStats; }
 
+    /**
+     * The decode-time estimator-input channels this predictor
+     * contributes to a DecodedTrace (see bpred/estimator_input.hh).
+     * The base implementation returns the classic set shared by every
+     * predictor (saturating-counter strength bits, pattern-history
+     * confidence, JRS hash key); predictors with a native confidence
+     * signal append their own channel.
+     */
+    virtual std::vector<std::unique_ptr<EstimatorInputPlugin>>
+    estimatorInputPlugins() const;
+
   protected:
     /** Concrete prediction (see predict()). */
     virtual BpInfo doPredict(Addr pc) = 0;
@@ -169,10 +195,19 @@ enum class PredictorKind
     Gselect, ///< concatenated index (McFarling TN-36 baseline)
     GAg,     ///< history-only index (degenerate gselect)
     PAs,     ///< tagged per-address two-level (Yeh & Patt)
+    Perceptron, ///< hashed perceptron (folded multi-length histories)
+    Tage,       ///< TAGE-style tagged multi-table predictor
 };
 
 /** @return human-readable name of a predictor kind. */
 const char *predictorKindName(PredictorKind kind);
+
+/** Every registered predictor kind, in declaration order. */
+const std::vector<PredictorKind> &allPredictorKinds();
+
+/** Space-separated list of every registered predictor name, for
+ *  unknown-predictor error messages and CLI help. */
+const std::string &predictorKindNameList();
 
 /**
  * Inverse of predictorKindName (also accepts the CLI spellings).

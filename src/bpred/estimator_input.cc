@@ -1,0 +1,128 @@
+#include "bpred/estimator_input.hh"
+
+#include "common/bit_utils.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/** Population count over the low @p bits bits. */
+unsigned
+popcountLow(std::uint64_t v, unsigned bits)
+{
+    v &= lowBitMask(bits);
+    unsigned count = 0;
+    while (v) {
+        v &= v - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // anonymous namespace
+
+const char *
+inputWidthName(InputWidth width)
+{
+    switch (width) {
+      case InputWidth::U8:
+        return "u8";
+      case InputWidth::U16:
+        return "u16";
+      case InputWidth::U32:
+        return "u32";
+      case InputWidth::U64:
+        return "u64";
+    }
+    return "unknown";
+}
+
+bool
+confidentHistoryPattern(std::uint64_t history, unsigned bits)
+{
+    if (bits == 0)
+        return false;
+    const std::uint64_t mask = lowBitMask(bits);
+    const std::uint64_t h = history & mask;
+
+    // Always taken / always not-taken.
+    if (h == mask || h == 0)
+        return true;
+
+    // Almost always taken / not-taken: exactly one dissenting bit.
+    const unsigned ones = popcountLow(h, bits);
+    if (ones == 1 || ones == bits - 1)
+        return true;
+
+    // Strictly alternating: 0101... or 1010...
+    const std::uint64_t alt0 = 0x5555555555555555ull & mask;
+    const std::uint64_t alt1 = 0xaaaaaaaaaaaaaaaaull & mask;
+    if (h == alt0 || h == alt1)
+        return true;
+
+    return false;
+}
+
+std::uint64_t
+SatBitsInputPlugin::derive(Addr, const BpInfo &info) const
+{
+    // Mirrors SatCountersEstimator::doEstimate() for each variant: a
+    // single-component predictor answers every variant from the one
+    // counter it has.
+    const bool selected_strong = info.counterValue == 0
+        || info.counterValue == info.counterMax;
+    const bool both = info.hasComponents
+        ? (info.bimodalStrong && info.gshareStrong) : selected_strong;
+    const bool either = info.hasComponents
+        ? (info.bimodalStrong || info.gshareStrong) : selected_strong;
+
+    std::uint64_t bits = 0;
+    if (selected_strong)
+        bits |= SAT_BIT_SELECTED;
+    if (both)
+        bits |= SAT_BIT_BOTH;
+    if (either)
+        bits |= SAT_BIT_EITHER;
+    return bits;
+}
+
+std::uint64_t
+PatternConfInputPlugin::derive(Addr, const BpInfo &info) const
+{
+    // Same local-else-global history selection as PatternEstimator.
+    const bool conf = info.localHistoryBits > 0
+        ? confidentHistoryPattern(info.localHistory,
+                                  info.localHistoryBits)
+        : confidentHistoryPattern(info.globalHistory,
+                                  info.globalHistoryBits);
+    return conf ? 1 : 0;
+}
+
+std::uint64_t
+JrsKeyInputPlugin::derive(Addr pc, const BpInfo &info) const
+{
+    // Same global-else-local history selection as JrsEstimator.
+    const std::uint64_t hist = info.globalHistoryBits > 0
+        ? info.globalHistory : info.localHistory;
+    return (pc >> 2) ^ hist;
+}
+
+EstimatorInputPluginSet
+classicEstimatorInputPlugins()
+{
+    EstimatorInputPluginSet set;
+    set.push_back(std::make_unique<SatBitsInputPlugin>());
+    set.push_back(std::make_unique<PatternConfInputPlugin>());
+    set.push_back(std::make_unique<JrsKeyInputPlugin>());
+    return set;
+}
+
+std::vector<std::unique_ptr<EstimatorInputPlugin>>
+BranchPredictor::estimatorInputPlugins() const
+{
+    return classicEstimatorInputPlugins();
+}
+
+} // namespace confsim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Estimator-input plugins: per-predictor decode-time derivation of the
+ * inputs the batched sweep kernels consume.
+ *
+ * A DecodedTrace pre-computes, per branch, every confidence input that
+ * is a pure function of the recorded BpInfo — so the sweep kernels
+ * read one flat word per branch instead of the whole BpInfo record.
+ * Historically those inputs were hard-coded in the decoder: bits
+ * scavenged from the per-branch flag byte plus one ad-hoc u64 column
+ * for the JRS hash key. That shape cannot express predictor-native
+ * confidence signals (perceptron margins, TAGE provider state), which
+ * is why the derivation now lives behind this interface.
+ *
+ * Each BranchPredictor contributes a *set* of plugins (see
+ * BranchPredictor::estimatorInputPlugins()); buildDecodedTrace()
+ * evaluates every plugin once per record into a named, typed SoA
+ * column (an InputChannel), and BatchReplayer lanes bind to channels
+ * by name with the loop specialized per channel width. Every
+ * derivation must be a pure function of (pc, BpInfo) — that is what
+ * makes the precomputation bit-identical to evaluating the estimator
+ * live at each fetch.
+ */
+
+#ifndef CONFSIM_BPRED_ESTIMATOR_INPUT_HH
+#define CONFSIM_BPRED_ESTIMATOR_INPUT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/types.hh"
+
+namespace confsim
+{
+
+/** Storage width of one estimator-input channel. */
+enum class InputWidth
+{
+    U8,
+    U16,
+    U32,
+    U64,
+};
+
+/** @return human-readable width name ("u8", ...). */
+const char *inputWidthName(InputWidth width);
+
+/// @name Channel names of the standard plugins
+/// @{
+inline constexpr const char *CHANNEL_SAT_BITS = "sat-bits";
+inline constexpr const char *CHANNEL_PATTERN_CONF = "pattern-conf";
+inline constexpr const char *CHANNEL_JRS_KEY = "jrs-key";
+inline constexpr const char *CHANNEL_PERC_MARGIN = "perc-margin";
+inline constexpr const char *CHANNEL_TAGE_CONF = "tage-conf";
+/// @}
+
+/// @name Bit layout of the CHANNEL_SAT_BITS word
+/// One bit per SatCountersVariant, mirroring
+/// SatCountersEstimator::doEstimate() exactly.
+/// @{
+inline constexpr std::uint8_t SAT_BIT_SELECTED = 1u << 0;
+inline constexpr std::uint8_t SAT_BIT_BOTH = 1u << 1;
+inline constexpr std::uint8_t SAT_BIT_EITHER = 1u << 2;
+/// @}
+
+/**
+ * Core pattern-history confidence classifier (Lick et al.): true when
+ * the low @p bits bits of @p history form one of the empirically
+ * confident patterns (all taken, all not-taken, exactly one dissenting
+ * bit, or strictly alternating). PatternEstimator delegates here; the
+ * definition lives in bpred so decode-time plugins can use it without
+ * a bpred → confidence link cycle.
+ */
+bool confidentHistoryPattern(std::uint64_t history, unsigned bits);
+
+/**
+ * One decode-time input derivation. Implementations must be stateless
+ * pure functions of (pc, BpInfo): derive() is called once per recorded
+ * branch at decode time, and the resulting column must equal what the
+ * corresponding live estimator would observe at every fetch.
+ */
+class EstimatorInputPlugin
+{
+  public:
+    virtual ~EstimatorInputPlugin() = default;
+
+    /** Channel name the derived column is registered under. */
+    virtual std::string channel() const = 0;
+
+    /** Storage width of the derived column. */
+    virtual InputWidth width() const = 0;
+
+    /**
+     * Largest value derive() can produce. Sizes the LevelSweep
+     * histogram of threshold-sweeping lanes bound to this channel;
+     * values are clamped here at column-fill time.
+     */
+    virtual unsigned levelMax() const = 0;
+
+    /** The per-branch input word (pure function of its arguments). */
+    virtual std::uint64_t derive(Addr pc, const BpInfo &info) const = 0;
+};
+
+/** The plugin set one predictor contributes. */
+using EstimatorInputPluginSet =
+    std::vector<std::unique_ptr<EstimatorInputPlugin>>;
+
+/**
+ * Saturating-counter strength bits (CHANNEL_SAT_BITS, u8): the three
+ * SatCountersVariant estimates packed as SAT_BIT_* flags.
+ */
+class SatBitsInputPlugin final : public EstimatorInputPlugin
+{
+  public:
+    std::string channel() const override { return CHANNEL_SAT_BITS; }
+    InputWidth width() const override { return InputWidth::U8; }
+    unsigned levelMax() const override { return 7; }
+    std::uint64_t derive(Addr pc, const BpInfo &info) const override;
+};
+
+/**
+ * Pattern-history confidence (CHANNEL_PATTERN_CONF, u8): 1 when the
+ * branch's history matches PatternEstimator's confident set.
+ */
+class PatternConfInputPlugin final : public EstimatorInputPlugin
+{
+  public:
+    std::string
+    channel() const override
+    {
+        return CHANNEL_PATTERN_CONF;
+    }
+    InputWidth width() const override { return InputWidth::U8; }
+    unsigned levelMax() const override { return 1; }
+    std::uint64_t derive(Addr pc, const BpInfo &info) const override;
+};
+
+/**
+ * JRS hash base (CHANNEL_JRS_KEY, u64): (pc >> 2) ^ history with the
+ * same global-else-local history selection as JrsEstimator. Every JRS
+ * table geometry derives its index from this one value (enhanced
+ * variants append the predicted direction, then mask).
+ */
+class JrsKeyInputPlugin final : public EstimatorInputPlugin
+{
+  public:
+    std::string channel() const override { return CHANNEL_JRS_KEY; }
+    InputWidth width() const override { return InputWidth::U64; }
+    unsigned levelMax() const override { return 0; }
+    std::uint64_t derive(Addr pc, const BpInfo &info) const override;
+};
+
+/**
+ * Predictor-native confidence level (u16): the recorded
+ * BpInfo::nativeConf, already clamped by the producing predictor to
+ * its declared levelMax. Instantiated per native channel
+ * (CHANNEL_PERC_MARGIN, CHANNEL_TAGE_CONF).
+ */
+class NativeConfInputPlugin final : public EstimatorInputPlugin
+{
+  public:
+    /**
+     * @param channel_name channel to register the column under.
+     * @param level_max largest level the producing predictor emits.
+     */
+    NativeConfInputPlugin(std::string channel_name, unsigned level_max)
+        : chan(std::move(channel_name)), maxLevel(level_max)
+    {
+    }
+
+    std::string channel() const override { return chan; }
+    InputWidth width() const override { return InputWidth::U16; }
+    unsigned levelMax() const override { return maxLevel; }
+
+    std::uint64_t
+    derive(Addr, const BpInfo &info) const override
+    {
+        return info.nativeConf;
+    }
+
+  private:
+    std::string chan;
+    unsigned maxLevel;
+};
+
+/**
+ * The classic plugin set every predictor shares: sat-bits,
+ * pattern-conf, and jrs-key. This is exactly the derivation the
+ * decoder used to hard-code, so traces decoded with it are
+ * bit-identical to the pre-plugin pipeline.
+ */
+EstimatorInputPluginSet classicEstimatorInputPlugins();
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_ESTIMATOR_INPUT_HH

@@ -5,7 +5,9 @@
 #include "bpred/gshare.hh"
 #include "bpred/mcfarling.hh"
 #include "bpred/pas.hh"
+#include "bpred/perceptron.hh"
 #include "bpred/sag.hh"
+#include "bpred/tage.hh"
 #include "common/logging.hh"
 
 namespace confsim
@@ -22,30 +24,50 @@ predictorKindName(PredictorKind kind)
       case PredictorKind::Gselect: return "gselect";
       case PredictorKind::GAg: return "gag";
       case PredictorKind::PAs: return "pas";
+      case PredictorKind::Perceptron: return "perceptron";
+      case PredictorKind::Tage: return "tage";
     }
     return "???";
+}
+
+const std::vector<PredictorKind> &
+allPredictorKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::Bimodal,   PredictorKind::Gshare,
+        PredictorKind::McFarling, PredictorKind::SAg,
+        PredictorKind::Gselect,   PredictorKind::GAg,
+        PredictorKind::PAs,       PredictorKind::Perceptron,
+        PredictorKind::Tage,
+    };
+    return kinds;
+}
+
+const std::string &
+predictorKindNameList()
+{
+    static const std::string names = [] {
+        std::string list;
+        for (PredictorKind kind : allPredictorKinds()) {
+            if (!list.empty())
+                list += ' ';
+            list += predictorKindName(kind);
+        }
+        return list;
+    }();
+    return names;
 }
 
 bool
 predictorKindFromName(const std::string &name, PredictorKind &kind)
 {
-    if (name == "bimodal")
-        kind = PredictorKind::Bimodal;
-    else if (name == "gshare")
-        kind = PredictorKind::Gshare;
-    else if (name == "mcfarling")
-        kind = PredictorKind::McFarling;
-    else if (name == "sag")
-        kind = PredictorKind::SAg;
-    else if (name == "gselect")
-        kind = PredictorKind::Gselect;
-    else if (name == "gag")
-        kind = PredictorKind::GAg;
-    else if (name == "pas")
-        kind = PredictorKind::PAs;
-    else
-        return false;
-    return true;
+    for (PredictorKind candidate : allPredictorKinds()) {
+        if (name == predictorKindName(candidate)) {
+            kind = candidate;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::unique_ptr<BranchPredictor>
@@ -71,6 +93,10 @@ makePredictor(PredictorKind kind)
         }
       case PredictorKind::PAs:
         return std::make_unique<PAsPredictor>();
+      case PredictorKind::Perceptron:
+        return std::make_unique<PerceptronPredictor>();
+      case PredictorKind::Tage:
+        return std::make_unique<TagePredictor>();
     }
     panic("unknown predictor kind");
 }

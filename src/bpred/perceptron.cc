@@ -1,0 +1,179 @@
+#include "bpred/perceptron.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "bpred/estimator_input.hh"
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+PerceptronPredictor::PerceptronPredictor(const PerceptronConfig &config)
+    : cfg(config),
+      indexBits(floorLog2(config.tableEntries)),
+      weightMax(0),
+      ghr(63)
+{
+    if (!isPowerOfTwo(cfg.tableEntries))
+        fatal("perceptron table size must be a power of two");
+    if (cfg.weightBits < 2 || cfg.weightBits > 8)
+        fatal("perceptron weight width must be in [2, 8]");
+    if (cfg.historyLengths.empty())
+        fatal("perceptron needs at least one history length");
+    unsigned prev = 0;
+    for (unsigned len : cfg.historyLengths) {
+        if (len == 0 || len > 63)
+            fatal("perceptron history lengths must be in [1, 63]");
+        if (len <= prev)
+            fatal("perceptron history lengths must be ascending");
+        prev = len;
+    }
+    if (cfg.theta < 0)
+        fatal("perceptron theta must be non-negative");
+
+    weightMax =
+        static_cast<std::int16_t>((1 << (cfg.weightBits - 1)) - 1);
+    tables.assign(cfg.historyLengths.size(),
+                  std::vector<std::int16_t>(cfg.tableEntries, 0));
+    bias.assign(cfg.tableEntries, 0);
+}
+
+void
+PerceptronPredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("table_entries", cfg.tableEntries);
+    out.putUint("weight_bits", cfg.weightBits);
+    std::string lengths;
+    for (unsigned len : cfg.historyLengths) {
+        if (!lengths.empty())
+            lengths += ',';
+        lengths += std::to_string(len);
+    }
+    out.putString("history_lengths", lengths);
+    out.putInt("theta", cfg.theta);
+    out.putBool("speculative_history", cfg.speculativeHistory);
+}
+
+std::vector<std::unique_ptr<EstimatorInputPlugin>>
+PerceptronPredictor::estimatorInputPlugins() const
+{
+    auto set = classicEstimatorInputPlugins();
+    set.push_back(std::make_unique<NativeConfInputPlugin>(
+        CHANNEL_PERC_MARGIN, PERC_CONF_LEVEL_MAX));
+    return set;
+}
+
+std::uint64_t
+PerceptronPredictor::foldHistory(std::uint64_t hist, unsigned len) const
+{
+    std::uint64_t h = hist & lowBitMask(std::min(len, 63u));
+    std::uint64_t folded = 0;
+    while (h != 0) {
+        folded ^= h & lowBitMask(indexBits);
+        h >>= indexBits;
+    }
+    return folded;
+}
+
+std::size_t
+PerceptronPredictor::tableIndex(Addr pc, std::uint64_t hist,
+                                unsigned len) const
+{
+    return ((pc >> 2) ^ foldHistory(hist, len))
+        & (cfg.tableEntries - 1);
+}
+
+std::size_t
+PerceptronPredictor::biasIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.tableEntries - 1);
+}
+
+int
+PerceptronPredictor::weightSum(Addr pc, std::uint64_t hist) const
+{
+    int sum = bias[biasIndex(pc)];
+    for (std::size_t t = 0; t < tables.size(); ++t)
+        sum += tables[t][tableIndex(pc, hist, cfg.historyLengths[t])];
+    return sum;
+}
+
+BpInfo
+PerceptronPredictor::doPredict(Addr pc)
+{
+    const std::uint64_t hist = ghr.value();
+    const int sum = weightSum(pc, hist);
+    const bool taken = sum >= 0;
+    const unsigned margin =
+        static_cast<unsigned>(sum < 0 ? -sum : sum);
+
+    BpInfo info;
+    info.predTaken = taken;
+    info.globalHistory = hist;
+    info.globalHistoryBits = 63;
+    info.nativeConf =
+        std::min(margin, unsigned{PERC_CONF_LEVEL_MAX});
+    info.hasNativeConf = true;
+    // Pseudo 2-bit counter view for the sat-counter estimators:
+    // margin above theta reads as the saturated (strong) state.
+    const bool strong = margin > static_cast<unsigned>(cfg.theta);
+    info.counterMax = 3;
+    info.counterValue = taken ? (strong ? 3u : 2u)
+                              : (strong ? 0u : 1u);
+
+    if (cfg.speculativeHistory)
+        ghr.shiftIn(taken);
+    return info;
+}
+
+void
+PerceptronPredictor::train(std::int16_t &w, bool taken) const
+{
+    if (taken) {
+        if (w < weightMax)
+            ++w;
+    } else {
+        if (w > static_cast<std::int16_t>(-weightMax - 1))
+            --w;
+    }
+}
+
+void
+PerceptronPredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
+{
+    // Standard perceptron rule: train on a misprediction or whenever
+    // the predict-time margin (recorded in nativeConf) is within
+    // theta. Using the recorded margin keeps update() a pure function
+    // of (pc, taken, info), like every other predictor here.
+    const bool mispredicted = info.predTaken != taken;
+    if (mispredicted
+        || info.nativeConf <= static_cast<unsigned>(cfg.theta)) {
+        train(bias[biasIndex(pc)], taken);
+        for (std::size_t t = 0; t < tables.size(); ++t) {
+            train(tables[t][tableIndex(pc, info.globalHistory,
+                                       cfg.historyLengths[t])],
+                  taken);
+        }
+    }
+
+    if (!cfg.speculativeHistory) {
+        ghr.shiftIn(taken);
+    } else if (mispredicted) {
+        // Squash younger speculative bits: rebuild the history as
+        // (pre-branch history, actual outcome).
+        ghr.restore((info.globalHistory << 1) | (taken ? 1 : 0));
+    }
+}
+
+void
+PerceptronPredictor::doReset()
+{
+    for (auto &table : tables)
+        std::fill(table.begin(), table.end(), std::int16_t{0});
+    std::fill(bias.begin(), bias.end(), std::int16_t{0});
+    ghr.clear();
+}
+
+} // namespace confsim

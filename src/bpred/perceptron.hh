@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hashed perceptron predictor (Jiménez & Lin style, hashed-table
+ * variant): several small tables of signed weights, each indexed by
+ * the branch address xor-folded with a *different length* of global
+ * history, plus a per-address bias table. The prediction is the sign
+ * of the weight sum; the magnitude of the sum is a natural confidence
+ * margin, exposed through BpInfo::nativeConf as the "perc-margin"
+ * estimator-input channel.
+ *
+ * Relation to the paper: the ISCA'98 estimators derive confidence
+ * from counter/history state that exists anyway. A perceptron is the
+ * frontier case of that idea — its |weight sum| is a free, finely
+ * graded confidence signal, letting the sweep harness compare the
+ * paper's external estimators against predictor-native confidence on
+ * equal footing.
+ */
+
+#ifndef CONFSIM_BPRED_PERCEPTRON_HH
+#define CONFSIM_BPRED_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+
+namespace confsim
+{
+
+/** Largest nativeConf level a perceptron reports (margin clamp). */
+inline constexpr unsigned PERC_CONF_LEVEL_MAX = 1023;
+
+/** Configuration for PerceptronPredictor. */
+struct PerceptronConfig
+{
+    std::size_t tableEntries = 1024; ///< power-of-two weights per table
+    unsigned weightBits = 8;         ///< signed weight width (2..8)
+    /** Global-history length each weight table hashes over; ascending,
+     *  each in [1, 63]. */
+    std::vector<unsigned> historyLengths = {8, 16, 32, 63};
+    /** Training threshold: train on every branch whose predict-time
+     *  margin is at or below this, not just mispredictions. */
+    int theta = 32;
+    /** Speculative history update with repair (as the paper's
+     *  speculative gshare); false = update only at resolution. */
+    bool speculativeHistory = true;
+
+    bool operator==(const PerceptronConfig &) const = default;
+};
+
+/**
+ * Multi-table hashed perceptron over folded global histories.
+ *
+ * BpInfo compatibility: the saturating-counter confidence estimators
+ * read counterValue/counterMax, so the weight sum is also mapped onto
+ * a pseudo 2-bit counter — below/above theta plays weak/strong:
+ * sum < 0 maps to 0 (strong NT) when |sum| > theta else 1 (weak NT),
+ * and symmetrically 3/2 for taken. nativeConf carries the unquantized
+ * margin min(|sum|, PERC_CONF_LEVEL_MAX).
+ */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    /** @param config table geometry and training threshold. */
+    explicit PerceptronPredictor(const PerceptronConfig &config = {});
+
+    std::string name() const override { return "perceptron"; }
+    void describeConfig(ConfigWriter &out) const override;
+
+    std::vector<std::unique_ptr<EstimatorInputPlugin>>
+    estimatorInputPlugins() const override;
+
+    /** Current (speculative) global history value. */
+    std::uint64_t history() const { return ghr.value(); }
+
+    /**
+     * The signed weight sum for @p pc under an explicit history value
+     * (exposed for tests; does not touch predictor state).
+     */
+    int weightSum(Addr pc, std::uint64_t hist) const;
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
+
+  private:
+    /** Fold the low @p len bits of @p hist into indexBits-wide chunks
+     *  by xor (Seznec-style history folding, recomputed per access so
+     *  update-time repair needs no folded-register state). */
+    std::uint64_t foldHistory(std::uint64_t hist, unsigned len) const;
+
+    std::size_t tableIndex(Addr pc, std::uint64_t hist,
+                           unsigned len) const;
+    std::size_t biasIndex(Addr pc) const;
+
+    /** Saturating-increment @p w toward @p taken within weight range. */
+    void train(std::int16_t &w, bool taken) const;
+
+    PerceptronConfig cfg;
+    unsigned indexBits;
+    std::int16_t weightMax;
+
+    /** One weight table per history length, then the bias table. */
+    std::vector<std::vector<std::int16_t>> tables;
+    std::vector<std::int16_t> bias;
+    HistoryRegister ghr;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_PERCEPTRON_HH

@@ -1,0 +1,298 @@
+#include "bpred/tage.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "bpred/estimator_input.hh"
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+TagePredictor::TagePredictor(const TageConfig &config)
+    : cfg(config),
+      indexBits(floorLog2(config.taggedEntries)),
+      ghr(63)
+{
+    if (!isPowerOfTwo(cfg.baseEntries))
+        fatal("tage base table size must be a power of two");
+    if (!isPowerOfTwo(cfg.taggedEntries))
+        fatal("tage tagged table size must be a power of two");
+    if (cfg.tagBits == 0 || cfg.tagBits > 16)
+        fatal("tage tag width must be in [1, 16]");
+    if (cfg.counterBits < 2 || cfg.counterBits > 8)
+        fatal("tage counter width must be in [2, 8]");
+    if (cfg.usefulBits == 0 || cfg.usefulBits > 8)
+        fatal("tage useful width must be in [1, 8]");
+    if (cfg.historyLengths.empty())
+        fatal("tage needs at least one tagged table");
+    unsigned prev = 0;
+    for (unsigned len : cfg.historyLengths) {
+        if (len == 0 || len > 63)
+            fatal("tage history lengths must be in [1, 63]");
+        if (len <= prev)
+            fatal("tage history lengths must be ascending");
+        prev = len;
+    }
+
+    base.assign(cfg.baseEntries, SatCounter(2, 2));
+    tagged.assign(cfg.historyLengths.size(),
+                  std::vector<TaggedEntry>(cfg.taggedEntries));
+}
+
+void
+TagePredictor::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("base_entries", cfg.baseEntries);
+    out.putUint("tagged_entries", cfg.taggedEntries);
+    out.putUint("tag_bits", cfg.tagBits);
+    out.putUint("counter_bits", cfg.counterBits);
+    out.putUint("useful_bits", cfg.usefulBits);
+    std::string lengths;
+    for (unsigned len : cfg.historyLengths) {
+        if (!lengths.empty())
+            lengths += ',';
+        lengths += std::to_string(len);
+    }
+    out.putString("history_lengths", lengths);
+    out.putUint("useful_aging_period", cfg.usefulAgingPeriod);
+    out.putBool("speculative_history", cfg.speculativeHistory);
+}
+
+std::vector<std::unique_ptr<EstimatorInputPlugin>>
+TagePredictor::estimatorInputPlugins() const
+{
+    auto set = classicEstimatorInputPlugins();
+    set.push_back(std::make_unique<NativeConfInputPlugin>(
+        CHANNEL_TAGE_CONF, TAGE_CONF_LEVEL_MAX));
+    return set;
+}
+
+std::uint64_t
+TagePredictor::foldHistory(std::uint64_t hist, unsigned len,
+                           unsigned bits) const
+{
+    if (bits == 0)
+        return 0;
+    std::uint64_t h = hist & lowBitMask(std::min(len, 63u));
+    std::uint64_t folded = 0;
+    while (h != 0) {
+        folded ^= h & lowBitMask(bits);
+        h >>= bits;
+    }
+    return folded;
+}
+
+std::size_t
+TagePredictor::tableIndex(Addr pc, std::uint64_t hist,
+                          unsigned len) const
+{
+    const std::uint64_t mixed = (pc >> 2) ^ (pc >> (2 + indexBits))
+        ^ foldHistory(hist, len, indexBits);
+    return mixed & (cfg.taggedEntries - 1);
+}
+
+std::uint16_t
+TagePredictor::tableTag(Addr pc, std::uint64_t hist, unsigned len) const
+{
+    // Two differently-folded history hashes decorrelate the tag from
+    // the index (Seznec's trick); the second fold is one bit narrower.
+    const std::uint64_t mixed = (pc >> 2)
+        ^ foldHistory(hist, len, cfg.tagBits)
+        ^ (foldHistory(hist, len, cfg.tagBits - 1) << 1);
+    return static_cast<std::uint16_t>(mixed & lowBitMask(cfg.tagBits));
+}
+
+std::size_t
+TagePredictor::baseIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.baseEntries - 1);
+}
+
+TagePredictor::Lookup
+TagePredictor::lookup(Addr pc, std::uint64_t hist) const
+{
+    Lookup lk;
+    for (int t = static_cast<int>(tagged.size()) - 1; t >= 0; --t) {
+        const std::size_t row =
+            tableIndex(pc, hist, cfg.historyLengths[t]);
+        if (tagged[t][row].tag
+            == tableTag(pc, hist, cfg.historyLengths[t])) {
+            lk.provider = t;
+            lk.row = row;
+            lk.predTaken = tagged[t][row].ctr >= ctrMid();
+            return lk;
+        }
+    }
+    lk.row = baseIndex(pc);
+    lk.predTaken = base[lk.row].taken();
+    return lk;
+}
+
+unsigned
+TagePredictor::usefulCounter(std::size_t table, std::size_t row) const
+{
+    return tagged[table][row].useful;
+}
+
+std::uint16_t
+TagePredictor::entryTag(std::size_t table, std::size_t row) const
+{
+    return tagged[table][row].tag;
+}
+
+BpInfo
+TagePredictor::doPredict(Addr pc)
+{
+    const std::uint64_t hist = ghr.value();
+    const Lookup lk = lookup(pc, hist);
+
+    BpInfo info;
+    info.predTaken = lk.predTaken;
+    info.globalHistory = hist;
+    info.globalHistoryBits = 63;
+
+    unsigned conf_dist = 0;
+    unsigned useful = 0;
+    if (lk.provider >= 0) {
+        const TaggedEntry &e = tagged[lk.provider][lk.row];
+        info.counterValue = e.ctr;
+        info.counterMax = ctrMax();
+        // Distance of the counter from its weak midpoint, 0..mid-1
+        // on either side, clamped onto the 2-bit confidence scale.
+        conf_dist = e.ctr >= ctrMid() ? e.ctr - ctrMid()
+                                      : ctrMid() - 1 - e.ctr;
+        conf_dist = std::min(conf_dist, 3u);
+        useful = std::min<unsigned>(e.useful, 3u);
+    } else {
+        const SatCounter &ctr = base[lk.row];
+        info.counterValue = ctr.read();
+        info.counterMax = ctr.max();
+        // 2-bit base: strong states scale to max confidence, weak
+        // states to zero; the base has no useful counter.
+        conf_dist = ctr.isStrong() ? 3u : 0u;
+    }
+    info.nativeConf = (conf_dist << 2) | useful;
+    info.hasNativeConf = true;
+
+    if (cfg.speculativeHistory)
+        ghr.shiftIn(lk.predTaken);
+    return info;
+}
+
+void
+TagePredictor::doUpdate(Addr pc, bool taken, const BpInfo &info)
+{
+    const std::uint64_t hist = info.globalHistory;
+
+    // Re-derive the provider chain under the branch's own history.
+    // Tables may have changed since predict() — live behaviour only
+    // depends on (pc, taken, info), so record/replay runs agree.
+    int provider = -1;
+    std::size_t providerRow = 0;
+    int alt = -1;
+    std::size_t altRow = 0;
+    for (int t = static_cast<int>(tagged.size()) - 1; t >= 0; --t) {
+        const std::size_t row =
+            tableIndex(pc, hist, cfg.historyLengths[t]);
+        if (tagged[t][row].tag
+            != tableTag(pc, hist, cfg.historyLengths[t]))
+            continue;
+        if (provider < 0) {
+            provider = t;
+            providerRow = row;
+        } else {
+            alt = t;
+            altRow = row;
+            break;
+        }
+    }
+
+    if (provider >= 0) {
+        TaggedEntry &e = tagged[provider][providerRow];
+        const bool provider_pred = e.ctr >= ctrMid();
+        const bool alt_pred = alt >= 0
+            ? tagged[alt][altRow].ctr >= ctrMid()
+            : base[baseIndex(pc)].taken();
+        // The useful counter tracks predictions where the provider
+        // disagreed with (and beat) its alternative.
+        if (provider_pred != alt_pred) {
+            if (provider_pred == taken) {
+                if (e.useful < usefulMax())
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        if (taken) {
+            if (e.ctr < ctrMax())
+                ++e.ctr;
+        } else if (e.ctr > 0) {
+            --e.ctr;
+        }
+    } else {
+        base[baseIndex(pc)].update(taken);
+    }
+
+    // On a (pipeline-observed) misprediction, allocate an entry in a
+    // longer-history table so the branch graduates to more context.
+    if (info.predTaken != taken
+        && provider + 1 < static_cast<int>(tagged.size())) {
+        bool allocated = false;
+        for (std::size_t t = provider + 1; t < tagged.size(); ++t) {
+            const std::size_t row =
+                tableIndex(pc, hist, cfg.historyLengths[t]);
+            TaggedEntry &e = tagged[t][row];
+            if (e.useful == 0) {
+                e.tag = tableTag(pc, hist, cfg.historyLengths[t]);
+                e.ctr = static_cast<std::uint8_t>(
+                    taken ? ctrMid() : ctrMid() - 1);
+                e.useful = 0;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // Everything longer is protected: age the contenders so a
+            // later misprediction can allocate.
+            for (std::size_t t = provider + 1; t < tagged.size(); ++t) {
+                const std::size_t row =
+                    tableIndex(pc, hist, cfg.historyLengths[t]);
+                if (tagged[t][row].useful > 0)
+                    --tagged[t][row].useful;
+            }
+        }
+    }
+
+    // Periodic graceful aging of every useful counter.
+    if (cfg.usefulAgingPeriod > 0
+        && ++updatesSinceAging >= cfg.usefulAgingPeriod) {
+        updatesSinceAging = 0;
+        for (auto &table : tagged) {
+            for (TaggedEntry &e : table)
+                e.useful >>= 1;
+        }
+    }
+
+    if (!cfg.speculativeHistory) {
+        ghr.shiftIn(taken);
+    } else if (info.predTaken != taken) {
+        // Squash younger speculative bits: rebuild the history as
+        // (pre-branch history, actual outcome).
+        ghr.restore((info.globalHistory << 1) | (taken ? 1 : 0));
+    }
+}
+
+void
+TagePredictor::doReset()
+{
+    for (auto &ctr : base)
+        ctr = SatCounter(2, 2);
+    for (auto &table : tagged)
+        std::fill(table.begin(), table.end(), TaggedEntry{});
+    ghr.clear();
+    updatesSinceAging = 0;
+}
+
+} // namespace confsim

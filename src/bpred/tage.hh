@@ -1,0 +1,137 @@
+/**
+ * @file
+ * TAGE-style predictor (Seznec & Michaud): a bimodal base predictor
+ * plus several partially-tagged tables indexed by geometrically
+ * increasing global-history lengths. The longest-history table whose
+ * tag matches provides the prediction; mispredictions allocate a new
+ * entry in a longer-history table.
+ *
+ * Relation to the paper: TAGE carries confidence state natively — the
+ * provider counter's distance from its weak point and the entry's
+ * "useful" bits. Both are packed into BpInfo::nativeConf and exported
+ * as the "tage-conf" estimator-input channel, so the sweep harness can
+ * pit the ISCA'98 external estimators against the predictor's own
+ * confidence on one trace.
+ */
+
+#ifndef CONFSIM_BPRED_TAGE_HH
+#define CONFSIM_BPRED_TAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+
+namespace confsim
+{
+
+/**
+ * Largest nativeConf level TAGE reports: (confDist << 2) | useful
+ * with confDist and useful both in [0, 3].
+ */
+inline constexpr unsigned TAGE_CONF_LEVEL_MAX = 15;
+
+/** Configuration for TagePredictor. */
+struct TageConfig
+{
+    std::size_t baseEntries = 4096;   ///< bimodal base (2-bit counters)
+    std::size_t taggedEntries = 1024; ///< entries per tagged table
+    unsigned tagBits = 9;             ///< partial tag width (1..16)
+    unsigned counterBits = 3;         ///< tagged direction counter width
+    unsigned usefulBits = 2;          ///< useful counter width
+    /** Geometric history lengths, one per tagged table, ascending,
+     *  each in [1, 63]. */
+    std::vector<unsigned> historyLengths = {5, 11, 24, 52};
+    /** Updates between useful-counter agings (right-shift of every u);
+     *  0 disables aging. */
+    std::uint64_t usefulAgingPeriod = 262144;
+    /** Speculative history update with repair (as the paper's
+     *  speculative gshare); false = update only at resolution. */
+    bool speculativeHistory = true;
+
+    bool operator==(const TageConfig &) const = default;
+};
+
+/**
+ * Tagged geometric-history predictor.
+ *
+ * BpInfo compatibility: counterValue/counterMax expose the provider's
+ * direction counter (base 2-bit or tagged counterBits-wide), so the
+ * saturating-counter estimators work unchanged. nativeConf packs the
+ * provider confidence as (confDist << 2) | useful, where confDist is
+ * the counter's distance from its weak midpoint scaled to [0, 3] and
+ * useful is the provider entry's useful counter (0 for the base).
+ */
+class TagePredictor : public BranchPredictor
+{
+  public:
+    /** @param config table geometry and aging period. */
+    explicit TagePredictor(const TageConfig &config = {});
+
+    std::string name() const override { return "tage"; }
+    void describeConfig(ConfigWriter &out) const override;
+
+    std::vector<std::unique_ptr<EstimatorInputPlugin>>
+    estimatorInputPlugins() const override;
+
+    /** Current (speculative) global history value. */
+    std::uint64_t history() const { return ghr.value(); }
+
+    /** Useful counter of tagged entry (@p table, @p row) — for tests. */
+    unsigned usefulCounter(std::size_t table, std::size_t row) const;
+
+    /** Tag of tagged entry (@p table, @p row) — for tests. */
+    std::uint16_t entryTag(std::size_t table, std::size_t row) const;
+
+  protected:
+    BpInfo doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken, const BpInfo &info) override;
+    void doReset() override;
+
+  private:
+    /** One partially-tagged table entry. */
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t ctr = 0;    ///< direction counter (taken >= mid)
+        std::uint8_t useful = 0; ///< replacement-protection counter
+    };
+
+    /** Provider lookup result: which table (or the base) answers. */
+    struct Lookup
+    {
+        int provider = -1;  ///< tagged table index, -1 = base bimodal
+        std::size_t row = 0;
+        bool predTaken = false;
+    };
+
+    std::uint64_t foldHistory(std::uint64_t hist, unsigned len,
+                              unsigned bits) const;
+    std::size_t tableIndex(Addr pc, std::uint64_t hist,
+                           unsigned len) const;
+    std::uint16_t tableTag(Addr pc, std::uint64_t hist,
+                           unsigned len) const;
+    std::size_t baseIndex(Addr pc) const;
+
+    /** Find the longest-history tag match under @p hist. */
+    Lookup lookup(Addr pc, std::uint64_t hist) const;
+
+    /** Counter midpoint: values at or above predict taken. */
+    unsigned ctrMid() const { return 1u << (cfg.counterBits - 1); }
+    unsigned ctrMax() const { return (1u << cfg.counterBits) - 1; }
+    unsigned usefulMax() const { return (1u << cfg.usefulBits) - 1; }
+
+    TageConfig cfg;
+    unsigned indexBits;
+
+    std::vector<SatCounter> base;
+    std::vector<std::vector<TaggedEntry>> tagged;
+    HistoryRegister ghr;
+    std::uint64_t updatesSinceAging = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_BPRED_TAGE_HH

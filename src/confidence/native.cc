@@ -1,0 +1,47 @@
+#include "confidence/native.hh"
+
+#include "bpred/perceptron.hh"
+#include "bpred/tage.hh"
+#include "common/logging.hh"
+
+namespace confsim
+{
+
+NativeConfidenceEstimator::NativeConfidenceEstimator(
+    const NativeConfidenceConfig &config)
+    : cfg(config)
+{
+    if (cfg.name.empty())
+        fatal("native confidence estimator needs a name");
+    if (cfg.levelMax > 0 && cfg.threshold > cfg.levelMax)
+        fatal("native confidence threshold exceeds the level range");
+}
+
+void
+NativeConfidenceEstimator::describeConfig(ConfigWriter &out) const
+{
+    out.putUint("threshold", cfg.threshold);
+    out.putUint("level_max", cfg.levelMax);
+}
+
+NativeConfidenceConfig
+NativeConfidenceEstimator::percConfig(unsigned threshold)
+{
+    NativeConfidenceConfig cfg;
+    cfg.name = "perc-conf";
+    cfg.threshold = threshold;
+    cfg.levelMax = PERC_CONF_LEVEL_MAX;
+    return cfg;
+}
+
+NativeConfidenceConfig
+NativeConfidenceEstimator::tageConfig(unsigned threshold)
+{
+    NativeConfidenceConfig cfg;
+    cfg.name = "tage-conf";
+    cfg.threshold = threshold;
+    cfg.levelMax = TAGE_CONF_LEVEL_MAX;
+    return cfg;
+}
+
+} // namespace confsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Predictor-native confidence estimator: thresholds the confidence
+ * level the predictor itself attaches to each prediction
+ * (BpInfo::nativeConf) instead of keeping any estimator-side state.
+ *
+ * This is the paper's "reuse existing predictor state" idea taken to
+ * its limit — a perceptron's |weight sum| margin or a TAGE provider's
+ * counter-strength/useful packing is confidence information the
+ * predictor computes anyway, so the estimator is a pure comparator.
+ * The harness sweeps the threshold the same way it sweeps JRS MDC
+ * thresholds, which is what lets EXPERIMENTS.md put native and
+ * external estimators on one SENS/SPEC frontier.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_NATIVE_HH
+#define CONFSIM_CONFIDENCE_NATIVE_HH
+
+#include "confidence/estimator.hh"
+
+namespace confsim
+{
+
+/** Configuration for NativeConfidenceEstimator. */
+struct NativeConfidenceConfig
+{
+    std::string name = "native";     ///< reported estimator name
+    unsigned threshold = 1;          ///< HC when nativeConf >= this
+    unsigned levelMax = 0;           ///< largest level the source emits
+
+    bool operator==(const NativeConfidenceConfig &) const = default;
+};
+
+/**
+ * Stateless comparator over BpInfo::nativeConf. Also a LevelSource:
+ * the raw native level backs single-pass threshold sweeps. For
+ * predictors without a native signal every level reads 0, so every
+ * estimate with a nonzero threshold is low confidence.
+ */
+class NativeConfidenceEstimator : public ConfidenceEstimator,
+                                  public LevelSource
+{
+  public:
+    /** @param config name, threshold, and level range. */
+    explicit NativeConfidenceEstimator(
+        const NativeConfidenceConfig &config);
+
+    std::string name() const override { return cfg.name; }
+    void describeConfig(ConfigWriter &out) const override;
+
+    unsigned
+    readLevel(Addr, const BpInfo &info) const override
+    {
+        return info.nativeConf;
+    }
+
+    /** Largest level the producing predictor declares. */
+    unsigned levelMax() const { return cfg.levelMax; }
+
+    /**
+     * The perceptron-margin estimator ("perc-conf"): thresholds the
+     * |weight sum| margin, default threshold 64 of the
+     * PERC_CONF_LEVEL_MAX = 1023 range.
+     */
+    static NativeConfidenceConfig percConfig(unsigned threshold = 64);
+
+    /**
+     * The TAGE provider-confidence estimator ("tage-conf"):
+     * thresholds the (confDist << 2) | useful packing, default
+     * threshold 12 (= confDist 3) of the TAGE_CONF_LEVEL_MAX = 15
+     * range.
+     */
+    static NativeConfidenceConfig tageConfig(unsigned threshold = 12);
+
+  protected:
+    bool
+    doEstimate(Addr, const BpInfo &info) override
+    {
+        return info.nativeConf >= cfg.threshold;
+    }
+
+    void
+    doUpdate(Addr, bool, bool, const BpInfo &) override
+    {
+        // Stateless: the predictor maintains the level itself.
+    }
+
+    void doReset() override {}
+
+  private:
+    NativeConfidenceConfig cfg;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_NATIVE_HH

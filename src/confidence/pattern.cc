@@ -1,52 +1,16 @@
 #include "confidence/pattern.hh"
 
-#include "common/bit_utils.hh"
+#include "bpred/estimator_input.hh"
 
 namespace confsim
 {
 
-namespace
-{
-
-/** Population count over the low @p bits bits. */
-unsigned
-popcountLow(std::uint64_t v, unsigned bits)
-{
-    v &= lowBitMask(bits);
-    unsigned count = 0;
-    while (v) {
-        v &= v - 1;
-        ++count;
-    }
-    return count;
-}
-
-} // anonymous namespace
-
 bool
 PatternEstimator::isConfidentPattern(std::uint64_t history, unsigned bits)
 {
-    if (bits == 0)
-        return false;
-    const std::uint64_t mask = lowBitMask(bits);
-    const std::uint64_t h = history & mask;
-
-    // Always taken / always not-taken.
-    if (h == mask || h == 0)
-        return true;
-
-    // Almost always taken / not-taken: exactly one dissenting bit.
-    const unsigned ones = popcountLow(h, bits);
-    if (ones == 1 || ones == bits - 1)
-        return true;
-
-    // Strictly alternating: 0101... or 1010...
-    const std::uint64_t alt0 = 0x5555555555555555ull & mask;
-    const std::uint64_t alt1 = 0xaaaaaaaaaaaaaaaaull & mask;
-    if (h == alt0 || h == alt1)
-        return true;
-
-    return false;
+    // Core classifier lives in bpred/estimator_input.cc so the
+    // decode-time pattern-conf plugin can share it.
+    return confidentHistoryPattern(history, bits);
 }
 
 bool

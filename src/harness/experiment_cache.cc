@@ -342,9 +342,15 @@ cachedDecodedRun(PredictorKind kind, const WorkloadSpec &spec,
         const auto rec = cachedRecordedRun(kind, spec, cfg, pipeCfg);
         DecodedRun dec;
         std::string error;
+        // Decode with the recording predictor's own input plugins so
+        // native-confidence channels (perceptron margin, TAGE
+        // provider state) are present alongside the classic ones.
         // The cached trace was just encoded by TraceWriter, so a
         // decode failure is a bug, not an input problem.
-        if (!buildDecodedTrace(rec->trace, dec.trace, &error))
+        if (!buildDecodedTrace(rec->trace,
+                               makePredictor(kind)
+                                       ->estimatorInputPlugins(),
+                               dec.trace, &error))
             panic("decoding cached trace failed: " + error);
         dec.pipe = rec->pipe;
         dec.statsSubtree = rec->statsSubtree;

@@ -5,12 +5,15 @@
 #include <optional>
 #include <utility>
 
+#include "bpred/perceptron.hh"
+#include "bpred/tage.hh"
 #include "common/checksum.hh"
 #include "common/logging.hh"
 #include "confidence/boosting.hh"
 #include "confidence/cir.hh"
 #include "confidence/distance.hh"
 #include "confidence/mcf_jrs.hh"
+#include "confidence/native.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
 #include "harness/config_json.hh"
@@ -65,6 +68,14 @@ makeNamedEstimator(const std::string &name,
     }
     if (name == "mcf-jrs")
         return std::make_unique<McfJrsEstimator>();
+    if (name == "perc-conf")
+        return std::make_unique<NativeConfidenceEstimator>(
+                NativeConfidenceEstimator::percConfig(
+                        params.percThreshold));
+    if (name == "tage-conf")
+        return std::make_unique<NativeConfidenceEstimator>(
+                NativeConfidenceEstimator::tageConfig(
+                        params.tageThreshold));
     if (name == "boost2" || name == "boost3")
         return std::make_unique<BoostingEstimator>(
                 std::make_unique<JrsEstimator>(params.jrs),
@@ -95,23 +106,26 @@ emptyProfile()
 }
 
 /** Attach one grid column to @p replayer; returns the owner of a
- *  virtual lane's estimator (nullptr for kernel lanes). */
+ *  virtual lane's estimator (nullptr for kernel lanes). @p kind is
+ *  the predictor the shard's trace was recorded with (grid.kind in
+ *  single mode, the task's entry of grid.kinds in mixed mode). */
 std::unique_ptr<ConfidenceEstimator>
 attachConfig(BatchReplayer &replayer, const SweepGrid &grid,
-             const SweepEstimatorSpec &spec,
+             PredictorKind kind, const SweepEstimatorSpec &spec,
              const ProfileTable &profile)
 {
     const std::string &n = spec.estimator;
+    const bool sweep_levels = !grid.thresholds.empty();
     if (isJrsLane(n)) {
         JrsConfig jrs = spec.params.jrs;
         if (n == "jrs-base")
             jrs.enhanced = false;
-        replayer.attachJrs(jrs, !grid.thresholds.empty());
+        replayer.attachJrs(jrs, sweep_levels);
         return nullptr;
     }
     if (n == "satcnt") {
         replayer.attachSatCounters(
-                grid.kind == PredictorKind::McFarling
+                kind == PredictorKind::McFarling
                     ? SatCountersVariant::BothStrong
                     : SatCountersVariant::Selected);
         return nullptr;
@@ -128,20 +142,33 @@ attachConfig(BatchReplayer &replayer, const SweepGrid &grid,
         replayer.attachPattern();
         return nullptr;
     }
-    auto est =
-        makeNamedEstimator(n, spec.params, grid.kind, profile);
+    if (n == "perc-conf") {
+        replayer.attachChannelThreshold(CHANNEL_PERC_MARGIN,
+                                        spec.params.percThreshold,
+                                        sweep_levels);
+        return nullptr;
+    }
+    if (n == "tage-conf") {
+        replayer.attachChannelThreshold(CHANNEL_TAGE_CONF,
+                                        spec.params.tageThreshold,
+                                        sweep_levels);
+        return nullptr;
+    }
+    auto est = makeNamedEstimator(n, spec.params, kind, profile);
     if (!est)
         fatal("unknown estimator '" + n + "' in sweep grid");
     replayer.attachEstimator(est.get());
     return est;
 }
 
-/** One parallel task: one workload, one shard of configurations. */
+/** One parallel task: one (predictor, workload), one shard of
+ *  configurations. */
 std::vector<SweepConfigResult>
-runShard(const SweepGrid &grid, const WorkloadSpec &spec,
-         std::size_t first, std::size_t count)
+runShard(const SweepGrid &grid, PredictorKind kind,
+         const WorkloadSpec &spec, std::size_t first,
+         std::size_t count)
 {
-    const auto decoded = cachedDecodedRun(grid.kind, spec,
+    const auto decoded = cachedDecodedRun(kind, spec,
                                           grid.workload, grid.pipeline);
     BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
             decoded, &decoded->trace));
@@ -153,8 +180,8 @@ runShard(const SweepGrid &grid, const WorkloadSpec &spec,
     for (std::size_t c = first; c < first + count; ++c) {
         const SweepEstimatorSpec &est = grid.estimators[c];
         if (est.estimator == "static" && !profile)
-            profile = cachedProfile(grid.kind, spec, grid.workload);
-        auto owner = attachConfig(replayer, grid, est,
+            profile = cachedProfile(kind, spec, grid.workload);
+        auto owner = attachConfig(replayer, grid, kind, est,
                                   profile ? *profile : emptyProfile());
         if (owner)
             owned.push_back(std::move(owner));
@@ -250,21 +277,30 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
              SweepExecReport *report)
 {
     const std::vector<WorkloadSpec> specs = resolveWorkloads(grid);
+    // Single mode runs grid.kind; mixed mode runs each listed kind as
+    // an outer loop over the same (workload, shard) plan, so the task
+    // index reduces to the single-mode one when kinds has one entry.
+    const bool multi = !grid.kinds.empty();
+    const std::vector<PredictorKind> kindsList =
+        multi ? grid.kinds : std::vector<PredictorKind>{grid.kind};
     const std::size_t configs = grid.estimators.size();
     const std::size_t shard = std::max<std::size_t>(grid.shardSize, 1);
     const std::size_t shards = configs == 0
         ? 0 : (configs + shard - 1) / shard;
-    const std::size_t tasks = specs.size() * shards;
+    const std::size_t tasksPerKind = specs.size() * shards;
+    const std::size_t tasks = kindsList.size() * tasksPerKind;
 
     std::unique_ptr<SweepJournal> journal;
     if (!options.journalPath.empty())
         journal = std::make_unique<SweepJournal>(options.journalPath,
                                                  sweepGridKey(grid));
 
-    // Task t = (workload index wi = t / shards, shard index
-    // si = t % shards) — grid-determined and jobs-independent, so a
-    // journal written under one job count resumes under any other,
-    // and the in-order merge below is identical for any job count.
+    // Task t = (kind index ki = t / tasksPerKind, workload index
+    // wi = (t % tasksPerKind) / shards, shard index si = t % shards)
+    // — grid-determined and jobs-independent, so a journal written
+    // under one job count resumes under any other, and the in-order
+    // merge below is identical for any job count. Single mode has
+    // ki == 0 always, i.e. the original t = wi * shards + si plan.
     std::vector<std::optional<std::vector<SweepConfigResult>>>
         parts(tasks);
     std::vector<std::size_t> pending;
@@ -284,10 +320,11 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
             pending.size(),
             [&](TaskContext &ctx) {
                 const std::size_t t = pending[ctx.index];
-                const std::size_t wi = t / shards;
+                const std::size_t ki = t / tasksPerKind;
+                const std::size_t wi = (t % tasksPerKind) / shards;
                 const std::size_t first = (t % shards) * shard;
                 auto results =
-                    runShard(grid, specs[wi], first,
+                    runShard(grid, kindsList[ki], specs[wi], first,
                              std::min(shard, configs - first));
                 // Checkpoint before returning: a later fatal task (or
                 // a kill) must not lose this completed shard.
@@ -308,17 +345,23 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
 
     SweepResult result;
     result.grid = grid;
-    for (std::size_t wi = 0; wi < specs.size(); ++wi) {
-        SweepWorkloadResult wl;
-        wl.workload = specs[wi].name;
-        wl.pipe = cachedDecodedRun(grid.kind, specs[wi], grid.workload,
-                                   grid.pipeline)->pipe;
-        for (std::size_t si = 0; si < shards; ++si) {
-            auto &part = *parts[wi * shards + si];
-            for (auto &config : part)
-                wl.configs.push_back(std::move(config));
+    for (std::size_t ki = 0; ki < kindsList.size(); ++ki) {
+        for (std::size_t wi = 0; wi < specs.size(); ++wi) {
+            SweepWorkloadResult wl;
+            wl.workload = specs[wi].name;
+            if (multi)
+                wl.predictor = predictorKindName(kindsList[ki]);
+            wl.pipe = cachedDecodedRun(kindsList[ki], specs[wi],
+                                       grid.workload,
+                                       grid.pipeline)->pipe;
+            for (std::size_t si = 0; si < shards; ++si) {
+                auto &part =
+                    *parts[ki * tasksPerKind + wi * shards + si];
+                for (auto &config : part)
+                    wl.configs.push_back(std::move(config));
+            }
+            result.workloads.push_back(std::move(wl));
         }
-        result.workloads.push_back(std::move(wl));
     }
     return result;
 }
@@ -476,6 +519,18 @@ sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
             if (!val.isString()
                 || !predictorKindFromName(val.asString(), grid.kind))
                 return fail("predictor: unknown predictor kind");
+        } else if (key == "predictors") {
+            if (!val.isArray() || val.size() == 0)
+                return fail("predictors: expected a non-empty array "
+                            "of predictor names");
+            grid.kinds.clear();
+            for (const JsonValue &p : val.elements()) {
+                PredictorKind kind = PredictorKind::Gshare;
+                if (!p.isString()
+                    || !predictorKindFromName(p.asString(), kind))
+                    return fail("predictors: unknown predictor kind");
+                grid.kinds.push_back(kind);
+            }
         } else if (key == "workloads") {
             if (!val.isArray())
                 return fail("workloads: expected an array of names");
@@ -548,6 +603,28 @@ sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
                             return fail("static_threshold: expected a "
                                         "number");
                         spec.params.staticThreshold = eval.asDouble();
+                    } else if (ekey == "perc_threshold") {
+                        if ((eval.kind() != JsonValue::Kind::Uint
+                             && eval.kind() != JsonValue::Kind::Int)
+                            || eval.asInt() < 0
+                            || eval.asUint() > PERC_CONF_LEVEL_MAX)
+                            return fail("perc_threshold: expected an "
+                                        "unsigned integer <= "
+                                        + std::to_string(
+                                                PERC_CONF_LEVEL_MAX));
+                        spec.params.percThreshold =
+                            static_cast<unsigned>(eval.asUint());
+                    } else if (ekey == "tage_threshold") {
+                        if ((eval.kind() != JsonValue::Kind::Uint
+                             && eval.kind() != JsonValue::Kind::Int)
+                            || eval.asInt() < 0
+                            || eval.asUint() > TAGE_CONF_LEVEL_MAX)
+                            return fail("tage_threshold: expected an "
+                                        "unsigned integer <= "
+                                        + std::to_string(
+                                                TAGE_CONF_LEVEL_MAX));
+                        spec.params.tageThreshold =
+                            static_cast<unsigned>(eval.asUint());
                     } else {
                         return fail("estimators: unknown key '" + ekey
                                     + "'");
@@ -589,6 +666,14 @@ sweepGridToJson(const SweepGrid &grid)
     JsonValue v = JsonValue::object();
     v["predictor"] = JsonValue(std::string(
             predictorKindName(grid.kind)));
+    // Emitted only in mixed-predictor mode so single-predictor grids
+    // round-trip byte-identically to the pre-plugin format.
+    if (!grid.kinds.empty()) {
+        JsonValue kinds = JsonValue::array();
+        for (PredictorKind kind : grid.kinds)
+            kinds.push(JsonValue(std::string(predictorKindName(kind))));
+        v["predictors"] = kinds;
+    }
     JsonValue workloads = JsonValue::array();
     for (const std::string &name : grid.workloads)
         workloads.push(JsonValue(name));
@@ -609,6 +694,15 @@ sweepGridToJson(const SweepGrid &grid)
         e["distance_threshold"] =
             JsonValue(std::uint64_t{spec.params.distanceThreshold});
         e["static_threshold"] = JsonValue(spec.params.staticThreshold);
+        // Native-confidence knobs: emitted only when they differ from
+        // the defaults, keeping pre-plugin grid echoes byte-stable.
+        const SweepEstimatorParams defaults;
+        if (spec.params.percThreshold != defaults.percThreshold)
+            e["perc_threshold"] =
+                JsonValue(std::uint64_t{spec.params.percThreshold});
+        if (spec.params.tageThreshold != defaults.tageThreshold)
+            e["tage_threshold"] =
+                JsonValue(std::uint64_t{spec.params.tageThreshold});
         estimators.push(e);
     }
     v["estimators"] = estimators;
@@ -625,6 +719,8 @@ sweepResultToJson(const SweepResult &result)
     for (const SweepWorkloadResult &wl : result.workloads) {
         JsonValue w = JsonValue::object();
         w["workload"] = JsonValue(wl.workload);
+        if (!wl.predictor.empty())
+            w["predictor"] = JsonValue(wl.predictor);
         JsonValue configs = JsonValue::array();
         for (const SweepConfigResult &c : wl.configs)
             configs.push(sweepConfigResultToJson(c));
@@ -634,27 +730,44 @@ sweepResultToJson(const SweepResult &result)
     doc["workloads"] = workloads;
 
     // Paper-style aggregate per configuration: normalize each
-    // workload's committed quadrants and average the fractions.
+    // workload's committed quadrants and average the fractions. In
+    // mixed-predictor mode the workload list is grouped by predictor
+    // (runSweepGrid emits kind-major order), and each predictor gets
+    // its own aggregate block tagged with the predictor name; single
+    // mode has one anonymous group, the pre-plugin format.
     JsonValue aggregate = JsonValue::array();
-    const std::size_t nconfigs = result.workloads.empty()
-        ? 0 : result.workloads.front().configs.size();
-    for (std::size_t c = 0; c < nconfigs; ++c) {
-        std::vector<QuadrantCounts> runs;
-        for (const SweepWorkloadResult &wl : result.workloads)
-            runs.push_back(wl.configs[c].committed);
-        const QuadrantFractions f = aggregateQuadrants(runs);
-        JsonValue a = JsonValue::object();
-        a["label"] =
-            JsonValue(result.workloads.front().configs[c].label);
-        a["chc"] = JsonValue(f.chc);
-        a["ihc"] = JsonValue(f.ihc);
-        a["clc"] = JsonValue(f.clc);
-        a["ilc"] = JsonValue(f.ilc);
-        a["sens"] = JsonValue(f.sens());
-        a["spec"] = JsonValue(f.spec());
-        a["pvp"] = JsonValue(f.pvp());
-        a["pvn"] = JsonValue(f.pvn());
-        aggregate.push(a);
+    std::size_t group_begin = 0;
+    while (group_begin < result.workloads.size()) {
+        const std::string &pred =
+            result.workloads[group_begin].predictor;
+        std::size_t group_end = group_begin;
+        while (group_end < result.workloads.size()
+               && result.workloads[group_end].predictor == pred)
+            ++group_end;
+        const std::size_t nconfigs =
+            result.workloads[group_begin].configs.size();
+        for (std::size_t c = 0; c < nconfigs; ++c) {
+            std::vector<QuadrantCounts> runs;
+            for (std::size_t wi = group_begin; wi < group_end; ++wi)
+                runs.push_back(
+                        result.workloads[wi].configs[c].committed);
+            const QuadrantFractions f = aggregateQuadrants(runs);
+            JsonValue a = JsonValue::object();
+            a["label"] = JsonValue(
+                    result.workloads[group_begin].configs[c].label);
+            if (!pred.empty())
+                a["predictor"] = JsonValue(pred);
+            a["chc"] = JsonValue(f.chc);
+            a["ihc"] = JsonValue(f.ihc);
+            a["clc"] = JsonValue(f.clc);
+            a["ilc"] = JsonValue(f.ilc);
+            a["sens"] = JsonValue(f.sens());
+            a["spec"] = JsonValue(f.spec());
+            a["pvp"] = JsonValue(f.pvp());
+            a["pvn"] = JsonValue(f.pvn());
+            aggregate.push(a);
+        }
+        group_begin = group_end;
     }
     doc["aggregate"] = aggregate;
     return doc;

@@ -41,6 +41,11 @@ struct SweepEstimatorParams
     JrsConfig jrs;                  ///< JRS geometry/threshold
     unsigned distanceThreshold = 4; ///< distance estimator "> n"
     double staticThreshold = 0.9;   ///< static estimator accuracy bar
+    /// perc-conf: HC when the perceptron margin is >= this.
+    unsigned percThreshold = 64;
+    /// tage-conf: HC when the TAGE (confDist << 2) | useful packing
+    /// is >= this (12 = provider counter fully saturated).
+    unsigned tageThreshold = 12;
 
     bool operator==(const SweepEstimatorParams &) const = default;
 };
@@ -48,7 +53,8 @@ struct SweepEstimatorParams
 /**
  * Build an estimator by its CLI name (jrs, jrs-base, satcnt,
  * satcnt-both, satcnt-either, pattern, static, distance, cir-ones,
- * cir-table, mcf-jrs, boost2, boost3, always-high, always-low).
+ * cir-table, mcf-jrs, boost2, boost3, perc-conf, tage-conf,
+ * always-high, always-low).
  * @param kind selects the satcnt variant (BothStrong on McFarling).
  * @param profile backs "static"; must outlive the estimator.
  * @return nullptr if @p name is not a known estimator.
@@ -70,6 +76,15 @@ struct SweepEstimatorSpec
 struct SweepGrid
 {
     PredictorKind kind = PredictorKind::Gshare;
+    /**
+     * Mixed-predictor mode: when non-empty, the grid is evaluated for
+     * every listed predictor in one call (`kind` is ignored), each
+     * (predictor, workload) pair decoding its own trace, and every
+     * SweepWorkloadResult / aggregate carries the predictor name.
+     * Empty (the default) keeps the single-predictor output format
+     * byte-for-byte.
+     */
+    std::vector<PredictorKind> kinds;
     /** Workload names; empty = every standard workload. */
     std::vector<std::string> workloads;
     WorkloadConfig workload;
@@ -107,6 +122,9 @@ struct SweepConfigResult
 struct SweepWorkloadResult
 {
     std::string workload;
+    /** Predictor name in mixed-predictor mode; empty in single mode
+     *  (the grid's one predictor applies to every workload). */
+    std::string predictor;
     PipelineStats pipe;
     std::vector<SweepConfigResult> configs;
 };

@@ -26,7 +26,8 @@ constexpr std::size_t BLOCK_OPS = 8192;
  * update are inlineable functors receiving (index, flag byte), so each
  * instantiation compiles to a closed loop over flat arrays — this is
  * the sweep's inner loop. Kernel lanes consume only the precomputed
- * per-branch inputs (flag byte, jrsKey), never the BpInfo records.
+ * per-branch inputs (flag byte, input channels), never the BpInfo
+ * records.
  *
  * Mirrors TraceReplayer op for op: a fetch op estimates (and samples
  * the confidence level), a finalize op trains committed branches only.
@@ -101,6 +102,49 @@ walkBlock(ConfidenceEstimator::Stats &stats, QuadrantCounts &allQ,
     com.flushInto(committedQ);
 }
 
+/**
+ * The linear pass shared by every stateless lane: such lanes have a
+ * no-op update and an estimate precomputed into an input channel, so
+ * they cannot observe the fetch/finalize interleaving — every
+ * accumulation commutes. One linear pass over the per-branch values
+ * (each branch is fetched exactly once) therefore produces
+ * bit-identical results to the scheduled walk at a fraction of its
+ * cost: no schedule loads and no unpredictable fetch-vs-finalize
+ * branch. classify(i, level) returns the high/low verdict and fills
+ * the raw sweep level.
+ */
+template <typename ClassifyFn>
+inline void
+linearPass(ConfidenceEstimator::Stats &stats, QuadrantCounts &allQ,
+           QuadrantCounts &committedQ, LevelSweep *sweep,
+           const DecodedTrace &t, ClassifyFn classify)
+{
+    const std::uint8_t *flags = t.flags.data();
+    const std::size_t n = t.size();
+    QuadrantBins all, com;
+    std::uint64_t low = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t f = flags[i];
+        unsigned level = 0;
+        const unsigned high = classify(i, level) ? 1u : 0u;
+        low += high ^ 1u;
+        const unsigned correct =
+            (f & DecodedTrace::FLAG_CORRECT) ? 1u : 0u;
+        const unsigned q = (correct << 1) | high;
+        all.add(q, 1);
+        const std::uint64_t commits =
+            (f & DecodedTrace::FLAG_COMMIT) ? 1u : 0u;
+        com.add(q, commits);
+        if (sweep != nullptr && commits != 0)
+            sweep->record(level, correct != 0);
+    }
+    stats.estimates += t.counters.branches;
+    stats.lowEstimates += low;
+    stats.updates += t.counters.committedBranches;
+    all.flushInto(allQ);
+    com.flushInto(committedQ);
+}
+
 } // anonymous namespace
 
 BatchReplayer::BatchReplayer(std::shared_ptr<const DecodedTrace> trace)
@@ -119,6 +163,10 @@ BatchReplayer::attachJrs(const JrsConfig &cfg, bool sweep_levels)
         fatal("JRS counter width must be in [1, 16]");
     Lane lane;
     lane.kind = SweepLaneKind::Jrs;
+    lane.chan = src->findChannel(CHANNEL_JRS_KEY);
+    if (lane.chan == nullptr)
+        fatal(std::string("JRS sweep lane needs the '")
+              + CHANNEL_JRS_KEY + "' input channel");
     lane.jrs = cfg;
     lane.jrsMax =
         static_cast<std::uint16_t>((1u << cfg.counterBits) - 1);
@@ -133,6 +181,10 @@ BatchReplayer::attachSatCounters(SatCountersVariant variant)
 {
     Lane lane;
     lane.kind = SweepLaneKind::SatCounters;
+    lane.chan = src->findChannel(CHANNEL_SAT_BITS);
+    if (lane.chan == nullptr)
+        fatal(std::string("sat-counters sweep lane needs the '")
+              + CHANNEL_SAT_BITS + "' input channel");
     lane.satVariant = variant;
     lanes.push_back(std::move(lane));
     return static_cast<unsigned>(lanes.size() - 1);
@@ -143,6 +195,26 @@ BatchReplayer::attachPattern()
 {
     Lane lane;
     lane.kind = SweepLaneKind::Pattern;
+    lane.chan = src->findChannel(CHANNEL_PATTERN_CONF);
+    if (lane.chan == nullptr)
+        fatal(std::string("pattern sweep lane needs the '")
+              + CHANNEL_PATTERN_CONF + "' input channel");
+    lanes.push_back(std::move(lane));
+    return static_cast<unsigned>(lanes.size() - 1);
+}
+
+unsigned
+BatchReplayer::attachChannelThreshold(const std::string &channel,
+                                      unsigned threshold,
+                                      bool sweep_levels)
+{
+    Lane lane;
+    lane.kind = SweepLaneKind::Channel;
+    lane.chan = src->findChannel(channel);
+    lane.chanThreshold = threshold;
+    lane.sweepLevels = sweep_levels;
+    lane.maxLevel = lane.chan != nullptr
+        ? std::min(lane.chan->levelMax, 65535u) : 0;
     lanes.push_back(std::move(lane));
     return static_cast<unsigned>(lanes.size() - 1);
 }
@@ -192,10 +264,10 @@ BatchReplayer::runLaneBlock(Lane &lane, const std::uint32_t *ops,
     switch (lane.kind) {
       case SweepLaneKind::Jrs: {
         // Index math is JrsEstimator::index() over the precomputed
-        // jrsKey; the enhanced bit comes from the flag byte, so the
-        // loop touches key + flags + table only. The geometry is baked
-        // in per instantiation to keep the loop branch-free.
-        const std::uint64_t *key = t.jrsKey.data();
+        // jrs-key channel; the enhanced bit comes from the flag byte,
+        // so the loop touches key + flags + table only. The geometry
+        // is baked in per instantiation to keep the loop branch-free.
+        const std::uint64_t *key = lane.chan->u64.data();
         std::uint16_t *table = lane.table.data();
         const std::uint64_t mask = lane.jrs.tableEntries - 1;
         const unsigned threshold = lane.jrs.threshold;
@@ -238,6 +310,7 @@ BatchReplayer::runLaneBlock(Lane &lane, const std::uint32_t *ops,
       }
       case SweepLaneKind::SatCounters:
       case SweepLaneKind::Pattern:
+      case SweepLaneKind::Channel:
         // Handled by runStatelessLane(); never walked per block.
         break;
       case SweepLaneKind::Virtual:
@@ -267,48 +340,80 @@ BatchReplayer::runLaneBlock(Lane &lane, const std::uint32_t *ops,
 void
 BatchReplayer::runStatelessLane(Lane &lane)
 {
-    // Saturating-counter and pattern lanes have a no-op update and an
-    // estimate precomputed into the flag byte, so they cannot observe
-    // the fetch/finalize interleaving: every accumulation commutes.
-    // One linear pass over the flag bytes (each branch is fetched
-    // exactly once) therefore produces bit-identical results to the
-    // scheduled walk at a fraction of its cost — no schedule loads and
-    // no unpredictable fetch-vs-finalize branch.
-    std::uint8_t bit = DecodedTrace::FLAG_PATTERN_CONF;
-    if (lane.kind == SweepLaneKind::SatCounters) {
+    const DecodedTrace &t = *src;
+    LevelSweep *sweep = lane.sweepLevels ? &lane.sweep : nullptr;
+
+    switch (lane.kind) {
+      case SweepLaneKind::SatCounters: {
+        std::uint8_t bit = 0;
         switch (lane.satVariant) {
           case SatCountersVariant::Selected:
-            bit = DecodedTrace::FLAG_SAT_SELECTED;
+            bit = SAT_BIT_SELECTED;
             break;
           case SatCountersVariant::BothStrong:
-            bit = DecodedTrace::FLAG_SAT_BOTH;
+            bit = SAT_BIT_BOTH;
             break;
           case SatCountersVariant::EitherStrong:
-            bit = DecodedTrace::FLAG_SAT_EITHER;
+            bit = SAT_BIT_EITHER;
             break;
         }
+        const std::uint8_t *vals = lane.chan->u8.data();
+        linearPass(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                   [vals, bit](std::size_t i, unsigned &) {
+                       return (vals[i] & bit) != 0;
+                   });
+        break;
+      }
+      case SweepLaneKind::Pattern: {
+        const std::uint8_t *vals = lane.chan->u8.data();
+        linearPass(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                   [vals](std::size_t i, unsigned &) {
+                       return vals[i] != 0;
+                   });
+        break;
+      }
+      case SweepLaneKind::Channel: {
+        const unsigned threshold = lane.chanThreshold;
+        if (lane.chan == nullptr) {
+            // Absent channel: every value reads 0 (see attach doc).
+            linearPass(lane.stats, lane.allQ, lane.committedQ, sweep,
+                       t, [threshold](std::size_t, unsigned &) {
+                           return 0u >= threshold;
+                       });
+            break;
+        }
+        auto runWidth = [&](const auto *vals) {
+            linearPass(lane.stats, lane.allQ, lane.committedQ, sweep,
+                       t,
+                       [vals, threshold](std::size_t i,
+                                         unsigned &level) {
+                           const std::uint64_t v = vals[i];
+                           level = static_cast<unsigned>(
+                                   std::min<std::uint64_t>(v, 65535u));
+                           return v >= threshold;
+                       });
+        };
+        switch (lane.chan->width) {
+          case InputWidth::U8:
+            runWidth(lane.chan->u8.data());
+            break;
+          case InputWidth::U16:
+            runWidth(lane.chan->u16.data());
+            break;
+          case InputWidth::U32:
+            runWidth(lane.chan->u32.data());
+            break;
+          case InputWidth::U64:
+            runWidth(lane.chan->u64.data());
+            break;
+        }
+        break;
+      }
+      case SweepLaneKind::Jrs:
+      case SweepLaneKind::Virtual:
+        // Stateful: walked per block via runLaneBlock().
+        break;
     }
-
-    const DecodedTrace &t = *src;
-    const std::uint8_t *flags = t.flags.data();
-    const std::size_t n = t.size();
-    QuadrantBins all, com;
-    std::uint64_t low = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::uint8_t f = flags[i];
-        const unsigned high = (f & bit) ? 1u : 0u;
-        low += high ^ 1u;
-        const unsigned correct =
-            (f & DecodedTrace::FLAG_CORRECT) ? 1u : 0u;
-        const unsigned q = (correct << 1) | high;
-        all.add(q, 1);
-        com.add(q, (f & DecodedTrace::FLAG_COMMIT) ? 1u : 0u);
-    }
-    lane.stats.estimates += t.counters.branches;
-    lane.stats.lowEstimates += low;
-    lane.stats.updates += t.counters.committedBranches;
-    all.flushInto(lane.allQ);
-    com.flushInto(lane.committedQ);
 }
 
 bool
@@ -349,7 +454,8 @@ BatchReplayer::run(std::string *error)
     bool anyScheduled = predictor != nullptr;
     for (Lane &lane : lanes) {
         if (lane.kind == SweepLaneKind::SatCounters
-            || lane.kind == SweepLaneKind::Pattern)
+            || lane.kind == SweepLaneKind::Pattern
+            || lane.kind == SweepLaneKind::Channel)
             runStatelessLane(lane);
         else
             anyScheduled = true;

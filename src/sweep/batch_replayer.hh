@@ -5,15 +5,17 @@
  *
  * Each attached configuration is a *lane*. The replayer walks the
  * precomputed operation schedule in cache-sized blocks and, per block,
- * advances every lane — so the shared trace data (ops, flags, BpInfo)
- * is hot in cache across all lanes while each lane's private table
- * stays resident for the whole block. The hot estimators (JRS,
- * saturating counters, pattern history) run as template-devirtualized
- * kernels whose inner loop is pure table arithmetic: no virtual
- * dispatch, no BranchEvent reconstruction, no per-config distance
- * bookkeeping. Any other ConfidenceEstimator attaches through the
- * virtual fallback lane and is driven through the exact estimate() /
- * update() sequence a TraceReplayer would issue.
+ * advances every lane — so the shared trace data (ops, flags, input
+ * channels) is hot in cache across all lanes while each lane's private
+ * table stays resident for the whole block. The hot estimators (JRS,
+ * saturating counters, pattern history, predictor-native confidence)
+ * run as template-devirtualized kernels whose inner loop is pure table
+ * arithmetic over the decode-time estimator-input channels (see
+ * bpred/estimator_input.hh): no virtual dispatch, no BranchEvent
+ * reconstruction, no per-config distance bookkeeping. Any other
+ * ConfidenceEstimator attaches through the virtual fallback lane and
+ * is driven through the exact estimate()/update() sequence a
+ * TraceReplayer would issue.
  *
  * Results per lane — committed and all-branch quadrants, estimator
  * Stats counters, and (optionally) a LevelSweep over the raw
@@ -54,6 +56,7 @@ enum class SweepLaneKind
     Jrs,         ///< devirtualized JRS resetting-counter kernel
     SatCounters, ///< devirtualized saturating-counters kernel
     Pattern,     ///< devirtualized history-pattern kernel
+    Channel,     ///< threshold over any estimator-input channel
     Virtual,     ///< fallback driving a ConfidenceEstimator object
 };
 
@@ -72,7 +75,8 @@ class BatchReplayer
     explicit BatchReplayer(std::shared_ptr<const DecodedTrace> trace);
 
     /**
-     * Attach a devirtualized JRS lane.
+     * Attach a devirtualized JRS lane. The trace must carry the
+     * "jrs-key" input channel (every classic plugin set does).
      * @param cfg table geometry/threshold (validated like JrsEstimator).
      * @param sweep_levels also record a LevelSweep of raw MDC values
      *        over committed branches (cf. LevelCollector), enabling a
@@ -81,13 +85,33 @@ class BatchReplayer
      */
     unsigned attachJrs(const JrsConfig &cfg, bool sweep_levels = false);
 
-    /** Attach a devirtualized saturating-counters lane.
+    /** Attach a devirtualized saturating-counters lane (requires the
+     *  "sat-bits" channel).
      *  @return lane index. */
     unsigned attachSatCounters(SatCountersVariant variant);
 
-    /** Attach a devirtualized history-pattern lane.
+    /** Attach a devirtualized history-pattern lane (requires the
+     *  "pattern-conf" channel).
      *  @return lane index. */
     unsigned attachPattern();
+
+    /**
+     * Attach a stateless threshold lane over any estimator-input
+     * channel: high confidence iff channel value >= @p threshold, with
+     * the raw value as the sweep level. This is how predictor-native
+     * confidence ("perc-margin", "tage-conf") enters a sweep. A trace
+     * decoded without the channel yields all-zero values — matching
+     * what a live NativeConfidenceEstimator sees from a predictor
+     * that never sets nativeConf.
+     * @param channel channel name to bind.
+     * @param threshold high-confidence cut.
+     * @param sweep_levels also record a LevelSweep over committed
+     *        branches, sized by the channel's declared levelMax.
+     * @return lane index.
+     */
+    unsigned attachChannelThreshold(const std::string &channel,
+                                    unsigned threshold,
+                                    bool sweep_levels = false);
 
     /**
      * Attach the virtual fallback lane for any estimator.
@@ -164,6 +188,12 @@ class BatchReplayer
     {
         SweepLaneKind kind = SweepLaneKind::Virtual;
 
+        /** Bound input channel (owned by the shared trace): the
+         *  jrs-key column for Jrs lanes, the sat-bits/pattern-conf
+         *  column for the stateless kernels, the named column for
+         *  Channel lanes (null = absent, all values read as 0). */
+        const InputChannel *chan = nullptr;
+
         // JRS kernel state.
         JrsConfig jrs;
         std::uint16_t jrsMax = 0;
@@ -171,6 +201,9 @@ class BatchReplayer
 
         // Saturating-counters kernel state.
         SatCountersVariant satVariant = SatCountersVariant::Selected;
+
+        // Channel-threshold kernel state.
+        unsigned chanThreshold = 0;
 
         // Virtual fallback (non-owning).
         ConfidenceEstimator *est = nullptr;

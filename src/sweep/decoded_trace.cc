@@ -1,6 +1,6 @@
 #include "sweep/decoded_trace.hh"
 
-#include "confidence/pattern.hh"
+#include <algorithm>
 
 namespace confsim
 {
@@ -8,17 +8,10 @@ namespace confsim
 namespace
 {
 
-/**
- * Per-branch flag byte: outcome bits plus the estimator decisions that
- * depend only on the recorded BpInfo. The saturating-counter variants
- * mirror SatCountersEstimator::doEstimate() and the pattern bit
- * mirrors PatternEstimator::estimate() verbatim — precomputing them
- * here is what lets those kernel lanes run on one byte per branch.
- */
+/** Per-branch flag byte: the four outcome bits. */
 std::uint8_t
 recordFlags(const TraceRecord &rec)
 {
-    const BpInfo &bi = rec.info;
     std::uint8_t f = 0;
     if (rec.taken)
         f |= DecodedTrace::FLAG_TAKEN;
@@ -26,37 +19,47 @@ recordFlags(const TraceRecord &rec)
         f |= DecodedTrace::FLAG_CORRECT;
     if (rec.willCommit)
         f |= DecodedTrace::FLAG_COMMIT;
-    if (bi.predTaken)
+    if (rec.info.predTaken)
         f |= DecodedTrace::FLAG_PRED_TAKEN;
-
-    const bool selected_strong =
-        bi.counterValue == 0 || bi.counterValue == bi.counterMax;
-    if (selected_strong)
-        f |= DecodedTrace::FLAG_SAT_SELECTED;
-    const bool both = bi.hasComponents
-        ? (bi.bimodalStrong && bi.gshareStrong) : selected_strong;
-    if (both)
-        f |= DecodedTrace::FLAG_SAT_BOTH;
-    const bool either = bi.hasComponents
-        ? (bi.bimodalStrong || bi.gshareStrong) : selected_strong;
-    if (either)
-        f |= DecodedTrace::FLAG_SAT_EITHER;
-
-    const bool pattern = bi.localHistoryBits > 0
-        ? PatternEstimator::isConfidentPattern(bi.localHistory,
-                                               bi.localHistoryBits)
-        : PatternEstimator::isConfidentPattern(bi.globalHistory,
-                                               bi.globalHistoryBits);
-    if (pattern)
-        f |= DecodedTrace::FLAG_PATTERN_CONF;
     return f;
+}
+
+/** Append @p value to the column matching @p chan's width. */
+void
+channelPush(InputChannel &chan, std::uint64_t value)
+{
+    switch (chan.width) {
+      case InputWidth::U8:
+        chan.u8.push_back(static_cast<std::uint8_t>(value));
+        break;
+      case InputWidth::U16:
+        chan.u16.push_back(static_cast<std::uint16_t>(value));
+        break;
+      case InputWidth::U32:
+        chan.u32.push_back(static_cast<std::uint32_t>(value));
+        break;
+      case InputWidth::U64:
+        chan.u64.push_back(value);
+        break;
+    }
 }
 
 } // anonymous namespace
 
+const InputChannel *
+DecodedTrace::findChannel(std::string_view name) const
+{
+    for (const InputChannel &chan : channels) {
+        if (chan.name == name)
+            return &chan;
+    }
+    return nullptr;
+}
+
 bool
-buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
-                  std::string *error)
+buildDecodedTrace(const BranchTrace &trace,
+                  const EstimatorInputPluginSet &plugins,
+                  DecodedTrace &out, std::string *error)
 {
     const std::size_t n = trace.records.size();
     // Schedule ops carry the branch index in 31 bits.
@@ -74,12 +77,40 @@ buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
     out.flags.reserve(n);
     out.fetchCycle.reserve(n);
     out.resolveCycle.reserve(n);
-    out.jrsKey.reserve(n);
     out.schedule.reserve(2 * n);
     out.preciseDistAll.reserve(n);
     out.preciseDistCommitted.reserve(n);
     out.perceivedDistAll.reserve(n);
     out.perceivedDistCommitted.reserve(n);
+
+    out.channels.reserve(plugins.size());
+    for (const auto &plugin : plugins) {
+        InputChannel chan;
+        chan.name = plugin->channel();
+        chan.width = plugin->width();
+        chan.levelMax = plugin->levelMax();
+        if (out.findChannel(chan.name) != nullptr) {
+            if (error != nullptr)
+                *error = "duplicate estimator-input channel '"
+                         + chan.name + "'";
+            return false;
+        }
+        switch (chan.width) {
+          case InputWidth::U8:
+            chan.u8.reserve(n);
+            break;
+          case InputWidth::U16:
+            chan.u16.reserve(n);
+            break;
+          case InputWidth::U32:
+            chan.u32.reserve(n);
+            break;
+          case InputWidth::U64:
+            chan.u64.reserve(n);
+            break;
+        }
+        out.channels.push_back(std::move(chan));
+    }
 
     for (const TraceRecord &rec : trace.records) {
         out.pc.push_back(rec.pc);
@@ -87,10 +118,16 @@ buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
         out.flags.push_back(recordFlags(rec));
         out.fetchCycle.push_back(rec.fetchCycle);
         out.resolveCycle.push_back(rec.resolveCycle);
-        // Same global-else-local history selection as JrsEstimator.
-        const std::uint64_t hist = rec.info.globalHistoryBits > 0
-            ? rec.info.globalHistory : rec.info.localHistory;
-        out.jrsKey.push_back((rec.pc >> 2) ^ hist);
+        for (std::size_t p = 0; p < plugins.size(); ++p) {
+            std::uint64_t v = plugins[p]->derive(rec.pc, rec.info);
+            InputChannel &chan = out.channels[p];
+            // Clamp level-valued channels so sweep histograms sized
+            // by levelMax can never be overrun (levelMax 0 marks a
+            // key-valued channel, e.g. the JRS hash base).
+            if (chan.levelMax > 0)
+                v = std::min<std::uint64_t>(v, chan.levelMax);
+            channelPush(chan, v);
+        }
     }
 
     // Reconstruct the fetch/finalize interleaving once. TraceReplayer
@@ -160,6 +197,25 @@ buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
         finalize(front++);
 
     return true;
+}
+
+bool
+buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
+                  std::string *error)
+{
+    return buildDecodedTrace(trace, classicEstimatorInputPlugins(),
+                             out, error);
+}
+
+bool
+buildDecodedTrace(std::string_view encoded,
+                  const EstimatorInputPluginSet &plugins,
+                  DecodedTrace &out, std::string *error)
+{
+    BranchTrace trace;
+    if (!decodeTrace(encoded, trace, error))
+        return false;
+    return buildDecodedTrace(trace, plugins, out, error);
 }
 
 bool

@@ -14,11 +14,14 @@
  *  - the four misprediction-distance streams (functions of the
  *    correct/willCommit bits and the schedule only).
  *
- * buildDecodedTrace() computes all three exactly once. The result is
- * flat vectors (pc, BpInfo, outcome flags, cycles, distances) plus a
- * precomputed operation schedule, so a sweep over N configurations
- * pays the decode and bookkeeping once instead of N times and its
- * inner loop touches only contiguous arrays (see BatchReplayer).
+ * buildDecodedTrace() computes all three exactly once, plus every
+ * *estimator input* — a confidence input that is a pure function of
+ * the recorded (pc, BpInfo) — via the trace's EstimatorInputPlugin
+ * set (see bpred/estimator_input.hh). Each plugin fills one named,
+ * typed InputChannel column; BatchReplayer lanes bind to channels by
+ * name, so a sweep over N configurations pays the decode and input
+ * derivation once instead of N times and its inner loop touches only
+ * contiguous arrays.
  *
  * Schedule encoding: one uint32 per operation, branch index in the
  * high bits, bit 0 set for a fetch (estimate) and clear for a
@@ -37,12 +40,48 @@
 #include <vector>
 
 #include "bpred/branch_predictor.hh"
+#include "bpred/estimator_input.hh"
 #include "common/types.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_replayer.hh"
 
 namespace confsim
 {
+
+/**
+ * One decode-time estimator-input column: the values an
+ * EstimatorInputPlugin derived for every branch, stored at the
+ * plugin's declared width. Exactly one of the u8/u16/u32/u64 vectors
+ * (matching `width`) is populated.
+ */
+struct InputChannel
+{
+    std::string name;  ///< EstimatorInputPlugin::channel()
+    InputWidth width = InputWidth::U8;
+    unsigned levelMax = 0; ///< EstimatorInputPlugin::levelMax()
+
+    std::vector<std::uint8_t> u8;
+    std::vector<std::uint16_t> u16;
+    std::vector<std::uint32_t> u32;
+    std::vector<std::uint64_t> u64;
+
+    /** Generic (width-dispatching) read of branch @p i's value. */
+    std::uint64_t
+    value(std::size_t i) const
+    {
+        switch (width) {
+          case InputWidth::U8:
+            return u8[i];
+          case InputWidth::U16:
+            return u16[i];
+          case InputWidth::U32:
+            return u32[i];
+          case InputWidth::U64:
+            return u64[i];
+        }
+        return 0;
+    }
+};
 
 /** Flat, immutable SoA view of one recorded branch stream. */
 struct DecodedTrace
@@ -53,22 +92,6 @@ struct DecodedTrace
     static constexpr std::uint8_t FLAG_CORRECT = 1u << 1;
     static constexpr std::uint8_t FLAG_COMMIT = 1u << 2;
     static constexpr std::uint8_t FLAG_PRED_TAKEN = 1u << 3;
-    /// @}
-
-    /// @name Precomputed estimator-input flag bits
-    /// Confidence decisions that are pure functions of the recorded
-    /// BpInfo are evaluated once at decode time, so the corresponding
-    /// kernel lanes read one byte per branch instead of the whole
-    /// BpInfo record (see BatchReplayer).
-    /// @{
-    /// SatCountersVariant::Selected estimate (selected counter strong).
-    static constexpr std::uint8_t FLAG_SAT_SELECTED = 1u << 4;
-    /// SatCountersVariant::BothStrong estimate.
-    static constexpr std::uint8_t FLAG_SAT_BOTH = 1u << 5;
-    /// SatCountersVariant::EitherStrong estimate.
-    static constexpr std::uint8_t FLAG_SAT_EITHER = 1u << 6;
-    /// PatternEstimator confident-pattern estimate.
-    static constexpr std::uint8_t FLAG_PATTERN_CONF = 1u << 7;
     /// @}
 
     /** Schedule op: branch @p index fetched (estimate point). */
@@ -92,15 +115,14 @@ struct DecodedTrace
     std::vector<std::uint8_t> flags; ///< FLAG_* bits above
     std::vector<Cycle> fetchCycle;
     std::vector<Cycle> resolveCycle;
-    /**
-     * Precomputed JRS hash base, (pc >> 2) ^ history with the same
-     * global-else-local history selection as JrsEstimator. Every JRS
-     * table geometry derives its index from this one value (enhanced
-     * variants append FLAG_PRED_TAKEN, then mask), so JRS lanes never
-     * touch the BpInfo array.
-     */
-    std::vector<std::uint64_t> jrsKey;
     /// @}
+
+    /**
+     * Estimator-input columns, one per plugin of the set the trace
+     * was decoded with, in plugin order. Kernel lanes bind to these
+     * by name (see findChannel) so they never touch the BpInfo array.
+     */
+    std::vector<InputChannel> channels;
 
     /**
      * Precomputed fetch/finalize interleaving: 2 * size() ops encoding
@@ -127,19 +149,39 @@ struct DecodedTrace
 
     /** Number of branch records. */
     std::size_t size() const { return pc.size(); }
+
+    /** @return the channel named @p name, or nullptr when the trace
+     *  was decoded without a plugin providing it. */
+    const InputChannel *findChannel(std::string_view name) const;
 };
 
 /**
- * Build the SoA form (including schedule and distances) from a
- * materialized trace.
+ * Build the SoA form (schedule, distances, estimator-input channels)
+ * from a materialized trace, deriving the channels with the given
+ * plugin set (normally the recording predictor's
+ * estimatorInputPlugins()).
  * @return false (with @p error set when non-null) if the trace is too
- *         large for 32-bit schedule indices.
+ *         large for 32-bit schedule indices or the plugin set declares
+ *         a duplicate channel name.
  */
+bool buildDecodedTrace(const BranchTrace &trace,
+                       const EstimatorInputPluginSet &plugins,
+                       DecodedTrace &out, std::string *error = nullptr);
+
+/** As above with the classic plugin set (sat-bits, pattern-conf,
+ *  jrs-key) every predictor shares. */
 bool buildDecodedTrace(const BranchTrace &trace, DecodedTrace &out,
                        std::string *error = nullptr);
 
-/** Decode an encoded trace (header + records) and build the SoA form.
+/** Decode an encoded trace (header + records) and build the SoA form
+ *  with the given plugin set.
  *  @return false on malformed input or an oversized trace. */
+bool buildDecodedTrace(std::string_view encoded,
+                       const EstimatorInputPluginSet &plugins,
+                       DecodedTrace &out, std::string *error = nullptr);
+
+/** Decode an encoded trace and build the SoA form with the classic
+ *  plugin set. */
 bool buildDecodedTrace(std::string_view encoded, DecodedTrace &out,
                        std::string *error = nullptr);
 

@@ -63,6 +63,8 @@ traceEncodeRecord(std::string &out, TraceCodecState &state,
         flags |= TRACE_FLAG_GSHARE_TAKEN;
     if (info.metaChoseGshare)
         flags |= TRACE_FLAG_META_GSHARE;
+    if (info.hasNativeConf)
+        flags |= TRACE_FLAG_NATIVE_CONF;
 
     const bool meta = state.first
         || info.counterMax != state.counterMax
@@ -91,6 +93,8 @@ traceEncodeRecord(std::string &out, TraceCodecState &state,
             static_cast<std::int64_t>(rec.pc)
             - static_cast<std::int64_t>(state.prevPc)));
     traceAppendVarint(out, info.counterValue);
+    if (info.hasNativeConf)
+        traceAppendVarint(out, info.nativeConf);
     if (state.globalHistoryBits > 0 && !gh_shift)
         traceAppendVarint(out, info.globalHistory);
     if (state.localHistoryBits > 0)

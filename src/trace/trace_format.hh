@@ -36,6 +36,7 @@
  *   [localHistoryBits]     varint   iff FLAG_META
  *   pc                     zigzag   delta vs previous record's pc
  *   counterValue           varint
+ *   [nativeConf]           varint   iff FLAG_NATIVE_CONF (version 2)
  *   [globalHistory]        varint   iff globalHistoryBits > 0 and
  *                                   not FLAG_GH_SHIFT
  *   [localHistory]         varint   iff localHistoryBits > 0
@@ -66,8 +67,20 @@ namespace confsim
 /** Leading magic bytes of every encoded trace. */
 inline constexpr char TRACE_MAGIC[4] = {'C', 'F', 'T', 'R'};
 
-/** Current format version (readers reject anything else). */
+/**
+ * Baseline format version: no predictor-native confidence fields.
+ * TraceWriter emits this whenever no recorded branch carried a native
+ * confidence level, so predictors from before the estimator-input
+ * plugin layer produce byte-identical traces.
+ */
 inline constexpr std::uint64_t TRACE_VERSION = 1;
+
+/**
+ * Format version adding per-record predictor-native confidence
+ * (TRACE_FLAG_NATIVE_CONF + a varint level). Emitted only when some
+ * record actually uses it; readers accept both versions.
+ */
+inline constexpr std::uint64_t TRACE_VERSION_NATIVE = 2;
 
 /// @name Per-record flag bits
 /// @{
@@ -92,10 +105,24 @@ inline constexpr std::uint64_t TRACE_FLAG_META = 1u << 11;
 /// End-of-trace marker; a varint record count follows instead of a
 /// record body.
 inline constexpr std::uint64_t TRACE_FLAG_END = 1u << 12;
-/// Any bit at or above this is from a future version -> reject.
-inline constexpr std::uint64_t TRACE_FLAG_UNKNOWN_MASK =
-    ~((std::uint64_t{1} << 13) - 1);
+/// A varint nativeConf level follows counterValue
+/// (TRACE_VERSION_NATIVE records only).
+inline constexpr std::uint64_t TRACE_FLAG_NATIVE_CONF =
+    std::uint64_t{1} << 13;
 /// @}
+
+/**
+ * Flag bits a reader of @p version must reject: anything the version
+ * does not define is from a future format (or corruption). Keeping
+ * the mask per-version means a baseline trace cannot smuggle in
+ * native-confidence bits.
+ */
+inline constexpr std::uint64_t
+traceUnknownFlagMask(std::uint64_t version)
+{
+    const unsigned known = version >= TRACE_VERSION_NATIVE ? 14 : 13;
+    return ~((std::uint64_t{1} << known) - 1);
+}
 
 /** Longest legal LEB128 varint (10 bytes encode any uint64). */
 inline constexpr std::size_t TRACE_MAX_VARINT_BYTES = 10;

@@ -19,14 +19,14 @@ TraceReader::TraceReader(std::string_view data) : data(data)
     }
     pos = sizeof(TRACE_MAGIC);
 
-    std::uint64_t version = 0;
-    if (!traceReadVarint(data, pos, version)) {
+    if (!traceReadVarint(data, pos, formatVersion)) {
         fail("truncated header (version)");
         return;
     }
-    if (version != TRACE_VERSION) {
+    if (formatVersion != TRACE_VERSION
+        && formatVersion != TRACE_VERSION_NATIVE) {
         fail("unsupported trace version "
-             + std::to_string(version));
+             + std::to_string(formatVersion));
         return;
     }
 
@@ -60,7 +60,7 @@ TraceReader::next(TraceRecord &rec)
     std::uint64_t flags = 0;
     if (!traceReadVarint(data, pos, flags))
         return fail("truncated record (flags)");
-    if ((flags & TRACE_FLAG_UNKNOWN_MASK) != 0)
+    if ((flags & traceUnknownFlagMask(formatVersion)) != 0)
         return fail("unknown flag bits (corrupt or newer format)");
 
     if ((flags & TRACE_FLAG_END) != 0) {
@@ -94,9 +94,16 @@ TraceReader::next(TraceRecord &rec)
 
     std::uint64_t pc_delta = 0, counter = 0, gh = 0, lh = 0;
     std::uint64_t fc_delta = 0, rc_delta = 0;
+    std::uint64_t native_conf = 0;
     if (!traceReadVarint(data, pos, pc_delta)
         || !traceReadVarint(data, pos, counter))
         return fail("truncated record (pc/counter)");
+    if ((flags & TRACE_FLAG_NATIVE_CONF) != 0) {
+        if (!traceReadVarint(data, pos, native_conf))
+            return fail("truncated record (native confidence)");
+        if (native_conf > 0xffffffffu)
+            return fail("native confidence exceeds 32 bits");
+    }
     if (state.globalHistoryBits > 0) {
         if ((flags & TRACE_FLAG_GH_SHIFT) != 0)
             gh = traceShiftedHistory(state, state.globalHistoryBits);
@@ -137,6 +144,8 @@ TraceReader::next(TraceRecord &rec)
     info.bimodalPredTaken = (flags & TRACE_FLAG_BIMODAL_TAKEN) != 0;
     info.gsharePredTaken = (flags & TRACE_FLAG_GSHARE_TAKEN) != 0;
     info.metaChoseGshare = (flags & TRACE_FLAG_META_GSHARE) != 0;
+    info.nativeConf = static_cast<std::uint32_t>(native_conf);
+    info.hasNativeConf = (flags & TRACE_FLAG_NATIVE_CONF) != 0;
 
     state.prevPc = rec.pc;
     state.prevFetchCycle = rec.fetchCycle;

@@ -73,11 +73,16 @@ class TraceReader
     /** Records decoded so far. */
     std::uint64_t recordsRead() const { return count; }
 
+    /** Format version from the header (TRACE_VERSION or
+     *  TRACE_VERSION_NATIVE); 0 before a header parsed. */
+    std::uint64_t version() const { return formatVersion; }
+
   private:
     Status fail(const std::string &what);
 
     std::string_view data;
     std::size_t pos = 0;
+    std::uint64_t formatVersion = 0;
     TraceCodecState state;
     std::string_view metaBlob;
     std::string err;

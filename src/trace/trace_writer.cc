@@ -17,6 +17,8 @@ TraceWriter::onEvent(const BranchEvent &ev)
     rec.fetchCycle = ev.fetchCycle;
     rec.resolveCycle = ev.resolveCycle;
     traceEncodeRecord(body, state, rec);
+    if (ev.info.hasNativeConf)
+        usedNativeConf = true;
     ++count;
 }
 
@@ -26,7 +28,7 @@ TraceWriter::encode(const std::string &meta) const
     std::string out;
     out.reserve(sizeof(TRACE_MAGIC) + 24 + meta.size() + body.size());
     out.append(TRACE_MAGIC, sizeof(TRACE_MAGIC));
-    traceAppendVarint(out, TRACE_VERSION);
+    traceAppendVarint(out, version());
     traceAppendVarint(out, meta.size());
     out += meta;
     out += body;

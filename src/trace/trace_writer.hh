@@ -58,10 +58,19 @@ class TraceWriter final : public BranchEventSink
                    const std::string &meta = "",
                    std::string *error = nullptr) const;
 
+    /** Format version encode() will emit: TRACE_VERSION_NATIVE once
+     *  any recorded branch carried a native confidence level,
+     *  TRACE_VERSION (byte-identical to pre-plugin traces) before. */
+    std::uint64_t version() const
+    {
+        return usedNativeConf ? TRACE_VERSION_NATIVE : TRACE_VERSION;
+    }
+
   private:
     std::string body;
     TraceCodecState state;
     std::uint64_t count = 0;
+    bool usedNativeConf = false;
 };
 
 } // namespace confsim

@@ -7,12 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "bpred/bimodal.hh"
+#include "bpred/estimator_input.hh"
 #include "bpred/gselect.hh"
 #include "bpred/gshare.hh"
 #include "bpred/mcfarling.hh"
 #include "bpred/pas.hh"
+#include "bpred/perceptron.hh"
 #include "bpred/sag.hh"
+#include "bpred/tage.hh"
 
 namespace confsim
 {
@@ -460,21 +466,262 @@ TEST(GselectDeathTest, BadIndexWidthFatal)
                 ::testing::ExitedWithCode(1), "index width");
 }
 
+// --------------------------------------------------------------- perceptron
+
+TEST(PerceptronTest, LearnsBiasedBranch)
+{
+    PerceptronPredictor pred;
+    train(pred, PC_A, true, 64);
+    const BpInfo info = pred.predict(PC_A);
+    EXPECT_TRUE(info.predTaken);
+    // A heavily-trained branch sits above the training threshold.
+    EXPECT_GT(info.nativeConf, 32u);
+    EXPECT_TRUE(info.hasNativeConf);
+    // Pseudo 2-bit counter mapping: taken prediction reads as 2 or 3.
+    EXPECT_EQ(info.counterMax, 3u);
+    EXPECT_GE(info.counterValue, 2u);
+}
+
+TEST(PerceptronTest, NativeConfIsWeightSumMargin)
+{
+    PerceptronPredictor pred;
+    train(pred, PC_A, true, 40);
+    const BpInfo info = pred.predict(PC_A);
+    const int sum = pred.weightSum(PC_A, info.globalHistory);
+    const unsigned margin = static_cast<unsigned>(
+            sum < 0 ? -sum : sum);
+    EXPECT_EQ(info.nativeConf,
+              std::min(margin, PERC_CONF_LEVEL_MAX));
+    EXPECT_EQ(info.predTaken, sum >= 0);
+}
+
+TEST(PerceptronTest, WeightsSaturateAtWeightMax)
+{
+    PerceptronConfig cfg;
+    cfg.weightBits = 4; // weights clamp to [-8, 7]
+    PerceptronPredictor pred(cfg);
+    train(pred, PC_A, true, 500);
+    // 4 history tables + bias, each contributing at most +7: the sum
+    // is bounded no matter how long the branch trains.
+    const int cap =
+        static_cast<int>(cfg.historyLengths.size() + 1) * 7;
+    const int sum = pred.weightSum(PC_A, pred.history());
+    EXPECT_GT(sum, 0);
+    EXPECT_LE(sum, cap);
+}
+
+TEST(PerceptronTest, ThetaGatesTraining)
+{
+    PerceptronPredictor pred; // theta = 32
+    train(pred, PC_A, true, 200);
+    const std::uint64_t h = pred.history();
+    const int before = pred.weightSum(PC_A, h);
+    // Steady state: margin above theta, so a correct prediction must
+    // not train any weight.
+    ASSERT_GT(before, 32);
+    BpInfo info = pred.predict(PC_A);
+    pred.update(PC_A, true, info);
+    EXPECT_EQ(pred.weightSum(PC_A, h), before);
+    // A misprediction always trains, pulling the sum down.
+    info = pred.predict(PC_A);
+    pred.update(PC_A, false, info);
+    EXPECT_LT(pred.weightSum(PC_A, h), before);
+}
+
+TEST(PerceptronTest, MispredictionRepairsHistory)
+{
+    PerceptronPredictor pred;
+    train(pred, PC_A, true, 16);
+    const BpInfo info = pred.predict(PC_A);
+    const bool actual = !info.predTaken;
+    pred.update(PC_A, actual, info);
+    EXPECT_EQ(pred.history(),
+              ((info.globalHistory << 1) | (actual ? 1 : 0))
+                  & lowBitMask(63));
+}
+
+TEST(PerceptronTest, ExportsMarginInputChannel)
+{
+    PerceptronPredictor pred;
+    const auto plugins = pred.estimatorInputPlugins();
+    ASSERT_EQ(plugins.size(), 4u); // 3 classic + the margin channel
+    const auto &margin = *plugins.back();
+    EXPECT_EQ(margin.channel(), CHANNEL_PERC_MARGIN);
+    EXPECT_EQ(margin.width(), InputWidth::U16);
+    EXPECT_EQ(margin.levelMax(), PERC_CONF_LEVEL_MAX);
+    // The channel reads straight from BpInfo::nativeConf.
+    BpInfo info;
+    info.hasNativeConf = true;
+    info.nativeConf = 321;
+    EXPECT_EQ(margin.derive(PC_A, info), 321u);
+}
+
+TEST(PerceptronDeathTest, BadGeometryFatal)
+{
+    PerceptronConfig cfg;
+    cfg.tableEntries = 1000; // not a power of two
+    EXPECT_EXIT(PerceptronPredictor pred(cfg),
+                ::testing::ExitedWithCode(1), "power of two");
+    PerceptronConfig cfg2;
+    cfg2.historyLengths = {8, 8}; // not ascending
+    EXPECT_EXIT(PerceptronPredictor pred2(cfg2),
+                ::testing::ExitedWithCode(1), "ascending");
+}
+
+// --------------------------------------------------------------------- tage
+
+TEST(TageTest, LearnsAlternatingPatternViaTaggedTables)
+{
+    TagePredictor pred;
+    int correct_tail = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool actual = (i % 2) == 0;
+        const BpInfo info = pred.predict(PC_A);
+        if (i >= 120 && info.predTaken == actual)
+            ++correct_tail;
+        pred.update(PC_A, actual, info);
+    }
+    // Bimodal alone oscillates near 50% on alternation; the tagged
+    // tables see the 0101... history context and lock on.
+    EXPECT_GE(correct_tail, 70) << "of 80 tail predictions";
+}
+
+TEST(TageTest, MispredictionAllocatesTaggedEntry)
+{
+    TagePredictor pred;
+    // PC_B under empty history: tag (pc>>2) & 0x1ff = 1, which no
+    // fresh (all-zero) entry matches, so the base provides. Feed a
+    // misprediction directly: allocation must land in the first
+    // tagged table with the branch's tag and a weak counter. The
+    // mispredict is toward not-taken so the history repair keeps the
+    // history at 0 and the next lookup sees the same context.
+    BpInfo info;
+    info.predTaken = true;
+    info.globalHistory = 0;
+    info.globalHistoryBits = 63;
+    pred.update(PC_B, false, info);
+    // Row for PC_B, hist 0, table 0: (pc>>2) ^ (pc>>12) = 0x803; the
+    // 1024-entry mask keeps 3.
+    EXPECT_EQ(pred.entryTag(0, 3), 1u);
+    EXPECT_EQ(pred.usefulCounter(0, 3), 0u);
+    // The allocated entry now provides a (weak) not-taken prediction.
+    const BpInfo after = pred.predict(PC_B);
+    EXPECT_FALSE(after.predTaken);
+    EXPECT_EQ(after.counterMax, 7u); // tagged 3-bit provider
+}
+
+TEST(TageTest, UsefulCountsProviderWinsAndAges)
+{
+    TageConfig cfg;
+    cfg.usefulAgingPeriod = 7;
+    TagePredictor pred(cfg);
+    // PC_A under empty history tags as 0, which every fresh table
+    // matches; the longest table (3) provides with alt = table 2.
+    BpInfo info;
+    info.predTaken = true;
+    info.globalHistory = 0;
+    info.globalHistoryBits = 63;
+    // Raise the provider's counter to taken (mid = 4) — provider and
+    // alt agree (both weak-NT) on the way up, so useful stays 0.
+    for (int i = 0; i < 4; ++i)
+        pred.update(PC_A, true, info);
+    const std::size_t row = 1; // (0x400 ^ 1) & 0x3ff
+    EXPECT_EQ(pred.usefulCounter(3, row), 0u);
+    // Now the provider says taken while alt still says not-taken:
+    // each correct disagreement bumps the useful counter.
+    pred.update(PC_A, true, info);
+    EXPECT_EQ(pred.usefulCounter(3, row), 1u);
+    pred.update(PC_A, true, info);
+    EXPECT_EQ(pred.usefulCounter(3, row), 2u);
+    // The 7th update trips the aging period: useful is incremented to
+    // 3, then every counter halves.
+    pred.update(PC_A, true, info);
+    EXPECT_EQ(pred.usefulCounter(3, row), 1u);
+}
+
+TEST(TageTest, NativeConfPacksDistanceAndUseful)
+{
+    TagePredictor pred;
+    // Fresh predictor, PC_B: base provider in its weak-taken reset
+    // state — distance 0, no useful bits.
+    BpInfo info = pred.predict(PC_B);
+    EXPECT_TRUE(info.hasNativeConf);
+    EXPECT_EQ(info.nativeConf, 0u);
+    // Saturate the base counter: strong state reads full distance.
+    TagePredictor pred2;
+    train(pred2, PC_B, true, 8);
+    info = pred2.predict(PC_B);
+    if (info.counterMax == 3u) { // still base-provided
+        EXPECT_EQ(info.nativeConf, 3u << 2);
+    }
+    EXPECT_LE(info.nativeConf, TAGE_CONF_LEVEL_MAX);
+}
+
+TEST(TageTest, ExportsConfInputChannel)
+{
+    TagePredictor pred;
+    const auto plugins = pred.estimatorInputPlugins();
+    ASSERT_EQ(plugins.size(), 4u);
+    const auto &conf = *plugins.back();
+    EXPECT_EQ(conf.channel(), CHANNEL_TAGE_CONF);
+    EXPECT_EQ(conf.width(), InputWidth::U16);
+    EXPECT_EQ(conf.levelMax(), TAGE_CONF_LEVEL_MAX);
+}
+
+TEST(TageDeathTest, BadGeometryFatal)
+{
+    TageConfig cfg;
+    cfg.historyLengths = {24, 11}; // not ascending
+    EXPECT_EXIT(TagePredictor pred(cfg),
+                ::testing::ExitedWithCode(1), "ascending");
+    TageConfig cfg2;
+    cfg2.tagBits = 17;
+    EXPECT_EXIT(TagePredictor pred2(cfg2),
+                ::testing::ExitedWithCode(1), "tag width");
+}
+
 // ------------------------------------------------------------------ factory
 
 TEST(FactoryTest, MakesEveryKind)
 {
-    for (auto kind :
-         {PredictorKind::Bimodal, PredictorKind::Gshare,
-          PredictorKind::McFarling, PredictorKind::SAg,
-          PredictorKind::Gselect, PredictorKind::GAg,
-          PredictorKind::PAs}) {
+    for (auto kind : allPredictorKinds()) {
         auto pred = makePredictor(kind);
         ASSERT_NE(pred, nullptr);
         EXPECT_EQ(pred->name(), predictorKindName(kind));
         // Must be immediately usable.
         const BpInfo info = pred->predict(PC_A);
         pred->update(PC_A, info.predTaken, info);
+    }
+}
+
+TEST(FactoryTest, NameListCoversEveryKind)
+{
+    const std::string &names = predictorKindNameList();
+    // The frontier predictors are registered alongside the classics.
+    EXPECT_NE(names.find("perceptron"), std::string::npos) << names;
+    EXPECT_NE(names.find("tage"), std::string::npos) << names;
+    for (PredictorKind kind : allPredictorKinds()) {
+        EXPECT_NE(names.find(predictorKindName(kind)),
+                  std::string::npos)
+            << names;
+        PredictorKind parsed;
+        EXPECT_TRUE(
+                predictorKindFromName(predictorKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    PredictorKind parsed;
+    EXPECT_FALSE(predictorKindFromName("nope", parsed));
+}
+
+TEST(FactoryTest, EveryPredictorExportsClassicChannels)
+{
+    for (PredictorKind kind : allPredictorKinds()) {
+        const auto plugins =
+            makePredictor(kind)->estimatorInputPlugins();
+        ASSERT_GE(plugins.size(), 3u) << predictorKindName(kind);
+        EXPECT_EQ(plugins[0]->channel(), CHANNEL_SAT_BITS);
+        EXPECT_EQ(plugins[1]->channel(), CHANNEL_PATTERN_CONF);
+        EXPECT_EQ(plugins[2]->channel(), CHANNEL_JRS_KEY);
     }
 }
 

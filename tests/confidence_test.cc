@@ -12,6 +12,7 @@
 #include "confidence/distance.hh"
 #include "confidence/estimator.hh"
 #include "confidence/jrs.hh"
+#include "confidence/native.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
 #include "confidence/static_profile.hh"
@@ -465,6 +466,77 @@ TEST(ConstantTest, AlwaysHighAndLow)
     EXPECT_FALSE(lo.estimate(PC_A, BpInfo{}));
     EXPECT_EQ(hi.name(), "always-high");
     EXPECT_EQ(lo.name(), "always-low");
+}
+
+// ------------------------------------------------------- native confidence
+
+TEST(NativeConfidenceTest, ThresholdsNativeLevel)
+{
+    NativeConfidenceEstimator est(
+            NativeConfidenceEstimator::percConfig(64));
+    EXPECT_EQ(est.name(), "perc-conf");
+    BpInfo info = gshareInfo(true);
+    info.hasNativeConf = true;
+    info.nativeConf = 63;
+    EXPECT_FALSE(est.estimate(PC_A, info));
+    info.nativeConf = 64; // inclusive threshold
+    EXPECT_TRUE(est.estimate(PC_A, info));
+    info.nativeConf = 1000;
+    EXPECT_TRUE(est.estimate(PC_A, info));
+}
+
+TEST(NativeConfidenceTest, ReadsLevelVerbatim)
+{
+    NativeConfidenceEstimator est(
+            NativeConfidenceEstimator::tageConfig());
+    EXPECT_EQ(est.name(), "tage-conf");
+    BpInfo info = gshareInfo(true);
+    info.hasNativeConf = true;
+    info.nativeConf = 13;
+    EXPECT_EQ(est.readLevel(PC_A, info), 13u);
+    EXPECT_TRUE(est.estimate(PC_A, info)); // default threshold 12
+    info.nativeConf = 11;
+    EXPECT_FALSE(est.estimate(PC_A, info));
+}
+
+TEST(NativeConfidenceTest, NoNativeSignalIsAlwaysLow)
+{
+    // Classic predictors never set nativeConf, so the comparator
+    // degrades to always-low (threshold >= 1) rather than misfiring.
+    NativeConfidenceEstimator est(
+            NativeConfidenceEstimator::percConfig(1));
+    const BpInfo info = gshareInfo(true, 0x2b);
+    EXPECT_FALSE(est.estimate(PC_A, info));
+    EXPECT_EQ(est.readLevel(PC_A, info), 0u);
+}
+
+TEST(NativeConfidenceTest, StatsTrackOutcomes)
+{
+    NativeConfidenceEstimator est(
+            NativeConfidenceEstimator::percConfig(10));
+    BpInfo info = gshareInfo(true);
+    info.hasNativeConf = true;
+    info.nativeConf = 20;
+    EXPECT_TRUE(est.estimate(PC_A, info));
+    est.update(PC_A, true, true, info);
+    info.nativeConf = 5;
+    EXPECT_FALSE(est.estimate(PC_A, info));
+    est.update(PC_A, true, false, info);
+    EXPECT_EQ(est.stats().estimates, 2u);
+    EXPECT_EQ(est.stats().updates, 2u);
+}
+
+TEST(NativeConfidenceDeathTest, BadConfigFatal)
+{
+    NativeConfidenceConfig cfg;
+    cfg.name = "";
+    EXPECT_EXIT(NativeConfidenceEstimator est(cfg),
+                ::testing::ExitedWithCode(1), "name");
+    NativeConfidenceConfig cfg2;
+    cfg2.levelMax = 15;
+    cfg2.threshold = 16; // beyond the declared range
+    EXPECT_EXIT(NativeConfidenceEstimator est2(cfg2),
+                ::testing::ExitedWithCode(1), "threshold");
 }
 
 } // anonymous namespace

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regenerate the golden-equivalence baselines from a trusted confsim
+# binary. Only run this deliberately (e.g. after an intentional output
+# format change) — the whole point of the goldens is that refactors do
+# NOT need to regenerate them.
+#
+# usage: regenerate.sh CONFSIM_BIN [GOLDEN_DIR]
+set -eu
+
+BIN=$1
+GOLDEN=${2:-$(dirname "$0")}
+
+PREDICTORS="bimodal gshare mcfarling sag gselect gag pas"
+ESTIMATORS="jrs jrs-base satcnt satcnt-both satcnt-either pattern \
+static distance cir-ones cir-table mcf-jrs boost2 boost3 always-high \
+always-low"
+
+mkdir -p "$GOLDEN/expected"
+for pred in $PREDICTORS; do
+    "$BIN" --sweep "$GOLDEN/grids/$pred.json" --jobs 0 \
+        > "$GOLDEN/expected/sweep_$pred.json"
+    : > "$GOLDEN/expected/cli_$pred.json"
+    for est in $ESTIMATORS; do
+        "$BIN" --workload compress --predictor "$pred" \
+            --estimator "$est" --json \
+            >> "$GOLDEN/expected/cli_$pred.json"
+    done
+    echo "captured $pred"
+done

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Golden-equivalence check for one predictor: the sweep-grid JSON and
+# the per-estimator --json documents emitted by the current confsim
+# binary must be byte-identical to the outputs captured before the
+# estimator-input plugin refactor. Any estimator/predictor stats drift
+# for pre-existing combinations fails this test.
+#
+# usage: run_golden.sh CONFSIM_BIN PREDICTOR GOLDEN_DIR [WORKDIR]
+set -eu
+
+BIN=$1
+PRED=$2
+GOLDEN=$3
+WORK=${4:-$(mktemp -d)}
+
+ESTIMATORS="jrs jrs-base satcnt satcnt-both satcnt-either pattern \
+static distance cir-ones cir-table mcf-jrs boost2 boost3 always-high \
+always-low"
+
+# Sweep: full estimator grid over every standard workload, serial.
+"$BIN" --sweep "$GOLDEN/grids/$PRED.json" --jobs 0 \
+    > "$WORK/sweep_$PRED.json"
+if ! cmp -s "$GOLDEN/expected/sweep_$PRED.json" \
+        "$WORK/sweep_$PRED.json"; then
+    echo "FAIL: --sweep output for '$PRED' differs from golden" >&2
+    diff "$GOLDEN/expected/sweep_$PRED.json" \
+        "$WORK/sweep_$PRED.json" | head -40 >&2 || true
+    exit 1
+fi
+
+# Sweep again with workers: serial and parallel must be byte-identical.
+"$BIN" --sweep "$GOLDEN/grids/$PRED.json" --jobs 2 \
+    > "$WORK/sweep_par_$PRED.json"
+if ! cmp -s "$GOLDEN/expected/sweep_$PRED.json" \
+        "$WORK/sweep_par_$PRED.json"; then
+    echo "FAIL: --sweep --jobs 2 output for '$PRED' differs" >&2
+    exit 1
+fi
+
+# CLI --json: one document per estimator, concatenated in list order.
+: > "$WORK/cli_$PRED.json"
+for est in $ESTIMATORS; do
+    "$BIN" --workload compress --predictor "$PRED" \
+        --estimator "$est" --json >> "$WORK/cli_$PRED.json"
+done
+if ! cmp -s "$GOLDEN/expected/cli_$PRED.json" \
+        "$WORK/cli_$PRED.json"; then
+    echo "FAIL: --json output for '$PRED' differs from golden" >&2
+    diff "$GOLDEN/expected/cli_$PRED.json" "$WORK/cli_$PRED.json" \
+        | head -40 >&2 || true
+    exit 1
+fi
+
+echo "golden equivalence OK for $PRED"

@@ -19,6 +19,7 @@
 #include "common/fault_injection.hh"
 #include "confidence/distance.hh"
 #include "confidence/jrs.hh"
+#include "confidence/native.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
 #include "confidence/static_profile.hh"
@@ -536,6 +537,247 @@ TEST(SweepLevelSweepTest, MergeGrowsToLargerMaxLevel)
     big += small;
     EXPECT_EQ(big.maxLevel(), 16u);
     EXPECT_EQ(big.total(), 0u + 3u);
+}
+
+// ------------------------------------------------- estimator-input channels
+
+TEST(InputChannelTest, DecodedTraceCarriesPluginChannels)
+{
+    const ExperimentConfig cfg;
+    const auto decoded = cachedDecodedRun(
+            PredictorKind::Perceptron, spec("compress"), cfg.workload,
+            cfg.pipeline);
+    const DecodedTrace &t = decoded->trace;
+    ASSERT_EQ(t.channels.size(), 4u);
+    for (const char *name :
+         {CHANNEL_SAT_BITS, CHANNEL_PATTERN_CONF, CHANNEL_JRS_KEY,
+          CHANNEL_PERC_MARGIN}) {
+        const InputChannel *chan = t.findChannel(name);
+        ASSERT_NE(chan, nullptr) << name;
+        // Values respect the plugin's declared level range.
+        if (chan->levelMax > 0) {
+            for (std::size_t i = 0; i < t.counters.branches; ++i)
+                ASSERT_LE(chan->value(i), chan->levelMax) << name;
+        }
+    }
+    EXPECT_EQ(t.findChannel(CHANNEL_TAGE_CONF), nullptr);
+    EXPECT_EQ(t.findChannel(CHANNEL_PERC_MARGIN)->width,
+              InputWidth::U16);
+}
+
+TEST(InputChannelTest, ChannelLaneMatchesVirtualNativeEstimator)
+{
+    const ExperimentConfig cfg;
+    const auto decoded = cachedDecodedRun(
+            PredictorKind::Perceptron, spec("compress"), cfg.workload,
+            cfg.pipeline);
+    BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
+    const unsigned kernel =
+        replayer.attachChannelThreshold(CHANNEL_PERC_MARGIN, 64, true);
+    NativeConfidenceEstimator reference(
+            NativeConfidenceEstimator::percConfig(64));
+    const unsigned virt = replayer.attachEstimator(&reference);
+    std::string error;
+    ASSERT_TRUE(replayer.run(&error)) << error;
+
+    EXPECT_EQ(replayer.committed(kernel), replayer.committed(virt));
+    EXPECT_EQ(replayer.all(kernel), replayer.all(virt));
+    // The lane's level sweep is self-consistent: slicing it at the
+    // lane threshold reproduces the lane's own quadrants.
+    ASSERT_TRUE(replayer.hasLevels(kernel));
+    EXPECT_EQ(replayer.levels(kernel).atThresholdGe(64),
+              replayer.committed(kernel));
+}
+
+TEST(InputChannelTest, MissingChannelReadsAllZero)
+{
+    // A native-confidence lane over a classic predictor's trace (no
+    // perc-margin channel) must degrade to always-low, not die.
+    const ExperimentConfig cfg;
+    const auto decoded = cachedDecodedRun(
+            PredictorKind::Gshare, spec("compress"), cfg.workload,
+            cfg.pipeline);
+    BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
+    const unsigned lane =
+        replayer.attachChannelThreshold(CHANNEL_PERC_MARGIN, 64);
+    std::string error;
+    ASSERT_TRUE(replayer.run(&error)) << error;
+    EXPECT_EQ(replayer.committed(lane).chc, 0u);
+    EXPECT_EQ(replayer.committed(lane).ihc, 0u);
+    EXPECT_GT(replayer.committed(lane).clc
+                  + replayer.committed(lane).ilc,
+              0u);
+}
+
+// ------------------------------------------------------ mixed-predictor grid
+
+SweepGrid
+mixedGrid()
+{
+    SweepGrid grid;
+    grid.kinds = {PredictorKind::Gshare, PredictorKind::Perceptron,
+                  PredictorKind::Tage};
+    grid.workloads = {"compress", "go"};
+    grid.thresholds = {4, 64};
+    grid.shardSize = 3;
+    grid.estimators = {
+        {"jrs", "jrs", {}},
+        {"satcnt", "satcnt", {}},
+        {"perc-conf", "perc-conf", {}},
+        {"tage-conf", "tage-conf", {}},
+    };
+    return grid;
+}
+
+TEST(MixedGridTest, RunsEveryPredictorKindMajor)
+{
+    const SweepGrid grid = mixedGrid();
+    const SweepResult result = runSweepGrid(grid, 0);
+    ASSERT_EQ(result.workloads.size(), 6u); // 3 kinds x 2 workloads
+    const char *expected[][2] = {
+        {"gshare", "compress"},     {"gshare", "go"},
+        {"perceptron", "compress"}, {"perceptron", "go"},
+        {"tage", "compress"},       {"tage", "go"},
+    };
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(result.workloads[i].predictor, expected[i][0]);
+        EXPECT_EQ(result.workloads[i].workload, expected[i][1]);
+        ASSERT_EQ(result.workloads[i].configs.size(), 4u);
+    }
+
+    // Native lanes only fire on their own predictor: perc-conf sees
+    // zero high-confidence estimates everywhere but the perceptron.
+    for (const SweepWorkloadResult &wl : result.workloads) {
+        const SweepConfigResult &perc = wl.configs[2];
+        const SweepConfigResult &tage = wl.configs[3];
+        ASSERT_EQ(perc.estimator, "perc-conf");
+        ASSERT_EQ(tage.estimator, "tage-conf");
+        const auto high = [](const QuadrantCounts &q) {
+            return q.chc + q.ihc;
+        };
+        if (wl.predictor == "perceptron")
+            EXPECT_GT(high(perc.committed), 0u) << wl.workload;
+        else
+            EXPECT_EQ(high(perc.committed), 0u)
+                << wl.predictor << " " << wl.workload;
+        if (wl.predictor == "tage")
+            EXPECT_GT(high(tage.committed), 0u) << wl.workload;
+        else
+            EXPECT_EQ(high(tage.committed), 0u)
+                << wl.predictor << " " << wl.workload;
+    }
+}
+
+TEST(MixedGridTest, SerialAndParallelRunsAreByteIdentical)
+{
+    const SweepGrid grid = mixedGrid();
+    const std::string serial =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+    const std::string parallel =
+        sweepResultToJson(runSweepGrid(grid, 4)).dump(2);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(MixedGridTest, ResultJsonTagsPredictorsPerGroup)
+{
+    const SweepGrid grid = mixedGrid();
+    const JsonValue doc = sweepResultToJson(runSweepGrid(grid, 0));
+    // Every workload entry and every aggregate row names its
+    // predictor; aggregates come per (predictor, config).
+    ASSERT_TRUE(doc.find("aggregate")->isArray());
+    EXPECT_EQ(doc.find("aggregate")->size(), 12u); // 3 kinds x 4 cfgs
+    for (const JsonValue &w : doc.find("workloads")->elements())
+        EXPECT_NE(w.find("predictor"), nullptr);
+    for (const JsonValue &a : doc.find("aggregate")->elements())
+        EXPECT_NE(a.find("predictor"), nullptr);
+
+    // Single-predictor documents keep the pre-plugin shape: no
+    // predictor tags anywhere.
+    SweepGrid single = smallGrid();
+    const JsonValue singleDoc =
+        sweepResultToJson(runSweepGrid(single, 0));
+    for (const JsonValue &w : singleDoc.find("workloads")->elements())
+        EXPECT_EQ(w.find("predictor"), nullptr);
+    for (const JsonValue &a : singleDoc.find("aggregate")->elements())
+        EXPECT_EQ(a.find("predictor"), nullptr);
+    EXPECT_EQ(singleDoc.find("grid")->find("predictors"), nullptr);
+}
+
+TEST(MixedGridTest, GridJsonRoundTripsPredictorsAndThresholds)
+{
+    SweepGrid grid = mixedGrid();
+    grid.estimators[2].params.percThreshold = 100;
+    grid.estimators[3].params.tageThreshold = 14;
+    const JsonValue doc = sweepGridToJson(grid);
+    EXPECT_NE(doc.find("predictors"), nullptr);
+
+    SweepGrid parsed;
+    std::string error;
+    ASSERT_TRUE(sweepGridFromJson(doc, parsed, &error)) << error;
+    ASSERT_EQ(parsed.kinds.size(), 3u);
+    EXPECT_EQ(parsed.kinds[1], PredictorKind::Perceptron);
+    EXPECT_EQ(parsed.estimators[2].params.percThreshold, 100u);
+    EXPECT_EQ(parsed.estimators[3].params.tageThreshold, 14u);
+    EXPECT_EQ(sweepGridToJson(parsed).dump(2), doc.dump(2));
+
+    // Default thresholds stay un-emitted (byte-stability of existing
+    // grid echoes).
+    const std::string plain = sweepGridToJson(smallGrid()).dump(2);
+    EXPECT_EQ(plain.find("perc_threshold"), std::string::npos);
+    EXPECT_EQ(plain.find("tage_threshold"), std::string::npos);
+
+    JsonValue bad = sweepGridToJson(grid);
+    bad["predictors"].push(JsonValue(std::string("no-such")));
+    EXPECT_FALSE(sweepGridFromJson(bad, parsed, &error));
+    EXPECT_NE(error.find("predictors"), std::string::npos);
+
+    SweepGrid outOfRange = grid;
+    outOfRange.estimators[2].params.percThreshold = 5000;
+    EXPECT_FALSE(sweepGridFromJson(sweepGridToJson(outOfRange),
+                                   parsed, &error));
+    EXPECT_NE(error.find("perc_threshold"), std::string::npos);
+}
+
+TEST(MixedGridTest, NativeFrontierSanityAcrossWorkloads)
+{
+    // Satellite sanity: SENS/SPEC/PVP/PVN of the native estimators on
+    // their own predictors, aggregated over every standard workload,
+    // are well-formed probabilities and the lanes actually separate
+    // branches (both confidence classes populated somewhere).
+    SweepGrid grid;
+    grid.kinds = {PredictorKind::Perceptron, PredictorKind::Tage};
+    grid.estimators = {
+        {"perc-conf", "perc-conf", {}},
+        {"tage-conf", "tage-conf", {}},
+        {"jrs", "jrs", {}},
+    };
+    const SweepResult result = runSweepGrid(grid, 0);
+    const std::size_t n = standardWorkloads().size();
+    ASSERT_EQ(result.workloads.size(), 2 * n);
+
+    for (std::size_t g = 0; g < 2; ++g) {
+        const std::string &pred = result.workloads[g * n].predictor;
+        const std::size_t own = g == 0 ? 0 : 1; // matching native lane
+        std::vector<QuadrantCounts> runs;
+        for (std::size_t wi = 0; wi < n; ++wi)
+            runs.push_back(
+                    result.workloads[g * n + wi].configs[own].committed);
+        const QuadrantFractions f = aggregateQuadrants(runs);
+        for (double v : {f.sens(), f.spec(), f.pvp(), f.pvn()}) {
+            EXPECT_GE(v, 0.0) << pred;
+            EXPECT_LE(v, 1.0) << pred;
+        }
+        // The native signal must mark some branches high confidence
+        // and some low — otherwise the threshold is degenerate.
+        EXPECT_GT(f.chc + f.ihc, 0.0) << pred;
+        EXPECT_GT(f.clc + f.ilc, 0.0) << pred;
+        // Concentration property (the paper's core claim): the
+        // misprediction rate inside the high-confidence class must be
+        // lower than inside the low-confidence class.
+        EXPECT_LT(1.0 - f.pvp(), f.pvn()) << pred;
+    }
 }
 
 } // anonymous namespace

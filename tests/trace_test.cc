@@ -314,12 +314,92 @@ TEST(TraceFormatTest, BadMagicRejected)
 TEST(TraceFormatTest, WrongVersionRejected)
 {
     std::string data(TRACE_MAGIC, sizeof(TRACE_MAGIC));
-    traceAppendVarint(data, TRACE_VERSION + 1);
+    traceAppendVarint(data, TRACE_VERSION_NATIVE + 1);
     traceAppendVarint(data, 0);
     BranchTrace trace;
     std::string error;
     EXPECT_FALSE(decodeTrace(data, trace, &error));
     EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+/** A trace with no native confidence anywhere must still encode as
+ *  the baseline version — old readers stay compatible. */
+TEST(TraceFormatTest, ClassicTraceStaysVersion1)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    writer.onEvent(ev);
+    EXPECT_EQ(writer.version(), TRACE_VERSION);
+    const std::string encoded = writer.encode();
+    TraceReader reader(encoded);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.version(), TRACE_VERSION);
+}
+
+/** Native confidence survives an encode/decode round trip, and its
+ *  presence bumps the header version to TRACE_VERSION_NATIVE. */
+TEST(TraceFormatTest, NativeConfidenceRoundTrip)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    ev.pc = 64;
+    ev.info.hasNativeConf = true;
+    ev.info.nativeConf = 517;
+    writer.onEvent(ev);
+    ev.pc = 72;
+    ev.info.hasNativeConf = false;
+    ev.info.nativeConf = 0;
+    writer.onEvent(ev);
+    ev.pc = 80;
+    ev.info.hasNativeConf = true;
+    ev.info.nativeConf = 0; // flag set, value zero: still round-trips
+    writer.onEvent(ev);
+    EXPECT_EQ(writer.version(), TRACE_VERSION_NATIVE);
+
+    const std::string encoded = writer.encode();
+    TraceReader reader(encoded);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.version(), TRACE_VERSION_NATIVE);
+
+    BranchTrace trace;
+    std::string error;
+    ASSERT_TRUE(decodeTrace(encoded, trace, &error)) << error;
+    ASSERT_EQ(trace.records.size(), 3u);
+    EXPECT_TRUE(trace.records[0].info.hasNativeConf);
+    EXPECT_EQ(trace.records[0].info.nativeConf, 517u);
+    EXPECT_FALSE(trace.records[1].info.hasNativeConf);
+    EXPECT_EQ(trace.records[1].info.nativeConf, 0u);
+    EXPECT_TRUE(trace.records[2].info.hasNativeConf);
+    EXPECT_EQ(trace.records[2].info.nativeConf, 0u);
+
+    // decode -> encode is byte-identical, version included.
+    EXPECT_EQ(encodeTrace(trace), encoded);
+}
+
+/** The native-confidence flag is rejected in a version-1 header: the
+ *  bit only exists in TRACE_VERSION_NATIVE. */
+TEST(TraceFormatTest, NativeFlagRejectedInVersion1)
+{
+    TraceWriter writer;
+    BranchEvent ev;
+    ev.info.counterMax = 3;
+    ev.info.hasNativeConf = true;
+    ev.info.nativeConf = 5;
+    writer.onEvent(ev);
+    std::string encoded = writer.encode();
+
+    // Rewrite the header version back to 1 (both are 1-byte varints).
+    const std::size_t version_at = sizeof(TRACE_MAGIC);
+    ASSERT_EQ(static_cast<unsigned char>(encoded[version_at]),
+              TRACE_VERSION_NATIVE);
+    encoded[version_at] = static_cast<char>(TRACE_VERSION);
+
+    BranchTrace trace;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(encoded, trace, &error));
+    EXPECT_NE(error.find("unknown flag"), std::string::npos) << error;
 }
 
 /** Every strict prefix of a valid trace must fail cleanly: the end

@@ -102,13 +102,15 @@ usage()
         "usage: confsim [options]\n"
         "  --workload NAME   workload or 'all' (default compress)\n"
         "  --predictor NAME  bimodal|gshare|mcfarling|sag|pas|"
-        "gselect|gag\n"
+        "gselect|gag|\n"
+        "                    perceptron|tage\n"
         "  --estimator NAME  jrs|jrs-base|satcnt|satcnt-both|"
         "satcnt-either|\n"
         "                    pattern|static|distance|cir-ones|"
         "cir-table|\n"
-        "                    mcf-jrs|boost2|boost3|always-high|"
-        "always-low\n"
+        "                    mcf-jrs|boost2|boost3|perc-conf|"
+        "tage-conf|\n"
+        "                    always-high|always-low\n"
         "  --scale N         workload repetition factor (default 1)\n"
         "  --seed N          input-data seed (default 0x5eed)\n"
         "  --trace           committed-only trace mode (default: "
@@ -132,9 +134,11 @@ usage()
         "                    (loads the recorded config; flags given\n"
         "                    after it still override)\n"
         "  --sweep FILE      batch-evaluate an estimator grid (JSON:\n"
-        "                    predictor, workloads, estimators[],\n"
+        "                    predictor (or predictors[] for a mixed\n"
+        "                    grid), workloads, estimators[],\n"
         "                    thresholds[]) in one decoded-trace pass\n"
-        "                    per workload; emits JSON; honors --jobs\n"
+        "                    per (predictor, workload); emits JSON;\n"
+        "                    honors --jobs\n"
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
@@ -222,7 +226,9 @@ parsePredictor(const std::string &name)
 {
     PredictorKind kind;
     if (!predictorKindFromName(name, kind)) {
-        std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
+        std::fprintf(stderr,
+                     "unknown predictor '%s' (known: %s)\n",
+                     name.c_str(), predictorKindNameList().c_str());
         std::exit(1);
     }
     return kind;
@@ -765,13 +771,14 @@ main(int argc, char **argv)
             std::printf("workloads:");
             for (const auto &spec : standardWorkloads())
                 std::printf(" %s", spec.name.c_str());
-            std::printf("\npredictors: bimodal gshare mcfarling sag "
-                        "pas gselect gag\n");
+            std::printf("\npredictors: %s\n",
+                        predictorKindNameList().c_str());
             std::printf("estimators: jrs jrs-base satcnt satcnt-both "
                         "satcnt-either pattern static\n"
                         "            distance cir-ones cir-table "
-                        "mcf-jrs boost2 boost3 always-high\n"
-                        "            always-low\n");
+                        "mcf-jrs boost2 boost3 perc-conf\n"
+                        "            tage-conf always-high "
+                        "always-low\n");
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
