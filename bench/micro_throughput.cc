@@ -8,17 +8,24 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "bpred/branch_predictor.hh"
 #include "bpred/estimator_input.hh"
 #include "common/random.hh"
 #include "confidence/jrs.hh"
 #include "confidence/pattern.hh"
 #include "confidence/sat_counters.hh"
+#include "harness/artifact_store.hh"
 #include "harness/collectors.hh"
+#include "harness/decoded_artifact.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
 #include "pipeline/pipeline.hh"
 #include "sweep/batch_replayer.hh"
+#include "sweep/decoded_trace.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_replayer.hh"
 #include "uarch/machine.hh"
@@ -199,6 +206,89 @@ BM_TraceReplay(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * Cold-start cost of the decoded SoA form: varint decode + schedule
+ * reconstruction + misprediction distances + estimator-input channel
+ * derivation, per branch. This is exactly the work a warm
+ * mmap-backed sweep skips — compare with BM_MmapDecodedLoad.
+ */
+void
+BM_DecodeTrace(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    std::vector<std::string> encoded;
+    for (const auto &wl : standardWorkloads())
+        encoded.push_back(
+                cachedRecordedRun(PredictorKind::Gshare, wl,
+                                  cfg.workload, cfg.pipeline)
+                        ->trace);
+    const auto plugins = makePredictor(PredictorKind::Gshare)
+                                 ->estimatorInputPlugins();
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const std::string &enc : encoded) {
+            DecodedTrace trace;
+            if (!buildDecodedTrace(enc, plugins, trace))
+                state.SkipWithError("trace decode failed");
+            benchmark::DoNotOptimize(trace.counters.branches);
+            branches += trace.counters.branches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+}
+BENCHMARK(BM_DecodeTrace)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/**
+ * Warm-start cost of the same decoded form loaded from the mmap-able
+ * column artifact: map, validate (header/section checksums), bind the
+ * columns zero-copy. The ratio over BM_DecodeTrace is the warm-sweep
+ * decode-skip speedup.
+ */
+void
+BM_MmapDecodedLoad(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    const std::string dir = (std::filesystem::temp_directory_path()
+                             / "confsim-bench-mmap")
+                                    .string();
+    ArtifactStore store(dir);
+    std::vector<std::string> keys;
+    for (const auto &wl : standardWorkloads()) {
+        const auto run = cachedDecodedRun(PredictorKind::Gshare, wl,
+                                          cfg.workload, cfg.pipeline);
+        const DecodedArtifactParts parts =
+            encodeDecodedArtifact(*run);
+        std::string error;
+        if (!store.storeMapped("decoded", wl.name, parts.meta,
+                               parts.sections, &error))
+            state.SkipWithError(("store failed: " + error).c_str());
+        keys.push_back(wl.name);
+    }
+    for (auto _ : state) {
+        std::uint64_t branches = 0;
+        for (const std::string &key : keys) {
+            ArtifactStore::MappedArtifact mapped;
+            if (!store.loadMapped("decoded", key, mapped))
+                state.SkipWithError("mapped load missed");
+            DecodedRun run;
+            std::string error;
+            if (!decodeDecodedArtifact(mapped, run, &error))
+                state.SkipWithError(
+                        ("mapped decode failed: " + error).c_str());
+            benchmark::DoNotOptimize(run.trace.counters.branches);
+            branches += run.trace.counters.branches;
+        }
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(branches));
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_MmapDecodedLoad)->MinTime(2.0);
 
 /**
  * One live estimator-sweep configuration: a full pipeline simulation

@@ -1,0 +1,80 @@
+#include "common/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CONFSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace confsim
+{
+
+std::shared_ptr<const MappedFile>
+MappedFile::map(const std::string &path, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return std::shared_ptr<const MappedFile>();
+    };
+
+    // make_shared needs a public ctor; wrap the private one.
+    std::shared_ptr<MappedFile> file(new MappedFile());
+
+#if CONFSIM_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail("cannot open '" + path + "': "
+                    + std::strerror(errno));
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return fail("cannot stat '" + path + "': "
+                    + std::strerror(err));
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        file->viaMmap = true;
+        return file;
+    }
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping outlives the descriptor either way.
+    ::close(fd);
+    if (addr == MAP_FAILED)
+        return fail("cannot mmap '" + path + "': "
+                    + std::strerror(errno));
+    file->bytes = static_cast<const std::uint8_t *>(addr);
+    file->length = size;
+    file->viaMmap = true;
+#else
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open '" + path + "'");
+    file->heap.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return fail("cannot read '" + path + "'");
+    file->bytes = file->heap.data();
+    file->length = file->heap.size();
+#endif
+    return file;
+}
+
+MappedFile::~MappedFile()
+{
+#if CONFSIM_HAVE_MMAP
+    if (viaMmap && bytes != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(bytes), length);
+#endif
+}
+
+} // namespace confsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Read-only memory-mapped files. MappedFile is the zero-copy backing
+ * of mmap-able artifacts (see harness/artifact_store.hh): consumers
+ * hold a shared_ptr to the mapping and read column data in place, so
+ * a warm load costs page faults instead of decode work.
+ *
+ * On POSIX the file is mapped PROT_READ/MAP_PRIVATE; elsewhere the
+ * class degrades to reading the file into heap memory — same
+ * interface, no zero-copy. mapped() tells the two apart.
+ */
+
+#ifndef CONFSIM_COMMON_MMAP_FILE_HH
+#define CONFSIM_COMMON_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace confsim
+{
+
+/**
+ * An immutable byte view of one file, mmap-backed where available.
+ * Instances are created via map() and shared by const pointer; the
+ * mapping lives until the last reference drops.
+ */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only.
+     * @return null (with @p error set when non-null) when the file
+     *         cannot be opened, sized, or mapped.
+     */
+    static std::shared_ptr<const MappedFile>
+    map(const std::string &path, std::string *error = nullptr);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** First byte of the file (null iff the file is empty). */
+    const std::uint8_t *data() const { return bytes; }
+
+    /** File size in bytes. */
+    std::size_t size() const { return length; }
+
+    /** True when mmap-backed, false on the heap fallback. */
+    bool mapped() const { return viaMmap; }
+
+  private:
+    MappedFile() = default;
+
+    const std::uint8_t *bytes = nullptr;
+    std::size_t length = 0;
+    bool viaMmap = false;
+    std::vector<std::uint8_t> heap; ///< fallback storage
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_MMAP_FILE_HH

@@ -23,6 +23,27 @@ constexpr std::uint32_t ARTIFACT_VERSION = 1;
 // magic + version + key-len + payload-len + checksum
 constexpr std::size_t HEADER_SIZE = 4 + 4 + 8 + 8 + 8;
 
+constexpr char MAPPED_MAGIC[4] = {'C', 'S', 'M', 'A'};
+constexpr std::uint32_t MAPPED_VERSION = 1;
+/** Written natively (not LE): a foreign-endian writer leaves the
+ *  bytes reversed, so the reader rejects the file instead of
+ *  misinterpreting every multi-byte field in its columns. */
+constexpr std::uint32_t MAPPED_ENDIAN_TAG = 0x0a0b0c0d;
+// magic + version + endian + section-count + file-size + key-len +
+// meta-len + header-checksum
+constexpr std::size_t MAPPED_HEADER_SIZE = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8;
+constexpr std::size_t MAPPED_TABLE_ENTRY = 8 + 8 + 8;
+constexpr std::size_t MAPPED_ALIGN = 64;
+/** Sanity bound; a decoded trace needs a few dozen sections. */
+constexpr std::uint32_t MAPPED_MAX_SECTIONS = 65536;
+
+std::uint64_t
+alignUp(std::uint64_t v)
+{
+    return (v + (MAPPED_ALIGN - 1)) & ~static_cast<std::uint64_t>(
+                                              MAPPED_ALIGN - 1);
+}
+
 void
 appendLe32(std::string &out, std::uint32_t v)
 {
@@ -161,8 +182,9 @@ ArtifactStore::load(const std::string &kind, const std::string &key,
 }
 
 bool
-ArtifactStore::store(const std::string &kind, const std::string &key,
-                     std::string_view payload, std::string *error)
+ArtifactStore::writeFileAtomic(const std::string &path,
+                               const std::string &bytes,
+                               std::string *error)
 {
     auto fail = [&](const std::string &msg) {
         storeFailureCount.fetch_add(1, std::memory_order_relaxed);
@@ -171,12 +193,6 @@ ArtifactStore::store(const std::string &kind, const std::string &key,
         return false;
     };
 
-    std::string framed = frameArtifact(key, payload);
-    // A truncation fault models a torn write: the frame hits disk
-    // incomplete, exactly what a crash mid-write leaves behind.
-    FaultInjector::instance().onArtifactWrite(framed);
-
-    const std::string path = artifactPath(kind, key);
     static std::atomic<std::uint64_t> tmpSerial{0};
     const std::string tmp =
         path + ".tmp."
@@ -187,8 +203,8 @@ ArtifactStore::store(const std::string &kind, const std::string &key,
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             return fail("cannot open '" + tmp + "' for writing");
-        out.write(framed.data(),
-                  static_cast<std::streamsize>(framed.size()));
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
         out.flush();
         if (!out.good()) {
             std::error_code ec;
@@ -208,12 +224,222 @@ ArtifactStore::store(const std::string &kind, const std::string &key,
     return true;
 }
 
+bool
+ArtifactStore::store(const std::string &kind, const std::string &key,
+                     std::string_view payload, std::string *error)
+{
+    std::string framed = frameArtifact(key, payload);
+    // A truncation fault models a torn write: the frame hits disk
+    // incomplete, exactly what a crash mid-write leaves behind.
+    FaultInjector::instance().onArtifactWrite(framed);
+
+    return writeFileAtomic(artifactPath(kind, key), framed, error);
+}
+
 void
 ArtifactStore::quarantine(const std::string &kind,
                           const std::string &key)
 {
     corruptCount.fetch_add(1, std::memory_order_relaxed);
     quarantineFile(artifactPath(kind, key));
+}
+
+std::string
+ArtifactStore::mappedArtifactPath(const std::string &kind,
+                                  const std::string &key) const
+{
+    return root + "/" + kind + "-" + hexDigest(xxhash64(key))
+        + ".cart";
+}
+
+bool
+ArtifactStore::validateMapped(const MappedFile &file,
+                              const std::string &key,
+                              MappedArtifact &out) const
+{
+    const std::uint8_t *base = file.data();
+    const std::uint64_t size = file.size();
+    if (size < MAPPED_HEADER_SIZE)
+        return false;
+    const char *p = reinterpret_cast<const char *>(base);
+    if (std::memcmp(p, MAPPED_MAGIC, sizeof(MAPPED_MAGIC)) != 0)
+        return false;
+    if (readLe32(p + 4) != MAPPED_VERSION)
+        return false;
+    std::uint32_t endian = 0;
+    std::memcpy(&endian, p + 8, sizeof(endian));
+    if (endian != MAPPED_ENDIAN_TAG)
+        return false; // foreign-endian writer
+    const std::uint32_t count = readLe32(p + 12);
+    if (count > MAPPED_MAX_SECTIONS)
+        return false;
+    if (readLe64(p + 16) != size)
+        return false;
+    const std::uint64_t keyLen = readLe64(p + 24);
+    const std::uint64_t metaLen = readLe64(p + 32);
+    const std::uint64_t checksum = readLe64(p + 40);
+    if (keyLen > size || metaLen > size)
+        return false;
+    const std::uint64_t tableBytes =
+        static_cast<std::uint64_t>(count) * MAPPED_TABLE_ENTRY;
+    const std::uint64_t headerEnd =
+        MAPPED_HEADER_SIZE + tableBytes + keyLen + metaLen;
+    if (headerEnd > size)
+        return false;
+    if (xxhash64(base + MAPPED_HEADER_SIZE,
+                 headerEnd - MAPPED_HEADER_SIZE) != checksum)
+        return false;
+    // Full-key compare: a hash collision degrades to a miss.
+    const std::uint8_t *keyBytes =
+        base + MAPPED_HEADER_SIZE + tableBytes;
+    if (keyLen != key.size()
+        || std::memcmp(keyBytes, key.data(), key.size()) != 0)
+        return false;
+
+    std::vector<MappedArtifact::Section> sections;
+    sections.reserve(count);
+    std::uint64_t prevEnd = headerEnd;
+    for (std::uint32_t s = 0; s < count; ++s) {
+        const char *entry =
+            p + MAPPED_HEADER_SIZE + s * MAPPED_TABLE_ENTRY;
+        const std::uint64_t offset = readLe64(entry);
+        const std::uint64_t length = readLe64(entry + 8);
+        const std::uint64_t digest = readLe64(entry + 16);
+        if (offset % MAPPED_ALIGN != 0)
+            return false;
+        if (offset < prevEnd || offset > size || length > size - offset)
+            return false;
+        // Padding gaps must be zero so no byte of the file escapes
+        // validation coverage.
+        for (std::uint64_t b = prevEnd; b < offset; ++b) {
+            if (base[b] != 0)
+                return false;
+        }
+        if (xxhash64(base + offset, length) != digest)
+            return false;
+        sections.push_back(
+                MappedArtifact::Section{base + offset, length});
+        prevEnd = offset + length;
+    }
+    if (prevEnd != size)
+        return false;
+
+    out.meta.assign(reinterpret_cast<const char *>(keyBytes) + keyLen,
+                    metaLen);
+    out.sections = std::move(sections);
+    return true;
+}
+
+bool
+ArtifactStore::loadMapped(const std::string &kind,
+                          const std::string &key, MappedArtifact &out)
+{
+    loadCount.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = mappedArtifactPath(kind, key);
+    if (!std::filesystem::exists(path)) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::shared_ptr<const MappedFile> file = MappedFile::map(path);
+    if (!file) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    MappedArtifact art;
+    if (!validateMapped(*file, key, art)) {
+        corruptCount.fetch_add(1, std::memory_order_relaxed);
+        quarantineFile(path);
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    art.file = std::move(file);
+    out = std::move(art);
+    hitCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::storeMapped(
+        const std::string &kind, const std::string &key,
+        std::string_view meta,
+        const std::vector<std::pair<const void *, std::uint64_t>>
+            &sections,
+        std::string *error)
+{
+    if (sections.size() > MAPPED_MAX_SECTIONS) {
+        storeFailureCount.fetch_add(1, std::memory_order_relaxed);
+        if (error != nullptr)
+            *error = "too many sections";
+        return false;
+    }
+
+    const std::uint64_t tableBytes =
+        static_cast<std::uint64_t>(sections.size())
+        * MAPPED_TABLE_ENTRY;
+    const std::uint64_t headerEnd =
+        MAPPED_HEADER_SIZE + tableBytes + key.size() + meta.size();
+
+    // Lay sections out back to back at 64-byte-aligned offsets; the
+    // file ends flush with the last section.
+    std::vector<std::uint64_t> offsets(sections.size());
+    std::uint64_t cursor = headerEnd;
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+        cursor = alignUp(cursor);
+        offsets[s] = cursor;
+        cursor += sections[s].second;
+    }
+    const std::uint64_t fileSize =
+        sections.empty() ? headerEnd : cursor;
+
+    std::string buf;
+    buf.reserve(fileSize);
+    buf.append(MAPPED_MAGIC, sizeof(MAPPED_MAGIC));
+    appendLe32(buf, MAPPED_VERSION);
+    {
+        // Native byte order on purpose; see MAPPED_ENDIAN_TAG.
+        char tag[sizeof(MAPPED_ENDIAN_TAG)];
+        std::memcpy(tag, &MAPPED_ENDIAN_TAG, sizeof(tag));
+        buf.append(tag, sizeof(tag));
+    }
+    appendLe32(buf, static_cast<std::uint32_t>(sections.size()));
+    appendLe64(buf, fileSize);
+    appendLe64(buf, key.size());
+    appendLe64(buf, meta.size());
+    appendLe64(buf, 0); // header checksum patched below
+
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+        appendLe64(buf, offsets[s]);
+        appendLe64(buf, sections[s].second);
+        appendLe64(buf,
+                   xxhash64(sections[s].first, sections[s].second));
+    }
+    buf.append(key);
+    buf.append(meta);
+
+    const std::uint64_t headerChecksum =
+        xxhash64(buf.data() + MAPPED_HEADER_SIZE,
+                 buf.size() - MAPPED_HEADER_SIZE);
+    {
+        std::string patched;
+        appendLe64(patched, headerChecksum);
+        buf.replace(40, 8, patched);
+    }
+
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+        buf.resize(offsets[s], '\0'); // zero padding gap
+        buf.append(static_cast<const char *>(sections[s].first),
+                   sections[s].second);
+    }
+
+    return writeFileAtomic(mappedArtifactPath(kind, key), buf, error);
+}
+
+void
+ArtifactStore::quarantineMapped(const std::string &kind,
+                                const std::string &key)
+{
+    corruptCount.fetch_add(1, std::memory_order_relaxed);
+    quarantineFile(mappedArtifactPath(kind, key));
 }
 
 ArtifactStoreStats

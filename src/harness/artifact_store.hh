@@ -25,6 +25,36 @@
  *   key        bytes      must equal the requested key (hash
  *                         collisions degrade to a miss, not a lie)
  *   payload    bytes
+ *
+ * Besides the byte-blob frames above, the store offers a second,
+ * *mmap-able* container for column-oriented artifacts (decoded
+ * traces): storeMapped() lays N payload sections out at 64-byte
+ * alignment behind a checksummed header, and loadMapped() maps the
+ * whole file read-only and hands out zero-copy section views bound to
+ * the mapping's lifetime. Same quarantine discipline: any validation
+ * failure — bad magic/version, foreign endianness, size or alignment
+ * lies, checksum mismatch of the header page or any section, even a
+ * flipped padding byte — sets the file aside as <file>.corrupt and
+ * reports a miss.
+ *
+ * Layout of <dir>/<kind>-<xxh64(key) hex>.cart:
+ *   magic        "CSMA"
+ *   version      u32 LE
+ *   endian tag   u32, written *natively* — a file from a
+ *                foreign-endian writer shows the bytes reversed and
+ *                is rejected
+ *   section cnt  u32 LE
+ *   file size    u64 LE    total bytes; must equal the mapped size
+ *   key-len      u64 LE
+ *   meta-len     u64 LE
+ *   header csum  u64 LE    xxhash64(section table + key + meta)
+ *   section tbl  cnt x (offset u64, length u64, xxhash64 u64) LE
+ *   key          bytes     full content key (collision => miss)
+ *   meta         bytes     caller's metadata blob (JSON by
+ *                          convention)
+ *   payload      cnt sections, each at a 64-byte-aligned offset,
+ *                zero-padded gaps (padding is validated, so no byte
+ *                of the file is outside some check's coverage)
  */
 
 #ifndef CONFSIM_HARNESS_ARTIFACT_STORE_HH
@@ -35,6 +65,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/mmap_file.hh"
 
 namespace confsim
 {
@@ -93,6 +127,57 @@ class ArtifactStore
      */
     void quarantine(const std::string &kind, const std::string &key);
 
+    /**
+     * A loaded mmap-able artifact: zero-copy section views into the
+     * mapping, valid for the lifetime of @c file. Every section
+     * starts 64-byte aligned, so views cast safely to any column
+     * element type.
+     */
+    struct MappedArtifact
+    {
+        struct Section
+        {
+            const std::uint8_t *data = nullptr;
+            std::uint64_t size = 0;
+        };
+
+        std::shared_ptr<const MappedFile> file; ///< keeps views alive
+        std::string meta;                       ///< metadata blob
+        std::vector<Section> sections;
+    };
+
+    /**
+     * Map the mmap-able artifact for (@p kind, @p key). Every header,
+     * table, checksum, alignment and padding check must pass; any
+     * failure quarantines the file and reports a miss, exactly like
+     * load().
+     * @return true on a valid hit.
+     */
+    bool loadMapped(const std::string &kind, const std::string &key,
+                    MappedArtifact &out);
+
+    /**
+     * Persist @p sections (+ @p meta) for (@p kind, @p key) in the
+     * mmap-able layout, atomically like store().
+     * @return false (with @p error set when non-null) on I/O failure.
+     */
+    bool storeMapped(
+            const std::string &kind, const std::string &key,
+            std::string_view meta,
+            const std::vector<std::pair<const void *, std::uint64_t>>
+                &sections,
+            std::string *error = nullptr);
+
+    /** Quarantine the mmap-able artifact for (@p kind, @p key) — for
+     *  callers whose metadata-level validation fails after the
+     *  container checked out. */
+    void quarantineMapped(const std::string &kind,
+                          const std::string &key);
+
+    /** Mmap-able artifact file path for (@p kind, @p key). */
+    std::string mappedArtifactPath(const std::string &kind,
+                                   const std::string &key) const;
+
     /** Snapshot of the counters. */
     ArtifactStoreStats stats() const;
 
@@ -104,6 +189,10 @@ class ArtifactStore
     bool validateFrame(const std::string &framed,
                        const std::string &key,
                        std::string &payload) const;
+    bool validateMapped(const MappedFile &file, const std::string &key,
+                        MappedArtifact &out) const;
+    bool writeFileAtomic(const std::string &path,
+                         const std::string &bytes, std::string *error);
     void quarantineFile(const std::string &path);
 
     std::string root;

@@ -1,0 +1,246 @@
+#include "harness/decoded_artifact.hh"
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/json.hh"
+#include "harness/config_json.hh"
+#include "sweep/decoded_trace.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+// Columns are dumped as raw struct bytes; a layout change must bump
+// the metadata version via the bpinfo_size guard below.
+static_assert(std::is_trivially_copyable_v<BpInfo>,
+              "BpInfo is persisted as raw bytes");
+
+/** Metadata schema version of the decoded-trace artifact. */
+constexpr std::uint64_t DECODED_META_VERSION = 1;
+
+/** Fixed (non-channel) sections, in file order. */
+constexpr std::size_t FIXED_SECTIONS = 10;
+
+template <typename T>
+std::pair<const void *, std::uint64_t>
+columnSection(const ColumnView<T> &col)
+{
+    return {static_cast<const void *>(col.data()),
+            static_cast<std::uint64_t>(col.size() * sizeof(T))};
+}
+
+/** Bind @p col to section @p sec iff its byte size is exactly
+ *  @p count elements of T. */
+template <typename T>
+bool
+bindColumn(ColumnView<T> &col,
+           const ArtifactStore::MappedArtifact::Section &sec,
+           std::uint64_t count)
+{
+    if (sec.size != count * sizeof(T))
+        return false;
+    col.bind(reinterpret_cast<const T *>(sec.data),
+             static_cast<std::size_t>(count));
+    return true;
+}
+
+} // anonymous namespace
+
+DecodedArtifactParts
+encodeDecodedArtifact(const DecodedRun &run)
+{
+    const DecodedTrace &t = run.trace;
+
+    JsonValue meta = JsonValue::object();
+    meta["version"] = JsonValue(DECODED_META_VERSION);
+    meta["records"] = JsonValue(
+            static_cast<std::uint64_t>(t.size()));
+    meta["bpinfo_size"] = JsonValue(
+            static_cast<std::uint64_t>(sizeof(BpInfo)));
+    meta["trace_meta"] = JsonValue(t.meta);
+
+    JsonValue counters = JsonValue::object();
+    counters["branches"] = JsonValue(t.counters.branches);
+    counters["committed_branches"] =
+        JsonValue(t.counters.committedBranches);
+    counters["mispredicts"] = JsonValue(t.counters.mispredicts);
+    counters["committed_mispredicts"] =
+        JsonValue(t.counters.committedMispredicts);
+    meta["counters"] = std::move(counters);
+
+    JsonValue channels = JsonValue::array();
+    for (const InputChannel &chan : t.channels) {
+        JsonValue entry = JsonValue::object();
+        entry["name"] = JsonValue(chan.name);
+        entry["width"] = JsonValue(
+                static_cast<std::uint64_t>(chan.width));
+        entry["level_max"] = JsonValue(
+                static_cast<std::uint64_t>(chan.levelMax));
+        channels.push(std::move(entry));
+    }
+    meta["channels"] = std::move(channels);
+
+    meta["pipe"] = toJson(run.pipe);
+    meta["stats"] = run.statsSubtree;
+    meta["config"] = run.configSubtree;
+
+    DecodedArtifactParts parts;
+    parts.meta = meta.dump(0);
+    parts.sections.reserve(FIXED_SECTIONS + t.channels.size());
+    parts.sections.push_back(columnSection(t.pc));
+    parts.sections.push_back(columnSection(t.info));
+    parts.sections.push_back(columnSection(t.flags));
+    parts.sections.push_back(columnSection(t.fetchCycle));
+    parts.sections.push_back(columnSection(t.resolveCycle));
+    parts.sections.push_back(columnSection(t.schedule));
+    parts.sections.push_back(columnSection(t.preciseDistAll));
+    parts.sections.push_back(columnSection(t.preciseDistCommitted));
+    parts.sections.push_back(columnSection(t.perceivedDistAll));
+    parts.sections.push_back(
+            columnSection(t.perceivedDistCommitted));
+    for (const InputChannel &chan : t.channels) {
+        switch (chan.width) {
+          case InputWidth::U8:
+            parts.sections.push_back(columnSection(chan.u8));
+            break;
+          case InputWidth::U16:
+            parts.sections.push_back(columnSection(chan.u16));
+            break;
+          case InputWidth::U32:
+            parts.sections.push_back(columnSection(chan.u32));
+            break;
+          case InputWidth::U64:
+            parts.sections.push_back(columnSection(chan.u64));
+            break;
+        }
+    }
+    return parts;
+}
+
+bool
+decodeDecodedArtifact(const ArtifactStore::MappedArtifact &art,
+                      DecodedRun &out, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    std::string parseError;
+    const JsonValue meta = JsonValue::parse(art.meta, &parseError);
+    if (!parseError.empty() || !meta.isObject())
+        return fail("decoded artifact metadata is not JSON: "
+                    + parseError);
+
+    const JsonValue *version = meta.find("version");
+    if (version == nullptr
+        || version->asUint() != DECODED_META_VERSION)
+        return fail("decoded artifact metadata version mismatch");
+    const JsonValue *bpinfoSize = meta.find("bpinfo_size");
+    if (bpinfoSize == nullptr
+        || bpinfoSize->asUint() != sizeof(BpInfo))
+        return fail("decoded artifact BpInfo layout mismatch");
+
+    const JsonValue *records = meta.find("records");
+    const JsonValue *traceMeta = meta.find("trace_meta");
+    const JsonValue *counters = meta.find("counters");
+    const JsonValue *channels = meta.find("channels");
+    const JsonValue *pipe = meta.find("pipe");
+    const JsonValue *stats = meta.find("stats");
+    const JsonValue *config = meta.find("config");
+    if (records == nullptr || traceMeta == nullptr
+        || counters == nullptr || !counters->isObject()
+        || channels == nullptr || !channels->isArray()
+        || pipe == nullptr || stats == nullptr || config == nullptr)
+        return fail("decoded artifact metadata is incomplete");
+
+    const std::uint64_t n = records->asUint();
+    if (art.sections.size() != FIXED_SECTIONS + channels->size())
+        return fail("decoded artifact section count mismatch");
+
+    DecodedTrace &t = out.trace;
+    t.meta = traceMeta->asString();
+
+    auto counter = [&](const char *name, std::uint64_t &field) {
+        const JsonValue *v = counters->find(name);
+        if (v == nullptr)
+            return false;
+        field = v->asUint();
+        return true;
+    };
+    if (!counter("branches", t.counters.branches)
+        || !counter("committed_branches",
+                    t.counters.committedBranches)
+        || !counter("mispredicts", t.counters.mispredicts)
+        || !counter("committed_mispredicts",
+                    t.counters.committedMispredicts))
+        return fail("decoded artifact counters are incomplete");
+
+    if (!bindColumn(t.pc, art.sections[0], n)
+        || !bindColumn(t.info, art.sections[1], n)
+        || !bindColumn(t.flags, art.sections[2], n)
+        || !bindColumn(t.fetchCycle, art.sections[3], n)
+        || !bindColumn(t.resolveCycle, art.sections[4], n)
+        || !bindColumn(t.schedule, art.sections[5], 2 * n)
+        || !bindColumn(t.preciseDistAll, art.sections[6], n)
+        || !bindColumn(t.preciseDistCommitted, art.sections[7], n)
+        || !bindColumn(t.perceivedDistAll, art.sections[8], n)
+        || !bindColumn(t.perceivedDistCommitted, art.sections[9],
+                       n))
+        return fail("decoded artifact column size mismatch");
+
+    t.channels.clear();
+    t.channels.reserve(channels->size());
+    for (std::size_t c = 0; c < channels->size(); ++c) {
+        const JsonValue &entry = channels->at(c);
+        const JsonValue *name = entry.find("name");
+        const JsonValue *width = entry.find("width");
+        const JsonValue *levelMax = entry.find("level_max");
+        if (name == nullptr || !name->isString() || width == nullptr
+            || levelMax == nullptr)
+            return fail("decoded artifact channel schema is "
+                        "incomplete");
+
+        InputChannel chan;
+        chan.name = name->asString();
+        chan.levelMax = static_cast<unsigned>(levelMax->asUint());
+        const auto &sec = art.sections[FIXED_SECTIONS + c];
+        bool ok = false;
+        switch (width->asUint()) {
+          case static_cast<std::uint64_t>(InputWidth::U8):
+            chan.width = InputWidth::U8;
+            ok = bindColumn(chan.u8, sec, n);
+            break;
+          case static_cast<std::uint64_t>(InputWidth::U16):
+            chan.width = InputWidth::U16;
+            ok = bindColumn(chan.u16, sec, n);
+            break;
+          case static_cast<std::uint64_t>(InputWidth::U32):
+            chan.width = InputWidth::U32;
+            ok = bindColumn(chan.u32, sec, n);
+            break;
+          case static_cast<std::uint64_t>(InputWidth::U64):
+            chan.width = InputWidth::U64;
+            ok = bindColumn(chan.u64, sec, n);
+            break;
+          default:
+            return fail("decoded artifact channel width unknown");
+        }
+        if (!ok)
+            return fail("decoded artifact channel size mismatch");
+        t.channels.push_back(std::move(chan));
+    }
+
+    if (!fromJson(*pipe, out.pipe))
+        return fail("decoded artifact pipeline stats do not parse");
+    out.statsSubtree = *stats;
+    out.configSubtree = *config;
+    t.backing = art.file;
+    return true;
+}
+
+} // namespace confsim

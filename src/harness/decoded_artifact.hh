@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Column codec between a DecodedRun and the artifact store's
+ * mmap-able container (see artifact_store.hh, the .cart layout).
+ *
+ * encodeDecodedArtifact() flattens every SoA column of a decoded
+ * trace into one section each — raw little-host-endian element bytes,
+ * no varint packing — plus a JSON metadata blob carrying everything
+ * that is not a column: record/section geometry, the trace header
+ * blob, replay counters, the channel schema, and the recording run's
+ * pipeline stats and registry subtrees.
+ *
+ * decodeDecodedArtifact() is the zero-copy inverse: it validates the
+ * metadata against the section table (count, per-section byte sizes,
+ * BpInfo ABI size) and *binds* each ColumnView directly into the
+ * mapping, parking the MappedFile in DecodedTrace::backing. A warm
+ * sweep therefore never re-runs the varint decode, schedule
+ * reconstruction or input-plugin derivation — it reads the columns
+ * straight out of the page cache.
+ *
+ * Any mismatch (foreign BpInfo layout, truncated column, unknown
+ * width code…) fails the decode; the caller quarantines the artifact
+ * and rebuilds from the recorded trace, bit-identically.
+ */
+
+#ifndef CONFSIM_HARNESS_DECODED_ARTIFACT_HH
+#define CONFSIM_HARNESS_DECODED_ARTIFACT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/artifact_store.hh"
+#include "harness/experiment_cache.hh"
+
+namespace confsim
+{
+
+/** encodeDecodedArtifact() output: storeMapped()'s two inputs. The
+ *  section pointers alias the source run — keep it alive until the
+ *  store completes. */
+struct DecodedArtifactParts
+{
+    std::string meta; ///< JSON metadata blob
+    std::vector<std::pair<const void *, std::uint64_t>> sections;
+};
+
+/** Flatten @p run into metadata + column sections for storeMapped(). */
+DecodedArtifactParts encodeDecodedArtifact(const DecodedRun &run);
+
+/**
+ * Rebuild a DecodedRun from a mapped artifact, binding every column
+ * zero-copy into the mapping (@p out keeps it alive via
+ * DecodedTrace::backing).
+ * @return false (with @p error set when non-null) when the metadata
+ *         or section geometry does not check out — the caller should
+ *         quarantine and rebuild.
+ */
+bool decodeDecodedArtifact(const ArtifactStore::MappedArtifact &art,
+                           DecodedRun &out,
+                           std::string *error = nullptr);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_DECODED_ARTIFACT_HH

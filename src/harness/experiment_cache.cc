@@ -10,6 +10,7 @@
 #include "common/stats_registry.hh"
 #include "harness/artifact_store.hh"
 #include "harness/config_json.hh"
+#include "harness/decoded_artifact.hh"
 #include "harness/trace_run.hh"
 #include "trace/trace_writer.hh"
 
@@ -339,6 +340,44 @@ cachedDecodedRun(PredictorKind kind, const WorkloadSpec &spec,
     const RecordedKey key{programKey(spec, cfg), kind,
                           toJson(pipeCfg).dump(0)};
     return decodedCache().getOrBuild(key, [&] {
+        const auto store = globalArtifactStore();
+        const std::string diskKey =
+            store ? recordedDiskKey(kind, spec, cfg,
+                                    key.pipelineConfig)
+                  : std::string();
+        const auto plugins =
+            makePredictor(kind)->estimatorInputPlugins();
+        if (store) {
+            // Warm path: map the column-oriented decoded artifact and
+            // bind the trace zero-copy — no varint decode, no
+            // schedule reconstruction, no plugin derivation, and no
+            // detour through the recorded-run cache at all.
+            ArtifactStore::MappedArtifact mapped;
+            if (store->loadMapped("decoded", diskKey, mapped)) {
+                DecodedRun dec;
+                bool ok = decodeDecodedArtifact(mapped, dec);
+                if (ok) {
+                    // The channel schema must match what the current
+                    // plugin set would derive; a stale artifact
+                    // (plugin added/retuned) rebuilds instead.
+                    ok = dec.trace.channels.size() == plugins.size();
+                    for (std::size_t i = 0; ok && i < plugins.size();
+                         ++i) {
+                        const auto &chan = dec.trace.channels[i];
+                        ok = chan.name == plugins[i]->channel()
+                             && chan.width == plugins[i]->width()
+                             && chan.levelMax
+                                        == plugins[i]->levelMax();
+                    }
+                }
+                if (ok)
+                    return dec;
+                // The container checked out but the contents are
+                // stale or foreign. Set it aside and rebuild.
+                store->quarantineMapped("decoded", diskKey);
+            }
+        }
+
         const auto rec = cachedRecordedRun(kind, spec, cfg, pipeCfg);
         DecodedRun dec;
         std::string error;
@@ -347,14 +386,20 @@ cachedDecodedRun(PredictorKind kind, const WorkloadSpec &spec,
         // provider state) are present alongside the classic ones.
         // The cached trace was just encoded by TraceWriter, so a
         // decode failure is a bug, not an input problem.
-        if (!buildDecodedTrace(rec->trace,
-                               makePredictor(kind)
-                                       ->estimatorInputPlugins(),
-                               dec.trace, &error))
+        if (!buildDecodedTrace(rec->trace, plugins, dec.trace,
+                               &error))
             panic("decoding cached trace failed: " + error);
         dec.pipe = rec->pipe;
         dec.statsSubtree = rec->statsSubtree;
         dec.configSubtree = rec->configSubtree;
+        // Spill the columns for the next process; a failed spill is
+        // a non-event, exactly like the recorded-run cache.
+        if (store) {
+            const DecodedArtifactParts parts =
+                encodeDecodedArtifact(dec);
+            store->storeMapped("decoded", diskKey, parts.meta,
+                               parts.sections);
+        }
         return dec;
     });
 }

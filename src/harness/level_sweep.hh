@@ -42,6 +42,15 @@ class LevelSweep
         ++counts[level][correct ? 1 : 0];
     }
 
+    /** Record @p weight branches at once (bulk histogram building). */
+    void
+    add(unsigned level, bool correct, std::uint64_t weight)
+    {
+        if (level >= counts.size())
+            level = static_cast<unsigned>(counts.size() - 1);
+        counts[level][correct ? 1 : 0] += weight;
+    }
+
     /**
      * Quadrants for the rule "high confidence iff level >= threshold".
      */

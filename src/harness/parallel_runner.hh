@@ -254,9 +254,16 @@ class ParallelRunner
         static_assert(!std::is_void_v<Result>,
                       "mapReported requires value-returning tasks");
 
-        MapOutcome<Result> outcome;
-        outcome.results.resize(count);
-        outcome.reports.resize(count);
+        // Workers write result + report through one cache-line-
+        // aligned slot per task; packing them directly into the
+        // outcome vectors would put neighbouring tasks' hot stores on
+        // shared lines.
+        struct alignas(64) PaddedSlot
+        {
+            std::optional<Result> result;
+            TaskReport report;
+        };
+        std::vector<PaddedSlot> slots(count);
 
         std::unique_ptr<TaskWatchdog> watchdog;
         if (policy.deadline.count() > 0)
@@ -268,15 +275,23 @@ class ParallelRunner
         for (std::size_t i = 0; i < count; ++i) {
             futures.push_back(pool.submit([&, i] {
                 runTask(i, fn, policy, watchdog.get(), fatal,
-                        outcome.results[i], outcome.reports[i]);
+                        slots[i].result, slots[i].report);
             }));
         }
 
         // Drain *every* future before returning: queued tasks
-        // reference fn and the outcome vectors, which must outlive
-        // them. Task exceptions never escape runTask.
+        // reference fn and the slots, which must outlive them. Task
+        // exceptions never escape runTask.
         for (auto &future : futures)
             future.get();
+
+        MapOutcome<Result> outcome;
+        outcome.results.reserve(count);
+        outcome.reports.reserve(count);
+        for (PaddedSlot &slot : slots) {
+            outcome.results.push_back(std::move(slot.result));
+            outcome.reports.push_back(std::move(slot.report));
+        }
         return outcome;
     }
 

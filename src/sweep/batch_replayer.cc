@@ -13,13 +13,7 @@ namespace confsim
 namespace
 {
 
-/**
- * Schedule ops per block. One block touches at most BLOCK_OPS branch
- * records (~4K branches of pc/BpInfo/flags, a few hundred KB), so the
- * shared trace data a block pulls in stays cached while every lane
- * walks it; lane tables (typically a few KB) stay resident throughout.
- */
-constexpr std::size_t BLOCK_OPS = 8192;
+constexpr std::size_t BLOCK_OPS = BatchReplayer::BLOCK_OPS;
 
 /**
  * The devirtualized block walk shared by every lane kind. Estimate and
@@ -143,6 +137,82 @@ linearPass(ConfidenceEstimator::Stats &stats, QuadrantCounts &allQ,
     stats.updates += t.counters.committedBranches;
     all.flushInto(allQ);
     com.flushInto(committedQ);
+}
+
+/**
+ * One JRS table geometry in the vector path. The resetting-counter
+ * update is threshold-independent, so lanes sharing
+ * (tableEntries, counterBits, enhanced) evolve identical tables and
+ * only their >= threshold classification differs: the walk spills the
+ * level seen at each fetch into lvl[i], and each member lane's
+ * quadrants then reduce to one countGeU16 over that buffer. Several
+ * geometries advance through one schedule pass so the op/flag loads
+ * amortize across them.
+ */
+struct JrsGroupWalk
+{
+    const std::uint64_t *key = nullptr;
+    std::uint16_t *table = nullptr;
+    std::uint16_t *lvl = nullptr;
+    std::uint64_t mask = 0;
+    std::uint16_t max = 0;
+    // Branch-free enhanced indexing: idx = ((key << shift) |
+    // (pred & predMask)) & mask; shift/predMask are 1 only when
+    // enhanced, reproducing JrsEstimator::index() for both modes.
+    unsigned shift = 0;
+    std::uint64_t predMask = 0;
+};
+
+template <std::size_t G>
+void
+walkJrsGroups(const DecodedTrace &t, const JrsGroupWalk *groups)
+{
+    const std::uint8_t *flags = t.flags.data();
+    const std::uint32_t *ops = t.schedule.data();
+    const std::size_t total = t.schedule.size();
+    auto forEach = [&](auto fn) {
+        [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+            (fn(groups[Is]), ...);
+        }(std::make_index_sequence<G>{});
+    };
+    for (std::size_t k = 0; k < total; ++k) {
+        const std::uint32_t op = ops[k];
+        const std::size_t i = op >> 1;
+        const std::uint8_t f = flags[i];
+        const std::uint64_t pred =
+            (f & DecodedTrace::FLAG_PRED_TAKEN) ? 1u : 0u;
+        if (op & 1u) { // fetch: spill the current level
+            forEach([&](const JrsGroupWalk &g) {
+                const std::uint64_t idx =
+                    ((g.key[i] << g.shift) | (pred & g.predMask))
+                    & g.mask;
+                g.lvl[i] = g.table[idx];
+            });
+        } else if (f & DecodedTrace::FLAG_COMMIT) { // finalize: train
+            forEach([&](const JrsGroupWalk &g) {
+                std::uint16_t &ctr = g.table[
+                        ((g.key[i] << g.shift) | (pred & g.predMask))
+                        & g.mask];
+                const auto inc = static_cast<std::uint16_t>(
+                        ctr + (ctr < g.max ? 1 : 0));
+                ctr = (f & DecodedTrace::FLAG_CORRECT) ? inc : 0;
+            });
+        }
+    }
+}
+
+std::uint8_t
+satBitFor(SatCountersVariant variant)
+{
+    switch (variant) {
+      case SatCountersVariant::Selected:
+        return SAT_BIT_SELECTED;
+      case SatCountersVariant::BothStrong:
+        return SAT_BIT_BOTH;
+      case SatCountersVariant::EitherStrong:
+        return SAT_BIT_EITHER;
+    }
+    return SAT_BIT_SELECTED;
 }
 
 } // anonymous namespace
@@ -345,18 +415,7 @@ BatchReplayer::runStatelessLane(Lane &lane)
 
     switch (lane.kind) {
       case SweepLaneKind::SatCounters: {
-        std::uint8_t bit = 0;
-        switch (lane.satVariant) {
-          case SatCountersVariant::Selected:
-            bit = SAT_BIT_SELECTED;
-            break;
-          case SatCountersVariant::BothStrong:
-            bit = SAT_BIT_BOTH;
-            break;
-          case SatCountersVariant::EitherStrong:
-            bit = SAT_BIT_EITHER;
-            break;
-        }
+        const std::uint8_t bit = satBitFor(lane.satVariant);
         const std::uint8_t *vals = lane.chan->u8.data();
         linearPass(lane.stats, lane.allQ, lane.committedQ, sweep, t,
                    [vals, bit](std::size_t i, unsigned &) {
@@ -451,6 +510,15 @@ BatchReplayer::run(std::string *error)
     for (Lane &lane : lanes)
         resetLane(lane);
 
+    const KernelDispatch d = kernelDispatch();
+    if (d == KernelDispatch::Scalar)
+        return runScalar(error);
+    return runVector(d, error);
+}
+
+bool
+BatchReplayer::runScalar(std::string *error)
+{
     bool anyScheduled = predictor != nullptr;
     for (Lane &lane : lanes) {
         if (lane.kind == SweepLaneKind::SatCounters
@@ -463,7 +531,7 @@ BatchReplayer::run(std::string *error)
     if (!anyScheduled)
         return true;
 
-    const std::vector<std::uint32_t> &sched = src->schedule;
+    const ColumnView<std::uint32_t> &sched = src->schedule;
     const std::size_t total = sched.size();
     std::uint64_t fetched = 0;
     for (std::size_t base = 0; base < total; base += BLOCK_OPS) {
@@ -479,6 +547,261 @@ BatchReplayer::run(std::string *error)
             if (lane.kind == SweepLaneKind::Jrs
                 || lane.kind == SweepLaneKind::Virtual)
                 runLaneBlock(lane, block, n);
+        }
+    }
+    return true;
+}
+
+void
+BatchReplayer::applyDerivedCounts(Lane &lane, const LaneCounts &counts,
+                                  std::uint64_t corrAll,
+                                  std::uint64_t committed,
+                                  std::uint64_t corrCommit)
+{
+    // The four kernel counts plus the lane-independent populations
+    // (record count, correct, committed, correct&committed) determine
+    // every quadrant exactly; all terms are exact integer sums over
+    // the same per-branch verdicts the scalar walk bins one at a time.
+    const std::uint64_t n = src->size();
+    const std::uint64_t hi = counts.high;
+    const std::uint64_t hiCorr = counts.highCorrect;
+    const std::uint64_t hiComm = counts.highCommit;
+    const std::uint64_t hiCorrComm = counts.highCorrectCommit;
+    lane.allQ.chc += hiCorr;
+    lane.allQ.ihc += hi - hiCorr;
+    lane.allQ.clc += corrAll - hiCorr;
+    lane.allQ.ilc += (n - corrAll) - (hi - hiCorr);
+    lane.committedQ.chc += hiCorrComm;
+    lane.committedQ.ihc += hiComm - hiCorrComm;
+    lane.committedQ.clc += corrCommit - hiCorrComm;
+    lane.committedQ.ilc += (committed - corrCommit) - (hiComm - hiCorrComm);
+    lane.stats.estimates += src->counters.branches;
+    lane.stats.lowEstimates += n - hi;
+    lane.stats.updates += src->counters.committedBranches;
+}
+
+bool
+BatchReplayer::runVector(KernelDispatch d, std::string *error)
+{
+    const DecodedTrace &t = *src;
+    const std::size_t n = t.size();
+    const std::uint8_t *flags = t.flags.data();
+
+    // Lane-independent complements of the kernel counts: classify the
+    // flag column against its own correct/commit bits.
+    const LaneCounts corr =
+        countBitU8(d, flags, flags, n, DecodedTrace::FLAG_CORRECT);
+    const LaneCounts comm =
+        countBitU8(d, flags, flags, n, DecodedTrace::FLAG_COMMIT);
+    const std::uint64_t corrAll = corr.high;
+    const std::uint64_t committed = comm.high;
+    const std::uint64_t corrCommit = corr.highCommit;
+
+    // Shared committed-level histograms: the (level, correct)
+    // histogram of a channel is threshold-independent, so lanes
+    // sweeping the same channel share one scalar build.
+    std::vector<std::pair<const InputChannel *, LevelSweep>> chanHists;
+    auto channelHistogram = [&](const Lane &lane) -> const LevelSweep & {
+        for (const auto &entry : chanHists)
+            if (entry.first == lane.chan)
+                return entry.second;
+        LevelSweep h(lane.maxLevel);
+        const InputChannel *chan = lane.chan;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t f = flags[i];
+            if ((f & DecodedTrace::FLAG_COMMIT) == 0)
+                continue;
+            const std::uint64_t v = chan->value(i);
+            h.record(static_cast<unsigned>(
+                             std::min<std::uint64_t>(v, 65535u)),
+                     (f & DecodedTrace::FLAG_CORRECT) != 0);
+        }
+        chanHists.emplace_back(lane.chan, std::move(h));
+        return chanHists.back().second;
+    };
+
+    bool anyVirtual = false;
+    std::vector<Lane *> jrsLanes;
+    for (Lane &lane : lanes) {
+        switch (lane.kind) {
+          case SweepLaneKind::SatCounters:
+            applyDerivedCounts(
+                    lane,
+                    countBitU8(d, lane.chan->u8.data(), flags, n,
+                               satBitFor(lane.satVariant)),
+                    corrAll, committed, corrCommit);
+            break;
+          case SweepLaneKind::Pattern:
+            // "any confident bit" == value >= 1 on the u8 column.
+            applyDerivedCounts(
+                    lane,
+                    countGeU8(d, lane.chan->u8.data(), flags, n, 1),
+                    corrAll, committed, corrCommit);
+            break;
+          case SweepLaneKind::Channel: {
+            LaneCounts k;
+            if (lane.chan == nullptr) {
+                // Absent channel: every value reads 0.
+                if (lane.chanThreshold == 0)
+                    k = LaneCounts{n, corrAll, committed, corrCommit};
+                if (lane.sweepLevels) {
+                    lane.sweep.add(0, true, corrCommit);
+                    lane.sweep.add(0, false, committed - corrCommit);
+                }
+            } else {
+                const std::uint64_t th = lane.chanThreshold;
+                switch (lane.chan->width) {
+                  case InputWidth::U8:
+                    k = countGeU8(d, lane.chan->u8.data(), flags, n,
+                                  th);
+                    break;
+                  case InputWidth::U16:
+                    k = countGeU16(d, lane.chan->u16.data(), flags, n,
+                                   th);
+                    break;
+                  case InputWidth::U32:
+                    k = countGeU32(lane.chan->u32.data(), flags, n,
+                                   th);
+                    break;
+                  case InputWidth::U64:
+                    k = countGeU64(lane.chan->u64.data(), flags, n,
+                                   th);
+                    break;
+                }
+                if (lane.sweepLevels)
+                    lane.sweep = channelHistogram(lane);
+            }
+            applyDerivedCounts(lane, k, corrAll, committed,
+                               corrCommit);
+            break;
+          }
+          case SweepLaneKind::Jrs:
+            jrsLanes.push_back(&lane);
+            break;
+          case SweepLaneKind::Virtual:
+            anyVirtual = true;
+            break;
+        }
+    }
+
+    // Predictor and virtual-estimator lanes keep the scheduled block
+    // walk: they carry opaque per-object state the kernels cannot
+    // reproduce.
+    if (predictor != nullptr || anyVirtual) {
+        const std::uint32_t *sched = t.schedule.data();
+        const std::size_t total = t.schedule.size();
+        std::uint64_t fetched = 0;
+        for (std::size_t base = 0; base < total; base += BLOCK_OPS) {
+            const std::size_t cnt = std::min(BLOCK_OPS, total - base);
+            const std::uint32_t *block = sched + base;
+            if (predictor != nullptr
+                && !runPredictorBlock(block, cnt, fetched, error))
+                return false;
+            for (Lane &lane : lanes) {
+                if (lane.kind == SweepLaneKind::Virtual)
+                    runLaneBlock(lane, block, cnt);
+            }
+        }
+    }
+
+    if (jrsLanes.empty())
+        return true;
+
+    // Group JRS lanes by table geometry; each group shares one table
+    // walk and one level buffer.
+    struct Group
+    {
+        std::size_t entries;
+        unsigned bits;
+        bool enhanced;
+        std::vector<Lane *> members;
+        std::vector<std::uint16_t> table;
+        std::uint16_t *lvl = nullptr;
+    };
+    std::vector<Group> groups;
+    for (Lane *lane : jrsLanes) {
+        Group *g = nullptr;
+        for (Group &cand : groups) {
+            if (cand.entries == lane->jrs.tableEntries
+                && cand.bits == lane->jrs.counterBits
+                && cand.enhanced == lane->jrs.enhanced) {
+                g = &cand;
+                break;
+            }
+        }
+        if (g == nullptr) {
+            groups.push_back(Group{lane->jrs.tableEntries,
+                                   lane->jrs.counterBits,
+                                   lane->jrs.enhanced,
+                                   {},
+                                   {},
+                                   nullptr});
+            g = &groups.back();
+        }
+        g->members.push_back(lane);
+    }
+
+    if (levelBufs.size() < groups.size())
+        levelBufs.resize(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        levelBufs[gi].resize(n);
+        groups[gi].lvl = levelBufs[gi].data();
+        groups[gi].table.assign(groups[gi].entries, 0);
+    }
+
+    for (std::size_t base = 0; base < groups.size();
+         base += JRS_GROUPS_PER_PASS) {
+        const std::size_t cnt =
+            std::min(JRS_GROUPS_PER_PASS, groups.size() - base);
+        JrsGroupWalk walk[JRS_GROUPS_PER_PASS];
+        for (std::size_t j = 0; j < cnt; ++j) {
+            Group &g = groups[base + j];
+            Lane *ref = g.members.front();
+            walk[j] = JrsGroupWalk{ref->chan->u64.data(),
+                                   g.table.data(),
+                                   g.lvl,
+                                   static_cast<std::uint64_t>(g.entries)
+                                       - 1,
+                                   ref->jrsMax,
+                                   g.enhanced ? 1u : 0u,
+                                   g.enhanced ? 1u : 0u};
+        }
+        switch (cnt) {
+          case 1:
+            walkJrsGroups<1>(t, walk);
+            break;
+          case 2:
+            walkJrsGroups<2>(t, walk);
+            break;
+          case 3:
+            walkJrsGroups<3>(t, walk);
+            break;
+          default:
+            walkJrsGroups<4>(t, walk);
+            break;
+        }
+    }
+
+    for (Group &g : groups) {
+        bool anySweep = false;
+        for (const Lane *lane : g.members)
+            anySweep = anySweep || lane->sweepLevels;
+        LevelSweep hist(g.members.front()->maxLevel);
+        if (anySweep) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint8_t f = flags[i];
+                if (f & DecodedTrace::FLAG_COMMIT)
+                    hist.record(g.lvl[i],
+                                (f & DecodedTrace::FLAG_CORRECT) != 0);
+            }
+        }
+        for (Lane *lane : g.members) {
+            applyDerivedCounts(*lane,
+                               countGeU16(d, g.lvl, flags, n,
+                                          lane->jrs.threshold),
+                               corrAll, committed, corrCommit);
+            if (lane->sweepLevels)
+                lane->sweep = hist;
         }
     }
     return true;

@@ -25,6 +25,21 @@
  * interleaving exactly, and quadrant/sweep accumulation is
  * order-independent summation.
  *
+ * Two equivalent execution strategies back run():
+ *  - the scalar path (the always-available fallback, also forced by
+ *    CONFSIM_FORCE_SCALAR=1): per-block devirtualized walks exactly as
+ *    in earlier revisions;
+ *  - the vector path (default): stateless lanes classify whole columns
+ *    through the SIMD kernels in sweep/sweep_kernels.hh, and JRS lanes
+ *    are regrouped by table geometry — lanes sharing
+ *    (entries, bits, enhanced) share one table walk that spills the
+ *    per-branch confidence level into a u16 buffer (up to
+ *    JRS_GROUPS_PER_PASS geometries advanced per schedule pass), after
+ *    which each lane's quadrants reduce to one SIMD >=threshold count
+ *    over that buffer. All reductions are exact integer sums over the
+ *    same per-branch verdicts, so both paths produce bit-identical
+ *    results (guarded by ctests).
+ *
  * Not supported (by design): BranchEventSinks. Sinks observe the
  * per-event estimateBits aggregate across estimators, which is a
  * cross-lane property; per-config sweeps never need it, and dropping
@@ -36,6 +51,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +62,7 @@
 #include "harness/level_sweep.hh" // header-only; no harness link dep
 #include "metrics/quadrant.hh"
 #include "sweep/decoded_trace.hh"
+#include "sweep/sweep_kernels.hh"
 
 namespace confsim
 {
@@ -140,6 +157,31 @@ class BatchReplayer
      */
     bool run(std::string *error = nullptr);
 
+    /**
+     * Schedule ops per block of the scheduled (predictor / virtual /
+     * scalar-path) walks. One block touches at most this many branch
+     * records, so the shared trace data a block pulls in stays cached
+     * while every lane walks it.
+     */
+    static constexpr std::size_t BLOCK_OPS = 8192;
+
+    /** Max JRS table geometries advanced per vector-path schedule
+     *  pass; geometries beyond this run in further passes. */
+    static constexpr std::size_t JRS_GROUPS_PER_PASS = 4;
+
+    /**
+     * Pin this replayer to a specific kernel tier instead of the
+     * process-wide selectedKernelDispatch() (testing hook; the
+     * SIMD-vs-scalar equivalence tests compare every supported tier).
+     */
+    void setKernelOverride(KernelDispatch d) { kernelOverride = d; }
+
+    /** The kernel tier run() will use. */
+    KernelDispatch kernelDispatch() const
+    {
+        return kernelOverride.value_or(selectedKernelDispatch());
+    }
+
     /** Number of attached lanes. */
     std::size_t laneCount() const { return lanes.size(); }
 
@@ -184,7 +226,13 @@ class BatchReplayer
     const DecodedTrace &trace() const { return *src; }
 
   private:
-    struct Lane
+    /**
+     * One attached configuration. Cache-line aligned so the mutable
+     * accumulator block (stats/quadrants/sweep) of adjacent lanes —
+     * and of the last lane and whatever follows the vector — never
+     * share a line when shards run on pool threads.
+     */
+    struct alignas(64) Lane
     {
         SweepLaneKind kind = SweepLaneKind::Virtual;
 
@@ -225,9 +273,20 @@ class BatchReplayer
     bool runPredictorBlock(const std::uint32_t *ops, std::size_t n,
                            std::uint64_t &fetched, std::string *error);
 
+    bool runScalar(std::string *error);
+    bool runVector(KernelDispatch d, std::string *error);
+    void applyDerivedCounts(Lane &lane, const LaneCounts &counts,
+                            std::uint64_t corrAll,
+                            std::uint64_t committed,
+                            std::uint64_t corrCommit);
+
     std::shared_ptr<const DecodedTrace> src;
     std::vector<Lane> lanes;
     BranchPredictor *predictor = nullptr;
+    std::optional<KernelDispatch> kernelOverride;
+
+    /** Reused per-geometry confidence-level buffers (vector path). */
+    std::vector<std::vector<std::uint16_t>> levelBufs;
 };
 
 } // namespace confsim

@@ -35,6 +35,7 @@
 #define CONFSIM_SWEEP_DECODED_TRACE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,53 @@ namespace confsim
 {
 
 /**
+ * One SoA column of a DecodedTrace: either an owned std::vector
+ * (filled by buildDecodedTrace) or a zero-copy view into external
+ * storage (bound from an mmap-ed decoded-trace artifact; the owner
+ * parks the backing mapping in DecodedTrace::backing). Exposes just
+ * the vector surface the decode/replay code uses, so consumers are
+ * oblivious to which mode a column is in.
+ */
+template <typename T>
+class ColumnView
+{
+  public:
+    void reserve(std::size_t count) { own.reserve(count); }
+
+    void push_back(const T &v) { own.push_back(v); }
+
+    /** Point the column at @p count externally-owned elements
+     *  (releases any owned storage). */
+    void
+    bind(const T *p, std::size_t count)
+    {
+        own.clear();
+        own.shrink_to_fit();
+        ext = p;
+        extLen = count;
+    }
+
+    const T *data() const { return ext != nullptr ? ext : own.data(); }
+
+    std::size_t size() const
+    {
+        return ext != nullptr ? extLen : own.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size(); }
+
+  private:
+    std::vector<T> own;
+    const T *ext = nullptr;
+    std::size_t extLen = 0;
+};
+
+/**
  * One decode-time estimator-input column: the values an
  * EstimatorInputPlugin derived for every branch, stored at the
  * plugin's declared width. Exactly one of the u8/u16/u32/u64 vectors
@@ -60,10 +108,10 @@ struct InputChannel
     InputWidth width = InputWidth::U8;
     unsigned levelMax = 0; ///< EstimatorInputPlugin::levelMax()
 
-    std::vector<std::uint8_t> u8;
-    std::vector<std::uint16_t> u16;
-    std::vector<std::uint32_t> u32;
-    std::vector<std::uint64_t> u64;
+    ColumnView<std::uint8_t> u8;
+    ColumnView<std::uint16_t> u16;
+    ColumnView<std::uint32_t> u32;
+    ColumnView<std::uint64_t> u64;
 
     /** Generic (width-dispatching) read of branch @p i's value. */
     std::uint64_t
@@ -110,11 +158,11 @@ struct DecodedTrace
 
     /// @name Per-branch record fields, indexed in fetch order
     /// @{
-    std::vector<Addr> pc;
-    std::vector<BpInfo> info;
-    std::vector<std::uint8_t> flags; ///< FLAG_* bits above
-    std::vector<Cycle> fetchCycle;
-    std::vector<Cycle> resolveCycle;
+    ColumnView<Addr> pc;
+    ColumnView<BpInfo> info;
+    ColumnView<std::uint8_t> flags; ///< FLAG_* bits above
+    ColumnView<Cycle> fetchCycle;
+    ColumnView<Cycle> resolveCycle;
     /// @}
 
     /**
@@ -130,7 +178,7 @@ struct DecodedTrace
      * (finalize every pending branch whose resolve cycle is at or
      * before the next fetch cycle, then fetch; drain at the end).
      */
-    std::vector<std::uint32_t> schedule;
+    ColumnView<std::uint32_t> schedule;
 
     /// @name Precomputed per-branch misprediction distances
     /// The value BranchEvent would carry at this branch's fetch,
@@ -138,14 +186,21 @@ struct DecodedTrace
     /// distances advance/reset at fetch, perceived distances reset at
     /// the finalization of a committed mispredict).
     /// @{
-    std::vector<std::uint64_t> preciseDistAll;
-    std::vector<std::uint64_t> preciseDistCommitted;
-    std::vector<std::uint64_t> perceivedDistAll;
-    std::vector<std::uint64_t> perceivedDistCommitted;
+    ColumnView<std::uint64_t> preciseDistAll;
+    ColumnView<std::uint64_t> preciseDistCommitted;
+    ColumnView<std::uint64_t> perceivedDistAll;
+    ColumnView<std::uint64_t> perceivedDistCommitted;
     /// @}
 
     /** Aggregate counters, identical to a TraceReplayer pass's. */
     ReplayStats counters;
+
+    /**
+     * When the columns were bound zero-copy from an mmap-ed artifact,
+     * this holds the mapping alive for the trace's lifetime (null for
+     * a trace built by buildDecodedTrace).
+     */
+    std::shared_ptr<const void> backing;
 
     /** Number of branch records. */
     std::size_t size() const { return pc.size(); }

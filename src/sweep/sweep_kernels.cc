@@ -1,0 +1,668 @@
+#include "sweep/sweep_kernels.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sweep/decoded_trace.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CONFSIM_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define CONFSIM_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace confsim
+{
+namespace
+{
+
+static_assert(DecodedTrace::FLAG_CORRECT == 2,
+              "kernels extract the correct flag from bit 1");
+static_assert(DecodedTrace::FLAG_COMMIT == 4,
+              "kernels extract the commit flag from bit 2");
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (branch-free; also the tail handler for the
+// wide kernels, so the SIMD paths stay exact on any length).
+// ---------------------------------------------------------------------------
+
+template <typename V, typename Classify>
+inline void accumulateScalar(LaneCounts &c, const V *vals,
+                             const std::uint8_t *flags, std::size_t begin,
+                             std::size_t end, Classify classify)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint64_t hi = classify(vals[i]) ? 1 : 0;
+        const std::uint64_t corr = (flags[i] >> 1) & 1;
+        const std::uint64_t comm = (flags[i] >> 2) & 1;
+        c.high += hi;
+        c.highCorrect += hi & corr;
+        c.highCommit += hi & comm;
+        c.highCorrectCommit += hi & corr & comm;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR kernels: 8 (u8) / 4 (u16) branches per 64-bit step. The classic
+// parallel-compare trick adds a per-byte constant and reads the carry out
+// of the high bit; masking the high bits first (lo = x & ~H) keeps every
+// per-byte sum <= 254 so no carry can pollute the neighbouring byte.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t REP8_01 = 0x0101010101010101ull;
+constexpr std::uint64_t REP8_80 = 0x8080808080808080ull;
+constexpr std::uint64_t REP16_0001 = 0x0001000100010001ull;
+constexpr std::uint64_t REP16_8000 = 0x8000800080008000ull;
+
+inline std::uint64_t load64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/// 0x01 in every byte of the result where the byte of x is >= t (t <= 255).
+inline std::uint64_t swarGeBytes(std::uint64_t x, std::uint64_t t)
+{
+    if (t == 0)
+        return REP8_01;
+    const std::uint64_t lo = x & ~REP8_80;
+    if (t <= 128) {
+        // lo + (128 - t) reaches 128 (the spare high bit) iff lo >= t - 0x80
+        // fast path; bytes already >= 128 are trivially >= t.
+        const std::uint64_t add = (128 - t) * REP8_01;
+        return (((lo + add) | x) & REP8_80) >> 7;
+    }
+    // t in [129, 255]: need the high bit set AND lo >= t - 128.
+    const std::uint64_t add = (256 - t) * REP8_01;
+    return (((lo + add) & x) & REP8_80) >> 7;
+}
+
+/// 0x0001 in every 16-bit lane of the result where the lane of x is >= t
+/// (t <= 65535).
+inline std::uint64_t swarGeWords(std::uint64_t x, std::uint64_t t)
+{
+    if (t == 0)
+        return REP16_0001;
+    const std::uint64_t lo = x & ~REP16_8000;
+    if (t <= 32768) {
+        const std::uint64_t add = (32768 - t) * REP16_0001;
+        return (((lo + add) | x) & REP16_8000) >> 15;
+    }
+    const std::uint64_t add = (65536 - t) * REP16_0001;
+    return (((lo + add) & x) & REP16_8000) >> 15;
+}
+
+inline void swarAccumulate8(LaneCounts &c, std::uint64_t hi01,
+                            std::uint64_t f)
+{
+    // hi01 holds 0x00/0x01 bytes; popcount over ANDed 0x01-byte masks
+    // counts matching byte positions.
+    const std::uint64_t corr01 = (f >> 1) & REP8_01;
+    const std::uint64_t comm01 = (f >> 2) & REP8_01;
+    c.high += static_cast<std::uint64_t>(__builtin_popcountll(hi01));
+    c.highCorrect +=
+        static_cast<std::uint64_t>(__builtin_popcountll(hi01 & corr01));
+    c.highCommit +=
+        static_cast<std::uint64_t>(__builtin_popcountll(hi01 & comm01));
+    c.highCorrectCommit += static_cast<std::uint64_t>(
+        __builtin_popcountll(hi01 & corr01 & comm01));
+}
+
+LaneCounts countGeU8Swar(const std::uint8_t *vals, const std::uint8_t *flags,
+                         std::size_t n, std::uint64_t t)
+{
+    LaneCounts c;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        swarAccumulate8(c, swarGeBytes(load64(vals + i), t),
+                        load64(flags + i));
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint8_t v) { return v >= t; });
+    return c;
+}
+
+LaneCounts countBitU8Swar(const std::uint8_t *vals, const std::uint8_t *flags,
+                          std::size_t n, std::uint8_t bit)
+{
+    LaneCounts c;
+    unsigned shift = 0;
+    while ((bit >> shift) != 1)
+        ++shift;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const std::uint64_t hi01 = (load64(vals + i) >> shift) & REP8_01;
+        swarAccumulate8(c, hi01, load64(flags + i));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [bit](std::uint8_t v) { return (v & bit) != 0; });
+    return c;
+}
+
+LaneCounts countGeU16Swar(const std::uint16_t *vals,
+                          const std::uint8_t *flags, std::size_t n,
+                          std::uint64_t t)
+{
+    LaneCounts c;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // Assemble lanes explicitly so lane k always sits at bits
+        // [16k, 16k+16) regardless of host endianness.
+        const std::uint64_t x = static_cast<std::uint64_t>(vals[i]) |
+                                (static_cast<std::uint64_t>(vals[i + 1])
+                                 << 16) |
+                                (static_cast<std::uint64_t>(vals[i + 2])
+                                 << 32) |
+                                (static_cast<std::uint64_t>(vals[i + 3])
+                                 << 48);
+        const std::uint64_t hi = swarGeWords(x, t);
+        const std::uint64_t corr =
+            (static_cast<std::uint64_t>((flags[i] >> 1) & 1)) |
+            (static_cast<std::uint64_t>((flags[i + 1] >> 1) & 1) << 16) |
+            (static_cast<std::uint64_t>((flags[i + 2] >> 1) & 1) << 32) |
+            (static_cast<std::uint64_t>((flags[i + 3] >> 1) & 1) << 48);
+        const std::uint64_t comm =
+            (static_cast<std::uint64_t>((flags[i] >> 2) & 1)) |
+            (static_cast<std::uint64_t>((flags[i + 1] >> 2) & 1) << 16) |
+            (static_cast<std::uint64_t>((flags[i + 2] >> 2) & 1) << 32) |
+            (static_cast<std::uint64_t>((flags[i + 3] >> 2) & 1) << 48);
+        c.high += static_cast<std::uint64_t>(__builtin_popcountll(hi));
+        c.highCorrect +=
+            static_cast<std::uint64_t>(__builtin_popcountll(hi & corr));
+        c.highCommit +=
+            static_cast<std::uint64_t>(__builtin_popcountll(hi & comm));
+        c.highCorrectCommit += static_cast<std::uint64_t>(
+            __builtin_popcountll(hi & corr & comm));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint16_t v) { return v >= t; });
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// x86 kernels.
+// ---------------------------------------------------------------------------
+
+#if CONFSIM_KERNELS_X86
+
+inline void maskAccumulate(LaneCounts &c, std::uint32_t hiM,
+                           std::uint32_t corrM, std::uint32_t commM)
+{
+    c.high += static_cast<std::uint64_t>(__builtin_popcount(hiM));
+    c.highCorrect += static_cast<std::uint64_t>(__builtin_popcount(hiM & corrM));
+    c.highCommit += static_cast<std::uint64_t>(__builtin_popcount(hiM & commM));
+    c.highCorrectCommit +=
+        static_cast<std::uint64_t>(__builtin_popcount(hiM & corrM & commM));
+}
+
+LaneCounts countGeU8Sse2(const std::uint8_t *vals, const std::uint8_t *flags,
+                         std::size_t n, std::uint64_t t)
+{
+    LaneCounts c;
+    const __m128i vt = _mm_set1_epi8(static_cast<char>(t));
+    const __m128i corrBit = _mm_set1_epi8(2);
+    const __m128i commBit = _mm_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(vals + i));
+        const __m128i f =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(flags + i));
+        // max_epu8(x, t) == x  <=>  x >= t (unsigned).
+        const __m128i ge = _mm_cmpeq_epi8(_mm_max_epu8(x, vt), x);
+        const __m128i corr = _mm_cmpeq_epi8(_mm_and_si128(f, corrBit), corrBit);
+        const __m128i comm = _mm_cmpeq_epi8(_mm_and_si128(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm_movemask_epi8(ge)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint8_t v) { return v >= t; });
+    return c;
+}
+
+LaneCounts countBitU8Sse2(const std::uint8_t *vals, const std::uint8_t *flags,
+                          std::size_t n, std::uint8_t bit)
+{
+    LaneCounts c;
+    const __m128i vb = _mm_set1_epi8(static_cast<char>(bit));
+    const __m128i corrBit = _mm_set1_epi8(2);
+    const __m128i commBit = _mm_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(vals + i));
+        const __m128i f =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(flags + i));
+        const __m128i hi = _mm_cmpeq_epi8(_mm_and_si128(x, vb), vb);
+        const __m128i corr = _mm_cmpeq_epi8(_mm_and_si128(f, corrBit), corrBit);
+        const __m128i comm = _mm_cmpeq_epi8(_mm_and_si128(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm_movemask_epi8(hi)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [bit](std::uint8_t v) { return (v & bit) != 0; });
+    return c;
+}
+
+LaneCounts countGeU16Sse2(const std::uint16_t *vals,
+                          const std::uint8_t *flags, std::size_t n,
+                          std::uint64_t t)
+{
+    LaneCounts c;
+    // SSE2 has no unsigned 16-bit max/compare; use saturating subtract:
+    // sat(t - x) == 0  <=>  x >= t.
+    const __m128i vt = _mm_set1_epi16(static_cast<short>(t));
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i corrBit = _mm_set1_epi8(2);
+    const __m128i commBit = _mm_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i x0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(vals + i));
+        const __m128i x1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(vals + i + 8));
+        const __m128i m0 = _mm_cmpeq_epi16(_mm_subs_epu16(vt, x0), zero);
+        const __m128i m1 = _mm_cmpeq_epi16(_mm_subs_epu16(vt, x1), zero);
+        // packs is order-preserving within 128 bits: byte k = lane k verdict.
+        const __m128i ge = _mm_packs_epi16(m0, m1);
+        const __m128i f =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(flags + i));
+        const __m128i corr = _mm_cmpeq_epi8(_mm_and_si128(f, corrBit), corrBit);
+        const __m128i comm = _mm_cmpeq_epi8(_mm_and_si128(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm_movemask_epi8(ge)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint16_t v) { return v >= t; });
+    return c;
+}
+
+__attribute__((target("avx2"))) LaneCounts
+countGeU8Avx2(const std::uint8_t *vals, const std::uint8_t *flags,
+              std::size_t n, std::uint64_t t)
+{
+    LaneCounts c;
+    const __m256i vt = _mm256_set1_epi8(static_cast<char>(t));
+    const __m256i corrBit = _mm256_set1_epi8(2);
+    const __m256i commBit = _mm256_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(vals + i));
+        const __m256i f =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(flags + i));
+        const __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(x, vt), x);
+        const __m256i corr =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, corrBit), corrBit);
+        const __m256i comm =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm256_movemask_epi8(ge)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint8_t v) { return v >= t; });
+    return c;
+}
+
+__attribute__((target("avx2"))) LaneCounts
+countBitU8Avx2(const std::uint8_t *vals, const std::uint8_t *flags,
+               std::size_t n, std::uint8_t bit)
+{
+    LaneCounts c;
+    const __m256i vb = _mm256_set1_epi8(static_cast<char>(bit));
+    const __m256i corrBit = _mm256_set1_epi8(2);
+    const __m256i commBit = _mm256_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(vals + i));
+        const __m256i f =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(flags + i));
+        const __m256i hi = _mm256_cmpeq_epi8(_mm256_and_si256(x, vb), vb);
+        const __m256i corr =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, corrBit), corrBit);
+        const __m256i comm =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm256_movemask_epi8(hi)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [bit](std::uint8_t v) { return (v & bit) != 0; });
+    return c;
+}
+
+__attribute__((target("avx2"))) LaneCounts
+countGeU16Avx2(const std::uint16_t *vals, const std::uint8_t *flags,
+               std::size_t n, std::uint64_t t)
+{
+    LaneCounts c;
+    const __m256i vt = _mm256_set1_epi16(static_cast<short>(t));
+    const __m256i corrBit = _mm256_set1_epi8(2);
+    const __m256i commBit = _mm256_set1_epi8(4);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(vals + i));
+        const __m256i x1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vals + i + 16));
+        const __m256i m0 = _mm256_cmpeq_epi16(_mm256_max_epu16(x0, vt), x0);
+        const __m256i m1 = _mm256_cmpeq_epi16(_mm256_max_epu16(x1, vt), x1);
+        // packs interleaves 128-bit halves (a0 b0 a1 b1); permute the
+        // 64-bit quadrants back to linear order before movemask.
+        const __m256i packed = _mm256_packs_epi16(m0, m1);
+        const __m256i ge =
+            _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+        const __m256i f =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(flags + i));
+        const __m256i corr =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, corrBit), corrBit);
+        const __m256i comm =
+            _mm256_cmpeq_epi8(_mm256_and_si256(f, commBit), commBit);
+        maskAccumulate(c, static_cast<std::uint32_t>(_mm256_movemask_epi8(ge)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(corr)),
+                       static_cast<std::uint32_t>(_mm256_movemask_epi8(comm)));
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint16_t v) { return v >= t; });
+    return c;
+}
+
+#endif // CONFSIM_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// AArch64 NEON kernels.
+// ---------------------------------------------------------------------------
+
+#if CONFSIM_KERNELS_NEON
+
+inline void neonAccumulate(LaneCounts &c, uint8x16_t hi, uint8x16_t corr,
+                           uint8x16_t comm)
+{
+    // hi/corr/comm hold 0x01/0x00 bytes; horizontal add counts them.
+    c.high += vaddvq_u8(hi);
+    c.highCorrect += vaddvq_u8(vandq_u8(hi, corr));
+    c.highCommit += vaddvq_u8(vandq_u8(hi, comm));
+    c.highCorrectCommit += vaddvq_u8(vandq_u8(vandq_u8(hi, corr), comm));
+}
+
+LaneCounts countGeU8Neon(const std::uint8_t *vals, const std::uint8_t *flags,
+                         std::size_t n, std::uint64_t t)
+{
+    LaneCounts c;
+    const uint8x16_t vt = vdupq_n_u8(static_cast<std::uint8_t>(t));
+    const uint8x16_t one = vdupq_n_u8(1);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t x = vld1q_u8(vals + i);
+        const uint8x16_t f = vld1q_u8(flags + i);
+        const uint8x16_t hi = vandq_u8(vcgeq_u8(x, vt), one);
+        const uint8x16_t corr = vandq_u8(vshrq_n_u8(f, 1), one);
+        const uint8x16_t comm = vandq_u8(vshrq_n_u8(f, 2), one);
+        neonAccumulate(c, hi, corr, comm);
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint8_t v) { return v >= t; });
+    return c;
+}
+
+LaneCounts countBitU8Neon(const std::uint8_t *vals, const std::uint8_t *flags,
+                          std::size_t n, std::uint8_t bit)
+{
+    LaneCounts c;
+    const uint8x16_t vb = vdupq_n_u8(bit);
+    const uint8x16_t one = vdupq_n_u8(1);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t x = vld1q_u8(vals + i);
+        const uint8x16_t f = vld1q_u8(flags + i);
+        const uint8x16_t hi = vandq_u8(vtstq_u8(x, vb), one);
+        const uint8x16_t corr = vandq_u8(vshrq_n_u8(f, 1), one);
+        const uint8x16_t comm = vandq_u8(vshrq_n_u8(f, 2), one);
+        neonAccumulate(c, hi, corr, comm);
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [bit](std::uint8_t v) { return (v & bit) != 0; });
+    return c;
+}
+
+LaneCounts countGeU16Neon(const std::uint16_t *vals,
+                          const std::uint8_t *flags, std::size_t n,
+                          std::uint64_t t)
+{
+    LaneCounts c;
+    const uint16x8_t vt = vdupq_n_u16(static_cast<std::uint16_t>(t));
+    const uint16x8_t one16 = vdupq_n_u16(1);
+    const uint8x16_t one8 = vdupq_n_u8(1);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint16x8_t m0 =
+            vandq_u16(vcgeq_u16(vld1q_u16(vals + i), vt), one16);
+        const uint16x8_t m1 =
+            vandq_u16(vcgeq_u16(vld1q_u16(vals + i + 8), vt), one16);
+        const uint8x16_t hi = vcombine_u8(vmovn_u16(m0), vmovn_u16(m1));
+        const uint8x16_t f = vld1q_u8(flags + i);
+        const uint8x16_t corr = vandq_u8(vshrq_n_u8(f, 1), one8);
+        const uint8x16_t comm = vandq_u8(vshrq_n_u8(f, 2), one8);
+        neonAccumulate(c, hi, corr, comm);
+    }
+    accumulateScalar(c, vals, flags, i, n,
+                     [t](std::uint16_t v) { return v >= t; });
+    return c;
+}
+
+#endif // CONFSIM_KERNELS_NEON
+
+bool cpuHasAvx2()
+{
+#if CONFSIM_KERNELS_X86
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+const char *kernelDispatchName(KernelDispatch d)
+{
+    switch (d) {
+    case KernelDispatch::Scalar:
+        return "scalar";
+    case KernelDispatch::Swar:
+        return "swar";
+    case KernelDispatch::Sse2:
+        return "sse2";
+    case KernelDispatch::Avx2:
+        return "avx2";
+    case KernelDispatch::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool kernelDispatchFromName(std::string_view name, KernelDispatch &out)
+{
+    if (name == "scalar")
+        out = KernelDispatch::Scalar;
+    else if (name == "swar")
+        out = KernelDispatch::Swar;
+    else if (name == "sse2")
+        out = KernelDispatch::Sse2;
+    else if (name == "avx2")
+        out = KernelDispatch::Avx2;
+    else if (name == "neon")
+        out = KernelDispatch::Neon;
+    else
+        return false;
+    return true;
+}
+
+bool kernelDispatchSupported(KernelDispatch d)
+{
+    switch (d) {
+    case KernelDispatch::Scalar:
+    case KernelDispatch::Swar:
+        return true;
+    case KernelDispatch::Sse2:
+#if CONFSIM_KERNELS_X86
+        return true;
+#else
+        return false;
+#endif
+    case KernelDispatch::Avx2:
+        return cpuHasAvx2();
+    case KernelDispatch::Neon:
+#if CONFSIM_KERNELS_NEON
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+KernelDispatch bestKernelDispatch()
+{
+#if CONFSIM_KERNELS_X86
+    return cpuHasAvx2() ? KernelDispatch::Avx2 : KernelDispatch::Sse2;
+#elif CONFSIM_KERNELS_NEON
+    return KernelDispatch::Neon;
+#else
+    return KernelDispatch::Swar;
+#endif
+}
+
+KernelDispatch selectedKernelDispatch()
+{
+    static const KernelDispatch selected = [] {
+        const char *force = std::getenv("CONFSIM_FORCE_SCALAR");
+        if (force != nullptr && force[0] == '1' && force[1] == '\0')
+            return KernelDispatch::Scalar;
+        if (const char *name = std::getenv("CONFSIM_KERNEL")) {
+            KernelDispatch d;
+            if (kernelDispatchFromName(name, d) && kernelDispatchSupported(d))
+                return d;
+        }
+        return bestKernelDispatch();
+    }();
+    return selected;
+}
+
+LaneCounts countGeU8(KernelDispatch d, const std::uint8_t *vals,
+                     const std::uint8_t *flags, std::size_t n,
+                     std::uint64_t threshold)
+{
+    if (threshold > 0xff)
+        return {}; // every branch classifies low
+    switch (d) {
+#if CONFSIM_KERNELS_X86
+    case KernelDispatch::Avx2:
+        if (cpuHasAvx2())
+            return countGeU8Avx2(vals, flags, n, threshold);
+        [[fallthrough]];
+    case KernelDispatch::Sse2:
+        return countGeU8Sse2(vals, flags, n, threshold);
+#endif
+#if CONFSIM_KERNELS_NEON
+    case KernelDispatch::Neon:
+        return countGeU8Neon(vals, flags, n, threshold);
+#endif
+    case KernelDispatch::Swar:
+        return countGeU8Swar(vals, flags, n, threshold);
+    default:
+        break;
+    }
+    LaneCounts c;
+    accumulateScalar(c, vals, flags, 0, n,
+                     [threshold](std::uint8_t v) { return v >= threshold; });
+    return c;
+}
+
+LaneCounts countGeU16(KernelDispatch d, const std::uint16_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint64_t threshold)
+{
+    if (threshold > 0xffff)
+        return {};
+    switch (d) {
+#if CONFSIM_KERNELS_X86
+    case KernelDispatch::Avx2:
+        if (cpuHasAvx2())
+            return countGeU16Avx2(vals, flags, n, threshold);
+        [[fallthrough]];
+    case KernelDispatch::Sse2:
+        return countGeU16Sse2(vals, flags, n, threshold);
+#endif
+#if CONFSIM_KERNELS_NEON
+    case KernelDispatch::Neon:
+        return countGeU16Neon(vals, flags, n, threshold);
+#endif
+    case KernelDispatch::Swar:
+        return countGeU16Swar(vals, flags, n, threshold);
+    default:
+        break;
+    }
+    LaneCounts c;
+    accumulateScalar(c, vals, flags, 0, n,
+                     [threshold](std::uint16_t v) { return v >= threshold; });
+    return c;
+}
+
+LaneCounts countBitU8(KernelDispatch d, const std::uint8_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint8_t bit)
+{
+    if (bit == 0)
+        return {}; // (v & 0) is never set
+    switch (d) {
+#if CONFSIM_KERNELS_X86
+    case KernelDispatch::Avx2:
+        if (cpuHasAvx2())
+            return countBitU8Avx2(vals, flags, n, bit);
+        [[fallthrough]];
+    case KernelDispatch::Sse2:
+        return countBitU8Sse2(vals, flags, n, bit);
+#endif
+#if CONFSIM_KERNELS_NEON
+    case KernelDispatch::Neon:
+        return countBitU8Neon(vals, flags, n, bit);
+#endif
+    case KernelDispatch::Swar:
+        return countBitU8Swar(vals, flags, n, bit);
+    default:
+        break;
+    }
+    LaneCounts c;
+    accumulateScalar(c, vals, flags, 0, n,
+                     [bit](std::uint8_t v) { return (v & bit) != 0; });
+    return c;
+}
+
+LaneCounts countGeU32(const std::uint32_t *vals, const std::uint8_t *flags,
+                      std::size_t n, std::uint64_t threshold)
+{
+    LaneCounts c;
+    accumulateScalar(c, vals, flags, 0, n,
+                     [threshold](std::uint32_t v) { return v >= threshold; });
+    return c;
+}
+
+LaneCounts countGeU64(const std::uint64_t *vals, const std::uint8_t *flags,
+                      std::size_t n, std::uint64_t threshold)
+{
+    LaneCounts c;
+    accumulateScalar(c, vals, flags, 0, n,
+                     [threshold](std::uint64_t v) { return v >= threshold; });
+    return c;
+}
+
+} // namespace confsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Data-parallel classification kernels of the batched sweep engine.
+ *
+ * Every stateless sweep lane — and, since the level-buffer retiling,
+ * the per-threshold classification of JRS lanes too — reduces to one
+ * question per branch: "is this lane's per-branch value at or above a
+ * threshold (or is a given bit set)?", combined with the branch's
+ * correct/commit flag bits. The kernels here answer it for a whole
+ * column at once and return the four population counts
+ *
+ *   high, high&correct, high&commit, high&correct&commit
+ *
+ * from which BatchReplayer derives the full quadrant/stats results
+ * with closed-form arithmetic (the complements are properties of the
+ * trace: total branches, mispredicts, committed branches). All four
+ * counts are exact integer sums, so the derived results are
+ * bit-identical to the scalar walk's.
+ *
+ * Implementations, selected by KernelDispatch:
+ *  - Scalar: plain branch-free loop (always available; also the
+ *    reference the SIMD paths are tested against).
+ *  - Swar: portable std::uint64_t SIMD-within-a-register, 8 (u8) or
+ *    4 (u16) branches per step. No intrinsics, endian-safe.
+ *  - Sse2: 16 branches per step on x86-64 (baseline ISA, no runtime
+ *    feature check needed).
+ *  - Avx2: 32 branches per step, guarded by a cpuid check.
+ *  - Neon: 16 branches per step on AArch64.
+ *
+ * selectedKernelDispatch() picks the widest supported tier once per
+ * process, honouring two environment overrides:
+ *   CONFSIM_FORCE_SCALAR=1   force the scalar kernels (CI lane)
+ *   CONFSIM_KERNEL=<name>    force a specific tier (scalar, swar,
+ *                            sse2, avx2, neon); an unsupported name
+ *                            falls back to the best supported tier.
+ */
+
+#ifndef CONFSIM_SWEEP_SWEEP_KERNELS_HH
+#define CONFSIM_SWEEP_SWEEP_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace confsim
+{
+
+/** Kernel implementation tier (see file comment). */
+enum class KernelDispatch
+{
+    Scalar,
+    Swar,
+    Sse2,
+    Avx2,
+    Neon,
+};
+
+/** Stable lowercase name of @p d ("scalar", "swar", ...). */
+const char *kernelDispatchName(KernelDispatch d);
+
+/** Parse a dispatch name; false (out untouched) when unknown. */
+bool kernelDispatchFromName(std::string_view name, KernelDispatch &out);
+
+/** Whether @p d is compiled in *and* supported by this CPU. */
+bool kernelDispatchSupported(KernelDispatch d);
+
+/** The widest supported tier on this machine (ignores environment). */
+KernelDispatch bestKernelDispatch();
+
+/**
+ * The tier the sweep engine uses: bestKernelDispatch() unless the
+ * CONFSIM_FORCE_SCALAR / CONFSIM_KERNEL environment overrides apply.
+ * Evaluated once per process (first call) and cached.
+ */
+KernelDispatch selectedKernelDispatch();
+
+/**
+ * The four high-confidence population counts of one lane over one
+ * column. The complements (low, low&correct, ...) follow from the
+ * trace's aggregate counters; see BatchReplayer.
+ */
+struct LaneCounts
+{
+    std::uint64_t high = 0;              ///< branches classified high
+    std::uint64_t highCorrect = 0;       ///< high and predicted right
+    std::uint64_t highCommit = 0;        ///< high and will commit
+    std::uint64_t highCorrectCommit = 0; ///< high, right, committing
+
+    bool operator==(const LaneCounts &) const = default;
+};
+
+/**
+ * Count branches with vals[i] >= threshold over a u8 column.
+ * @param flags the DecodedTrace per-branch flag bytes (FLAG_CORRECT
+ *        at bit 1, FLAG_COMMIT at bit 2), length @p n like @p vals.
+ */
+LaneCounts countGeU8(KernelDispatch d, const std::uint8_t *vals,
+                     const std::uint8_t *flags, std::size_t n,
+                     std::uint64_t threshold);
+
+/** Count branches with vals[i] >= threshold over a u16 column. */
+LaneCounts countGeU16(KernelDispatch d, const std::uint16_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint64_t threshold);
+
+/** Count branches with (vals[i] & bit) != 0 over a u8 column
+ *  (@p bit must have exactly one bit set — the SAT_BIT_* layout). */
+LaneCounts countBitU8(KernelDispatch d, const std::uint8_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint8_t bit);
+
+/** Count branches with vals[i] >= threshold over a u32 column
+ *  (scalar; wide key-valued columns are never lane-hot). */
+LaneCounts countGeU32(const std::uint32_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint64_t threshold);
+
+/** As countGeU32 for a u64 column. */
+LaneCounts countGeU64(const std::uint64_t *vals,
+                      const std::uint8_t *flags, std::size_t n,
+                      std::uint64_t threshold);
+
+} // namespace confsim
+
+#endif // CONFSIM_SWEEP_SWEEP_KERNELS_HH

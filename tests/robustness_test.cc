@@ -12,17 +12,22 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/checksum.hh"
 #include "common/confsim_error.hh"
 #include "common/fault_injection.hh"
 #include "harness/artifact_store.hh"
+#include "harness/decoded_artifact.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/sweep.hh"
 #include "harness/sweep_journal.hh"
+#include "sweep/decoded_trace.hh"
 #include "workloads/workload.hh"
 
 namespace confsim
@@ -305,6 +310,155 @@ TEST_F(ArtifactStoreTest, InjectedTornWriteNeverServesHalfAFrame)
     EXPECT_EQ(store.stats().corruptArtifacts, 1u);
 }
 
+// ------------------------------------------------- mmap-able container
+
+/** Two small sections with recognizable bytes + a meta blob. */
+std::vector<std::pair<const void *, std::uint64_t>>
+sampleSections(const std::string &a, const std::string &b)
+{
+    return {{a.data(), a.size()}, {b.data(), b.size()}};
+}
+
+TEST_F(ArtifactStoreTest, MappedStoreThenLoadRoundTrips)
+{
+    ArtifactStore store(dir.string());
+    const std::string a("column A bytes");
+    const std::string b("column B\0with a nul", 19);
+    ASSERT_TRUE(store.storeMapped("kind", "key", "{\"meta\":1}",
+                                  sampleSections(a, b)));
+
+    ArtifactStore::MappedArtifact art;
+    ASSERT_TRUE(store.loadMapped("kind", "key", art));
+    EXPECT_EQ(art.meta, "{\"meta\":1}");
+    ASSERT_EQ(art.sections.size(), 2u);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                                  art.sections[0].data),
+                          art.sections[0].size),
+              a);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                                  art.sections[1].data),
+                          art.sections[1].size),
+              b);
+    // Sections sit at 64-byte-aligned file offsets, and the mapping
+    // is page-aligned, so the views cast to any column type.
+    for (const auto &sec : art.sections)
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(sec.data) % 64,
+                  0u);
+    const ArtifactStoreStats s = store.stats();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.corruptArtifacts, 0u);
+}
+
+TEST_F(ArtifactStoreTest, MappedEveryCorruptByteIsAMiss)
+{
+    // Flip every byte of the container — header fields, section
+    // table, key, meta, alignment padding, payload — one at a time;
+    // each single-byte lie must be caught, quarantined and reported
+    // as a miss. No byte of the file is outside some check.
+    ArtifactStore store(dir.string());
+    const std::string a("0123456789");
+    const std::string b("abcdefghij");
+    ASSERT_TRUE(store.storeMapped("kind", "key", "meta-blob",
+                                  sampleSections(a, b)));
+    const std::string path = store.mappedArtifactPath("kind", "key");
+    std::string good;
+    {
+        std::ifstream in(path, std::ios::binary);
+        good.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+
+    for (std::size_t off = 0; off < good.size(); ++off) {
+        std::string bad = good;
+        bad[off] = static_cast<char>(bad[off] ^ 0xff);
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bad.data(),
+                      static_cast<std::streamsize>(bad.size()));
+        }
+        ArtifactStore::MappedArtifact art;
+        EXPECT_FALSE(store.loadMapped("kind", "key", art))
+                << "corrupt byte at offset " << off
+                << " mapped as valid";
+        EXPECT_FALSE(std::filesystem::exists(path))
+                << "corrupt file left in place at offset " << off;
+        std::filesystem::remove(path + ".corrupt");
+    }
+    const ArtifactStoreStats s = store.stats();
+    EXPECT_EQ(s.corruptArtifacts, good.size());
+    EXPECT_EQ(s.quarantined, good.size());
+    EXPECT_EQ(s.hits, 0u);
+}
+
+TEST_F(ArtifactStoreTest, MappedTruncationIsAMissAtEveryLength)
+{
+    ArtifactStore store(dir.string());
+    const std::string a("section data here");
+    const std::string b("more section data");
+    ASSERT_TRUE(store.storeMapped("kind", "key", "meta",
+                                  sampleSections(a, b)));
+    const std::string path = store.mappedArtifactPath("kind", "key");
+    std::string good;
+    {
+        std::ifstream in(path, std::ios::binary);
+        good.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(good.data(),
+                      static_cast<std::streamsize>(len));
+        }
+        ArtifactStore::MappedArtifact art;
+        EXPECT_FALSE(store.loadMapped("kind", "key", art))
+                << "truncation to " << len << " bytes mapped";
+        std::filesystem::remove(path + ".corrupt");
+    }
+}
+
+TEST_F(ArtifactStoreTest, MappedForeignEndiannessIsRejected)
+{
+    // The endian tag is written natively; a foreign-endian writer's
+    // file shows the tag bytes reversed. Simulate one by reversing
+    // the 4 tag bytes in place — everything else intact.
+    ArtifactStore store(dir.string());
+    const std::string a("payload");
+    ASSERT_TRUE(store.storeMapped("kind", "key", "meta",
+                                  {{a.data(), a.size()}}));
+    const std::string path = store.mappedArtifactPath("kind", "key");
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GE(bytes.size(), 12u);
+    std::swap(bytes[8], bytes[11]);
+    std::swap(bytes[9], bytes[10]);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    ArtifactStore::MappedArtifact art;
+    EXPECT_FALSE(store.loadMapped("kind", "key", art));
+    EXPECT_EQ(store.stats().corruptArtifacts, 1u);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST_F(ArtifactStoreTest, MappedMissingFileIsAPlainMiss)
+{
+    ArtifactStore store(dir.string());
+    ArtifactStore::MappedArtifact art;
+    EXPECT_FALSE(store.loadMapped("kind", "absent", art));
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().corruptArtifacts, 0u);
+}
+
 // ------------------------------------------------ artifact-backed rebuilds
 
 class RecordedArtifactTest : public ::testing::Test
@@ -380,6 +534,152 @@ TEST_F(RecordedArtifactTest, SpillReloadAndCorruptionRecovery)
     EXPECT_GE(store->stats().quarantined, 1u);
     EXPECT_EQ(regen->trace, cold->trace);
     EXPECT_TRUE(regen->pipe == cold->pipe);
+}
+
+/** Byte-level equality of two decoded traces, column by column. */
+template <typename T>
+void
+expectColumnEq(const ColumnView<T> &a, const ColumnView<T> &b,
+               const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)),
+              0)
+            << what;
+}
+
+void
+expectDecodedTraceEq(const DecodedTrace &a, const DecodedTrace &b)
+{
+    EXPECT_EQ(a.meta, b.meta);
+    expectColumnEq(a.pc, b.pc, "pc");
+    expectColumnEq(a.info, b.info, "info");
+    expectColumnEq(a.flags, b.flags, "flags");
+    expectColumnEq(a.fetchCycle, b.fetchCycle, "fetchCycle");
+    expectColumnEq(a.resolveCycle, b.resolveCycle, "resolveCycle");
+    expectColumnEq(a.schedule, b.schedule, "schedule");
+    expectColumnEq(a.preciseDistAll, b.preciseDistAll,
+                   "preciseDistAll");
+    expectColumnEq(a.preciseDistCommitted, b.preciseDistCommitted,
+                   "preciseDistCommitted");
+    expectColumnEq(a.perceivedDistAll, b.perceivedDistAll,
+                   "perceivedDistAll");
+    expectColumnEq(a.perceivedDistCommitted,
+                   b.perceivedDistCommitted,
+                   "perceivedDistCommitted");
+    EXPECT_TRUE(a.counters == b.counters);
+    ASSERT_EQ(a.channels.size(), b.channels.size());
+    for (std::size_t c = 0; c < a.channels.size(); ++c) {
+        EXPECT_EQ(a.channels[c].name, b.channels[c].name);
+        EXPECT_EQ(a.channels[c].width, b.channels[c].width);
+        EXPECT_EQ(a.channels[c].levelMax, b.channels[c].levelMax);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a.channels[c].value(i), b.channels[c].value(i))
+                    << a.channels[c].name << " [" << i << "]";
+        }
+    }
+}
+
+TEST_F(RecordedArtifactTest, DecodedSpillMmapReloadAndRecovery)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig wl;
+    PipelineConfig pipe;
+
+    // Cold: live simulation + decode, columns spilled to the
+    // mmap-able container (alongside the recorded-run frame).
+    const auto cold =
+        cachedDecodedRun(PredictorKind::Gshare, spec, wl, pipe);
+    const auto store = globalArtifactStore();
+    ASSERT_TRUE(store != nullptr);
+    EXPECT_EQ(store->stats().stores, 2u); // recorded + decoded
+    EXPECT_TRUE(cold->trace.backing == nullptr);
+
+    // Warm (fresh in-memory cache): the decoded columns come straight
+    // off the mapping — zero-copy (backing held), with *no* recorded-
+    // run rebuild, varint decode or plugin derivation on the path.
+    clearExperimentCaches();
+    const auto warm =
+        cachedDecodedRun(PredictorKind::Gshare, spec, wl, pipe);
+    EXPECT_TRUE(warm->trace.backing != nullptr);
+    const ExperimentCacheStats warmStats = experimentCacheStats();
+    EXPECT_EQ(warmStats.recordedMisses, 0u);
+    EXPECT_EQ(warmStats.recordedHits, 0u);
+    expectDecodedTraceEq(warm->trace, cold->trace);
+    EXPECT_TRUE(warm->pipe == cold->pipe);
+    EXPECT_EQ(warm->statsSubtree.dump(), cold->statsSubtree.dump());
+    EXPECT_EQ(warm->configSubtree.dump(),
+              cold->configSubtree.dump());
+
+    // Corrupt the .cart container: the next build quarantines it,
+    // regenerates bit-identically from the recorded trace, and
+    // re-spills.
+    std::string cart;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".cart")
+            cart = entry.path().string();
+    }
+    ASSERT_FALSE(cart.empty());
+    {
+        std::fstream f(cart, std::ios::binary | std::ios::in
+                                 | std::ios::out);
+        f.seekp(100);
+        f.put(static_cast<char>(0xff));
+    }
+    clearExperimentCaches();
+    const auto regen =
+        cachedDecodedRun(PredictorKind::Gshare, spec, wl, pipe);
+    EXPECT_GE(store->stats().corruptArtifacts, 1u);
+    EXPECT_GE(store->stats().quarantined, 1u);
+    EXPECT_TRUE(regen->trace.backing == nullptr);
+    expectDecodedTraceEq(regen->trace, cold->trace);
+
+    // And the re-spilled artifact serves the *next* warm run again.
+    clearExperimentCaches();
+    const auto rewarm =
+        cachedDecodedRun(PredictorKind::Gshare, spec, wl, pipe);
+    EXPECT_TRUE(rewarm->trace.backing != nullptr);
+    expectDecodedTraceEq(rewarm->trace, cold->trace);
+}
+
+TEST_F(RecordedArtifactTest, DecodedArtifactRejectsSchemaDamage)
+{
+    const WorkloadSpec &spec = standardWorkloads()[0];
+    WorkloadConfig wl;
+    PipelineConfig pipe;
+    const auto run =
+        cachedDecodedRun(PredictorKind::Gshare, spec, wl, pipe);
+    const auto store = globalArtifactStore();
+    ASSERT_TRUE(store != nullptr);
+
+    // A container that passes every frame check but lost a column
+    // must fail the codec's geometry validation, not crash.
+    DecodedArtifactParts parts = encodeDecodedArtifact(*run);
+    parts.sections.pop_back();
+    ASSERT_TRUE(store->storeMapped("test-decoded", "k", parts.meta,
+                                   parts.sections));
+    ArtifactStore::MappedArtifact art;
+    ASSERT_TRUE(store->loadMapped("test-decoded", "k", art));
+    DecodedRun out;
+    std::string error;
+    EXPECT_FALSE(decodeDecodedArtifact(art, out, &error));
+    EXPECT_FALSE(error.empty());
+
+    // Same for a BpInfo ABI mismatch advertised in the metadata.
+    DecodedArtifactParts full = encodeDecodedArtifact(*run);
+    const std::string bad = [&] {
+        std::string m = full.meta;
+        const std::string key = "\"bpinfo_size\":";
+        const std::size_t at = m.find(key);
+        EXPECT_NE(at, std::string::npos);
+        m.insert(at + key.size(), "1");
+        return m;
+    }();
+    ASSERT_TRUE(store->storeMapped("test-decoded", "k2", bad,
+                                   full.sections));
+    ASSERT_TRUE(store->loadMapped("test-decoded", "k2", art));
+    EXPECT_FALSE(decodeDecodedArtifact(art, out, &error));
 }
 
 // ------------------------------------------------------------ sweep journal

@@ -26,8 +26,10 @@
 #include "harness/collectors.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
+#include "common/random.hh"
 #include "harness/sweep.hh"
 #include "sweep/batch_replayer.hh"
+#include "sweep/sweep_kernels.hh"
 #include "trace/trace_replayer.hh"
 
 namespace confsim
@@ -779,6 +781,176 @@ TEST(MixedGridTest, NativeFrontierSanityAcrossWorkloads)
         EXPECT_LT(1.0 - f.pvp(), f.pvn()) << pred;
     }
 }
+
+/** Every dispatch tier the host can actually run, scalar excluded. */
+std::vector<KernelDispatch>
+supportedVectorDispatches()
+{
+    std::vector<KernelDispatch> out;
+    for (const KernelDispatch d :
+         {KernelDispatch::Swar, KernelDispatch::Sse2,
+          KernelDispatch::Avx2, KernelDispatch::Neon}) {
+        if (kernelDispatchSupported(d))
+            out.push_back(d);
+    }
+    return out;
+}
+
+TEST(SweepKernelTest, DispatchTiersMatchScalarOnRandomColumns)
+{
+    Rng rng(0xc01a55);
+    // Lengths straddle the SIMD register width, the SWAR word and the
+    // scalar tail; thresholds cover both halves of each width's
+    // compare trick plus the out-of-range early-outs.
+    const std::size_t lengths[] = {0, 1, 7, 8, 15, 16, 31, 32, 100};
+    const std::uint64_t u8_thresholds[] = {0, 1, 2, 127, 128,
+                                           129, 255, 256};
+    const std::uint64_t u16_thresholds[] = {0,     1,     255,
+                                            256,   32767, 32768,
+                                            32769, 65535, 65536};
+
+    for (const std::size_t n : lengths) {
+        std::vector<std::uint8_t> vals8(n);
+        std::vector<std::uint16_t> vals16(n);
+        std::vector<std::uint8_t> flags(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            vals8[i] = static_cast<std::uint8_t>(rng.next());
+            vals16[i] = static_cast<std::uint16_t>(rng.next());
+            flags[i] = static_cast<std::uint8_t>(rng.next() & 0xf);
+        }
+        for (const KernelDispatch d : supportedVectorDispatches()) {
+            for (const std::uint64_t t : u8_thresholds) {
+                EXPECT_EQ(countGeU8(d, vals8.data(), flags.data(), n,
+                                    t),
+                          countGeU8(KernelDispatch::Scalar,
+                                    vals8.data(), flags.data(), n, t))
+                        << kernelDispatchName(d) << " n=" << n
+                        << " t=" << t;
+            }
+            for (const std::uint64_t t : u16_thresholds) {
+                EXPECT_EQ(countGeU16(d, vals16.data(), flags.data(),
+                                     n, t),
+                          countGeU16(KernelDispatch::Scalar,
+                                     vals16.data(), flags.data(), n,
+                                     t))
+                        << kernelDispatchName(d) << " n=" << n
+                        << " t=" << t;
+            }
+            for (const std::uint8_t bit : {0, 1, 2, 4, 8}) {
+                EXPECT_EQ(countBitU8(d, vals8.data(), flags.data(), n,
+                                     bit),
+                          countBitU8(KernelDispatch::Scalar,
+                                     vals8.data(), flags.data(), n,
+                                     bit))
+                        << kernelDispatchName(d) << " n=" << n
+                        << " bit=" << unsigned(bit);
+            }
+        }
+    }
+}
+
+/** Everything one lane reports after a run, for cross-dispatch
+ *  comparison. */
+struct LaneSnapshot
+{
+    QuadrantCounts committed;
+    QuadrantCounts all;
+    std::uint64_t estimates = 0;
+    std::uint64_t lowEstimates = 0;
+    std::uint64_t updates = 0;
+    bool hasLevels = false;
+    std::vector<QuadrantCounts> levelQuads;
+
+    bool operator==(const LaneSnapshot &) const = default;
+};
+
+/** Run the full lane mix (kernel + virtual) over @p decoded with one
+ *  forced dispatch tier and snapshot every lane. */
+std::vector<LaneSnapshot>
+runLaneMix(PredictorKind kind,
+           const std::shared_ptr<const DecodedRun> &decoded,
+           KernelDispatch dispatch)
+{
+    const ExperimentConfig cfg;
+    JrsConfig jrs_small;
+    jrs_small.tableEntries = 256;
+    jrs_small.counterBits = 2;
+    jrs_small.threshold = 3;
+    jrs_small.enhanced = false;
+
+    BatchReplayer batch(std::shared_ptr<const DecodedTrace>(
+            decoded, &decoded->trace));
+    batch.setKernelOverride(dispatch);
+    batch.attachJrs(JrsConfig{}, true);
+    batch.attachJrs(jrs_small, true);
+    batch.attachSatCounters(kind == PredictorKind::McFarling
+                                ? SatCountersVariant::BothStrong
+                                : SatCountersVariant::Selected);
+    batch.attachSatCounters(SatCountersVariant::EitherStrong);
+    batch.attachPattern();
+    // Present on the matching native predictor's trace, absent (with
+    // distinct zero/non-zero threshold behaviour) everywhere else.
+    batch.attachChannelThreshold(CHANNEL_PERC_MARGIN, 64, true);
+    batch.attachChannelThreshold(CHANNEL_TAGE_CONF, 0, true);
+    // A virtual lane rides along so the block-interleaved walk is
+    // exercised alongside the kernel lanes.
+    DistanceEstimator dist(cfg.distanceThreshold);
+    batch.attachEstimator(&dist);
+
+    std::string error;
+    EXPECT_TRUE(batch.run(&error)) << error;
+
+    std::vector<LaneSnapshot> out;
+    for (unsigned lane = 0; lane < batch.laneCount(); ++lane) {
+        LaneSnapshot snap;
+        snap.committed = batch.committed(lane);
+        snap.all = batch.all(lane);
+        snap.estimates = batch.estimatorStats(lane).estimates;
+        snap.lowEstimates = batch.estimatorStats(lane).lowEstimates;
+        snap.updates = batch.estimatorStats(lane).updates;
+        snap.hasLevels = batch.hasLevels(lane);
+        if (snap.hasLevels) {
+            for (const unsigned t : {0u, 1u, 3u, 7u, 15u, 16u})
+                snap.levelQuads.push_back(
+                        batch.levels(lane).atThresholdGe(t));
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+class KernelEquivalenceTest
+    : public testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(KernelEquivalenceTest, VectorTiersMatchScalarLaneForLane)
+{
+    const PredictorKind kind = GetParam();
+    const ExperimentConfig cfg;
+    const auto decoded = cachedDecodedRun(kind, spec("compress"),
+                                          cfg.workload, cfg.pipeline);
+    const auto scalar =
+        runLaneMix(kind, decoded, KernelDispatch::Scalar);
+    for (const KernelDispatch d : supportedVectorDispatches()) {
+        const auto vec = runLaneMix(kind, decoded, d);
+        ASSERT_EQ(vec.size(), scalar.size());
+        for (std::size_t lane = 0; lane < scalar.size(); ++lane)
+            EXPECT_EQ(vec[lane], scalar[lane])
+                    << kernelDispatchName(d) << " lane " << lane;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        AllPredictors, KernelEquivalenceTest,
+        testing::Values(PredictorKind::Bimodal, PredictorKind::Gshare,
+                        PredictorKind::McFarling, PredictorKind::SAg,
+                        PredictorKind::PAs, PredictorKind::Gselect,
+                        PredictorKind::GAg, PredictorKind::Perceptron,
+                        PredictorKind::Tage),
+        [](const auto &info) {
+            return std::string(predictorKindName(info.param));
+        });
 
 } // anonymous namespace
 } // namespace confsim

@@ -19,6 +19,7 @@
  * and statistics from the StatsRegistry.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -28,6 +29,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/checksum.hh"
@@ -49,6 +51,8 @@
 #include "harness/parallel_runner.hh"
 #include "harness/sweep.hh"
 #include "harness/trace_run.hh"
+#include "sweep/batch_replayer.hh"
+#include "sweep/sweep_kernels.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_replayer.hh"
 #include "trace/trace_writer.hh"
@@ -79,6 +83,7 @@ struct Options
     std::string recordTracePath; ///< --record-trace FILE
     std::string replayTracePath; ///< --replay-trace FILE
     std::string sweepPath;       ///< --sweep FILE
+    bool sweepDryRun = false;    ///< --dry-run (with --sweep)
     std::string artifactDir;     ///< --artifact-dir DIR
     unsigned taskDeadlineMs = 0; ///< --task-deadline-ms N (0 = off)
     unsigned taskRetries = 0;    ///< --task-retries N
@@ -139,6 +144,10 @@ usage()
         "                    thresholds[]) in one decoded-trace pass\n"
         "                    per (predictor, workload); emits JSON;\n"
         "                    honors --jobs\n"
+        "  --dry-run         with --sweep: print the execution plan\n"
+        "                    (grid size, shard/task count, lane and\n"
+        "                    block geometry, selected SIMD kernel)\n"
+        "                    without running anything\n"
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
@@ -613,6 +622,91 @@ runnerToJson(const RunnerSummary &summary,
     return v;
 }
 
+/**
+ * --sweep --dry-run: print the execution plan — grid extents,
+ * shard/task fan-out, lane-kind and JRS-geometry breakdown, and the
+ * block/kernel geometry the batched replayer would use — without
+ * decoding a trace or running a single shard.
+ */
+void
+printSweepPlan(const SweepGrid &grid, unsigned jobs)
+{
+    const std::size_t predictors =
+        grid.kinds.empty() ? 1 : grid.kinds.size();
+    const std::size_t workloads = grid.workloads.empty()
+                                      ? standardWorkloads().size()
+                                      : grid.workloads.size();
+    const std::size_t configs = grid.estimators.size();
+    const std::size_t thresholds =
+        grid.thresholds.empty() ? 1 : grid.thresholds.size();
+    const std::size_t shardSize =
+        grid.shardSize == 0 ? 1 : grid.shardSize;
+    const std::size_t shardsPerTrace =
+        configs == 0 ? 0 : (configs + shardSize - 1) / shardSize;
+
+    // Mirror attachConfig()'s lane selection so the printed plan
+    // matches what run would actually attach.
+    std::size_t jrsLanes = 0, satcntLanes = 0, patternLanes = 0;
+    std::size_t channelLanes = 0, virtualLanes = 0;
+    std::vector<std::tuple<std::size_t, unsigned, bool>> geometries;
+    for (const SweepEstimatorSpec &spec : grid.estimators) {
+        const std::string &n = spec.estimator;
+        if (n == "jrs" || n == "jrs-base") {
+            ++jrsLanes;
+            const bool enhanced =
+                n == "jrs" && spec.params.jrs.enhanced;
+            const auto geo = std::make_tuple(
+                    spec.params.jrs.tableEntries,
+                    spec.params.jrs.counterBits, enhanced);
+            if (std::find(geometries.begin(), geometries.end(), geo)
+                == geometries.end())
+                geometries.push_back(geo);
+        } else if (n == "satcnt" || n == "satcnt-both"
+                   || n == "satcnt-either") {
+            ++satcntLanes;
+        } else if (n == "pattern") {
+            ++patternLanes;
+        } else if (n == "perc-conf" || n == "tage-conf") {
+            ++channelLanes;
+        } else {
+            ++virtualLanes;
+        }
+    }
+
+    std::printf("sweep plan (dry run):\n");
+    std::printf("  grid: %zu predictor%s x %zu workload%s x %zu "
+                "config%s x %zu threshold%s = %zu cells\n",
+                predictors, predictors == 1 ? "" : "s", workloads,
+                workloads == 1 ? "" : "s", configs,
+                configs == 1 ? "" : "s", thresholds,
+                thresholds == 1 ? "" : "s",
+                predictors * workloads * configs * thresholds);
+    std::printf("  tasks: %zu decoded trace%s x %zu shard%s "
+                "(shard size %zu) = %zu tasks on %u worker%s\n",
+                predictors * workloads,
+                predictors * workloads == 1 ? "" : "s",
+                shardsPerTrace, shardsPerTrace == 1 ? "" : "s",
+                shardSize, predictors * workloads * shardsPerTrace,
+                jobs, jobs == 1 ? "" : "s");
+    std::printf("  lanes per shard pass: %zu jrs, %zu satcnt, "
+                "%zu pattern, %zu channel, %zu virtual\n",
+                jrsLanes, satcntLanes, patternLanes, channelLanes,
+                virtualLanes);
+    if (!geometries.empty()) {
+        std::printf("  jrs geometry groups (max %zu walked per "
+                    "pass):",
+                    BatchReplayer::JRS_GROUPS_PER_PASS);
+        for (const auto &[entries, bits, enhanced] : geometries)
+            std::printf(" %zux%ub%s", entries, bits,
+                        enhanced ? "+pred" : "");
+        std::printf("\n");
+    }
+    std::printf("  block geometry: %zu schedule ops per block\n",
+                BatchReplayer::BLOCK_OPS);
+    std::printf("  kernel dispatch: %s\n",
+                kernelDispatchName(selectedKernelDispatch()));
+}
+
 /** Artifact-store counters for --json (present with --artifact-dir). */
 JsonValue
 artifactsToJson(const ArtifactStore &store)
@@ -749,6 +843,8 @@ main(int argc, char **argv)
                             opt.replayTracePath);
         } else if (arg == "--sweep") {
             opt.sweepPath = next();
+        } else if (arg == "--dry-run") {
+            opt.sweepDryRun = true;
         } else if (arg == "--gate") {
             opt.gateThreshold = parseInt(arg, next());
         } else if (arg == "--eager") {
@@ -822,6 +918,10 @@ main(int argc, char **argv)
             std::fprintf(stderr, "%s: %s\n", opt.sweepPath.c_str(),
                          err.c_str());
             return 2;
+        }
+        if (opt.sweepDryRun) {
+            printSweepPlan(grid, opt.jobs);
+            return 0;
         }
         SweepExecOptions exec;
         exec.jobs = opt.jobs;
