@@ -8,7 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -23,6 +25,8 @@
 #include "harness/decoded_artifact.hh"
 #include "harness/experiment.hh"
 #include "harness/experiment_cache.hh"
+#include "harness/sampled_replay.hh"
+#include "harness/synthetic_workload.hh"
 #include "pipeline/pipeline.hh"
 #include "sweep/batch_replayer.hh"
 #include "sweep/decoded_trace.hh"
@@ -537,6 +541,116 @@ BM_BatchedSweepFrontier(benchmark::State &state)
 }
 BENCHMARK(BM_BatchedSweepFrontier)
         ->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+/** The 10^8-branch synthetic population shared by the sampled-sweep
+ *  benchmark pair: the "mixed" preset (phased, correlated, bursty) is
+ *  the stress case for sampling — every structure knob is on. */
+SyntheticScenario
+benchSyntheticScenario()
+{
+    SyntheticScenario scn;
+    if (!findSyntheticPreset("mixed", scn))
+        std::abort();
+    scn.name = "bench-mixed";
+    scn.branches = 100'000'000;
+    return scn;
+}
+
+/**
+ * Raw generator throughput: one CHUNK_BRANCHES chunk of the benchmark
+ * scenario per iteration, walking the stream. This is the floor cost
+ * of any synthetic replay — full replay pays it for every branch,
+ * a sampling plan only for the branches its windows touch.
+ */
+void
+BM_SyntheticGenerate(benchmark::State &state)
+{
+    const SyntheticScenario scn = benchSyntheticScenario();
+    const SyntheticWorkloadGenerator gen(scn);
+    std::uint64_t b0 = 0;
+    for (auto _ : state) {
+        const std::uint64_t b1 = std::min(
+                b0 + SyntheticOpSource::CHUNK_BRANCHES,
+                gen.branches());
+        const auto chunk = gen.chunk(b0, b1);
+        benchmark::DoNotOptimize(chunk->counters.branches);
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(b1 - b0));
+        b0 = b1 < gen.branches() ? b1 : 0;
+    }
+}
+BENCHMARK(BM_SyntheticGenerate)
+        ->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+void
+attachSyntheticLanes(BatchReplayer &replayer)
+{
+    replayer.attachJrs(JrsConfig{});
+    replayer.attachSatCounters(SatCountersVariant::Selected);
+    replayer.attachPattern();
+}
+
+/**
+ * Full-fidelity batched replay of the 10^8-branch synthetic stream
+ * (three lanes, generated in chunks, never materialized whole): the
+ * ground-truth baseline the sampled engine is measured against.
+ * items/sec counts population branches, so the BM_SampledSweep ratio
+ * is the sampling speedup directly (acceptance target >= 20x).
+ */
+void
+BM_SyntheticFullReplay(benchmark::State &state)
+{
+    const SyntheticScenario scn = benchSyntheticScenario();
+    for (auto _ : state) {
+        SyntheticOpSource source(scn);
+        std::uint64_t local = 0, covered = 0;
+        BatchReplayer replayer(source.cover(0, 2, local, covered));
+        attachSyntheticLanes(replayer);
+        std::string error;
+        if (!runFullReplayStreamed(replayer, source, &error))
+            state.SkipWithError(("replay failed: " + error).c_str());
+        benchmark::DoNotOptimize(replayer.committed(0));
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(scn.branches));
+    }
+}
+BENCHMARK(BM_SyntheticFullReplay)
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/**
+ * The same population under a ~1%-coverage sampling plan: only the
+ * windows and their warm-up are generated and replayed; everything
+ * else is skipped outright. Counts population branches per second
+ * like BM_SyntheticFullReplay, so items/sec ratio = speedup.
+ */
+void
+BM_SampledSweep(benchmark::State &state)
+{
+    const SyntheticScenario scn = benchSyntheticScenario();
+    SamplingPlan plan;
+    plan.windowOps = 8192;
+    plan.strideOps = 1048576;
+    plan.warmupOps = 2048;
+    for (auto _ : state) {
+        SyntheticOpSource source(scn);
+        std::uint64_t local = 0, covered = 0;
+        BatchReplayer replayer(source.cover(0, 2, local, covered));
+        attachSyntheticLanes(replayer);
+        std::vector<SampledLaneStats> stats;
+        std::string error;
+        if (!runSampledReplay(replayer, source, plan, stats, &error))
+            state.SkipWithError(("sampled replay failed: " + error)
+                                        .c_str());
+        benchmark::DoNotOptimize(stats.front().mispredictRate.value);
+        state.SetItemsProcessed(
+                state.items_processed()
+                + static_cast<std::int64_t>(scn.branches));
+    }
+}
+BENCHMARK(BM_SampledSweep)
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void
 BM_StandardSuite(benchmark::State &state)

@@ -114,6 +114,14 @@ report("Estimator sweep, per configuration",
        "BM_EstimatorSweepLive", "BM_ReplayEstimatorSweep")
 report("Batched multi-config sweep: 8 configs per decoded-trace pass",
        "BM_SequentialSweep", "BM_BatchedSweep", target=4)
+report("Sampled sweep vs full replay: 10^8-branch synthetic stream",
+       "BM_SyntheticFullReplay", "BM_SampledSweep", target=20)
+
+# Generator floor: chunked synthetic branch production on its own.
+gen = rates.get("BM_SyntheticGenerate")
+if gen:
+    print("\n== Synthetic generator: chunked branch production ==")
+    print(f"  generate: {gen/1e6:8.2f} M branches/s")
 
 # The perceptron+TAGE frontier grid (classic external lanes plus the
 # native-confidence channel-threshold lanes) has no sequential twin;

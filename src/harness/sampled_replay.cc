@@ -1,0 +1,131 @@
+#include "harness/sampled_replay.hh"
+
+#include <algorithm>
+
+namespace confsim
+{
+
+bool
+runOpsStreamed(BatchReplayer &replayer, OpSource &source,
+               std::uint64_t opBegin, std::uint64_t opEnd, bool warm,
+               std::string *error)
+{
+    opEnd = std::min(opEnd, source.totalOps());
+    std::uint64_t g = opBegin;
+    while (g < opEnd) {
+        std::uint64_t local = 0;
+        std::uint64_t covered = 0;
+        auto piece = source.cover(g, opEnd, local, covered);
+        if (!piece || covered <= g) {
+            if (error != nullptr)
+                *error = "op source failed to cover ops "
+                         + std::to_string(g) + ".."
+                         + std::to_string(opEnd);
+            return false;
+        }
+        if (piece.get() != &replayer.trace())
+            replayer.rebind(piece);
+        const std::uint64_t localEnd = local + (covered - g);
+        const bool ok =
+            warm ? replayer.warmOps(local, localEnd, error)
+                 : replayer.runOps(local, localEnd, error);
+        if (!ok)
+            return false;
+        g = covered;
+    }
+    return true;
+}
+
+bool
+runFullReplayStreamed(BatchReplayer &replayer, OpSource &source,
+                      std::string *error)
+{
+    replayer.resetLanes();
+    return runOpsStreamed(replayer, source, 0, source.totalOps(),
+                          false, error);
+}
+
+bool
+runSampledReplay(BatchReplayer &replayer, OpSource &source,
+                 const SamplingPlan &plan,
+                 std::vector<SampledLaneStats> &out, std::string *error)
+{
+    const std::uint64_t total = source.totalOps();
+    const std::size_t nlanes = replayer.laneCount();
+    std::vector<WindowStatAccumulator> acc(nlanes);
+    std::vector<QuadrantCounts> before(nlanes);
+    std::vector<SampledLaneStats> stats(nlanes);
+
+    const unsigned maxPasses = std::max(plan.maxPasses, 1u);
+    for (unsigned pass = 1;; ++pass) {
+        // Pass p halves the previous pass's stride; layout clamps the
+        // result up to windowOps (full coverage) as the floor.
+        const std::uint64_t stride =
+            pass == 1 ? 0
+                      : std::max<std::uint64_t>(
+                                plan.strideOps >> (pass - 1), 1);
+        const std::vector<SampleWindow> windows =
+            layoutSampleWindows(total, plan, stride);
+
+        replayer.resetLanes();
+        for (WindowStatAccumulator &a : acc)
+            a.reset();
+        std::uint64_t opsDetailed = 0;
+        std::uint64_t opsWarmup = 0;
+        bool fullCoverage = true;
+        std::uint64_t covered = 0;
+        for (const SampleWindow &w : windows) {
+            if (w.warmBegin < w.begin) {
+                if (!runOpsStreamed(replayer, source, w.warmBegin,
+                                    w.begin, true, error))
+                    return false;
+                opsWarmup += w.begin - w.warmBegin;
+            }
+            for (std::size_t l = 0; l < nlanes; ++l)
+                before[l] = replayer.committed(
+                        static_cast<unsigned>(l));
+            if (!runOpsStreamed(replayer, source, w.begin, w.end,
+                                false, error))
+                return false;
+            opsDetailed += w.end - w.begin;
+            for (std::size_t l = 0; l < nlanes; ++l) {
+                QuadrantCounts delta = replayer.committed(
+                        static_cast<unsigned>(l));
+                delta.chc -= before[l].chc;
+                delta.ihc -= before[l].ihc;
+                delta.clc -= before[l].clc;
+                delta.ilc -= before[l].ilc;
+                acc[l].addWindow(delta);
+            }
+            fullCoverage = fullCoverage && w.begin == covered;
+            covered = w.end;
+        }
+        fullCoverage = fullCoverage && covered == total;
+
+        const double fraction =
+            total == 0 ? 1.0
+                       : static_cast<double>(opsDetailed)
+                             / static_cast<double>(total);
+        double worst = -1.0;
+        for (std::size_t l = 0; l < nlanes; ++l) {
+            stats[l] = acc[l].finalize(fullCoverage ? 1.0 : fraction);
+            stats[l].windows = windows.size();
+            stats[l].passes = pass;
+            stats[l].opsDetailed = opsDetailed;
+            stats[l].opsWarmup = opsWarmup;
+            stats[l].opsTotal = total;
+            const std::uint64_t touched = opsDetailed + opsWarmup;
+            stats[l].opsSkipped = total > touched ? total - touched : 0;
+            worst = std::max(worst, stats[l].maxHalfWidth());
+        }
+        if (plan.targetHalfWidth <= 0.0 || fullCoverage
+            || pass >= maxPasses
+            || (worst >= 0.0 && worst <= plan.targetHalfWidth))
+            break;
+    }
+
+    out.insert(out.end(), stats.begin(), stats.end());
+    return true;
+}
+
+} // namespace confsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sampled execution of a BatchReplayer lane set: drive the lanes over
+ * the systematically chosen windows of a SamplingPlan (see
+ * sweep/sampling.hh) instead of the whole op stream, with functional
+ * warm-up ahead of each window, and reduce the per-window quadrant
+ * deltas to per-lane confidence intervals.
+ *
+ * The op stream is abstracted as an OpSource so the same driver runs
+ * over a fully materialized DecodedTrace (recorded workloads) or over
+ * bounded-size chunks generated on demand (SyntheticOpSource) — the
+ * latter is what makes 10^8..10^9-branch populations tractable: ops a
+ * plan skips are never even generated.
+ *
+ * Adaptive mode (plan.targetHalfWidth > 0) reruns the whole schedule
+ * with the stride halved until every lane's defined 99% CI half-widths
+ * meet the target, the stride collapses to full coverage, or maxPasses
+ * is exhausted. Each pass restarts from power-on state, so the
+ * reported pass is self-contained and reproducible on its own.
+ */
+
+#ifndef CONFSIM_HARNESS_SAMPLED_REPLAY_HH
+#define CONFSIM_HARNESS_SAMPLED_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep/batch_replayer.hh"
+#include "sweep/decoded_trace.hh"
+#include "sweep/sampling.hh"
+
+namespace confsim
+{
+
+/**
+ * A (possibly virtual) stream of schedule ops, served as DecodedTrace
+ * pieces. Op indices are global over the whole stream; cover() maps a
+ * global range onto one resident trace piece at a time.
+ */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /** Schedule ops in the whole stream. */
+    virtual std::uint64_t totalOps() const = 0;
+
+    /**
+     * Make ops [opBegin, opEnd) (or a non-empty prefix of them)
+     * resident. @p localBegin receives opBegin's index within the
+     * returned trace's schedule; @p coveredEnd receives the global end
+     * of the resident prefix (callers loop until the range drains).
+     * @return the trace piece, or nullptr on failure.
+     */
+    virtual std::shared_ptr<const DecodedTrace>
+    cover(std::uint64_t opBegin, std::uint64_t opEnd,
+          std::uint64_t &localBegin, std::uint64_t &coveredEnd) = 0;
+};
+
+/** OpSource over one fully materialized trace (the recorded case). */
+class MaterializedOpSource final : public OpSource
+{
+  public:
+    explicit MaterializedOpSource(
+            std::shared_ptr<const DecodedTrace> trace)
+        : src(std::move(trace))
+    {
+    }
+
+    std::uint64_t totalOps() const override
+    {
+        return src->schedule.size();
+    }
+
+    std::shared_ptr<const DecodedTrace>
+    cover(std::uint64_t opBegin, std::uint64_t opEnd,
+          std::uint64_t &localBegin, std::uint64_t &coveredEnd) override
+    {
+        localBegin = opBegin;
+        coveredEnd = std::min<std::uint64_t>(opEnd,
+                                             src->schedule.size());
+        return src;
+    }
+
+  private:
+    std::shared_ptr<const DecodedTrace> src;
+};
+
+/**
+ * Advance @p replayer over global ops [opBegin, opEnd) of @p source,
+ * rebinding across trace pieces as needed. @p warm selects functional
+ * warm-up (warmOps) over detailed accumulation (runOps). Does not
+ * reset lanes.
+ */
+bool runOpsStreamed(BatchReplayer &replayer, OpSource &source,
+                    std::uint64_t opBegin, std::uint64_t opEnd,
+                    bool warm, std::string *error = nullptr);
+
+/**
+ * Full-fidelity streamed replay: reset lanes, then run every op of
+ * @p source in order. For a MaterializedOpSource this accumulates the
+ * exact totals of BatchReplayer::run(); it is the ground-truth
+ * baseline the sampled intervals are validated against.
+ */
+bool runFullReplayStreamed(BatchReplayer &replayer, OpSource &source,
+                           std::string *error = nullptr);
+
+/**
+ * Execute @p plan over @p source: per pass, reset lanes, warm up and
+ * replay each window, accumulate per-lane per-window committed
+ * quadrant deltas, and finalize into one SampledLaneStats per attached
+ * lane (appended to @p out in lane order). After the call the
+ * replayer's own accumulators hold the final pass's pooled totals, and
+ * committed(lane) equals the pooled quadrants behind out[lane].
+ *
+ * A degenerate plan (disabled, or windowOps >= total ops) runs exactly
+ * one all-covering window: identical work and bit-identical totals to
+ * runFullReplayStreamed, with every interval exact (half-width 0).
+ */
+bool runSampledReplay(BatchReplayer &replayer, OpSource &source,
+                      const SamplingPlan &plan,
+                      std::vector<SampledLaneStats> &out,
+                      std::string *error = nullptr);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SAMPLED_REPLAY_HH

@@ -19,6 +19,7 @@
 #include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/sampled_replay.hh"
 #include "harness/sweep_journal.hh"
 #include "sweep/batch_replayer.hh"
 
@@ -161,17 +162,50 @@ attachConfig(BatchReplayer &replayer, const SweepGrid &grid,
     return est;
 }
 
-/** One parallel task: one (predictor, workload), one shard of
+/**
+ * One row of the sweep's evaluation plan: a standard (recorded)
+ * workload or a synthetic scenario. Pointers alias the grid / the
+ * static registry, both of which outlive every task.
+ */
+struct SweepEntry
+{
+    const WorkloadSpec *spec = nullptr;      ///< recorded entry
+    const SyntheticScenario *scn = nullptr;  ///< synthetic entry
+
+    const std::string &name() const
+    {
+        return spec != nullptr ? spec->name : scn->name;
+    }
+};
+
+/** One parallel task: one (predictor, entry), one shard of
  *  configurations. */
 std::vector<SweepConfigResult>
 runShard(const SweepGrid &grid, PredictorKind kind,
-         const WorkloadSpec &spec, std::size_t first,
-         std::size_t count)
+         const SweepEntry &entry, std::size_t first, std::size_t count)
 {
-    const auto decoded = cachedDecodedRun(kind, spec,
-                                          grid.workload, grid.pipeline);
-    BatchReplayer replayer(std::shared_ptr<const DecodedTrace>(
-            decoded, &decoded->trace));
+    // Recorded entries replay the cached decoded trace; synthetic
+    // entries stream generated chunks through an OpSource (the
+    // initial one-branch chunk only exists so lane attachment can
+    // resolve the input channels).
+    std::shared_ptr<const DecodedRun> decoded;
+    std::shared_ptr<const DecodedTrace> initial;
+    std::unique_ptr<OpSource> source;
+    if (entry.spec != nullptr) {
+        decoded = cachedDecodedRun(kind, *entry.spec, grid.workload,
+                                   grid.pipeline);
+        initial = std::shared_ptr<const DecodedTrace>(decoded,
+                                                      &decoded->trace);
+        if (grid.sampling.enabled())
+            source = std::make_unique<MaterializedOpSource>(initial);
+    } else {
+        auto synth = std::make_unique<SyntheticOpSource>(*entry.scn);
+        std::uint64_t localBegin = 0;
+        std::uint64_t coveredEnd = 0;
+        initial = synth->cover(0, 2, localBegin, coveredEnd);
+        source = std::move(synth);
+    }
+    BatchReplayer replayer(initial);
 
     // Owners of virtual-lane estimators; the cached profile (shared,
     // immutable) backs any "static" column and must outlive them.
@@ -179,8 +213,12 @@ runShard(const SweepGrid &grid, PredictorKind kind,
     std::vector<std::unique_ptr<ConfidenceEstimator>> owned;
     for (std::size_t c = first; c < first + count; ++c) {
         const SweepEstimatorSpec &est = grid.estimators[c];
-        if (est.estimator == "static" && !profile)
-            profile = cachedProfile(kind, spec, grid.workload);
+        if (est.estimator == "static" && !profile) {
+            if (entry.spec == nullptr)
+                fatal("'static' estimator needs a program profile; "
+                      "synthetic workloads have none");
+            profile = cachedProfile(kind, *entry.spec, grid.workload);
+        }
         auto owner = attachConfig(replayer, grid, kind, est,
                                   profile ? *profile : emptyProfile());
         if (owner)
@@ -188,8 +226,18 @@ runShard(const SweepGrid &grid, PredictorKind kind,
     }
 
     std::string error;
-    if (!replayer.run(&error))
-        panic("sweep replay for '" + spec.name + "' failed: " + error);
+    std::vector<SampledLaneStats> sampled;
+    bool ok;
+    if (grid.sampling.enabled())
+        ok = runSampledReplay(replayer, *source, grid.sampling,
+                              sampled, &error);
+    else if (entry.spec == nullptr)
+        ok = runFullReplayStreamed(replayer, *source, &error);
+    else
+        ok = replayer.run(&error);
+    if (!ok)
+        panic("sweep replay for '" + entry.name() + "' failed: "
+              + error);
 
     std::vector<SweepConfigResult> results(count);
     for (std::size_t j = 0; j < count; ++j) {
@@ -206,26 +254,40 @@ runShard(const SweepGrid &grid, PredictorKind kind,
             for (unsigned t : grid.thresholds)
                 r.thresholds.push_back({t, levels.atThresholdGe(t)});
         }
+        if (!sampled.empty())
+            r.sampled = sampled[lane];
     }
     return results;
 }
 
-std::vector<WorkloadSpec>
-resolveWorkloads(const SweepGrid &grid)
+std::vector<SweepEntry>
+resolveEntries(const SweepGrid &grid)
 {
     const auto &all = standardWorkloads();
-    if (grid.workloads.empty())
-        return all;
-    std::vector<WorkloadSpec> specs;
-    for (const std::string &name : grid.workloads) {
-        const auto it = std::find_if(
-                all.begin(), all.end(),
-                [&](const WorkloadSpec &s) { return s.name == name; });
-        if (it == all.end())
-            fatal("unknown workload '" + name + "' in sweep grid");
-        specs.push_back(*it);
+    std::vector<SweepEntry> entries;
+    if (grid.workloads.empty()) {
+        // Empty normally means every standard workload; with synthetic
+        // scenarios present it means synthetic-only.
+        if (grid.synthetic.empty()) {
+            for (const WorkloadSpec &s : all)
+                entries.push_back(SweepEntry{&s, nullptr});
+        }
+    } else {
+        for (const std::string &name : grid.workloads) {
+            const auto it = std::find_if(
+                    all.begin(), all.end(),
+                    [&](const WorkloadSpec &s) {
+                        return s.name == name;
+                    });
+            if (it == all.end())
+                fatal("unknown workload '" + name
+                      + "' in sweep grid");
+            entries.push_back(SweepEntry{&*it, nullptr});
+        }
     }
-    return specs;
+    for (const SyntheticScenario &s : grid.synthetic)
+        entries.push_back(SweepEntry{nullptr, &s});
+    return entries;
 }
 
 /** Journal payload of one shard: array of per-config results. */
@@ -276,7 +338,7 @@ SweepResult
 runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
              SweepExecReport *report)
 {
-    const std::vector<WorkloadSpec> specs = resolveWorkloads(grid);
+    const std::vector<SweepEntry> entries = resolveEntries(grid);
     // Single mode runs grid.kind; mixed mode runs each listed kind as
     // an outer loop over the same (workload, shard) plan, so the task
     // index reduces to the single-mode one when kinds has one entry.
@@ -287,7 +349,7 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
     const std::size_t shard = std::max<std::size_t>(grid.shardSize, 1);
     const std::size_t shards = configs == 0
         ? 0 : (configs + shard - 1) / shard;
-    const std::size_t tasksPerKind = specs.size() * shards;
+    const std::size_t tasksPerKind = entries.size() * shards;
     const std::size_t tasks = kindsList.size() * tasksPerKind;
 
     std::unique_ptr<SweepJournal> journal;
@@ -324,7 +386,7 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
                 const std::size_t wi = (t % tasksPerKind) / shards;
                 const std::size_t first = (t % shards) * shard;
                 auto results =
-                    runShard(grid, kindsList[ki], specs[wi], first,
+                    runShard(grid, kindsList[ki], entries[wi], first,
                              std::min(shard, configs - first));
                 // Checkpoint before returning: a later fatal task (or
                 // a kill) must not lose this completed shard.
@@ -346,14 +408,17 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
     SweepResult result;
     result.grid = grid;
     for (std::size_t ki = 0; ki < kindsList.size(); ++ki) {
-        for (std::size_t wi = 0; wi < specs.size(); ++wi) {
+        for (std::size_t wi = 0; wi < entries.size(); ++wi) {
             SweepWorkloadResult wl;
-            wl.workload = specs[wi].name;
+            wl.workload = entries[wi].name();
             if (multi)
                 wl.predictor = predictorKindName(kindsList[ki]);
-            wl.pipe = cachedDecodedRun(kindsList[ki], specs[wi],
-                                       grid.workload,
-                                       grid.pipeline)->pipe;
+            // Synthetic streams never ran a pipeline: zero stats.
+            if (entries[wi].spec != nullptr)
+                wl.pipe = cachedDecodedRun(kindsList[ki],
+                                           *entries[wi].spec,
+                                           grid.workload,
+                                           grid.pipeline)->pipe;
             for (std::size_t si = 0; si < shards; ++si) {
                 auto &part =
                     *parts[ki * tasksPerKind + wi * shards + si];
@@ -410,7 +475,165 @@ uintMember(const JsonValue &obj, const char *key)
     return v;
 }
 
+JsonValue
+sampledMetricToJson(const SampledMetric &m)
+{
+    JsonValue v = JsonValue::object();
+    v["value"] = JsonValue(m.value);
+    v["mean"] = JsonValue(m.mean);
+    v["windows"] = JsonValue(std::uint64_t{m.windows});
+    // ci99 is present exactly when the interval is defined (>= 2
+    // observing windows, or exact full coverage).
+    if (m.defined())
+        v["ci99"] = JsonValue(m.halfWidth);
+    return v;
+}
+
+bool
+sampledMetricFromJson(const JsonValue *v, SampledMetric &m)
+{
+    if (v == nullptr || !v->isObject())
+        return false;
+    const JsonValue *value = v->find("value");
+    const JsonValue *mean = v->find("mean");
+    const JsonValue *windows = uintMember(*v, "windows");
+    if (value == nullptr || !value->isNumber() || mean == nullptr
+        || !mean->isNumber() || windows == nullptr)
+        return false;
+    m.value = value->asDouble();
+    m.mean = mean->asDouble();
+    m.windows = windows->asUint();
+    m.halfWidth = -1.0;
+    if (const JsonValue *ci = v->find("ci99")) {
+        if (!ci->isNumber() || ci->asDouble() < 0.0)
+            return false;
+        m.halfWidth = ci->asDouble();
+    }
+    return true;
+}
+
+JsonValue
+sampledStatsToJson(const SampledLaneStats &s)
+{
+    JsonValue v = JsonValue::object();
+    v["windows"] = JsonValue(std::uint64_t{s.windows});
+    v["passes"] = JsonValue(std::uint64_t{s.passes});
+    v["ops_detailed"] = JsonValue(std::uint64_t{s.opsDetailed});
+    v["ops_warmup"] = JsonValue(std::uint64_t{s.opsWarmup});
+    v["ops_skipped"] = JsonValue(std::uint64_t{s.opsSkipped});
+    v["ops_total"] = JsonValue(std::uint64_t{s.opsTotal});
+    JsonValue metrics = JsonValue::object();
+    metrics["mispredict_rate"] = sampledMetricToJson(s.mispredictRate);
+    metrics["sens"] = sampledMetricToJson(s.sens);
+    metrics["spec"] = sampledMetricToJson(s.spec);
+    metrics["pvp"] = sampledMetricToJson(s.pvp);
+    metrics["pvn"] = sampledMetricToJson(s.pvn);
+    v["metrics"] = metrics;
+    return v;
+}
+
+bool
+sampledStatsFromJson(const JsonValue &v, SampledLaneStats &s)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *windows = uintMember(v, "windows");
+    const JsonValue *passes = uintMember(v, "passes");
+    const JsonValue *detailed = uintMember(v, "ops_detailed");
+    const JsonValue *warmup = uintMember(v, "ops_warmup");
+    const JsonValue *skipped = uintMember(v, "ops_skipped");
+    const JsonValue *total = uintMember(v, "ops_total");
+    const JsonValue *metrics = v.find("metrics");
+    if (windows == nullptr || passes == nullptr || detailed == nullptr
+        || warmup == nullptr || skipped == nullptr || total == nullptr
+        || metrics == nullptr || !metrics->isObject())
+        return false;
+    s.windows = windows->asUint();
+    s.passes = static_cast<unsigned>(passes->asUint());
+    s.opsDetailed = detailed->asUint();
+    s.opsWarmup = warmup->asUint();
+    s.opsSkipped = skipped->asUint();
+    s.opsTotal = total->asUint();
+    return sampledMetricFromJson(metrics->find("mispredict_rate"),
+                                 s.mispredictRate)
+           && sampledMetricFromJson(metrics->find("sens"), s.sens)
+           && sampledMetricFromJson(metrics->find("spec"), s.spec)
+           && sampledMetricFromJson(metrics->find("pvp"), s.pvp)
+           && sampledMetricFromJson(metrics->find("pvn"), s.pvn);
+}
+
+JsonValue
+samplingPlanToJson(const SamplingPlan &p)
+{
+    JsonValue v = JsonValue::object();
+    v["window_ops"] = JsonValue(std::uint64_t{p.windowOps});
+    v["stride_ops"] = JsonValue(std::uint64_t{p.strideOps});
+    v["warmup_ops"] = JsonValue(std::uint64_t{p.warmupOps});
+    v["target_half_width"] = JsonValue(p.targetHalfWidth);
+    v["seed"] = JsonValue(std::uint64_t{p.seed});
+    v["max_passes"] = JsonValue(std::uint64_t{p.maxPasses});
+    return v;
+}
+
+bool
+samplingPlanFromJson(const JsonValue &v, SamplingPlan &p,
+                     std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("expected a JSON object");
+    for (const auto &[key, val] : v.members()) {
+        const bool isUint =
+            (val.kind() == JsonValue::Kind::Uint
+             || val.kind() == JsonValue::Kind::Int)
+            && val.asInt() >= 0;
+        if (key == "window_ops") {
+            if (!isUint)
+                return fail("window_ops: expected an unsigned integer");
+            p.windowOps = val.asUint();
+        } else if (key == "stride_ops") {
+            if (!isUint)
+                return fail("stride_ops: expected an unsigned integer");
+            p.strideOps = val.asUint();
+        } else if (key == "warmup_ops") {
+            if (!isUint)
+                return fail("warmup_ops: expected an unsigned integer");
+            p.warmupOps = val.asUint();
+        } else if (key == "target_half_width") {
+            if (!val.isNumber() || val.asDouble() < 0.0
+                || val.asDouble() >= 1.0)
+                return fail("target_half_width: expected a number in "
+                            "[0, 1)");
+            p.targetHalfWidth = val.asDouble();
+        } else if (key == "seed") {
+            if (!isUint)
+                return fail("seed: expected an unsigned integer");
+            p.seed = val.asUint();
+        } else if (key == "max_passes") {
+            if (!isUint || val.asUint() == 0)
+                return fail("max_passes: expected a positive integer");
+            p.maxPasses = static_cast<unsigned>(val.asUint());
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    if (p.windowOps == 0)
+        return fail("missing or zero 'window_ops' (use no \"sampling\" "
+                    "key for full replay)");
+    return true;
+}
+
 } // anonymous namespace
+
+JsonValue
+sampledLaneStatsToJson(const SampledLaneStats &s)
+{
+    return sampledStatsToJson(s);
+}
 
 JsonValue
 sweepConfigResultToJson(const SweepConfigResult &c)
@@ -438,6 +661,8 @@ sweepConfigResultToJson(const SweepConfigResult &c)
         }
         e["thresholds"] = thresholds;
     }
+    if (c.sampled)
+        e["sampled"] = sampledStatsToJson(*c.sampled);
     return e;
 }
 
@@ -498,6 +723,13 @@ sweepConfigResultFromJson(const JsonValue &v, SweepConfigResult &c,
             t.threshold = static_cast<unsigned>(threshold->asUint());
             c.thresholds.push_back(t);
         }
+    }
+    c.sampled.reset();
+    if (const JsonValue *sampled = v.find("sampled")) {
+        SampledLaneStats s;
+        if (!sampledStatsFromJson(*sampled, s))
+            return fail("bad sampled block");
+        c.sampled = s;
     }
     return true;
 }
@@ -569,6 +801,22 @@ sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
                 || val.asInt() < 0 || val.asUint() == 0)
                 return fail("shard_size: expected a positive integer");
             grid.shardSize = static_cast<unsigned>(val.asUint());
+        } else if (key == "sampling") {
+            std::string sub;
+            if (!samplingPlanFromJson(val, grid.sampling, &sub))
+                return fail("sampling: " + sub);
+        } else if (key == "synthetic") {
+            if (!val.isArray() || val.size() == 0)
+                return fail("synthetic: expected a non-empty array of "
+                            "scenario objects");
+            grid.synthetic.clear();
+            for (const JsonValue &sv : val.elements()) {
+                SyntheticScenario scn;
+                std::string sub;
+                if (!syntheticScenarioFromJson(sv, scn, &sub))
+                    return fail("synthetic: " + sub);
+                grid.synthetic.push_back(std::move(scn));
+            }
         } else if (key == "estimators") {
             if (!val.isArray() || val.size() == 0)
                 return fail("estimators: expected a non-empty array");
@@ -657,6 +905,14 @@ sweepGridFromJson(const JsonValue &v, SweepGrid &grid,
                          }))
             return fail("workloads: unknown workload '" + name + "'");
     }
+    if (!grid.synthetic.empty()) {
+        for (const SweepEstimatorSpec &spec : grid.estimators) {
+            if (spec.estimator == "static")
+                return fail("synthetic workloads do not support the "
+                            "'static' estimator (no program profile "
+                            "exists for a generated stream)");
+        }
+    }
     return true;
 }
 
@@ -685,6 +941,18 @@ sweepGridToJson(const SweepGrid &grid)
         thresholds.push(JsonValue(std::uint64_t{t}));
     v["thresholds"] = thresholds;
     v["shard_size"] = JsonValue(std::uint64_t{grid.shardSize});
+    // Sampling plan and synthetic scenarios are emitted only when
+    // present: old grids stay byte-stable, and — since sweepGridKey()
+    // hashes this JSON — a sampled (or synthetic) grid can never
+    // resume from a full-replay journal or vice versa.
+    if (grid.sampling != SamplingPlan{})
+        v["sampling"] = samplingPlanToJson(grid.sampling);
+    if (!grid.synthetic.empty()) {
+        JsonValue synthetic = JsonValue::array();
+        for (const SyntheticScenario &s : grid.synthetic)
+            synthetic.push(syntheticScenarioToJson(s));
+        v["synthetic"] = synthetic;
+    }
     JsonValue estimators = JsonValue::array();
     for (const SweepEstimatorSpec &spec : grid.estimators) {
         JsonValue e = JsonValue::object();

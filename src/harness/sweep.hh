@@ -17,6 +17,7 @@
 #define CONFSIM_HARNESS_SWEEP_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,10 @@
 #include "confidence/static_profile.hh"
 #include "harness/level_sweep.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/synthetic_workload.hh"
 #include "metrics/quadrant.hh"
 #include "pipeline/pipeline.hh"
+#include "sweep/sampling.hh"
 #include "workloads/workload.hh"
 
 namespace confsim
@@ -97,6 +100,29 @@ struct SweepGrid
     std::vector<SweepEstimatorSpec> estimators;
     /** Configurations per batched pass (and per parallel task). */
     unsigned shardSize = 8;
+    /**
+     * Sampled execution (JSON key "sampling"): when enabled, every
+     * (predictor, workload) evaluation replays only the plan's
+     * detailed windows and each config result carries a `sampled`
+     * block with per-metric 99% confidence intervals. Disabled (the
+     * default) keeps full-fidelity replay and the output format
+     * byte-stable; since the key is emitted only when enabled, sampled
+     * grids get a different sweepGridKey() and thus never share a
+     * journal with full-replay runs.
+     */
+    SamplingPlan sampling;
+    /**
+     * Synthetic workload family (JSON key "synthetic"): generated
+     * scenarios evaluated after the standard workloads. When
+     * `workloads` is empty and this is non-empty, *only* the synthetic
+     * scenarios run (an empty grid otherwise means "every standard
+     * workload"). Scenario streams are generated on the fly in chunks,
+     * never materialized whole, and their results carry zero pipeline
+     * stats ("static" estimators are rejected — no program profile
+     * exists). Like `sampling`, the key is emitted only when
+     * non-empty, so journal identities of old grids are unchanged.
+     */
+    std::vector<SyntheticScenario> synthetic;
 };
 
 /** Per-threshold committed-branch quadrants of a level sweep. */
@@ -116,6 +142,10 @@ struct SweepConfigResult
     ConfidenceEstimator::Stats stats;
     bool hasLevels = false;
     std::vector<SweepThresholdResult> thresholds;
+    /** Sampled-execution report (grid.sampling enabled only): the
+     *  quadrants/stats above are then pooled over the plan's detailed
+     *  windows, and this carries the per-metric 99% CIs. */
+    std::optional<SampledLaneStats> sampled;
 };
 
 /** Results of every configuration over one workload. */
@@ -198,6 +228,11 @@ JsonValue sweepGridToJson(const SweepGrid &grid);
 /** The full result document (grid echo, per-workload per-config
  *  quadrants/stats/threshold sweeps, cross-workload aggregates). */
 JsonValue sweepResultToJson(const SweepResult &result);
+
+/** A sampled-execution report as JSON (the "sampled" block of a
+ *  config result; also emitted by confsim's standalone synthetic
+ *  runs). */
+JsonValue sampledLaneStatsToJson(const SampledLaneStats &s);
 
 /** One configuration's results as JSON (the per-config object of
  *  sweepResultToJson; also the journal's shard payload element). */

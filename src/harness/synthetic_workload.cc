@@ -1,0 +1,540 @@
+#include "harness/synthetic_workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "uarch/isa.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+/// @name Hash-stream salts
+/// Each independent per-index random stream mixes its own salt into
+/// the scenario seed, so streams are decorrelated by construction.
+/// @{
+constexpr std::uint64_t SALT_SITE = 0x53495445u;    // run -> site
+constexpr std::uint64_t SALT_CLASS = 0x434c4153u;   // site class
+constexpr std::uint64_t SALT_DIR = 0x44495245u;     // biased direction
+constexpr std::uint64_t SALT_LOOP = 0x4c4f4f50u;    // loop phase
+constexpr std::uint64_t SALT_TAKEN = 0x54414b4eu;   // outcome draw
+constexpr std::uint64_t SALT_CORR = 0x434f5252u;    // correlation bit
+constexpr std::uint64_t SALT_RIGHT = 0x52494754u;   // correctness draw
+constexpr std::uint64_t SALT_PHASE = 0x50484153u;   // phase direction
+constexpr std::uint64_t SALT_BURST = 0x42555253u;   // burst region
+constexpr std::uint64_t SALT_STRONG = 0x5354524eu;  // counter strength
+/// @}
+
+/** splitmix64 finalizer: the counter-based generator core. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform draw in [0, 1) from one hash word. */
+double
+u01(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Branches sharing one site per consecutive run (temporal locality
+ *  without breaking per-index purity). */
+constexpr std::uint64_t RUN_SHIFT = 3;
+
+} // anonymous namespace
+
+const std::vector<SyntheticScenario> &
+syntheticPresets()
+{
+    static const std::vector<SyntheticScenario> presets = [] {
+        std::vector<SyntheticScenario> v;
+
+        // iid: every site biased at the same accuracy with no
+        // structure — the synthetic_stream closed-form regime, now
+        // seekable. Misprediction rate == 1 - accuracy exactly in
+        // expectation at every distance.
+        SyntheticScenario iid;
+        iid.name = "iid";
+        iid.sites = 64;
+        iid.accuracy = 0.90;
+        iid.entropy = 0.0;
+        iid.loopFraction = 0.0;
+        iid.callMix = 0.0;
+        v.push_back(iid);
+
+        // clustered: iid plus Markov-like misprediction bursts.
+        SyntheticScenario clustered = iid;
+        clustered.name = "clustered";
+        clustered.burstFraction = 0.25;
+        clustered.burstAccuracy = 0.55;
+        clustered.burstLength = 32;
+        v.push_back(clustered);
+
+        // biased: heavily skewed conditional branches, easy stream.
+        SyntheticScenario biased;
+        biased.name = "biased";
+        biased.accuracy = 0.97;
+        biased.entropy = 0.05;
+        biased.bias = 0.97;
+        biased.loopFraction = 0.15;
+        v.push_back(biased);
+
+        // high-entropy: mostly inherently random sites, hard stream.
+        SyntheticScenario entropy;
+        entropy.name = "high-entropy";
+        entropy.accuracy = 0.85;
+        entropy.entropy = 0.7;
+        entropy.loopFraction = 0.1;
+        v.push_back(entropy);
+
+        // loopy: dominated by loop back-edges and calls; mispredicts
+        // concentrate on loop exits.
+        SyntheticScenario loopy;
+        loopy.name = "loopy";
+        loopy.entropy = 0.05;
+        loopy.loopFraction = 0.6;
+        loopy.loopPeriod = 12;
+        loopy.callMix = 0.1;
+        v.push_back(loopy);
+
+        // phased: stationary mix whose accuracy drifts across eight
+        // program phases.
+        SyntheticScenario phased;
+        phased.name = "phased";
+        phased.phases = 8;
+        phased.phaseSwing = 0.06;
+        v.push_back(phased);
+
+        // mixed: everything at once — the stress scenario.
+        SyntheticScenario mixed;
+        mixed.name = "mixed";
+        mixed.sites = 512;
+        mixed.entropy = 0.25;
+        mixed.loopFraction = 0.3;
+        mixed.callMix = 0.08;
+        mixed.correlationDepth = 6;
+        mixed.phases = 4;
+        mixed.phaseSwing = 0.04;
+        mixed.burstFraction = 0.1;
+        mixed.burstAccuracy = 0.6;
+        v.push_back(mixed);
+        return v;
+    }();
+    return presets;
+}
+
+bool
+findSyntheticPreset(const std::string &name, SyntheticScenario &out)
+{
+    for (const SyntheticScenario &p : syntheticPresets()) {
+        if (p.name == name) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+syntheticScenarioFromJson(const JsonValue &v, SyntheticScenario &s,
+                          std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("expected a JSON object");
+
+    // "preset" establishes the base scenario first so other keys act
+    // as overrides regardless of member order.
+    if (const JsonValue *preset = v.find("preset")) {
+        if (!preset->isString()
+            || !findSyntheticPreset(preset->asString(), s))
+            return fail("preset: unknown synthetic preset");
+    }
+
+    auto uintKey = [&](const JsonValue &val, auto &field,
+                       const char *key) {
+        if ((val.kind() != JsonValue::Kind::Uint
+             && val.kind() != JsonValue::Kind::Int)
+            || val.asInt() < 0)
+            return fail(std::string(key)
+                        + ": expected an unsigned integer");
+        field = static_cast<std::remove_reference_t<decltype(field)>>(
+                val.asUint());
+        return true;
+    };
+    auto fracKey = [&](const JsonValue &val, double &field,
+                       const char *key) {
+        if (!val.isNumber() || val.asDouble() < 0.0
+            || val.asDouble() > 1.0)
+            return fail(std::string(key)
+                        + ": expected a number in [0, 1]");
+        field = val.asDouble();
+        return true;
+    };
+
+    for (const auto &[key, val] : v.members()) {
+        if (key == "preset") {
+            continue; // handled above
+        } else if (key == "name") {
+            if (!val.isString() || val.asString().empty())
+                return fail("name: expected a non-empty string");
+            s.name = val.asString();
+        } else if (key == "branches") {
+            if (!uintKey(val, s.branches, "branches"))
+                return false;
+            if (s.branches == 0)
+                return fail("branches: must be positive");
+        } else if (key == "sites") {
+            if (!uintKey(val, s.sites, "sites"))
+                return false;
+            if (s.sites == 0)
+                return fail("sites: must be positive");
+        } else if (key == "accuracy") {
+            if (!fracKey(val, s.accuracy, "accuracy"))
+                return false;
+        } else if (key == "entropy") {
+            if (!fracKey(val, s.entropy, "entropy"))
+                return false;
+        } else if (key == "bias") {
+            if (!fracKey(val, s.bias, "bias"))
+                return false;
+        } else if (key == "correlation_depth") {
+            if (!uintKey(val, s.correlationDepth, "correlation_depth"))
+                return false;
+        } else if (key == "loop_fraction") {
+            if (!fracKey(val, s.loopFraction, "loop_fraction"))
+                return false;
+        } else if (key == "loop_period") {
+            if (!uintKey(val, s.loopPeriod, "loop_period"))
+                return false;
+            if (s.loopPeriod < 2)
+                return fail("loop_period: must be >= 2");
+        } else if (key == "call_mix") {
+            if (!fracKey(val, s.callMix, "call_mix"))
+                return false;
+        } else if (key == "phases") {
+            if (!uintKey(val, s.phases, "phases"))
+                return false;
+            if (s.phases == 0)
+                return fail("phases: must be positive");
+        } else if (key == "phase_swing") {
+            if (!fracKey(val, s.phaseSwing, "phase_swing"))
+                return false;
+        } else if (key == "burst_fraction") {
+            if (!fracKey(val, s.burstFraction, "burst_fraction"))
+                return false;
+        } else if (key == "burst_accuracy") {
+            if (!fracKey(val, s.burstAccuracy, "burst_accuracy"))
+                return false;
+        } else if (key == "burst_length") {
+            if (!uintKey(val, s.burstLength, "burst_length"))
+                return false;
+            if (s.burstLength == 0)
+                return fail("burst_length: must be positive");
+        } else if (key == "history_bits") {
+            if (!uintKey(val, s.historyBits, "history_bits"))
+                return false;
+            if (s.historyBits == 0 || s.historyBits > 32)
+                return fail("history_bits: must be in [1, 32]");
+        } else if (key == "seed") {
+            if (!uintKey(val, s.seed, "seed"))
+                return false;
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    if (s.loopFraction + s.callMix + s.entropy > 1.0)
+        return fail("loop_fraction + call_mix + entropy must be <= 1");
+    return true;
+}
+
+JsonValue
+syntheticScenarioToJson(const SyntheticScenario &s)
+{
+    JsonValue v = JsonValue::object();
+    v["name"] = JsonValue(s.name);
+    v["branches"] = JsonValue(std::uint64_t{s.branches});
+    v["sites"] = JsonValue(std::uint64_t{s.sites});
+    v["accuracy"] = JsonValue(s.accuracy);
+    v["entropy"] = JsonValue(s.entropy);
+    v["bias"] = JsonValue(s.bias);
+    v["correlation_depth"] =
+        JsonValue(std::uint64_t{s.correlationDepth});
+    v["loop_fraction"] = JsonValue(s.loopFraction);
+    v["loop_period"] = JsonValue(std::uint64_t{s.loopPeriod});
+    v["call_mix"] = JsonValue(s.callMix);
+    v["phases"] = JsonValue(std::uint64_t{s.phases});
+    v["phase_swing"] = JsonValue(s.phaseSwing);
+    v["burst_fraction"] = JsonValue(s.burstFraction);
+    v["burst_accuracy"] = JsonValue(s.burstAccuracy);
+    v["burst_length"] = JsonValue(std::uint64_t{s.burstLength});
+    v["history_bits"] = JsonValue(std::uint64_t{s.historyBits});
+    v["seed"] = JsonValue(std::uint64_t{s.seed});
+    return v;
+}
+
+SyntheticWorkloadGenerator::SyntheticWorkloadGenerator(
+        const SyntheticScenario &s)
+    : scn(s)
+{
+    if (scn.branches == 0)
+        fatal("synthetic scenario needs at least one branch");
+    if (scn.sites == 0 || scn.loopPeriod < 2 || scn.phases == 0
+        || scn.burstLength == 0 || scn.historyBits == 0
+        || scn.historyBits > 32)
+        fatal("synthetic scenario '" + scn.name
+              + "' has out-of-range parameters");
+
+    // Site attributes are index-hashed too, so the table is just a
+    // cache; per-class cut points partition [0, 1).
+    const double loopCut = scn.loopFraction;
+    const double callCut = loopCut + scn.callMix;
+    const double randomCut = callCut + scn.entropy;
+    sites.resize(scn.sites);
+    for (std::uint32_t i = 0; i < scn.sites; ++i) {
+        Site &site = sites[i];
+        const double u = u01(mix64(scn.seed ^ SALT_CLASS
+                                   ^ (std::uint64_t{i} << 32)));
+        if (u < loopCut)
+            site.cls = SiteClass::Loop;
+        else if (u < callCut)
+            site.cls = SiteClass::Call;
+        else if (u < randomCut)
+            site.cls = SiteClass::Random;
+        else
+            site.cls = SiteClass::Biased;
+        site.dir = (mix64(scn.seed ^ SALT_DIR
+                          ^ (std::uint64_t{i} << 32)) & 1) != 0;
+        site.loopOffset = static_cast<std::uint32_t>(
+                mix64(scn.seed ^ SALT_LOOP
+                      ^ (std::uint64_t{i} << 32)) % scn.loopPeriod);
+    }
+}
+
+std::shared_ptr<const DecodedTrace>
+SyntheticWorkloadGenerator::chunk(std::uint64_t b0,
+                                  std::uint64_t b1) const
+{
+    b1 = std::min(b1, scn.branches);
+    if (b0 >= b1)
+        panic("SyntheticWorkloadGenerator::chunk: empty range");
+    const std::uint64_t n = b1 - b0;
+    if (2 * n > 0x7fffffffull)
+        panic("SyntheticWorkloadGenerator::chunk: range too large for "
+              "32-bit schedule encoding");
+
+    // Everything below is a pure function of (scenario, index) except
+    // the rolling global history, reconstructed here in
+    // O(historyBits) by replaying the last historyBits outcomes
+    // before b0.
+    auto takenAt = [&](std::uint64_t i) {
+        const std::uint64_t run = i >> RUN_SHIFT;
+        const std::uint32_t s = static_cast<std::uint32_t>(
+                mix64(scn.seed ^ SALT_SITE ^ run) % scn.sites);
+        const Site &site = sites[s];
+        switch (site.cls) {
+          case SiteClass::Loop:
+            return (i + site.loopOffset) % scn.loopPeriod
+                   != scn.loopPeriod - 1;
+          case SiteClass::Call:
+            return true;
+          case SiteClass::Random:
+            if (scn.correlationDepth > 0)
+                return (mix64(scn.seed ^ SALT_CORR
+                              ^ (i / scn.correlationDepth))
+                        & 1) != 0;
+            return (mix64(scn.seed ^ SALT_TAKEN ^ i) & 1) != 0;
+          case SiteClass::Biased:
+            return (u01(mix64(scn.seed ^ SALT_TAKEN ^ i)) < scn.bias)
+                   == site.dir;
+        }
+        return false;
+    };
+
+    const std::uint64_t histMask =
+        scn.historyBits >= 64 ? ~0ull : (1ull << scn.historyBits) - 1;
+    std::uint64_t history = 0;
+    const std::uint64_t back =
+        std::min<std::uint64_t>(scn.historyBits, b0);
+    for (std::uint64_t j = b0 - back; j < b0; ++j)
+        history = ((history << 1) | (takenAt(j) ? 1u : 0u)) & histMask;
+
+    const EstimatorInputPluginSet plugins =
+        classicEstimatorInputPlugins();
+    auto out = std::make_shared<DecodedTrace>();
+    DecodedTrace &t = *out;
+    t.meta = "synthetic:" + scn.name;
+    t.pc.reserve(n);
+    t.info.reserve(n);
+    t.flags.reserve(n);
+    t.schedule.reserve(2 * n);
+    for (const auto &plugin : plugins) {
+        InputChannel chan;
+        chan.name = plugin->channel();
+        chan.width = plugin->width();
+        chan.levelMax = plugin->levelMax();
+        switch (chan.width) {
+          case InputWidth::U8:
+            chan.u8.reserve(n);
+            break;
+          case InputWidth::U16:
+            chan.u16.reserve(n);
+            break;
+          case InputWidth::U32:
+            chan.u32.reserve(n);
+            break;
+          case InputWidth::U64:
+            chan.u64.reserve(n);
+            break;
+        }
+        t.channels.push_back(std::move(chan));
+    }
+
+    const double branchesD = static_cast<double>(scn.branches);
+    for (std::uint64_t i = b0; i < b1; ++i) {
+        const std::uint64_t run = i >> RUN_SHIFT;
+        const std::uint32_t s = static_cast<std::uint32_t>(
+                mix64(scn.seed ^ SALT_SITE ^ run) % scn.sites);
+        const Site &site = sites[s];
+        const bool taken = takenAt(i);
+
+        // Per-class base correctness, then phase drift and bursts.
+        double p;
+        switch (site.cls) {
+          case SiteClass::Loop:
+            p = (i + site.loopOffset) % scn.loopPeriod
+                        == scn.loopPeriod - 1
+                    ? 0.30  // exits surprise the predictor
+                    : 0.98; // body iterations are easy
+            break;
+          case SiteClass::Call:
+            p = 0.995;
+            break;
+          case SiteClass::Random:
+            p = scn.correlationDepth > 0 ? 0.8 : 0.6;
+            break;
+          case SiteClass::Biased:
+          default:
+            p = scn.accuracy;
+            break;
+        }
+        if (scn.phases > 1) {
+            const std::uint64_t phase = static_cast<std::uint64_t>(
+                    static_cast<double>(i) * scn.phases / branchesD);
+            const double sign =
+                (mix64(scn.seed ^ SALT_PHASE ^ phase) & 1) != 0
+                    ? 1.0 : -1.0;
+            p += sign * scn.phaseSwing;
+        }
+        if (scn.burstFraction > 0.0) {
+            const std::uint64_t region = i / scn.burstLength;
+            if (u01(mix64(scn.seed ^ SALT_BURST ^ region))
+                < scn.burstFraction)
+                p = std::min(p, scn.burstAccuracy);
+        }
+        p = std::clamp(p, 0.02, 0.999);
+        const bool correct =
+            u01(mix64(scn.seed ^ SALT_RIGHT ^ i)) < p;
+        const bool predTaken = correct == taken;
+
+        BpInfo info;
+        info.predTaken = predTaken;
+        // Counter strength tracks correctness loosely (strong-correct
+        // more often than strong-wrong), giving satcnt-style
+        // estimators realistic, non-degenerate SENS/SPEC.
+        const bool strong =
+            u01(mix64(scn.seed ^ SALT_STRONG ^ i))
+            < (correct ? 0.85 : 0.45);
+        info.counterValue =
+            predTaken ? (strong ? 3u : 2u) : (strong ? 0u : 1u);
+        info.counterMax = 3;
+        info.globalHistory = history;
+        info.globalHistoryBits = scn.historyBits;
+
+        const Addr pc = CODE_BASE + 4 * static_cast<Addr>(s);
+        t.pc.push_back(pc);
+        t.info.push_back(info);
+        std::uint8_t flags = DecodedTrace::FLAG_COMMIT;
+        if (taken)
+            flags |= DecodedTrace::FLAG_TAKEN;
+        if (correct)
+            flags |= DecodedTrace::FLAG_CORRECT;
+        if (predTaken)
+            flags |= DecodedTrace::FLAG_PRED_TAKEN;
+        t.flags.push_back(flags);
+
+        for (std::size_t pi = 0; pi < plugins.size(); ++pi) {
+            std::uint64_t v = plugins[pi]->derive(pc, info);
+            InputChannel &chan = t.channels[pi];
+            if (chan.levelMax > 0)
+                v = std::min<std::uint64_t>(v, chan.levelMax);
+            switch (chan.width) {
+              case InputWidth::U8:
+                chan.u8.push_back(static_cast<std::uint8_t>(v));
+                break;
+              case InputWidth::U16:
+                chan.u16.push_back(static_cast<std::uint16_t>(v));
+                break;
+              case InputWidth::U32:
+                chan.u32.push_back(static_cast<std::uint32_t>(v));
+                break;
+              case InputWidth::U64:
+                chan.u64.push_back(v);
+                break;
+            }
+        }
+
+        const std::size_t local = static_cast<std::size_t>(i - b0);
+        t.schedule.push_back(DecodedTrace::opFetch(local));
+        t.schedule.push_back(DecodedTrace::opFinalize(local));
+
+        history = ((history << 1) | (taken ? 1u : 0u)) & histMask;
+        t.counters.branches += 1;
+        t.counters.committedBranches += 1;
+        if (!correct) {
+            t.counters.mispredicts += 1;
+            t.counters.committedMispredicts += 1;
+        }
+    }
+    return out;
+}
+
+std::shared_ptr<const DecodedTrace>
+SyntheticOpSource::cover(std::uint64_t opBegin, std::uint64_t opEnd,
+                         std::uint64_t &localBegin,
+                         std::uint64_t &coveredEnd)
+{
+    const std::uint64_t total = totalOps();
+    opEnd = std::min(opEnd, total);
+    if (opBegin >= opEnd)
+        return nullptr;
+
+    const std::uint64_t bFirst = opBegin >> 1;
+    if (!cached || bFirst < cachedBegin || bFirst >= cachedEnd) {
+        // Generate exactly the branches the request needs (capped):
+        // skipped regions of a sampling plan are never produced.
+        const std::uint64_t bEnd = std::min(
+                {(opEnd + 1) >> 1, gen.branches(),
+                 bFirst + CHUNK_BRANCHES});
+        cached = gen.chunk(bFirst, bEnd);
+        cachedBegin = bFirst;
+        cachedEnd = bEnd;
+    }
+    localBegin = opBegin - 2 * cachedBegin;
+    coveredEnd = std::min(opEnd, 2 * cachedEnd);
+    return cached;
+}
+
+} // namespace confsim

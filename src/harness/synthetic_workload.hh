@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator: statistically controlled
+ * branch populations, produced directly in DecodedTrace (SoA) form in
+ * bounded-size chunks so 10^8..10^9-branch scenarios replay without
+ * ever materializing a full trace.
+ *
+ * This generalizes harness/synthetic_stream.hh (kept unchanged — its
+ * closed-form IID/Markov guarantees back the metrics tests) into a
+ * registered workload family following the branch-predictability
+ * taxonomy: per-site *entropy* (fraction of inherently random sites),
+ * *bias* (direction skew of biased sites), *correlation depth*
+ * (periodic global patterns), *loop/call mix* (well-behaved structural
+ * branches), *phase changes* (slow accuracy drift), and *misprediction
+ * bursts* (Markov-like clustering), all as JSON knobs.
+ *
+ * Every per-branch quantity is a pure function of (scenario, index)
+ * via counter-based hashing — the generator is O(1)-seekable, which is
+ * what lets the sampled sweep engine skip billions of branches between
+ * detailed windows at zero generation cost. The only rolling state,
+ * the global history register, is recomputed in O(historyBits) at any
+ * seek point.
+ *
+ * Generated chunks carry the classic estimator-input channels
+ * (sat-bits, pattern-conf, jrs-key), real rolling global history, and
+ * an alternating fetch/finalize schedule (every branch commits; there
+ * is no pipeline, so no wrong-path fetches and no overlap). Cycle and
+ * distance columns are left empty — BatchReplayer never reads them.
+ */
+
+#ifndef CONFSIM_HARNESS_SYNTHETIC_WORKLOAD_HH
+#define CONFSIM_HARNESS_SYNTHETIC_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/sampled_replay.hh"
+#include "sweep/decoded_trace.hh"
+
+namespace confsim
+{
+
+/** Knobs of one synthetic branch population. */
+struct SyntheticScenario
+{
+    std::string name = "synthetic"; ///< report/artifact label
+    std::uint64_t branches = 1'000'000;
+    unsigned sites = 256; ///< distinct static branch addresses
+
+    /** Steady-state P(correct) of *biased* sites. */
+    double accuracy = 0.92;
+    /** Fraction of sites that are inherently random (hard). */
+    double entropy = 0.3;
+    /** Direction skew of biased sites (P(site-preferred direction)). */
+    double bias = 0.9;
+    /** > 0 overlays a periodic direction pattern of this period on
+     *  random sites (history-correlated behaviour). */
+    unsigned correlationDepth = 0;
+    /** Fraction of sites that are loop back-edges. */
+    double loopFraction = 0.25;
+    unsigned loopPeriod = 16; ///< loop trip count (exit every Nth)
+    /** Fraction of sites that are call/always-taken branches. */
+    double callMix = 0.0;
+    /** Number of accuracy phases across the stream (1 = stationary). */
+    unsigned phases = 1;
+    /** Per-phase accuracy perturbation (+/- this, phase-hashed). */
+    double phaseSwing = 0.0;
+    /** Fraction of burstLength-branch regions degraded to
+     *  burstAccuracy (misprediction clustering). */
+    double burstFraction = 0.0;
+    double burstAccuracy = 0.6;
+    unsigned burstLength = 64;
+    /** Global-history register width carried in BpInfo. */
+    unsigned historyBits = 12;
+    std::uint64_t seed = 1;
+
+    bool operator==(const SyntheticScenario &) const = default;
+};
+
+/** Named scenario presets (iid, clustered, biased, high-entropy,
+ *  loopy, phased, mixed) in registry order. */
+const std::vector<SyntheticScenario> &syntheticPresets();
+
+/** Look up a preset by name. @return false when unknown. */
+bool findSyntheticPreset(const std::string &name,
+                         SyntheticScenario &out);
+
+/**
+ * Parse a scenario from JSON (strict: unknown keys fail). The optional
+ * "preset" key selects a preset as the base; other keys override it.
+ */
+bool syntheticScenarioFromJson(const JsonValue &v, SyntheticScenario &s,
+                               std::string *error = nullptr);
+
+/** The scenario back as JSON (round-trips; every knob emitted). */
+JsonValue syntheticScenarioToJson(const SyntheticScenario &s);
+
+/**
+ * The generator: builds DecodedTrace chunks of any branch subrange of
+ * the scenario's stream. Thread-compatible (const after construction).
+ */
+class SyntheticWorkloadGenerator
+{
+  public:
+    explicit SyntheticWorkloadGenerator(const SyntheticScenario &s);
+
+    const SyntheticScenario &scenario() const { return scn; }
+
+    /** Branch records in the full stream. */
+    std::uint64_t branches() const { return scn.branches; }
+
+    /**
+     * Generate branches [b0, b1) as a self-contained DecodedTrace:
+     * records indexed locally, schedule = alternating
+     * fetch(k)/finalize(k), classic input channels filled, counters
+     * covering the chunk. @p b1 is clamped to branches().
+     */
+    std::shared_ptr<const DecodedTrace>
+    chunk(std::uint64_t b0, std::uint64_t b1) const;
+
+  private:
+    enum class SiteClass : std::uint8_t
+    {
+        Loop,
+        Call,
+        Random,
+        Biased,
+    };
+
+    struct Site
+    {
+        SiteClass cls = SiteClass::Biased;
+        bool dir = false;          ///< biased sites' preferred direction
+        std::uint32_t loopOffset = 0;
+    };
+
+    SyntheticScenario scn;
+    std::vector<Site> sites;
+};
+
+/**
+ * OpSource adapter over a generator: serves any op range from cached
+ * bounded-size chunks generated on demand, so only the ops a sampling
+ * plan actually touches are ever produced.
+ */
+class SyntheticOpSource final : public OpSource
+{
+  public:
+    /** Largest branch count generated per chunk (caps resident
+     *  memory; fits 32-bit schedule encoding with huge margin). */
+    static constexpr std::uint64_t CHUNK_BRANCHES = 1ull << 22;
+
+    explicit SyntheticOpSource(SyntheticScenario scenario)
+        : gen(std::move(scenario))
+    {
+    }
+
+    const SyntheticWorkloadGenerator &generator() const { return gen; }
+
+    std::uint64_t totalOps() const override
+    {
+        return 2 * gen.branches();
+    }
+
+    std::shared_ptr<const DecodedTrace>
+    cover(std::uint64_t opBegin, std::uint64_t opEnd,
+          std::uint64_t &localBegin, std::uint64_t &coveredEnd) override;
+
+  private:
+    SyntheticWorkloadGenerator gen;
+    std::shared_ptr<const DecodedTrace> cached;
+    std::uint64_t cachedBegin = 0; ///< first branch of cached chunk
+    std::uint64_t cachedEnd = 0;   ///< one past last branch
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SYNTHETIC_WORKLOAD_HH

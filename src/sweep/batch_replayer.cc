@@ -233,6 +233,7 @@ BatchReplayer::attachJrs(const JrsConfig &cfg, bool sweep_levels)
         fatal("JRS counter width must be in [1, 16]");
     Lane lane;
     lane.kind = SweepLaneKind::Jrs;
+    lane.chanName = CHANNEL_JRS_KEY;
     lane.chan = src->findChannel(CHANNEL_JRS_KEY);
     if (lane.chan == nullptr)
         fatal(std::string("JRS sweep lane needs the '")
@@ -251,6 +252,7 @@ BatchReplayer::attachSatCounters(SatCountersVariant variant)
 {
     Lane lane;
     lane.kind = SweepLaneKind::SatCounters;
+    lane.chanName = CHANNEL_SAT_BITS;
     lane.chan = src->findChannel(CHANNEL_SAT_BITS);
     if (lane.chan == nullptr)
         fatal(std::string("sat-counters sweep lane needs the '")
@@ -265,6 +267,7 @@ BatchReplayer::attachPattern()
 {
     Lane lane;
     lane.kind = SweepLaneKind::Pattern;
+    lane.chanName = CHANNEL_PATTERN_CONF;
     lane.chan = src->findChannel(CHANNEL_PATTERN_CONF);
     if (lane.chan == nullptr)
         fatal(std::string("pattern sweep lane needs the '")
@@ -280,6 +283,7 @@ BatchReplayer::attachChannelThreshold(const std::string &channel,
 {
     Lane lane;
     lane.kind = SweepLaneKind::Channel;
+    lane.chanName = channel;
     lane.chan = src->findChannel(channel);
     lane.chanThreshold = threshold;
     lane.sweepLevels = sweep_levels;
@@ -378,11 +382,57 @@ BatchReplayer::runLaneBlock(Lane &lane, const std::uint32_t *ops,
             runGeometry(std::false_type{});
         break;
       }
-      case SweepLaneKind::SatCounters:
-      case SweepLaneKind::Pattern:
-      case SweepLaneKind::Channel:
-        // Handled by runStatelessLane(); never walked per block.
+      // Full runs route the stateless kinds through
+      // runStatelessLane() / the SIMD kernels; these scheduled walks
+      // serve the windowed interfaces (runOps under the scalar tier),
+      // where the per-op accumulation makes window totals trivially
+      // bit-identical to the scalar full engine.
+      case SweepLaneKind::SatCounters: {
+        const std::uint8_t bit = satBitFor(lane.satVariant);
+        const std::uint8_t *vals = lane.chan->u8.data();
+        walkBlock(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                  ops, n,
+                  [vals, bit](std::size_t i, std::uint8_t, unsigned &) {
+                      return (vals[i] & bit) != 0;
+                  },
+                  [](std::size_t, std::uint8_t) {});
         break;
+      }
+      case SweepLaneKind::Pattern: {
+        const std::uint8_t *vals = lane.chan->u8.data();
+        walkBlock(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                  ops, n,
+                  [vals](std::size_t i, std::uint8_t, unsigned &) {
+                      return vals[i] != 0;
+                  },
+                  [](std::size_t, std::uint8_t) {});
+        break;
+      }
+      case SweepLaneKind::Channel: {
+        const unsigned threshold = lane.chanThreshold;
+        if (lane.chan == nullptr) {
+            walkBlock(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                      ops, n,
+                      [threshold](std::size_t, std::uint8_t,
+                                  unsigned &) {
+                          return 0u >= threshold;
+                      },
+                      [](std::size_t, std::uint8_t) {});
+            break;
+        }
+        const InputChannel *chan = lane.chan;
+        walkBlock(lane.stats, lane.allQ, lane.committedQ, sweep, t,
+                  ops, n,
+                  [chan, threshold](std::size_t i, std::uint8_t,
+                                    unsigned &level) {
+                      const std::uint64_t v = chan->value(i);
+                      level = static_cast<unsigned>(
+                              std::min<std::uint64_t>(v, 65535u));
+                      return v >= threshold;
+                  },
+                  [](std::size_t, std::uint8_t) {});
+        break;
+      }
       case SweepLaneKind::Virtual:
         walkBlock(
                 lane.stats, lane.allQ, lane.committedQ, sweep, t,
@@ -516,6 +566,219 @@ BatchReplayer::run(std::string *error)
     return runVector(d, error);
 }
 
+void
+BatchReplayer::resetLanes()
+{
+    for (Lane &lane : lanes)
+        resetLane(lane);
+}
+
+void
+BatchReplayer::rebind(std::shared_ptr<const DecodedTrace> trace)
+{
+    if (!trace)
+        panic("BatchReplayer::rebind: null trace");
+    src = std::move(trace);
+    for (Lane &lane : lanes) {
+        if (lane.chanName.empty())
+            continue;
+        lane.chan = src->findChannel(lane.chanName);
+        if (lane.chan == nullptr
+            && lane.kind != SweepLaneKind::Channel)
+            fatal("BatchReplayer::rebind: trace chunk lacks the '"
+                  + lane.chanName + "' input channel");
+    }
+}
+
+void
+BatchReplayer::runLaneOpsScheduled(Lane &lane, std::size_t opBegin,
+                                   std::size_t opEnd)
+{
+    const std::uint32_t *sched = src->schedule.data();
+    for (std::size_t base = opBegin; base < opEnd; base += BLOCK_OPS) {
+        const std::size_t n = std::min(BLOCK_OPS, opEnd - base);
+        runLaneBlock(lane, sched + base, n);
+    }
+}
+
+bool
+BatchReplayer::runOps(std::size_t opBegin, std::size_t opEnd,
+                      std::string *error)
+{
+    if (predictor != nullptr) {
+        if (error != nullptr)
+            *error = "runOps does not support an attached predictor";
+        return false;
+    }
+    opEnd = std::min(opEnd, src->schedule.size());
+    if (opBegin >= opEnd)
+        return true;
+
+    const KernelDispatch d = kernelDispatch();
+    bool anyStateless = false;
+    for (Lane &lane : lanes) {
+        const bool stateful = lane.kind == SweepLaneKind::Jrs
+                              || lane.kind == SweepLaneKind::Virtual;
+        if (stateful || d == KernelDispatch::Scalar)
+            runLaneOpsScheduled(lane, opBegin, opEnd);
+        else
+            anyStateless = true;
+    }
+    if (!anyStateless)
+        return true;
+
+    // One shared scan of the window: fetch ops appear in increasing
+    // branch order, so the window's fetches cover one contiguous
+    // branch range — which is what lets the stateless lanes classify
+    // it through the same SIMD kernels as a full run.
+    const std::uint32_t *ops = src->schedule.data();
+    const std::uint8_t *flags = src->flags.data();
+    std::size_t first = 0;
+    std::size_t count = 0;
+    std::uint64_t updates = 0;
+    for (std::size_t k = opBegin; k < opEnd; ++k) {
+        const std::uint32_t op = ops[k];
+        const std::size_t i = op >> 1;
+        if (op & 1u) {
+            if (count == 0)
+                first = i;
+            ++count;
+        } else if (flags[i] & DecodedTrace::FLAG_COMMIT) {
+            ++updates;
+        }
+    }
+
+    LaneCounts corr{};
+    LaneCounts comm{};
+    if (count != 0) {
+        corr = countBitU8(d, flags + first, flags + first, count,
+                          DecodedTrace::FLAG_CORRECT);
+        comm = countBitU8(d, flags + first, flags + first, count,
+                          DecodedTrace::FLAG_COMMIT);
+    }
+    for (Lane &lane : lanes) {
+        if (lane.kind == SweepLaneKind::SatCounters
+            || lane.kind == SweepLaneKind::Pattern
+            || lane.kind == SweepLaneKind::Channel)
+            runStatelessLaneRange(lane, d, first, count, corr.high,
+                                  comm.high, corr.highCommit, updates);
+    }
+    return true;
+}
+
+bool
+BatchReplayer::warmOps(std::size_t opBegin, std::size_t opEnd,
+                       std::string *error)
+{
+    if (predictor != nullptr) {
+        if (error != nullptr)
+            *error = "warmOps does not support an attached predictor";
+        return false;
+    }
+    opEnd = std::min(opEnd, src->schedule.size());
+    if (opBegin >= opEnd)
+        return true;
+
+    for (Lane &lane : lanes) {
+        if (lane.kind != SweepLaneKind::Jrs
+            && lane.kind != SweepLaneKind::Virtual)
+            continue; // stateless: nothing to warm
+        // Train through the ordinary scheduled walk, then discard
+        // everything it accumulated — only the table / estimator
+        // state carries forward.
+        const ConfidenceEstimator::Stats savedStats = lane.stats;
+        const QuadrantCounts savedAll = lane.allQ;
+        const QuadrantCounts savedCommitted = lane.committedQ;
+        const bool savedSweep = lane.sweepLevels;
+        lane.sweepLevels = false;
+        runLaneOpsScheduled(lane, opBegin, opEnd);
+        lane.sweepLevels = savedSweep;
+        lane.stats = savedStats;
+        lane.allQ = savedAll;
+        lane.committedQ = savedCommitted;
+    }
+    return true;
+}
+
+void
+BatchReplayer::runStatelessLaneRange(Lane &lane, KernelDispatch d,
+                                     std::size_t first,
+                                     std::size_t count,
+                                     std::uint64_t corrAll,
+                                     std::uint64_t committed,
+                                     std::uint64_t corrCommit,
+                                     std::uint64_t updates)
+{
+    const std::uint8_t *flags = src->flags.data() + first;
+    LaneCounts k{};
+    switch (lane.kind) {
+      case SweepLaneKind::SatCounters:
+        if (count != 0)
+            k = countBitU8(d, lane.chan->u8.data() + first, flags,
+                           count, satBitFor(lane.satVariant));
+        break;
+      case SweepLaneKind::Pattern:
+        if (count != 0)
+            k = countGeU8(d, lane.chan->u8.data() + first, flags,
+                          count, 1);
+        break;
+      case SweepLaneKind::Channel: {
+        if (lane.chan == nullptr) {
+            // Absent channel: every value reads 0.
+            if (lane.chanThreshold == 0)
+                k = LaneCounts{count, corrAll, committed, corrCommit};
+            if (lane.sweepLevels) {
+                lane.sweep.add(0, true, corrCommit);
+                lane.sweep.add(0, false, committed - corrCommit);
+            }
+            break;
+        }
+        if (count == 0)
+            break;
+        const std::uint64_t th = lane.chanThreshold;
+        switch (lane.chan->width) {
+          case InputWidth::U8:
+            k = countGeU8(d, lane.chan->u8.data() + first, flags,
+                          count, th);
+            break;
+          case InputWidth::U16:
+            k = countGeU16(d, lane.chan->u16.data() + first, flags,
+                           count, th);
+            break;
+          case InputWidth::U32:
+            k = countGeU32(lane.chan->u32.data() + first, flags, count,
+                           th);
+            break;
+          case InputWidth::U64:
+            k = countGeU64(lane.chan->u64.data() + first, flags, count,
+                           th);
+            break;
+        }
+        if (lane.sweepLevels) {
+            // Accumulating histogram (unlike the full run's shared
+            // replace): windows must sum across calls.
+            const InputChannel *chan = lane.chan;
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::uint8_t f = flags[i];
+                if ((f & DecodedTrace::FLAG_COMMIT) == 0)
+                    continue;
+                const std::uint64_t v = chan->value(first + i);
+                lane.sweep.record(
+                        static_cast<unsigned>(
+                                std::min<std::uint64_t>(v, 65535u)),
+                        (f & DecodedTrace::FLAG_CORRECT) != 0);
+            }
+        }
+        break;
+      }
+      case SweepLaneKind::Jrs:
+      case SweepLaneKind::Virtual:
+        return; // stateful: scheduled walk
+    }
+    applyDerivedCountsRange(lane, k, corrAll, committed, corrCommit,
+                            count, count, updates);
+}
+
 bool
 BatchReplayer::runScalar(std::string *error)
 {
@@ -558,11 +821,27 @@ BatchReplayer::applyDerivedCounts(Lane &lane, const LaneCounts &counts,
                                   std::uint64_t committed,
                                   std::uint64_t corrCommit)
 {
+    applyDerivedCountsRange(lane, counts, corrAll, committed,
+                            corrCommit, src->size(),
+                            src->counters.branches,
+                            src->counters.committedBranches);
+}
+
+void
+BatchReplayer::applyDerivedCountsRange(Lane &lane,
+                                       const LaneCounts &counts,
+                                       std::uint64_t corrAll,
+                                       std::uint64_t committed,
+                                       std::uint64_t corrCommit,
+                                       std::uint64_t records,
+                                       std::uint64_t branches,
+                                       std::uint64_t updates)
+{
     // The four kernel counts plus the lane-independent populations
     // (record count, correct, committed, correct&committed) determine
     // every quadrant exactly; all terms are exact integer sums over
     // the same per-branch verdicts the scalar walk bins one at a time.
-    const std::uint64_t n = src->size();
+    const std::uint64_t n = records;
     const std::uint64_t hi = counts.high;
     const std::uint64_t hiCorr = counts.highCorrect;
     const std::uint64_t hiComm = counts.highCommit;
@@ -575,9 +854,9 @@ BatchReplayer::applyDerivedCounts(Lane &lane, const LaneCounts &counts,
     lane.committedQ.ihc += hiComm - hiCorrComm;
     lane.committedQ.clc += corrCommit - hiCorrComm;
     lane.committedQ.ilc += (committed - corrCommit) - (hiComm - hiCorrComm);
-    lane.stats.estimates += src->counters.branches;
+    lane.stats.estimates += branches;
     lane.stats.lowEstimates += n - hi;
-    lane.stats.updates += src->counters.committedBranches;
+    lane.stats.updates += updates;
 }
 
 bool

@@ -158,6 +158,52 @@ class BatchReplayer
     bool run(std::string *error = nullptr);
 
     /**
+     * Reset every lane to power-on state (tables cleared, accumulators
+     * zeroed). run() does this implicitly; the incremental interfaces
+     * below (runOps/warmOps, typically across rebind()s) require one
+     * explicit reset up front.
+     */
+    void resetLanes();
+
+    /**
+     * Re-point the replayer at another decoded trace — a later chunk
+     * of the same logical stream — re-resolving every lane's input
+     * channel by name. Lane state (tables, virtual estimators,
+     * accumulated results) is preserved, which is what lets one lane
+     * set replay a chunked 10^8..10^9-branch stream that is never
+     * materialized whole. A channel a kernel lane depends on must
+     * exist in the new trace; a Channel lane's column may be absent
+     * (values read as 0, as at attach time).
+     */
+    void rebind(std::shared_ptr<const DecodedTrace> trace);
+
+    /**
+     * Detailed replay of schedule ops [opBegin, opEnd) of the current
+     * trace: every lane advances and accumulates exactly as a full
+     * run() would over those ops. Stateful lanes take the scalar
+     * block walk; stateless lanes classify the ops' branch range
+     * through the SIMD kernels (scalar walk under the scalar tier) —
+     * both orders sum identically, so windowed totals are
+     * bit-identical to the full engine when the windows tile the
+     * whole schedule. Does not reset lanes. Not supported with an
+     * attached predictor.
+     */
+    bool runOps(std::size_t opBegin, std::size_t opEnd,
+                std::string *error = nullptr);
+
+    /**
+     * Functional warm-up over schedule ops [opBegin, opEnd): stateful
+     * lanes (JRS tables, virtual estimators) train exactly as in a
+     * detailed run, but no results are accumulated — quadrants,
+     * stats, and level sweeps are unchanged on return. Stateless
+     * lanes have nothing to warm and are skipped entirely, which is
+     * what makes skipping cheap. Not supported with an attached
+     * predictor.
+     */
+    bool warmOps(std::size_t opBegin, std::size_t opEnd,
+                 std::string *error = nullptr);
+
+    /**
      * Schedule ops per block of the scheduled (predictor / virtual /
      * scalar-path) walks. One block touches at most this many branch
      * records, so the shared trace data a block pulls in stays cached
@@ -242,6 +288,11 @@ class BatchReplayer
          *  Channel lanes (null = absent, all values read as 0). */
         const InputChannel *chan = nullptr;
 
+        /** Channel name behind @ref chan, kept so rebind() can
+         *  re-resolve the column in a new trace chunk (empty for
+         *  Virtual lanes, which read BpInfo directly). */
+        std::string chanName;
+
         // JRS kernel state.
         JrsConfig jrs;
         std::uint16_t jrsMax = 0;
@@ -270,6 +321,14 @@ class BatchReplayer
     void runStatelessLane(Lane &lane);
     void runLaneBlock(Lane &lane, const std::uint32_t *ops,
                       std::size_t n);
+    void runLaneOpsScheduled(Lane &lane, std::size_t opBegin,
+                             std::size_t opEnd);
+    void runStatelessLaneRange(Lane &lane, KernelDispatch d,
+                               std::size_t first, std::size_t count,
+                               std::uint64_t corrAll,
+                               std::uint64_t committed,
+                               std::uint64_t corrCommit,
+                               std::uint64_t updates);
     bool runPredictorBlock(const std::uint32_t *ops, std::size_t n,
                            std::uint64_t &fetched, std::string *error);
 
@@ -279,6 +338,13 @@ class BatchReplayer
                             std::uint64_t corrAll,
                             std::uint64_t committed,
                             std::uint64_t corrCommit);
+    void applyDerivedCountsRange(Lane &lane, const LaneCounts &counts,
+                                 std::uint64_t corrAll,
+                                 std::uint64_t committed,
+                                 std::uint64_t corrCommit,
+                                 std::uint64_t records,
+                                 std::uint64_t branches,
+                                 std::uint64_t updates);
 
     std::shared_ptr<const DecodedTrace> src;
     std::vector<Lane> lanes;

@@ -1,0 +1,147 @@
+#include "sweep/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace confsim
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: decorrelates the phase from small seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+std::vector<SampleWindow>
+layoutSampleWindows(std::uint64_t totalOps, const SamplingPlan &plan,
+                    std::uint64_t strideOverride)
+{
+    std::vector<SampleWindow> windows;
+    if (totalOps == 0)
+        return windows;
+    if (!plan.enabled() || plan.windowOps >= totalOps) {
+        windows.push_back(SampleWindow{0, 0, totalOps});
+        return windows;
+    }
+    const std::uint64_t stride = std::max(
+            plan.windowOps,
+            strideOverride != 0 ? strideOverride : plan.strideOps);
+    // Full coverage needs no phase: back-to-back windows tile the
+    // trace exactly (the sampled engine then sees every op once).
+    const std::uint64_t phase =
+        stride == plan.windowOps ? 0 : mix64(plan.seed) % stride;
+    for (std::uint64_t start = phase; start < totalOps;
+         start += stride) {
+        SampleWindow w;
+        w.begin = start;
+        w.end = std::min(start + plan.windowOps, totalOps);
+        w.warmBegin =
+            start - std::min<std::uint64_t>(plan.warmupOps, start);
+        windows.push_back(w);
+    }
+    if (windows.empty()) {
+        // Phase landed past a short trace: fall back to one trailing
+        // window so every layout samples something.
+        const std::uint64_t begin =
+            totalOps > plan.windowOps ? totalOps - plan.windowOps : 0;
+        windows.push_back(SampleWindow{
+                begin - std::min<std::uint64_t>(plan.warmupOps, begin),
+                begin, totalOps});
+    }
+    return windows;
+}
+
+double
+SampledLaneStats::maxHalfWidth() const
+{
+    double hw = -1.0;
+    for (const SampledMetric *m :
+         {&mispredictRate, &sens, &spec, &pvp, &pvn}) {
+        if (m->defined())
+            hw = std::max(hw, m->halfWidth);
+    }
+    return hw;
+}
+
+void
+WindowStatAccumulator::reset()
+{
+    *this = WindowStatAccumulator{};
+}
+
+void
+WindowStatAccumulator::addWindow(const QuadrantCounts &delta)
+{
+    pooledQ += delta;
+    const std::uint64_t total = delta.total();
+    if (total != 0)
+        rate.add(delta.ihc + delta.ilc, total);
+    if (delta.chc + delta.clc != 0)
+        se.add(delta.chc, delta.chc + delta.clc);
+    if (delta.ihc + delta.ilc != 0)
+        sp.add(delta.ilc, delta.ihc + delta.ilc);
+    if (delta.chc + delta.ihc != 0)
+        pp.add(delta.chc, delta.chc + delta.ihc);
+    if (delta.clc + delta.ilc != 0)
+        pn.add(delta.ilc, delta.clc + delta.ilc);
+}
+
+SampledMetric
+WindowStatAccumulator::finalizeSeries(const Series &s, double fpc)
+{
+    SampledMetric m;
+    m.windows = s.n;
+    if (s.n == 0)
+        return m; // never observed: undefined interval
+    // Pooled ratio over the windows that observed the metric. (For
+    // every metric this equals the ratio over the pooled quadrants:
+    // windows skipped by the series contribute zero to both sums.)
+    const double r = s.sumY / s.sumX;
+    m.value = r;
+    m.mean = r; // the ratio-estimator CI is centred on the pooled value
+    if (fpc == 0.0) {
+        // Full coverage: the pooled value is the population value.
+        m.halfWidth = 0.0;
+        return m;
+    }
+    if (s.n < 2)
+        return m; // one observation: no variance estimate
+    // Taylor-linearized ratio-estimator variance: residuals
+    // d_i = y_i - r * x_i sum to zero by construction of r, so their
+    // sample variance is sum(d_i^2) / (n - 1).
+    const double n = static_cast<double>(s.n);
+    const double sumD2 = std::max(
+            0.0, s.sumYY - 2.0 * r * s.sumXY + r * r * s.sumXX);
+    const double varD = sumD2 / (n - 1.0);
+    const double meanX = s.sumX / n;
+    m.halfWidth =
+        SAMPLING_Z99 * std::sqrt(varD / n) / meanX * fpc;
+    return m;
+}
+
+SampledLaneStats
+WindowStatAccumulator::finalize(double sampledFraction) const
+{
+    const double fpc =
+        sampledFraction >= 1.0
+            ? 0.0
+            : std::sqrt(std::max(0.0, 1.0 - sampledFraction));
+    SampledLaneStats out;
+    out.mispredictRate = finalizeSeries(rate, fpc);
+    out.sens = finalizeSeries(se, fpc);
+    out.spec = finalizeSeries(sp, fpc);
+    out.pvp = finalizeSeries(pp, fpc);
+    out.pvn = finalizeSeries(pn, fpc);
+    return out;
+}
+
+} // namespace confsim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Statistical sampling of batched sweeps: SMARTS-style systematic
+ * window selection plus CLT confidence intervals over the per-window
+ * quadrant deltas.
+ *
+ * A SamplingPlan turns one full-trace replay into a sequence of short
+ * *detailed windows* (every lane simulated exactly, results
+ * accumulated) separated by *skipped* regions. Stateful lanes (JRS
+ * tables, virtual estimators) get a functional warm-up run over the
+ * ops immediately preceding each window — tables train, nothing is
+ * counted — so their in-window behaviour approximates the fully
+ * trained state. Stateless lanes are pure per-branch classifications
+ * and need no warm-up at all.
+ *
+ * Each detailed window contributes one (numerator, denominator)
+ * observation per metric (misprediction rate, SENS, SPEC, PVP, PVN
+ * over committed branches). The reported point estimate is the pooled
+ * ratio-of-sums R = sum(y) / sum(x), and the interval around it is the
+ * classic survey-sampling ratio estimator (Taylor linearization):
+ *
+ *     R +- Z99 * sqrt(s_d^2 / n) / mean(x) * sqrt(1 - f)
+ *
+ * with d_i = y_i - R * x_i (which sum to zero by construction, so
+ * s_d^2 = sum(d_i^2) / (n - 1)), n the number of windows observing the
+ * metric, and f the sampled fraction of the population (the
+ * finite-population correction: as coverage approaches 100%, the
+ * interval collapses to the exact answer). Weighting windows by their
+ * denominators keeps the interval centred on the pooled value even
+ * when per-window denominators vary wildly — an unweighted mean of
+ * window ratios is a biased estimate of the pooled ratio on phased
+ * real traces, and intervals centred on it can systematically exclude
+ * the ground truth.
+ *
+ * A degenerate plan (window >= trace) is defined to be exactly one
+ * window covering every op with no warm-up: the sampled engine then
+ * performs the same work as the full engine and its results are
+ * bit-identical to it.
+ */
+
+#ifndef CONFSIM_SWEEP_SAMPLING_HH
+#define CONFSIM_SWEEP_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/quadrant.hh"
+
+namespace confsim
+{
+
+/** Two-sided 99% normal quantile used by every sampled interval. */
+inline constexpr double SAMPLING_Z99 = 2.5758293035489004;
+
+/** Systematic-sampling schedule of one sweep execution. */
+struct SamplingPlan
+{
+    /** Detailed (fully simulated) schedule ops per window; 0 disables
+     *  sampling entirely. A window at least as long as the trace
+     *  degenerates to one full-fidelity pass. */
+    std::uint64_t windowOps = 0;
+    /** Window start-to-start distance in ops; values below windowOps
+     *  (including 0) are clamped up to windowOps (full coverage). */
+    std::uint64_t strideOps = 0;
+    /** Functional warm-up ops run before each window: stateful lanes
+     *  train, nothing is accumulated. */
+    std::uint64_t warmupOps = 0;
+    /**
+     * Adaptive target: largest acceptable 99% CI half-width across
+     * every reported metric of every lane. 0 runs exactly one pass;
+     * > 0 halves the stride and reruns (up to maxPasses passes, or
+     * until the stride reaches full coverage) while any defined
+     * half-width exceeds the target.
+     */
+    double targetHalfWidth = 0.0;
+    /** Phase seed: shifts where the first window lands inside the
+     *  first stride, so repeated studies can vary their sample. */
+    std::uint64_t seed = 1;
+    /** Adaptive-pass cap (>= 1). */
+    unsigned maxPasses = 6;
+
+    bool enabled() const { return windowOps > 0; }
+
+    bool operator==(const SamplingPlan &) const = default;
+};
+
+/** One detailed window in schedule-op space. */
+struct SampleWindow
+{
+    std::uint64_t warmBegin = 0; ///< warm-up starts here (may == begin)
+    std::uint64_t begin = 0;     ///< first detailed op
+    std::uint64_t end = 0;       ///< one past the last detailed op
+
+    bool operator==(const SampleWindow &) const = default;
+};
+
+/**
+ * Lay the plan's windows over a trace of @p totalOps schedule ops.
+ * Systematic: window k starts at phase + k * stride with
+ * phase = hash(seed) % stride, each preceded by up to warmupOps
+ * warm-up ops (clamped at 0). Degenerate plans (disabled, or
+ * windowOps >= totalOps) produce the single window [0, totalOps) with
+ * no warm-up. Always returns at least one window for a non-empty
+ * trace.
+ * @param strideOverride when nonzero, replaces plan.strideOps (the
+ *        adaptive loop passes progressively halved strides).
+ */
+std::vector<SampleWindow>
+layoutSampleWindows(std::uint64_t totalOps, const SamplingPlan &plan,
+                    std::uint64_t strideOverride = 0);
+
+/** Point estimate + 99% CI of one sampled metric. */
+struct SampledMetric
+{
+    double value = 0.0;     ///< pooled ratio-of-sums over all windows
+    /** CI centre. The ratio-estimator interval is centred on the
+     *  pooled value, so this equals @ref value whenever the metric was
+     *  observed at all; it is kept as a separate field so reports stay
+     *  explicit about what the interval brackets. */
+    double mean = 0.0;
+    double halfWidth = -1.0; ///< 99% CI half-width; < 0 = undefined
+    std::uint64_t windows = 0; ///< windows with a defined value
+
+    bool defined() const { return halfWidth >= 0.0; }
+    bool contains(double truth) const
+    {
+        return defined() && truth >= mean - halfWidth
+               && truth <= mean + halfWidth;
+    }
+};
+
+/** Everything a sampled execution reports for one lane. */
+struct SampledLaneStats
+{
+    SampledMetric mispredictRate; ///< (ihc+ilc)/total, committed
+    SampledMetric sens;
+    SampledMetric spec;
+    SampledMetric pvp;
+    SampledMetric pvn;
+
+    std::uint64_t windows = 0;     ///< detailed windows simulated
+    unsigned passes = 1;           ///< adaptive passes executed
+    std::uint64_t opsDetailed = 0; ///< ops simulated in windows
+    std::uint64_t opsWarmup = 0;   ///< ops run as functional warm-up
+    std::uint64_t opsSkipped = 0;  ///< ops never touched
+    std::uint64_t opsTotal = 0;    ///< schedule ops in the population
+
+    /** Largest defined half-width (adaptive stop criterion);
+     *  -1 when no metric has a defined interval. */
+    double maxHalfWidth() const;
+};
+
+/**
+ * Online per-window accumulator for one lane: feed the committed
+ * quadrant delta of each detailed window, then finalize() into the
+ * five metric CIs.
+ */
+class WindowStatAccumulator
+{
+  public:
+    void reset();
+
+    /** Record one window's committed-quadrant delta. */
+    void addWindow(const QuadrantCounts &delta);
+
+    /**
+     * Compute the metric CIs. @p sampledFraction is detailed ops over
+     * total ops; at >= 1 every interval is exact (half-width 0, mean
+     * = pooled value). Otherwise a metric's interval is defined only
+     * when at least two windows produced a value for it.
+     */
+    SampledLaneStats finalize(double sampledFraction) const;
+
+    const QuadrantCounts &pooled() const { return pooledQ; }
+
+  private:
+    /** Per-window (numerator, denominator) moments of one ratio
+     *  metric; everything finalizeSeries() needs for the pooled ratio
+     *  and its linearized variance. */
+    struct Series
+    {
+        std::uint64_t n = 0;
+        double sumX = 0.0;  ///< sum of denominators
+        double sumY = 0.0;  ///< sum of numerators
+        double sumXX = 0.0; ///< sum of x^2
+        double sumYY = 0.0; ///< sum of y^2
+        double sumXY = 0.0; ///< sum of x*y
+
+        void
+        add(std::uint64_t num, std::uint64_t den)
+        {
+            const double x = static_cast<double>(den);
+            const double y = static_cast<double>(num);
+            ++n;
+            sumX += x;
+            sumY += y;
+            sumXX += x * x;
+            sumYY += y * y;
+            sumXY += x * y;
+        }
+    };
+
+    static SampledMetric finalizeSeries(const Series &s, double fpc);
+
+    QuadrantCounts pooledQ;
+    Series rate, se, sp, pp, pn;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SWEEP_SAMPLING_HH

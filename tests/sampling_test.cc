@@ -1,0 +1,621 @@
+/**
+ * Sampled-execution tests: window layout properties, CLT interval
+ * math, degenerate-plan bit-identity with the full batched engine,
+ * scalar-vs-vector bit-identity of windowed replay, 99% CI containment
+ * of the full-replay ground truth for every predictor kind, adaptive
+ * stride halving, and checkpoint-journal separation between sampled
+ * and full-replay grids.
+ */
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "confidence/distance.hh"
+#include "confidence/jrs.hh"
+#include "harness/experiment.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/sampled_replay.hh"
+#include "harness/sweep.hh"
+#include "harness/synthetic_workload.hh"
+#include "sweep/batch_replayer.hh"
+#include "sweep/sampling.hh"
+#include "sweep/sweep_kernels.hh"
+
+namespace confsim
+{
+namespace
+{
+
+const WorkloadSpec &
+spec(const std::string &name)
+{
+    for (const auto &wl : standardWorkloads())
+        if (wl.name == name)
+            return wl;
+    throw std::runtime_error("unknown workload " + name);
+}
+
+const std::vector<PredictorKind> &
+allKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::Bimodal,    PredictorKind::Gshare,
+        PredictorKind::McFarling,  PredictorKind::SAg,
+        PredictorKind::Gselect,    PredictorKind::GAg,
+        PredictorKind::PAs,        PredictorKind::Perceptron,
+        PredictorKind::Tage,
+    };
+    return kinds;
+}
+
+/** The shared decoded compress trace for @p kind (aliasing pointer). */
+std::shared_ptr<const DecodedTrace>
+compressTrace(PredictorKind kind)
+{
+    const ExperimentConfig cfg;
+    const auto decoded = cachedDecodedRun(kind, spec("compress"),
+                                          cfg.workload, cfg.pipeline);
+    return {decoded, &decoded->trace};
+}
+
+/** Attach the standard kernel-lane trio (jrs, satcnt, pattern). */
+void
+attachKernelLanes(BatchReplayer &replayer, PredictorKind kind)
+{
+    replayer.attachJrs(JrsConfig{}, true);
+    replayer.attachSatCounters(kind == PredictorKind::McFarling
+                                       ? SatCountersVariant::BothStrong
+                                       : SatCountersVariant::Selected);
+    replayer.attachPattern();
+}
+
+void
+expectLaneEqual(const BatchReplayer &a, const BatchReplayer &b,
+                unsigned lane)
+{
+    EXPECT_EQ(a.committed(lane), b.committed(lane)) << "lane " << lane;
+    EXPECT_EQ(a.all(lane), b.all(lane)) << "lane " << lane;
+    EXPECT_EQ(a.estimatorStats(lane).estimates,
+              b.estimatorStats(lane).estimates);
+    EXPECT_EQ(a.estimatorStats(lane).lowEstimates,
+              b.estimatorStats(lane).lowEstimates);
+    EXPECT_EQ(a.estimatorStats(lane).updates,
+              b.estimatorStats(lane).updates);
+}
+
+// --------------------------------------------------- window layout
+
+TEST(SamplingLayoutTest, DegenerateAndDisabledPlansCoverEverything)
+{
+    const SamplingPlan disabled;
+    auto w = layoutSampleWindows(1000, disabled);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], (SampleWindow{0, 0, 1000}));
+
+    SamplingPlan huge;
+    huge.windowOps = 1000;
+    huge.warmupOps = 64; // degenerate windows take no warm-up
+    w = layoutSampleWindows(1000, huge);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], (SampleWindow{0, 0, 1000}));
+
+    EXPECT_TRUE(layoutSampleWindows(0, huge).empty());
+}
+
+TEST(SamplingLayoutTest, WindowsAreSystematicBoundedAndWarmedUp)
+{
+    SamplingPlan plan;
+    plan.windowOps = 100;
+    plan.strideOps = 1000;
+    plan.warmupOps = 50;
+    const std::uint64_t total = 100000;
+    const auto windows = layoutSampleWindows(total, plan);
+    ASSERT_GE(windows.size(), 99u);
+    const std::uint64_t phase = windows[0].begin;
+    EXPECT_LT(phase, plan.strideOps);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const SampleWindow &w = windows[i];
+        EXPECT_EQ(w.begin, phase + i * plan.strideOps);
+        EXPECT_LE(w.end, total);
+        EXPECT_LE(w.end - w.begin, plan.windowOps);
+        EXPECT_EQ(w.warmBegin,
+                  w.begin
+                      - std::min<std::uint64_t>(plan.warmupOps,
+                                                w.begin));
+        if (i > 0) {
+            EXPECT_GE(w.warmBegin, windows[i - 1].end);
+        }
+    }
+
+    // Deterministic for a fixed seed; the seed moves the phase.
+    EXPECT_EQ(layoutSampleWindows(total, plan), windows);
+    std::vector<std::uint64_t> phases;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SamplingPlan p = plan;
+        p.seed = seed;
+        phases.push_back(layoutSampleWindows(total, p)[0].begin);
+    }
+    std::sort(phases.begin(), phases.end());
+    phases.erase(std::unique(phases.begin(), phases.end()),
+                 phases.end());
+    EXPECT_GT(phases.size(), 1u);
+}
+
+TEST(SamplingLayoutTest, FullCoverageStrideTilesExactly)
+{
+    SamplingPlan plan;
+    plan.windowOps = 128;
+    plan.strideOps = 0; // clamped up to windowOps
+    const auto windows = layoutSampleWindows(1000, plan);
+    std::uint64_t covered = 0;
+    for (const SampleWindow &w : windows) {
+        EXPECT_EQ(w.begin, covered);
+        covered = w.end;
+    }
+    EXPECT_EQ(covered, 1000u);
+}
+
+TEST(SamplingLayoutTest, PhasePastShortTraceFallsBackToOneWindow)
+{
+    SamplingPlan plan;
+    plan.windowOps = 100;
+    plan.strideOps = std::uint64_t{1} << 40; // phase ~always > total
+    plan.warmupOps = 10;
+    const auto windows = layoutSampleWindows(150, plan);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].begin, 50u);
+    EXPECT_EQ(windows[0].end, 150u);
+    EXPECT_EQ(windows[0].warmBegin, 40u);
+}
+
+// ------------------------------------------------- interval math
+
+QuadrantCounts
+quad(std::uint64_t chc, std::uint64_t ihc, std::uint64_t clc,
+     std::uint64_t ilc)
+{
+    QuadrantCounts q;
+    q.chc = chc;
+    q.ihc = ihc;
+    q.clc = clc;
+    q.ilc = ilc;
+    return q;
+}
+
+TEST(WindowAccumulatorTest, PooledAndIntervalMatchHandComputation)
+{
+    WindowStatAccumulator acc;
+    acc.addWindow(quad(80, 10, 6, 4));  // 100 branches, 14 mispredicts
+    acc.addWindow(quad(35, 10, 2, 3));  // 50 branches, 13 mispredicts
+    const double fraction = 0.36;
+    const SampledLaneStats s = acc.finalize(fraction);
+
+    // Point estimate and CI centre: the pooled ratio of sums — NOT
+    // the unweighted mean of window rates (0.2), which would weight
+    // the half-size second window double.
+    EXPECT_DOUBLE_EQ(s.mispredictRate.value, 27.0 / 150.0);
+    EXPECT_DOUBLE_EQ(s.mispredictRate.mean, 27.0 / 150.0);
+    EXPECT_EQ(s.mispredictRate.windows, 2u);
+    // Ratio-estimator half-width: residuals d_i = y_i - R * x_i are
+    // 14 - 0.18*100 = -4 and 13 - 0.18*50 = +4, so s_d^2 = 32, and
+    // hw = Z99 * sqrt(32/2) / mean(x) * sqrt(1 - f), mean(x) = 75.
+    const double expected = SAMPLING_Z99 * std::sqrt(32.0 / 2.0)
+                            / 75.0 * std::sqrt(1.0 - fraction);
+    ASSERT_TRUE(s.mispredictRate.defined());
+    EXPECT_NEAR(s.mispredictRate.halfWidth, expected, 1e-12);
+
+    // sens = chc / (chc + clc) pooled: 115 / 123.
+    EXPECT_DOUBLE_EQ(s.sens.value, 115.0 / 123.0);
+    // spec = ilc / (ihc + ilc) pooled: 7 / 27.
+    EXPECT_DOUBLE_EQ(s.spec.value, 7.0 / 27.0);
+}
+
+TEST(WindowAccumulatorTest, FullCoverageIsExact)
+{
+    WindowStatAccumulator acc;
+    acc.addWindow(quad(80, 10, 6, 4));
+    acc.addWindow(quad(70, 20, 4, 6));
+    const SampledLaneStats s = acc.finalize(1.0);
+    for (const SampledMetric *m :
+         {&s.mispredictRate, &s.sens, &s.spec, &s.pvp, &s.pvn}) {
+        ASSERT_TRUE(m->defined());
+        EXPECT_EQ(m->halfWidth, 0.0);
+        EXPECT_EQ(m->mean, m->value); // centre collapses onto pooled
+    }
+}
+
+TEST(WindowAccumulatorTest, UndefinedMetricsAreReportedAsSuch)
+{
+    WindowStatAccumulator acc;
+    // One window only: point value exists, no variance estimate.
+    acc.addWindow(quad(90, 5, 3, 2));
+    SampledLaneStats s = acc.finalize(0.1);
+    EXPECT_FALSE(s.mispredictRate.defined());
+    EXPECT_EQ(s.mispredictRate.windows, 1u);
+    EXPECT_DOUBLE_EQ(s.mispredictRate.value, 7.0 / 100.0);
+    EXPECT_LT(s.maxHalfWidth(), 0.0);
+
+    // No window ever mispredicted: spec's denominator is always zero.
+    acc.reset();
+    acc.addWindow(quad(50, 0, 10, 0));
+    acc.addWindow(quad(60, 0, 12, 0));
+    s = acc.finalize(0.1);
+    EXPECT_TRUE(s.mispredictRate.defined());
+    EXPECT_FALSE(s.spec.defined());
+    EXPECT_EQ(s.spec.windows, 0u);
+    // pvn's denominator (clc+ilc) is nonzero in both windows, so it is
+    // observed — constant zero, hence an exact zero-width interval.
+    ASSERT_TRUE(s.pvn.defined());
+    EXPECT_EQ(s.pvn.windows, 2u);
+    EXPECT_EQ(s.pvn.halfWidth, 0.0);
+}
+
+// ------------------------------------ degenerate-plan bit-identity
+
+TEST(SampledReplayTest, DegeneratePlanBitIdenticalToFullRun)
+{
+    const PredictorKind kind = PredictorKind::Gshare;
+    const auto trace = compressTrace(kind);
+
+    BatchReplayer full(trace);
+    attachKernelLanes(full, kind);
+    DistanceEstimator distFull(4);
+    full.attachEstimator(&distFull);
+    std::string error;
+    ASSERT_TRUE(full.run(&error)) << error;
+
+    BatchReplayer sampled(trace);
+    attachKernelLanes(sampled, kind);
+    DistanceEstimator distSampled(4);
+    sampled.attachEstimator(&distSampled);
+
+    SamplingPlan plan;
+    plan.windowOps = trace->schedule.size(); // window >= trace
+    plan.warmupOps = 1024;                   // must be ignored
+    MaterializedOpSource source(trace);
+    std::vector<SampledLaneStats> stats;
+    ASSERT_TRUE(runSampledReplay(sampled, source, plan, stats, &error))
+            << error;
+
+    ASSERT_EQ(stats.size(), 4u);
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        expectLaneEqual(full, sampled, lane);
+        const SampledLaneStats &s = stats[lane];
+        EXPECT_EQ(s.windows, 1u);
+        EXPECT_EQ(s.passes, 1u);
+        EXPECT_EQ(s.opsWarmup, 0u);
+        EXPECT_EQ(s.opsSkipped, 0u);
+        EXPECT_EQ(s.opsDetailed, s.opsTotal);
+        for (const SampledMetric *m :
+             {&s.mispredictRate, &s.sens, &s.spec, &s.pvp, &s.pvn}) {
+            ASSERT_TRUE(m->defined());
+            EXPECT_EQ(m->halfWidth, 0.0);
+            EXPECT_EQ(m->mean, m->value);
+        }
+    }
+    // The level sweep must be intact too (thresholds all derivable).
+    ASSERT_TRUE(sampled.hasLevels(0));
+    for (unsigned t : {0u, 4u, 8u, 12u, 15u, 16u})
+        EXPECT_EQ(sampled.levels(0).atThresholdGe(t),
+                  full.levels(0).atThresholdGe(t));
+}
+
+TEST(SampledReplayTest, TiledRunOpsWindowsSumToFullRunOnEveryTier)
+{
+    const PredictorKind kind = PredictorKind::Gshare;
+    const auto trace = compressTrace(kind);
+    const std::size_t total = trace->schedule.size();
+
+    for (const KernelDispatch tier :
+         {KernelDispatch::Scalar, selectedKernelDispatch()}) {
+        if (!kernelDispatchSupported(tier))
+            continue;
+        BatchReplayer full(trace);
+        attachKernelLanes(full, kind);
+        full.setKernelOverride(tier);
+        std::string error;
+        ASSERT_TRUE(full.run(&error)) << error;
+
+        BatchReplayer tiled(trace);
+        attachKernelLanes(tiled, kind);
+        tiled.setKernelOverride(tier);
+        tiled.resetLanes();
+        for (std::size_t begin = 0; begin < total; begin += 9973) {
+            const std::size_t end = std::min(begin + 9973, total);
+            ASSERT_TRUE(tiled.runOps(begin, end, &error)) << error;
+        }
+        for (unsigned lane = 0; lane < 3; ++lane)
+            expectLaneEqual(full, tiled, lane);
+    }
+}
+
+TEST(SampledReplayTest, ScalarAndVectorSampledRunsAreBitIdentical)
+{
+    const PredictorKind kind = PredictorKind::McFarling;
+    const auto trace = compressTrace(kind);
+
+    SamplingPlan plan;
+    plan.windowOps = 4096;
+    plan.strideOps = 20480;
+    plan.warmupOps = 2048;
+
+    std::vector<std::vector<SampledLaneStats>> runs;
+    std::vector<QuadrantCounts> committed;
+    for (const KernelDispatch tier :
+         {KernelDispatch::Scalar, selectedKernelDispatch()}) {
+        BatchReplayer replayer(trace);
+        attachKernelLanes(replayer, kind);
+        replayer.setKernelOverride(tier);
+        MaterializedOpSource source(trace);
+        std::vector<SampledLaneStats> stats;
+        std::string error;
+        ASSERT_TRUE(runSampledReplay(replayer, source, plan, stats,
+                                     &error))
+                << error;
+        runs.push_back(std::move(stats));
+        for (unsigned lane = 0; lane < 3; ++lane)
+            committed.push_back(replayer.committed(lane));
+    }
+    ASSERT_EQ(runs[0].size(), runs[1].size());
+    for (std::size_t lane = 0; lane < runs[0].size(); ++lane) {
+        EXPECT_EQ(committed[lane], committed[3 + lane]);
+        const SampledLaneStats &a = runs[0][lane];
+        const SampledLaneStats &b = runs[1][lane];
+        EXPECT_EQ(a.windows, b.windows);
+        EXPECT_EQ(a.opsDetailed, b.opsDetailed);
+        // Identical integer window deltas make the derived doubles
+        // identical expressions — compare them exactly.
+        for (auto field : {&SampledLaneStats::mispredictRate,
+                           &SampledLaneStats::sens,
+                           &SampledLaneStats::spec,
+                           &SampledLaneStats::pvp,
+                           &SampledLaneStats::pvn}) {
+            EXPECT_EQ((a.*field).value, (b.*field).value);
+            EXPECT_EQ((a.*field).mean, (b.*field).mean);
+            EXPECT_EQ((a.*field).halfWidth, (b.*field).halfWidth);
+        }
+    }
+}
+
+// ------------------------------------------- CI containment
+
+class SampledAccuracyTest : public testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(SampledAccuracyTest, IntervalsContainFullReplayGroundTruth)
+{
+    const PredictorKind kind = GetParam();
+    const auto trace = compressTrace(kind);
+
+    BatchReplayer full(trace);
+    attachKernelLanes(full, kind);
+    std::string error;
+    ASSERT_TRUE(full.run(&error)) << error;
+
+    BatchReplayer sampled(trace);
+    attachKernelLanes(sampled, kind);
+    SamplingPlan plan;
+    plan.windowOps = 2048;
+    plan.strideOps = 6144;
+    plan.warmupOps = 2048;
+    MaterializedOpSource source(trace);
+    std::vector<SampledLaneStats> stats;
+    ASSERT_TRUE(runSampledReplay(sampled, source, plan, stats, &error))
+            << error;
+
+    ASSERT_EQ(stats.size(), 3u);
+    for (unsigned lane = 0; lane < 3; ++lane) {
+        const QuadrantCounts &q = full.committed(lane);
+        const auto truth = [](std::uint64_t num, std::uint64_t den) {
+            return den == 0 ? 0.0
+                            : static_cast<double>(num)
+                                  / static_cast<double>(den);
+        };
+        const SampledLaneStats &s = stats[lane];
+        EXPECT_GT(s.windows, 8u);
+        EXPECT_GT(s.opsSkipped, 0u);
+        struct Check
+        {
+            const char *name;
+            const SampledMetric *metric;
+            double value;
+        } checks[] = {
+            {"mispredict", &s.mispredictRate,
+             truth(q.ihc + q.ilc, q.total())},
+            {"sens", &s.sens, truth(q.chc, q.chc + q.clc)},
+            {"spec", &s.spec, truth(q.ilc, q.ihc + q.ilc)},
+            {"pvp", &s.pvp, truth(q.chc, q.chc + q.ihc)},
+            {"pvn", &s.pvn, truth(q.ilc, q.clc + q.ilc)},
+        };
+        for (const Check &c : checks) {
+            if (!c.metric->defined())
+                continue;
+            EXPECT_TRUE(c.metric->contains(c.value))
+                    << predictorKindName(kind) << " lane " << lane
+                    << " " << c.name << ": truth " << c.value
+                    << " outside " << c.metric->mean << " +/- "
+                    << c.metric->halfWidth;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SampledAccuracyTest,
+                         testing::ValuesIn(allKinds()),
+                         [](const auto &info) {
+                             return std::string(
+                                     predictorKindName(info.param));
+                         });
+
+// ------------------------------------------------ adaptive passes
+
+TEST(SampledReplayTest, AdaptiveStrideHalvingReachesExactCoverage)
+{
+    SyntheticScenario scn;
+    scn.name = "adaptive";
+    scn.branches = 100000;
+
+    SamplingPlan plan;
+    plan.windowOps = 4096;
+    plan.strideOps = 16384;
+    plan.targetHalfWidth = 1e-9; // unreachable without full coverage
+    plan.maxPasses = 5;
+
+    SyntheticOpSource source(scn);
+    std::uint64_t local = 0, covered = 0;
+    BatchReplayer replayer(source.cover(0, 2, local, covered));
+    replayer.attachSatCounters(SatCountersVariant::Selected);
+    std::vector<SampledLaneStats> stats;
+    std::string error;
+    ASSERT_TRUE(
+            runSampledReplay(replayer, source, plan, stats, &error))
+            << error;
+
+    // Stride halves 16384 -> 8192 -> 4096 == window: full coverage on
+    // pass 3, where every interval is exact and the loop must stop.
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].passes, 3u);
+    EXPECT_EQ(stats[0].opsSkipped, 0u);
+    EXPECT_EQ(stats[0].opsDetailed, stats[0].opsTotal);
+    EXPECT_EQ(stats[0].maxHalfWidth(), 0.0);
+
+    // Full coverage means the pooled quadrants equal a full replay.
+    SyntheticOpSource fullSource(scn);
+    BatchReplayer full(fullSource.cover(0, 2, local, covered));
+    full.attachSatCounters(SatCountersVariant::Selected);
+    ASSERT_TRUE(runFullReplayStreamed(full, fullSource, &error))
+            << error;
+    EXPECT_EQ(replayer.committed(0), full.committed(0));
+    EXPECT_EQ(replayer.all(0), full.all(0));
+}
+
+// ------------------------------------------------ journal separation
+
+std::filesystem::path
+tempJournalPath()
+{
+    return std::filesystem::temp_directory_path()
+           / ("confsim-sampling-journal-" + std::to_string(getpid())
+              + ".journal");
+}
+
+SweepGrid
+syntheticGrid()
+{
+    SweepGrid grid;
+    grid.kind = PredictorKind::Gshare;
+    SyntheticScenario scn;
+    scn.name = "iid-small";
+    scn.branches = 50000;
+    grid.synthetic.push_back(scn);
+    SweepEstimatorSpec jrs;
+    jrs.estimator = "jrs";
+    SweepEstimatorSpec sat;
+    sat.estimator = "satcnt";
+    grid.estimators = {jrs, sat};
+    return grid;
+}
+
+TEST(SamplingJournalTest, SampledGridsCheckpointUnderTheirOwnKey)
+{
+    const SweepGrid full = syntheticGrid();
+    SweepGrid sampled = syntheticGrid();
+    sampled.sampling.windowOps = 4096;
+    sampled.sampling.strideOps = 16384;
+    sampled.sampling.warmupOps = 1024;
+
+    // The sampling plan is part of the grid identity...
+    EXPECT_NE(sweepGridKey(full), sweepGridKey(sampled));
+    // ...because the key'd JSON carries it exactly when enabled.
+    EXPECT_EQ(sweepGridToJson(full).find("sampling"), nullptr);
+    EXPECT_NE(sweepGridToJson(sampled).find("sampling"), nullptr);
+
+    // A default grid emits neither new key: pre-sampling grids keep
+    // their journal identity across this change.
+    SweepGrid vanilla;
+    vanilla.estimators = full.estimators;
+    EXPECT_EQ(sweepGridToJson(vanilla).find("sampling"), nullptr);
+    EXPECT_EQ(sweepGridToJson(vanilla).find("synthetic"), nullptr);
+
+    const auto path = tempJournalPath();
+    std::filesystem::remove(path);
+    SweepExecOptions exec;
+    exec.jobs = 0;
+    exec.journalPath = path.string();
+
+    // Populate the journal with the full-replay run...
+    SweepExecReport fullReport;
+    const SweepResult fullRun = runSweepGrid(full, exec, &fullReport);
+    EXPECT_EQ(fullReport.resumedShards, 0u);
+
+    // ...then run the sampled grid against the same journal file: it
+    // must start cold, never resuming full-replay shards.
+    SweepExecReport sampledReport;
+    const SweepResult sampledRun =
+        runSweepGrid(sampled, exec, &sampledReport);
+    EXPECT_EQ(sampledReport.resumedShards, 0u);
+    ASSERT_EQ(sampledRun.workloads.size(), 1u);
+    for (const SweepConfigResult &c : sampledRun.workloads[0].configs)
+        ASSERT_TRUE(c.sampled.has_value());
+
+    // Sanity both ways: rerunning the sampled grid resumes it and
+    // reproduces the result byte for byte; and the sampled totals do
+    // differ from the full-replay totals (it really sampled).
+    SweepExecReport resumeReport;
+    const SweepResult resumed =
+        runSweepGrid(sampled, exec, &resumeReport);
+    EXPECT_GT(resumeReport.resumedShards, 0u);
+    EXPECT_EQ(sweepResultToJson(resumed).dump(0),
+              sweepResultToJson(sampledRun).dump(0));
+    EXPECT_NE(sampledRun.workloads[0].configs[0].committed,
+              fullRun.workloads[0].configs[0].committed);
+
+    std::filesystem::remove(path);
+}
+
+TEST(SamplingJournalTest, SampledConfigResultsRoundTripThroughJson)
+{
+    SweepGrid sampled = syntheticGrid();
+    sampled.sampling.windowOps = 4096;
+    sampled.sampling.strideOps = 16384;
+
+    // Grid JSON round-trips the plan and the scenarios.
+    SweepGrid reparsed;
+    std::string error;
+    ASSERT_TRUE(sweepGridFromJson(sweepGridToJson(sampled), reparsed,
+                                  &error))
+            << error;
+    EXPECT_TRUE(reparsed.sampling == sampled.sampling);
+    EXPECT_TRUE(reparsed.synthetic == sampled.synthetic);
+
+    // Config results round-trip their sampled block (the journal's
+    // shard payload is exactly this serialization).
+    const SweepResult run = runSweepGrid(sampled, 0);
+    ASSERT_EQ(run.workloads.size(), 1u);
+    for (const SweepConfigResult &c : run.workloads[0].configs) {
+        ASSERT_TRUE(c.sampled.has_value());
+        SweepConfigResult back;
+        ASSERT_TRUE(sweepConfigResultFromJson(
+                sweepConfigResultToJson(c), back, &error))
+                << error;
+        ASSERT_TRUE(back.sampled.has_value());
+        EXPECT_EQ(back.committed, c.committed);
+        EXPECT_EQ(back.sampled->windows, c.sampled->windows);
+        EXPECT_EQ(back.sampled->opsDetailed, c.sampled->opsDetailed);
+        EXPECT_EQ(back.sampled->mispredictRate.value,
+                  c.sampled->mispredictRate.value);
+        EXPECT_EQ(back.sampled->mispredictRate.halfWidth,
+                  c.sampled->mispredictRate.halfWidth);
+    }
+}
+
+} // namespace
+} // namespace confsim

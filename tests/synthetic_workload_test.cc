@@ -1,0 +1,308 @@
+/**
+ * Synthetic workload generator tests: preset registry, strict JSON
+ * parsing, counter-based seekability (any chunk of the stream matches
+ * the same branches generated from index zero), statistical knob
+ * fidelity, streamed-vs-materialized replay equality across chunk
+ * boundaries, and sampled synthetic CIs containing the full-streamed
+ * ground truth.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "confidence/jrs.hh"
+#include "harness/sampled_replay.hh"
+#include "harness/synthetic_workload.hh"
+#include "sweep/batch_replayer.hh"
+#include "sweep/decoded_trace.hh"
+#include "sweep/sampling.hh"
+
+namespace confsim
+{
+namespace
+{
+
+JsonValue
+parseJson(const std::string &text)
+{
+    std::string error;
+    JsonValue v = JsonValue::parse(text, &error);
+    if (!error.empty())
+        throw std::runtime_error("bad test JSON: " + error);
+    return v;
+}
+
+void
+attachLanes(BatchReplayer &replayer)
+{
+    replayer.attachJrs(JrsConfig{}, true);
+    replayer.attachSatCounters(SatCountersVariant::Selected);
+    replayer.attachPattern();
+}
+
+// ------------------------------------------------------ registry
+
+TEST(SyntheticPresetTest, RegistryIsCompleteAndLookupWorks)
+{
+    const auto &presets = syntheticPresets();
+    ASSERT_FALSE(presets.empty());
+    std::vector<std::string> names;
+    for (const SyntheticScenario &p : presets) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.branches, 0u);
+        names.push_back(p.name);
+        SyntheticScenario found;
+        ASSERT_TRUE(findSyntheticPreset(p.name, found)) << p.name;
+        EXPECT_TRUE(found == p);
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end())
+            << "duplicate preset names";
+    for (const char *expected :
+         {"iid", "clustered", "biased", "high-entropy", "loopy",
+          "phased", "mixed"})
+        EXPECT_TRUE(std::find(names.begin(), names.end(),
+                              std::string(expected))
+                    != names.end())
+                << expected;
+
+    SyntheticScenario out;
+    EXPECT_FALSE(findSyntheticPreset("nosuchpreset", out));
+}
+
+// ---------------------------------------------------------- JSON
+
+TEST(SyntheticJsonTest, RoundTripAndPresetOverride)
+{
+    SyntheticScenario s;
+    s.name = "custom";
+    s.branches = 123456;
+    s.sites = 97;
+    s.accuracy = 0.83;
+    s.entropy = 0.1;
+    s.correlationDepth = 7;
+    s.phases = 3;
+    s.phaseSwing = 0.04;
+    s.burstFraction = 0.02;
+    s.seed = 42;
+
+    SyntheticScenario back;
+    std::string error;
+    ASSERT_TRUE(syntheticScenarioFromJson(syntheticScenarioToJson(s),
+                                          back, &error))
+            << error;
+    EXPECT_TRUE(back == s);
+
+    // "preset" selects the base; later keys override it.
+    SyntheticScenario fromPreset;
+    ASSERT_TRUE(syntheticScenarioFromJson(
+            parseJson("{\"preset\": \"biased\", \"branches\": 5000,"
+                      " \"seed\": 9}"),
+            fromPreset, &error))
+            << error;
+    SyntheticScenario biased;
+    ASSERT_TRUE(findSyntheticPreset("biased", biased));
+    EXPECT_EQ(fromPreset.branches, 5000u);
+    EXPECT_EQ(fromPreset.seed, 9u);
+    EXPECT_EQ(fromPreset.sites, biased.sites);
+    EXPECT_EQ(fromPreset.accuracy, biased.accuracy);
+    EXPECT_EQ(fromPreset.name, biased.name);
+}
+
+TEST(SyntheticJsonTest, StrictValidationRejectsBadScenarios)
+{
+    const char *bad[] = {
+        "{\"nosuchknob\": 1}",
+        "{\"preset\": \"nosuchpreset\"}",
+        "{\"branches\": 0}",
+        "{\"sites\": 0}",
+        "{\"accuracy\": 1.5}",
+        "{\"entropy\": 0.6, \"loop_fraction\": 0.3,"
+        " \"call_mix\": 0.2}", // fractions sum past 1
+        "{\"history_bits\": 0}",
+        "{\"history_bits\": 33}",
+        "{\"branches\": \"many\"}", // type mismatch
+    };
+    for (const char *text : bad) {
+        SyntheticScenario s;
+        std::string error;
+        EXPECT_FALSE(syntheticScenarioFromJson(parseJson(text), s,
+                                               &error))
+                << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+// ------------------------------------------------- seekability
+
+TEST(SyntheticGeneratorTest, ChunksAreDeterministicAndSeekable)
+{
+    SyntheticScenario scn;
+    ASSERT_TRUE(findSyntheticPreset("mixed", scn));
+    scn.branches = 60000;
+    const SyntheticWorkloadGenerator gen(scn);
+
+    const auto whole = gen.chunk(0, scn.branches);
+    ASSERT_EQ(whole->flags.size(), scn.branches);
+    ASSERT_EQ(whole->schedule.size(), 2 * scn.branches);
+
+    // Regeneration is bit-identical.
+    const auto again = gen.chunk(0, scn.branches);
+    for (std::uint64_t i = 0; i < scn.branches; ++i) {
+        ASSERT_EQ(whole->flags[i], again->flags[i]) << i;
+        ASSERT_EQ(whole->pc[i], again->pc[i]) << i;
+    }
+
+    // A mid-stream chunk equals the same branches of the whole run —
+    // the rolling global history must reconstruct exactly at the seek
+    // point. The chosen offset is deliberately "odd".
+    const std::uint64_t b0 = 31337, b1 = b0 + 4096;
+    const auto piece = gen.chunk(b0, b1);
+    ASSERT_EQ(piece->flags.size(), b1 - b0);
+    for (std::uint64_t i = 0; i < b1 - b0; ++i) {
+        const std::uint64_t g = b0 + i;
+        ASSERT_EQ(piece->flags[i], whole->flags[g]) << g;
+        ASSERT_EQ(piece->pc[i], whole->pc[g]) << g;
+        ASSERT_EQ(piece->info[i].predTaken, whole->info[g].predTaken);
+        ASSERT_EQ(piece->info[i].globalHistory,
+                  whole->info[g].globalHistory)
+                << g;
+        ASSERT_EQ(piece->info[i].globalHistoryBits,
+                  whole->info[g].globalHistoryBits);
+    }
+    ASSERT_EQ(piece->channels.size(), whole->channels.size());
+    for (std::size_t c = 0; c < whole->channels.size(); ++c) {
+        EXPECT_EQ(piece->channels[c].name, whole->channels[c].name);
+        for (std::uint64_t i = 0; i < b1 - b0; ++i)
+            ASSERT_EQ(piece->channels[c].value(i),
+                      whole->channels[c].value(b0 + i))
+                    << whole->channels[c].name << " @" << (b0 + i);
+    }
+
+    // End clamped to the stream.
+    const auto tail = gen.chunk(scn.branches - 10, scn.branches + 50);
+    EXPECT_EQ(tail->flags.size(), 10u);
+}
+
+TEST(SyntheticGeneratorTest, AccuracyKnobControlsCorrectFraction)
+{
+    SyntheticScenario scn; // defaults off: plain iid-style population
+    scn.branches = 400000;
+    scn.entropy = 0.0;
+    scn.loopFraction = 0.0;
+    scn.callMix = 0.0;
+    scn.accuracy = 0.90;
+    const SyntheticWorkloadGenerator gen(scn);
+    const auto trace = gen.chunk(0, scn.branches);
+    std::uint64_t correct = 0;
+    for (const std::uint8_t f : trace->flags)
+        correct += (f & DecodedTrace::FLAG_CORRECT) != 0;
+    const double fraction =
+        static_cast<double>(correct) / static_cast<double>(scn.branches);
+    EXPECT_NEAR(fraction, 0.90, 0.01);
+}
+
+// --------------------------------------------- streamed replay
+
+TEST(SyntheticStreamTest, StreamedReplayEqualsMaterializedAcrossChunks)
+{
+    SyntheticScenario scn;
+    ASSERT_TRUE(findSyntheticPreset("clustered", scn));
+    // Just past one SyntheticOpSource chunk, so the streamed replay
+    // crosses a chunk boundary mid-run.
+    scn.branches = SyntheticOpSource::CHUNK_BRANCHES + 50000;
+
+    SyntheticOpSource source(scn);
+    std::uint64_t local = 0, covered = 0;
+    BatchReplayer streamed(source.cover(0, 2, local, covered));
+    attachLanes(streamed);
+    std::string error;
+    ASSERT_TRUE(runFullReplayStreamed(streamed, source, &error))
+            << error;
+
+    const auto whole =
+        source.generator().chunk(0, scn.branches);
+    BatchReplayer materialized(whole);
+    attachLanes(materialized);
+    ASSERT_TRUE(materialized.run(&error)) << error;
+
+    for (unsigned lane = 0; lane < 3; ++lane) {
+        EXPECT_EQ(streamed.committed(lane), materialized.committed(lane))
+                << "lane " << lane;
+        EXPECT_EQ(streamed.all(lane), materialized.all(lane));
+        EXPECT_EQ(streamed.estimatorStats(lane).estimates,
+                  materialized.estimatorStats(lane).estimates);
+        EXPECT_EQ(streamed.estimatorStats(lane).lowEstimates,
+                  materialized.estimatorStats(lane).lowEstimates);
+    }
+    ASSERT_TRUE(streamed.hasLevels(0));
+    for (unsigned t : {0u, 4u, 8u, 12u, 16u})
+        EXPECT_EQ(streamed.levels(0).atThresholdGe(t),
+                  materialized.levels(0).atThresholdGe(t));
+}
+
+TEST(SyntheticStreamTest, SampledIntervalsContainStreamedGroundTruth)
+{
+    SyntheticScenario scn;
+    ASSERT_TRUE(findSyntheticPreset("mixed", scn));
+    scn.branches = 2000000;
+
+    SyntheticOpSource truthSource(scn);
+    std::uint64_t local = 0, covered = 0;
+    BatchReplayer truth(truthSource.cover(0, 2, local, covered));
+    attachLanes(truth);
+    std::string error;
+    ASSERT_TRUE(runFullReplayStreamed(truth, truthSource, &error))
+            << error;
+
+    // Deep functional warm-up: the JRS lane's interval brackets
+    // sampling error only, so the table must be near its trained
+    // state when each window opens.
+    SamplingPlan plan;
+    plan.windowOps = 16384;
+    plan.strideOps = 131072;
+    plan.warmupOps = 16384;
+    SyntheticOpSource source(scn);
+    BatchReplayer sampled(source.cover(0, 2, local, covered));
+    attachLanes(sampled);
+    std::vector<SampledLaneStats> stats;
+    ASSERT_TRUE(runSampledReplay(sampled, source, plan, stats, &error))
+            << error;
+
+    ASSERT_EQ(stats.size(), 3u);
+    for (unsigned lane = 0; lane < 3; ++lane) {
+        const QuadrantCounts &q = truth.committed(lane);
+        const SampledLaneStats &s = stats[lane];
+        EXPECT_GT(s.windows, 16u);
+        EXPECT_GT(s.opsSkipped, s.opsDetailed);
+        const struct
+        {
+            const char *name;
+            const SampledMetric *metric;
+            double value;
+        } checks[] = {
+            {"mispredict", &s.mispredictRate, q.mispredictRate()},
+            {"sens", &s.sens, q.sens()},
+            {"spec", &s.spec, q.spec()},
+            {"pvp", &s.pvp, q.pvp()},
+            {"pvn", &s.pvn, q.pvn()},
+        };
+        for (const auto &c : checks) {
+            ASSERT_TRUE(c.metric->defined())
+                    << "lane " << lane << " " << c.name;
+            EXPECT_TRUE(c.metric->contains(c.value))
+                    << "lane " << lane << " " << c.name << ": truth "
+                    << c.value << " outside " << c.metric->mean
+                    << " +/- " << c.metric->halfWidth;
+        }
+    }
+}
+
+} // namespace
+} // namespace confsim

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -49,7 +50,9 @@
 #include "harness/config_json.hh"
 #include "harness/experiment_cache.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/sampled_replay.hh"
 #include "harness/sweep.hh"
+#include "harness/synthetic_workload.hh"
 #include "harness/trace_run.hh"
 #include "sweep/batch_replayer.hh"
 #include "sweep/sweep_kernels.hh"
@@ -87,7 +90,14 @@ struct Options
     std::string artifactDir;     ///< --artifact-dir DIR
     unsigned taskDeadlineMs = 0; ///< --task-deadline-ms N (0 = off)
     unsigned taskRetries = 0;    ///< --task-retries N
+    /** --sample PLAN; sample.enabled() iff the flag was given
+     *  (window=N is mandatory and must be nonzero). */
+    SamplingPlan sample;
+    std::vector<SyntheticScenario> synthetic; ///< --synthetic SPECs
 };
+
+/** The synthetic-workload prefix accepted by --workload. */
+constexpr char SYNTHETIC_PREFIX[] = "synthetic:";
 
 /** The task policy the options describe. */
 RunnerPolicy
@@ -144,10 +154,30 @@ usage()
         "                    thresholds[]) in one decoded-trace pass\n"
         "                    per (predictor, workload); emits JSON;\n"
         "                    honors --jobs\n"
-        "  --dry-run         with --sweep: print the execution plan\n"
-        "                    (grid size, shard/task count, lane and\n"
-        "                    block geometry, selected SIMD kernel)\n"
-        "                    without running anything\n"
+        "  --dry-run         with --sweep (or a synthetic workload):\n"
+        "                    print the execution plan — grid size,\n"
+        "                    shard/task count, lane and block\n"
+        "                    geometry, selected SIMD kernel, and the\n"
+        "                    sampling window layout — without running\n"
+        "                    anything\n"
+        "  --sample PLAN     sampled execution: window=N[,stride=N]\n"
+        "                    [,warmup=N][,target=F][,seed=N]\n"
+        "                    [,passes=N] (all in schedule ops; two\n"
+        "                    ops per branch). Replays only the plan's\n"
+        "                    windows and reports each metric with a\n"
+        "                    99%% confidence interval; target=F\n"
+        "                    iterates with halved stride until every\n"
+        "                    CI half-width is <= F (or passes runs\n"
+        "                    out). Needs --sweep or a synthetic\n"
+        "                    workload\n"
+        "  --synthetic SPEC  synthetic scenario: PRESET[,key=val...]\n"
+        "                    or key=val[,...] (keys as in the sweep\n"
+        "                    grid's \"synthetic\" entries, e.g.\n"
+        "                    branches, entropy, bias). Repeatable.\n"
+        "                    With --sweep: appended to the grid;\n"
+        "                    alone: estimator-only replay of the\n"
+        "                    generated stream (--workload\n"
+        "                    synthetic:<preset> is shorthand)\n"
         "  --json            emit one JSON document (config + per-run\n"
         "                    component stats) instead of tables\n"
         "  --csv             CSV output\n"
@@ -241,6 +271,100 @@ parsePredictor(const std::string &name)
         std::exit(1);
     }
     return kind;
+}
+
+/**
+ * Parse a --sample plan: comma-separated key=value pairs. window=N is
+ * mandatory (sampling over zero-length windows is meaningless); the
+ * value ranges mirror the sweep grid's "sampling" JSON schema.
+ */
+SamplingPlan
+parseSamplePlan(const std::string &flag, const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        badValue(flag, text ? text : "", "sampling plan");
+    SamplingPlan plan;
+    std::stringstream ss(text);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            badValue(flag, tok.c_str(), "key=value pair");
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "window")
+            plan.windowOps = parseUint(flag, val.c_str());
+        else if (key == "stride")
+            plan.strideOps = parseUint(flag, val.c_str());
+        else if (key == "warmup")
+            plan.warmupOps = parseUint(flag, val.c_str());
+        else if (key == "target")
+            plan.targetHalfWidth = parseDouble(flag, val.c_str());
+        else if (key == "seed")
+            plan.seed = parseUint(flag, val.c_str());
+        else if (key == "passes")
+            plan.maxPasses = parseUnsigned(flag, val.c_str());
+        else
+            badValue(flag, tok.c_str(), "sampling key");
+    }
+    if (plan.windowOps == 0)
+        badValue(flag, text, "sampling plan (window=N required)");
+    if (plan.targetHalfWidth < 0.0 || plan.targetHalfWidth >= 1.0)
+        badValue(flag, text, "sampling target (need 0 <= F < 1)");
+    if (plan.maxPasses == 0)
+        badValue(flag, text, "sampling passes (need >= 1)");
+    return plan;
+}
+
+/**
+ * Parse a --synthetic spec: PRESET[,key=val...] or key=val[,...].
+ * Desugars to the sweep grid's "synthetic" JSON entry, so key names,
+ * validation, and error text are shared with the grid schema.
+ */
+SyntheticScenario
+parseSyntheticSpec(const std::string &flag, const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        badValue(flag, text ? text : "", "synthetic spec");
+    static constexpr const char *DOUBLE_KEYS[] = {
+        "accuracy",    "entropy",        "bias",
+        "loop_fraction", "call_mix",     "phase_swing",
+        "burst_fraction", "burst_accuracy",
+    };
+    JsonValue doc = JsonValue::object();
+    std::stringstream ss(text);
+    std::string tok;
+    bool first = true;
+    while (std::getline(ss, tok, ',')) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            if (!first)
+                badValue(flag, tok.c_str(), "key=value pair");
+            doc["preset"] = JsonValue(tok);
+        } else {
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            const bool isDouble =
+                std::find_if(std::begin(DOUBLE_KEYS),
+                             std::end(DOUBLE_KEYS),
+                             [&key](const char *k) { return key == k; })
+                != std::end(DOUBLE_KEYS);
+            if (key == "name" || key == "preset")
+                doc[key] = JsonValue(val);
+            else if (isDouble)
+                doc[key] = JsonValue(parseDouble(flag, val.c_str()));
+            else
+                doc[key] = JsonValue(parseUint(flag, val.c_str()));
+        }
+        first = false;
+    }
+    SyntheticScenario s;
+    std::string err;
+    if (!syntheticScenarioFromJson(doc, s, &err)) {
+        std::fprintf(stderr, "%s: %s\n", flag.c_str(), err.c_str());
+        std::exit(2);
+    }
+    return s;
 }
 
 /** Options as one JSON object, accepted back by loadConfigFile(). */
@@ -366,6 +490,8 @@ struct RunOutput
     std::string mode = "trace"; ///< "pipeline" | "trace" | "replay"
     JsonValue componentsDoc;    ///< per-component config (registry)
     JsonValue statsDoc;         ///< per-component stats (registry)
+    /** Sampled-execution report (synthetic runs under --sample). */
+    std::optional<SampledLaneStats> sampled;
 };
 
 RunOutput
@@ -575,6 +701,96 @@ runCachedOne(const Options &opt, const WorkloadSpec &spec)
     return out;
 }
 
+/**
+ * Estimator-only replay of one synthetic scenario: the generated
+ * branch stream (chunked, never materialized whole) drives the
+ * estimator through a BatchReplayer virtual lane — full-fidelity by
+ * default, or over @p plan's windows when sampling is enabled.
+ */
+RunOutput
+runSyntheticOne(const Options &opt, const SyntheticScenario &scn,
+                const SamplingPlan &plan)
+{
+    const PredictorKind kind = parsePredictor(opt.predictor);
+    ProfileTable profile; // never populated: "static" is rejected
+    auto est = makeEstimator(opt, kind, profile);
+
+    RunOutput out;
+    out.mode = "synthetic";
+    StatsRegistry registry;
+    registry.registerObject("estimator", *est);
+
+    SyntheticOpSource source(scn);
+    // A one-branch chunk resolves the input channels for attach; the
+    // replay rebinds through the real chunks as it streams.
+    std::uint64_t local = 0;
+    std::uint64_t covered = 0;
+    auto head = source.cover(0, 2, local, covered);
+    BatchReplayer replayer(head);
+    replayer.attachEstimator(est.get());
+
+    std::string err;
+    bool ok;
+    if (plan.enabled()) {
+        std::vector<SampledLaneStats> stats;
+        ok = runSampledReplay(replayer, source, plan, stats, &err);
+        if (ok)
+            out.sampled = stats.front();
+    } else {
+        ok = runFullReplayStreamed(replayer, source, &err);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "synthetic '%s': %s\n", scn.name.c_str(),
+                     err.c_str());
+        std::exit(1);
+    }
+
+    out.quadrants = replayer.committed(0);
+    out.quadrantsAll = replayer.all(0);
+    out.trace.instructions = 0; // no program behind the stream
+    out.trace.condBranches = out.quadrants.total();
+    out.trace.mispredicts = out.quadrants.ihc + out.quadrants.ilc;
+    out.componentsDoc = registry.configJson();
+    out.statsDoc = registry.statsJson();
+    return out;
+}
+
+/** One sampled metric as "value +/- ci" (or the pooled value alone
+ *  when too few windows observed it for an interval). */
+void
+printSampledMetric(const char *label, const SampledMetric &m)
+{
+    if (m.defined())
+        std::printf("  %-15s %.6f +/- %.6f  (99%% CI, %llu windows)\n",
+                    label, m.value, m.halfWidth,
+                    static_cast<unsigned long long>(m.windows));
+    else
+        std::printf("  %-15s %.6f  (no interval: < 2 windows "
+                    "observed it)\n",
+                    label, m.value);
+}
+
+/** Per-scenario sampled-execution summary for the table view. */
+void
+printSampledSummary(const std::string &name,
+                    const SampledLaneStats &s)
+{
+    std::printf("sampled %s: %llu windows, %u pass%s; ops %llu "
+                "detailed + %llu warm-up, %llu skipped of %llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(s.windows), s.passes,
+                s.passes == 1 ? "" : "es",
+                static_cast<unsigned long long>(s.opsDetailed),
+                static_cast<unsigned long long>(s.opsWarmup),
+                static_cast<unsigned long long>(s.opsSkipped),
+                static_cast<unsigned long long>(s.opsTotal));
+    printSampledMetric("mispredict-rate", s.mispredictRate);
+    printSampledMetric("sens", s.sens);
+    printSampledMetric("spec", s.spec);
+    printSampledMetric("pvp", s.pvp);
+    printSampledMetric("pvn", s.pvn);
+}
+
 JsonValue
 quadrantsToJson(const QuadrantCounts &q)
 {
@@ -622,20 +838,77 @@ runnerToJson(const RunnerSummary &summary,
     return v;
 }
 
+/** The sampling-plan parameters, one line. */
+void
+printSamplePlanHeader(const SamplingPlan &plan)
+{
+    std::printf("  sampling: window=%llu stride=%llu warmup=%llu "
+                "seed=%llu",
+                static_cast<unsigned long long>(plan.windowOps),
+                static_cast<unsigned long long>(plan.strideOps),
+                static_cast<unsigned long long>(plan.warmupOps),
+                static_cast<unsigned long long>(plan.seed));
+    if (plan.targetHalfWidth > 0.0)
+        std::printf(" target-ci99=%g max-passes=%u",
+                    plan.targetHalfWidth, plan.maxPasses);
+    else
+        std::printf(" target-ci99=- (single pass)");
+    std::printf(" ops\n");
+}
+
+/**
+ * The concrete first-pass window layout of @p plan over a stream of
+ * @p totalOps schedule ops (known up front only for synthetic
+ * scenarios, where it is exactly 2 x branches).
+ */
+void
+printSampleLayout(const std::string &label, std::uint64_t totalOps,
+                  const SamplingPlan &plan)
+{
+    const std::vector<SampleWindow> windows =
+        layoutSampleWindows(totalOps, plan);
+    std::uint64_t detailed = 0;
+    std::uint64_t warmup = 0;
+    for (const SampleWindow &w : windows) {
+        detailed += w.end - w.begin;
+        warmup += w.begin - w.warmBegin;
+    }
+    const std::uint64_t touched = detailed + warmup;
+    const std::uint64_t skipped =
+        totalOps > touched ? totalOps - touched : 0;
+    const double pct =
+        totalOps == 0 ? 100.0
+                      : 100.0 * static_cast<double>(detailed)
+                            / static_cast<double>(totalOps);
+    std::printf("    %s: %zu window%s, %llu detailed + %llu warm-up "
+                "ops, %llu skipped of %llu (%.3f%% detailed)\n",
+                label.c_str(), windows.size(),
+                windows.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(detailed),
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(skipped),
+                static_cast<unsigned long long>(totalOps), pct);
+}
+
 /**
  * --sweep --dry-run: print the execution plan — grid extents,
- * shard/task fan-out, lane-kind and JRS-geometry breakdown, and the
- * block/kernel geometry the batched replayer would use — without
- * decoding a trace or running a single shard.
+ * shard/task fan-out, lane-kind and JRS-geometry breakdown, the
+ * block/kernel geometry the batched replayer would use, and the
+ * sampling/synthetic sections when enabled — without decoding a trace
+ * or running a single shard.
  */
 void
 printSweepPlan(const SweepGrid &grid, unsigned jobs)
 {
     const std::size_t predictors =
         grid.kinds.empty() ? 1 : grid.kinds.size();
-    const std::size_t workloads = grid.workloads.empty()
-                                      ? standardWorkloads().size()
-                                      : grid.workloads.size();
+    // An empty workload list means "every standard workload" — unless
+    // the grid is synthetic-only, which replaces the default set.
+    const std::size_t recordedWls =
+        grid.workloads.empty()
+            ? (grid.synthetic.empty() ? standardWorkloads().size() : 0)
+            : grid.workloads.size();
+    const std::size_t workloads = recordedWls + grid.synthetic.size();
     const std::size_t configs = grid.estimators.size();
     const std::size_t thresholds =
         grid.thresholds.empty() ? 1 : grid.thresholds.size();
@@ -705,6 +978,46 @@ printSweepPlan(const SweepGrid &grid, unsigned jobs)
                 BatchReplayer::BLOCK_OPS);
     std::printf("  kernel dispatch: %s\n",
                 kernelDispatchName(selectedKernelDispatch()));
+    if (!grid.synthetic.empty()) {
+        std::printf("  synthetic scenarios (%zu):\n",
+                    grid.synthetic.size());
+        for (const SyntheticScenario &s : grid.synthetic)
+            std::printf("    %s: %llu branches, %u sites\n",
+                        s.name.c_str(),
+                        static_cast<unsigned long long>(s.branches),
+                        s.sites);
+    }
+    if (grid.sampling.enabled()) {
+        printSamplePlanHeader(grid.sampling);
+        for (const SyntheticScenario &s : grid.synthetic)
+            printSampleLayout(s.name, 2 * s.branches, grid.sampling);
+        if (recordedWls > 0)
+            std::printf("    recorded workloads: layout depends on "
+                        "the decoded trace length (not decoded in a "
+                        "dry run)\n");
+    }
+}
+
+/** --dry-run for a standalone synthetic run (no --sweep). */
+void
+printSyntheticPlan(const std::vector<SyntheticScenario> &scenarios,
+                   const SamplingPlan &plan)
+{
+    std::printf("synthetic plan (dry run):\n");
+    for (const SyntheticScenario &s : scenarios)
+        std::printf("  %s: %llu branches, %u sites, %llu schedule "
+                    "ops\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.branches),
+                    s.sites,
+                    static_cast<unsigned long long>(2 * s.branches));
+    if (plan.enabled()) {
+        printSamplePlanHeader(plan);
+        for (const SyntheticScenario &s : scenarios)
+            printSampleLayout(s.name, 2 * s.branches, plan);
+    } else {
+        std::printf("  sampling: disabled (full replay)\n");
+    }
 }
 
 /** Artifact-store counters for --json (present with --artifact-dir). */
@@ -727,16 +1040,16 @@ artifactsToJson(const ArtifactStore &store)
 /** The whole invocation as one JSON document. */
 JsonValue
 resultsToJson(const Options &opt,
-              const std::vector<WorkloadSpec> &selected,
+              const std::vector<std::string> &names,
               const std::vector<RunOutput> &outputs)
 {
     JsonValue doc = JsonValue::object();
     doc["config"] = optionsToJson(opt);
     JsonValue runs = JsonValue::array();
-    for (std::size_t i = 0; i < selected.size(); ++i) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
         const RunOutput &out = outputs[i];
         JsonValue run = JsonValue::object();
-        run["workload"] = JsonValue(selected[i].name);
+        run["workload"] = JsonValue(names[i]);
         run["mode"] = JsonValue(out.mode);
         run["components"] = out.componentsDoc;
         run["stats"] = out.statsDoc;
@@ -744,6 +1057,8 @@ resultsToJson(const Options &opt,
         quads["committed"] = quadrantsToJson(out.quadrants);
         quads["all"] = quadrantsToJson(out.quadrantsAll);
         run["quadrants"] = quads;
+        if (out.sampled)
+            run["sampled"] = sampledLaneStatsToJson(*out.sampled);
         if (!out.pipeMode) {
             JsonValue trace = JsonValue::object();
             trace["instructions"] =
@@ -845,6 +1160,10 @@ main(int argc, char **argv)
             opt.sweepPath = next();
         } else if (arg == "--dry-run") {
             opt.sweepDryRun = true;
+        } else if (arg == "--sample") {
+            opt.sample = parseSamplePlan(arg, next());
+        } else if (arg == "--synthetic") {
+            opt.synthetic.push_back(parseSyntheticSpec(arg, next()));
         } else if (arg == "--gate") {
             opt.gateThreshold = parseInt(arg, next());
         } else if (arg == "--eager") {
@@ -875,6 +1194,11 @@ main(int argc, char **argv)
                         "mcf-jrs boost2 boost3 perc-conf\n"
                         "            tage-conf always-high "
                         "always-low\n");
+            std::printf("synthetic presets (--workload "
+                        "synthetic:<name> or --synthetic):");
+            for (const SyntheticScenario &s : syntheticPresets())
+                std::printf(" %s", s.name.c_str());
+            std::printf("\n");
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -919,6 +1243,24 @@ main(int argc, char **argv)
                          err.c_str());
             return 2;
         }
+        if (opt.sample.enabled())
+            grid.sampling = opt.sample;
+        grid.synthetic.insert(grid.synthetic.end(),
+                              opt.synthetic.begin(),
+                              opt.synthetic.end());
+        // sweepGridFromJson enforces this for grids that arrive with
+        // both keys; re-check after the CLI appended scenarios.
+        if (!grid.synthetic.empty()) {
+            for (const SweepEstimatorSpec &spec : grid.estimators) {
+                if (spec.estimator == "static") {
+                    std::fprintf(stderr,
+                                 "--synthetic: estimator 'static' "
+                                 "needs a program to profile; "
+                                 "synthetic scenarios have none\n");
+                    return 2;
+                }
+            }
+        }
         if (opt.sweepDryRun) {
             printSweepPlan(grid, opt.jobs);
             return 0;
@@ -950,6 +1292,89 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--sweep: %s\n", e.what());
             return 1;
         }
+    }
+
+    // Standalone synthetic mode: --workload synthetic:<preset> and/or
+    // --synthetic specs without --sweep replay the generated streams
+    // estimator-only (there is no program, so no pipeline modes).
+    std::vector<SyntheticScenario> scenarios;
+    if (opt.workload.rfind(SYNTHETIC_PREFIX, 0) == 0) {
+        const std::string name =
+            opt.workload.substr(sizeof(SYNTHETIC_PREFIX) - 1);
+        SyntheticScenario s;
+        if (!findSyntheticPreset(name, s)) {
+            std::fprintf(stderr,
+                         "unknown synthetic preset '%s' (known:",
+                         name.c_str());
+            for (const SyntheticScenario &p : syntheticPresets())
+                std::fprintf(stderr, " %s", p.name.c_str());
+            std::fprintf(stderr, ")\n");
+            return 1;
+        }
+        scenarios.push_back(s);
+    }
+    scenarios.insert(scenarios.end(), opt.synthetic.begin(),
+                     opt.synthetic.end());
+    if (!scenarios.empty()) {
+        if (!opt.recordTracePath.empty()
+            || !opt.replayTracePath.empty() || opt.gateThreshold >= 0
+            || opt.eager || opt.traceMode) {
+            std::fprintf(stderr,
+                         "synthetic workloads are estimator-only: "
+                         "not valid with --trace/--record-trace/"
+                         "--replay-trace/--gate/--eager\n");
+            return 2;
+        }
+        if (opt.estimator == "static") {
+            std::fprintf(stderr,
+                         "estimator 'static' needs a program to "
+                         "profile; synthetic scenarios have none\n");
+            return 2;
+        }
+        if (opt.sweepDryRun) {
+            printSyntheticPlan(scenarios, opt.sample);
+            return 0;
+        }
+        std::vector<std::string> names;
+        std::vector<RunOutput> outputs;
+        for (const SyntheticScenario &s : scenarios) {
+            names.push_back(s.name);
+            outputs.push_back(runSyntheticOne(opt, s, opt.sample));
+        }
+        if (opt.json) {
+            const JsonValue doc = resultsToJson(opt, names, outputs);
+            std::printf("%s\n", doc.dump(2).c_str());
+            return 0;
+        }
+        TextTable table({"workload", "branches", "accuracy", "sens",
+                         "spec", "pvp", "pvn", "ipc", "ratio"});
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const QuadrantCounts &q = outputs[i].quadrants;
+            table.addRow({names[i], TextTable::count(q.total()),
+                          TextTable::pct(q.accuracy(), 1),
+                          TextTable::pct(q.sens(), 1),
+                          TextTable::pct(q.spec(), 1),
+                          TextTable::pct(q.pvp(), 1),
+                          TextTable::pct(q.pvn(), 1), "-", "-"});
+        }
+        std::printf("predictor=%s estimator=%s mode=synthetic "
+                    "scale=%u\n",
+                    opt.predictor.c_str(), opt.estimator.c_str(),
+                    opt.scale);
+        std::printf("%s", opt.csv ? table.renderCsv().c_str()
+                                  : table.render().c_str());
+        if (opt.sample.enabled())
+            for (std::size_t i = 0; i < names.size(); ++i)
+                if (outputs[i].sampled)
+                    printSampledSummary(names[i],
+                                        *outputs[i].sampled);
+        return 0;
+    }
+    if (opt.sample.enabled()) {
+        std::fprintf(stderr,
+                     "--sample needs --sweep or a synthetic workload "
+                     "(--synthetic / --workload synthetic:<name>)\n");
+        return 2;
     }
 
     const bool recording = !opt.recordTracePath.empty();
@@ -1033,7 +1458,11 @@ main(int argc, char **argv)
         outputs.push_back(std::move(*r));
 
     if (opt.json) {
-        JsonValue doc = resultsToJson(opt, selected, outputs);
+        std::vector<std::string> names;
+        names.reserve(selected.size());
+        for (const WorkloadSpec &spec : selected)
+            names.push_back(spec.name);
+        JsonValue doc = resultsToJson(opt, names, outputs);
         doc["runner"] =
             runnerToJson(outcome.summary(), outcome.reports);
         if (const auto store = globalArtifactStore())

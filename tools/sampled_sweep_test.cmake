@@ -1,0 +1,187 @@
+# Sampled-sweep checks: a synthetic grid under a sampling plan must
+# emit per-config CI blocks, stay byte-identical across job counts and
+# across the --sample flag vs the grid's "sampling" key, collapse to
+# the full-replay quadrants under a degenerate (all-covering) plan,
+# and keep sampled and full-replay checkpoint journals separate.
+#
+# Invoked via:
+#   cmake -DCONFSIM=<path> -DWORK_DIR=<dir> -P sampled_sweep_test.cmake
+
+set(GRID_FULL "${WORK_DIR}/sampled_grid_full.json")
+set(GRID_SAMPLED "${WORK_DIR}/sampled_grid_sampled.json")
+set(GRID_DEGEN "${WORK_DIR}/sampled_grid_degen.json")
+set(OUT_FULL "${WORK_DIR}/sampled_out_full.json")
+set(OUT_SERIAL "${WORK_DIR}/sampled_out_serial.json")
+set(OUT_PARALLEL "${WORK_DIR}/sampled_out_parallel.json")
+set(OUT_FLAG "${WORK_DIR}/sampled_out_flag.json")
+set(OUT_DEGEN "${WORK_DIR}/sampled_out_degen.json")
+
+set(SYNTHETIC "\"synthetic\": [
+    {\"preset\": \"iid\", \"branches\": 300000},
+    {\"preset\": \"biased\", \"branches\": 300000}
+  ]")
+set(ESTIMATORS "\"estimators\": [
+    {\"estimator\": \"jrs\"},
+    {\"estimator\": \"satcnt\"},
+    {\"estimator\": \"pattern\"}
+  ]")
+
+file(WRITE ${GRID_FULL} "{
+  \"predictor\": \"gshare\",
+  ${ESTIMATORS},
+  ${SYNTHETIC}
+}
+")
+file(WRITE ${GRID_SAMPLED} "{
+  \"predictor\": \"gshare\",
+  ${ESTIMATORS},
+  ${SYNTHETIC},
+  \"sampling\": {\"window_ops\": 8192, \"stride_ops\": 65536,
+                 \"warmup_ops\": 2048}
+}
+")
+# Window >= every scenario's 600000 schedule ops: one all-covering
+# window, i.e. full replay with exact (zero-width) intervals.
+file(WRITE ${GRID_DEGEN} "{
+  \"predictor\": \"gshare\",
+  ${ESTIMATORS},
+  ${SYNTHETIC},
+  \"sampling\": {\"window_ops\": 2000000}
+}
+")
+
+function(run_sweep outfile)
+    execute_process(
+        COMMAND ${CONFSIM} ${ARGN}
+        OUTPUT_FILE ${outfile}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "confsim ${ARGN} failed (${rc})")
+    endif()
+endfunction()
+
+run_sweep(${OUT_FULL} --sweep ${GRID_FULL} --jobs 0)
+run_sweep(${OUT_SERIAL} --sweep ${GRID_SAMPLED} --jobs 0)
+run_sweep(${OUT_PARALLEL} --sweep ${GRID_SAMPLED} --jobs 4)
+run_sweep(${OUT_DEGEN} --sweep ${GRID_DEGEN} --jobs 0)
+# The --sample flag must be exactly the grid's "sampling" key.
+run_sweep(${OUT_FLAG} --sweep ${GRID_FULL} --jobs 0
+          --sample window=8192,stride=65536,warmup=2048)
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_SERIAL}
+            ${OUT_PARALLEL}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serial and parallel sampled sweeps diverged")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_SERIAL} ${OUT_FLAG}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "--sample flag and grid \"sampling\" key diverged")
+endif()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+    execute_process(
+        COMMAND ${PYTHON3} -c
+"import json, sys
+full = json.load(open(sys.argv[1]))
+sampled = json.load(open(sys.argv[2]))
+degen = json.load(open(sys.argv[3]))
+for doc in (full, sampled, degen):
+    assert [w['workload'] for w in doc['workloads']] == \
+        ['iid', 'biased']
+    assert all(len(w['configs']) == 3 for w in doc['workloads'])
+# Full replay carries no sampled blocks at all.
+assert all('sampled' not in c
+           for w in full['workloads'] for c in w['configs'])
+# Sampled runs: every config reports the plan's coverage and a
+# defined CI on the misprediction rate.
+for w in sampled['workloads']:
+    for c in w['configs']:
+        s = c['sampled']
+        assert s['windows'] > 1 and s['passes'] == 1
+        assert s['ops_skipped'] > 0
+        assert s['ops_detailed'] + s['ops_warmup'] \
+            + s['ops_skipped'] == s['ops_total'] == 600000
+        m = s['metrics']
+        assert set(m) == {'mispredict_rate', 'sens', 'spec',
+                          'pvp', 'pvn'}
+        assert m['mispredict_rate']['ci99'] >= 0
+# Degenerate plan: one all-covering window, exact intervals, and
+# quadrants byte-equal to the full-replay grid's.
+for wf, wd in zip(full['workloads'], degen['workloads']):
+    for cf, cd in zip(wf['configs'], wd['configs']):
+        assert cd['quadrants'] == cf['quadrants']
+        assert cd['stats'] == cf['stats']
+        s = cd['sampled']
+        assert s['windows'] == 1 and s['ops_skipped'] == 0
+        assert s['ops_detailed'] == s['ops_total']
+        for m in s['metrics'].values():
+            assert m['ci99'] == 0.0
+"
+            ${OUT_FULL} ${OUT_SERIAL} ${OUT_DEGEN}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sampled sweep output failed validation")
+    endif()
+endif()
+
+# Journal separation: a sampled grid and its full-replay twin must
+# checkpoint under different keys — the full run after the sampled one
+# starts cold (no resume), and each rerun resumes only its own kind.
+set(ART "${WORK_DIR}/sampled_art")
+file(REMOVE_RECURSE ${ART})
+file(MAKE_DIRECTORY ${ART})
+
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID_SAMPLED} --jobs 0
+            --artifact-dir ${ART}
+    OUTPUT_QUIET ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sampled journaled sweep failed (${rc})")
+endif()
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID_FULL} --jobs 0
+            --artifact-dir ${ART}
+    OUTPUT_FILE ${WORK_DIR}/sampled_journal_a.json
+    ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "full journaled sweep failed (${rc})")
+endif()
+if(err MATCHES "resumed")
+    message(FATAL_ERROR
+        "full-replay sweep resumed from a sampled journal: ${err}")
+endif()
+
+file(GLOB journals "${ART}/sweep-*.journal")
+list(LENGTH journals njournals)
+if(NOT njournals EQUAL 2)
+    message(FATAL_ERROR
+        "expected 2 distinct sweep journals (sampled + full), got "
+        "${njournals}: ${journals}")
+endif()
+
+# Sanity: rerunning the full grid *does* resume, byte-identically.
+execute_process(
+    COMMAND ${CONFSIM} --sweep ${GRID_FULL} --jobs 0
+            --artifact-dir ${ART}
+    OUTPUT_FILE ${WORK_DIR}/sampled_journal_b.json
+    ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "full sweep rerun failed (${rc})")
+endif()
+if(NOT err MATCHES "resumed")
+    message(FATAL_ERROR "full sweep rerun did not resume: ${err}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/sampled_journal_a.json
+            ${WORK_DIR}/sampled_journal_b.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed full sweep diverged from original")
+endif()
