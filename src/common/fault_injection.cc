@@ -22,6 +22,8 @@ FaultInjector::arm(const FaultPlan &newPlan)
     artifactWrites.store(0, std::memory_order_relaxed);
     traceReads.store(0, std::memory_order_relaxed);
     taskAttempts.store(0, std::memory_order_relaxed);
+    workerSpawns.store(0, std::memory_order_relaxed);
+    clientResponses.store(0, std::memory_order_relaxed);
     active.store(true, std::memory_order_release);
 }
 
@@ -106,6 +108,28 @@ FaultInjector::onTaskAttempt()
 }
 
 bool
+FaultInjector::onWorkerSpawn()
+{
+    if (!armed())
+        return false;
+    const std::uint64_t n =
+        workerSpawns.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    return plan.killWorker != 0 && n == plan.killWorker;
+}
+
+bool
+FaultInjector::onClientResponse()
+{
+    if (!armed())
+        return false;
+    const std::uint64_t n =
+        clientResponses.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mtx);
+    return plan.dropConnection != 0 && n == plan.dropConnection;
+}
+
+bool
 parseFaultPlan(const std::string &spec, FaultPlan &plan,
                std::string *error)
 {
@@ -174,6 +198,10 @@ parseFaultPlan(const std::string &spec, FaultPlan &plan,
             plan.transientCount = count;
         } else if (name == "stall-task") {
             plan.stallTask = n;
+        } else if (name == "kill-worker") {
+            plan.killWorker = n;
+        } else if (name == "drop-connection") {
+            plan.dropConnection = n;
         } else {
             return fail("unknown fault '" + name + "'");
         }

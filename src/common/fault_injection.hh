@@ -55,6 +55,12 @@ struct FaultPlan
     /** nth task attempt stalls until its cancel token fires (the
      *  deterministic stand-in for a runaway workload). */
     std::uint64_t stallTask = 0;
+    /** SIGKILL the nth spawned serve worker mid-shard (the daemon
+     *  flags that worker to die after computing, before replying). */
+    std::uint64_t killWorker = 0;
+    /** Close the nth client connection mid-response (the daemon drops
+     *  the socket after writing half the response line). */
+    std::uint64_t dropConnection = 0;
 
     bool operator==(const FaultPlan &) const = default;
 };
@@ -98,6 +104,14 @@ class FaultInjector
     /** Task hook: the fault (if any) for this attempt ordinal. */
     TaskFault onTaskAttempt();
 
+    /** Serve worker-spawn hook: true = sabotage this worker (the
+     *  daemon tells it to SIGKILL itself mid-shard). */
+    bool onWorkerSpawn();
+
+    /** Serve response hook: true = drop this client connection
+     *  mid-response. */
+    bool onClientResponse();
+
   private:
     FaultInjector() = default;
 
@@ -108,13 +122,15 @@ class FaultInjector
     std::atomic<std::uint64_t> artifactWrites{0};
     std::atomic<std::uint64_t> traceReads{0};
     std::atomic<std::uint64_t> taskAttempts{0};
+    std::atomic<std::uint64_t> workerSpawns{0};
+    std::atomic<std::uint64_t> clientResponses{0};
 };
 
 /**
  * Parse a comma-separated plan spec: `name=N` (or `transient-task=N:K`
  * for an N-start, K-long window). Names: flip-artifact-read,
  * truncate-artifact-write, flip-trace-read, fail-task, transient-task,
- * stall-task.
+ * stall-task, kill-worker, drop-connection.
  * @return false (with @p error set when non-null) on a malformed spec.
  */
 bool parseFaultPlan(const std::string &spec, FaultPlan &plan,

@@ -1,0 +1,193 @@
+#include "common/local_socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/confsim_error.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw ConfsimError(ErrorCode::Io,
+                       what + ": " + std::strerror(errno));
+}
+
+void
+fillAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw ConfsimError(ErrorCode::InvalidConfig,
+                           "socket path '" + path
+                           + "' is empty or too long (max "
+                           + std::to_string(sizeof(addr.sun_path) - 1)
+                           + " bytes)");
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+OwnedFd
+newUnixSocket()
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    return OwnedFd(fd);
+}
+
+} // anonymous namespace
+
+void
+OwnedFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+OwnedFd
+listenUnixSocket(const std::string &path, int backlog)
+{
+    sockaddr_un addr;
+    fillAddr(path, addr);
+    OwnedFd fd = newUnixSocket();
+    // A stale socket file from a dead daemon would make bind fail
+    // with EADDRINUSE; a live daemon still holds its listen fd, so a
+    // second daemon on the same path steals the file — callers pick
+    // per-instance paths.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind '" + path + "'");
+    if (::listen(fd.get(), backlog) != 0)
+        throwErrno("listen '" + path + "'");
+    return fd;
+}
+
+OwnedFd
+connectUnixSocket(const std::string &path)
+{
+    sockaddr_un addr;
+    fillAddr(path, addr);
+    OwnedFd fd = newUnixSocket();
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errno == ECONNREFUSED || errno == ENOENT)
+            throw ConfsimError(
+                    ErrorCode::Io,
+                    "cannot connect to '" + path
+                    + "' — is the daemon running? ("
+                    + std::strerror(errno) + ")");
+        throwErrno("connect '" + path + "'");
+    }
+    return fd;
+}
+
+OwnedFd
+acceptConnection(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0)
+            return OwnedFd(fd);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK
+            || errno == ECONNABORTED)
+            return OwnedFd();
+        throwErrno("accept");
+    }
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // EAGAIN on a blocking socket = SO_SNDTIMEO expired: the
+            // peer stopped reading. Treat like a disconnect so one
+            // stuck client can never wedge the daemon.
+            if (errno == EPIPE || errno == ECONNRESET
+                || errno == EAGAIN || errno == EWOULDBLOCK)
+                return false;
+            throwErrno("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::size_t>
+readChunk(int fd, std::string &out, std::size_t maxBytes)
+{
+    char buf[65536];
+    if (maxBytes > sizeof(buf))
+        maxBytes = sizeof(buf);
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, maxBytes);
+        if (n >= 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            return static_cast<std::size_t>(n);
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return std::nullopt;
+        if (errno == ECONNRESET)
+            return std::size_t{0}; // peer vanished == EOF
+        throwErrno("read");
+    }
+}
+
+void
+LineSplitter::feed(const std::string &chunk)
+{
+    if (overflow)
+        return;
+    // Compact once the consumed prefix dominates, keeping the buffer
+    // bounded by pending data rather than connection lifetime.
+    if (pos > 4096 && pos > buf.size() / 2) {
+        buf.erase(0, pos);
+        pos = 0;
+    }
+    buf += chunk;
+    if (buf.size() - pos > maxLine
+        && buf.find('\n', pos) == std::string::npos)
+        overflow = true;
+}
+
+std::optional<std::string>
+LineSplitter::nextLine()
+{
+    if (overflow)
+        return std::nullopt;
+    const std::size_t nl = buf.find('\n', pos);
+    if (nl == std::string::npos)
+        return std::nullopt;
+    if (nl - pos > maxLine) {
+        overflow = true;
+        return std::nullopt;
+    }
+    std::string line = buf.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+}
+
+} // namespace confsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal Unix-domain stream sockets for the confsim serve protocol:
+ * a RAII fd wrapper, listen/accept/connect helpers, full-buffer send,
+ * and a LineSplitter that reassembles newline-delimited frames from
+ * arbitrary read chunks (the daemon's per-connection input buffer).
+ *
+ * Everything throws ConfsimError{Io} on syscall failure; accept and
+ * read surface EOF/EAGAIN as ordinary return values so the caller's
+ * poll loop stays in charge.
+ */
+
+#ifndef CONFSIM_COMMON_LOCAL_SOCKET_HH
+#define CONFSIM_COMMON_LOCAL_SOCKET_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace confsim
+{
+
+/** Owning file descriptor (closes on destruction; movable). */
+class OwnedFd
+{
+  public:
+    OwnedFd() = default;
+    explicit OwnedFd(int fd) : fd_(fd) {}
+    ~OwnedFd() { reset(); }
+
+    OwnedFd(OwnedFd &&other) noexcept : fd_(other.release()) {}
+    OwnedFd &
+    operator=(OwnedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    OwnedFd(const OwnedFd &) = delete;
+    OwnedFd &operator=(const OwnedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on a Unix-domain stream socket at @p path, unlinking
+ * any stale socket file first. The path must fit sockaddr_un
+ * (~107 bytes). CLOEXEC is set so worker processes never inherit it.
+ * @throws ConfsimError{Io} on failure.
+ */
+OwnedFd listenUnixSocket(const std::string &path, int backlog = 64);
+
+/**
+ * Connect to the daemon's socket at @p path.
+ * @throws ConfsimError{Io} (ECONNREFUSED/ENOENT become "is the daemon
+ *         running?" messages).
+ */
+OwnedFd connectUnixSocket(const std::string &path);
+
+/**
+ * Accept one pending connection (CLOEXEC). Returns an invalid fd if
+ * the listen socket has none ready (EAGAIN/ECONNABORTED).
+ * @throws ConfsimError{Io} on other failures.
+ */
+OwnedFd acceptConnection(int listenFd);
+
+/**
+ * Write all of @p data to @p fd, retrying short writes and EINTR.
+ * @return false if the peer vanished (EPIPE/ECONNRESET) or a send
+ *         timeout (SO_SNDTIMEO) expired — the daemon treats both as
+ *         a disconnect, not an error.
+ * @throws ConfsimError{Io} on any other failure.
+ */
+bool sendAll(int fd, const std::string &data);
+
+/**
+ * Read one chunk (up to @p maxBytes) from @p fd into @p out
+ * (appended). Returns the byte count, 0 on EOF, nullopt if the read
+ * would block (EAGAIN on a nonblocking fd).
+ * @throws ConfsimError{Io} on failure.
+ */
+std::optional<std::size_t> readChunk(int fd, std::string &out,
+                                     std::size_t maxBytes = 65536);
+
+/**
+ * Reassembles newline-terminated lines from arbitrary input chunks.
+ * Feed bytes as they arrive; nextLine() yields each complete line
+ * (without its '\n') in order. A maximum line length bounds memory
+ * against a client that never sends a newline: once exceeded, the
+ * splitter enters an overflow state — the caller should answer with a
+ * structured error and drop the connection.
+ */
+class LineSplitter
+{
+  public:
+    explicit LineSplitter(std::size_t maxLineBytes = 1 << 20)
+        : maxLine(maxLineBytes)
+    {}
+
+    /** Append an input chunk. No-op once overflowed. */
+    void feed(const std::string &chunk);
+
+    /** Pop the next complete line, if any. */
+    std::optional<std::string> nextLine();
+
+    /** A line exceeded the maximum length (sticky). */
+    bool overflowed() const { return overflow; }
+
+    /** Bytes buffered awaiting a newline. */
+    std::size_t pendingBytes() const { return buf.size() - pos; }
+
+  private:
+    std::string buf;
+    std::size_t pos = 0; ///< start of the unconsumed region
+    std::size_t maxLine;
+    bool overflow = false;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_LOCAL_SOCKET_HH

@@ -1,0 +1,134 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/confsim_error.hh"
+
+namespace confsim
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw ConfsimError(ErrorCode::Io,
+                       what + ": " + std::strerror(errno));
+}
+
+void
+makePipe(int fds[2])
+{
+    if (::pipe2(fds, O_CLOEXEC) != 0)
+        throwErrno("pipe2");
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throwErrno("fcntl O_NONBLOCK");
+}
+
+} // anonymous namespace
+
+std::string
+ExitStatus::describe() const
+{
+    return (signaled ? "signal " : "exit ") + std::to_string(code);
+}
+
+ChildProcess
+spawnChild(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        throw ConfsimError(ErrorCode::Internal, "spawnChild: empty argv");
+
+    int inPipe[2];  // parent writes [1] -> child stdin [0]
+    int outPipe[2]; // child stdout [1] -> parent reads [0]
+    makePipe(inPipe);
+    OwnedFd inRead(inPipe[0]), inWrite(inPipe[1]);
+    makePipe(outPipe);
+    OwnedFd outRead(outPipe[0]), outWrite(outPipe[1]);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        throwErrno("fork");
+    if (pid == 0) {
+        // Child: wire the pipe ends onto stdin/stdout (dup2 clears
+        // CLOEXEC on the duplicates) and exec. Only async-signal-safe
+        // calls between fork and exec.
+        if (::dup2(inRead.get(), STDIN_FILENO) < 0
+            || ::dup2(outWrite.get(), STDOUT_FILENO) < 0)
+            ::_exit(127);
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        ::execv(argv[0].c_str(), args.data());
+        ::_exit(127);
+    }
+
+    ChildProcess child;
+    child.pid = pid;
+    child.toChild = std::move(inWrite);
+    child.fromChild = std::move(outRead);
+    setNonBlocking(child.fromChild.get());
+    return child;
+}
+
+std::optional<ExitStatus>
+waitChild(pid_t pid, bool block)
+{
+    for (;;) {
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, block ? 0 : WNOHANG);
+        if (r == pid) {
+            ExitStatus e;
+            if (WIFSIGNALED(status)) {
+                e.signaled = true;
+                e.code = WTERMSIG(status);
+            } else if (WIFEXITED(status)) {
+                e.code = WEXITSTATUS(status);
+            } else {
+                continue; // stopped/continued: not an exit
+            }
+            return e;
+        }
+        if (r == 0)
+            return std::nullopt;
+        if (errno == EINTR)
+            continue;
+        if (errno == ECHILD)
+            return std::nullopt; // already reaped
+        throwErrno("waitpid");
+    }
+}
+
+void
+killChild(pid_t pid, int signo)
+{
+    if (pid > 0)
+        ::kill(pid, signo);
+}
+
+std::string
+selfExecutablePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        throwErrno("readlink /proc/self/exe");
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+} // namespace confsim

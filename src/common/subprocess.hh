@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Worker process spawning for the confsim serve daemon: fork/exec of
+ * a command with stdin/stdout pipes, non-blocking reaping, and
+ * termination. The daemon writes task lines to the child's stdin and
+ * reads result lines from its stdout; a SIGKILLed/crashed child is
+ * detected by stdout EOF + a signal exit status.
+ */
+
+#ifndef CONFSIM_COMMON_SUBPROCESS_HH
+#define CONFSIM_COMMON_SUBPROCESS_HH
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/local_socket.hh"
+
+namespace confsim
+{
+
+/** How a reaped child ended. */
+struct ExitStatus
+{
+    bool signaled = false; ///< killed by a signal (crash/SIGKILL/OOM)
+    int code = 0;          ///< exit code, or the signal number
+
+    bool ok() const { return !signaled && code == 0; }
+
+    /** "exit N" / "signal N" for logs and error messages. */
+    std::string describe() const;
+};
+
+/**
+ * A spawned child with pipes to its stdin/stdout (stderr is
+ * inherited). Movable; the destructor does NOT kill or reap — the
+ * owner decides (the daemon kills + reaps explicitly).
+ */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    OwnedFd toChild;   ///< write end of the child's stdin
+    OwnedFd fromChild; ///< read end of the child's stdout
+
+    bool running() const { return pid > 0; }
+};
+
+/**
+ * fork/exec @p argv (argv[0] = executable path) with fresh pipes on
+ * the child's stdin/stdout. The parent-side pipe fds are CLOEXEC so
+ * sibling workers never inherit each other's pipes; @p fromChild is
+ * set non-blocking for the daemon's poll loop.
+ * @throws ConfsimError{Io} if pipe/fork fails; exec failure in the
+ *         child exits 127 (surfaces via waitChild).
+ */
+ChildProcess spawnChild(const std::vector<std::string> &argv);
+
+/**
+ * Reap @p pid. Blocking when @p block; otherwise returns nullopt if
+ * the child is still running.
+ */
+std::optional<ExitStatus> waitChild(pid_t pid, bool block);
+
+/** Send @p signo (default SIGKILL) to @p pid; ignores ESRCH. */
+void killChild(pid_t pid, int signo = 9);
+
+/** Absolute path of the running executable (/proc/self/exe). */
+std::string selfExecutablePath();
+
+} // namespace confsim
+
+#endif // CONFSIM_COMMON_SUBPROCESS_HH

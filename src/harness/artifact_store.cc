@@ -8,6 +8,10 @@
 #include <system_error>
 #include <utility>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "common/checksum.hh"
 #include "common/confsim_error.hh"
 #include "common/fault_injection.hh"
@@ -137,9 +141,56 @@ ArtifactStore::validateFrame(const std::string &framed,
     return xxhash64(payload) == checksum;
 }
 
+namespace
+{
+
+/**
+ * Advisory cross-process mutual exclusion on one artifact path: an
+ * exclusive flock(2) on `path + ".lock"`, held for the write+rename
+ * (or quarantine-rename) window. flock serializes per open file
+ * description, so it excludes both sibling worker processes and
+ * threads of one process materializing the same content key — the
+ * loser re-renames an identical frame, never a torn one, and a
+ * validating reader can never quarantine a half-written temp's
+ * rename target mid-flight. Lock files are tiny, persistent (removal
+ * would race new lockers), and never read. Lock failure degrades to
+ * the old unlocked behavior: the locks are advisory belt-and-braces,
+ * not correctness-critical for same-content writes.
+ */
+class ScopedPathLock
+{
+  public:
+    explicit ScopedPathLock(const std::string &path)
+    {
+        fd = ::open((path + ".lock").c_str(),
+                    O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd >= 0 && ::flock(fd, LOCK_EX) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~ScopedPathLock()
+    {
+        if (fd >= 0) {
+            ::flock(fd, LOCK_UN);
+            ::close(fd);
+        }
+    }
+
+    ScopedPathLock(const ScopedPathLock &) = delete;
+    ScopedPathLock &operator=(const ScopedPathLock &) = delete;
+
+  private:
+    int fd = -1;
+};
+
+} // anonymous namespace
+
 void
 ArtifactStore::quarantineFile(const std::string &path)
 {
+    ScopedPathLock lock(path);
     std::error_code ec;
     std::filesystem::rename(path, path + ".corrupt", ec);
     if (ec) {
@@ -193,12 +244,16 @@ ArtifactStore::writeFileAtomic(const std::string &path,
         return false;
     };
 
+    // The serial de-conflicts threads; the pid de-conflicts worker
+    // processes sharing the store directory (each process's serial
+    // starts at 0, so pid-less names would collide across workers).
     static std::atomic<std::uint64_t> tmpSerial{0};
     const std::string tmp =
-        path + ".tmp."
+        path + ".tmp." + std::to_string(::getpid()) + "."
         + std::to_string(
                 tmpSerial.fetch_add(1, std::memory_order_relaxed));
 
+    ScopedPathLock pathLock(path);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)

@@ -318,6 +318,14 @@ parseShardPayload(const std::string &payload)
     return results;
 }
 
+/** The grid's predictor list (single mode = one entry, grid.kind). */
+std::vector<PredictorKind>
+resolveKinds(const SweepGrid &grid)
+{
+    return grid.kinds.empty()
+        ? std::vector<PredictorKind>{grid.kind} : grid.kinds;
+}
+
 } // anonymous namespace
 
 SweepResult
@@ -326,6 +334,59 @@ runSweepGrid(const SweepGrid &grid, unsigned jobs)
     SweepExecOptions options;
     options.jobs = jobs;
     return runSweepGrid(grid, options);
+}
+
+SweepTaskPlan
+sweepTaskPlan(const SweepGrid &grid)
+{
+    SweepTaskPlan plan;
+    plan.kinds = grid.kinds.empty() ? 1 : grid.kinds.size();
+    plan.entries = resolveEntries(grid).size();
+    plan.configs = grid.estimators.size();
+    plan.shardSize = std::max<std::size_t>(grid.shardSize, 1);
+    plan.shards = plan.configs == 0
+        ? 0 : (plan.configs + plan.shardSize - 1) / plan.shardSize;
+    return plan;
+}
+
+JsonValue
+sweepTaskPayloadJson(const SweepGrid &grid, std::size_t task)
+{
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    if (plan.tasks() == 0 || task >= plan.tasks())
+        fatal("sweep task index " + std::to_string(task)
+              + " out of range (grid has "
+              + std::to_string(plan.tasks()) + " tasks)");
+    const std::vector<SweepEntry> entries = resolveEntries(grid);
+    const std::vector<PredictorKind> kindsList = resolveKinds(grid);
+    const auto results = runShard(grid, kindsList[plan.kindIndex(task)],
+                                  entries[plan.entryIndex(task)],
+                                  plan.firstConfig(task),
+                                  plan.configCount(task));
+    JsonValue arr = JsonValue::array();
+    for (const SweepConfigResult &c : results)
+        arr.push(sweepConfigResultToJson(c));
+    return arr;
+}
+
+bool
+sweepTaskPayloadValid(const JsonValue &payload, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (!payload.isArray() || payload.size() == 0)
+        return fail("payload: expected a non-empty array of config "
+                    "results");
+    for (const JsonValue &e : payload.elements()) {
+        SweepConfigResult c;
+        std::string sub;
+        if (!sweepConfigResultFromJson(e, c, &sub))
+            return fail("payload: " + sub);
+    }
+    return true;
 }
 
 std::uint64_t
@@ -343,26 +404,20 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
     // an outer loop over the same (workload, shard) plan, so the task
     // index reduces to the single-mode one when kinds has one entry.
     const bool multi = !grid.kinds.empty();
-    const std::vector<PredictorKind> kindsList =
-        multi ? grid.kinds : std::vector<PredictorKind>{grid.kind};
-    const std::size_t configs = grid.estimators.size();
-    const std::size_t shard = std::max<std::size_t>(grid.shardSize, 1);
-    const std::size_t shards = configs == 0
-        ? 0 : (configs + shard - 1) / shard;
-    const std::size_t tasksPerKind = entries.size() * shards;
-    const std::size_t tasks = kindsList.size() * tasksPerKind;
+    const std::vector<PredictorKind> kindsList = resolveKinds(grid);
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    const std::size_t shards = plan.shards;
+    const std::size_t tasks = plan.tasks();
 
     std::unique_ptr<SweepJournal> journal;
     if (!options.journalPath.empty())
         journal = std::make_unique<SweepJournal>(options.journalPath,
                                                  sweepGridKey(grid));
 
-    // Task t = (kind index ki = t / tasksPerKind, workload index
-    // wi = (t % tasksPerKind) / shards, shard index si = t % shards)
-    // — grid-determined and jobs-independent, so a journal written
-    // under one job count resumes under any other, and the in-order
-    // merge below is identical for any job count. Single mode has
-    // ki == 0 always, i.e. the original t = wi * shards + si plan.
+    // The plan's task index (see SweepTaskPlan) is grid-determined
+    // and jobs-independent, so a journal written under one job count
+    // resumes under any other, and the in-order merge below is
+    // identical for any job count.
     std::vector<std::optional<std::vector<SweepConfigResult>>>
         parts(tasks);
     std::vector<std::size_t> pending;
@@ -382,12 +437,10 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
             pending.size(),
             [&](TaskContext &ctx) {
                 const std::size_t t = pending[ctx.index];
-                const std::size_t ki = t / tasksPerKind;
-                const std::size_t wi = (t % tasksPerKind) / shards;
-                const std::size_t first = (t % shards) * shard;
                 auto results =
-                    runShard(grid, kindsList[ki], entries[wi], first,
-                             std::min(shard, configs - first));
+                    runShard(grid, kindsList[plan.kindIndex(t)],
+                             entries[plan.entryIndex(t)],
+                             plan.firstConfig(t), plan.configCount(t));
                 // Checkpoint before returning: a later fatal task (or
                 // a kill) must not lose this completed shard.
                 if (journal)
@@ -421,7 +474,8 @@ runSweepGrid(const SweepGrid &grid, const SweepExecOptions &options,
                                            grid.pipeline)->pipe;
             for (std::size_t si = 0; si < shards; ++si) {
                 auto &part =
-                    *parts[ki * tasksPerKind + wi * shards + si];
+                    *parts[ki * plan.tasksPerKind() + wi * shards
+                           + si];
                 for (auto &config : part)
                     wl.configs.push_back(std::move(config));
             }

@@ -16,6 +16,8 @@
 #ifndef CONFSIM_HARNESS_SWEEP_HH
 #define CONFSIM_HARNESS_SWEEP_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -165,6 +167,59 @@ struct SweepResult
     SweepGrid grid;
     std::vector<SweepWorkloadResult> workloads;
 };
+
+/**
+ * Grid-determined decomposition of a sweep into shard tasks. Task
+ * t = (kind ki = t / tasksPerKind(), entry wi = (t % tasksPerKind())
+ * / shards, shard si = t % shards) — workload-major and independent
+ * of the job count or execution mode, so a journal written by any
+ * executor (threads, worker processes, the serve daemon) resumes
+ * under any other. Single-predictor mode has kinds == 1 (ki == 0
+ * always), i.e. the original t = wi * shards + si plan.
+ */
+struct SweepTaskPlan
+{
+    std::size_t kinds = 0;     ///< predictor kinds (1 in single mode)
+    std::size_t entries = 0;   ///< workload entries (recorded + synthetic)
+    std::size_t shards = 0;    ///< configuration shards per (kind, entry)
+    std::size_t shardSize = 0; ///< configurations per shard (>= 1)
+    std::size_t configs = 0;   ///< total grid configurations
+
+    std::size_t tasksPerKind() const { return entries * shards; }
+    std::size_t tasks() const { return kinds * tasksPerKind(); }
+    std::size_t kindIndex(std::size_t t) const
+    {
+        return t / tasksPerKind();
+    }
+    std::size_t entryIndex(std::size_t t) const
+    {
+        return (t % tasksPerKind()) / shards;
+    }
+    std::size_t firstConfig(std::size_t t) const
+    {
+        return (t % shards) * shardSize;
+    }
+    std::size_t configCount(std::size_t t) const
+    {
+        return std::min(shardSize, configs - firstConfig(t));
+    }
+};
+
+/** The grid's task decomposition (shared by every executor). */
+SweepTaskPlan sweepTaskPlan(const SweepGrid &grid);
+
+/**
+ * Evaluate one task of the plan and return its journal payload: the
+ * JSON array of per-config results, byte-identical (via dump()) to
+ * what runSweepGrid() journals for the same task. This is the worker
+ * process's unit of work. fatal()s if @p task is out of range.
+ */
+JsonValue sweepTaskPayloadJson(const SweepGrid &grid, std::size_t task);
+
+/** Whether @p payload parses as a valid shard payload (the array
+ *  sweepTaskPayloadJson returns). */
+bool sweepTaskPayloadValid(const JsonValue &payload,
+                           std::string *error = nullptr);
 
 /** Execution knobs of one runSweepGrid() call. */
 struct SweepExecOptions

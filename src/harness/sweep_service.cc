@@ -1,0 +1,1346 @@
+#include "harness/sweep_service.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/checksum.hh"
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
+#include "common/local_socket.hh"
+#include "common/logging.hh"
+#include "common/subprocess.hh"
+#include "harness/experiment_cache.hh"
+
+namespace confsim
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+bool
+jobStateFromName(const std::string &name, JobState &state)
+{
+    for (JobState s : {JobState::Queued, JobState::Running,
+                       JobState::Done, JobState::Failed,
+                       JobState::Cancelled}) {
+        if (name == jobStateName(s)) {
+            state = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Write @p bytes to @p path via temp + rename (same directory). */
+bool
+writeFileReplacing(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+}
+
+const JsonValue *
+uintField(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr
+        || (v->kind() != JsonValue::Kind::Uint
+            && (v->kind() != JsonValue::Kind::Int || v->asInt() < 0)))
+        return nullptr;
+    return v;
+}
+
+JsonValue
+okResponse()
+{
+    JsonValue v = JsonValue::object();
+    v["ok"] = JsonValue(true);
+    return v;
+}
+
+} // anonymous namespace
+
+JsonValue
+ServeCore::errorResponse(const std::string &code,
+                         const std::string &message)
+{
+    JsonValue v = JsonValue::object();
+    v["ok"] = JsonValue(false);
+    JsonValue e = JsonValue::object();
+    e["code"] = JsonValue(code);
+    e["message"] = JsonValue(message);
+    v["error"] = e;
+    return v;
+}
+
+ServeCore::ServeCore(const ServeOptions &options) : opts(options)
+{
+    if (opts.artifactDir.empty())
+        throw ConfsimError(ErrorCode::InvalidConfig,
+                           "confsim serve needs --artifact-dir (the "
+                           "shared journal/job/artifact directory)");
+    jobsDir = opts.artifactDir + "/jobs";
+    std::error_code ec;
+    std::filesystem::create_directories(jobsDir, ec);
+    if (ec)
+        throw ConfsimError(ErrorCode::Io,
+                           "cannot create jobs directory '" + jobsDir
+                           + "': " + ec.message());
+    recoverJobs();
+}
+
+std::string
+ServeCore::jobFilePath(const std::string &id) const
+{
+    return jobsDir + "/" + id + ".json";
+}
+
+std::string
+ServeCore::resultFilePath(const std::string &id) const
+{
+    return jobsDir + "/" + id + ".result.json";
+}
+
+std::string
+ServeCore::journalPathFor(std::uint64_t gridKey) const
+{
+    // The same path `confsim --sweep --artifact-dir` uses, so the
+    // daemon resumes CLI-started grids (and vice versa) and dedupes
+    // against them shard-for-shard.
+    return opts.artifactDir + "/sweep-" + hexDigest(gridKey)
+           + ".journal";
+}
+
+JsonValue
+ServeCore::handleRequest(const std::string &line)
+{
+    std::string err;
+    const JsonValue req = JsonValue::parse(line, &err);
+    if (!err.empty())
+        return errorResponse("invalid-request", "bad JSON: " + err);
+    if (!req.isObject())
+        return errorResponse("invalid-request",
+                             "expected a JSON object");
+    const JsonValue *op = req.find("op");
+    if (op == nullptr || !op->isString())
+        return errorResponse("invalid-request",
+                             "missing string key 'op'");
+    const std::string name = op->asString();
+
+    struct OpSpec
+    {
+        const char *name;
+        std::vector<const char *> keys;
+    };
+    static const std::vector<OpSpec> ops = {
+        {"ping", {"op"}},
+        {"submit", {"op", "grid", "client", "priority"}},
+        {"status", {"op", "job"}},
+        {"result", {"op", "job"}},
+        {"cancel", {"op", "job"}},
+        {"shutdown", {"op"}},
+    };
+    const auto spec = std::find_if(ops.begin(), ops.end(),
+                                   [&](const OpSpec &s) {
+                                       return name == s.name;
+                                   });
+    if (spec == ops.end())
+        return errorResponse("invalid-request",
+                             "unknown op '" + name + "'");
+    for (const auto &[key, value] : req.members()) {
+        if (std::none_of(spec->keys.begin(), spec->keys.end(),
+                         [&](const char *k) { return key == k; }))
+            return errorResponse("invalid-request",
+                                 "unknown key '" + key + "' for op '"
+                                 + name + "'");
+    }
+
+    if (name == "ping")
+        return okResponse();
+    if (name == "submit")
+        return handleSubmit(req);
+    if (name == "status")
+        return handleStatus(req);
+    if (name == "result")
+        return handleResult(req);
+    if (name == "cancel")
+        return handleCancel(req);
+    // shutdown
+    shutdown = true;
+    return okResponse();
+}
+
+JsonValue
+ServeCore::jobStatusJson(const Job &job) const
+{
+    JsonValue v = JsonValue::object();
+    v["job"] = JsonValue(job.id);
+    v["state"] = JsonValue(std::string(jobStateName(job.state)));
+    v["client"] = JsonValue(job.client);
+    v["priority"] = JsonValue(job.priority);
+    v["tasks_total"] = JsonValue(std::uint64_t{job.plan.tasks()});
+    // A recovered Done job has an empty in-memory done set; its state
+    // alone proves every task completed.
+    v["tasks_done"] = JsonValue(std::uint64_t{
+            job.state == JobState::Done ? job.plan.tasks()
+                                        : job.done.size()});
+    if (!job.error.empty())
+        v["error"] = JsonValue(job.error);
+    return v;
+}
+
+JsonValue
+ServeCore::handleSubmit(const JsonValue &req)
+{
+    const JsonValue *gridVal = req.find("grid");
+    if (gridVal == nullptr)
+        return errorResponse("invalid-request", "missing key 'grid'");
+    SweepGrid grid;
+    std::string err;
+    if (!sweepGridFromJson(*gridVal, grid, &err))
+        return errorResponse("invalid-request", "grid: " + err);
+
+    std::string client = "default";
+    if (const JsonValue *c = req.find("client")) {
+        if (!c->isString() || c->asString().empty())
+            return errorResponse("invalid-request",
+                                 "client: expected a non-empty "
+                                 "string");
+        client = c->asString();
+    }
+    std::int64_t priority = 0;
+    if (const JsonValue *p = req.find("priority")) {
+        if (p->kind() != JsonValue::Kind::Int
+            && p->kind() != JsonValue::Kind::Uint)
+            return errorResponse("invalid-request",
+                                 "priority: expected an integer");
+        priority = p->asInt();
+    }
+
+    // Identical grids dedupe against queued, running, and completed
+    // jobs (failed/cancelled ones don't — resubmission retries, and
+    // the shared journal makes the retry resume, not recompute).
+    const std::uint64_t key = sweepGridKey(grid);
+    for (const auto &[id, job] : jobs) {
+        if (job.gridKey == key
+            && (job.state == JobState::Queued
+                || job.state == JobState::Running
+                || job.state == JobState::Done)) {
+            JsonValue v = jobStatusJson(job);
+            v["ok"] = JsonValue(true);
+            v["deduped"] = JsonValue(true);
+            return v;
+        }
+    }
+
+    std::size_t active = 0, clientActive = 0;
+    for (const auto &[id, job] : jobs) {
+        if (job.terminal())
+            continue;
+        ++active;
+        if (job.client == client)
+            ++clientActive;
+    }
+    if (clientActive >= opts.maxClientJobs)
+        return errorResponse(
+                "quota-exceeded",
+                "client '" + client + "' already has "
+                + std::to_string(clientActive)
+                + " queued/running jobs (quota "
+                + std::to_string(opts.maxClientJobs) + ")");
+    if (active >= opts.maxQueuedJobs)
+        return errorResponse(
+                "admission-rejected",
+                "job queue is full (" + std::to_string(active) + "/"
+                + std::to_string(opts.maxQueuedJobs)
+                + " jobs queued or running); retry later");
+
+    Job job;
+    job.seq = nextSeq++;
+    job.id = "j" + std::to_string(job.seq);
+    job.client = client;
+    job.priority = priority;
+    job.grid = std::move(grid);
+    job.gridKey = key;
+    job.plan = sweepTaskPlan(job.grid);
+    job.state = JobState::Queued;
+
+    Job &admitted = jobs.emplace(job.id, std::move(job)).first->second;
+    attachJournal(admitted);
+    persist(admitted);
+    if (admitted.pending.empty())
+        finalize(admitted); // every shard already journaled
+
+    JsonValue v = jobStatusJson(admitted);
+    v["ok"] = JsonValue(true);
+    v["deduped"] = JsonValue(false);
+    return v;
+}
+
+JsonValue
+ServeCore::handleStatus(const JsonValue &req)
+{
+    if (const JsonValue *jobKey = req.find("job")) {
+        if (!jobKey->isString())
+            return errorResponse("invalid-request",
+                                 "job: expected a string");
+        const auto it = jobs.find(jobKey->asString());
+        if (it == jobs.end())
+            return errorResponse("unknown-job",
+                                 "no job '" + jobKey->asString()
+                                 + "'");
+        JsonValue v = jobStatusJson(it->second);
+        v["ok"] = JsonValue(true);
+        return v;
+    }
+    JsonValue v = okResponse();
+    JsonValue list = JsonValue::array();
+    std::size_t active = 0;
+    // Seq order = submission order (stable across restarts).
+    std::vector<const Job *> ordered;
+    for (const auto &[id, job] : jobs)
+        ordered.push_back(&job);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Job *a, const Job *b) { return a->seq < b->seq; });
+    for (const Job *job : ordered) {
+        list.push(jobStatusJson(*job));
+        if (!job->terminal())
+            ++active;
+    }
+    v["jobs"] = list;
+    v["active"] = JsonValue(std::uint64_t{active});
+    v["workers"] = JsonValue(std::uint64_t{aliveWorkers});
+    v["target_workers"] = JsonValue(std::uint64_t{targetWorkers()});
+    return v;
+}
+
+JsonValue
+ServeCore::handleResult(const JsonValue &req)
+{
+    const JsonValue *jobKey = req.find("job");
+    if (jobKey == nullptr || !jobKey->isString())
+        return errorResponse("invalid-request",
+                             "missing string key 'job'");
+    const auto it = jobs.find(jobKey->asString());
+    if (it == jobs.end())
+        return errorResponse("unknown-job",
+                             "no job '" + jobKey->asString() + "'");
+    const Job &job = it->second;
+    if (job.state != JobState::Done)
+        return errorResponse("job-not-done",
+                             "job '" + job.id + "' is "
+                             + jobStateName(job.state)
+                             + (job.error.empty()
+                                    ? std::string()
+                                    : ": " + job.error));
+    std::string bytes;
+    if (!readWholeFile(resultFilePath(job.id), bytes))
+        return errorResponse("internal",
+                             "result file for '" + job.id
+                             + "' is missing");
+    std::string err;
+    JsonValue doc = JsonValue::parse(bytes, &err);
+    if (!err.empty())
+        return errorResponse("internal",
+                             "result file for '" + job.id
+                             + "' is corrupt: " + err);
+    JsonValue v = okResponse();
+    v["job"] = JsonValue(job.id);
+    v["result"] = std::move(doc);
+    return v;
+}
+
+JsonValue
+ServeCore::handleCancel(const JsonValue &req)
+{
+    const JsonValue *jobKey = req.find("job");
+    if (jobKey == nullptr || !jobKey->isString())
+        return errorResponse("invalid-request",
+                             "missing string key 'job'");
+    const auto it = jobs.find(jobKey->asString());
+    if (it == jobs.end())
+        return errorResponse("unknown-job",
+                             "no job '" + jobKey->asString() + "'");
+    Job &job = it->second;
+    if (job.terminal())
+        return errorResponse("job-finished",
+                             "job '" + job.id + "' already "
+                             + jobStateName(job.state));
+    job.state = JobState::Cancelled;
+    job.pending.clear();
+    job.journal.reset();
+    persist(job);
+    JsonValue v = jobStatusJson(job);
+    v["ok"] = JsonValue(true);
+    return v;
+}
+
+void
+ServeCore::attachJournal(Job &job)
+{
+    job.journal = std::make_unique<SweepJournal>(
+            journalPathFor(job.gridKey), job.gridKey);
+    job.pending.clear();
+    job.done.clear();
+    for (std::uint64_t t = 0; t < job.plan.tasks(); ++t) {
+        std::string payload;
+        if (job.journal->lookup(t, payload)) {
+            std::string err;
+            const JsonValue parsed = JsonValue::parse(payload, &err);
+            if (err.empty() && sweepTaskPayloadValid(parsed)) {
+                job.done.insert(t);
+                continue;
+            }
+        }
+        job.pending.insert(t);
+    }
+}
+
+std::optional<ServeCore::TaskRef>
+ServeCore::nextReadyTask()
+{
+    Job *best = nullptr;
+    for (auto &[id, job] : jobs) {
+        if (job.terminal() || job.pending.empty())
+            continue;
+        if (best == nullptr || job.priority > best->priority
+            || (job.priority == best->priority && job.seq < best->seq))
+            best = &job;
+    }
+    if (best == nullptr)
+        return std::nullopt;
+    const std::uint64_t task = *best->pending.begin();
+    best->pending.erase(best->pending.begin());
+    ++best->inFlight;
+    if (best->state == JobState::Queued) {
+        best->state = JobState::Running;
+        persist(*best);
+    }
+    return TaskRef{best->id, task};
+}
+
+bool
+ServeCore::hasPendingWork() const
+{
+    return std::any_of(jobs.begin(), jobs.end(), [](const auto &kv) {
+        return !kv.second.terminal() && !kv.second.pending.empty();
+    });
+}
+
+const SweepGrid *
+ServeCore::jobGrid(const std::string &job) const
+{
+    const auto it = jobs.find(job);
+    return it == jobs.end() ? nullptr : &it->second.grid;
+}
+
+bool
+ServeCore::jobActive(const std::string &job) const
+{
+    const auto it = jobs.find(job);
+    return it != jobs.end() && !it->second.terminal();
+}
+
+void
+ServeCore::taskCompleted(const TaskRef &ref, const JsonValue &payload)
+{
+    const auto it = jobs.find(ref.job);
+    if (it == jobs.end())
+        return;
+    Job &job = it->second;
+    if (job.inFlight > 0)
+        --job.inFlight;
+    if (job.terminal())
+        return; // cancelled/failed while the shard was in flight
+    std::string err;
+    if (!sweepTaskPayloadValid(payload, &err)) {
+        failJob(job, "worker returned an invalid payload for task "
+                     + std::to_string(ref.task) + ": " + err);
+        return;
+    }
+    // dump() (indent 2) matches what runSweepGrid journals for this
+    // task, so daemon and CLI journals stay byte-interchangeable.
+    if (job.journal
+        && !job.journal->append(ref.task, payload.dump()))
+        warn("serve: journal append failed for " + ref.job + " task "
+             + std::to_string(ref.task)
+             + " (shard will be recomputed at finalize)");
+    job.done.insert(ref.task);
+    if (job.done.size() == job.plan.tasks() && job.inFlight == 0
+        && job.pending.empty())
+        finalize(job);
+}
+
+std::optional<std::chrono::milliseconds>
+ServeCore::taskFailed(const TaskRef &ref, const std::string &error,
+                      bool transient)
+{
+    const auto it = jobs.find(ref.job);
+    if (it == jobs.end())
+        return std::nullopt;
+    Job &job = it->second;
+    if (job.inFlight > 0)
+        --job.inFlight;
+    if (job.terminal())
+        return std::nullopt;
+    const unsigned attempt = ++job.attempts[ref.task];
+    if (transient && attempt < opts.policy.maxAttempts)
+        return ParallelRunner::backoffDelay(
+                opts.policy, static_cast<std::size_t>(ref.task),
+                attempt);
+    failJob(job, "task " + std::to_string(ref.task) + ": " + error
+                 + (transient
+                        ? " (after " + std::to_string(attempt)
+                              + " attempts)"
+                        : ""));
+    return std::nullopt;
+}
+
+void
+ServeCore::requeueTask(const TaskRef &ref)
+{
+    const auto it = jobs.find(ref.job);
+    if (it == jobs.end() || it->second.terminal())
+        return;
+    it->second.pending.insert(ref.task);
+}
+
+void
+ServeCore::failJob(Job &job, const std::string &error)
+{
+    job.state = JobState::Failed;
+    job.error = error;
+    job.pending.clear();
+    job.journal.reset();
+    persist(job);
+}
+
+void
+ServeCore::finalize(Job &job)
+{
+    // Close our append handle first; the assembly below re-opens the
+    // journal read-only-in-effect (nothing is pending, so it only
+    // loads entries — and recomputes inline as a correctness fallback
+    // if any entry was lost).
+    job.journal.reset();
+    SweepExecOptions exec;
+    exec.jobs = 0;
+    exec.journalPath = journalPathFor(job.gridKey);
+    try {
+        const SweepResult result = runSweepGrid(job.grid, exec);
+        const std::string doc = sweepResultToJson(result).dump(2);
+        if (!writeFileReplacing(resultFilePath(job.id), doc)) {
+            failJob(job, "cannot write result file");
+        } else {
+            job.state = JobState::Done;
+            job.error.clear();
+            persist(job);
+        }
+    } catch (const ConfsimError &e) {
+        failJob(job, std::string("finalize: ") + e.what());
+    }
+    // The daemon is long-running: drop decoded traces/profiles after
+    // each finished grid so memory stays bounded by the active job,
+    // not the daemon's history. Warm re-reads come from the mmap
+    // artifact store the workers populated.
+    clearExperimentCaches();
+}
+
+void
+ServeCore::workerCrashed()
+{
+    ++crashStreak;
+}
+
+void
+ServeCore::workerSucceeded()
+{
+    crashStreak = 0;
+}
+
+unsigned
+ServeCore::targetWorkers() const
+{
+    const unsigned base = std::max(1u, opts.workers);
+    return base - std::min(crashStreak, base - 1);
+}
+
+void
+ServeCore::persist(const Job &job) const
+{
+    JsonValue v = JsonValue::object();
+    v["id"] = JsonValue(job.id);
+    v["client"] = JsonValue(job.client);
+    v["priority"] = JsonValue(job.priority);
+    v["seq"] = JsonValue(std::uint64_t{job.seq});
+    v["state"] = JsonValue(std::string(jobStateName(job.state)));
+    v["error"] = JsonValue(job.error);
+    v["grid"] = sweepGridToJson(job.grid);
+    if (!writeFileReplacing(jobFilePath(job.id), v.dump(2)))
+        warn("serve: cannot persist job record for " + job.id);
+}
+
+void
+ServeCore::recoverJobs()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(jobsDir, ec);
+    if (ec)
+        return;
+    std::vector<std::string> files;
+    for (const auto &entry : dir) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 5
+            && name.compare(name.size() - 5, 5, ".json") == 0
+            && (name.size() < 12
+                || name.compare(name.size() - 12, 12, ".result.json")
+                       != 0))
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &path : files) {
+        std::string bytes;
+        if (!readWholeFile(path, bytes))
+            continue;
+        std::string err;
+        const JsonValue v = JsonValue::parse(bytes, &err);
+        if (!err.empty() || !v.isObject()) {
+            warn("serve: skipping unreadable job record " + path);
+            continue;
+        }
+        const JsonValue *id = v.find("id");
+        const JsonValue *client = v.find("client");
+        const JsonValue *priority = v.find("priority");
+        const JsonValue *seq = uintField(v, "seq");
+        const JsonValue *state = v.find("state");
+        const JsonValue *error = v.find("error");
+        const JsonValue *gridVal = v.find("grid");
+        Job job;
+        if (id == nullptr || !id->isString() || client == nullptr
+            || !client->isString() || priority == nullptr
+            || (priority->kind() != JsonValue::Kind::Int
+                && priority->kind() != JsonValue::Kind::Uint)
+            || seq == nullptr || state == nullptr
+            || !state->isString() || error == nullptr
+            || !error->isString() || gridVal == nullptr
+            || !jobStateFromName(state->asString(), job.state)
+            || !sweepGridFromJson(*gridVal, job.grid, &err)) {
+            warn("serve: skipping malformed job record " + path);
+            continue;
+        }
+        job.id = id->asString();
+        job.client = client->asString();
+        job.priority = priority->asInt();
+        job.seq = seq->asUint();
+        job.error = error->asString();
+        job.gridKey = sweepGridKey(job.grid);
+        job.plan = sweepTaskPlan(job.grid);
+        nextSeq = std::max(nextSeq, job.seq + 1);
+
+        Job &restored =
+            jobs.emplace(job.id, std::move(job)).first->second;
+        if (restored.terminal())
+            continue; // kept for status/result/dedupe only
+        // Re-admit an interrupted job: the journal says which shards
+        // survived; everything else is pending again. Running becomes
+        // Queued until a worker picks a shard up.
+        restored.state = JobState::Queued;
+        restored.error.clear();
+        attachJournal(restored);
+        persist(restored);
+        if (restored.pending.empty())
+            finalize(restored);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The daemon loop.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stopSignal = 0;
+
+void
+onStopSignal(int)
+{
+    g_stopSignal = 1;
+}
+
+void
+setNonBlockingFd(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** write(2) the whole buffer to a pipe fd; false if the reader died. */
+bool
+writeAllPipe(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/** The poll-loop daemon around one ServeCore. */
+class ServiceLoop
+{
+  public:
+    explicit ServiceLoop(const ServeOptions &options) : core(options)
+    {}
+
+    int
+    run()
+    {
+        const ServeOptions &o = core.options();
+        OwnedFd listenFd = listenUnixSocket(o.socketPath);
+        setNonBlockingFd(listenFd.get());
+
+        std::signal(SIGPIPE, SIG_IGN);
+        g_stopSignal = 0;
+        std::signal(SIGTERM, onStopSignal);
+        std::signal(SIGINT, onStopSignal);
+
+        std::fprintf(stderr, "confsim serve: listening on %s\n",
+                     o.socketPath.c_str());
+
+        while (!stopping && g_stopSignal == 0) {
+            reapWorkers();
+            promoteRetries();
+            checkDeadlines();
+            dispatch();
+            pollOnce(listenFd.get());
+        }
+
+        for (Worker &w : workers) {
+            if (w.proc.running()) {
+                killChild(w.proc.pid);
+                waitChild(w.proc.pid, true);
+            }
+        }
+        workers.clear();
+        clients.clear();
+        ::unlink(o.socketPath.c_str());
+        return 0;
+    }
+
+  private:
+    struct Client
+    {
+        OwnedFd fd;
+        LineSplitter lines;
+
+        Client(OwnedFd f, std::size_t maxLine)
+            : fd(std::move(f)), lines(maxLine)
+        {}
+    };
+
+    struct Worker
+    {
+        ChildProcess proc;
+        // Reply lines carry whole shard payloads; allow well beyond
+        // the client-request bound.
+        LineSplitter lines{std::size_t{1} << 26};
+        std::optional<ServeCore::TaskRef> task;
+        Clock::time_point deadline{};
+        bool doomed = false;   ///< kill-worker fault: dies mid-shard
+        bool timedOut = false; ///< we SIGKILLed it (watchdog)
+    };
+
+    struct Retry
+    {
+        ServeCore::TaskRef ref;
+        Clock::time_point readyAt;
+    };
+
+    void
+    reapWorkers()
+    {
+        for (std::size_t i = 0; i < workers.size();) {
+            Worker &w = workers[i];
+            const auto status = waitChild(w.proc.pid, false);
+            if (!status) {
+                ++i;
+                continue;
+            }
+            // Drain any reply that beat the exit through the pipe
+            // before classifying this as a lost shard.
+            drainWorker(w);
+            if (w.task) {
+                const ServeCore::TaskRef ref = *w.task;
+                if (w.timedOut) {
+                    warn("serve: worker pid "
+                         + std::to_string(w.proc.pid)
+                         + " exceeded the shard deadline; task "
+                         + std::to_string(ref.task) + " of " + ref.job
+                         + " failed");
+                    core.taskFailed(
+                            ref,
+                            "[timeout] worker exceeded the shard "
+                            "deadline and was killed",
+                            false);
+                } else {
+                    warn("serve: worker pid "
+                         + std::to_string(w.proc.pid) + " ("
+                         + status->describe() + ") died mid-shard; "
+                         "retrying task " + std::to_string(ref.task)
+                         + " of " + ref.job);
+                    core.workerCrashed();
+                    scheduleRetryOrFail(
+                            ref,
+                            "worker (pid "
+                            + std::to_string(w.proc.pid) + ", "
+                            + status->describe()
+                            + ") died mid-shard");
+                }
+            } else if (!status->ok()) {
+                core.workerCrashed();
+            }
+            workers.erase(workers.begin() + i);
+        }
+    }
+
+    void
+    scheduleRetryOrFail(const ServeCore::TaskRef &ref,
+                        const std::string &error)
+    {
+        const auto delay = core.taskFailed(ref, error, true);
+        if (delay)
+            retries.push_back({ref, Clock::now() + *delay});
+    }
+
+    void
+    promoteRetries()
+    {
+        const auto now = Clock::now();
+        for (std::size_t i = 0; i < retries.size();) {
+            if (retries[i].readyAt <= now) {
+                core.requeueTask(retries[i].ref);
+                retries.erase(retries.begin() + i);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    void
+    checkDeadlines()
+    {
+        if (core.options().taskDeadline.count() == 0)
+            return;
+        const auto now = Clock::now();
+        for (Worker &w : workers) {
+            if (w.task && !w.timedOut && now >= w.deadline) {
+                w.timedOut = true;
+                killChild(w.proc.pid);
+            }
+        }
+    }
+
+    void
+    dispatch()
+    {
+        core.noteAliveWorkers(static_cast<unsigned>(workers.size()));
+        while (workers.size() < core.targetWorkers()
+               && core.hasPendingWork())
+            spawnWorker();
+        for (Worker &w : workers) {
+            if (w.task)
+                continue;
+            const auto ref = core.nextReadyTask();
+            if (!ref)
+                break;
+            sendTask(w, *ref);
+        }
+    }
+
+    void
+    spawnWorker()
+    {
+        const ServeOptions &o = core.options();
+        std::vector<std::string> argv = o.workerArgv;
+        if (argv.empty())
+            argv = {selfExecutablePath(), "worker", "--artifact-dir",
+                    o.artifactDir};
+        Worker w;
+        try {
+            w.proc = spawnChild(argv);
+        } catch (const ConfsimError &e) {
+            warn(std::string("serve: cannot spawn worker: ")
+                 + e.what());
+            core.workerCrashed(); // degrade instead of spinning
+            return;
+        }
+        w.doomed = FaultInjector::instance().onWorkerSpawn();
+        workers.push_back(std::move(w));
+    }
+
+    void
+    sendTask(Worker &w, const ServeCore::TaskRef &ref)
+    {
+        const SweepGrid *grid = core.jobGrid(ref.job);
+        if (grid == nullptr) {
+            core.taskFailed(ref, "job vanished", false);
+            return;
+        }
+        JsonValue msg = JsonValue::object();
+        msg["task"] = JsonValue(std::uint64_t{ref.task});
+        msg["grid"] = sweepGridToJson(*grid);
+        if (w.doomed)
+            msg["die"] = JsonValue(true);
+        w.task = ref;
+        w.timedOut = false;
+        if (core.options().taskDeadline.count() > 0)
+            w.deadline = Clock::now() + core.options().taskDeadline;
+        if (!writeAllPipe(w.proc.toChild.get(), msg.dump(0) + "\n")) {
+            // Worker already dead; reapWorkers() will classify it and
+            // retry the shard.
+            killChild(w.proc.pid);
+        }
+    }
+
+    /** Read everything available from a worker pipe and handle any
+     *  complete reply lines. */
+    void
+    drainWorker(Worker &w)
+    {
+        if (!w.proc.fromChild.valid())
+            return;
+        for (;;) {
+            std::string chunk;
+            const auto n = readChunk(w.proc.fromChild.get(), chunk);
+            if (!n)
+                break; // would block
+            if (*n == 0)
+                break; // EOF: exit handled by reapWorkers
+            w.lines.feed(chunk);
+        }
+        while (auto line = w.lines.nextLine())
+            handleWorkerReply(w, *line);
+    }
+
+    void
+    handleWorkerReply(Worker &w, const std::string &line)
+    {
+        if (!w.task) {
+            warn("serve: unexpected worker output: " + line);
+            return;
+        }
+        std::string err;
+        const JsonValue v = JsonValue::parse(line, &err);
+        const JsonValue *task =
+            err.empty() && v.isObject() ? v.find("task") : nullptr;
+        const JsonValue *ok =
+            err.empty() && v.isObject() ? v.find("ok") : nullptr;
+        if (task == nullptr
+            || task->kind() != JsonValue::Kind::Uint
+            || ok == nullptr || !ok->isBool()
+            || task->asUint() != w.task->task) {
+            // Not a (matching) protocol line — stray output. Ignore;
+            // the real reply or the worker's death follows.
+            warn("serve: ignoring malformed worker line");
+            return;
+        }
+        const ServeCore::TaskRef ref = *w.task;
+        w.task.reset();
+        if (ok->asBool()) {
+            const JsonValue *payload = v.find("payload");
+            if (payload == nullptr) {
+                scheduleRetryOrFail(ref, "worker reply missing "
+                                         "payload");
+                return;
+            }
+            core.workerSucceeded();
+            core.taskCompleted(ref, *payload);
+            return;
+        }
+        std::string code = "internal", message = "worker error";
+        if (const JsonValue *e = v.find("error");
+            e != nullptr && e->isObject()) {
+            if (const JsonValue *c = e->find("code");
+                c != nullptr && c->isString())
+                code = c->asString();
+            if (const JsonValue *m = e->find("message");
+                m != nullptr && m->isString())
+                message = m->asString();
+        }
+        const bool transient =
+            code == errorCodeName(ErrorCode::Transient);
+        const auto delay = core.taskFailed(
+                ref, "[" + code + "] " + message, transient);
+        if (delay)
+            retries.push_back({ref, Clock::now() + *delay});
+    }
+
+    void
+    pollOnce(int listenFd)
+    {
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd, POLLIN, 0});
+        const std::size_t clientBase = fds.size();
+        for (const Client &c : clients)
+            fds.push_back({c.fd.get(), POLLIN, 0});
+        const std::size_t workerBase = fds.size();
+        for (const Worker &w : workers)
+            fds.push_back({w.proc.fromChild.get(), POLLIN, 0});
+
+        const int timeout = pollTimeoutMs();
+        const int n = ::poll(fds.data(),
+                             static_cast<nfds_t>(fds.size()), timeout);
+        if (n < 0) {
+            if (errno != EINTR)
+                warn(std::string("serve: poll: ")
+                     + std::strerror(errno));
+            return;
+        }
+
+        // Workers first: journaling a finished shard must win any
+        // race against a client polling the job's status. (Nothing
+        // below mutates the workers vector.)
+        const std::size_t nWorkers = workers.size();
+        for (std::size_t i = 0; i < nWorkers; ++i) {
+            if (fds[workerBase + i].revents & (POLLIN | POLLHUP))
+                drainWorker(workers[i]);
+        }
+
+        // Snapshot client readiness before accepting (which appends)
+        // or erasing (which shifts) — the pollfd mapping is only
+        // valid for the clients that existed when fds was built.
+        const std::size_t nClients = workerBase - clientBase;
+        std::vector<bool> ready(nClients);
+        for (std::size_t i = 0; i < nClients; ++i)
+            ready[i] = (fds[clientBase + i].revents
+                        & (POLLIN | POLLHUP)) != 0;
+
+        if (fds[0].revents & POLLIN)
+            acceptClients(listenFd);
+
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < nClients && !stopping; ++i) {
+            if (!ready[i]) {
+                ++idx;
+                continue;
+            }
+            if (serviceClient(clients[idx]))
+                ++idx;
+            else
+                clients.erase(clients.begin()
+                              + static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+
+    int
+    pollTimeoutMs()
+    {
+        // Wake for the nearest timer (retry backoff, shard deadline)
+        // but at least every 50 ms for waitpid-based crash detection.
+        Clock::duration next = std::chrono::milliseconds(50);
+        const auto now = Clock::now();
+        for (const Retry &r : retries)
+            next = std::min(next, r.readyAt - now);
+        if (core.options().taskDeadline.count() > 0) {
+            for (const Worker &w : workers) {
+                if (w.task && !w.timedOut)
+                    next = std::min(next, w.deadline - now);
+            }
+        }
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(next)
+                .count();
+        return static_cast<int>(std::clamp<long long>(ms, 0, 50));
+    }
+
+    void
+    acceptClients(int listenFd)
+    {
+        for (;;) {
+            OwnedFd fd = acceptConnection(listenFd);
+            if (!fd.valid())
+                break;
+            // Bound response writes: a client that stops reading is
+            // dropped by sendAll (SO_SNDTIMEO -> EAGAIN -> false),
+            // never blocking the daemon.
+            timeval tv{};
+            tv.tv_sec = 10;
+            ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv));
+            clients.emplace_back(std::move(fd),
+                                 core.options().maxRequestBytes);
+        }
+    }
+
+    /** Handle readable data on a client. @return false to close. */
+    bool
+    serviceClient(Client &c)
+    {
+        std::string chunk;
+        const auto n = readChunk(c.fd.get(), chunk);
+        if (n && *n == 0)
+            return false; // EOF
+        if (n)
+            c.lines.feed(chunk);
+        while (auto line = c.lines.nextLine()) {
+            const JsonValue resp = core.handleRequest(*line);
+            const bool sent = respond(c, resp);
+            if (core.shutdownRequested())
+                stopping = true;
+            if (!sent || stopping)
+                return false;
+        }
+        if (c.lines.overflowed()) {
+            respond(c, ServeCore::errorResponse(
+                               "invalid-request",
+                               "request line exceeds "
+                               + std::to_string(
+                                         core.options()
+                                             .maxRequestBytes)
+                               + " bytes"));
+            return false;
+        }
+        return true;
+    }
+
+    /** Write one response line. @return false if the client is gone
+     *  (or the drop-connection fault fired). */
+    bool
+    respond(Client &c, const JsonValue &resp)
+    {
+        const std::string line = resp.dump(0) + "\n";
+        if (FaultInjector::instance().onClientResponse()) {
+            // Deterministic mid-response disconnect: deliver half the
+            // line, then drop the socket.
+            sendAll(c.fd.get(), line.substr(0, line.size() / 2));
+            return false;
+        }
+        return sendAll(c.fd.get(), line);
+    }
+
+    ServeCore core;
+    std::vector<Client> clients;
+    std::vector<Worker> workers;
+    std::vector<Retry> retries;
+    bool stopping = false;
+};
+
+} // anonymous namespace
+
+int
+runSweepService(const ServeOptions &options)
+{
+    ServiceLoop loop(options);
+    return loop.run();
+}
+
+// ---------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+JsonValue
+workerError(std::uint64_t task, const std::string &code,
+            const std::string &message)
+{
+    JsonValue v = JsonValue::object();
+    v["task"] = JsonValue(task);
+    v["ok"] = JsonValue(false);
+    JsonValue e = JsonValue::object();
+    e["code"] = JsonValue(code);
+    e["message"] = JsonValue(message);
+    v["error"] = e;
+    return v;
+}
+
+JsonValue
+workerHandleLine(const std::string &line)
+{
+    std::string err;
+    const JsonValue v = JsonValue::parse(line, &err);
+    if (!err.empty() || !v.isObject())
+        return workerError(0, "invalid-request",
+                           "bad task line: " + err);
+    const JsonValue *task = v.find("task");
+    if (task == nullptr || task->kind() != JsonValue::Kind::Uint)
+        return workerError(0, "invalid-request",
+                           "missing uint key 'task'");
+    const std::uint64_t t = task->asUint();
+    const JsonValue *gridVal = v.find("grid");
+    if (gridVal == nullptr)
+        return workerError(t, "invalid-request",
+                           "missing key 'grid'");
+    bool die = false;
+    if (const JsonValue *d = v.find("die")) {
+        if (!d->isBool())
+            return workerError(t, "invalid-request",
+                               "die: expected a bool");
+        die = d->asBool();
+    }
+    SweepGrid grid;
+    if (!sweepGridFromJson(*gridVal, grid, &err))
+        return workerError(t, "invalid-request", "grid: " + err);
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    if (t >= plan.tasks())
+        return workerError(t, "invalid-request",
+                           "task " + std::to_string(t)
+                           + " out of range (grid has "
+                           + std::to_string(plan.tasks())
+                           + " tasks)");
+    try {
+        JsonValue payload = sweepTaskPayloadJson(grid, t);
+        // kill-worker fault: die after the work, before the reply —
+        // the shard is complete in this address space but never
+        // journaled, exactly what an OOM kill mid-shard loses.
+        if (die)
+            ::raise(SIGKILL);
+        JsonValue reply = JsonValue::object();
+        reply["task"] = JsonValue(t);
+        reply["ok"] = JsonValue(true);
+        reply["payload"] = std::move(payload);
+        return reply;
+    } catch (const ConfsimError &e) {
+        return workerError(t, errorCodeName(e.code()), e.what());
+    } catch (const std::exception &e) {
+        return workerError(t, "internal", e.what());
+    }
+}
+
+} // anonymous namespace
+
+int
+runServeWorker()
+{
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        const JsonValue reply = workerHandleLine(line);
+        const std::string out = reply.dump(0) + "\n";
+        if (std::fwrite(out.data(), 1, out.size(), stdout)
+                != out.size()
+            || std::fflush(stdout) != 0)
+            return 1; // daemon went away
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Client side.
+// ---------------------------------------------------------------------
+
+JsonValue
+serveRequest(const std::string &socketPath, const JsonValue &request)
+{
+    OwnedFd fd = connectUnixSocket(socketPath);
+    if (!sendAll(fd.get(), request.dump(0) + "\n"))
+        throw ConfsimError(ErrorCode::Io,
+                           "daemon closed the connection while "
+                           "receiving the request");
+    std::string buf;
+    for (;;) {
+        const auto n = readChunk(fd.get(), buf);
+        if (!n)
+            continue; // blocking socket: not reachable in practice
+        if (*n == 0)
+            throw ConfsimError(ErrorCode::Io,
+                               "daemon closed the connection before "
+                               "a full response (got "
+                               + std::to_string(buf.size())
+                               + " bytes)");
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            buf.resize(nl);
+            break;
+        }
+        if (buf.size() > (std::size_t{1} << 30))
+            throw ConfsimError(ErrorCode::Io,
+                               "response exceeds 1 GiB without a "
+                               "newline");
+    }
+    std::string err;
+    JsonValue resp = JsonValue::parse(buf, &err);
+    if (!err.empty() || !resp.isObject())
+        throw ConfsimError(ErrorCode::Io,
+                           "malformed response from daemon: " + err);
+    return resp;
+}
+
+} // namespace confsim

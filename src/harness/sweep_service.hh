@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The confsim serve subsystem: a crash-isolated, multi-process sweep
+ * job service over a Unix-domain socket.
+ *
+ * Three layers:
+ *
+ *  - ServeCore: the I/O-free brain. Owns job admission (bounded
+ *    queue, per-client quotas, priorities, dedupe on sweepGridKey),
+ *    the newline-JSON protocol (one strict request object in, one
+ *    response object out), per-job task scheduling bookkeeping, the
+ *    shared per-grid sweep journals, and job persistence/recovery.
+ *    Deterministic and unit-testable without sockets or processes.
+ *
+ *  - SweepService: the daemon. A poll(2) event loop over the listen
+ *    socket, client connections, and worker-process stdout pipes;
+ *    spawns `confsim worker` processes (fork/exec of this binary),
+ *    feeds them task lines, journals their replies, SIGKILLs workers
+ *    that exceed the shard deadline, reaps crashes and retries the
+ *    lost shard with the parallel runner's backoff policy, and
+ *    degrades the worker pool after crash streaks.
+ *
+ *  - runServeWorker / serveRequest: the worker-side stdin/stdout
+ *    loop and the client-side one-request helper.
+ *
+ * A job's shards are journaled into the same
+ * `<artifactDir>/sweep-<gridkey>.journal` file the CLI `--sweep`
+ * path uses, with byte-identical payloads — so a daemon-computed
+ * grid, a CLI-computed grid, and a daemon restarted mid-grid all
+ * converge on the same journal bytes and the same final stats JSON.
+ */
+
+#ifndef CONFSIM_HARNESS_SWEEP_SERVICE_HH
+#define CONFSIM_HARNESS_SWEEP_SERVICE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/sweep.hh"
+#include "harness/sweep_journal.hh"
+
+namespace confsim
+{
+
+/** Configuration of one serve daemon (and its ServeCore). */
+struct ServeOptions
+{
+    /** Unix-domain socket path the daemon listens on. */
+    std::string socketPath;
+    /** Artifact/journal/job-state directory (required). Shared with
+     *  worker processes and with CLI `--artifact-dir` runs. */
+    std::string artifactDir;
+    /** Target worker-process count (degraded under crash streaks,
+     *  never below one). */
+    unsigned workers = 2;
+    /** Bounded admission: queued + running jobs beyond this are
+     *  rejected with a reason (never queued silently, never hang). */
+    std::size_t maxQueuedJobs = 16;
+    /** Per-client quota on queued + running jobs. */
+    std::size_t maxClientJobs = 8;
+    /** Maximum request line length; longer requests are rejected and
+     *  the connection dropped. */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** Retry/backoff policy for crashed or transiently-failed
+     *  shards (maxAttempts, backoffBase/Cap, jitterSeed). */
+    RunnerPolicy policy;
+    /** Per-shard watchdog: a worker holding one task longer than
+     *  this is SIGKILLed and the job fails with a timeout (zero
+     *  disables the watchdog). */
+    std::chrono::milliseconds taskDeadline{0};
+    /** Worker command override (tests); empty = this executable in
+     *  `worker` mode sharing artifactDir. */
+    std::vector<std::string> workerArgv;
+};
+
+/** Lifecycle of one submitted job. */
+enum class JobState
+{
+    Queued,    ///< admitted, shards not all dispatched
+    Running,   ///< at least one shard dispatched to a worker
+    Done,      ///< all shards journaled, result file written
+    Failed,    ///< a shard failed fatally (or retries exhausted)
+    Cancelled, ///< cancelled by a client
+};
+
+/** Stable lowercase name of @p state (protocol spelling). */
+const char *jobStateName(JobState state);
+
+/**
+ * Admission, protocol, scheduling bookkeeping, and persistence —
+ * everything the daemon does except actual I/O. Single-threaded by
+ * design (the daemon's poll loop is the only caller).
+ */
+class ServeCore
+{
+  public:
+    /**
+     * Creates the jobs directory and recovers persisted jobs:
+     * terminal jobs are reloaded for status/dedupe, non-terminal
+     * jobs are re-admitted with their journal-recovered shards
+     * marked done (finalizing immediately when nothing is pending) —
+     * the restart-resume path.
+     * @throws ConfsimError when artifactDir is unusable.
+     */
+    explicit ServeCore(const ServeOptions &options);
+
+    const ServeOptions &options() const { return opts; }
+
+    // --- protocol ----------------------------------------------------
+
+    /**
+     * Handle one request line (without trailing newline); returns
+     * the response object. Malformed requests get a structured
+     * error response and change no state.
+     */
+    JsonValue handleRequest(const std::string &line);
+
+    /** A client asked the daemon to exit. */
+    bool shutdownRequested() const { return shutdown; }
+
+    /** Error response body (also used for transport-level errors
+     *  like an over-long request line). */
+    static JsonValue errorResponse(const std::string &code,
+                                   const std::string &message);
+
+    // --- scheduling (driven by the daemon's loop) --------------------
+
+    /** One dispatched shard: a job and a plan task index. */
+    struct TaskRef
+    {
+        std::string job;
+        std::uint64_t task = 0;
+    };
+
+    /** Pop the next shard to dispatch: jobs ordered by (priority
+     *  desc, submit seq asc), tasks in index order. */
+    std::optional<TaskRef> nextReadyTask();
+
+    /** Any admitted job still has undispatched shards. */
+    bool hasPendingWork() const;
+
+    /** The job's grid (nullptr when unknown); valid until the next
+     *  handleRequest call. */
+    const SweepGrid *jobGrid(const std::string &job) const;
+
+    /** The job still wants results (not cancelled/failed). */
+    bool jobActive(const std::string &job) const;
+
+    /**
+     * A worker returned @p payload for @p ref: validated, journaled,
+     * and counted; finalizes the job (assembles the result document
+     * from the journal, byte-identical to `confsim --sweep`) when it
+     * was the last shard. An invalid payload fails the job.
+     */
+    void taskCompleted(const TaskRef &ref, const JsonValue &payload);
+
+    /**
+     * A dispatched shard was lost (worker crash/kill) or failed.
+     * @param transient worker crashes and worker-reported transient
+     *        errors are retried; fatal codes and watchdog timeouts
+     *        are not.
+     * @return the backoff delay to wait before requeueTask() when
+     *         the shard will be retried; nullopt when the job just
+     *         failed (or no longer wants results).
+     */
+    std::optional<std::chrono::milliseconds>
+    taskFailed(const TaskRef &ref, const std::string &error,
+               bool transient);
+
+    /** Return a shard to the pending set after its backoff. */
+    void requeueTask(const TaskRef &ref);
+
+    // --- degradation -------------------------------------------------
+
+    /** A worker process died without replying (crash streak +1). */
+    void workerCrashed();
+
+    /** A worker completed a shard (resets the crash streak). */
+    void workerSucceeded();
+
+    /** Worker-pool size after degradation: opts.workers minus the
+     *  crash streak, never below one. */
+    unsigned targetWorkers() const;
+
+    /** Live worker count, for status reporting. */
+    void noteAliveWorkers(unsigned n) { aliveWorkers = n; }
+
+  private:
+    struct Job
+    {
+        std::string id;
+        std::string client;
+        std::int64_t priority = 0;
+        std::uint64_t seq = 0;
+        JobState state = JobState::Queued;
+        std::string error;
+        SweepGrid grid;
+        std::uint64_t gridKey = 0;
+        SweepTaskPlan plan;
+        std::set<std::uint64_t> pending; ///< not yet dispatched
+        std::set<std::uint64_t> done;    ///< journaled shards
+        std::map<std::uint64_t, unsigned> attempts;
+        std::size_t inFlight = 0;
+        std::unique_ptr<SweepJournal> journal;
+
+        bool terminal() const
+        {
+            return state == JobState::Done || state == JobState::Failed
+                   || state == JobState::Cancelled;
+        }
+    };
+
+    JsonValue handleSubmit(const JsonValue &req);
+    JsonValue handleStatus(const JsonValue &req);
+    JsonValue handleResult(const JsonValue &req);
+    JsonValue handleCancel(const JsonValue &req);
+    JsonValue jobStatusJson(const Job &job) const;
+
+    /** Open the job's journal and mark journal-recovered shards
+     *  done; every other task becomes pending. */
+    void attachJournal(Job &job);
+
+    /** All shards journaled: assemble + write the result file,
+     *  transition to Done (Failed on assembly error), persist. */
+    void finalize(Job &job);
+
+    void failJob(Job &job, const std::string &error);
+    void persist(const Job &job) const;
+    void recoverJobs();
+
+    std::string jobFilePath(const std::string &id) const;
+    std::string resultFilePath(const std::string &id) const;
+    std::string journalPathFor(std::uint64_t gridKey) const;
+
+    ServeOptions opts;
+    std::string jobsDir;
+    std::map<std::string, Job> jobs;
+    std::uint64_t nextSeq = 1;
+    unsigned crashStreak = 0;
+    unsigned aliveWorkers = 0;
+    bool shutdown = false;
+};
+
+/**
+ * The daemon: binds the socket, runs the poll loop until a client
+ * shutdown request or SIGTERM/SIGINT, then kills and reaps workers.
+ * @return process exit code.
+ */
+int runSweepService(const ServeOptions &options);
+
+/**
+ * Worker-side loop: read task lines ({"task":N,"grid":{...}}) from
+ * stdin, evaluate via sweepTaskPayloadJson(), reply one result line
+ * per task on stdout; exits on stdin EOF. The caller must have armed
+ * the shared artifact store first.
+ * @return process exit code.
+ */
+int runServeWorker();
+
+/**
+ * Client-side helper: one request, one response over @p socketPath.
+ * @throws ConfsimError{Io} on connect/transport failure or a
+ *         half-delivered response (dropped connection).
+ */
+JsonValue serveRequest(const std::string &socketPath,
+                       const JsonValue &request);
+
+} // namespace confsim
+
+#endif // CONFSIM_HARNESS_SWEEP_SERVICE_HH

@@ -1,0 +1,158 @@
+#!/bin/sh
+# Integration test of `confsim serve`: a real daemon with real worker
+# processes, exercised through the public CLI only.
+#
+#   1. kill-worker: a worker is SIGKILLed mid-shard (injected fault);
+#      the daemon retries the lost shard and the submitted grid's
+#      result is byte-identical to single-process `confsim --sweep`.
+#   2. restart-resume: the daemon itself is SIGKILLed mid-grid; a
+#      restarted daemon recovers the job from its persisted record +
+#      journal, completes only the missing shards, and the result is
+#      again byte-identical.
+#   3. drop-connection: the daemon truncates one response mid-line
+#      (injected fault); the client reports the half-delivered
+#      response as an error and the daemon keeps serving.
+#   4. admission: a full queue and an exhausted per-client quota are
+#      rejected with structured reasons, never queued silently.
+#
+# usage: run_serve.sh CONFSIM_BIN [WORKDIR]
+set -eu
+
+BIN=$1
+WORK=${2:-$(mktemp -d)}
+SOCK="$WORK/serve.sock"
+
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+start_daemon() {
+    # $1 = fault plan ('' = none), $2 = artifact dir, $3 = log file,
+    # remaining = extra serve flags
+    plan=$1
+    art=$2
+    log=$3
+    shift 3
+    env CONFSIM_FAULT_PLAN="$plan" \
+        "$BIN" serve --socket "$SOCK" --artifact-dir "$art" \
+        --workers 2 "$@" > "$log" 2>&1 &
+    DAEMON_PID=$!
+    for i in $(seq 1 100); do
+        [ -S "$SOCK" ] && break
+        sleep 0.05
+    done
+    [ -S "$SOCK" ] || fail "daemon did not create $SOCK"
+}
+
+stop_daemon() {
+    "$BIN" shutdown --socket "$SOCK" > /dev/null
+    wait "$DAEMON_PID" || fail "daemon exited nonzero"
+    DAEMON_PID=""
+}
+
+cat > "$WORK/grid.json" <<'EOF'
+{
+  "predictor": "gshare",
+  "workloads": ["compress", "go"],
+  "thresholds": [8, 15],
+  "shard_size": 2,
+  "estimators": [
+    {"label": "jrs-15", "estimator": "jrs"},
+    {"estimator": "satcnt"},
+    {"estimator": "pattern"},
+    {"estimator": "static"}
+  ]
+}
+EOF
+
+# Reference: the same grid through the single-process CLI sweep.
+"$BIN" --sweep "$WORK/grid.json" --jobs 0 > "$WORK/clean.json"
+
+# --- scenario 1: SIGKILLed worker mid-shard ---------------------------
+mkdir -p "$WORK/art1"
+start_daemon kill-worker=1 "$WORK/art1" "$WORK/daemon1.log"
+"$BIN" submit --socket "$SOCK" "$WORK/grid.json" --wait \
+    > "$WORK/served1.json" \
+    || fail "submit --wait failed (daemon log: $(cat "$WORK/daemon1.log"))"
+grep -q "died mid-shard" "$WORK/daemon1.log" \
+    || fail "the kill-worker fault never fired"
+cmp "$WORK/clean.json" "$WORK/served1.json" \
+    || fail "result after a worker SIGKILL differs from --sweep"
+stop_daemon
+echo "OK: worker SIGKILL mid-shard, byte-identical result"
+
+# --- scenario 2: daemon SIGKILLed mid-grid, restarted -----------------
+mkdir -p "$WORK/art2"
+start_daemon "" "$WORK/art2" "$WORK/daemon2.log"
+"$BIN" submit --socket "$SOCK" "$WORK/grid.json" > "$WORK/submit2.json"
+# Wait until at least one shard landed in the shared journal, so the
+# restart genuinely resumes partial work when the timing allows it.
+for i in $(seq 1 200); do
+    n=$(grep -ao CSJE "$WORK/art2"/sweep-*.journal 2>/dev/null \
+        | wc -l)
+    [ "${n:-0}" -ge 1 ] && break
+    sleep 0.05
+done
+kill -9 "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+# SIGKILL leaves the socket file behind; remove it so start_daemon's
+# readiness probe sees the *new* daemon's socket, not the stale one.
+rm -f "$SOCK"
+
+start_daemon "" "$WORK/art2" "$WORK/daemon3.log"
+# The resubmit dedupes onto the recovered job; --wait rides it to Done.
+"$BIN" submit --socket "$SOCK" "$WORK/grid.json" --wait \
+    > "$WORK/served2.json" \
+    || fail "resumed submit failed (daemon log: $(cat "$WORK/daemon3.log"))"
+cmp "$WORK/clean.json" "$WORK/served2.json" \
+    || fail "result after a daemon restart differs from --sweep"
+stop_daemon
+echo "OK: daemon SIGKILL + restart, byte-identical result"
+
+# --- scenario 3: dropped client connection ----------------------------
+mkdir -p "$WORK/art3"
+start_daemon drop-connection=1 "$WORK/art3" "$WORK/daemon4.log"
+if "$BIN" status --socket "$SOCK" > /dev/null 2> "$WORK/drop.err"; then
+    fail "client accepted a half-delivered response"
+fi
+grep -q "full response" "$WORK/drop.err" \
+    || fail "client did not report the truncated response: \
+$(cat "$WORK/drop.err")"
+# The daemon survives the injected drop and keeps serving.
+"$BIN" status --socket "$SOCK" > /dev/null \
+    || fail "daemon died after dropping one connection"
+stop_daemon
+echo "OK: dropped connection detected by client, daemon unaffected"
+
+# --- scenario 4: bounded admission + quotas ---------------------------
+mkdir -p "$WORK/art4"
+start_daemon "" "$WORK/art4" "$WORK/daemon5.log" \
+    --max-jobs 1 --max-client-jobs 1
+"$BIN" submit --socket "$SOCK" "$WORK/grid.json" > /dev/null
+sed 's/"compress", "go"/"compress"/' "$WORK/grid.json" \
+    > "$WORK/grid-b.json"
+if "$BIN" submit --socket "$SOCK" "$WORK/grid-b.json" \
+        > "$WORK/quota.json" 2>&1; then
+    fail "second job admitted past --max-client-jobs 1"
+fi
+grep -q "quota-exceeded" "$WORK/quota.json" \
+    || fail "quota rejection has no structured reason"
+if "$BIN" submit --socket "$SOCK" "$WORK/grid-b.json" \
+        --client other > "$WORK/admission.json" 2>&1; then
+    fail "second job admitted past --max-jobs 1"
+fi
+grep -q "admission-rejected" "$WORK/admission.json" \
+    || fail "admission rejection has no structured reason"
+stop_daemon
+echo "OK: quota and admission rejections are structured"
+
+echo "serve integration OK"

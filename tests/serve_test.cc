@@ -1,0 +1,673 @@
+/**
+ * The confsim serve subsystem, tested without sockets or processes:
+ * the LineSplitter framing, the SweepTaskPlan indexing the daemon and
+ * workers share, the protocol's rejection of malformed requests (no
+ * state change), admission control (dedupe, quotas, bounded queue,
+ * priorities), crash-retry bookkeeping and worker-pool degradation,
+ * end-to-end byte-identity of a core-driven job against
+ * runSweepGrid(), restart recovery from persisted jobs + journals,
+ * and the flock-guarded artifact-store writes that make concurrent
+ * stores safe across store instances.
+ *
+ * The daemon's actual fork/exec + poll loop is covered by the
+ * serve_integration ctest (tests/serve/run_serve.sh), which SIGKILLs
+ * real worker processes and the daemon itself.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/confsim_error.hh"
+#include "common/fault_injection.hh"
+#include "common/local_socket.hh"
+#include "harness/artifact_store.hh"
+#include "harness/experiment_cache.hh"
+#include "harness/sweep.hh"
+#include "harness/sweep_service.hh"
+
+namespace confsim
+{
+namespace
+{
+
+// ------------------------------------------------------- line splitter
+
+TEST(LineSplitterTest, ReassemblesLinesAcrossChunks)
+{
+    LineSplitter lines;
+    lines.feed("ab");
+    EXPECT_FALSE(lines.nextLine().has_value());
+    lines.feed("c\nde");
+    EXPECT_EQ(lines.nextLine().value_or(""), "abc");
+    EXPECT_FALSE(lines.nextLine().has_value());
+    EXPECT_EQ(lines.pendingBytes(), 2u);
+    lines.feed("f\n\n");
+    EXPECT_EQ(lines.nextLine().value_or("x"), "def");
+    EXPECT_EQ(lines.nextLine().value_or("x"), "");
+    EXPECT_FALSE(lines.nextLine().has_value());
+}
+
+TEST(LineSplitterTest, OverflowWithoutNewlineIsSticky)
+{
+    LineSplitter lines(8);
+    lines.feed("123456789"); // 9 bytes, no newline
+    EXPECT_TRUE(lines.overflowed());
+    EXPECT_FALSE(lines.nextLine().has_value());
+    lines.feed("\n"); // too late: the splitter stays dead
+    EXPECT_TRUE(lines.overflowed());
+    EXPECT_FALSE(lines.nextLine().has_value());
+}
+
+TEST(LineSplitterTest, OverlongLineWithNewlineOverflows)
+{
+    LineSplitter lines(4);
+    lines.feed("ok\n123456\n");
+    EXPECT_EQ(lines.nextLine().value_or(""), "ok");
+    EXPECT_FALSE(lines.nextLine().has_value());
+    EXPECT_TRUE(lines.overflowed());
+}
+
+TEST(LineSplitterTest, CompactionPreservesTheStream)
+{
+    LineSplitter lines;
+    std::vector<std::string> got;
+    for (int i = 0; i < 2000; ++i) {
+        lines.feed("line-" + std::to_string(i) + "\n");
+        while (auto line = lines.nextLine())
+            got.push_back(*line);
+    }
+    ASSERT_EQ(got.size(), 2000u);
+    EXPECT_EQ(got.front(), "line-0");
+    EXPECT_EQ(got.back(), "line-1999");
+    EXPECT_EQ(lines.pendingBytes(), 0u);
+    EXPECT_FALSE(lines.overflowed());
+}
+
+// ----------------------------------------------------- sweep task plan
+
+SweepGrid
+tinyGrid()
+{
+    SweepGrid grid;
+    grid.workloads = {"compress", "go"};
+    grid.thresholds = {4, 15};
+    grid.shardSize = 2; // 3 configs -> 2 shards per workload
+    grid.estimators = {
+        {"jrs-15", "jrs", {}},
+        {"satcnt", "satcnt", {}},
+        {"distance", "distance", {}},
+    };
+    return grid;
+}
+
+TEST(SweepTaskPlanTest, CoversEveryConfigExactlyOnce)
+{
+    const SweepGrid grid = tinyGrid();
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    EXPECT_EQ(plan.kinds, 1u);
+    EXPECT_EQ(plan.entries, 2u);
+    EXPECT_EQ(plan.configs, 3u);
+    EXPECT_EQ(plan.shards, 2u);
+    EXPECT_EQ(plan.tasks(), 4u);
+
+    // Every (kind, entry) must see each config index exactly once
+    // across its shards, in order and without overlap.
+    std::vector<std::set<std::size_t>> seen(plan.kinds * plan.entries);
+    for (std::size_t t = 0; t < plan.tasks(); ++t) {
+        const std::size_t ki = plan.kindIndex(t);
+        const std::size_t wi = plan.entryIndex(t);
+        ASSERT_LT(ki, plan.kinds);
+        ASSERT_LT(wi, plan.entries);
+        const std::size_t first = plan.firstConfig(t);
+        const std::size_t count = plan.configCount(t);
+        ASSERT_GE(count, 1u);
+        ASSERT_LE(first + count, plan.configs);
+        for (std::size_t c = first; c < first + count; ++c)
+            EXPECT_TRUE(seen[ki * plan.entries + wi].insert(c).second)
+                << "config " << c << " covered twice by task " << t;
+    }
+    for (const auto &configs : seen)
+        EXPECT_EQ(configs.size(), plan.configs);
+}
+
+TEST(SweepTaskPlanTest, MixedPredictorGridsScaleTheTaskSpace)
+{
+    SweepGrid grid = tinyGrid();
+    grid.kinds = {PredictorKind::Bimodal, PredictorKind::Gshare,
+                  PredictorKind::McFarling};
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    EXPECT_EQ(plan.kinds, 3u);
+    EXPECT_EQ(plan.tasks(), 12u);
+    EXPECT_EQ(plan.kindIndex(plan.tasks() - 1), 2u);
+}
+
+TEST(SweepTaskPlanTest, PayloadValidationRejectsNonShardDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(sweepTaskPayloadValid(JsonValue::object(), &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(sweepTaskPayloadValid(JsonValue::array(), &err));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue("not a config result"));
+    EXPECT_FALSE(sweepTaskPayloadValid(arr, &err));
+}
+
+// ------------------------------------------------ fault-plan extensions
+
+TEST(ServeFaultPlanTest, ParsesKillWorkerAndDropConnection)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultPlan("kill-worker=2,drop-connection=3", plan,
+                               &err))
+        << err;
+    EXPECT_EQ(plan.killWorker, 2u);
+    EXPECT_EQ(plan.dropConnection, 3u);
+
+    ScopedFaultPlan armed(plan);
+    EXPECT_FALSE(FaultInjector::instance().onWorkerSpawn());
+    EXPECT_TRUE(FaultInjector::instance().onWorkerSpawn());
+    EXPECT_FALSE(FaultInjector::instance().onWorkerSpawn());
+    EXPECT_FALSE(FaultInjector::instance().onClientResponse());
+    EXPECT_FALSE(FaultInjector::instance().onClientResponse());
+    EXPECT_TRUE(FaultInjector::instance().onClientResponse());
+    EXPECT_FALSE(FaultInjector::instance().onClientResponse());
+}
+
+TEST(ServeFaultPlanTest, HooksAreInertWhenDisarmed)
+{
+    EXPECT_FALSE(FaultInjector::instance().onWorkerSpawn());
+    EXPECT_FALSE(FaultInjector::instance().onClientResponse());
+}
+
+// ------------------------------------------------------------ core fixture
+
+class ServeCoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path()
+              / ("confsim-serve-test-" + std::to_string(::getpid())
+                 + "-"
+                 + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    ServeOptions
+    options() const
+    {
+        ServeOptions o;
+        o.artifactDir = dir.string();
+        return o;
+    }
+
+    static JsonValue
+    submitRequest(const SweepGrid &grid,
+                  const std::string &client = std::string(),
+                  std::optional<std::int64_t> priority = std::nullopt)
+    {
+        JsonValue req = JsonValue::object();
+        req["op"] = JsonValue("submit");
+        req["grid"] = sweepGridToJson(grid);
+        if (!client.empty())
+            req["client"] = JsonValue(client);
+        if (priority)
+            req["priority"] = JsonValue(*priority);
+        return req;
+    }
+
+    static std::string
+    errorCode(const JsonValue &resp)
+    {
+        const JsonValue *err = resp.find("error");
+        const JsonValue *code =
+            err != nullptr ? err->find("code") : nullptr;
+        return code != nullptr && code->isString() ? code->asString()
+                                                   : std::string();
+    }
+
+    static bool
+    isOk(const JsonValue &resp)
+    {
+        const JsonValue *ok = resp.find("ok");
+        return ok != nullptr && ok->isBool() && ok->asBool();
+    }
+
+    static std::string
+    statusDump(ServeCore &core)
+    {
+        return core.handleRequest(R"({"op":"status"})").dump(0);
+    }
+
+    /** Run every pending shard in-process, exactly as a worker would,
+     *  feeding the results back into the core. */
+    static void
+    drainAllTasks(ServeCore &core)
+    {
+        while (auto ref = core.nextReadyTask()) {
+            const SweepGrid *grid = core.jobGrid(ref->job);
+            ASSERT_NE(grid, nullptr);
+            core.taskCompleted(*ref,
+                               sweepTaskPayloadJson(*grid, ref->task));
+        }
+    }
+
+    std::filesystem::path dir;
+};
+
+// -------------------------------------------- protocol robustness (fuzz)
+
+TEST_F(ServeCoreTest, MalformedRequestsAreRejectedWithoutStateChange)
+{
+    ServeCore core(options());
+    const std::string before = statusDump(core);
+
+    const std::vector<std::string> malformed = {
+        "",
+        "   ",
+        "not json at all",
+        "{",                       // truncated object
+        R"({"op":"subm)",          // truncated mid-string
+        "[1,2,3]",                 // not an object
+        "42",
+        "\"submit\"",
+        "{}",                      // missing op
+        R"({"op":7})",             // op with wrong type
+        R"({"op":null})",
+        R"({"op":"frobnicate"})",  // unknown op
+        R"({"op":"submit"})",      // missing grid
+        R"({"op":"submit","grid":5})",
+        R"({"op":"submit","grid":{"predictor":"nope"}})",
+        R"({"op":"submit","grid":{},"boost":true})", // unknown key
+        R"({"op":"ping","extra":1})",
+        R"({"op":"status","job":17})",   // job with wrong type
+        R"({"op":"result"})",            // missing job
+        R"({"op":"result","job":"j999"})",
+        R"({"op":"cancel","job":"j999"})",
+        R"({"op":"cancel"})",
+        R"({"op":"submit","grid":{"estimators":[]}})",
+        std::string("{\"op\":\"ping\"}\x00trailing", 22),
+    };
+    for (const std::string &line : malformed) {
+        const JsonValue resp = core.handleRequest(line);
+        EXPECT_FALSE(isOk(resp)) << "accepted: " << line;
+        EXPECT_FALSE(errorCode(resp).empty()) << "no code: " << line;
+        const JsonValue *err = resp.find("error");
+        ASSERT_NE(err, nullptr) << line;
+        EXPECT_NE(err->find("message"), nullptr) << line;
+    }
+
+    EXPECT_EQ(statusDump(core), before)
+        << "a rejected request mutated daemon state";
+    EXPECT_FALSE(core.shutdownRequested());
+    EXPECT_FALSE(core.hasPendingWork());
+}
+
+TEST_F(ServeCoreTest, PingAndShutdownRoundTrip)
+{
+    ServeCore core(options());
+    EXPECT_TRUE(isOk(core.handleRequest(R"({"op":"ping"})")));
+    EXPECT_FALSE(core.shutdownRequested());
+    EXPECT_TRUE(isOk(core.handleRequest(R"({"op":"shutdown"})")));
+    EXPECT_TRUE(core.shutdownRequested());
+}
+
+// ---------------------------------------------------- admission control
+
+TEST_F(ServeCoreTest, IdenticalGridsDedupeOntoOneJob)
+{
+    ServeCore core(options());
+    const JsonValue first =
+        core.handleRequest(submitRequest(tinyGrid()).dump(0));
+    ASSERT_TRUE(isOk(first));
+    EXPECT_FALSE(first.find("deduped")->asBool());
+
+    const JsonValue second =
+        core.handleRequest(submitRequest(tinyGrid()).dump(0));
+    ASSERT_TRUE(isOk(second));
+    EXPECT_TRUE(second.find("deduped")->asBool());
+    EXPECT_EQ(first.find("job")->asString(),
+              second.find("job")->asString());
+}
+
+TEST_F(ServeCoreTest, PerClientQuotaIsEnforced)
+{
+    ServeOptions o = options();
+    o.maxClientJobs = 1;
+    ServeCore core(o);
+    ASSERT_TRUE(isOk(core.handleRequest(
+            submitRequest(tinyGrid(), "alice").dump(0))));
+
+    SweepGrid other = tinyGrid();
+    other.thresholds = {8}; // different grid key
+    const JsonValue rejected = core.handleRequest(
+            submitRequest(other, "alice").dump(0));
+    EXPECT_FALSE(isOk(rejected));
+    EXPECT_EQ(errorCode(rejected), "quota-exceeded");
+
+    // Another client is unaffected by alice's quota.
+    EXPECT_TRUE(isOk(core.handleRequest(
+            submitRequest(other, "bob").dump(0))));
+}
+
+TEST_F(ServeCoreTest, FullQueueRejectsWithReason)
+{
+    ServeOptions o = options();
+    o.maxQueuedJobs = 1;
+    ServeCore core(o);
+    ASSERT_TRUE(isOk(core.handleRequest(
+            submitRequest(tinyGrid(), "alice").dump(0))));
+
+    SweepGrid other = tinyGrid();
+    other.thresholds = {8};
+    const JsonValue rejected = core.handleRequest(
+            submitRequest(other, "bob").dump(0));
+    EXPECT_FALSE(isOk(rejected));
+    EXPECT_EQ(errorCode(rejected), "admission-rejected");
+}
+
+TEST_F(ServeCoreTest, HigherPriorityJobsDispatchFirst)
+{
+    ServeCore core(options());
+    const JsonValue low = core.handleRequest(
+            submitRequest(tinyGrid(), "c", 0).dump(0));
+    SweepGrid urgent = tinyGrid();
+    urgent.thresholds = {8};
+    const JsonValue high = core.handleRequest(
+            submitRequest(urgent, "c", 5).dump(0));
+    ASSERT_TRUE(isOk(low));
+    ASSERT_TRUE(isOk(high));
+
+    const std::string highId = high.find("job")->asString();
+    const SweepTaskPlan plan = sweepTaskPlan(urgent);
+    for (std::size_t t = 0; t < plan.tasks(); ++t) {
+        const auto ref = core.nextReadyTask();
+        ASSERT_TRUE(ref.has_value());
+        EXPECT_EQ(ref->job, highId)
+            << "low-priority shard dispatched before the high-"
+               "priority job drained";
+    }
+    const auto ref = core.nextReadyTask();
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->job, low.find("job")->asString());
+}
+
+TEST_F(ServeCoreTest, CancelStopsDispatchAndRejectsResult)
+{
+    ServeCore core(options());
+    const JsonValue sub =
+        core.handleRequest(submitRequest(tinyGrid()).dump(0));
+    ASSERT_TRUE(isOk(sub));
+    const std::string id = sub.find("job")->asString();
+
+    const JsonValue notDone = core.handleRequest(
+            R"({"op":"result","job":")" + id + "\"}");
+    EXPECT_EQ(errorCode(notDone), "job-not-done");
+
+    EXPECT_TRUE(isOk(core.handleRequest(
+            R"({"op":"cancel","job":")" + id + "\"}")));
+    EXPECT_FALSE(core.jobActive(id));
+    EXPECT_FALSE(core.nextReadyTask().has_value());
+
+    const JsonValue again = core.handleRequest(
+            R"({"op":"cancel","job":")" + id + "\"}");
+    EXPECT_EQ(errorCode(again), "job-finished");
+
+    // A cancelled job does not dedupe: resubmission starts fresh.
+    const JsonValue resub =
+        core.handleRequest(submitRequest(tinyGrid()).dump(0));
+    ASSERT_TRUE(isOk(resub));
+    EXPECT_FALSE(resub.find("deduped")->asBool());
+    EXPECT_NE(resub.find("job")->asString(), id);
+}
+
+// -------------------------------------------- retry + degradation logic
+
+TEST_F(ServeCoreTest, CrashedShardsRetryWithBackoffThenFail)
+{
+    ServeOptions o = options();
+    o.policy.maxAttempts = 3;
+    ServeCore core(o);
+    ASSERT_TRUE(isOk(
+            core.handleRequest(submitRequest(tinyGrid()).dump(0))));
+
+    auto ref = core.nextReadyTask();
+    ASSERT_TRUE(ref.has_value());
+
+    // Two transient losses retry with the parallel runner's backoff…
+    for (unsigned attempt = 1; attempt < 3; ++attempt) {
+        const auto delay =
+            core.taskFailed(*ref, "worker died", true);
+        ASSERT_TRUE(delay.has_value()) << "attempt " << attempt;
+        EXPECT_EQ(*delay,
+                  ParallelRunner::backoffDelay(
+                          o.policy,
+                          static_cast<std::size_t>(ref->task),
+                          attempt));
+        core.requeueTask(*ref);
+        ref = core.nextReadyTask();
+        ASSERT_TRUE(ref.has_value());
+    }
+    // …and the third loss exhausts the budget and fails the job.
+    EXPECT_FALSE(core.taskFailed(*ref, "worker died", true)
+                     .has_value());
+    const JsonValue status = core.handleRequest(R"({"op":"status"})");
+    const JsonValue &job = status.find("jobs")->at(0);
+    EXPECT_EQ(job.find("state")->asString(), "failed");
+    EXPECT_NE(job.find("error"), nullptr);
+}
+
+TEST_F(ServeCoreTest, FatalFailuresDoNotRetry)
+{
+    ServeCore core(options());
+    ASSERT_TRUE(isOk(
+            core.handleRequest(submitRequest(tinyGrid()).dump(0))));
+    const auto ref = core.nextReadyTask();
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_FALSE(
+            core.taskFailed(*ref, "invalid-config", false).has_value());
+    EXPECT_FALSE(core.jobActive(ref->job));
+}
+
+TEST_F(ServeCoreTest, CrashStreaksDegradeTheWorkerPoolToOne)
+{
+    ServeOptions o = options();
+    o.workers = 4;
+    ServeCore core(o);
+    EXPECT_EQ(core.targetWorkers(), 4u);
+    core.workerCrashed();
+    core.workerCrashed();
+    EXPECT_EQ(core.targetWorkers(), 2u);
+    core.workerCrashed();
+    core.workerCrashed();
+    core.workerCrashed();
+    EXPECT_EQ(core.targetWorkers(), 1u) << "never degrades below one";
+    core.workerSucceeded();
+    EXPECT_EQ(core.targetWorkers(), 4u) << "success resets the streak";
+}
+
+// ------------------------------------- end-to-end byte-identity + resume
+
+class ServeCoreSweepTest : public ServeCoreTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServeCoreTest::SetUp();
+        clearExperimentCaches();
+        setGlobalArtifactStore(std::make_shared<ArtifactStore>(
+                (dir / "store").string()));
+    }
+
+    void
+    TearDown() override
+    {
+        setGlobalArtifactStore(nullptr);
+        clearExperimentCaches();
+        ServeCoreTest::TearDown();
+    }
+};
+
+TEST_F(ServeCoreSweepTest, CoreDrivenJobMatchesRunSweepGridByteForByte)
+{
+    const SweepGrid grid = tinyGrid();
+    const std::string reference =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+
+    ServeCore core(options());
+    const JsonValue sub =
+        core.handleRequest(submitRequest(grid).dump(0));
+    ASSERT_TRUE(isOk(sub));
+    const std::string id = sub.find("job")->asString();
+    drainAllTasks(core);
+
+    const JsonValue status = core.handleRequest(
+            R"({"op":"status","job":")" + id + "\"}");
+    ASSERT_EQ(status.find("state")->asString(), "done")
+        << status.dump(0);
+    EXPECT_EQ(status.find("tasks_done")->asUint(),
+              sweepTaskPlan(grid).tasks());
+
+    const JsonValue result = core.handleRequest(
+            R"({"op":"result","job":")" + id + "\"}");
+    ASSERT_TRUE(isOk(result)) << result.dump(0);
+    EXPECT_EQ(result.find("result")->dump(2), reference);
+}
+
+TEST_F(ServeCoreSweepTest, RestartRecoversJournaledShardsByteForByte)
+{
+    const SweepGrid grid = tinyGrid();
+    const SweepTaskPlan plan = sweepTaskPlan(grid);
+    const std::string reference =
+        sweepResultToJson(runSweepGrid(grid, 0)).dump(2);
+    std::string id;
+
+    {
+        ServeCore first(options());
+        const JsonValue sub =
+            first.handleRequest(submitRequest(grid).dump(0));
+        ASSERT_TRUE(isOk(sub));
+        id = sub.find("job")->asString();
+        // Complete half the shards, then "crash" (destroy the core
+        // with the journal mid-grid, like a SIGKILLed daemon).
+        for (std::size_t t = 0; t < plan.tasks() / 2; ++t) {
+            const auto ref = first.nextReadyTask();
+            ASSERT_TRUE(ref.has_value());
+            first.taskCompleted(
+                    *ref, sweepTaskPayloadJson(grid, ref->task));
+        }
+    }
+
+    ServeCore second(options());
+    const JsonValue status = second.handleRequest(
+            R"({"op":"status","job":")" + id + "\"}");
+    ASSERT_TRUE(isOk(status)) << status.dump(0);
+    EXPECT_EQ(status.find("state")->asString(), "queued");
+    EXPECT_EQ(status.find("tasks_done")->asUint(), plan.tasks() / 2)
+        << "journaled shards were not recovered";
+
+    // The resumed job only dispatches the shards the journal lost.
+    std::size_t resumed = 0;
+    while (auto ref = second.nextReadyTask()) {
+        ++resumed;
+        second.taskCompleted(*ref,
+                             sweepTaskPayloadJson(grid, ref->task));
+    }
+    EXPECT_EQ(resumed, plan.tasks() - plan.tasks() / 2);
+
+    const JsonValue result = second.handleRequest(
+            R"({"op":"result","job":")" + id + "\"}");
+    ASSERT_TRUE(isOk(result)) << result.dump(0);
+    EXPECT_EQ(result.find("result")->dump(2), reference);
+
+    // A third core recovers the terminal job for status/result only.
+    ServeCore third(options());
+    const JsonValue after = third.handleRequest(
+            R"({"op":"status","job":")" + id + "\"}");
+    ASSERT_TRUE(isOk(after)) << after.dump(0);
+    EXPECT_EQ(after.find("state")->asString(), "done");
+    EXPECT_EQ(after.find("tasks_done")->asUint(), plan.tasks());
+    EXPECT_FALSE(third.hasPendingWork());
+    const JsonValue again = third.handleRequest(
+            R"({"op":"result","job":")" + id + "\"}");
+    ASSERT_TRUE(isOk(again));
+    EXPECT_EQ(again.find("result")->dump(2), reference);
+}
+
+TEST_F(ServeCoreSweepTest, InvalidWorkerPayloadFailsTheJob)
+{
+    ServeCore core(options());
+    const JsonValue sub =
+        core.handleRequest(submitRequest(tinyGrid()).dump(0));
+    ASSERT_TRUE(isOk(sub));
+    const auto ref = core.nextReadyTask();
+    ASSERT_TRUE(ref.has_value());
+    JsonValue bogus = JsonValue::array();
+    bogus.push(JsonValue("garbage"));
+    core.taskCompleted(*ref, bogus);
+    EXPECT_FALSE(core.jobActive(ref->job));
+    const JsonValue status = core.handleRequest(
+            R"({"op":"status","job":")" + ref->job + "\"}");
+    EXPECT_EQ(status.find("state")->asString(), "failed");
+}
+
+// ------------------------------------------- flock'd artifact-store races
+
+TEST(ArtifactStoreLockTest, ConcurrentStoresFromTwoInstancesStayIntact)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path()
+        / ("confsim-flock-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    {
+        // Two independent store instances (two open-file-description
+        // domains, like daemon + CLI) hammering the same keys: every
+        // load must observe one writer's bytes in full, never a torn
+        // or quarantined mix.
+        ArtifactStore a(dir.string());
+        ArtifactStore b(dir.string());
+        const std::string payloadA(4096, 'A');
+        const std::string payloadB(4096, 'B');
+
+        auto hammer = [](ArtifactStore &store,
+                         const std::string &payload) {
+            for (int i = 0; i < 50; ++i)
+                store.store("race", "key-" + std::to_string(i % 5),
+                            payload);
+        };
+        std::thread ta(hammer, std::ref(a), std::cref(payloadA));
+        std::thread tb(hammer, std::ref(b), std::cref(payloadB));
+        ta.join();
+        tb.join();
+
+        for (int i = 0; i < 5; ++i) {
+            std::string loaded;
+            ASSERT_TRUE(a.load("race", "key-" + std::to_string(i),
+                               loaded));
+            EXPECT_TRUE(loaded == payloadA || loaded == payloadB)
+                << "torn write on key-" << i;
+        }
+        EXPECT_EQ(a.stats().corruptArtifacts, 0u);
+        EXPECT_EQ(b.stats().corruptArtifacts, 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // anonymous namespace
+} // namespace confsim

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -52,6 +54,7 @@
 #include "harness/parallel_runner.hh"
 #include "harness/sampled_replay.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_service.hh"
 #include "harness/synthetic_workload.hh"
 #include "harness/trace_run.hh"
 #include "sweep/batch_replayer.hh"
@@ -115,6 +118,9 @@ usage()
 {
     std::printf(
         "usage: confsim [options]\n"
+        "       confsim serve|submit|status|cancel|shutdown ...\n"
+        "                    (sweep service; see 'confsim serve "
+        "--help')\n"
         "  --workload NAME   workload or 'all' (default compress)\n"
         "  --predictor NAME  bimodal|gshare|mcfarling|sag|pas|"
         "gselect|gag|\n"
@@ -1075,11 +1081,347 @@ resultsToJson(const Options &opt,
     return doc;
 }
 
+// ---------------------------------------------------------------------
+// Service subcommands: confsim serve | worker | submit | status |
+// cancel | shutdown. Dispatched on a non-flag argv[1]; everything
+// else falls through to the classic flag-driven CLI.
+// ---------------------------------------------------------------------
+
+void
+serveUsage()
+{
+    std::printf(
+        "usage: confsim serve --socket PATH --artifact-dir DIR "
+        "[options]\n"
+        "       confsim worker --artifact-dir DIR   (internal)\n"
+        "       confsim submit --socket PATH GRID.json [--client C]\n"
+        "                      [--priority N] [--wait]\n"
+        "       confsim status --socket PATH [JOB]\n"
+        "       confsim cancel --socket PATH JOB\n"
+        "       confsim shutdown --socket PATH\n"
+        "serve options:\n"
+        "  --workers N          worker processes (default 2)\n"
+        "  --max-jobs N         queued+running admission bound "
+        "(default 16)\n"
+        "  --max-client-jobs N  per-client quota (default 8)\n"
+        "  --task-retries N     retries per crashed/transient shard "
+        "(default 2)\n"
+        "  --task-deadline-ms N SIGKILL a worker holding one shard\n"
+        "                       longer than N ms (0 = off)\n"
+        "submit options:\n"
+        "  --wait               poll until the job finishes, then "
+        "print the\n"
+        "                       result JSON (byte-identical to "
+        "confsim --sweep)\n");
+}
+
+[[noreturn]] void
+serveUsageError(const std::string &msg)
+{
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    serveUsage();
+    std::exit(2);
+}
+
+/** Arm CONFSIM_FAULT_PLAN (daemon side; workers never arm the
+ *  inherited env so the daemon's spawn/response ordinals stay
+ *  deterministic). */
+int
+armEnvFaultPlan()
+{
+    if (const char *spec = std::getenv("CONFSIM_FAULT_PLAN")) {
+        FaultPlan plan;
+        std::string err;
+        if (!parseFaultPlan(spec, plan, &err)) {
+            std::fprintf(stderr, "CONFSIM_FAULT_PLAN: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        FaultInjector::instance().arm(plan);
+    }
+    return 0;
+}
+
+int
+runServeCommand(int argc, char **argv)
+{
+    ServeOptions so;
+    so.policy.maxAttempts = 3; // default --task-retries 2
+    so.policy.cancelOnFatal = true;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                serveUsageError(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            so.socketPath = next();
+        } else if (arg == "--artifact-dir") {
+            so.artifactDir = next();
+        } else if (arg == "--workers") {
+            so.workers = parseUnsigned(arg, next());
+        } else if (arg == "--max-jobs") {
+            so.maxQueuedJobs = parseUint(arg, next());
+        } else if (arg == "--max-client-jobs") {
+            so.maxClientJobs = parseUint(arg, next());
+        } else if (arg == "--task-retries") {
+            so.policy.maxAttempts = parseUnsigned(arg, next()) + 1;
+        } else if (arg == "--task-deadline-ms") {
+            so.taskDeadline = std::chrono::milliseconds(
+                    parseUnsigned(arg, next()));
+        } else if (arg == "--help" || arg == "-h") {
+            serveUsage();
+            return 0;
+        } else {
+            serveUsageError("serve: unknown option '" + arg + "'");
+        }
+    }
+    if (so.socketPath.empty() || so.artifactDir.empty())
+        serveUsageError("serve needs --socket and --artifact-dir");
+    try {
+        setGlobalArtifactStore(
+                std::make_shared<ArtifactStore>(so.artifactDir));
+        return runSweepService(so);
+    } catch (const ConfsimError &e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
+runWorkerCommand(int argc, char **argv)
+{
+    std::string artifactDir;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--artifact-dir" && i + 1 < argc) {
+            artifactDir = argv[++i];
+        } else {
+            serveUsageError("worker: unknown option '" + arg + "'");
+        }
+    }
+    if (artifactDir.empty())
+        serveUsageError("worker needs --artifact-dir");
+    try {
+        setGlobalArtifactStore(
+                std::make_shared<ArtifactStore>(artifactDir));
+        return runServeWorker();
+    } catch (const ConfsimError &e) {
+        std::fprintf(stderr, "worker: %s\n", e.what());
+        return 1;
+    }
+}
+
+/** One protocol request; exits with a message on transport errors. */
+JsonValue
+clientRequest(const std::string &socket, const JsonValue &req)
+{
+    try {
+        return serveRequest(socket, req);
+    } catch (const ConfsimError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+    }
+}
+
+/** Print a response; protocol-level errors exit nonzero. */
+int
+printResponse(const JsonValue &resp)
+{
+    std::printf("%s\n", resp.dump(0).c_str());
+    const JsonValue *ok = resp.find("ok");
+    return ok != nullptr && ok->isBool() && ok->asBool() ? 0 : 1;
+}
+
+int
+runSubmitCommand(int argc, char **argv)
+{
+    std::string socket, gridPath, client;
+    std::int64_t priority = 0;
+    bool havePriority = false, wait = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                serveUsageError(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket = next();
+        } else if (arg == "--client") {
+            client = next();
+        } else if (arg == "--priority") {
+            priority = parseInt(arg, next());
+            havePriority = true;
+        } else if (arg == "--wait") {
+            wait = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            serveUsageError("submit: unknown option '" + arg + "'");
+        } else if (gridPath.empty()) {
+            gridPath = arg;
+        } else {
+            serveUsageError("submit: extra argument '" + arg + "'");
+        }
+    }
+    if (socket.empty() || gridPath.empty())
+        serveUsageError("submit needs --socket and a grid file");
+
+    std::ifstream in(gridPath);
+    if (!in) {
+        std::fprintf(stderr, "cannot open sweep grid '%s'\n",
+                     gridPath.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    const JsonValue gridDoc = JsonValue::parse(text.str(), &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", gridPath.c_str(),
+                     err.c_str());
+        return 2;
+    }
+
+    JsonValue req = JsonValue::object();
+    req["op"] = JsonValue("submit");
+    req["grid"] = gridDoc;
+    if (!client.empty())
+        req["client"] = JsonValue(client);
+    if (havePriority)
+        req["priority"] = JsonValue(priority);
+    const JsonValue resp = clientRequest(socket, req);
+    const JsonValue *ok = resp.find("ok");
+    if (ok == nullptr || !ok->isBool() || !ok->asBool())
+        return printResponse(resp);
+    if (!wait)
+        return printResponse(resp);
+
+    const JsonValue *jobId = resp.find("job");
+    if (jobId == nullptr || !jobId->isString()) {
+        std::fprintf(stderr, "submit: malformed response\n");
+        return 1;
+    }
+    const std::string job = jobId->asString();
+
+    // Poll until terminal. Transient connect failures are tolerated
+    // for a bounded window so a daemon restart mid-grid (which
+    // resumes the job from its journal) doesn't strand the client.
+    unsigned connectFailures = 0;
+    for (;;) {
+        JsonValue statusReq = JsonValue::object();
+        statusReq["op"] = JsonValue("status");
+        statusReq["job"] = JsonValue(job);
+        JsonValue status;
+        try {
+            status = serveRequest(socket, statusReq);
+            connectFailures = 0;
+        } catch (const ConfsimError &e) {
+            if (++connectFailures > 200) {
+                std::fprintf(stderr, "submit --wait: %s\n", e.what());
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            continue;
+        }
+        const JsonValue *state = status.find("state");
+        if (state == nullptr || !state->isString()) {
+            std::fprintf(stderr, "submit --wait: %s\n",
+                         status.dump(0).c_str());
+            return 1;
+        }
+        const std::string s = state->asString();
+        if (s == "done") {
+            JsonValue resultReq = JsonValue::object();
+            resultReq["op"] = JsonValue("result");
+            resultReq["job"] = JsonValue(job);
+            const JsonValue result = clientRequest(socket, resultReq);
+            const JsonValue *doc = result.find("result");
+            if (doc == nullptr) {
+                std::fprintf(stderr, "submit --wait: %s\n",
+                             result.dump(0).c_str());
+                return 1;
+            }
+            // Byte-identical to `confsim --sweep` stdout: the result
+            // document re-serialized at indent 2.
+            std::printf("%s\n", doc->dump(2).c_str());
+            return 0;
+        }
+        if (s == "failed" || s == "cancelled") {
+            std::fprintf(stderr, "submit --wait: job %s %s\n",
+                         job.c_str(), status.dump(0).c_str());
+            return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+int
+runSimpleClientCommand(const std::string &op, int argc, char **argv)
+{
+    std::string socket, job;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                serveUsageError(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            serveUsageError(op + ": unknown option '" + arg + "'");
+        } else if (job.empty()) {
+            job = arg;
+        } else {
+            serveUsageError(op + ": extra argument '" + arg + "'");
+        }
+    }
+    if (socket.empty())
+        serveUsageError(op + " needs --socket");
+    if (op == "cancel" && job.empty())
+        serveUsageError("cancel needs a JOB argument");
+    if (op == "shutdown" && !job.empty())
+        serveUsageError("shutdown takes no JOB argument");
+    JsonValue req = JsonValue::object();
+    req["op"] = JsonValue(op);
+    if (!job.empty())
+        req["job"] = JsonValue(job);
+    return printResponse(clientRequest(socket, req));
+}
+
+/** Dispatch a service subcommand; nullopt when argv[1] is not one. */
+std::optional<int>
+runSubcommand(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        return std::nullopt;
+    const std::string cmd = argv[1];
+    if (cmd == "serve") {
+        if (const int rc = armEnvFaultPlan())
+            return rc;
+        return runServeCommand(argc, argv);
+    }
+    if (cmd == "worker")
+        return runWorkerCommand(argc, argv);
+    if (cmd == "submit")
+        return runSubmitCommand(argc, argv);
+    if (cmd == "status" || cmd == "cancel" || cmd == "shutdown")
+        return runSimpleClientCommand(cmd, argc, argv);
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    serveUsage();
+    return 2;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    if (const auto rc = runSubcommand(argc, argv))
+        return *rc;
+
     // Arm any injected faults before the first file or task hook runs.
     if (const char *spec = std::getenv("CONFSIM_FAULT_PLAN")) {
         FaultPlan plan;
